@@ -1,0 +1,114 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``bench_e*.py`` module reproduces one experiment from DESIGN.md
+Section 5 (the paper has no empirical tables/figures, so the experiments
+validate the theorems).  Conventions:
+
+* communication and round numbers come from the simulator's exact counters
+  (deterministic given seeds), aggregated over several seeds;
+* every experiment prints its table AND writes it to
+  ``benchmarks/results/<name>.txt`` so the output survives pytest's capture;
+* ``pytest-benchmark`` additionally times one representative protocol run
+  per experiment (wall time is not a paper claim, but it keeps the harness
+  honest about simulation cost).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Callable, FrozenSet, List, Sequence, Tuple
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def make_instance(
+    rng: random.Random,
+    universe_size: int,
+    set_size: int,
+    overlap_fraction: float,
+) -> Tuple[FrozenSet[int], FrozenSet[int]]:
+    """Build ``(S, T)`` with the requested overlap (same generator the test
+    suite uses, duplicated here so benchmarks are self-contained)."""
+    overlap = int(round(overlap_fraction * set_size))
+    sample = rng.sample(range(universe_size), 2 * set_size - overlap)
+    return (
+        frozenset(sample[:set_size]),
+        frozenset(sample[:overlap] + sample[set_size:]),
+    )
+
+
+def make_multiparty_instance(
+    rng: random.Random,
+    universe_size: int,
+    set_size: int,
+    num_players: int,
+    common_size: int,
+):
+    """``m`` player sets sharing a planted common core."""
+    common = set(rng.sample(range(universe_size), common_size))
+    sets = []
+    for _ in range(num_players):
+        extra = set(rng.sample(range(universe_size), set_size - common_size))
+        sets.append(frozenset(common | extra))
+    return sets
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of a nonempty sequence."""
+    return sum(values) / len(values)
+
+
+def average_cost(
+    run: Callable[[int], Tuple[int, int, bool]],
+    seeds: int,
+) -> Tuple[float, float, float]:
+    """Drive ``run(seed) -> (bits, messages, correct)`` over seeds;
+    returns (mean bits, max messages, success rate)."""
+    bits: List[int] = []
+    messages: List[int] = []
+    correct = 0
+    for seed in range(seeds):
+        b, m, ok = run(seed)
+        bits.append(b)
+        messages.append(m)
+        correct += int(ok)
+    return mean(bits), max(messages), correct / seeds
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence]
+) -> str:
+    """Render an aligned plain-text table (the 'rows the paper reports')."""
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered_rows))
+        if rendered_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _render(cell) -> str:
+    if isinstance(cell, float):
+        if cell >= 100:
+            return f"{cell:.0f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def emit(name: str, text: str) -> None:
+    """Print the table and persist it under benchmarks/results/."""
+    print("\n" + text + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,160 @@
+"""E1 -- Theorem 1.1/3.6: the communication/round tradeoff of the tree
+protocol.
+
+Claim: for every ``r``, expected communication ``O(k log^(r) k)`` in at most
+``6r`` messages.  The table sweeps ``k`` and ``r`` (and the three overlap
+regimes) and reports measured bits, bits normalized by the theory curve
+``k * log^(r) k`` (which must stay in a constant band across ``k`` for each
+``r``), and the worst observed message count against the ``6r`` budget.
+
+Also includes the DESIGN.md ablation: the per-stage confidence exponent
+(the paper's ``(log^(r-i-1) k)^4``) swept over {2, 4, 8}.
+"""
+
+import random
+
+from _harness import average_cost, emit, format_table, make_instance
+from repro.core.tradeoff import communication_bound
+from repro.core.tree_protocol import TreeProtocol
+from repro.util.iterlog import log_star
+
+SEEDS = 6
+UNIVERSE = 1 << 24
+
+
+def measure_tradeoff():
+    rng = random.Random(1)
+    rows = []
+    for k in (64, 256, 1024):
+        for rounds in range(1, log_star(k) + 1):
+            for overlap in (0.0, 0.5, 1.0):
+                protocol = TreeProtocol(UNIVERSE, k, rounds=rounds)
+                instance = make_instance(rng, UNIVERSE, k, overlap)
+
+                def run(seed, protocol=protocol, instance=instance):
+                    outcome = protocol.run(*instance, seed=seed)
+                    return (
+                        outcome.total_bits,
+                        outcome.num_messages,
+                        outcome.correct_for(*instance),
+                    )
+
+                bits, max_messages, success = average_cost(run, SEEDS)
+                bound = communication_bound(k, rounds)
+                rows.append(
+                    [
+                        k,
+                        rounds,
+                        overlap,
+                        f"{bits:.0f}",
+                        bits / bound,
+                        f"{max_messages:.0f}/{max(2, 6 * rounds)}",
+                        success,
+                    ]
+                )
+    return rows
+
+
+def measure_ablation():
+    rng = random.Random(2)
+    rows = []
+    k, rounds = 256, 2
+    for exponent in (2, 4, 8):
+        protocol = TreeProtocol(
+            UNIVERSE, k, rounds=rounds, confidence_exponent=exponent
+        )
+        instance = make_instance(rng, UNIVERSE, k, 0.5)
+
+        def run(seed, protocol=protocol, instance=instance):
+            outcome = protocol.run(*instance, seed=seed)
+            return (
+                outcome.total_bits,
+                outcome.num_messages,
+                outcome.correct_for(*instance),
+            )
+
+        bits, _, success = average_cost(run, 20)
+        rows.append([exponent, f"{bits:.0f}", success])
+    return rows
+
+
+def measure_leaf_ablation():
+    """DESIGN.md ablation: bucket count k (paper) vs k/log k (toy-protocol
+    style) vs 2k."""
+    import math
+
+    rng = random.Random(4)
+    rows = []
+    k, rounds = 512, 3
+    log_k = max(1, math.ceil(math.log2(k)))
+    for label, leaves in (
+        ("k/log k", max(1, k // log_k)),
+        ("k (paper)", k),
+        ("2k", 2 * k),
+    ):
+        protocol = TreeProtocol(UNIVERSE, k, rounds=rounds, num_leaves=leaves)
+        instance = make_instance(rng, UNIVERSE, k, 0.5)
+
+        def run(seed, protocol=protocol, instance=instance):
+            outcome = protocol.run(*instance, seed=seed)
+            return (
+                outcome.total_bits,
+                outcome.num_messages,
+                outcome.correct_for(*instance),
+            )
+
+        bits, _, success = average_cost(run, 10)
+        rows.append([label, leaves, f"{bits:.0f}", success])
+    return rows
+
+
+def test_e1_tree_tradeoff(benchmark):
+    rows = measure_tradeoff()
+    emit(
+        "e1_tree_tradeoff",
+        format_table(
+            "E1: Tree protocol communication/round tradeoff (Theorem 1.1)",
+            [
+                "k",
+                "r",
+                "overlap",
+                "mean bits",
+                "bits/(k*log^(r)k)",
+                "msgs/budget",
+                "success",
+            ],
+            rows,
+        ),
+    )
+    # Hard assertions: normalized cost bounded; round budget respected.
+    for row in rows:
+        assert row[4] < 64.0
+        observed, budget = row[5].split("/")
+        assert int(observed) <= int(budget)
+        assert row[6] >= 0.8
+
+    ablation = measure_ablation()
+    emit(
+        "e1_ablation_confidence",
+        format_table(
+            "E1 ablation: per-stage confidence exponent (paper uses 4)",
+            ["exponent", "mean bits", "success"],
+            ablation,
+        ),
+    )
+
+    leaf_ablation = measure_leaf_ablation()
+    emit(
+        "e1_ablation_leaves",
+        format_table(
+            "E1 ablation: bucket count (k = 512, r = 3)",
+            ["buckets", "leaves", "mean bits", "success"],
+            leaf_ablation,
+        ),
+    )
+    assert all(row[3] >= 0.9 for row in leaf_ablation)
+
+    rng = random.Random(3)
+    protocol = TreeProtocol(UNIVERSE, 512)
+    instance = make_instance(rng, UNIVERSE, 512, 0.5)
+    benchmark(lambda: protocol.run(*instance, seed=0))

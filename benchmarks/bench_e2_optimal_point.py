@@ -1,0 +1,82 @@
+"""E2 -- the optimal point: ``r = log* k`` gives ``O(k)`` bits.
+
+Claim (Theorem 1.1 + the lower bound): at ``r = log* k`` communication is
+``O(k)`` -- the bits-per-element column must stay flat as ``k`` grows 64x --
+in ``O(log* k)`` rounds.  For reference the table also shows the ``Omega(k)``
+lower-bound floor (1 bit per element of ``S n T`` certainty; [KS92]-style)
+and the one-round ``Theta(k log k)`` cost ratio.
+"""
+
+import random
+
+from _harness import average_cost, emit, format_table, make_instance
+from repro.core.tree_protocol import TreeProtocol
+from repro.protocols.one_round import OneRoundHashingProtocol
+from repro.util.iterlog import log_star
+
+UNIVERSE = 1 << 26
+SEEDS = 5
+
+
+def measure():
+    rng = random.Random(10)
+    rows = []
+    for k in (64, 256, 1024, 4096):
+        protocol = TreeProtocol(UNIVERSE, k)  # rounds = log* k
+        one_round = OneRoundHashingProtocol(UNIVERSE, k)
+        instance = make_instance(rng, UNIVERSE, k, 0.5)
+
+        def run(seed, protocol=protocol, instance=instance):
+            outcome = protocol.run(*instance, seed=seed)
+            return (
+                outcome.total_bits,
+                outcome.num_messages,
+                outcome.correct_for(*instance),
+            )
+
+        bits, max_messages, success = average_cost(run, SEEDS)
+        one_round_bits = one_round.run(*instance, seed=0).total_bits
+        rows.append(
+            [
+                k,
+                log_star(k),
+                f"{bits:.0f}",
+                bits / k,
+                f"{max_messages:.0f}/{6 * log_star(k)}",
+                one_round_bits / bits,
+                success,
+            ]
+        )
+    return rows
+
+
+def test_e2_optimal_point(benchmark):
+    rows = measure()
+    emit(
+        "e2_optimal_point",
+        format_table(
+            "E2: r = log* k -- optimal O(k) communication (Theorem 1.1)",
+            [
+                "k",
+                "log*k",
+                "mean bits",
+                "bits/k",
+                "msgs/budget",
+                "one-round/tree",
+                "success",
+            ],
+            rows,
+        ),
+    )
+    per_element = [row[3] for row in rows]
+    # O(k): flat bits-per-element band across a 64x range of k.
+    assert max(per_element) / min(per_element) < 2.0
+    assert max(per_element) < 64
+    # the speedup over one-round grows with k (log k vs constant)
+    ratios = [row[5] for row in rows]
+    assert ratios[-1] > ratios[0]
+
+    rng = random.Random(11)
+    protocol = TreeProtocol(UNIVERSE, 1024)
+    instance = make_instance(rng, UNIVERSE, 1024, 0.5)
+    benchmark(lambda: protocol.run(*instance, seed=0))

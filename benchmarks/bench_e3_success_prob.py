@@ -1,0 +1,69 @@
+"""E3 -- success probability ``1 - 1/poly(k)`` (Theorem 1.1) and ``1 - 2^-k``
+(amplified, Section 4).
+
+Claim: failure rates fall polynomially in ``k``; amplification makes
+failures unobservable.  Measured over many seeded trials at a deliberately
+*weak* confidence exponent (so the unamplified failure rate is measurable at
+small ``k`` and its decay with ``k`` is visible), plus the paper-default
+exponent and the amplified wrapper.
+"""
+
+import random
+
+from _harness import emit, format_table, make_instance
+from repro.core.amplify import AmplifiedIntersection
+from repro.core.tree_protocol import TreeProtocol
+
+UNIVERSE = 1 << 20
+TRIALS = 150
+
+
+def failure_rate(protocol, rng, k, trials=TRIALS):
+    failures = 0
+    for seed in range(trials):
+        s, t = make_instance(rng, UNIVERSE, k, 0.5)
+        if not protocol.run(s, t, seed=seed).correct_for(s, t):
+            failures += 1
+    return failures / trials
+
+
+def measure():
+    rows = []
+    for k in (16, 64, 256):
+        rng = random.Random(20)
+        weak = TreeProtocol(UNIVERSE, k, rounds=2, confidence_exponent=1)
+        standard = TreeProtocol(UNIVERSE, k, rounds=2)
+        amplified = AmplifiedIntersection(UNIVERSE, k, rounds=2)
+        rows.append(
+            [
+                k,
+                failure_rate(weak, rng, k),
+                failure_rate(standard, rng, k),
+                failure_rate(amplified, rng, k),
+            ]
+        )
+    return rows
+
+
+def test_e3_success_probability(benchmark):
+    rows = measure()
+    emit(
+        "e3_success_prob",
+        format_table(
+            "E3: failure rates (150 trials each; Theorem 1.1 / Section 4)",
+            ["k", "fail(exp=1)", "fail(exp=4 paper)", "fail(amplified)"],
+            rows,
+        ),
+    )
+    weak_rates = [row[1] for row in rows]
+    # 1/poly(k): the weak configuration's failure rate must decay with k.
+    assert weak_rates[-1] <= weak_rates[0] + 0.02
+    # paper default: failures rare at every k; amplified: none observed.
+    for row in rows:
+        assert row[2] <= 0.05
+        assert row[3] == 0.0
+
+    rng = random.Random(21)
+    protocol = AmplifiedIntersection(UNIVERSE, 256, rounds=2)
+    instance = make_instance(rng, UNIVERSE, 256, 0.5)
+    benchmark(lambda: protocol.run(*instance, seed=0))

@@ -1,0 +1,100 @@
+"""E4 -- Theorem 3.1: the bucketing + amortized-equality protocol.
+
+Claim: ``O(k)`` expected bits within an ``O(sqrt(k))`` round budget.  The
+table sweeps ``k`` and reports bits/k (must be flat), rounds against both
+the ``6 sqrt(k)`` budget and the much smaller realized ``O(log k)`` of our
+group-testing amortized equality, and the standalone amortized-equality cost
+per instance.
+
+Ablation (DESIGN.md): the amortized-equality base test width.
+"""
+
+import math
+import random
+
+from _harness import average_cost, emit, format_table, make_instance
+from repro.protocols.fknn import AmortizedEqualityProtocol
+from repro.protocols.sqrt_k import SqrtKProtocol
+
+UNIVERSE = 1 << 24
+SEEDS = 5
+
+
+def measure_protocol():
+    rng = random.Random(30)
+    rows = []
+    for k in (64, 256, 1024):
+        protocol = SqrtKProtocol(UNIVERSE, k)
+        instance = make_instance(rng, UNIVERSE, k, 0.5)
+
+        def run(seed, protocol=protocol, instance=instance):
+            outcome = protocol.run(*instance, seed=seed)
+            return (
+                outcome.total_bits,
+                outcome.num_messages,
+                outcome.correct_for(*instance),
+            )
+
+        bits, max_messages, success = average_cost(run, SEEDS)
+        rows.append(
+            [
+                k,
+                f"{bits:.0f}",
+                bits / k,
+                f"{max_messages:.0f}",
+                6 * math.ceil(math.sqrt(k)),
+                success,
+            ]
+        )
+    return rows
+
+
+def measure_equality_ablation():
+    rng = random.Random(31)
+    rows = []
+    k = 512
+    xs = [rng.getrandbits(32) for _ in range(k)]
+    ys = [x if i % 2 else x ^ 7 for i, x in enumerate(xs)]
+    for base_width in (1, 2, 4):
+        protocol = AmortizedEqualityProtocol(k, base_width=base_width)
+        outcome = protocol.run(xs, ys, seed=0)
+        correct = outcome.alice_output == tuple(
+            x == y for x, y in zip(xs, ys)
+        )
+        rows.append(
+            [base_width, outcome.total_bits, outcome.total_bits / k,
+             outcome.num_messages, correct]
+        )
+    return rows
+
+
+def test_e4_sqrt_k(benchmark):
+    rows = measure_protocol()
+    emit(
+        "e4_sqrt_k",
+        format_table(
+            "E4: Theorem 3.1 protocol -- O(k) bits within O(sqrt k) rounds",
+            ["k", "mean bits", "bits/k", "max msgs", "6*sqrt(k) budget", "success"],
+            rows,
+        ),
+    )
+    per_k = [row[2] for row in rows]
+    assert max(per_k) / min(per_k) < 2.5  # O(k) flatness
+    for row in rows:
+        assert float(row[3]) <= row[4]  # inside the round budget
+        assert row[5] >= 0.8
+
+    ablation = measure_equality_ablation()
+    emit(
+        "e4_ablation_test_width",
+        format_table(
+            "E4 ablation: amortized-equality base test width (k = 512)",
+            ["base width", "bits", "bits/instance", "msgs", "correct"],
+            ablation,
+        ),
+    )
+
+    rng = random.Random(32)
+    protocol = SqrtKProtocol(UNIVERSE, 512)
+    instance = make_instance(rng, UNIVERSE, 512, 0.5)
+    benchmark(lambda: protocol.run(*instance, seed=0))

@@ -1,0 +1,96 @@
+"""E5 -- baseline separations and crossovers.
+
+Claims from the paper's Section 1 landscape:
+
+* trivial deterministic: ``Theta(k log(n/k))`` -- grows with the universe;
+* one-round hashing: ``Theta(k log k)`` -- universe-free but carries log k;
+* toy bucket protocol: ``O(k log log k)``;
+* tree at ``log* k``: ``O(k)``.
+
+The table sweeps the density ``n/k`` at fixed ``k`` and shows who wins
+where: the trivial protocol wins only when the universe is barely larger
+than the sets (its ``log(n/k)`` is tiny), and the crossover against the
+tree protocol happens by ``n/k ~ 2^6``; past that the randomized protocols'
+universe-free costs dominate, ordered ``tree < bucket < one-round``.
+"""
+
+import random
+
+from _harness import emit, format_table, make_instance
+from repro.core.tree_protocol import TreeProtocol
+from repro.protocols.bucket_verify import BucketVerifyProtocol
+from repro.protocols.one_round import OneRoundHashingProtocol
+from repro.protocols.trivial import TrivialExchangeProtocol
+
+K = 512
+SEEDS = 3
+
+
+def measure():
+    rng = random.Random(40)
+    rows = []
+    for log_ratio in (2, 4, 6, 10, 16):
+        n = K << log_ratio
+        instance = make_instance(rng, n, K, 0.5)
+        costs = {}
+        for name, protocol in [
+            ("trivial", TrivialExchangeProtocol(n, K, both_outputs=False)),
+            ("one-round", OneRoundHashingProtocol(n, K)),
+            ("bucket", BucketVerifyProtocol(n, K)),
+            ("tree", TreeProtocol(n, K)),
+        ]:
+            total = 0
+            for seed in range(SEEDS):
+                outcome = protocol.run(*instance, seed=seed)
+                assert outcome.bob_output == instance[0] & instance[1]
+                total += outcome.total_bits
+            costs[name] = total / SEEDS
+        winner = min(costs, key=costs.get)
+        rows.append(
+            [
+                f"2^{log_ratio}",
+                f"{costs['trivial']:.0f}",
+                f"{costs['one-round']:.0f}",
+                f"{costs['bucket']:.0f}",
+                f"{costs['tree']:.0f}",
+                winner,
+            ]
+        )
+    return rows
+
+
+def test_e5_baselines(benchmark):
+    rows = measure()
+    emit(
+        "e5_baselines",
+        format_table(
+            f"E5: baseline comparison, k = {K}, density sweep (Section 1)",
+            ["n/k", "trivial", "one-round", "bucket", "tree", "winner"],
+            rows,
+        ),
+    )
+    # Dense end: deterministic exchange wins.  Sparse end: a randomized
+    # universe-free protocol wins.  (At simulable k the toy bucket
+    # protocol's O(k log log k) with small constants edges out the tree's
+    # O(k) with the paper's exponent-4 constants -- log log k < 4 for every
+    # feasible k; see EXPERIMENTS.md.  The asymptotic claim shows up as
+    # flatness in E2, not as a crossover reachable on a laptop.)
+    assert rows[0][-1] == "trivial"
+    assert rows[-1][-1] in ("tree", "bucket")
+    # Trivial grows with n/k; the randomized columns must not.
+    trivial_costs = [float(row[1]) for row in rows]
+    tree_costs = [float(row[4]) for row in rows]
+    bucket_costs = [float(row[3]) for row in rows]
+    assert trivial_costs[-1] > 2 * trivial_costs[0]
+    assert max(tree_costs) / min(tree_costs) < 1.6
+    assert max(bucket_costs) / min(bucket_costs) < 1.6
+    # Ordering at the sparse end: both sub-log-k protocols beat one-round.
+    last = rows[-1]
+    assert float(last[4]) < float(last[2])
+    assert float(last[3]) < float(last[2])
+
+    rng = random.Random(41)
+    n = K << 16
+    protocol = TrivialExchangeProtocol(n, K, both_outputs=False)
+    instance = make_instance(rng, n, K, 0.5)
+    benchmark(lambda: protocol.run(*instance, seed=0))

@@ -1,0 +1,87 @@
+"""E7 -- Corollary 4.1: average-case multiparty intersection.
+
+Claims: expected *average* communication per player ``O(k log^(r) k)``
+(flat per-(player, k) as ``m`` and ``k`` grow), total ``O(mk)`` at
+``r = log* k`` matching the ``Omega(mk)`` lower bound of [PVZ12, BEO+13],
+and rounds ``O(r * max(1, log(m)/k))`` -- a single recursion level (so
+two-party-like round counts) whenever ``m <= 2^k``.
+"""
+
+import random
+
+from _harness import emit, format_table, make_multiparty_instance
+from repro.multiparty.coordinator import CoordinatorIntersection
+
+UNIVERSE = 1 << 22
+
+
+def measure():
+    rows = []
+    for k in (32, 64):
+        for m in (4, 8, 16, 32):
+            rng = random.Random(60 + m + k)
+            sets = make_multiparty_instance(rng, UNIVERSE, k, m, k // 4)
+            truth = frozenset.intersection(*sets)
+            result = CoordinatorIntersection(UNIVERSE, k).run(sets, seed=0)
+            assert result.intersection == truth
+            rows.append(
+                [
+                    m,
+                    k,
+                    result.total_bits,
+                    result.total_bits / (m * k),
+                    result.outcome.average_player_bits / k,
+                    result.rounds,
+                ]
+            )
+    return rows
+
+
+def measure_recursion_levels():
+    # Force multi-level recursion with a small group size to expose the
+    # max(1, log m / k) factor in rounds.
+    rows = []
+    k = 32
+    for group_size, m in ((4, 16), (4, 64)):
+        rng = random.Random(61 + m)
+        sets = make_multiparty_instance(rng, UNIVERSE, k, m, 8)
+        result = CoordinatorIntersection(
+            UNIVERSE, k, group_size=group_size
+        ).run(sets, seed=0)
+        assert result.intersection == frozenset.intersection(*sets)
+        rows.append([m, group_size, result.rounds, result.total_bits])
+    return rows
+
+
+def test_e7_multiparty_average(benchmark):
+    rows = measure()
+    emit(
+        "e7_multiparty_avg",
+        format_table(
+            "E7: Corollary 4.1 -- average-case multiparty (single level)",
+            ["m", "k", "total bits", "bits/(m*k)", "avg player bits/k", "rounds"],
+            rows,
+        ),
+    )
+    per_mk = [row[3] for row in rows]
+    # Total O(mk): normalized total flat within a small band.
+    assert max(per_mk) / min(per_mk) < 3.0
+    assert max(per_mk) < 150
+    # Rounds stay two-party-like regardless of m (parallel pairs).
+    assert max(row[5] for row in rows) <= 40
+
+    levels = measure_recursion_levels()
+    emit(
+        "e7_recursion_levels",
+        format_table(
+            "E7b: forced recursion (group size 4): rounds grow with log m",
+            ["m", "group", "rounds", "total bits"],
+            levels,
+        ),
+    )
+    assert levels[1][2] > levels[0][2]  # more levels, more rounds
+
+    rng = random.Random(62)
+    sets = make_multiparty_instance(rng, UNIVERSE, 64, 8, 16)
+    protocol = CoordinatorIntersection(UNIVERSE, 64)
+    benchmark(lambda: protocol.run(sets, seed=0))

@@ -1,0 +1,71 @@
+"""E8 -- Corollary 4.2: worst-case-bounded multiparty intersection.
+
+Claims: the binary-tree scheme bounds the *worst-case* per-player
+communication (the coordinator scheme concentrates ``O(m k log^(r) k)`` on
+one player; the tree spreads it to ``O(k * depth)`` per player) at the
+price of more rounds (sequential tree steps, the paper's ``O(r k)`` per
+level).  The table compares both schemes' heaviest player and rounds.
+"""
+
+import random
+
+from _harness import emit, format_table, make_multiparty_instance
+from repro.multiparty.binary_tree import BinaryTreeIntersection
+from repro.multiparty.coordinator import CoordinatorIntersection
+
+UNIVERSE = 1 << 22
+K = 64
+
+
+def measure():
+    rows = []
+    for m in (4, 8, 16):
+        rng = random.Random(70 + m)
+        sets = make_multiparty_instance(rng, UNIVERSE, K, m, 16)
+        truth = frozenset.intersection(*sets)
+        coordinator = CoordinatorIntersection(UNIVERSE, K).run(sets, seed=0)
+        tree = BinaryTreeIntersection(UNIVERSE, K).run(sets, seed=0)
+        assert coordinator.intersection == truth
+        assert tree.intersection == truth
+        rows.append(
+            [
+                m,
+                coordinator.outcome.max_player_bits,
+                tree.outcome.max_player_bits,
+                coordinator.outcome.max_player_bits
+                / tree.outcome.max_player_bits,
+                coordinator.rounds,
+                tree.rounds,
+            ]
+        )
+    return rows
+
+
+def test_e8_multiparty_worst_case(benchmark):
+    rows = measure()
+    emit(
+        "e8_multiparty_worst",
+        format_table(
+            f"E8: Corollary 4.2 -- worst-case per-player load, k = {K}",
+            [
+                "m",
+                "coord max bits",
+                "tree max bits",
+                "spread factor",
+                "coord rounds",
+                "tree rounds",
+            ],
+            rows,
+        ),
+    )
+    for row in rows:
+        assert row[3] > 1.0  # the tree always spreads the load
+        assert row[5] >= row[4]  # and pays rounds for it
+    # The spread factor grows with m: coordinator load is ~m*k while tree
+    # load is ~k log m.
+    assert rows[-1][3] > rows[0][3]
+
+    rng = random.Random(71)
+    sets = make_multiparty_instance(rng, UNIVERSE, K, 8, 16)
+    protocol = BinaryTreeIntersection(UNIVERSE, K)
+    benchmark(lambda: protocol.run(sets, seed=0))

@@ -1,0 +1,77 @@
+"""Assemble benchmarks/results/*.txt into a single RESULTS.md.
+
+Run after the benchmark suite::
+
+    pytest benchmarks/ --benchmark-only
+    python benchmarks/make_report.py        # writes RESULTS.md at repo root
+
+Not collected by pytest (no test_/bench_ prefix).
+"""
+
+from __future__ import annotations
+
+import sys
+from datetime import date
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+OUTPUT = Path(__file__).resolve().parent.parent / "RESULTS.md"
+
+SECTION_ORDER = [
+    ("e1_tree_tradeoff", "E1 — Theorem 1.1 tradeoff"),
+    ("e1_ablation_confidence", "E1 ablation — confidence exponent"),
+    ("e1_ablation_leaves", "E1 ablation — bucket count"),
+    ("e2_optimal_point", "E2 — the optimal point (r = log* k)"),
+    ("e3_success_prob", "E3 — success probability"),
+    ("e4_sqrt_k", "E4 — Theorem 3.1"),
+    ("e4_ablation_test_width", "E4 ablation — amortized-equality width"),
+    ("e5_baselines", "E5 — baselines & crossovers"),
+    ("e6_basic_intersection", "E6a — Basic-Intersection"),
+    ("e6_equality", "E6b — Fact 3.5 equality"),
+    ("e6_disj_vs_int", "E6c — DISJ vs INT"),
+    ("e7_multiparty_avg", "E7 — Corollary 4.1"),
+    ("e7_recursion_levels", "E7b — forced recursion"),
+    ("e8_multiparty_worst", "E8 — Corollary 4.2"),
+    ("e9_eq_reduction", "E9 — Fact 2.1 reduction"),
+    ("e10_statistics", "E10a — applications"),
+    ("e10_join", "E10b — distributed join"),
+    ("e11_minhash_contrast", "E11 — exact vs sketch"),
+    ("e12_cost_models", "E12a — cost models"),
+    ("e12_stage_anatomy", "E12b — stage anatomy"),
+    ("e13_distributions", "E13a — input-distribution robustness"),
+    ("e13_union_contrast", "E13b — union vs intersection"),
+]
+
+
+def main() -> int:
+    if not RESULTS_DIR.is_dir():
+        print(
+            "no benchmarks/results/ directory; run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 1
+    sections = []
+    missing = []
+    for stem, title in SECTION_ORDER:
+        path = RESULTS_DIR / f"{stem}.txt"
+        if not path.is_file():
+            missing.append(stem)
+            continue
+        sections.append(f"## {title}\n\n```\n{path.read_text().rstrip()}\n```\n")
+    header = (
+        "# Benchmark results\n\n"
+        f"Generated {date.today().isoformat()} from `benchmarks/results/`.\n"
+        "Regenerate with `pytest benchmarks/ --benchmark-only && "
+        "python benchmarks/make_report.py`.\n"
+        "See `EXPERIMENTS.md` for the claim-by-claim interpretation.\n\n"
+    )
+    OUTPUT.write_text(header + "\n".join(sections), encoding="utf-8")
+    print(f"wrote {OUTPUT} ({len(sections)} sections)")
+    if missing:
+        print(f"missing results (bench not run yet?): {', '.join(missing)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Distributed database join -- the paper's motivating application.
+
+"A quite basic problem, such as computing the join of two databases held by
+different servers, requires computing an intersection, which one would like
+to do with as little communication and as few messages as possible."
+
+Scenario: an orders service and a shipping service each hold a keyed
+relation; analytics wants ``orders JOIN shipments ON order_id``.  Shipping
+the full orders table costs megabits; finding the matching keys with the
+intersection protocol first costs ~bits-per-key and then only the matched
+rows move.
+
+Run:  python examples/distributed_join.py
+"""
+
+import random
+
+from repro.applications import Relation, distributed_join
+
+
+def synthesize_relations(rng, universe, orders_count, shipped_fraction):
+    """Orders table on server A; shipments (a fraction of orders, plus some
+    foreign records) on server B."""
+    order_ids = rng.sample(range(universe), orders_count)
+    orders = Relation(
+        {
+            order_id: (f"customer-{rng.randrange(10_000)}", rng.randrange(100, 9999))
+            for order_id in order_ids
+        }
+    )
+    shipped = rng.sample(order_ids, int(shipped_fraction * orders_count))
+    foreign = rng.sample(range(universe), orders_count - len(shipped))
+    shipments = Relation(
+        {
+            ship_id: (f"carrier-{rng.randrange(8)}", f"2026-07-{rng.randrange(1, 29):02d}")
+            for ship_id in set(shipped) | set(foreign)
+        }
+    )
+    return orders, shipments
+
+
+def main() -> None:
+    rng = random.Random(99)
+    universe = 1 << 40  # order ids are 40-bit identifiers
+    orders_count = 2000
+
+    for shipped_fraction in (0.02, 0.25, 0.9):
+        orders, shipments = synthesize_relations(
+            rng, universe, orders_count, shipped_fraction
+        )
+        k = max(len(orders), len(shipments))
+        result = distributed_join(
+            orders, shipments, universe_size=universe, max_set_size=k, seed=1
+        )
+
+        # What a naive system would ship: the whole orders relation.
+        ship_all_bits = orders.row_bits(orders.keys)
+
+        print(f"shipped fraction {shipped_fraction:4.0%}:")
+        print(f"  matched rows        : {len(result.rows)}")
+        print(f"  key discovery       : {result.key_bits} bits "
+              f"in {result.messages} messages ({result.protocol})")
+        print(f"  matched-row payload : {result.row_bits} bits")
+        print(f"  naive ship-it-all   : {ship_all_bits} bits")
+        print(f"  total savings       : "
+              f"{ship_all_bits / result.total_bits:.1f}x")
+        sample_key = min(result.rows) if result.rows else None
+        if sample_key is not None:
+            left_row, right_row = result.rows[sample_key]
+            print(f"  sample joined row   : {sample_key} -> {left_row} + {right_row}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

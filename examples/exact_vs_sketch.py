@@ -1,0 +1,71 @@
+"""Exact recovery vs approximate sketching at the same communication budget.
+
+The paper vs Pagh-Stockel-Woodruff [PSW14]: one-way sketches *estimate* the
+intersection size; the paper's two-way protocols *recover the actual
+intersection*.  This example gives both the same wire budget on the same
+instance and shows what each buys -- the choice a system designer faces
+when sizing a similarity service.
+
+Run:  python examples/exact_vs_sketch.py
+"""
+
+import random
+
+from repro.core.tree_protocol import TreeProtocol
+from repro.protocols.minhash import MinHashSketchProtocol
+
+
+def main() -> None:
+    rng = random.Random(314)
+    universe = 1 << 36
+    k = 1000
+    overlap = 250
+
+    sample = rng.sample(range(universe), 2 * k - overlap)
+    server_a = frozenset(sample[:k])
+    server_b = frozenset(sample[:overlap] + sample[k:])
+    truth = server_a & server_b
+
+    exact = TreeProtocol(universe, k)
+    exact_outcome = exact.run(server_a, server_b, seed=1)
+    budget = exact_outcome.total_bits
+
+    probe = MinHashSketchProtocol(universe, k)
+    num_hashes = max(1, budget // probe.value_width)
+    sketch = MinHashSketchProtocol(universe, k, num_hashes=num_hashes)
+    sketch_outcome = sketch.run(server_a, server_b, seed=1)
+    estimate = sketch_outcome.bob_output
+
+    print(f"instance: k = {k}, |A n B| = {len(truth)}, "
+          f"true Jaccard = {len(truth) / len(server_a | server_b):.4f}")
+    print()
+    print("verification-tree protocol (this paper):")
+    print(f"  bits     : {exact_outcome.total_bits}")
+    print(f"  messages : {exact_outcome.num_messages}")
+    print(f"  output   : the EXACT set "
+          f"(correct: {exact_outcome.alice_output == truth}; "
+          f"both parties hold all {len(truth)} common ids)")
+    print()
+    print(f"MinHash sketch ([PSW14] one-way model), t = {num_hashes} hashes:")
+    print(f"  bits     : {sketch_outcome.total_bits}")
+    print(f"  messages : {sketch_outcome.num_messages}")
+    print(f"  output   : |A n B| ~= {estimate.intersection_estimate} "
+          f"(true {len(truth)}; "
+          f"error {abs(estimate.intersection_estimate - len(truth))}), "
+          f"J ~= {estimate.jaccard_estimate:.4f}")
+    print(f"  note     : a scalar estimate -- no common id is ever named,")
+    print(f"             and the ~1/sqrt(t) error never reaches zero.")
+    print()
+
+    # What the sketch CAN do cheaper: a quick low-precision probe.
+    cheap = MinHashSketchProtocol(universe, k, num_hashes=32)
+    cheap_outcome = cheap.run(server_a, server_b, seed=1)
+    print(f"where sketches shine -- a 32-hash probe costs only "
+          f"{cheap_outcome.total_bits} bits "
+          f"({budget // cheap_outcome.total_bits}x less) and still reads "
+          f"J ~= {cheap_outcome.bob_output.jaccard_estimate:.2f}: "
+          f"use it to decide WHETHER to run the exact protocol.")
+
+
+if __name__ == "__main__":
+    main()

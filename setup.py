@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that editable
+installs (``pip install -e .``) work in offline environments whose
+setuptools lacks the PEP 660 editable-wheel path (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

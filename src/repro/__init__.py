@@ -1,0 +1,49 @@
+"""repro: communication-optimal set-intersection protocols.
+
+A faithful, bit-exact reproduction of
+
+    Brody, Chakrabarti, Kondapally, Woodruff, Yaroslavtsev.
+    "Beyond Set Disjointness: The Communication Complexity of Finding the
+    Intersection."  PODC 2014.
+
+Two (or ``m``) servers hold sets of at most ``k`` elements and want the
+*entire* intersection -- not just to know whether it is empty.  The paper's
+verification-tree protocol achieves the optimal ``O(k)`` bits of
+communication in only ``O(log* k)`` rounds, with a smooth tradeoff
+``O(k log^(r) k)`` bits at ``6r`` rounds; this library implements every
+protocol in the paper on a bit-exact two-party/multi-party simulator,
+together with the baselines, reductions, and applications the paper
+discusses.
+
+Quick start::
+
+    from repro import compute_intersection
+
+    result = compute_intersection({1, 5, 9, 200}, {5, 9, 77})
+    result.intersection   # frozenset({5, 9})
+    result.bits           # exact communication cost in bits
+    result.messages       # number of messages (rounds)
+
+See :mod:`repro.core` for the main protocol, :mod:`repro.protocols` for the
+building blocks and baselines, :mod:`repro.multiparty` for the Section 4
+message-passing protocols, and :mod:`repro.applications` for the derived
+statistics (Jaccard similarity, rarity, distributed joins, ...).
+"""
+
+from repro.core.api import IntersectionResult, compute_intersection
+from repro.core.tradeoff import communication_bound, optimal_rounds, select_protocol
+from repro.core.tree_protocol import TreeProtocol
+from repro.session import IntersectionSession
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IntersectionResult",
+    "compute_intersection",
+    "communication_bound",
+    "optimal_rounds",
+    "select_protocol",
+    "TreeProtocol",
+    "IntersectionSession",
+    "__version__",
+]

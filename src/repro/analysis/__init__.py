@@ -1,0 +1,43 @@
+"""Analytic cost models for the protocols.
+
+Tests and benchmarks compare measured wire costs against these models:
+
+* :mod:`repro.analysis.predictions` -- closed-form predictions.  For the
+  structurally deterministic protocols (one-round hashing, equality,
+  Basic-Intersection at known sizes) the prediction is *exact*; for the
+  gap-coded trivial exchange and the adaptive tree protocol the prediction
+  is an expectation / upper-bound model with explicit constants.
+* :mod:`repro.analysis.exact_cc` -- ground truth for tiny instances: the
+  exact deterministic communication complexity by exhaustive protocol-tree
+  search (sanity-checks the optimality story on small EQ/DISJ/INT).
+* :mod:`repro.analysis.empirical` -- Monte-Carlo protocol measurement over
+  :mod:`repro.workloads` specs.
+"""
+
+from repro.analysis.empirical import measure_protocol
+from repro.analysis.exact_cc import (
+    disjointness_matrix,
+    equality_matrix,
+    exact_deterministic_cc,
+    intersection_matrix,
+)
+from repro.analysis.predictions import (
+    predict_basic_intersection_bits,
+    predict_equality_bits,
+    predict_one_round_bits,
+    predict_tree_bits_upper,
+    predict_trivial_bits,
+)
+
+__all__ = [
+    "predict_basic_intersection_bits",
+    "predict_equality_bits",
+    "predict_one_round_bits",
+    "predict_tree_bits_upper",
+    "predict_trivial_bits",
+    "measure_protocol",
+    "exact_deterministic_cc",
+    "equality_matrix",
+    "disjointness_matrix",
+    "intersection_matrix",
+]

@@ -1,0 +1,127 @@
+"""Rigorous failure-probability upper bounds for protocol configurations.
+
+The correctness proofs (Lemma 3.7 -> Corollary 3.8 -> union bound over
+leaves) are finite calculations once a concrete configuration is fixed.
+This module performs exactly those calculations with the *implementation's*
+parameters (fingerprint widths, hash ranges, tree shape), producing an
+auditable per-run failure bound that the test suite checks against
+observed failure rates -- the code-level analogue of reading the proof.
+
+The chain, mirroring Section 3.3:
+
+* an equality test at width ``w`` falsely passes with probability
+  ``<= 2^-w`` (Fact 3.5 / the fingerprint family);
+* a Basic-Intersection re-run at hash range ``t`` over ``m`` elements
+  fails (collides) with probability ``<= m^2 / t`` (Fact 2.2's union
+  bound with the pairwise family's ``2/t`` pairs);
+* a leaf ends stage ``i`` wrong only if its covering node's equality test
+  falsely passed OR its re-run collided (Lemma 3.7):
+  ``p_i <= eq_i + bi_i``;
+* after the last stage, the root errs only if some leaf is wrong
+  (Corollary 3.8): ``P(fail) <= num_leaves * p_{r-1}`` -- but a leaf wrong
+  at stage ``r-1`` requires a *fresh* failure at stage ``r-1`` (either its
+  last test lied or its last re-run collided), so the bound uses only the
+  final stage's parameters, exactly as the paper's proof does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.hashing.pairwise import PAIRWISE_COLLISION_FACTOR
+from repro.protocols.basic_intersection import range_for_inverse_failure
+from repro.protocols.equality import equality_error_exponent
+from repro.util.iterlog import iterated_log
+
+__all__ = ["StageBound", "TreeFailureBound", "tree_failure_bound"]
+
+
+@dataclass(frozen=True)
+class StageBound:
+    """Per-stage ingredients of the failure bound.
+
+    :param stage: stage index ``i``.
+    :param equality_width: fingerprint width of the stage's tests.
+    :param equality_false_pass: ``2^-width``.
+    :param rerun_collision: Basic-Intersection collision bound at this
+        stage's range rule, evaluated at the expected bucket load.
+    :param leaf_error: Lemma 3.7's ``p_i`` = false pass + collision.
+    """
+
+    stage: int
+    equality_width: int
+    equality_false_pass: float
+    rerun_collision: float
+    leaf_error: float
+
+
+@dataclass(frozen=True)
+class TreeFailureBound:
+    """The full bound for one tree-protocol configuration.
+
+    :param stages: the per-stage chain.
+    :param final_leaf_error: ``p_{r-1}``.
+    :param overall: the Corollary 3.8 union bound
+        ``num_leaves * p_{r-1}`` (clamped at 1).
+    """
+
+    stages: List[StageBound]
+    final_leaf_error: float
+    overall: float
+
+
+def tree_failure_bound(
+    max_set_size: int,
+    rounds: int,
+    *,
+    confidence_exponent: int = 4,
+    num_leaves: int = 0,
+    bucket_load: int = 4,
+) -> TreeFailureBound:
+    """Compute the Section 3.3 failure bound for a configuration.
+
+    :param max_set_size: ``k``.
+    :param rounds: ``r`` (must be ``>= 2``; the ``r = 1`` base case's bound
+        is the single hash collision ``(2k)^2 / k^c``, not tree-shaped).
+    :param confidence_exponent: the per-stage exponent (paper: 4).
+    :param num_leaves: tree leaves (0 selects the default ``k``).
+    :param bucket_load: the ``m`` at which re-run collision bounds are
+        evaluated; expected bucket loads are ~2 per side, and the bound is
+        monotone in ``m``, so 4 covers the typical case (tests compare
+        against observation, not worst-case loads).
+    """
+    if rounds < 2:
+        raise ValueError("tree_failure_bound applies to the r >= 2 protocol")
+    k = max(max_set_size, 2)
+    leaves = num_leaves or k
+    stages: List[StageBound] = []
+    for stage in range(rounds):
+        inverse_failure = (
+            max(iterated_log(k, rounds - stage - 1), 2.0) ** confidence_exponent
+        )
+        width = equality_error_exponent(inverse_failure)
+        false_pass = 2.0**-width
+        range_size = range_for_inverse_failure(bucket_load, inverse_failure)
+        collision = min(
+            1.0,
+            PAIRWISE_COLLISION_FACTOR
+            * (bucket_load * (bucket_load - 1) / 2)
+            / range_size,
+        )
+        leaf_error = min(1.0, false_pass + collision)
+        stages.append(
+            StageBound(
+                stage=stage,
+                equality_width=width,
+                equality_false_pass=false_pass,
+                rerun_collision=collision,
+                leaf_error=leaf_error,
+            )
+        )
+    final = stages[-1].leaf_error
+    return TreeFailureBound(
+        stages=stages,
+        final_leaf_error=final,
+        overall=min(1.0, leaves * final),
+    )

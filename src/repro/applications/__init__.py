@@ -1,0 +1,70 @@
+"""Section 1 applications: everything the intersection protocol buys you.
+
+"Given our upper bound for set intersection ... this gives the first
+protocol for computing the size ``|S u T|`` of the union with our
+communication/round tradeoff.  This in turn gives the first protocol for
+computing the exact Jaccard similarity, exact Hamming distance, exact number
+of distinct elements, and exact 1-rarity and 2-rarity."
+
+Every function here runs the intersection protocol once (plus the one-round
+size exchange, ``O(log k)`` bits) and derives the statistic exactly:
+
+* :mod:`repro.applications.cardinality` -- ``|S n T|``, ``|S u T|``,
+  distinct elements, symmetric difference.
+* :mod:`repro.applications.similarity` -- Jaccard similarity, Hamming
+  distance, overlap/containment coefficients.
+* :mod:`repro.applications.rarity` -- Datar-Muthukrishnan 1-rarity and
+  2-rarity.
+* :mod:`repro.applications.join` -- a two-server relational join on
+  intersecting keys (the database motivation of the introduction).
+"""
+
+from repro.applications.cardinality import (
+    CardinalityReport,
+    distinct_elements,
+    intersection_size,
+    set_statistics,
+    symmetric_difference_size,
+    union_size,
+)
+from repro.applications.dedup import (
+    DuplicateReport,
+    find_duplicates,
+    find_global_duplicates,
+)
+from repro.applications.join import JoinResult, Relation, distributed_join
+from repro.applications.rarity import rarity
+from repro.applications.similarity import (
+    containment,
+    hamming_distance,
+    jaccard,
+    overlap_coefficient,
+)
+from repro.applications.union_set import (
+    SetExchangeReport,
+    recover_symmetric_difference,
+    recover_union,
+)
+
+__all__ = [
+    "DuplicateReport",
+    "find_duplicates",
+    "find_global_duplicates",
+    "CardinalityReport",
+    "distinct_elements",
+    "intersection_size",
+    "set_statistics",
+    "symmetric_difference_size",
+    "union_size",
+    "JoinResult",
+    "Relation",
+    "distributed_join",
+    "rarity",
+    "containment",
+    "hamming_distance",
+    "jaccard",
+    "overlap_coefficient",
+    "SetExchangeReport",
+    "recover_symmetric_difference",
+    "recover_union",
+]

@@ -1,0 +1,106 @@
+"""Duplicate detection across servers.
+
+One of the paper's listed database applications: "finding duplicates".
+Records live on different servers; a record is a *duplicate* if another
+server also holds it.  With content-addressed records (each record keyed by
+an integer fingerprint of its content), duplicates across two servers are
+exactly the key-set intersection; across ``m`` servers, the pairwise or
+global intersections, computed here with the Section 4 machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.api import compute_intersection
+from repro.multiparty.coordinator import CoordinatorIntersection
+
+__all__ = ["DuplicateReport", "find_duplicates", "find_global_duplicates"]
+
+
+@dataclass(frozen=True)
+class DuplicateReport:
+    """Duplicates between two servers, with exact accounting.
+
+    :param duplicates: record keys present on both servers.
+    :param bits: communication spent.
+    :param messages: messages exchanged.
+    :param protocol: underlying intersection protocol.
+    """
+
+    duplicates: FrozenSet[int]
+    bits: int
+    messages: int
+    protocol: str
+
+    @property
+    def count(self) -> int:
+        """Number of duplicated records."""
+        return len(self.duplicates)
+
+
+def find_duplicates(
+    server_a: Iterable[int], server_b: Iterable[int], **options
+) -> DuplicateReport:
+    """Find records held by both servers (two-server deduplication).
+
+    ``options`` forward to :func:`~repro.core.api.compute_intersection`.
+    """
+    result = compute_intersection(server_a, server_b, **options)
+    return DuplicateReport(
+        duplicates=result.intersection,
+        bits=result.bits,
+        messages=result.messages,
+        protocol=result.protocol,
+    )
+
+
+def find_global_duplicates(
+    servers: Sequence[Iterable[int]],
+    *,
+    universe_size: int,
+    max_set_size: int,
+    rounds: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[FrozenSet[int], Dict[str, int]]:
+    """Records present on *every* server (globally replicated records).
+
+    Uses the Corollary 4.1 coordinator protocol; returns the global
+    duplicate set and an accounting dict (``total_bits``, ``rounds``,
+    ``max_player_bits``).
+    """
+    protocol = CoordinatorIntersection(
+        universe_size, max_set_size, rounds=rounds
+    )
+    result = protocol.run([frozenset(server) for server in servers], seed=seed)
+    return result.intersection, {
+        "total_bits": result.total_bits,
+        "rounds": result.rounds,
+        "max_player_bits": result.outcome.max_player_bits,
+    }
+
+
+def pairwise_duplicate_matrix(
+    servers: Sequence[Iterable[int]], **options
+) -> List[List[int]]:
+    """All-pairs duplicate counts (the deduplication planner's heat map).
+
+    Runs the two-party protocol for every server pair; entry ``[i][j]`` is
+    the number of records servers ``i`` and ``j`` share (diagonal = server
+    sizes).  Costs ``C(m, 2)`` protocol runs -- quadratic by design; use
+    :func:`find_global_duplicates` for the global set.
+    """
+    normalized = [frozenset(server) for server in servers]
+    matrix: List[List[int]] = [
+        [0] * len(normalized) for _ in range(len(normalized))
+    ]
+    seed = options.pop("seed", 0)
+    for i, left in enumerate(normalized):
+        matrix[i][i] = len(left)
+        for j in range(i + 1, len(normalized)):
+            report = find_duplicates(
+                left, normalized[j], seed=seed + i * 1000 + j, **options
+            )
+            matrix[i][j] = matrix[j][i] = report.count
+    return matrix

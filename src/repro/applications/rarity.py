@@ -1,0 +1,47 @@
+"""Exact alpha-rarity (Datar-Muthukrishnan [DM02]).
+
+For a multiset seen as two servers' sets ``S`` and ``T``, the
+``alpha``-rarity is the fraction of distinct elements occurring exactly
+``alpha`` times:
+
+* 1-rarity: ``|S delta T| / |S u T|`` -- elements held by exactly one
+  server;
+* 2-rarity: ``|S n T| / |S u T|`` -- elements held by both.
+
+[DM02] estimates these over data-stream windows; the paper's point is that
+with a communication-optimal intersection protocol the two-server rarity is
+computable *exactly* with ``O(k log^(r) k)`` bits in ``O(r)`` rounds.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+from repro.applications.cardinality import set_statistics
+
+__all__ = ["rarity"]
+
+
+def rarity(
+    alpha: int, alice_set: Iterable[int], bob_set: Iterable[int], **options
+) -> Fraction:
+    """Exact ``alpha``-rarity for two servers.
+
+    :param alpha: occurrence count; with two servers only ``alpha`` in
+        ``{1, 2}`` is meaningful (higher ``alpha`` has rarity 0).
+    :param alice_set: the first server's elements.
+    :param bob_set: the second server's elements.
+    :returns: the exact fraction of distinct elements held by exactly
+        ``alpha`` servers (0 by convention when both sets are empty).
+    """
+    if alpha < 1:
+        raise ValueError(f"alpha must be >= 1, got {alpha}")
+    report = set_statistics(alice_set, bob_set, **options)
+    if report.union_size == 0:
+        return Fraction(0)
+    if alpha == 1:
+        return Fraction(report.symmetric_difference_size, report.union_size)
+    if alpha == 2:
+        return Fraction(report.intersection_size, report.union_size)
+    return Fraction(0)

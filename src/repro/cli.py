@@ -1,0 +1,318 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` -- run the headline protocol on a random instance and print the
+  cost report.
+* ``intersect FILE_A FILE_B`` -- intersect two files of integers (one id
+  per line), printing the result and the exact wire cost the exchange
+  would have taken.
+* ``tradeoff`` -- print the measured communication/round tradeoff curve
+  (Theorem 1.1) for a chosen ``k`` and universe.
+* ``protocols`` -- list every implemented protocol with its paper
+  reference and guarantee.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.core.api import compute_intersection
+from repro.core.tradeoff import communication_bound, optimal_rounds
+from repro.core.tree_protocol import TreeProtocol
+
+__all__ = ["main", "build_parser"]
+
+_PROTOCOL_CATALOG = [
+    ("trivial-exchange", "Section 1, D^(1)", "deterministic, O(k log(n/k)) bits, 1-2 messages"),
+    ("one-round-hashing", "Section 1, R^(1)", "O(k log k) bits, 2 messages, error 1/k^C"),
+    ("bucket-verify", "Section 1 toy protocol", "O(k log log k) expected bits, O(1) iterations"),
+    ("basic-intersection", "Lemma 3.3", "4 messages, O(i m log m) bits, one-sided supersets"),
+    ("equality", "Fact 3.5", "2 messages, b+1 bits, one-sided error 2^-b"),
+    ("amortized-equality", "Theorem 3.2 (FKNN interface)", "EQ^n_k: O(k) expected bits, <= O(sqrt k) rounds"),
+    ("sqrt-k", "Theorem 3.1", "O(k) expected bits within O(sqrt k) rounds"),
+    ("verification-tree", "Theorem 1.1 / 3.6 (MAIN)", "O(k log^(r) k) expected bits, 6r rounds, 1 - 1/poly(k)"),
+    ("amplified-intersection", "Section 4", "success 1 - 2^-k, expected O(1) repetitions"),
+    ("private-coin-intersection", "Section 3.1", "private coins, +O(log k + log log n) bits"),
+    ("halving-disjointness", "[HW07] baseline", "DISJ: O(k) bits, O(log k) rounds"),
+    ("minhash-sketch", "[PSW14] comparator", "1-way APPROXIMATE |S n T|, t hashes"),
+    ("coordinator-multiparty", "Corollary 4.1", "m players, O(k log^(r) k) avg bits/player"),
+    ("binary-tree-multiparty", "Corollary 4.2", "m players, worst-case per-player bounded"),
+    ("equality-via-intersection", "Fact 2.1", "EQ^n_k at the INT_k cost, O(log* k) rounds"),
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Communication-optimal set intersection (PODC 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the tree protocol on a random instance")
+    demo.add_argument("--k", type=int, default=1000, help="set-size bound k")
+    demo.add_argument(
+        "--log-universe", type=int, default=32, help="universe is 2^THIS"
+    )
+    demo.add_argument("--overlap", type=float, default=0.3, help="overlap fraction")
+    demo.add_argument("--rounds", type=int, default=None, help="round parameter r")
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--model", choices=("shared", "private"), default="shared"
+    )
+    demo.add_argument("--amplified", action="store_true")
+
+    intersect = sub.add_parser(
+        "intersect", help="intersect two files of integer ids (one per line)"
+    )
+    intersect.add_argument("file_a")
+    intersect.add_argument("file_b")
+    intersect.add_argument("--rounds", type=int, default=None)
+    intersect.add_argument("--seed", type=int, default=0)
+    intersect.add_argument("--quiet", action="store_true", help="ids only")
+
+    tradeoff = sub.add_parser(
+        "tradeoff", help="print the measured tradeoff curve for a given k"
+    )
+    tradeoff.add_argument("--k", type=int, default=1024)
+    tradeoff.add_argument("--log-universe", type=int, default=32)
+    tradeoff.add_argument("--seeds", type=int, default=3)
+
+    sub.add_parser("protocols", help="list implemented protocols")
+
+    conformance = sub.add_parser(
+        "conformance",
+        help="run the protocol contract checks (repro.testing) on a protocol",
+    )
+    conformance.add_argument(
+        "--protocol",
+        choices=("tree", "one-round", "trivial", "bucket", "sqrt-k", "amplified"),
+        default="tree",
+    )
+    conformance.add_argument("--k", type=int, default=64)
+    conformance.add_argument("--log-universe", type=int, default=18)
+    conformance.add_argument("--failure-budget", type=int, default=1)
+
+    exact = sub.add_parser(
+        "exact-cc",
+        help="exhaustive-search ground truth for tiny communication problems",
+    )
+    exact.add_argument(
+        "--problem", choices=("eq", "disj", "int", "gt"), default="disj"
+    )
+    exact.add_argument("--size", type=int, default=2, help="universe / string count")
+    exact.add_argument(
+        "--max-set-size", type=int, default=2, help="k (disj/int only)"
+    )
+
+    render = sub.add_parser(
+        "render",
+        help="run the tree protocol on a random instance and draw its "
+        "message sequence chart",
+    )
+    render.add_argument("--k", type=int, default=256)
+    render.add_argument("--log-universe", type=int, default=24)
+    render.add_argument("--rounds", type=int, default=None)
+    render.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_demo(args, out) -> int:
+    rng = random.Random(args.seed)
+    universe = 1 << args.log_universe
+    overlap = int(args.overlap * args.k)
+    sample = rng.sample(range(universe), 2 * args.k - overlap)
+    alice = frozenset(sample[: args.k])
+    bob = frozenset(sample[:overlap] + sample[args.k :])
+    result = compute_intersection(
+        alice,
+        bob,
+        universe_size=universe,
+        max_set_size=args.k,
+        rounds=args.rounds,
+        model=args.model,
+        amplified=args.amplified,
+        seed=args.seed,
+    )
+    truth = alice & bob
+    print(f"protocol      : {result.protocol}", file=out)
+    print(f"k             : {args.k}  (universe 2^{args.log_universe})", file=out)
+    print(f"|S n T|       : {len(result.intersection)} "
+          f"(correct: {result.intersection == truth})", file=out)
+    print(f"communication : {result.bits} bits "
+          f"({result.bits / args.k:.1f} per element)", file=out)
+    print(f"messages      : {result.messages}", file=out)
+    return 0
+
+
+def _read_id_file(path: str) -> frozenset:
+    with open(path, "r", encoding="utf-8") as handle:
+        return frozenset(
+            int(line) for line in handle if line.strip()
+        )
+
+
+def _cmd_intersect(args, out) -> int:
+    alice = _read_id_file(args.file_a)
+    bob = _read_id_file(args.file_b)
+    result = compute_intersection(
+        alice, bob, rounds=args.rounds, seed=args.seed
+    )
+    if not args.quiet:
+        print(
+            f"# {len(result.intersection)} common ids, {result.bits} bits, "
+            f"{result.messages} messages ({result.protocol})",
+            file=out,
+        )
+    for element in sorted(result.intersection):
+        print(element, file=out)
+    return 0
+
+
+def _cmd_tradeoff(args, out) -> int:
+    universe = 1 << args.log_universe
+    k = args.k
+    rng = random.Random(1)
+    sample = rng.sample(range(universe), 2 * k - k // 2)
+    alice = frozenset(sample[:k])
+    bob = frozenset(sample[k // 2 :])
+    print(f"k = {k}, universe = 2^{args.log_universe}, "
+          f"log* k = {optimal_rounds(k)}", file=out)
+    print(f"{'r':>3}  {'messages':>8}  {'mean bits':>10}  "
+          f"{'theory k*log^(r)k':>18}", file=out)
+    for rounds in range(1, optimal_rounds(k) + 1):
+        protocol = TreeProtocol(universe, k, rounds=rounds)
+        bits = []
+        messages = []
+        for seed in range(args.seeds):
+            outcome = protocol.run(alice, bob, seed=seed)
+            bits.append(outcome.total_bits)
+            messages.append(outcome.num_messages)
+        print(
+            f"{rounds:>3}  {max(messages):>8}  "
+            f"{sum(bits) / len(bits):>10.0f}  "
+            f"{communication_bound(k, rounds):>18.0f}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_protocols(out) -> int:
+    name_width = max(len(name) for name, _, _ in _PROTOCOL_CATALOG)
+    ref_width = max(len(ref) for _, ref, _ in _PROTOCOL_CATALOG)
+    for name, ref, guarantee in _PROTOCOL_CATALOG:
+        print(f"{name:<{name_width}}  {ref:<{ref_width}}  {guarantee}", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo(args, out)
+    if args.command == "intersect":
+        return _cmd_intersect(args, out)
+    if args.command == "tradeoff":
+        return _cmd_tradeoff(args, out)
+    if args.command == "protocols":
+        return _cmd_protocols(out)
+    if args.command == "conformance":
+        return _cmd_conformance(args, out)
+    if args.command == "exact-cc":
+        return _cmd_exact_cc(args, out)
+    if args.command == "render":
+        return _cmd_render(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _cmd_render(args, out) -> int:
+    from repro.comm.render import render_transcript
+    from repro.core.tree_protocol import TreeProtocol
+
+    rng = random.Random(args.seed)
+    universe = 1 << args.log_universe
+    sample = rng.sample(range(universe), 2 * args.k - args.k // 2)
+    alice = frozenset(sample[: args.k])
+    bob = frozenset(sample[args.k // 2 :])
+    sink = []
+    protocol = TreeProtocol(
+        universe, args.k, rounds=args.rounds, stage_stats_sink=sink
+    )
+    outcome = protocol.run(alice, bob, seed=args.seed)
+    print(render_transcript(outcome.transcript), file=out)
+    if sink:
+        print("", file=out)
+        print("stage anatomy (stage: eq bits / re-run bits / failed leaves):",
+              file=out)
+        for stage in sink:
+            print(
+                f"  {stage.stage}: {stage.equality_bits} / "
+                f"{stage.rerun_bits} / {stage.failed_leaves}",
+                file=out,
+            )
+    print(
+        f"\nresult: |S n T| = {len(outcome.alice_output)} "
+        f"(correct: {outcome.correct_for(alice, bob)})",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_conformance(args, out) -> int:
+    from repro.core.amplify import AmplifiedIntersection
+    from repro.protocols.bucket_verify import BucketVerifyProtocol
+    from repro.protocols.one_round import OneRoundHashingProtocol
+    from repro.protocols.sqrt_k import SqrtKProtocol
+    from repro.protocols.trivial import TrivialExchangeProtocol
+    from repro.testing import check_intersection_contract
+
+    n = 1 << args.log_universe
+    factories = {
+        "tree": lambda: TreeProtocol(n, args.k),
+        "one-round": lambda: OneRoundHashingProtocol(n, args.k),
+        "trivial": lambda: TrivialExchangeProtocol(n, args.k),
+        "bucket": lambda: BucketVerifyProtocol(n, args.k),
+        "sqrt-k": lambda: SqrtKProtocol(n, args.k),
+        "amplified": lambda: AmplifiedIntersection(n, args.k),
+    }
+    report = check_intersection_contract(
+        factories[args.protocol](), failure_budget=args.failure_budget
+    )
+    print(str(report), file=out)
+    return 0 if report.passed else 1
+
+
+def _cmd_exact_cc(args, out) -> int:
+    from repro.analysis.exact_cc import (
+        disjointness_matrix,
+        equality_matrix,
+        exact_deterministic_cc,
+        greater_than_matrix,
+        intersection_matrix,
+    )
+
+    if args.problem == "eq":
+        matrix = equality_matrix(args.size)
+        description = f"EQ over [{args.size}]"
+    elif args.problem == "gt":
+        matrix = greater_than_matrix(args.size)
+        description = f"GT over [{args.size}]"
+    elif args.problem == "disj":
+        matrix, subsets = disjointness_matrix(args.size, args.max_set_size)
+        description = (
+            f"DISJ, universe [{args.size}], k = {args.max_set_size} "
+            f"({len(subsets)} input classes)"
+        )
+    else:
+        matrix, subsets = intersection_matrix(args.size, args.max_set_size)
+        description = (
+            f"INT, universe [{args.size}], k = {args.max_set_size} "
+            f"({len(subsets)} input classes)"
+        )
+    print(f"{description}: D(f) = {exact_deterministic_cc(matrix)}", file=out)
+    return 0

@@ -1,0 +1,284 @@
+"""The two-party protocol engine.
+
+A protocol party is a *generator function* taking a :class:`PartyContext`
+and yielding effects:
+
+* ``yield Send(payload)`` -- put a :class:`~repro.util.bits.BitString` on the
+  wire (returns ``None``);
+* ``message = yield Recv()`` -- block until the other party's next payload
+  arrives and receive it.
+
+The party's ``return`` value is its protocol output.  The engine
+(:func:`run_two_party`) interleaves the two generators -- running each until
+it blocks on an empty inbox -- delivers payloads in FIFO order, and records
+every send in a :class:`~repro.comm.transcript.Transcript`.
+
+This structure enforces the communication model *by construction*: the only
+values that cross between the two coroutines are the ``Send`` payloads, so a
+party can only learn about the other's input through counted bits.
+
+Example
+-------
+>>> from repro.util.bits import encode_uint, decode_uint
+>>> def alice(ctx):
+...     yield Send(encode_uint(ctx.input, 8))
+...     reply = yield Recv()
+...     return decode_uint(reply, 8)
+>>> def bob(ctx):
+...     got = yield Recv()
+...     yield Send(encode_uint(decode_uint(got, 8) + 1, 8))
+...     return None
+>>> outcome = run_two_party(alice, bob, alice_input=41, bob_input=None, shared_seed=0)
+>>> outcome.alice_output, outcome.transcript.total_bits, outcome.transcript.num_messages
+(42, 16, 2)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Generator, Optional
+
+from repro.comm.errors import ProtocolAborted, ProtocolDeadlock, ProtocolViolation
+from repro.comm.transcript import Transcript
+from repro.util.bits import BitString
+from repro.util.rng import PrivateRandomness, SharedRandomness
+
+__all__ = [
+    "Send",
+    "Recv",
+    "PartyContext",
+    "TwoPartyOutcome",
+    "PartyFn",
+    "run_two_party",
+]
+
+ALICE = "alice"
+BOB = "bob"
+
+
+@dataclass(frozen=True)
+class Send:
+    """Effect: transmit ``payload`` to the other party."""
+
+    payload: BitString
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.payload, BitString):
+            raise ProtocolViolation(
+                f"Send payload must be a BitString, got {type(self.payload).__name__}"
+            )
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Effect: block until the other party's next payload arrives."""
+
+
+@dataclass(frozen=True)
+class PartyContext:
+    """Everything one party may legitimately look at.
+
+    :param role: ``"alice"`` or ``"bob"`` (players get names in multiparty
+        runs).
+    :param input: this party's private input.
+    :param shared: the common random string (identical object contents for
+        both parties).
+    :param private: this party's private coins (distinct per party).
+    """
+
+    role: str
+    input: Any
+    shared: SharedRandomness
+    private: PrivateRandomness
+
+
+PartyFn = Callable[[PartyContext], Generator]
+
+
+@dataclass
+class TwoPartyOutcome:
+    """Result of one two-party protocol execution."""
+
+    alice_output: Any
+    bob_output: Any
+    transcript: Transcript
+
+    @property
+    def total_bits(self) -> int:
+        """Shorthand for ``transcript.total_bits``."""
+        return self.transcript.total_bits
+
+    @property
+    def num_messages(self) -> int:
+        """Shorthand for ``transcript.num_messages`` (= rounds)."""
+        return self.transcript.num_messages
+
+
+class _PartyState:
+    """Book-keeping for one running party coroutine."""
+
+    def __init__(self, role: str, generator: Generator) -> None:
+        self.role = role
+        self.generator = generator
+        self.inbox: Deque[BitString] = deque()
+        self.started = False
+        self.done = False
+        self.output: Any = None
+        # The effect the party is currently blocked on (None = runnable).
+        self.pending_effect: Optional[object] = None
+
+
+def run_two_party(
+    alice_fn: PartyFn,
+    bob_fn: PartyFn,
+    *,
+    alice_input: Any,
+    bob_input: Any,
+    shared_seed: int = 0,
+    shared: Optional[SharedRandomness] = None,
+    alice_private_seed: int = 1,
+    bob_private_seed: int = 2,
+    max_total_bits: Optional[int] = None,
+    transcript: Optional[Transcript] = None,
+    fault_injector: Optional[Callable[[str, BitString], BitString]] = None,
+) -> TwoPartyOutcome:
+    """Execute a two-party protocol to completion.
+
+    :param alice_fn: Alice's party coroutine (generator function).
+    :param bob_fn: Bob's party coroutine.
+    :param alice_input: Alice's private input.
+    :param bob_input: Bob's private input.
+    :param shared_seed: seed for the common random string (ignored when an
+        explicit ``shared`` object is passed).
+    :param shared: an existing :class:`SharedRandomness` to use, e.g. a
+        namespaced view when this run is a sub-protocol of a larger one.
+    :param alice_private_seed: seed for Alice's private coins.
+    :param bob_private_seed: seed for Bob's private coins.
+    :param max_total_bits: abort with :class:`ProtocolAborted` once total
+        communication exceeds this budget (worst-case cutoff for
+        expected-communication protocols).
+    :param transcript: record into an existing transcript (sub-protocol
+        composition); a fresh one is created by default.
+    :param fault_injector: optional channel fault model for robustness
+        testing: called as ``fault_injector(sender, payload)`` on every
+        send; the returned bit string is what gets *delivered* (the
+        transcript records the original, since the sender paid for it).
+        The protocols assume a reliable channel, so this exists to test
+        how they fail, not to model the paper.
+    :returns: a :class:`TwoPartyOutcome` with both outputs and the transcript.
+    :raises ProtocolDeadlock: mismatched send/receive structure.
+    :raises ProtocolAborted: communication budget exceeded.
+    """
+    shared_randomness = shared if shared is not None else SharedRandomness(shared_seed)
+    record = transcript if transcript is not None else Transcript()
+    budget_base = record.total_bits
+
+    states: Dict[str, _PartyState] = {
+        ALICE: _PartyState(
+            ALICE,
+            alice_fn(
+                PartyContext(
+                    role=ALICE,
+                    input=alice_input,
+                    shared=shared_randomness,
+                    private=PrivateRandomness(alice_private_seed),
+                )
+            ),
+        ),
+        BOB: _PartyState(
+            BOB,
+            bob_fn(
+                PartyContext(
+                    role=BOB,
+                    input=bob_input,
+                    shared=shared_randomness,
+                    private=PrivateRandomness(bob_private_seed),
+                )
+            ),
+        ),
+    }
+    peers = {ALICE: BOB, BOB: ALICE}
+
+    def advance(state: _PartyState, value: Any) -> None:
+        """Resume the coroutine with ``value``; stash the next effect."""
+        try:
+            if not state.started:
+                state.started = True
+                effect = next(state.generator)
+            else:
+                effect = state.generator.send(value)
+        except StopIteration as stop:
+            state.done = True
+            state.output = stop.value
+            state.pending_effect = None
+            return
+        if not isinstance(effect, (Send, Recv)):
+            raise ProtocolViolation(
+                f"{state.role} yielded {effect!r}; expected Send(...) or Recv()"
+            )
+        state.pending_effect = effect
+
+    def run_until_blocked(state: _PartyState) -> bool:
+        """Drive one party as far as it can go; True if it made progress."""
+        progressed = False
+        while not state.done:
+            if not state.started:
+                advance(state, None)
+                progressed = True
+                continue
+            effect = state.pending_effect
+            if isinstance(effect, Send):
+                record.record_send(state.role, effect.payload)
+                if (
+                    max_total_bits is not None
+                    and record.total_bits - budget_base > max_total_bits
+                ):
+                    raise ProtocolAborted(
+                        f"communication budget exceeded at "
+                        f"{record.total_bits - budget_base} bits",
+                        bits_used=record.total_bits - budget_base,
+                        budget=max_total_bits,
+                    )
+                delivered = (
+                    fault_injector(state.role, effect.payload)
+                    if fault_injector is not None
+                    else effect.payload
+                )
+                states[peers[state.role]].inbox.append(delivered)
+                advance(state, None)
+                progressed = True
+            elif isinstance(effect, Recv):
+                if state.inbox:
+                    advance(state, state.inbox.popleft())
+                    progressed = True
+                else:
+                    break  # blocked on an empty inbox
+            else:  # pragma: no cover - advance() already validated
+                raise ProtocolViolation(f"unhandled effect {effect!r}")
+        return progressed
+
+    while not (states[ALICE].done and states[BOB].done):
+        made_progress = False
+        for role in (ALICE, BOB):
+            if run_until_blocked(states[role]):
+                made_progress = True
+        if not made_progress:
+            blocked = [r for r, s in states.items() if not s.done]
+            raise ProtocolDeadlock(
+                f"deadlock: parties {blocked} blocked on empty inboxes "
+                f"(mismatched send/receive structure)"
+            )
+
+    for state in states.values():
+        if state.inbox:
+            raise ProtocolViolation(
+                f"{state.role} finished with {len(state.inbox)} undelivered "
+                f"payload(s) in its inbox"
+            )
+
+    return TwoPartyOutcome(
+        alice_output=states[ALICE].output,
+        bob_output=states[BOB].output,
+        transcript=record,
+    )

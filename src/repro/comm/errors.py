@@ -1,0 +1,49 @@
+"""Exception hierarchy for protocol execution.
+
+Protocol failures are *simulator* failures (bugs or budget overruns), never
+the randomized errors the paper's theorems allow -- a randomized protocol
+that merely outputs a wrong set terminates normally and the wrongness is
+detected by comparing against ground truth in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ProtocolError",
+    "ProtocolDeadlock",
+    "ProtocolViolation",
+    "ProtocolAborted",
+]
+
+
+class ProtocolError(Exception):
+    """Base class for everything raised by the protocol engines."""
+
+
+class ProtocolDeadlock(ProtocolError):
+    """Every live party is blocked on a receive with an empty inbox.
+
+    Indicates a protocol bug: mismatched send/receive structure between the
+    two party coroutines.
+    """
+
+
+class ProtocolViolation(ProtocolError):
+    """A party coroutine yielded something the engine cannot interpret,
+    or violated the model (e.g. sent a non-``BitString`` payload)."""
+
+
+class ProtocolAborted(ProtocolError):
+    """The run exceeded its communication budget.
+
+    Expected-communication protocols are converted to worst-case ones by
+    aborting after a constant factor times the expected cost (the paper's
+    remark at the end of the toy-protocol analysis); this is the exception
+    that surfaces such an abort.  Callers that wrap protocols in
+    repeat-until-success loops catch it and retry with fresh randomness.
+    """
+
+    def __init__(self, message: str, bits_used: int, budget: int) -> None:
+        super().__init__(message)
+        self.bits_used = bits_used
+        self.budget = budget

@@ -1,0 +1,82 @@
+"""Human-readable rendering of transcripts.
+
+Debugging a protocol means reading its conversation.  :func:`render_transcript`
+draws a message sequence chart of who sent how many bits when, and
+:func:`summarize_by_sender` gives the per-party totals the Section 4 bounds
+talk about.
+
+::
+
+    alice ──[  1024 bits,  3 chunks]──▶ bob
+    bob   ◀──[   256 bits,  1 chunk ]── alice
+    ...
+    total: 1280 bits in 2 messages (alice: 1024, bob: 256)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.comm.transcript import Transcript
+
+__all__ = ["render_transcript", "summarize_by_sender"]
+
+
+def summarize_by_sender(transcript: Transcript) -> Dict[str, Dict[str, int]]:
+    """Per-sender totals: bits and messages."""
+    summary: Dict[str, Dict[str, int]] = {}
+    for message in transcript.messages:
+        entry = summary.setdefault(
+            message.sender, {"bits": 0, "messages": 0, "chunks": 0}
+        )
+        entry["bits"] += message.num_bits
+        entry["messages"] += 1
+        entry["chunks"] += len(message.chunks)
+    return summary
+
+
+def render_transcript(
+    transcript: Transcript,
+    *,
+    max_messages: int = 50,
+    first_party: str = "alice",
+) -> str:
+    """Render the transcript as an ASCII message sequence chart.
+
+    :param transcript: what to render.
+    :param max_messages: elide the middle when the conversation is longer.
+    :param first_party: which sender to draw on the left.
+    """
+    messages = transcript.messages
+    if not messages:
+        return "(empty transcript: no communication)"
+
+    senders = transcript.senders
+    width = max(len(sender) for sender in senders)
+
+    def line(message) -> str:
+        chunk_word = "chunk" if len(message.chunks) == 1 else "chunks"
+        body = f"[{message.num_bits:>7} bits, {len(message.chunks):>2} {chunk_word}]"
+        if message.sender == first_party:
+            return f"{message.sender:<{width}} ──{body}──▶"
+        return f"{message.sender:<{width}} ◀──{body}──"
+
+    lines: List[str] = []
+    if len(messages) <= max_messages:
+        lines.extend(line(message) for message in messages)
+    else:
+        head = max_messages // 2
+        tail = max_messages - head
+        lines.extend(line(message) for message in messages[:head])
+        lines.append(f"... {len(messages) - head - tail} messages elided ...")
+        lines.extend(line(message) for message in messages[-tail:])
+
+    per_sender = summarize_by_sender(transcript)
+    breakdown = ", ".join(
+        f"{sender}: {stats['bits']}" for sender, stats in sorted(per_sender.items())
+    )
+    lines.append(
+        f"total: {transcript.total_bits} bits in "
+        f"{transcript.num_messages} messages ({breakdown})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Section 3.1's constructive private-randomness translation.
+
+The paper's protocols live in the common-random-string model.  Newman's
+theorem converts them to the private-coin model at an additive
+``O(log log T)`` cost but non-constructively; the paper instead describes a
+constructive route, which this module implements:
+
+1. **FKS universe reduction** ([FKS84], Section 3.1): Alice samples a random
+   prime ``q = O~(k^2 log n)`` from her *private* coins and transmits it --
+   ``O(log k + log log n)`` bits.  ``x -> x mod q`` is injective on
+   ``S u T`` except with probability ``1/poly(k)``, so the protocol may run
+   over the reduced universe ``[q]``, shrinking every subsequent hash-value
+   width from ``O(log n)`` to ``O(log k + log log n)``.
+2. **Transmitted seed**: Alice samples a master seed from her private coins
+   and sends it in the same first message; both parties then deterministically
+   expand it into all the hash functions and fingerprint salts the inner
+   protocol draws.  In the paper's standard-model accounting each
+   pairwise-independent function over ``[q]`` costs ``O(log k + log log n)``
+   seed bits and the per-stage functions can be shared across leaves; we
+   transmit one ``Theta(log k + log log n)``-bit seed and expand it with a
+   PRG, the usual simulation-faithful stand-in (DESIGN.md, substitution S1
+   discussion applies: the inner protocol is unchanged, only the source of
+   its shared coins moves onto the wire).
+
+Total overhead: one additive ``O(log k + log log n)``-bit prefix on Alice's
+first message -- no extra rounds, matching "incurring an additive
+``O(log log n)`` bits of communication with no increase in the number of
+rounds" (the ``log k`` part is absorbed since ``k <= n``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Generator, List
+
+from repro.comm.engine import PartyContext, Recv, Send
+from repro.hashing.fks import FKSReduction, sample_fks_reduction
+from repro.protocols.base import SetIntersectionProtocol
+from repro.util.bits import BitReader, BitWriter
+from repro.util.iterlog import ceil_log2
+from repro.util.rng import SharedRandomness
+
+__all__ = ["PrivateCoinIntersection"]
+
+
+class PrivateCoinIntersection(SetIntersectionProtocol):
+    """Run an inner shared-randomness ``INT_k`` protocol using only private
+    coins plus a transmitted seed (the Section 3.1 construction).
+
+    :param universe_size: the *original* universe ``[n]``.
+    :param max_set_size: bound ``k``.
+    :param inner_factory: callable ``(reduced_universe_size) ->
+        SetIntersectionProtocol`` building the inner protocol over the
+        reduced universe; the default builds a
+        :class:`~repro.core.tree_protocol.TreeProtocol`.
+    :param seed_bits: width of the transmitted master seed; the default is
+        the paper-shaped ``2 (ceil(log2 k) + ceil(log2 log2 n)) + 16``.
+    """
+
+    name = "private-coin-intersection"
+
+    def __init__(
+        self,
+        universe_size: int,
+        max_set_size: int,
+        *,
+        inner_factory=None,
+        seed_bits: int = 0,
+    ) -> None:
+        super().__init__(universe_size, max_set_size)
+        if inner_factory is None:
+            from repro.core.tree_protocol import TreeProtocol
+
+            def inner_factory(reduced_universe: int) -> SetIntersectionProtocol:
+                return TreeProtocol(reduced_universe, max_set_size)
+
+        self.inner_factory = inner_factory
+        if seed_bits <= 0:
+            log_k = ceil_log2(max(max_set_size, 2))
+            log_log_n = ceil_log2(max(2, math.ceil(math.log2(max(universe_size, 4)))))
+            seed_bits = 2 * (log_k + log_log_n) + 16
+        self.seed_bits = seed_bits
+
+    def _run_inner(
+        self,
+        ctx: PartyContext,
+        reduction: FKSReduction,
+        shared: SharedRandomness,
+    ) -> Generator:
+        """Reduce the input, run the inner protocol over ``[q]``, map back."""
+        back_map: Dict[int, List[int]] = {}
+        for element in sorted(ctx.input):
+            back_map.setdefault(reduction(element), []).append(element)
+        inner = self.inner_factory(reduction.reduced_universe_size)
+        reduced_ctx = PartyContext(
+            role=ctx.role,
+            input=frozenset(back_map),
+            shared=shared,
+            private=ctx.private,
+        )
+        inner_role = inner.alice if ctx.role == "alice" else inner.bob
+        reduced_result = yield from inner_role(reduced_ctx)
+        if reduced_result is None:
+            return None
+        return frozenset(
+            original
+            for image in reduced_result
+            for original in back_map.get(image, ())
+        )
+
+    def alice(self, ctx: PartyContext) -> Generator:
+        """Alice samples the FKS prime and master seed privately, transmits
+        both as a prefix, then runs the inner protocol."""
+        prime_stream = ctx.private.stream("fks-prime")
+        reduction = sample_fks_reduction(
+            self.universe_size, 2 * self.max_set_size, prime_stream
+        )
+        seed_value = ctx.private.stream("master-seed").bits(self.seed_bits).value
+        prime_width = ceil_log2(reduction.prime + 1)
+        writer = BitWriter()
+        writer.write_gamma(prime_width)
+        writer.write_uint(reduction.prime, prime_width)
+        writer.write_uint(seed_value, self.seed_bits)
+        yield Send(writer.finish())
+        shared = SharedRandomness(seed_value)
+        return (yield from self._run_inner(ctx, reduction, shared))
+
+    def bob(self, ctx: PartyContext) -> Generator:
+        """Bob receives the prime and seed, then runs the inner protocol."""
+        reader = BitReader((yield Recv()))
+        prime_width = reader.read_gamma()
+        prime = reader.read_uint(prime_width)
+        seed_value = reader.read_uint(self.seed_bits)
+        reader.expect_exhausted()
+        reduction = FKSReduction(universe_size=self.universe_size, prime=prime)
+        shared = SharedRandomness(seed_value)
+        return (yield from self._run_inner(ctx, reduction, shared))

@@ -1,0 +1,84 @@
+"""Protocol selection along the communication/round tradeoff curve.
+
+The paper's landscape for ``INT_k`` (two parties):
+
+==========================  =====================  ======================
+protocol                    rounds                 communication
+==========================  =====================  ======================
+trivial deterministic       1                      ``O(k log(n/k))``
+one-round hashing           1 (each way)           ``O(k log k)``
+tree protocol, given ``r``  ``6r``                 ``O(k log^(r) k)``
+tree protocol, ``r=log*k``  ``O(log* k)``          ``O(k)``  (optimal)
+==========================  =====================  ======================
+
+matching the ``Omega(k log^(r) k)`` lower bound for ``r``-round protocols
+[ST13] and the ``Omega(k)`` unbounded-round bound [KS92].
+:func:`select_protocol` picks the best protocol for a round budget, and
+:func:`communication_bound` evaluates the theoretical curve the benchmarks
+normalize against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.tree_protocol import TreeProtocol
+from repro.protocols.base import SetIntersectionProtocol
+from repro.protocols.one_round import OneRoundHashingProtocol
+from repro.protocols.trivial import TrivialExchangeProtocol
+from repro.util.iterlog import iterated_log, log_star
+
+__all__ = ["select_protocol", "communication_bound", "optimal_rounds"]
+
+
+def optimal_rounds(max_set_size: int) -> int:
+    """The round parameter at which communication bottoms out: ``log* k``."""
+    return max(1, log_star(max_set_size))
+
+
+def communication_bound(max_set_size: int, rounds: int) -> float:
+    """The theory curve ``k * log^(rounds) k`` (in "units", constants
+    elided); benchmarks divide measured bits by this and check flatness."""
+    k = max(max_set_size, 2)
+    return k * max(iterated_log(k, rounds), 1.0)
+
+
+def select_protocol(
+    universe_size: int,
+    max_set_size: int,
+    *,
+    rounds: Optional[int] = None,
+    deterministic: bool = False,
+) -> SetIntersectionProtocol:
+    """Pick the protocol for a round budget.
+
+    :param universe_size: universe ``[n]``.
+    :param max_set_size: bound ``k``.
+    :param rounds: the tradeoff parameter ``r``; ``None`` selects the
+        communication-optimal ``log* k``.  ``rounds=1`` selects the
+        one-round hashing protocol (``O(k log k)``, matching the one-round
+        lower bound) unless ``deterministic``.
+    :param deterministic: require a zero-error protocol (forces the trivial
+        ``O(k log(n/k))`` exchange).
+    """
+    if deterministic:
+        return TrivialExchangeProtocol(universe_size, max_set_size)
+    if rounds is None:
+        rounds = optimal_rounds(max_set_size)
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if rounds == 1:
+        # At r = 1 the tree protocol degenerates to exactly this exchange;
+        # prefer the explicitly-named implementation.
+        return OneRoundHashingProtocol(universe_size, max_set_size)
+    effective = min(rounds, optimal_rounds(max_set_size))
+    return TreeProtocol(universe_size, max_set_size, rounds=effective)
+
+
+def trivial_bound(universe_size: int, max_set_size: int) -> float:
+    """The deterministic baseline curve ``k * log(n/k)`` (plus the gamma
+    constant), for benchmark normalization."""
+    k = max(max_set_size, 1)
+    ratio = max(universe_size / k, 2.0)
+    return k * (math.log2(ratio) + 2.0)

@@ -1,0 +1,371 @@
+"""Theorem 1.1 / 3.6: the verification-tree protocol for ``INT_k``.
+
+For every ``r > 0``, a ``6r``-round protocol with expected communication
+``O(k log^(r) k)`` and success probability ``1 - 1/poly(k)``.
+
+**r = 1** (base case, Theorem 3.6): the parties share ``h: [n] -> [N]``
+with ``N = k^c`` (``c > 2``) and exchange the sorted lists ``h(S)``,
+``h(T)`` -- ``2 c k log k`` bits, 2 messages; each keeps its elements whose
+hash the other also sent.  Failure only on an ``h`` collision over
+``S u T``: probability ``O(1/k^{c-2})``.
+
+**r > 1** (Algorithm 1): a shared ``h: [n] -> [k]`` assigns elements to the
+``k`` leaves of a :class:`~repro.core.verification_tree.VerificationTree`;
+the protocol runs ``r`` stages, each taking 6 messages:
+
+1. *Equality sweep* (2 messages): for every node ``v`` in level ``L_i``,
+   Alice sends a fingerprint of her current induced assignment ``S_v``
+   (the union of her candidate sets over the leaves of ``v``) with error
+   ``1/(log^(r-i-1) k)^4``; Bob replies per-node verdict bits.  By the
+   Corollary 3.4 invariant, assignments that compare equal *are* the
+   intersections of the original buckets, so passed subtrees are settled
+   (until a higher level re-examines them, which can only re-run leaves
+   that actually drifted).
+2. *Basic-Intersection re-runs* (4 messages): every leaf under a failed
+   node re-runs Lemma 3.3 with fresh shared hashing at the same
+   ``1/(log^(r-i-1) k)^4`` failure level: sizes each way, then sorted hash
+   lists each way, all leaves batched into the same four messages.
+
+After stage ``r - 1`` every leaf candidate pair agrees with probability
+``1 - 1/(log^(0) k)^4 = 1 - 1/k^4`` (Lemma 3.7), so a union bound over the
+``k`` leaves makes the root correct with probability ``1 - 1/k^3``
+(Corollary 3.8); each party outputs the union of its leaf candidates.
+
+Cost accounting mirrors the paper: the stage-``i`` equality sweep costs
+``|L_i| * Theta(log log^(r-i-1) k) = Theta(k)`` bits for ``i >= 1`` and
+``Theta(k log^(r) k)`` at ``i = 0``; Basic-Intersection re-runs cost
+``O(1)`` expected per leaf (Lemma 3.10's geometric failure rates), giving
+``O(k log^(r) k)`` expected bits overall.
+
+The optional ``bit_budget`` implements the paper's expected-to-worst-case
+conversion: both parties track the (common-knowledge) running bit count and
+abandon the run at a stage boundary once it exceeds the budget, outputting
+``None``; the amplification wrapper retries such runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Generator, List, Optional
+
+from repro.comm.engine import PartyContext, Recv, Send
+from repro.core.verification_tree import VerificationTree
+from repro.hashing.pairwise import sample_pairwise_hash
+from repro.protocols.base import SetIntersectionProtocol
+from repro.protocols.basic_intersection import range_for_inverse_failure
+from repro.protocols.equality import equality_error_exponent
+from repro.protocols.fingerprint import Fingerprinter
+from repro.util.bits import BitReader, BitWriter
+from repro.util.iterlog import ceil_log2, iterated_log, log_star
+
+__all__ = ["TreeProtocol", "StageStats", "expected_bits_bound"]
+
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Per-stage cost breakdown, collected when a ``stage_stats_sink`` list
+    is passed to :class:`TreeProtocol` (appended by Alice's coroutine; one
+    entry per stage per run).
+
+    :param stage: stage index ``i`` (0-based).
+    :param num_nodes: ``|L_i|``, nodes equality-tested this stage.
+    :param eq_width: fingerprint width used by this stage's tests.
+    :param equality_bits: fingerprints + verdict bits.
+    :param failed_nodes: nodes whose equality test failed.
+    :param failed_leaves: leaves re-running Basic-Intersection.
+    :param rerun_bits: size headers + hash lists, both directions.
+    """
+
+    stage: int
+    num_nodes: int
+    eq_width: int
+    equality_bits: int
+    failed_nodes: int
+    failed_leaves: int
+    rerun_bits: int
+
+
+def expected_bits_bound(max_set_size: int, rounds: int) -> int:
+    """A generous concrete instantiation of the ``O(k log^(r) k)`` expected
+    communication bound, used as the default worst-case cutoff by the
+    amplification wrapper: four times the analytic upper model of
+    :func:`repro.analysis.predictions.predict_tree_bits_upper` plus slack,
+    so exceeding it is a genuine tail event (E12a shows measurements sit
+    *below* the model)."""
+    from repro.analysis.predictions import predict_tree_bits_upper
+
+    return int(4 * predict_tree_bits_upper(max_set_size, rounds) + 4096)
+
+
+class TreeProtocol(SetIntersectionProtocol):
+    """The main protocol of the paper (Theorem 1.1).
+
+    :param universe_size: universe ``[n]``.
+    :param max_set_size: bound ``k`` (also the number of leaves).
+    :param rounds: the tradeoff parameter ``r``; default ``log* k`` (the
+        communication-optimal point, ``O(k)`` bits).
+    :param confidence_exponent: the paper's ``4`` in the per-stage failure
+        target ``1/(log^(r-i-1) k)^4``; exposed for the ablation benches.
+    :param universe_exponent: the ``c > 2`` of the ``r = 1`` base case.
+    :param bit_budget: optional worst-case communication cutoff; on breach
+        both parties output ``None`` at the next stage boundary.
+    :param num_leaves: number of hash buckets / tree leaves; default ``k``
+        (the paper's choice).  Exposed for the DESIGN.md ablation against
+        the toy protocol's ``k / log k`` bucketing: fewer buckets mean
+        bigger buckets (costlier re-runs) but fewer stage-0 equality tests.
+    """
+
+    name = "verification-tree"
+
+    def __init__(
+        self,
+        universe_size: int,
+        max_set_size: int,
+        *,
+        rounds: Optional[int] = None,
+        confidence_exponent: int = 4,
+        universe_exponent: int = 3,
+        bit_budget: Optional[int] = None,
+        stage_stats_sink: Optional[list] = None,
+        num_leaves: Optional[int] = None,
+    ) -> None:
+        super().__init__(universe_size, max_set_size)
+        if rounds is None:
+            rounds = max(1, log_star(max_set_size))
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        if confidence_exponent < 1:
+            raise ValueError(
+                f"confidence_exponent must be >= 1, got {confidence_exponent}"
+            )
+        if universe_exponent <= 2:
+            raise ValueError(
+                f"universe_exponent must be > 2, got {universe_exponent}"
+            )
+        self.rounds = rounds
+        self.confidence_exponent = confidence_exponent
+        self.universe_exponent = universe_exponent
+        self.bit_budget = bit_budget
+        self.stage_stats_sink = stage_stats_sink
+        if num_leaves is None:
+            num_leaves = max_set_size
+        if num_leaves < 1:
+            raise ValueError(f"num_leaves must be >= 1, got {num_leaves}")
+        self.num_leaves = num_leaves
+        if rounds > 1:
+            self.tree = VerificationTree(num_leaves, rounds)
+        else:
+            self.tree = None
+
+    # -- r = 1 base case ----------------------------------------------------
+
+    def _party_one_round(self, ctx: PartyContext) -> Generator:
+        """Exchange ``h(S)`` and ``h(T)`` for ``h: [n] -> [k^c]``."""
+        is_alice = ctx.role == "alice"
+        own = frozenset(ctx.input)
+        reduced = max(self.max_set_size, 2) ** self.universe_exponent
+        hash_fn = sample_pairwise_hash(
+            self.universe_size, reduced, ctx.shared.stream("tree/r1")
+        )
+        width = hash_fn.output_bits
+        writer = BitWriter()
+        values = sorted(hash_fn(x) for x in own)
+        writer.write_gamma(len(values))
+        for value in values:
+            writer.write_uint(value, width)
+        if is_alice:
+            yield Send(writer.finish())
+            reader = BitReader((yield Recv()))
+        else:
+            reader = BitReader((yield Recv()))
+            yield Send(writer.finish())
+        count = reader.read_gamma()
+        other = {reader.read_uint(width) for _ in range(count)}
+        reader.expect_exhausted()
+        return frozenset(x for x in own if hash_fn(x) in other)
+
+    # -- r > 1 stages ---------------------------------------------------------
+
+    def _stage_failure_inverse(self, stage: int) -> float:
+        """``(log^(r-stage-1) k)^confidence_exponent``, the inverse failure
+        probability for this stage's equality tests and re-runs."""
+        level_value = max(
+            iterated_log(self.max_set_size, self.rounds - stage - 1), 2.0
+        )
+        return level_value**self.confidence_exponent
+
+    def _party_tree(self, ctx: PartyContext) -> Generator:
+        is_alice = ctx.role == "alice"
+        own = frozenset(ctx.input)
+        num_leaves = self.num_leaves
+        bucket_hash = sample_pairwise_hash(
+            self.universe_size, num_leaves, ctx.shared.stream("tree/h")
+        )
+        assignment: Dict[int, FrozenSet[int]] = {
+            leaf: frozenset() for leaf in range(num_leaves)
+        }
+        grouped: Dict[int, set] = {}
+        for element in own:
+            grouped.setdefault(bucket_hash(element), set()).add(element)
+        for leaf, elements in grouped.items():
+            assignment[leaf] = frozenset(elements)
+
+        bits_seen = 0  # symmetric: bits sent + received so far (both agree)
+
+        for stage in range(self.rounds):
+            if self.bit_budget is not None and bits_seen > self.bit_budget:
+                return None
+            inverse_failure = self._stage_failure_inverse(stage)
+            eq_width = equality_error_exponent(inverse_failure)
+            nodes = self.tree.levels[stage]
+            stage_start_bits = bits_seen
+
+            # 1-2: equality sweep over level `stage`.
+            printer = Fingerprinter(
+                ctx.shared.stream(f"tree/eq/s{stage}"), eq_width
+            )
+            prints = [
+                printer.value_of(
+                    frozenset(
+                        x for leaf in node.leaves for x in assignment[leaf]
+                    )
+                )
+                for node in nodes
+            ]
+            if is_alice:
+                writer = BitWriter()
+                for value in prints:
+                    writer.write_uint(value, eq_width)
+                payload = writer.finish()
+                bits_seen += len(payload)
+                yield Send(payload)
+                verdict_payload = yield Recv()
+                bits_seen += len(verdict_payload)
+                reader = BitReader(verdict_payload)
+                verdicts = [reader.read_bit() for _ in nodes]
+                reader.expect_exhausted()
+            else:
+                payload = yield Recv()
+                bits_seen += len(payload)
+                reader = BitReader(payload)
+                verdicts = []
+                writer = BitWriter()
+                for value in prints:
+                    match = int(reader.read_uint(eq_width) == value)
+                    verdicts.append(match)
+                    writer.write_bit(match)
+                reader.expect_exhausted()
+                reply = writer.finish()
+                bits_seen += len(reply)
+                yield Send(reply)
+
+            equality_bits = bits_seen - stage_start_bits
+            failed_nodes = sum(1 for verdict in verdicts if not verdict)
+            failed_leaves: List[int] = sorted(
+                {
+                    leaf
+                    for node, verdict in zip(nodes, verdicts)
+                    if not verdict
+                    for leaf in node.leaves
+                }
+            )
+
+            def record_stage() -> None:
+                if is_alice and self.stage_stats_sink is not None:
+                    self.stage_stats_sink.append(
+                        StageStats(
+                            stage=stage,
+                            num_nodes=len(nodes),
+                            eq_width=eq_width,
+                            equality_bits=equality_bits,
+                            failed_nodes=failed_nodes,
+                            failed_leaves=len(failed_leaves),
+                            rerun_bits=bits_seen - stage_start_bits - equality_bits,
+                        )
+                    )
+
+            if not failed_leaves:
+                record_stage()
+                continue
+
+            # 3-4: exchange per-leaf sizes for the failed leaves.
+            writer = BitWriter()
+            for leaf in failed_leaves:
+                writer.write_gamma(len(assignment[leaf]))
+            size_payload = writer.finish()
+            if is_alice:
+                bits_seen += len(size_payload)
+                yield Send(size_payload)
+                other_payload = yield Recv()
+                bits_seen += len(other_payload)
+            else:
+                other_payload = yield Recv()
+                bits_seen += len(other_payload)
+                bits_seen += len(size_payload)
+                yield Send(size_payload)
+            reader = BitReader(other_payload)
+            other_sizes = {leaf: reader.read_gamma() for leaf in failed_leaves}
+            reader.expect_exhausted()
+
+            # Both parties now derive, per failed leaf, the same fresh
+            # Lemma 3.3 hash with range m^2 * (log^(r-stage-1) k)^4.
+            leaf_hash = {}
+            leaf_width = {}
+            for leaf in failed_leaves:
+                total = len(assignment[leaf]) + other_sizes[leaf]
+                range_size = range_for_inverse_failure(total, inverse_failure)
+                leaf_hash[leaf] = sample_pairwise_hash(
+                    self.universe_size,
+                    range_size,
+                    ctx.shared.stream(f"tree/bi/s{stage}/u{leaf}"),
+                )
+                leaf_width[leaf] = ceil_log2(range_size)
+
+            # 5-6: exchange the sorted hash lists.
+            writer = BitWriter()
+            for leaf in failed_leaves:
+                for value in sorted(leaf_hash[leaf](x) for x in assignment[leaf]):
+                    writer.write_uint(value, leaf_width[leaf])
+            hash_payload = writer.finish()
+            if is_alice:
+                bits_seen += len(hash_payload)
+                yield Send(hash_payload)
+                other_payload = yield Recv()
+                bits_seen += len(other_payload)
+            else:
+                other_payload = yield Recv()
+                bits_seen += len(other_payload)
+                bits_seen += len(hash_payload)
+                yield Send(hash_payload)
+            reader = BitReader(other_payload)
+            for leaf in failed_leaves:
+                other_values = {
+                    reader.read_uint(leaf_width[leaf])
+                    for _ in range(other_sizes[leaf])
+                }
+                assignment[leaf] = frozenset(
+                    x
+                    for x in assignment[leaf]
+                    if leaf_hash[leaf](x) in other_values
+                )
+            reader.expect_exhausted()
+            record_stage()
+
+        return frozenset(x for candidate in assignment.values() for x in candidate)
+
+    # -- coroutines -----------------------------------------------------------
+
+    def _party(self, ctx: PartyContext) -> Generator:
+        if self.rounds == 1:
+            return (yield from self._party_one_round(ctx))
+        return (yield from self._party_tree(ctx))
+
+    def alice(self, ctx: PartyContext) -> Generator:
+        """Alice's side of Algorithm 1 (fingerprint sender)."""
+        return (yield from self._party(ctx))
+
+    def bob(self, ctx: PartyContext) -> Generator:
+        """Bob's side of Algorithm 1 (verdict sender)."""
+        return (yield from self._party(ctx))

@@ -1,0 +1,152 @@
+"""The verification tree of Section 3.3.
+
+A tree over ``k`` leaves (one per hash bucket) with ``r`` levels above the
+leaves.  The paper prescribes the shape through the leaf-coverage of each
+level: a node ``v`` in level ``L_i`` has ``|C(v)| = log^(r-i) k`` leaves in
+its subtree, which pins the degrees to ``d_1 = log^(r-1) k`` at level 1 and
+``d_i = log^(r-i) k / log^(r-i+1) k`` higher up, and makes the number of
+level-``i`` nodes ``|L_i| ~= k / log^(r-i) k``.
+
+The intuition: each level's equality tests get *cheaper per leaf*
+(``4 log log^(r-i-1) k`` bits spread over ``log^(r-i) k`` leaves) while
+failures get rarer, so the total verification cost telescopes to
+``O(k log^(r) k)`` and a failure at any scale is caught by the next level
+up.
+
+We build the tree top-down with integer rounding: a node at level ``j``
+covering a leaf interval splits it into chunks of
+``ceil(log^(r-j+1) k)`` leaves.  The exact paper shape emerges when the
+iterated logs are integers; otherwise coverage is within a factor 2 of
+prescription (asserted by tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.util.iterlog import iterated_log
+
+__all__ = ["TreeNode", "VerificationTree"]
+
+
+@dataclass
+class TreeNode:
+    """One node of the verification tree.
+
+    :param index: position of this node within its level (0-based).
+    :param level: 0 for leaves, ``r`` for the root.
+    :param leaf_start: first leaf (bucket id) covered by this subtree.
+    :param leaf_end: one past the last covered leaf.
+    :param children: indices (within level ``level - 1``) of the children.
+    """
+
+    index: int
+    level: int
+    leaf_start: int
+    leaf_end: int
+    children: List[int] = field(default_factory=list)
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaves covered, the paper's ``|C(v)|``."""
+        return self.leaf_end - self.leaf_start
+
+    @property
+    def leaves(self) -> range:
+        """The covered leaf (bucket) ids."""
+        return range(self.leaf_start, self.leaf_end)
+
+
+class VerificationTree:
+    """The level-indexed verification tree for ``num_leaves`` buckets and
+    ``rounds`` stages.
+
+    :param num_leaves: ``k``, the number of hash buckets (leaves).
+    :param rounds: ``r``, the number of stages / levels above the leaves.
+
+    Attributes:
+        levels: ``levels[i]`` is the list of :class:`TreeNode` at level
+            ``i`` (``levels[0]`` are the ``k`` leaves; ``levels[rounds]``
+            is ``[root]``).
+    """
+
+    def __init__(self, num_leaves: int, rounds: int) -> None:
+        if num_leaves < 1:
+            raise ValueError(f"num_leaves must be >= 1, got {num_leaves}")
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        self.num_leaves = num_leaves
+        self.rounds = rounds
+        self.levels: List[List[TreeNode]] = []
+        self._build()
+
+    def coverage_target(self, level: int) -> int:
+        """The paper's ``|C(v)| = log^(r - level) k`` for level >= 1 nodes
+        (1 for leaves), rounded up to an integer."""
+        if level <= 0:
+            return 1
+        return max(
+            1, math.ceil(iterated_log(self.num_leaves, self.rounds - level))
+        )
+
+    def _build(self) -> None:
+        # Level 0: the leaves.
+        leaves = [
+            TreeNode(index=i, level=0, leaf_start=i, leaf_end=i + 1)
+            for i in range(self.num_leaves)
+        ]
+        self.levels.append(leaves)
+        # Levels 1..r: chunk the previous level so each new node covers
+        # ~coverage_target(level) leaves.
+        for level in range(1, self.rounds + 1):
+            target = self.coverage_target(level)
+            previous = self.levels[level - 1]
+            nodes: List[TreeNode] = []
+            cursor = 0
+            while cursor < len(previous):
+                start_child = cursor
+                leaf_start = previous[cursor].leaf_start
+                covered = 0
+                while cursor < len(previous) and covered < target:
+                    covered += previous[cursor].num_leaves
+                    cursor += 1
+                nodes.append(
+                    TreeNode(
+                        index=len(nodes),
+                        level=level,
+                        leaf_start=leaf_start,
+                        leaf_end=previous[cursor - 1].leaf_end,
+                        children=list(range(start_child, cursor)),
+                    )
+                )
+            # The top level must be a single root even when rounding left
+            # several chunks; merge them (only possible at small k).
+            if level == self.rounds and len(nodes) > 1:
+                nodes = [
+                    TreeNode(
+                        index=0,
+                        level=level,
+                        leaf_start=0,
+                        leaf_end=self.num_leaves,
+                        children=list(range(len(previous))),
+                    )
+                ]
+            self.levels.append(nodes)
+
+    @property
+    def root(self) -> TreeNode:
+        """The root node (covers every leaf)."""
+        return self.levels[self.rounds][0]
+
+    def num_nodes(self, level: int) -> int:
+        """``|L_level|``."""
+        return len(self.levels[level])
+
+    def __repr__(self) -> str:
+        shape = " / ".join(str(len(level)) for level in self.levels)
+        return (
+            f"VerificationTree(leaves={self.num_leaves}, "
+            f"rounds={self.rounds}, shape=[{shape}])"
+        )

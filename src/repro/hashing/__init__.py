@@ -1,0 +1,34 @@
+"""Hash-function machinery used by every protocol.
+
+The paper's protocols are hashing all the way down: Fact 2.2 needs a hash
+family over ``[n]`` constructible from ``O(log n)`` shared random bits with
+controllable collision probability; Section 3.1 additionally uses the
+Fredman-Komlos-Szemeredi mod-prime scheme to shrink the universe before
+hashing, which is what makes the private-randomness protocols constructive.
+
+* :mod:`repro.hashing.primes` -- exact primality testing and prime search
+  (the moduli for Carter-Wegman and FKS hashing).
+* :mod:`repro.hashing.pairwise` -- the Carter-Wegman pairwise-independent
+  family ``h(x) = ((a*x + b) mod p) mod t``.
+* :mod:`repro.hashing.families` -- Fact 2.2: sample ``h: [n] -> [t]`` with
+  ``t = Theta(s^(i+2))`` so that a given ``s``-element set is collision-free
+  with probability ``>= 1 - 1/s^i``.
+* :mod:`repro.hashing.fks` -- FKS universe reduction ``x -> x mod q`` for a
+  random prime ``q = O~(k^2 log n)``.
+"""
+
+from repro.hashing.families import CollisionFreeSpec, sample_collision_free_hash
+from repro.hashing.fks import FKSReduction, sample_fks_reduction
+from repro.hashing.pairwise import PairwiseHash, sample_pairwise_hash
+from repro.hashing.primes import is_prime, next_prime
+
+__all__ = [
+    "CollisionFreeSpec",
+    "sample_collision_free_hash",
+    "FKSReduction",
+    "sample_fks_reduction",
+    "PairwiseHash",
+    "sample_pairwise_hash",
+    "is_prime",
+    "next_prime",
+]

@@ -1,0 +1,120 @@
+"""Fredman-Komlos-Szemeredi universe reduction.
+
+Section 3.1 of the paper: mapping elements of ``[n]`` by ``x -> x mod q``
+for a *random prime* ``q = O~(k^2 log n)`` is injective on any fixed set of
+``O(k)`` elements with probability ``1 - 1/poly(k)``.  After this reduction
+the residual universe has size ``poly(k) * log n``, so a pairwise
+independent hash over it can be described with only ``O(log k + log log n)``
+bits -- which is exactly the additive communication the constructive
+private-randomness protocols pay to ship their hash functions.
+
+Why it works: ``x mod q = y mod q`` iff ``q`` divides ``|x - y|``; a nonzero
+difference below ``n`` has at most ``log2 n`` prime factors, there are
+``C(s, 2)`` pairs, and the interval we sample from contains
+``Omega(q / ln q)`` primes, so choosing the interval length
+``Theta(s^2 * log n * log(...))`` makes the probability that the random
+prime divides any difference ``O(1/poly(s))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.hashing.primes import next_prime, random_prime
+from repro.util.iterlog import ceil_log2
+from repro.util.rng import RandomStream
+
+__all__ = ["FKSReduction", "sample_fks_reduction", "fks_modulus_bound"]
+
+
+@dataclass(frozen=True)
+class FKSReduction:
+    """The map ``x -> x mod q`` for one sampled prime ``q``.
+
+    :param universe_size: the original universe ``[n]``.
+    :param prime: the sampled modulus ``q``.
+    """
+
+    universe_size: int
+    prime: int
+
+    def __call__(self, element: int) -> int:
+        """Reduce one element into ``[prime]``."""
+        if not 0 <= element < self.universe_size:
+            raise ValueError(
+                f"element {element} outside universe [0, {self.universe_size})"
+            )
+        return element % self.prime
+
+    def reduce_set(self, elements: Iterable[int]) -> List[int]:
+        """Reduce a collection, preserving order."""
+        return [self(element) for element in elements]
+
+    @property
+    def reduced_universe_size(self) -> int:
+        """The residual universe size (``q`` itself)."""
+        return self.prime
+
+    @property
+    def description_bits(self) -> int:
+        """Bits to transmit the reduction: the prime ``q``,
+        ``O(log k + log log n)`` bits."""
+        return ceil_log2(self.prime + 1)
+
+    def is_collision_free_on(self, elements: Iterable[int]) -> bool:
+        """True iff the reduction is injective on the given elements."""
+        seen = set()
+        for element in elements:
+            image = self(element)
+            if image in seen:
+                return False
+            seen.add(image)
+        return True
+
+
+def fks_modulus_bound(set_size: int, universe_size: int, exponent: int = 2) -> int:
+    """Upper end of the prime-sampling interval, ``O~(s^(2+exponent) log n)``.
+
+    A random prime ``q`` below this bound is collision-free on any fixed
+    ``set_size``-element subset of ``[universe_size]`` with probability
+    ``>= 1 - 1/set_size^exponent`` (see module docstring for the counting
+    argument; the ``log^2`` factor pays for prime density).
+    """
+    s = max(set_size, 2)
+    log_n = max(math.log2(max(universe_size, 2)), 1.0)
+    # #(bad primes) <= C(s,2) * log2(n); want that / #(primes in interval)
+    # <= 1/s^exponent.  Interval [M, 2M) holds ~ M / ln(2M) primes.
+    bad = (s * (s - 1) / 2) * log_n
+    target_primes = bad * (s**exponent)
+    bound = 2
+    while bound / math.log(max(bound, 3)) < 2 * target_primes:
+        bound *= 2
+    return bound
+
+
+def sample_fks_reduction(
+    universe_size: int,
+    set_size: int,
+    stream: RandomStream,
+    exponent: int = 2,
+) -> FKSReduction:
+    """Sample the FKS reduction for sets of size ``set_size`` in ``[n]``.
+
+    :param universe_size: the original universe size ``n``.
+    :param set_size: the (upper bound on the) size of the set that must map
+        injectively.
+    :param stream: randomness source (shared or private, depending on model).
+    :param exponent: failure probability is ``<= 1/set_size^exponent``.
+    """
+    upper = fks_modulus_bound(set_size, universe_size, exponent)
+    lower = max(upper // 2, set_size + 1, 3)
+    if lower >= universe_size:
+        # The universe is already small: a prime just above it makes the
+        # reduction the identity (injective with certainty, nothing to pay).
+        return FKSReduction(
+            universe_size=universe_size, prime=next_prime(universe_size)
+        )
+    prime = random_prime(lower, max(upper, lower + 2), stream)
+    return FKSReduction(universe_size=universe_size, prime=prime)

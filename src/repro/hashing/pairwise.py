@@ -1,0 +1,127 @@
+"""Carter-Wegman pairwise-independent hashing.
+
+The family ``h(x) = ((a*x + b) mod p) mod t`` with ``p`` prime, ``p >= n``,
+``a`` uniform in ``[1, p)`` and ``b`` uniform in ``[0, p)`` is
+pairwise independent up to the rounding of the outer ``mod t``:
+
+    for x != y,   Pr[h(x) = h(y)]  <=  2/t        (collision bound)
+
+and a member of the family is described by the ``O(log p) = O(log n)``
+random bits ``(a, b)``.  This is the concrete instantiation of the paper's
+Fact 2.2 ("a random hash function satisfying such guarantee can be
+constructed using only ``O(log n)`` random bits").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.hashing.primes import next_prime
+from repro.util.iterlog import ceil_log2
+from repro.util.rng import RandomStream
+
+__all__ = ["PairwiseHash", "sample_pairwise_hash", "PAIRWISE_COLLISION_FACTOR"]
+
+# Pr[h(x) = h(y)] <= PAIRWISE_COLLISION_FACTOR / range_size for x != y.
+# The factor 2 accounts for the outer mod's rounding when p is not a
+# multiple of t.
+PAIRWISE_COLLISION_FACTOR = 2
+
+
+@dataclass(frozen=True)
+class PairwiseHash:
+    """One member ``h(x) = ((a*x + b) mod p) mod t`` of the CW family.
+
+    Immutable and hashable so protocols can use hash functions as dictionary
+    keys when caching bucket decompositions.
+
+    :param universe_size: inputs are ``[universe_size] = {0, ..., n-1}``.
+    :param range_size: outputs are ``[range_size] = {0, ..., t-1}``.
+    :param prime: the inner modulus ``p >= max(universe_size, range_size)``.
+    :param mult: the multiplier ``a`` in ``[1, p)``.
+    :param shift: the offset ``b`` in ``[0, p)``.
+    """
+
+    universe_size: int
+    range_size: int
+    prime: int
+    mult: int
+    shift: int
+
+    def __post_init__(self) -> None:
+        if self.range_size < 1:
+            raise ValueError(f"range_size must be >= 1, got {self.range_size}")
+        if self.prime < max(self.universe_size, 2):
+            raise ValueError(
+                f"prime {self.prime} too small for universe {self.universe_size}"
+            )
+        if not 1 <= self.mult < self.prime:
+            raise ValueError(f"mult must lie in [1, prime), got {self.mult}")
+        if not 0 <= self.shift < self.prime:
+            raise ValueError(f"shift must lie in [0, prime), got {self.shift}")
+
+    def __call__(self, element: int) -> int:
+        """Hash one element of the universe into ``[range_size]``."""
+        if not 0 <= element < self.universe_size:
+            raise ValueError(
+                f"element {element} outside universe [0, {self.universe_size})"
+            )
+        return ((self.mult * element + self.shift) % self.prime) % self.range_size
+
+    def hash_set(self, elements: Iterable[int]) -> List[int]:
+        """Hash a collection, preserving order (duplicates kept)."""
+        return [self(element) for element in elements]
+
+    @property
+    def output_bits(self) -> int:
+        """Wire width of one hash value: ``ceil_log2(range_size)`` bits."""
+        return ceil_log2(self.range_size)
+
+    @property
+    def description_bits(self) -> int:
+        """Bits needed to transmit this function: the pair ``(a, b)``.
+
+        This is what the constructive private-randomness protocols actually
+        send -- ``2 * ceil_log2(p) = O(log n)`` bits.
+        """
+        return 2 * ceil_log2(self.prime)
+
+    def is_collision_free_on(self, elements: Iterable[int]) -> bool:
+        """True iff the function is injective on the given elements."""
+        seen = set()
+        for element in elements:
+            image = self(element)
+            if image in seen:
+                return False
+            seen.add(image)
+        return True
+
+
+def sample_pairwise_hash(
+    universe_size: int, range_size: int, stream: RandomStream
+) -> PairwiseHash:
+    """Draw one function from the CW family using the given random stream.
+
+    Both parties call this with the *same shared stream label* and therefore
+    obtain the same function -- the common-random-string idiom used
+    throughout the protocols.
+
+    :param universe_size: domain is ``[universe_size]``.
+    :param range_size: codomain is ``[range_size]``.
+    :param stream: source of the ``O(log universe_size)`` random bits.
+    """
+    if universe_size < 1:
+        raise ValueError(f"universe_size must be >= 1, got {universe_size}")
+    if range_size < 1:
+        raise ValueError(f"range_size must be >= 1, got {range_size}")
+    prime = next_prime(max(universe_size, range_size, 2))
+    mult = 1 + stream.uint_below(prime - 1)
+    shift = stream.uint_below(prime)
+    return PairwiseHash(
+        universe_size=universe_size,
+        range_size=range_size,
+        prime=prime,
+        mult=mult,
+        shift=shift,
+    )

@@ -1,0 +1,91 @@
+"""Result broadcast: every player outputs the intersection.
+
+Section 4 states the goal as "the parties ... output ``S``"; the
+coordinator and binary-tree protocols as described leave the result with
+one final player.  This module implements the distribution step both
+schemes share (see DESIGN.md, the §4 "output S" reading):
+
+* the final holder broadcasts the *hash image* of the result under a
+  shared collision-free function -- ``O(|S| log(mk))`` bits per player,
+  one superstep;
+* each player filters *its own input* against the image.  The result is a
+  subset of every player's input (the one-sided invariant), so filtering
+  recovers it exactly unless the hash collides on that player's set
+  (probability ``1/poly(mk)`` by the range choice).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from repro.comm.errors import ProtocolViolation
+from repro.hashing.pairwise import PairwiseHash, sample_pairwise_hash
+from repro.multiparty.network import PlayerContext
+from repro.protocols.basic_intersection import range_for_inverse_failure
+from repro.util.bits import BitReader, BitString, BitWriter
+
+__all__ = ["broadcast_hash", "send_broadcast", "await_broadcast"]
+
+
+def broadcast_hash(
+    ctx: PlayerContext, universe_size: int, max_set_size: int
+) -> PairwiseHash:
+    """The shared hash all players use for the result broadcast.
+
+    Range ``(2k)^2 * m * k^3``: a union bound over every player's
+    ``<= k``-element filter leaves total failure ``O(1/poly(mk))``.
+    """
+    inverse_failure = float(
+        max(len(ctx.players), 2) * max(max_set_size, 2) ** 3
+    )
+    range_size = range_for_inverse_failure(2 * max_set_size, inverse_failure)
+    return sample_pairwise_hash(
+        universe_size, range_size, ctx.shared.stream("mp/broadcast")
+    )
+
+
+def send_broadcast(
+    ctx: PlayerContext, result, universe_size: int, max_set_size: int
+) -> Generator:
+    """Final holder: ship the result's sorted hash image to every player."""
+    hash_fn = broadcast_hash(ctx, universe_size, max_set_size)
+    writer = BitWriter()
+    values = sorted(hash_fn(x) for x in result)
+    writer.write_gamma(len(values))
+    for value in values:
+        writer.write_uint(value, hash_fn.output_bits)
+    payload = writer.finish()
+    yield [(peer, payload) for peer in ctx.players if peer != ctx.name]
+
+
+def await_broadcast(
+    ctx: PlayerContext,
+    original,
+    strays: List[Tuple[str, BitString]],
+    universe_size: int,
+    max_set_size: int,
+) -> Generator:
+    """Eliminated player: wait for the broadcast, filter own input.
+
+    ``strays`` holds messages that arrived during the player's last
+    protocol phase; anything from a player other than the designated final
+    holder at this point is a protocol bug.
+    """
+    final_holder = ctx.players[0]
+    hash_fn = broadcast_hash(ctx, universe_size, max_set_size)
+    pending = list(strays)
+    strays.clear()
+    while True:
+        for source, payload in pending:
+            if source != final_holder:
+                raise ProtocolViolation(
+                    f"unexpected post-protocol message from {source!r}"
+                )
+            reader = BitReader(payload)
+            count = reader.read_gamma()
+            images = {
+                reader.read_uint(hash_fn.output_bits) for _ in range(count)
+            }
+            reader.expect_exhausted()
+            return frozenset(x for x in original if hash_fn(x) in images)
+        pending = yield []

@@ -1,0 +1,268 @@
+"""The message-passing (number-in-hand) network simulator.
+
+The model of [BEO+13, PVZ12], simulated bulk-synchronously: execution
+proceeds in *supersteps*; in each superstep every live player consumes the
+messages addressed to it in the previous superstep and emits new addressed
+messages.  A player is a generator::
+
+    def player(ctx: PlayerContext):
+        inbox = yield [(peer_name, payload), ...]   # superstep 1's sends
+        ...                                          # inbox arrives next step
+        return my_output
+
+All payloads are :class:`~repro.util.bits.BitString`s; the engine keeps
+exact per-player sent/received bit counts, and the *round complexity* is
+the number of supersteps in which at least one message was in flight.
+
+:class:`TwoPartyAdapter` bridges the two-party coroutine protocols into
+this world: a player can run one (or many, against different peers)
+two-party protocol coroutines, with each ``Send``/``Recv`` effect mapped to
+addressed BSP messages.  Because per-peer delivery is FIFO, many pairwise
+protocols progress concurrently in the same supersteps -- which is exactly
+how Section 4's protocols share their round budget across a group.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
+
+from repro.comm.errors import ProtocolDeadlock, ProtocolViolation
+from repro.comm.engine import Recv, Send
+from repro.util.bits import BitString
+from repro.util.rng import PrivateRandomness, SharedRandomness
+
+__all__ = [
+    "PlayerContext",
+    "MultipartyOutcome",
+    "TwoPartyAdapter",
+    "run_message_passing",
+]
+
+
+@dataclass(frozen=True)
+class PlayerContext:
+    """Everything one player may look at.
+
+    :param name: this player's name.
+    :param index: this player's position in the canonical player order.
+    :param players: the canonical ordered list of all player names
+        (public knowledge -- the protocols derive groupings from it).
+    :param input: this player's private input.
+    :param shared: the common random string (same for all players).
+    :param private: this player's private coins.
+    """
+
+    name: str
+    index: int
+    players: Tuple[str, ...]
+    input: Any
+    shared: SharedRandomness
+    private: PrivateRandomness
+
+
+@dataclass
+class MultipartyOutcome:
+    """Result of one multiparty execution."""
+
+    outputs: Dict[str, Any]
+    bits_sent: Dict[str, int]
+    bits_received: Dict[str, int]
+    rounds: int
+
+    @property
+    def total_bits(self) -> int:
+        """Total communication across all links."""
+        return sum(self.bits_sent.values())
+
+    @property
+    def max_player_bits(self) -> int:
+        """Worst-case per-player communication (sent + received)."""
+        return max(
+            self.bits_sent[name] + self.bits_received[name]
+            for name in self.bits_sent
+        )
+
+    @property
+    def average_player_bits(self) -> float:
+        """Average per-player communication (sent + received)."""
+        if not self.bits_sent:
+            return 0.0
+        return sum(
+            self.bits_sent[name] + self.bits_received[name]
+            for name in self.bits_sent
+        ) / len(self.bits_sent)
+
+
+class TwoPartyAdapter:
+    """Drives one two-party protocol coroutine inside a BSP player.
+
+    :param coroutine: an already-constructed party generator (e.g.
+        ``protocol.alice(party_ctx)``).
+
+    Per superstep, the owning player calls :meth:`step` with the payloads
+    that arrived from the peer; the adapter advances the coroutine as far
+    as possible and returns the payloads to send to the peer this
+    superstep.  :attr:`done` / :attr:`output` report completion.
+    """
+
+    def __init__(self, coroutine: Generator) -> None:
+        self._gen = coroutine
+        self._queue: Deque[BitString] = deque()
+        self.done = False
+        self.output: Any = None
+        self._pending: Optional[object] = None
+        self._started = False
+
+    def _advance(self, value: Any) -> None:
+        try:
+            if not self._started:
+                self._started = True
+                self._pending = next(self._gen)
+            else:
+                self._pending = self._gen.send(value)
+        except StopIteration as stop:
+            self.done = True
+            self.output = stop.value
+            self._pending = None
+
+    def step(self, incoming: List[BitString]) -> List[BitString]:
+        """Feed arrived payloads, run until blocked, return payloads to send."""
+        self._queue.extend(incoming)
+        outgoing: List[BitString] = []
+        while not self.done:
+            if self._pending is None and not self._started:
+                self._advance(None)
+                continue
+            effect = self._pending
+            if isinstance(effect, Send):
+                outgoing.append(effect.payload)
+                self._advance(None)
+            elif isinstance(effect, Recv):
+                if self._queue:
+                    self._advance(self._queue.popleft())
+                else:
+                    break
+            elif effect is None:  # pragma: no cover - defensive
+                break
+            else:
+                raise ProtocolViolation(
+                    f"two-party coroutine yielded {effect!r} inside adapter"
+                )
+        return outgoing
+
+
+@dataclass
+class _PlayerState:
+    name: str
+    generator: Generator
+    started: bool = False
+    done: bool = False
+    output: Any = None
+    inbox: List[Tuple[str, BitString]] = field(default_factory=list)
+
+
+def run_message_passing(
+    player_fns: Dict[str, Callable[[PlayerContext], Generator]],
+    inputs: Dict[str, Any],
+    *,
+    shared_seed: int = 0,
+    max_supersteps: int = 100_000,
+) -> MultipartyOutcome:
+    """Execute a multiparty protocol to completion.
+
+    :param player_fns: player name -> generator function.
+    :param inputs: player name -> private input.
+    :param shared_seed: seed of the common random string.
+    :param max_supersteps: safety bound; exceeding it raises
+        :class:`ProtocolDeadlock` (indicates a protocol bug).
+    :raises ProtocolDeadlock: players still live but no traffic flows, or
+        the superstep bound is exceeded.
+    :raises ProtocolViolation: a message addressed to an unknown or
+        already-finished player.
+    """
+    names = tuple(sorted(player_fns))
+    shared = SharedRandomness(shared_seed)
+    states: Dict[str, _PlayerState] = {}
+    for index, name in enumerate(names):
+        ctx = PlayerContext(
+            name=name,
+            index=index,
+            players=names,
+            input=inputs[name],
+            shared=shared,
+            private=PrivateRandomness(shared_seed * 1000003 + index),
+        )
+        states[name] = _PlayerState(name=name, generator=player_fns[name](ctx))
+
+    bits_sent = {name: 0 for name in names}
+    bits_received = {name: 0 for name in names}
+    rounds = 0
+    quiet_live: Optional[List[str]] = None
+
+    for _ in range(max_supersteps):
+        if all(state.done for state in states.values()):
+            break
+        traffic = False
+        pending: Dict[str, List[Tuple[str, BitString]]] = {n: [] for n in names}
+        for name in names:
+            state = states[name]
+            if state.done:
+                if state.inbox:
+                    raise ProtocolViolation(
+                        f"{len(state.inbox)} message(s) addressed to finished "
+                        f"player {name!r}"
+                    )
+                continue
+            inbox, state.inbox = state.inbox, []
+            try:
+                if not state.started:
+                    state.started = True
+                    outbox = next(state.generator)
+                else:
+                    outbox = state.generator.send(inbox)
+            except StopIteration as stop:
+                state.done = True
+                state.output = stop.value
+                continue
+            for destination, payload in outbox:
+                if destination not in states:
+                    raise ProtocolViolation(
+                        f"{name!r} addressed unknown player {destination!r}"
+                    )
+                if not isinstance(payload, BitString):
+                    raise ProtocolViolation(
+                        f"{name!r} sent a non-BitString payload to "
+                        f"{destination!r}"
+                    )
+                pending[destination].append((name, payload))
+                bits_sent[name] += len(payload)
+                bits_received[destination] += len(payload)
+                traffic = True
+        for name, messages in pending.items():
+            states[name].inbox.extend(messages)
+        if traffic:
+            rounds += 1
+            quiet_live = None
+        elif not all(state.done for state in states.values()):
+            live = [n for n, s in states.items() if not s.done]
+            # One quiet grace step lets players finish after their last
+            # receive; a second quiet step with the same live set is a
+            # genuine deadlock.
+            if quiet_live == live:
+                raise ProtocolDeadlock(
+                    f"multiparty deadlock: players {live} idle with no traffic"
+                )
+            quiet_live = live
+    else:
+        raise ProtocolDeadlock(
+            f"multiparty protocol exceeded {max_supersteps} supersteps"
+        )
+
+    return MultipartyOutcome(
+        outputs={name: states[name].output for name in names},
+        bits_sent=bits_sent,
+        bits_received=bits_received,
+        rounds=rounds,
+    )

@@ -1,0 +1,85 @@
+"""Helpers for running two-party protocols between BSP players.
+
+Section 4's protocols are built from pairwise invocations of the two-party
+protocol; this module provides the plumbing: constructing the pair-scoped
+:class:`~repro.comm.engine.PartyContext` (both endpoints derive the same
+shared-randomness namespace from the pair's names, so they agree on every
+hash function without extra coordination) and driving a set of
+:class:`~repro.multiparty.network.TwoPartyAdapter` concurrently inside a
+player coroutine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Tuple
+
+from repro.comm.engine import PartyContext
+from repro.comm.errors import ProtocolViolation
+from repro.multiparty.network import PlayerContext, TwoPartyAdapter
+from repro.util.bits import BitString
+
+__all__ = ["pair_context", "drive_adapters"]
+
+
+def pair_context(
+    ctx: PlayerContext,
+    role: str,
+    own_input: Any,
+    coordinator: str,
+    member: str,
+    label: str,
+) -> PartyContext:
+    """Build the :class:`PartyContext` for one endpoint of a pairwise run.
+
+    Both endpoints call this with the same ``(coordinator, member, label)``
+    triple and therefore agree on the shared-randomness namespace
+    ``label/coordinator-member``; roles differ (``"alice"`` for the
+    coordinator side by convention).
+    """
+    return PartyContext(
+        role=role,
+        input=own_input,
+        shared=ctx.shared.sub(f"{label}/{coordinator}-{member}"),
+        private=ctx.private,
+    )
+
+
+def drive_adapters(
+    adapters: Dict[str, TwoPartyAdapter],
+    first_inbox: List[Tuple[str, BitString]],
+    strays: List[Tuple[str, BitString]],
+) -> Generator:
+    """Run several pairwise protocols (one adapter per peer) to completion.
+
+    A generator to ``yield from`` inside a BSP player coroutine.  Each
+    superstep it routes arrived payloads to the owning adapter, advances
+    every adapter, and yields the combined outbox.  Messages from peers with
+    no adapter (e.g. a faster player already starting the *next* phase of
+    the surrounding protocol) are appended to ``strays`` for the caller to
+    process later -- per-pair FIFO order is preserved because each ordered
+    pair of players communicates within a single phase at a time.
+
+    Returns once every adapter has completed and all its sends are flushed.
+    """
+    inbox = first_inbox
+    while True:
+        routed: Dict[str, List[BitString]] = {}
+        for source, payload in inbox:
+            if source in adapters:
+                routed.setdefault(source, []).append(payload)
+            else:
+                strays.append((source, payload))
+        outbox: List[Tuple[str, BitString]] = []
+        for peer in sorted(adapters):
+            adapter = adapters[peer]
+            arrived = routed.get(peer, [])
+            if adapter.done:
+                if arrived:
+                    raise ProtocolViolation(
+                        f"payloads from {peer!r} after its protocol finished"
+                    )
+                continue
+            outbox.extend((peer, payload) for payload in adapter.step(arrived))
+        if not outbox and all(adapter.done for adapter in adapters.values()):
+            return None
+        inbox = yield outbox

@@ -1,0 +1,182 @@
+"""Common protocol interface.
+
+Every two-party set-intersection protocol in this library subclasses
+:class:`SetIntersectionProtocol`: it is constructed with the instance
+parameters (universe size ``n``, set-size bound ``k``, protocol-specific
+knobs), exposes the party coroutines ``alice`` / ``bob``, and offers a
+:meth:`~SetIntersectionProtocol.run` convenience that executes the protocol
+on concrete sets and wraps the result in an :class:`IntersectionOutcome`.
+
+Keeping the coroutines as ordinary methods means protocols compose: a higher
+protocol runs a sub-protocol with ``yield from sub.alice(sub_ctx)`` inside
+its own coroutine, and the engine accounts all bits on one transcript.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, FrozenSet, Generator, Iterable, Optional
+
+from repro.comm.engine import PartyContext, TwoPartyOutcome, run_two_party
+from repro.comm.transcript import Transcript
+
+__all__ = [
+    "validate_set_pair",
+    "IntersectionOutcome",
+    "SetIntersectionProtocol",
+    "subcontext",
+]
+
+
+def validate_set_pair(
+    alice_set: Iterable[int],
+    bob_set: Iterable[int],
+    universe_size: int,
+    max_set_size: int,
+) -> tuple:
+    """Validate and normalize an ``INT_k`` instance.
+
+    Checks ``S, T subset of [n]`` and ``|S|, |T| <= k``, returning the sets
+    as frozensets.  Raised errors are caller bugs, not protocol failures.
+    """
+    normalized = []
+    for name, raw in (("alice", alice_set), ("bob", bob_set)):
+        as_set = frozenset(raw)
+        if len(as_set) > max_set_size:
+            raise ValueError(
+                f"{name}'s set has {len(as_set)} elements; bound is k={max_set_size}"
+            )
+        for element in as_set:
+            if not isinstance(element, int) or not 0 <= element < universe_size:
+                raise ValueError(
+                    f"{name}'s element {element!r} outside universe "
+                    f"[0, {universe_size})"
+                )
+        normalized.append(as_set)
+    return normalized[0], normalized[1]
+
+
+@dataclass
+class IntersectionOutcome:
+    """Result of running a set-intersection protocol on one instance.
+
+    :param alice_output: the set Alice outputs (``None`` if she aborted).
+    :param bob_output: the set Bob outputs.
+    :param transcript: exact communication record.
+    :param protocol_name: which protocol produced this.
+    """
+
+    alice_output: Optional[FrozenSet[int]]
+    bob_output: Optional[FrozenSet[int]]
+    transcript: Transcript
+    protocol_name: str
+
+    @property
+    def total_bits(self) -> int:
+        """Total communication in bits."""
+        return self.transcript.total_bits
+
+    @property
+    def num_messages(self) -> int:
+        """Round complexity (messages exchanged)."""
+        return self.transcript.num_messages
+
+    @property
+    def agreed(self) -> bool:
+        """True when both parties output the same set."""
+        return self.alice_output == self.bob_output
+
+    def correct_for(self, alice_set: Iterable[int], bob_set: Iterable[int]) -> bool:
+        """True when both outputs equal the true intersection."""
+        truth = frozenset(alice_set) & frozenset(bob_set)
+        return self.alice_output == truth and self.bob_output == truth
+
+
+class SetIntersectionProtocol:
+    """Base class for two-party ``INT_k`` protocols.
+
+    Subclasses implement the coroutines :meth:`alice` and :meth:`bob`
+    (generator methods over :class:`~repro.comm.engine.Send` /
+    :class:`~repro.comm.engine.Recv` effects, each returning a frozenset)
+    and set :attr:`name`.
+
+    :param universe_size: the universe is ``[universe_size]``.
+    :param max_set_size: the bound ``k`` on ``|S|`` and ``|T|``.
+    """
+
+    name = "abstract"
+
+    def __init__(self, universe_size: int, max_set_size: int) -> None:
+        if universe_size < 1:
+            raise ValueError(f"universe_size must be >= 1, got {universe_size}")
+        if max_set_size < 1:
+            raise ValueError(f"max_set_size must be >= 1, got {max_set_size}")
+        self.universe_size = universe_size
+        self.max_set_size = max_set_size
+
+    # -- coroutines -------------------------------------------------------
+
+    def alice(self, ctx: PartyContext) -> Generator:
+        """Alice's coroutine; ``ctx.input`` is her set."""
+        raise NotImplementedError
+
+    def bob(self, ctx: PartyContext) -> Generator:
+        """Bob's coroutine; ``ctx.input`` is his set."""
+        raise NotImplementedError
+
+    # -- convenience ------------------------------------------------------
+
+    def run(
+        self,
+        alice_set: Iterable[int],
+        bob_set: Iterable[int],
+        *,
+        seed: int = 0,
+        max_total_bits: Optional[int] = None,
+        transcript: Optional[Transcript] = None,
+    ) -> IntersectionOutcome:
+        """Execute the protocol on one instance.
+
+        :param alice_set: Alice's input ``S``.
+        :param bob_set: Bob's input ``T``.
+        :param seed: master seed; shared and private randomness are derived
+            from it deterministically (replayable runs).
+        :param max_total_bits: optional worst-case communication cutoff.
+        :param transcript: append to an existing transcript (composition).
+        """
+        s, t = validate_set_pair(
+            alice_set, bob_set, self.universe_size, self.max_set_size
+        )
+        outcome: TwoPartyOutcome = run_two_party(
+            self.alice,
+            self.bob,
+            alice_input=s,
+            bob_input=t,
+            shared_seed=seed,
+            alice_private_seed=seed * 3 + 1,
+            bob_private_seed=seed * 3 + 2,
+            max_total_bits=max_total_bits,
+            transcript=transcript,
+        )
+        return IntersectionOutcome(
+            alice_output=outcome.alice_output,
+            bob_output=outcome.bob_output,
+            transcript=outcome.transcript,
+            protocol_name=self.name,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.universe_size}, "
+            f"k={self.max_set_size})"
+        )
+
+
+def subcontext(ctx: PartyContext, label: str, sub_input: Any) -> PartyContext:
+    """Derive a context for a nested sub-protocol invocation.
+
+    The sub-protocol sees a namespaced view of the shared random string (so
+    repeated invocations draw fresh coins) and its own input, but the same
+    private coins and role.
+    """
+    return replace(ctx, shared=ctx.shared.sub(label), input=sub_input)

@@ -1,0 +1,184 @@
+"""Lemma 3.3: the ``Basic-Intersection`` building block.
+
+Protocol (4 messages):
+
+1. Alice sends ``|S|``;
+2. Bob sends ``|T|``;  both now know ``m = |S| + |T|`` and derive the shared
+   hash ``h: [n] -> [t]`` with ``t = Theta(m^(i+2))``;
+3. Alice sends the sorted list ``h(S)``;
+4. Bob sends the sorted list ``h(T)``.
+
+Outputs ``S' = h^{-1}(h(T)) n S`` (Alice) and ``T' = h^{-1}(h(S)) n T``
+(Bob), i.e. each party keeps exactly its elements whose hash value the other
+party also produced.  Guarantees (Lemma 3.3):
+
+1. ``S' subset of S`` and ``T' subset of T`` -- always;
+2. if ``S n T`` is empty then ``S' n T'`` is empty -- always;
+3. ``S n T subset of S' n T'`` -- always; and with probability at least
+   ``1 - 1/m^i`` (no collision of ``h`` on ``S u T``) in fact
+   ``S' = T' = S n T``.
+
+Corollary 3.4 -- *if the two outputs are equal they equal the intersection*
+-- is what makes equality tests a sound verification step: the
+verification-tree protocol never needs to re-check a passed test's content.
+
+Communication: ``O(i * m log m)`` bits.  The class also exposes the
+stateless core (:class:`BasicIntersectionCore`) used by the tree protocol to
+run many instances batched into shared messages.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Generator, Iterable, List
+
+from repro.comm.engine import PartyContext, Recv, Send
+from repro.hashing.families import collision_free_range
+from repro.hashing.pairwise import PairwiseHash, sample_pairwise_hash
+from repro.protocols.base import SetIntersectionProtocol
+from repro.util.bits import (
+    BitReader,
+    BitWriter,
+    encode_elias_gamma,
+    decode_elias_gamma,
+)
+from repro.util.rng import SharedRandomness
+
+__all__ = [
+    "BasicIntersectionProtocol",
+    "BasicIntersectionCore",
+    "range_for_inverse_failure",
+]
+
+
+def range_for_inverse_failure(total_size: int, inverse_failure: float) -> int:
+    """Hash range making the collision probability on ``m`` elements at most
+    ``1/inverse_failure``.
+
+    With the pairwise family's per-pair bound ``2/t`` and ``< m^2/2`` pairs,
+    ``t >= m^2 * inverse_failure`` suffices.  Used by the tree protocol,
+    where the target failure is ``1/(log^(r-i-1) k)^4`` rather than
+    Lemma 3.3's ``1/m^i``.
+    """
+    m = max(total_size, 2)
+    return max(2, math.ceil(m * m * max(inverse_failure, 1.0)))
+
+
+class BasicIntersectionCore:
+    """The stateless per-instance logic of ``Basic-Intersection``.
+
+    Both parties construct the core with identical arguments (sizes were
+    exchanged first), obtaining the same hash function, and then use
+    :meth:`write_hashes` / :meth:`read_hashes` / :meth:`filter_with` to
+    produce and consume the hash-list messages.  Factoring this out lets the
+    tree protocol batch many leaves' instances into four shared messages.
+
+    :param universe_size: domain of the elements.
+    :param total_size: ``m = |S| + |T|`` (known to both after size exchange).
+    :param range_size: the hash range ``t``.
+    :param shared: shared randomness; the hash is drawn from
+        ``shared.stream(label)``.
+    :param label: stream label; distinct invocations must use distinct
+        labels so re-runs get fresh hash functions.
+    """
+
+    def __init__(
+        self,
+        universe_size: int,
+        total_size: int,
+        range_size: int,
+        shared: SharedRandomness,
+        label: str,
+    ) -> None:
+        self.hash_fn: PairwiseHash = sample_pairwise_hash(
+            universe_size, range_size, shared.stream(label)
+        )
+        self.total_size = total_size
+
+    @property
+    def value_width(self) -> int:
+        """Wire width of one hash value."""
+        return self.hash_fn.output_bits
+
+    def write_hashes(self, writer: BitWriter, elements: Iterable[int]) -> None:
+        """Append the sorted hash list of ``elements`` (no count header; the
+        receiver knows the count from the size exchange)."""
+        for value in sorted(self.hash_fn(x) for x in elements):
+            writer.write_uint(value, self.value_width)
+
+    def read_hashes(self, reader: BitReader, count: int) -> List[int]:
+        """Read ``count`` hash values."""
+        return [reader.read_uint(self.value_width) for _ in range(count)]
+
+    def filter_with(
+        self, own_elements: Iterable[int], other_hashes: Iterable[int]
+    ) -> FrozenSet[int]:
+        """``h^{-1}(other_hashes) n own`` -- the Lemma 3.3 output rule."""
+        other = set(other_hashes)
+        return frozenset(x for x in own_elements if self.hash_fn(x) in other)
+
+
+class BasicIntersectionProtocol(SetIntersectionProtocol):
+    """Lemma 3.3 as a standalone 4-message protocol.
+
+    :param universe_size: universe ``[n]``.
+    :param max_set_size: bound on each input set.
+    :param exponent: the ``i`` of Lemma 3.3; exactness holds with
+        probability at least ``1 - 1/m^i`` where ``m = |S| + |T|``.
+    :param stream_label: label for the shared hash (fresh per invocation
+        when callers re-run the protocol).
+    """
+
+    name = "basic-intersection"
+
+    def __init__(
+        self,
+        universe_size: int,
+        max_set_size: int,
+        *,
+        exponent: int = 2,
+        stream_label: str = "basic-intersection",
+    ) -> None:
+        super().__init__(universe_size, max_set_size)
+        if exponent < 0:
+            raise ValueError(f"exponent must be >= 0, got {exponent}")
+        self.exponent = exponent
+        self.stream_label = stream_label
+
+    def _core(self, ctx: PartyContext, total_size: int) -> BasicIntersectionCore:
+        range_size = collision_free_range(max(total_size, 2), self.exponent)
+        return BasicIntersectionCore(
+            universe_size=self.universe_size,
+            total_size=total_size,
+            range_size=range_size,
+            shared=ctx.shared,
+            label=self.stream_label,
+        )
+
+    def alice(self, ctx: PartyContext) -> Generator:
+        """Rounds 1 and 3 of the message schedule (sizes, then hashes)."""
+        own = frozenset(ctx.input)
+        yield Send(encode_elias_gamma(len(own)))
+        other_size = decode_elias_gamma((yield Recv()))
+        core = self._core(ctx, len(own) + other_size)
+        writer = BitWriter()
+        core.write_hashes(writer, own)
+        yield Send(writer.finish())
+        reader = BitReader((yield Recv()))
+        other_hashes = core.read_hashes(reader, other_size)
+        reader.expect_exhausted()
+        return core.filter_with(own, other_hashes)
+
+    def bob(self, ctx: PartyContext) -> Generator:
+        """Rounds 2 and 4 of the message schedule."""
+        own = frozenset(ctx.input)
+        other_size = decode_elias_gamma((yield Recv()))
+        yield Send(encode_elias_gamma(len(own)))
+        core = self._core(ctx, len(own) + other_size)
+        reader = BitReader((yield Recv()))
+        other_hashes = core.read_hashes(reader, other_size)
+        reader.expect_exhausted()
+        writer = BitWriter()
+        core.write_hashes(writer, own)
+        yield Send(writer.finish())
+        return core.filter_with(own, other_hashes)

@@ -1,0 +1,231 @@
+"""The Section 1 "toy protocol": bucket, hash-exchange, verify, retry.
+
+This is the warm-up the paper builds intuition with before the
+verification-tree protocol:
+
+* a shared hash ``h: [n] -> [k / log k]`` splits the instance into buckets
+  ``S_i, T_i`` of expected size ``O(log k)``;
+* per bucket, a shared hash ``g_i: [n] -> [log^3 k]`` is exchanged over the
+  bucket contents, giving both parties candidate intersections
+  ``I_A subset of S_i`` and ``I_B subset of T_i`` that *always* contain
+  ``S_i n T_i``;
+* a fingerprint equality test with error ``1/k^C`` verifies ``I_A = I_B``;
+  by the Corollary 3.4 argument, equality implies both candidates *are*
+  ``S_i n T_i``, so a passed bucket is settled;
+* failed buckets re-run with fresh ``g_i``; the expected number of re-runs
+  per bucket is below 1, so expected total communication is
+  ``2k/log k * O(log k log log k) = O(k log log k)``.
+
+All buckets advance in parallel, 4 messages per iteration (hash lists each
+way, then fingerprints and verdicts).  A worst-case cutoff converts the
+expected bound into a deterministic one: after ``max_iterations`` the
+remaining buckets either fall back to an explicit exchange (default --
+always correct) or the protocol aborts, per the paper's remark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Generator, List
+
+from repro.comm.engine import PartyContext, Recv, Send
+from repro.comm.errors import ProtocolAborted
+from repro.hashing.pairwise import PairwiseHash, sample_pairwise_hash
+from repro.protocols.base import SetIntersectionProtocol
+from repro.protocols.fingerprint import Fingerprinter
+from repro.util.bits import (
+    BitReader,
+    BitWriter,
+    decode_delta_sorted_set,
+    encode_delta_sorted_set,
+)
+from repro.util.iterlog import ceil_log2
+
+__all__ = ["BucketVerifyProtocol"]
+
+
+class BucketVerifyProtocol(SetIntersectionProtocol):
+    """The ``O(k log log k)``-bit bucket-and-verify protocol (Section 1).
+
+    :param universe_size: universe ``[n]``.
+    :param max_set_size: bound ``k``.
+    :param confidence_exponent: verification fingerprints have error
+        ``<= 1/k^confidence_exponent`` each.
+    :param max_iterations: worst-case cutoff on retry iterations.
+    :param on_budget: ``"exchange"`` (default) settles still-active buckets
+        by explicit exchange after the cutoff -- always correct;
+        ``"abort"`` raises :class:`ProtocolAborted` instead, matching the
+        paper's terminate-at-constant-factor remark.
+    """
+
+    name = "bucket-verify"
+
+    def __init__(
+        self,
+        universe_size: int,
+        max_set_size: int,
+        *,
+        confidence_exponent: int = 3,
+        max_iterations: int = 32,
+        on_budget: str = "exchange",
+    ) -> None:
+        super().__init__(universe_size, max_set_size)
+        if on_budget not in ("exchange", "abort"):
+            raise ValueError(f"on_budget must be 'exchange' or 'abort': {on_budget}")
+        self.confidence_exponent = confidence_exponent
+        self.max_iterations = max_iterations
+        self.on_budget = on_budget
+        log_k = max(1, math.ceil(math.log2(max(max_set_size, 2))))
+        self.num_buckets = max(1, max_set_size // log_k)
+        # g_i range log^3 k, clamped so tiny k still gets a usable range.
+        self.inner_range = max(8, log_k**3)
+        self.verify_width = max(8, confidence_exponent * log_k)
+
+    # -- shared derivations ------------------------------------------------
+
+    def _bucket_hash(self, ctx: PartyContext) -> PairwiseHash:
+        return sample_pairwise_hash(
+            self.universe_size, self.num_buckets, ctx.shared.stream("bucket/h")
+        )
+
+    def _inner_hash(
+        self, ctx: PartyContext, bucket: int, iteration: int
+    ) -> PairwiseHash:
+        return sample_pairwise_hash(
+            self.universe_size,
+            self.inner_range,
+            ctx.shared.stream(f"bucket/g/{iteration}/{bucket}"),
+        )
+
+    def _verifier(self, ctx: PartyContext, iteration: int) -> Fingerprinter:
+        return Fingerprinter(
+            ctx.shared.stream(f"bucket/verify/{iteration}"), self.verify_width
+        )
+
+    # -- message building --------------------------------------------------
+
+    def _encode_bucket_hashes(
+        self,
+        buckets: Dict[int, FrozenSet[int]],
+        active: List[int],
+        inner: Dict[int, PairwiseHash],
+    ):
+        writer = BitWriter()
+        width = ceil_log2(self.inner_range)
+        for bucket in active:
+            values = sorted(inner[bucket](x) for x in buckets.get(bucket, ()))
+            writer.write_gamma(len(values))
+            for value in values:
+                writer.write_uint(value, width)
+        return writer.finish()
+
+    def _decode_bucket_hashes(self, payload, active: List[int]) -> Dict[int, set]:
+        reader = BitReader(payload)
+        width = ceil_log2(self.inner_range)
+        decoded: Dict[int, set] = {}
+        for bucket in active:
+            count = reader.read_gamma()
+            decoded[bucket] = {reader.read_uint(width) for _ in range(count)}
+        reader.expect_exhausted()
+        return decoded
+
+    # -- the protocol -------------------------------------------------------
+
+    def _party(self, ctx: PartyContext) -> Generator:
+        """Symmetric body; only the send/receive order differs by role."""
+        is_alice = ctx.role == "alice"
+        own = frozenset(ctx.input)
+        bucket_hash = self._bucket_hash(ctx)
+        buckets: Dict[int, FrozenSet[int]] = {}
+        for element in own:
+            buckets.setdefault(bucket_hash(element), set())
+            buckets[bucket_hash(element)].add(element)  # type: ignore[union-attr]
+        buckets = {b: frozenset(v) for b, v in buckets.items()}
+
+        active = list(range(self.num_buckets))
+        settled: Dict[int, FrozenSet[int]] = {}
+
+        for iteration in range(self.max_iterations):
+            if not active:
+                break
+            inner = {b: self._inner_hash(ctx, b, iteration) for b in active}
+            mine = self._encode_bucket_hashes(buckets, active, inner)
+            if is_alice:
+                yield Send(mine)
+                theirs = self._decode_bucket_hashes((yield Recv()), active)
+            else:
+                theirs = self._decode_bucket_hashes((yield Recv()), active)
+                yield Send(mine)
+
+            candidates: Dict[int, FrozenSet[int]] = {}
+            for bucket in active:
+                other_values = theirs[bucket]
+                candidates[bucket] = frozenset(
+                    x
+                    for x in buckets.get(bucket, frozenset())
+                    if inner[bucket](x) in other_values
+                )
+
+            # Verification: Alice ships fingerprints, Bob replies verdicts.
+            verifier = self._verifier(ctx, iteration)
+            if is_alice:
+                writer = BitWriter()
+                for bucket in active:
+                    writer.write_uint(
+                        verifier.value_of(candidates[bucket]), self.verify_width
+                    )
+                yield Send(writer.finish())
+                verdict_reader = BitReader((yield Recv()))
+                verdicts = [verdict_reader.read_bit() for _ in active]
+                verdict_reader.expect_exhausted()
+            else:
+                reader = BitReader((yield Recv()))
+                verdicts = []
+                writer = BitWriter()
+                for bucket in active:
+                    received = reader.read_uint(self.verify_width)
+                    passed = int(received == verifier.value_of(candidates[bucket]))
+                    verdicts.append(passed)
+                    writer.write_bit(passed)
+                reader.expect_exhausted()
+                yield Send(writer.finish())
+
+            still_active = []
+            for bucket, verdict in zip(active, verdicts):
+                if verdict:
+                    settled[bucket] = candidates[bucket]
+                else:
+                    still_active.append(bucket)
+            active = still_active
+
+        if active:
+            if self.on_budget == "abort":
+                raise ProtocolAborted(
+                    f"{len(active)} buckets unresolved after "
+                    f"{self.max_iterations} iterations",
+                    bits_used=0,
+                    budget=self.max_iterations,
+                )
+            # Fallback: explicit exchange of the unresolved buckets.
+            residue = frozenset(
+                x for b in active for x in buckets.get(b, frozenset())
+            )
+            if is_alice:
+                yield Send(encode_delta_sorted_set(residue))
+                other = frozenset(decode_delta_sorted_set((yield Recv())))
+            else:
+                other = frozenset(decode_delta_sorted_set((yield Recv())))
+                yield Send(encode_delta_sorted_set(residue))
+            for bucket in active:
+                settled[bucket] = buckets.get(bucket, frozenset()) & other
+
+        result = frozenset(x for candidate in settled.values() for x in candidate)
+        return result
+
+    def alice(self, ctx: PartyContext) -> Generator:
+        """Alice drives the symmetric body in the sender-first role."""
+        return (yield from self._party(ctx))
+
+    def bob(self, ctx: PartyContext) -> Generator:
+        """Bob drives the symmetric body in the receiver-first role."""
+        return (yield from self._party(ctx))

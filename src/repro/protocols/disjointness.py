@@ -1,0 +1,193 @@
+"""Set-disjointness baselines: ``DISJ_k^n`` decides whether ``S n T`` is empty.
+
+Disjointness is the problem *below* intersection: any ``INT_k`` protocol
+decides it (check whether the recovered set is empty), which is the paper's
+source of lower bounds -- ``R(INT_k) >= R(DISJ_k^n) = Omega(k)`` [KS92,
+Raz92, HW07].  This module provides two baselines:
+
+* :class:`HalvingDisjointness` -- an ``O(k)``-bit, ``O(log k)``-round
+  protocol in the spirit of Hastad-Wigderson [HW07]: the parties take turns
+  sending a shared-hash *bitmap* of the current set; the receiver keeps only
+  elements hashing into the bitmap, which preserves every common element
+  with certainty while halving the strays.  (HW07's original transmits the
+  index of the first public-coin set containing ``S``, which costs the same
+  ``Theta(|S|)`` bits per round but takes expected ``2^|S|`` local
+  computation to find; the bitmap rendition is the standard
+  polynomial-time equivalent -- DESIGN.md, substitution S3.)  After the
+  halving phase, surviving candidates are confirmed one at a time with
+  one-sided fingerprint membership tests, so a "disjoint" answer is always
+  certain and an "intersecting" answer errs with probability ``O(1/k^2)``.
+* :class:`DisjointnessViaIntersection` -- run any ``INT_k`` protocol and
+  report emptiness; used by benchmarks to show recovering the whole set
+  costs only a constant factor more than deciding emptiness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, Iterable
+
+from repro.comm.engine import PartyContext, Recv, Send, run_two_party
+from repro.hashing.pairwise import sample_pairwise_hash
+from repro.protocols.base import SetIntersectionProtocol, validate_set_pair
+from repro.protocols.fingerprint import Fingerprinter
+from repro.util.bits import BitReader, BitString, BitWriter
+
+__all__ = ["HalvingDisjointness", "DisjointnessViaIntersection"]
+
+
+class HalvingDisjointness:
+    """Halving-bitmap disjointness (Hastad-Wigderson style), output = "is
+    the intersection empty?".
+
+    :param universe_size: universe ``[n]``.
+    :param max_set_size: bound ``k``.
+    :param confidence_exponent: candidate membership tests use
+        ``confidence_exponent * log2(k)``-bit fingerprints.
+    """
+
+    name = "halving-disjointness"
+
+    def __init__(
+        self,
+        universe_size: int,
+        max_set_size: int,
+        *,
+        confidence_exponent: int = 4,
+    ) -> None:
+        if universe_size < 1:
+            raise ValueError(f"universe_size must be >= 1, got {universe_size}")
+        if max_set_size < 1:
+            raise ValueError(f"max_set_size must be >= 1, got {max_set_size}")
+        self.universe_size = universe_size
+        self.max_set_size = max_set_size
+        log_k = max(1, math.ceil(math.log2(max(max_set_size, 2))))
+        # Each party filters (log k + 3) times: a stray survives with
+        # probability <= 2^-(log k + 3) = 1/(8k), so after the phase the
+        # expected number of surviving strays is <= 1/4 per side.
+        self.halving_rounds = 2 * (log_k + 3)
+        self.test_width = max(8, confidence_exponent * log_k)
+
+    def _party(self, ctx: PartyContext) -> Generator:
+        is_alice = ctx.role == "alice"
+        current = set(ctx.input)
+
+        # Phase 1: alternating bitmap halving.
+        for turn in range(self.halving_rounds):
+            my_turn = (turn % 2 == 0) == is_alice
+            if my_turn:
+                writer = BitWriter()
+                writer.write_gamma(len(current))
+                if not current:
+                    yield Send(writer.finish())
+                    return True  # S n T subset of my (empty) set: disjoint
+                bitmap_size = 2 * len(current)
+                marker = sample_pairwise_hash(
+                    self.universe_size,
+                    bitmap_size,
+                    ctx.shared.stream(f"disj/halve/{turn}"),
+                )
+                marked = {marker(element) for element in current}
+                for position in range(bitmap_size):
+                    writer.write_bit(int(position in marked))
+                yield Send(writer.finish())
+            else:
+                reader = BitReader((yield Recv()))
+                sender_size = reader.read_gamma()
+                if sender_size == 0:
+                    reader.expect_exhausted()
+                    return True
+                bitmap_size = 2 * sender_size
+                marker = sample_pairwise_hash(
+                    self.universe_size,
+                    bitmap_size,
+                    ctx.shared.stream(f"disj/halve/{turn}"),
+                )
+                bitmap = [reader.read_bit() for _ in range(bitmap_size)]
+                reader.expect_exhausted()
+                current = {e for e in current if bitmap[marker(e)]}
+
+        # Phase 2: Bob confirms surviving candidates one at a time.  A
+        # no-match answer certainly removes a non-common element; a match
+        # ends the protocol with "intersecting".
+        if is_alice:
+            printer = Fingerprinter(
+                ctx.shared.stream("disj/confirm"), self.test_width
+            )
+            my_prints = {printer.value_of(element) for element in current}
+            while True:
+                reader = BitReader((yield Recv()))
+                flag = reader.read_gamma()
+                if flag == 0:
+                    reader.expect_exhausted()
+                    return True
+                candidate_print = reader.read_uint(self.test_width)
+                reader.expect_exhausted()
+                match = candidate_print in my_prints
+                yield Send(BitString(int(match), 1))
+                if match:
+                    return False
+        else:
+            printer = Fingerprinter(
+                ctx.shared.stream("disj/confirm"), self.test_width
+            )
+            remaining = sorted(current)
+            while True:
+                writer = BitWriter()
+                if not remaining:
+                    writer.write_gamma(0)
+                    yield Send(writer.finish())
+                    return True
+                candidate = remaining[0]
+                writer.write_gamma(1)
+                writer.write_uint(printer.value_of(candidate), self.test_width)
+                yield Send(writer.finish())
+                verdict = yield Recv()
+                if verdict.value:
+                    return False
+                remaining.pop(0)  # certainly not in S n T
+
+    def alice(self, ctx: PartyContext) -> Generator:
+        """Alice halves on even turns and answers membership queries."""
+        return (yield from self._party(ctx))
+
+    def bob(self, ctx: PartyContext) -> Generator:
+        """Bob halves on odd turns and drives the confirmation phase."""
+        return (yield from self._party(ctx))
+
+    def run(self, alice_set: Iterable[int], bob_set: Iterable[int], *, seed: int = 0):
+        """Execute on one instance; outputs are booleans (True = disjoint)."""
+        s, t = validate_set_pair(
+            alice_set, bob_set, self.universe_size, self.max_set_size
+        )
+        return run_two_party(
+            self.alice, self.bob, alice_input=s, bob_input=t, shared_seed=seed
+        )
+
+
+class DisjointnessViaIntersection:
+    """Decide disjointness by recovering the intersection (paper Section 1:
+    ``INT_k`` is at least as hard as ``DISJ_k^n``).
+
+    :param intersection_protocol: any :class:`SetIntersectionProtocol`.
+    """
+
+    name = "disjointness-via-intersection"
+
+    def __init__(self, intersection_protocol: SetIntersectionProtocol) -> None:
+        self.protocol = intersection_protocol
+
+    def run(self, alice_set: Iterable[int], bob_set: Iterable[int], *, seed: int = 0):
+        """Run the wrapped protocol; outputs are booleans (True = disjoint)."""
+        outcome = self.protocol.run(alice_set, bob_set, seed=seed)
+        from repro.comm.engine import TwoPartyOutcome
+
+        return TwoPartyOutcome(
+            alice_output=(
+                None if outcome.alice_output is None else not outcome.alice_output
+            ),
+            bob_output=(
+                None if outcome.bob_output is None else not outcome.bob_output
+            ),
+            transcript=outcome.transcript,
+        )

@@ -1,0 +1,102 @@
+"""The exists-equal problem (Saglam-Tardos [ST13]).
+
+``EXISTS-EQ^n_k``: Alice holds ``x_1..x_k``, Bob holds ``y_1..y_k``, and
+they must decide whether *some* coordinate pair is equal.  [ST13] -- the
+source of the paper's ``Omega(k log^(r) k)`` round lower bound -- studies
+this problem as the equality-world analogue of sparse set disjointness (by
+Fact 2.1's pair-tagging, exists-equal is exactly non-emptiness of the
+tagged intersection).
+
+Two routes are provided, mirroring the paper's relationships:
+
+* :class:`ExistsEqualProtocol` -- direct: one amortized-equality run
+  (Theorem 3.2 interface), output ``any(verdicts)``.  ``O(k)`` expected
+  bits.  The error is one-sided: unequal verdicts are certain and truly
+  equal pairs are never reported unequal, so a ``False`` answer is always
+  correct, while a ``True`` answer errs (a false equal verdict on an
+  all-unequal instance) with probability ``2^-Omega(sqrt(k))``.
+* :func:`exists_equal_via_intersection` -- through Fact 2.1: tag, intersect
+  with the tree protocol, test emptiness.  Demonstrates the reduction
+  chain ``EXISTS-EQ <= EQ^n_k <= INT_k``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+from repro.comm.engine import PartyContext, run_two_party
+from repro.protocols.fknn import run_amortized_equality
+
+__all__ = ["ExistsEqualProtocol", "exists_equal_via_intersection"]
+
+
+class ExistsEqualProtocol:
+    """Decide ``exists i: x_i == y_i`` with ``O(k)`` expected bits.
+
+    ``False`` answers are always correct (unequal verdicts are one-sided
+    certain); ``True`` answers err with probability ``2^-Omega(sqrt(k))``.
+
+    :param num_instances: ``k``, the number of coordinate pairs.
+    :param max_passes: retry cutoff forwarded to the amortized-equality
+        engine.
+    """
+
+    name = "exists-equal"
+
+    def __init__(self, num_instances: int, *, max_passes: int = 64) -> None:
+        if num_instances < 0:
+            raise ValueError(f"num_instances must be >= 0: {num_instances}")
+        self.num_instances = num_instances
+        self.max_passes = max_passes
+
+    def _party(self, ctx: PartyContext) -> Generator:
+        verdicts = yield from run_amortized_equality(
+            ctx,
+            ctx.input,
+            num_instances=self.num_instances,
+            max_passes=self.max_passes,
+            label="exists-eq",
+        )
+        return any(verdicts)
+
+    def alice(self, ctx: PartyContext) -> Generator:
+        """Alice's coroutine over her value sequence."""
+        return (yield from self._party(ctx))
+
+    def bob(self, ctx: PartyContext) -> Generator:
+        """Bob's coroutine over his value sequence."""
+        return (yield from self._party(ctx))
+
+    def run(
+        self, alice_values: Sequence[Any], bob_values: Sequence[Any], *, seed: int = 0
+    ):
+        """Execute on one instance; outputs are booleans."""
+        return run_two_party(
+            self.alice,
+            self.bob,
+            alice_input=tuple(alice_values),
+            bob_input=tuple(bob_values),
+            shared_seed=seed,
+        )
+
+
+def exists_equal_via_intersection(
+    alice_values: Sequence[int],
+    bob_values: Sequence[int],
+    string_bits: int,
+    *,
+    seed: int = 0,
+):
+    """Exists-equal through the Fact 2.1 chain: pair-tag, run the tree
+    intersection protocol, report non-emptiness.
+
+    :returns: the :class:`~repro.comm.engine.TwoPartyOutcome`; both outputs
+        are booleans (True = some coordinate pair equal).
+    """
+    from repro.reductions.eq_to_int import EqualityViaIntersection
+
+    reduction = EqualityViaIntersection(len(alice_values), string_bits)
+    outcome = reduction.run(alice_values, bob_values, seed=seed)
+    outcome.alice_output = any(outcome.alice_output)
+    outcome.bob_output = any(outcome.bob_output)
+    return outcome

@@ -1,0 +1,150 @@
+"""Fingerprints: shared random hash functions for verification tests.
+
+Fact 3.5 ("a protocol which uses a random hash function h into k bits")
+relies on the common random string providing a *shared random function*:
+both parties evaluate the same random ``h`` on their local values and
+compare images.  For two fixed distinct inputs, a uniformly random function
+into ``b`` bits collides with probability exactly ``2^-b``.
+
+We realize the shared random function the standard way for simulations: the
+function on a value ``v`` is ``SHA-256(salt || canonical_bytes(v))``
+truncated to ``b`` bits, where ``salt`` is drawn from the shared random
+stream.  Distinct inputs produce independent-looking ``b``-bit outputs; the
+``2^-b`` collision bound holds under the usual random-oracle heuristic,
+which is the same idealization the paper's Fact 3.5 makes ("a random hash
+function ... into k bits").  An exactly-pairwise-independent alternative
+(polynomial fingerprints) is available via :func:`polynomial_fingerprint`
+for callers that want a standard-model guarantee at the cost of
+``O(log(message length))`` extra bits.
+
+:func:`canonical_bytes` defines the unambiguous serialization of the values
+protocols compare: integers, strings of bits, and (nested) tuples and sets
+of such.  Two values serialize identically iff they are equal, which is what
+makes "fingerprints agree implies values agree w.h.p." sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.hashing.primes import next_prime
+from repro.util.bits import BitString
+from repro.util.rng import RandomStream
+
+__all__ = ["canonical_bytes", "Fingerprinter", "polynomial_fingerprint"]
+
+
+def _encode_length(length: int) -> bytes:
+    """Self-delimiting length header (varint, 7 bits per byte)."""
+    out = bytearray()
+    while True:
+        byte = length & 0x7F
+        length >>= 7
+        if length:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Serialize a value unambiguously (equal values <=> equal bytes).
+
+    Supported: nonnegative ``int``, ``bytes``, ``str``, ``BitString``,
+    ``None``, ``bool``, and (nested) ``tuple`` / ``list`` / ``set`` /
+    ``frozenset`` of supported values.  Sets are serialized in sorted order
+    of their members' serializations, so set equality maps to byte equality.
+    Tagged and length-prefixed, so e.g. ``(1, 2)`` and ``(12,)`` cannot
+    collide.
+    """
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):
+        return b"B1" if value else b"B0"
+    if isinstance(value, int):
+        if value < 0:
+            raise ValueError(f"canonical_bytes only covers nonnegative ints: {value}")
+        payload = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+        return b"I" + _encode_length(len(payload)) + payload
+    if isinstance(value, bytes):
+        return b"Y" + _encode_length(len(value)) + value
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        return b"S" + _encode_length(len(payload)) + payload
+    if isinstance(value, BitString):
+        body = canonical_bytes(value.value) + canonical_bytes(len(value))
+        return b"W" + _encode_length(len(body)) + body
+    if isinstance(value, (tuple, list)):
+        parts = [canonical_bytes(item) for item in value]
+        body = b"".join(parts)
+        return b"T" + _encode_length(len(parts)) + _encode_length(len(body)) + body
+    if isinstance(value, (set, frozenset)):
+        parts = sorted(canonical_bytes(item) for item in value)
+        body = b"".join(parts)
+        return b"F" + _encode_length(len(parts)) + _encode_length(len(body)) + body
+    raise TypeError(f"canonical_bytes does not support {type(value).__name__}")
+
+
+class Fingerprinter:
+    """A shared random function into ``width`` bits.
+
+    Both parties construct a ``Fingerprinter`` from the same shared stream
+    (same label) and obtain the same function.  For distinct inputs the
+    images collide with probability ``~2^-width``; equal inputs always
+    agree, giving the one-sided error structure of Fact 3.5.
+
+    :param stream: shared random stream the salt is drawn from.
+    :param width: output width in bits (``>= 1``).
+    """
+
+    def __init__(self, stream: RandomStream, width: int) -> None:
+        if width < 1:
+            raise ValueError(f"fingerprint width must be >= 1, got {width}")
+        self.width = width
+        self._salt = stream.bits(256).value.to_bytes(32, "big")
+
+    def value_of(self, value: Any) -> int:
+        """The fingerprint of ``value`` as an integer in ``[2^width)``."""
+        digest_input = self._salt + canonical_bytes(value)
+        needed_bytes = (self.width + 7) // 8
+        digest = b""
+        counter = 0
+        while len(digest) < needed_bytes:
+            digest += hashlib.sha256(
+                digest_input + counter.to_bytes(4, "big")
+            ).digest()
+            counter += 1
+        as_int = int.from_bytes(digest[:needed_bytes], "big")
+        return as_int >> (8 * needed_bytes - self.width)
+
+    def bits_of(self, value: Any) -> BitString:
+        """The fingerprint as a ``width``-bit :class:`BitString`."""
+        return BitString(self.value_of(value), self.width)
+
+
+def polynomial_fingerprint(
+    data: bytes, error_exponent: int, stream: RandomStream
+) -> tuple:
+    """Standard-model fingerprint: evaluate the data polynomial at a random
+    point of a prime field.
+
+    Views ``data`` as coefficients of a polynomial over ``F_p`` with
+    ``p >= 2^error_exponent * 8 * len(data)`` and evaluates it at a random
+    ``z``; two distinct byte strings of length ``<= L`` collide with
+    probability at most ``L / p <= 2^-error_exponent``.  Costs
+    ``error_exponent + O(log L)`` bits on the wire -- the ``O(log L)``
+    overhead is the price of avoiding the random-oracle heuristic.
+
+    :returns: ``(value, width)`` where ``value < 2^width``.
+    """
+    if error_exponent < 1:
+        raise ValueError(f"error_exponent must be >= 1, got {error_exponent}")
+    degree = max(len(data), 1)
+    prime = next_prime((degree << error_exponent) + 1)
+    point = stream.uint_below(prime)
+    accumulator = len(data) % prime  # mix in the length to separate prefixes
+    for byte in data:
+        accumulator = (accumulator * 256 + byte + 1) * point % prime
+    width = (prime - 1).bit_length()
+    return accumulator, width

@@ -1,0 +1,171 @@
+"""Min-wise hashing sketches: the *approximate* one-way comparator.
+
+The paper positions itself against sketching: "a recent work of Pagh et
+al. [PSW14] studies approximating the size of the set intersection in the
+1-way communication model, while we seek to recover the actual intersection
+and allow 2-way communication."  This module implements the classic
+``t``-permutation MinHash sketch so benchmarks can quantify that contrast:
+
+* one message of ``t * O(log k)`` bits (plus the set size);
+* the receiver estimates the Jaccard similarity as the fraction of agreeing
+  sketch coordinates (each coordinate agrees with probability exactly
+  ``J = |S n T| / |S u T|`` under min-wise hashing), and from it
+  ``|S n T| ~= J/(1+J) * (|S| + |T|)``;
+* standard error ``~ sqrt(J(1-J)/t)`` -- an *estimate*, never the set, and
+  never exact: matching the intersection protocols' exact answers would
+  need ``t -> infinity``.
+
+The benchmark (E11) shows the tradeoff: at equal communication the exact
+tree protocol returns the whole intersection while MinHash returns a noisy
+scalar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Generator, Iterable, List, Optional
+
+from repro.comm.engine import PartyContext, Recv, Send, run_two_party
+from repro.hashing.pairwise import PairwiseHash, sample_pairwise_hash
+from repro.protocols.base import validate_set_pair
+from repro.util.bits import BitReader, BitWriter
+from repro.util.iterlog import ceil_log2
+from repro.util.rng import SharedRandomness
+
+__all__ = ["MinHashEstimate", "MinHashSketchProtocol", "build_sketch"]
+
+
+@dataclass(frozen=True)
+class MinHashEstimate:
+    """Bob's output: estimated similarity and intersection size.
+
+    :param jaccard_estimate: fraction of agreeing sketch coordinates.
+    :param intersection_estimate: ``J/(1+J) * (|S| + |T|)``, rounded.
+    :param union_estimate: ``(|S| + |T|) / (1 + J)``, rounded.
+    :param num_hashes: sketch width ``t`` (drives the standard error).
+    """
+
+    jaccard_estimate: float
+    intersection_estimate: int
+    union_estimate: int
+    num_hashes: int
+
+
+def _sketch_hashes(
+    shared: SharedRandomness, universe_size: int, num_hashes: int, label: str
+) -> List[PairwiseHash]:
+    """The ``t`` shared min-wise hash functions.
+
+    Pairwise-independent functions are not exactly min-wise independent,
+    but the bias is ``O(1/range)`` with a large range -- the standard
+    practical instantiation ([PSW14] likewise uses realizable families).
+    """
+    range_size = max(universe_size * 4, 1 << 20)
+    return [
+        sample_pairwise_hash(
+            universe_size, range_size, shared.stream(f"{label}/{index}")
+        )
+        for index in range(num_hashes)
+    ]
+
+
+def build_sketch(
+    elements: Iterable[int],
+    hashes: List[PairwiseHash],
+) -> List[Optional[int]]:
+    """The MinHash sketch: per hash function, the minimum image over the
+    set (``None`` for the empty set)."""
+    elements = list(elements)
+    if not elements:
+        return [None] * len(hashes)
+    return [min(h(x) for x in elements) for h in hashes]
+
+
+class MinHashSketchProtocol:
+    """One-way approximate intersection-size estimation ([PSW14] framing).
+
+    Alice ships her sketch; Bob outputs a :class:`MinHashEstimate`.  Alice
+    outputs ``None`` (one-way protocols leave the sender uninformed --
+    part of the contrast with the two-way exact protocols).
+
+    :param universe_size: universe ``[n]``.
+    :param max_set_size: bound ``k``.
+    :param num_hashes: sketch width ``t``; standard error of the Jaccard
+        estimate is ``~ 1/sqrt(t)``.
+    """
+
+    name = "minhash-sketch"
+
+    def __init__(
+        self, universe_size: int, max_set_size: int, *, num_hashes: int = 128
+    ) -> None:
+        if num_hashes < 1:
+            raise ValueError(f"num_hashes must be >= 1, got {num_hashes}")
+        self.universe_size = universe_size
+        self.max_set_size = max_set_size
+        self.num_hashes = num_hashes
+
+    def _hashes(self, ctx: PartyContext) -> List[PairwiseHash]:
+        return _sketch_hashes(
+            ctx.shared, self.universe_size, self.num_hashes, "minhash"
+        )
+
+    @property
+    def value_width(self) -> int:
+        """Wire width of one sketch coordinate."""
+        return ceil_log2(max(self.universe_size * 4, 1 << 20))
+
+    def alice(self, ctx: PartyContext) -> Generator:
+        """Alice: one message carrying ``|S|`` and the sketch."""
+        own: FrozenSet[int] = frozenset(ctx.input)
+        sketch = build_sketch(own, self._hashes(ctx))
+        writer = BitWriter()
+        writer.write_gamma(len(own))
+        if own:
+            for value in sketch:
+                writer.write_uint(value, self.value_width)
+        yield Send(writer.finish())
+        return None
+
+    def bob(self, ctx: PartyContext) -> Generator:
+        """Bob: compare sketches coordinate-wise, output the estimate."""
+        own: FrozenSet[int] = frozenset(ctx.input)
+        reader = BitReader((yield Recv()))
+        alice_size = reader.read_gamma()
+        alice_sketch = (
+            [reader.read_uint(self.value_width) for _ in range(self.num_hashes)]
+            if alice_size
+            else []
+        )
+        reader.expect_exhausted()
+        if alice_size == 0 or not own:
+            return MinHashEstimate(
+                jaccard_estimate=0.0,
+                intersection_estimate=0,
+                union_estimate=alice_size + len(own),
+                num_hashes=self.num_hashes,
+            )
+        own_sketch = build_sketch(own, self._hashes(ctx))
+        agreements = sum(
+            int(a == b) for a, b in zip(alice_sketch, own_sketch)
+        )
+        jaccard = agreements / self.num_hashes
+        total = alice_size + len(own)
+        intersection = int(round(total * jaccard / (1.0 + jaccard)))
+        union = total - intersection
+        return MinHashEstimate(
+            jaccard_estimate=jaccard,
+            intersection_estimate=intersection,
+            union_estimate=union,
+            num_hashes=self.num_hashes,
+        )
+
+    def run(self, alice_set, bob_set, *, seed: int = 0):
+        """Execute on one instance; Bob's output is the
+        :class:`MinHashEstimate`."""
+        s, t = validate_set_pair(
+            alice_set, bob_set, self.universe_size, self.max_set_size
+        )
+        return run_two_party(
+            self.alice, self.bob, alice_input=s, bob_input=t, shared_seed=seed
+        )

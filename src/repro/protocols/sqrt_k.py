@@ -1,0 +1,148 @@
+"""Theorem 3.1: ``O(k)`` expected bits via bucketing + amortized equality.
+
+The construction of Section 3.1:
+
+1. a shared hash ``H: [n] -> [N]`` with ``N = k^c`` (``c > 2``) reduces the
+   universe; ``H`` is collision-free on ``S u T`` except with probability
+   ``1/Omega(k^{c-2})``, so the parties may pretend ``S, T subset of [N]``;
+2. a shared hash ``h: [N] -> [k]`` splits the (reduced) sets into buckets
+   ``S_i, T_i``;
+3. for every bucket ``i`` and every pair ``(s, t) in S_i x T_i`` the parties
+   create one equality instance; the expected total number of instances is
+   at most ``6k`` (the paper's equation (1): bucket sizes are Binomial
+   ``B(|S u T|, 1/k)``, so ``E[|S_i| |T_i|] <= E[|(S u T)_i|^2] = O(1)``);
+4. all instances are solved with one invocation of the amortized-equality
+   protocol (Theorem 3.2 interface, :mod:`repro.protocols.fknn`); an
+   element belongs to the output exactly when one of its instances came
+   back equal.
+
+Bucket sizes are exchanged first (``O(k)`` bits, 2 messages) so both parties
+agree on the instance list.  Expected communication is ``O(k)``; rounds are
+``O(log k)`` with our amortized-equality implementation, within Theorem
+3.1's ``O(sqrt(k))`` budget (the theorem's round count is an upper bound
+inherited from FKNN's inherently sequential protocol).
+
+Error sources: an ``H`` collision on ``S u T`` (``<= 4/k`` at ``c = 3``,
+may add spurious elements) or an amortized-equality false equal
+(``2^-Omega(sqrt(k))``); overall success ``1 - 1/poly(k)`` as stated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Generator, List, Tuple
+
+from repro.comm.engine import PartyContext, Recv, Send
+from repro.hashing.pairwise import PairwiseHash, sample_pairwise_hash
+from repro.protocols.base import SetIntersectionProtocol
+from repro.protocols.fknn import run_amortized_equality
+from repro.util.bits import BitReader, BitWriter
+
+__all__ = ["SqrtKProtocol"]
+
+
+class SqrtKProtocol(SetIntersectionProtocol):
+    """The Theorem 3.1 protocol.
+
+    :param universe_size: universe ``[n]``.
+    :param max_set_size: bound ``k``.
+    :param universe_exponent: the ``c`` of ``N = k^c`` (must exceed 2 for
+        the Fact 2.1 / collision analysis; default 3).
+    :param max_passes: retry cutoff forwarded to the amortized-equality
+        sub-protocol.
+    """
+
+    name = "sqrt-k"
+
+    def __init__(
+        self,
+        universe_size: int,
+        max_set_size: int,
+        *,
+        universe_exponent: int = 3,
+        max_passes: int = 64,
+    ) -> None:
+        super().__init__(universe_size, max_set_size)
+        if universe_exponent <= 2:
+            raise ValueError(
+                f"universe_exponent must be > 2 (Fact 2.1), got {universe_exponent}"
+            )
+        self.universe_exponent = universe_exponent
+        self.max_passes = max_passes
+        self.reduced_universe = max(max_set_size, 2) ** universe_exponent
+        self.num_buckets = max_set_size
+
+    def _hashes(self, ctx: PartyContext) -> Tuple[PairwiseHash, PairwiseHash]:
+        reduce_hash = sample_pairwise_hash(
+            self.universe_size, self.reduced_universe, ctx.shared.stream("sqrtk/H")
+        )
+        bucket_hash = sample_pairwise_hash(
+            self.reduced_universe, self.num_buckets, ctx.shared.stream("sqrtk/h")
+        )
+        return reduce_hash, bucket_hash
+
+    def _party(self, ctx: PartyContext) -> Generator:
+        is_alice = ctx.role == "alice"
+        own: FrozenSet[int] = frozenset(ctx.input)
+        reduce_hash, bucket_hash = self._hashes(ctx)
+
+        # Reduced images per bucket, with back-maps to original elements
+        # (an H collision merges originals under one image; the error
+        # analysis charges this to the 1/poly(k) failure budget).
+        back_map: Dict[int, List[int]] = {}
+        for element in sorted(own):
+            back_map.setdefault(reduce_hash(element), []).append(element)
+        buckets: Dict[int, List[int]] = {}
+        for image in sorted(back_map):
+            buckets.setdefault(bucket_hash(image), []).append(image)
+
+        my_sizes = [len(buckets.get(i, ())) for i in range(self.num_buckets)]
+        writer = BitWriter()
+        for size in my_sizes:
+            writer.write_gamma(size)
+        if is_alice:
+            yield Send(writer.finish())
+            reader = BitReader((yield Recv()))
+        else:
+            reader = BitReader((yield Recv()))
+            yield Send(writer.finish())
+        other_sizes = [reader.read_gamma() for _ in range(self.num_buckets)]
+        reader.expect_exhausted()
+
+        # Instance list: (bucket, alice_rank, bob_rank), common knowledge.
+        alice_sizes = my_sizes if is_alice else other_sizes
+        bob_sizes = other_sizes if is_alice else my_sizes
+        instances: List[Tuple[int, int, int]] = [
+            (bucket, a_rank, b_rank)
+            for bucket in range(self.num_buckets)
+            for a_rank in range(alice_sizes[bucket])
+            for b_rank in range(bob_sizes[bucket])
+        ]
+        my_rank = 1 if is_alice else 2
+        my_values = [
+            buckets[instance[0]][instance[my_rank]] for instance in instances
+        ]
+
+        verdicts = yield from run_amortized_equality(
+            ctx,
+            my_values,
+            num_instances=len(instances),
+            max_passes=self.max_passes,
+            label="sqrtk/eq",
+        )
+
+        matched_images = {
+            my_values[index] for index, equal in enumerate(verdicts) if equal
+        }
+        return frozenset(
+            original
+            for image in matched_images
+            for original in back_map[image]
+        )
+
+    def alice(self, ctx: PartyContext) -> Generator:
+        """Alice's side (her ranks are the second instance coordinate)."""
+        return (yield from self._party(ctx))
+
+    def bob(self, ctx: PartyContext) -> Generator:
+        """Bob's side (his ranks are the third instance coordinate)."""
+        return (yield from self._party(ctx))

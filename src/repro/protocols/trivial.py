@@ -1,0 +1,60 @@
+"""The trivial deterministic protocol: ``D^(1)(INT_k) = O(k log(n/k))``.
+
+Alice gap-encodes her entire set (Elias-gamma deltas, ``O(k log(n/k))``
+bits, within a constant of the information-theoretic ``log2 C(n, k)``) and
+sends it in a single message; Bob intersects locally.  In the default
+two-output mode Bob sends the intersection back the same way (still one
+message each direction and ``O(k log(n/k))`` bits total); with
+``both_outputs=False`` the protocol is the paper's literal single-message
+variant where only Bob learns the answer.
+
+This is the baseline every randomized protocol is measured against: it is
+exact, deterministic, and round-optimal, but its communication carries the
+``log(n/k)`` factor that Theorem 1.1 removes.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.comm.engine import PartyContext, Recv, Send
+from repro.protocols.base import SetIntersectionProtocol
+from repro.util.bits import decode_delta_sorted_set, encode_delta_sorted_set
+
+__all__ = ["TrivialExchangeProtocol"]
+
+
+class TrivialExchangeProtocol(SetIntersectionProtocol):
+    """Deterministic one-message exchange (Section 1, ``D^(1)``).
+
+    :param universe_size: universe ``[n]``.
+    :param max_set_size: bound ``k``.
+    :param both_outputs: when True (default) Bob replies with the
+        intersection so both parties output it; when False only Bob outputs
+        (Alice outputs ``None``) and the protocol is a single message.
+    """
+
+    name = "trivial-exchange"
+
+    def __init__(
+        self, universe_size: int, max_set_size: int, *, both_outputs: bool = True
+    ) -> None:
+        super().__init__(universe_size, max_set_size)
+        self.both_outputs = both_outputs
+
+    def alice(self, ctx: PartyContext) -> Generator:
+        """Send the whole set; optionally receive the intersection back."""
+        yield Send(encode_delta_sorted_set(ctx.input))
+        if not self.both_outputs:
+            return None
+        reply = yield Recv()
+        return frozenset(decode_delta_sorted_set(reply))
+
+    def bob(self, ctx: PartyContext) -> Generator:
+        """Receive Alice's set, intersect locally, optionally reply."""
+        received = yield Recv()
+        alice_set = frozenset(decode_delta_sorted_set(received))
+        intersection = frozenset(ctx.input) & alice_set
+        if self.both_outputs:
+            yield Send(encode_delta_sorted_set(intersection))
+        return intersection

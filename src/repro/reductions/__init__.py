@@ -1,0 +1,17 @@
+"""Reductions between the paper's problems.
+
+* :mod:`repro.reductions.eq_to_int` -- Fact 2.1: ``EQ^n_k`` reduces to
+  ``INT_k`` by pair-tagging (an instance ``(x_1..x_k, y_1..y_k)`` becomes
+  the sets ``{(i, x_i)}`` and ``{(i, y_i)}``; the intersection is exactly
+  the set of equal coordinates).  Because the tree protocol solves
+  ``INT_k`` with ``O(k)`` bits in ``O(log* k)`` rounds, the reduction
+  *significantly improves the round complexity of Feder et al.* -- the
+  paper's closing observation in Section 1.
+* Disjointness via intersection lives in
+  :mod:`repro.protocols.disjointness`
+  (:class:`~repro.protocols.disjointness.DisjointnessViaIntersection`).
+"""
+
+from repro.reductions.eq_to_int import EqualityViaIntersection
+
+__all__ = ["EqualityViaIntersection"]

@@ -1,0 +1,95 @@
+"""Structured (JSON-ready) views of run results.
+
+Operational tooling wants machine-readable records of what a protocol run
+cost; this module converts the library's result objects into plain dicts /
+JSON strings with a stable schema.
+
+Schema stability is a compatibility promise: tests pin the exact key sets.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.comm.stats import TrialReport
+from repro.core.api import IntersectionResult
+from repro.multiparty.coordinator import MultipartyResult
+
+__all__ = [
+    "intersection_result_to_dict",
+    "trial_report_to_dict",
+    "multiparty_result_to_dict",
+    "to_json",
+]
+
+
+def intersection_result_to_dict(result: IntersectionResult) -> Dict[str, Any]:
+    """Flatten an :class:`IntersectionResult` (elements sorted for
+    deterministic output)."""
+    return {
+        "schema": "repro.intersection_result/1",
+        "intersection": sorted(result.intersection),
+        "intersection_size": len(result.intersection),
+        "bits": result.bits,
+        "messages": result.messages,
+        "protocol": result.protocol,
+        "rounds_parameter": result.rounds_parameter,
+        "parties_agree": result.parties_agree,
+    }
+
+
+def trial_report_to_dict(report: TrialReport) -> Dict[str, Any]:
+    """Flatten a :class:`TrialReport` from the stats/empirical layers."""
+    def summary(s):
+        return {
+            "count": s.count,
+            "mean": s.mean,
+            "min": s.minimum,
+            "max": s.maximum,
+            "p50": s.p50,
+            "p95": s.p95,
+        }
+
+    return {
+        "schema": "repro.trial_report/1",
+        "trials": report.trials,
+        "failures": report.failures,
+        "success_rate": report.success_rate,
+        "bits": summary(report.bits),
+        "messages": summary(report.messages),
+    }
+
+
+def multiparty_result_to_dict(result: MultipartyResult) -> Dict[str, Any]:
+    """Flatten a :class:`MultipartyResult` with per-player accounting."""
+    outcome = result.outcome
+    return {
+        "schema": "repro.multiparty_result/1",
+        "intersection": sorted(result.intersection),
+        "intersection_size": len(result.intersection),
+        "total_bits": result.total_bits,
+        "rounds": result.rounds,
+        "max_player_bits": outcome.max_player_bits,
+        "average_player_bits": outcome.average_player_bits,
+        "players": {
+            name: {
+                "sent": outcome.bits_sent[name],
+                "received": outcome.bits_received[name],
+            }
+            for name in sorted(outcome.bits_sent)
+        },
+    }
+
+
+def to_json(result, *, indent: int = 2) -> str:
+    """Serialize any supported result object to a JSON string."""
+    if isinstance(result, IntersectionResult):
+        payload = intersection_result_to_dict(result)
+    elif isinstance(result, TrialReport):
+        payload = trial_report_to_dict(result)
+    elif isinstance(result, MultipartyResult):
+        payload = multiparty_result_to_dict(result)
+    else:
+        raise TypeError(f"no JSON schema for {type(result).__name__}")
+    return json.dumps(payload, indent=indent, sort_keys=True)

@@ -1,0 +1,174 @@
+"""Long-lived intersection sessions between two servers.
+
+Real deployments don't intersect once: a pair of databases reconciles
+every few minutes, a similarity service answers a stream of queries.  An
+:class:`IntersectionSession` models the long-lived pairing:
+
+* one master seed establishes the common random string once; every
+  operation then draws a fresh, independent region of it (no reseeding
+  handshake per query, matching how the shared-coin model amortizes);
+* cumulative accounting across operations (total bits, per-operation
+  history) -- the numbers a capacity planner actually tracks;
+* the per-call knobs of :func:`~repro.core.api.compute_intersection`
+  (rounds, amplification) are fixed session-wide, like a negotiated
+  protocol version.
+
+::
+
+    session = IntersectionSession(universe_size=1 << 32, max_set_size=1000)
+    session.intersect(S1, T1)
+    session.jaccard(S2, T2)
+    session.stats().total_bits
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import FrozenSet, Iterable, List, Optional
+
+from repro.core.api import IntersectionResult, compute_intersection
+
+__all__ = ["IntersectionSession", "OperationRecord", "SessionStats"]
+
+
+@dataclass(frozen=True)
+class OperationRecord:
+    """One operation's accounting entry."""
+
+    index: int
+    kind: str
+    bits: int
+    messages: int
+    protocol: str
+    result_size: int
+
+
+@dataclass
+class SessionStats:
+    """Cumulative session accounting."""
+
+    operations: int = 0
+    total_bits: int = 0
+    total_messages: int = 0
+    history: List[OperationRecord] = field(default_factory=list)
+
+    def record(self, kind: str, result: IntersectionResult) -> None:
+        """Append one operation."""
+        self.history.append(
+            OperationRecord(
+                index=self.operations,
+                kind=kind,
+                bits=result.bits,
+                messages=result.messages,
+                protocol=result.protocol,
+                result_size=len(result.intersection),
+            )
+        )
+        self.operations += 1
+        self.total_bits += result.bits
+        self.total_messages += result.messages
+
+    @property
+    def mean_bits(self) -> float:
+        """Average bits per operation (0 for an idle session)."""
+        if not self.operations:
+            return 0.0
+        return self.total_bits / self.operations
+
+
+class IntersectionSession:
+    """A stateful two-server pairing issuing repeated set operations.
+
+    :param universe_size: the universe ``[n]`` (fixed for the session).
+    :param max_set_size: the bound ``k`` (per operation).
+    :param rounds: tradeoff parameter for every operation.
+    :param model: ``"shared"`` or ``"private"`` (the private-coin seed
+        transmission then recurs per operation, as it must).
+    :param amplified: use the Section 4 amplification on every operation.
+    :param seed: master session seed; operation ``i`` uses the derived seed
+        ``hash(seed, i)`` so repeated identical queries still draw fresh
+        coins.
+    """
+
+    def __init__(
+        self,
+        universe_size: int,
+        max_set_size: int,
+        *,
+        rounds: Optional[int] = None,
+        model: str = "shared",
+        amplified: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.universe_size = universe_size
+        self.max_set_size = max_set_size
+        self.rounds = rounds
+        self.model = model
+        self.amplified = amplified
+        self.seed = seed
+        self._stats = SessionStats()
+
+    def _operation_seed(self) -> int:
+        # Deterministic per-operation derivation; avoids coin reuse across
+        # operations without any renegotiation bits.
+        return (self.seed * 1_000_003 + self._stats.operations) & 0x7FFFFFFF
+
+    def _run(self, kind: str, alice_set, bob_set) -> IntersectionResult:
+        result = compute_intersection(
+            alice_set,
+            bob_set,
+            universe_size=self.universe_size,
+            max_set_size=self.max_set_size,
+            rounds=self.rounds,
+            model=self.model,
+            amplified=self.amplified,
+            seed=self._operation_seed(),
+        )
+        self._stats.record(kind, result)
+        return result
+
+    # -- operations ---------------------------------------------------------
+
+    def intersect(
+        self, alice_set: Iterable[int], bob_set: Iterable[int]
+    ) -> FrozenSet[int]:
+        """Recover ``S n T``."""
+        return self._run("intersect", alice_set, bob_set).intersection
+
+    def intersection_size(
+        self, alice_set: Iterable[int], bob_set: Iterable[int]
+    ) -> int:
+        """Exact ``|S n T|``."""
+        return len(self._run("size", alice_set, bob_set).intersection)
+
+    def jaccard(
+        self, alice_set: Iterable[int], bob_set: Iterable[int]
+    ) -> Fraction:
+        """Exact Jaccard similarity (1 for two empty sets)."""
+        s = frozenset(alice_set)
+        t = frozenset(bob_set)
+        common = len(self._run("jaccard", s, t).intersection)
+        union = len(s) + len(t) - common
+        if union == 0:
+            return Fraction(1)
+        return Fraction(common, union)
+
+    def contains_any(
+        self, alice_set: Iterable[int], bob_set: Iterable[int]
+    ) -> bool:
+        """Disjointness check (True iff the sets share an element)."""
+        return bool(self._run("contains-any", alice_set, bob_set).intersection)
+
+    # -- accounting ----------------------------------------------------------
+
+    def stats(self) -> SessionStats:
+        """The session's cumulative accounting (live object)."""
+        return self._stats
+
+    def __repr__(self) -> str:
+        return (
+            f"IntersectionSession(n={self.universe_size}, "
+            f"k={self.max_set_size}, ops={self._stats.operations}, "
+            f"bits={self._stats.total_bits})"
+        )

@@ -1,0 +1,152 @@
+"""Conformance checks for ``INT_k`` protocol implementations.
+
+Downstream users extending this library with their own protocol can run it
+through the same contract the built-in suite enforces::
+
+    from repro.testing import check_intersection_contract
+
+    report = check_intersection_contract(MyProtocol(1 << 20, 128))
+    assert report.passed, report.violations
+
+The contract, derived from the paper's guarantees:
+
+1. **Exactness w.h.p.** -- across seeded instances spanning the overlap
+   regimes, both parties output exactly ``S n T`` in all but
+   ``failure_budget`` runs;
+2. **Sandwich invariant** (optional, on by default) -- every output sits
+   between ``S n T`` and the owner's input, even on failing runs: the
+   paper's protocols are one-sided by construction, and wrappers built on
+   Corollary 3.4 need this to amplify soundly;
+3. **Agreement implies exactness** (optional) -- whenever the two outputs
+   coincide they must equal the truth (Proposition 3.9's invariant);
+4. **Replayability** -- same seed, same transcript cost;
+5. **Round budget** (optional) -- ``num_messages <= max_messages``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.workloads.twoparty import WorkloadSpec, generate_pair
+
+__all__ = ["ConformanceReport", "check_intersection_contract"]
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of a conformance run.
+
+    :param runs: total protocol executions performed.
+    :param failures: runs whose outputs were not exactly ``S n T``.
+    :param violations: human-readable contract violations (empty = pass).
+    """
+
+    runs: int = 0
+    failures: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when no contract clause was violated."""
+        return not self.violations
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        lines = [f"{status}: {self.runs} runs, {self.failures} inexact"]
+        lines.extend(f"  - {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+def check_intersection_contract(
+    protocol,
+    *,
+    universe_size: Optional[int] = None,
+    max_set_size: Optional[int] = None,
+    seeds_per_regime: int = 5,
+    failure_budget: int = 0,
+    check_sandwich: bool = True,
+    check_agreement_exactness: bool = True,
+    max_messages: Optional[int] = None,
+    first_seed: int = 0,
+) -> ConformanceReport:
+    """Run the contract against a protocol instance.
+
+    :param protocol: object exposing ``universe_size``, ``max_set_size``
+        and ``run(S, T, seed=...) -> IntersectionOutcome``-shaped results.
+    :param universe_size: override the protocol's universe (defaults to
+        its attribute).
+    :param max_set_size: override the instance ``k`` (defaults to the
+        protocol's attribute).
+    :param seeds_per_regime: seeded runs per overlap regime
+        {0, 0.5, 1.0} -- ``3 * seeds_per_regime`` runs total.
+    :param failure_budget: tolerated inexact runs (0 for deterministic or
+        strongly amplified protocols; give randomized protocols slack
+        proportional to their stated error).
+    :param check_sandwich: enforce clause 2.
+    :param check_agreement_exactness: enforce clause 3.
+    :param max_messages: enforce clause 5 when given.
+    :param first_seed: base seed (contract runs are replayable).
+    """
+    n = universe_size or protocol.universe_size
+    k = max_set_size or protocol.max_set_size
+    report = ConformanceReport()
+
+    for overlap in (0.0, 0.5, 1.0):
+        spec = WorkloadSpec(n, k, overlap)
+        for offset in range(seeds_per_regime):
+            seed = first_seed + offset
+            s, t = generate_pair(spec, seed)
+            truth = s & t
+            outcome = protocol.run(s, t, seed=seed)
+            report.runs += 1
+
+            exact = (
+                outcome.alice_output == truth and outcome.bob_output == truth
+            )
+            if not exact:
+                report.failures += 1
+
+            if check_sandwich:
+                for side, own in (("alice", s), ("bob", t)):
+                    produced = getattr(outcome, f"{side}_output")
+                    if produced is None:
+                        report.violations.append(
+                            f"overlap={overlap} seed={seed}: {side} output "
+                            f"is None"
+                        )
+                    elif not (truth <= produced <= own):
+                        report.violations.append(
+                            f"overlap={overlap} seed={seed}: {side} output "
+                            f"violates S n T <= out <= own"
+                        )
+
+            if (
+                check_agreement_exactness
+                and outcome.alice_output == outcome.bob_output
+                and outcome.alice_output != truth
+            ):
+                report.violations.append(
+                    f"overlap={overlap} seed={seed}: outputs agree but are "
+                    f"not the intersection (Prop 3.9 violated)"
+                )
+
+            if max_messages is not None and outcome.num_messages > max_messages:
+                report.violations.append(
+                    f"overlap={overlap} seed={seed}: {outcome.num_messages} "
+                    f"messages exceeds budget {max_messages}"
+                )
+
+            replay = protocol.run(s, t, seed=seed)
+            if replay.total_bits != outcome.total_bits:
+                report.violations.append(
+                    f"overlap={overlap} seed={seed}: replay changed cost "
+                    f"({outcome.total_bits} -> {replay.total_bits})"
+                )
+
+    if report.failures > failure_budget:
+        report.violations.append(
+            f"{report.failures} inexact runs exceed the failure budget "
+            f"{failure_budget}"
+        )
+    return report

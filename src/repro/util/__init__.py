@@ -1,0 +1,58 @@
+"""Foundational utilities shared by every protocol.
+
+This subpackage contains the three substrates that everything else is built
+on:
+
+* :mod:`repro.util.iterlog` -- the iterated-logarithm arithmetic
+  (``log^(r) k``, ``log* k``) that parameterizes the paper's
+  communication/round tradeoff.
+* :mod:`repro.util.bits` -- bit-exact message encoding.  Every message a
+  protocol puts on the wire is a :class:`~repro.util.bits.BitString`, so the
+  simulator can report communication in actual bits.
+* :mod:`repro.util.rng` -- the randomness model: a shared random string
+  (common-coin model) plus per-party private coins, all reproducible from
+  seeds.
+"""
+
+from repro.util.bits import (
+    BitReader,
+    BitString,
+    BitWriter,
+    decode_delta_sorted_set,
+    decode_elias_gamma,
+    decode_fixed_list,
+    decode_uint,
+    encode_delta_sorted_set,
+    encode_elias_gamma,
+    encode_fixed_list,
+    encode_uint,
+)
+from repro.util.iterlog import (
+    ceil_log2,
+    ilog2,
+    iterated_log,
+    log_star,
+    tower,
+)
+from repro.util.rng import PrivateRandomness, SharedRandomness
+
+__all__ = [
+    "BitReader",
+    "BitString",
+    "BitWriter",
+    "decode_delta_sorted_set",
+    "decode_elias_gamma",
+    "decode_fixed_list",
+    "decode_uint",
+    "encode_delta_sorted_set",
+    "encode_elias_gamma",
+    "encode_fixed_list",
+    "encode_uint",
+    "ceil_log2",
+    "ilog2",
+    "iterated_log",
+    "log_star",
+    "tower",
+    "PrivateRandomness",
+    "SharedRandomness",
+]

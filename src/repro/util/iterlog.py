@@ -1,0 +1,118 @@
+"""Iterated-logarithm arithmetic.
+
+The paper's central tradeoff is parameterized by the iterated logarithm:
+an ``r``-round protocol achieves communication ``O(k * log^(r) k)`` where
+
+* ``log^(0) k = k``,
+* ``log^(i) k = log2(log^(i-1) k)`` for ``i >= 1``,
+
+and ``log* k`` is the number of iterations needed to drive the value down to
+at most 1.  Protocol code needs an integer-friendly, total version of these
+functions (the mathematical ``log^(i)`` becomes undefined or negative once
+the argument drops below 1), so every function here is defined for all
+integers ``k >= 0`` and clamps at a floor of ``1.0`` exactly where the paper
+treats quantities like ``log^(r-1) k`` as "at least a constant".
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ilog2", "ceil_log2", "iterated_log", "log_star", "tower"]
+
+
+def ilog2(value: int) -> int:
+    """Floor of ``log2(value)`` for a positive integer, computed exactly.
+
+    Uses ``int.bit_length`` so it is exact for arbitrarily large integers
+    (unlike ``math.log2``, which goes through a float).
+
+    >>> ilog2(1), ilog2(2), ilog2(1023), ilog2(1024)
+    (0, 1, 9, 10)
+    """
+    if value <= 0:
+        raise ValueError(f"ilog2 requires a positive integer, got {value!r}")
+    return value.bit_length() - 1
+
+
+def ceil_log2(value: int) -> int:
+    """Ceiling of ``log2(value)`` for a positive integer, computed exactly.
+
+    ``ceil_log2(t)`` is the number of bits needed to address ``t`` distinct
+    values -- the width used throughout the protocols to transmit a hash
+    value in ``[t]``.
+
+    >>> ceil_log2(1), ceil_log2(2), ceil_log2(3), ceil_log2(1024)
+    (0, 1, 2, 10)
+    """
+    if value <= 0:
+        raise ValueError(f"ceil_log2 requires a positive integer, got {value!r}")
+    return (value - 1).bit_length()
+
+
+def iterated_log(k: int, r: int) -> float:
+    """The ``r``-times iterated logarithm ``log^(r) k``, clamped below at 1.
+
+    ``iterated_log(k, 0) == k`` and ``iterated_log(k, i) ==
+    log2(iterated_log(k, i - 1))`` while the value stays above 2; once the
+    value reaches 1 it stays there.  The clamp mirrors the paper's usage:
+    quantities such as the degree ``log^(r-i) k / log^(r-i+1) k`` or the
+    equality-test confidence ``1/(log^(r-i-1) k)^4`` are only meaningful
+    while the iterated log is ``>= 1``, and the protocols treat deeper
+    iterates as "a constant".
+
+    :param k: the problem-size parameter (``k >= 0``).
+    :param r: how many times to apply ``log2`` (``r >= 0``).
+    :returns: a float ``>= 1.0`` (unless ``r == 0``, when it returns ``k``
+        itself, which may be 0).
+    """
+    if k < 0:
+        raise ValueError(f"iterated_log requires k >= 0, got {k!r}")
+    if r < 0:
+        raise ValueError(f"iterated_log requires r >= 0, got {r!r}")
+    value = float(k)
+    for _ in range(r):
+        if value <= 2.0:
+            return 1.0
+        value = math.log2(value)
+    return max(value, 1.0) if r > 0 else value
+
+
+def log_star(k: int) -> int:
+    """The iterated-logarithm count ``log* k``.
+
+    The number of times ``log2`` must be applied to ``k`` before the result
+    is at most 1.  ``log_star(k)`` is the round parameter at which the tree
+    protocol's communication bound ``O(k * log^(r) k)`` bottoms out at
+    ``O(k)``.
+
+    >>> [log_star(k) for k in (1, 2, 4, 16, 65536)]
+    [0, 1, 2, 3, 4]
+    """
+    if k < 0:
+        raise ValueError(f"log_star requires k >= 0, got {k!r}")
+    count = 0
+    value = float(k)
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+    return count
+
+
+def tower(height: int) -> int:
+    """The power tower ``2^2^...^2`` of the given height.
+
+    ``tower(h)`` is the largest ``k`` with ``log* k == h``; it is the inverse
+    of :func:`log_star` and is used by tests to probe the boundaries of the
+    tradeoff (``tower(4) == 65536`` is the last ``k`` needing only 4
+    rounds at the optimal point).
+
+    >>> [tower(h) for h in range(5)]
+    [1, 2, 4, 16, 65536]
+    """
+    if height < 0:
+        raise ValueError(f"tower requires height >= 0, got {height!r}")
+    value = 1
+    for _ in range(height):
+        value = 2**value
+    return value

@@ -1,0 +1,167 @@
+"""The randomness model: shared and private random strings.
+
+The paper's protocols live in the *common random string* model: Alice and
+Bob (and in Section 4, all ``m`` players) see one infinite shared string of
+unbiased coin flips and are otherwise deterministic.  The private-randomness
+variants additionally give each party its own coins.
+
+:class:`SharedRandomness` models the common random string as a family of
+independent, lazily generated streams addressed by string labels.  Both
+parties hold the *same* ``SharedRandomness`` (same seed), so when Alice
+derives "the hash function at tree node (3, 7), repetition 2" she gets bit
+for bit the same function Bob derives -- without any communication, exactly
+as the common-coin model prescribes.  Labels make the independence structure
+explicit and keep repeated sub-protocol invocations from reusing coins.
+
+:class:`PrivateRandomness` is a per-party stream for the private-coin model
+(Section 3.1's constructive protocols exchange ``O(log k + log log n)`` seed
+bits drawn from it).
+
+Everything is deterministic given the seeds, which is what makes every
+protocol run in the test suite replayable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterator
+
+from repro.util.bits import BitString
+
+__all__ = ["SharedRandomness", "PrivateRandomness"]
+
+
+def _derive_seed(seed: int, label: str) -> int:
+    """Derive a stream seed from a master seed and a label, collision-free
+    for all practical purposes (SHA-256 of the pair)."""
+    digest = hashlib.sha256(f"{seed}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:16], "big")
+
+
+class RandomStream:
+    """One addressable stream of coin flips.
+
+    A thin, deterministic wrapper over :class:`random.Random` exposing the
+    draw shapes protocols need.  Streams with different labels (or different
+    master seeds) behave as independent random sources.
+    """
+
+    def __init__(self, seed: int, label: str) -> None:
+        self._label = label
+        self._rng = random.Random(_derive_seed(seed, label))
+
+    @property
+    def label(self) -> str:
+        """The label this stream was derived for."""
+        return self._label
+
+    def bit(self) -> int:
+        """One unbiased coin flip."""
+        return self._rng.getrandbits(1)
+
+    def bits(self, count: int) -> BitString:
+        """``count`` unbiased coin flips as a :class:`BitString`."""
+        if count < 0:
+            raise ValueError(f"cannot draw {count} bits")
+        if count == 0:
+            return BitString.empty()
+        return BitString(self._rng.getrandbits(count), count)
+
+    def uint_below(self, bound: int) -> int:
+        """A uniform integer in ``[0, bound)``."""
+        if bound <= 0:
+            raise ValueError(f"uint_below requires bound >= 1, got {bound}")
+        return self._rng.randrange(bound)
+
+    def uniform(self) -> float:
+        """A uniform float in ``[0, 1)`` (used only by workload generators)."""
+        return self._rng.random()
+
+    def sample_without_replacement(self, population: int, size: int) -> list:
+        """A uniform ``size``-subset of ``[population]`` as a sorted list."""
+        if size > population:
+            raise ValueError(
+                f"cannot sample {size} elements from a universe of {population}"
+            )
+        return sorted(self._rng.sample(range(population), size))
+
+
+class SharedRandomness:
+    """The common random string, addressable by labels.
+
+    Both parties construct a ``SharedRandomness`` from the same seed; calling
+    :meth:`stream` with the same label on either side yields identical coin
+    flips.  Protocols use hierarchical labels such as
+    ``"tree/stage3/node17/eq"`` so that every hash function and equality test
+    in a run draws fresh, independent shared coins.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+
+    @property
+    def seed(self) -> int:
+        """The master seed (for replay / reporting)."""
+        return self._seed
+
+    def stream(self, label: str) -> RandomStream:
+        """The shared stream addressed by ``label``.
+
+        Calling this twice with the same label returns a *fresh iterator
+        over the same coin flips* -- which is exactly the semantics both
+        parties need to independently derive the same hash function.
+        """
+        return RandomStream(self._seed, label)
+
+    def sub(self, prefix: str) -> "SharedRandomness":
+        """A namespaced view: ``sub(p).stream(l)`` equals ``stream(p + '/' + l)``.
+
+        Used to give nested sub-protocol invocations disjoint regions of the
+        common random string without threading label prefixes by hand.
+        """
+        return _NamespacedSharedRandomness(self, prefix)
+
+
+class _NamespacedSharedRandomness(SharedRandomness):
+    """A view of a parent :class:`SharedRandomness` under a label prefix."""
+
+    def __init__(self, parent: SharedRandomness, prefix: str) -> None:
+        super().__init__(parent.seed)
+        self._parent = parent
+        self._prefix = prefix
+
+    def stream(self, label: str) -> RandomStream:
+        return self._parent.stream(f"{self._prefix}/{label}")
+
+    def sub(self, prefix: str) -> "SharedRandomness":
+        return _NamespacedSharedRandomness(self._parent, f"{self._prefix}/{prefix}")
+
+
+class PrivateRandomness:
+    """One party's private coins (private-randomness model).
+
+    Structurally identical to :class:`SharedRandomness` but held by a single
+    party; the constructive private-coin protocols draw hash-function seeds
+    here and *transmit* them (that transmission is the ``O(log k +
+    log log n)`` additive cost of Section 3.1).
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+
+    @property
+    def seed(self) -> int:
+        """The party's private seed."""
+        return self._seed
+
+    def stream(self, label: str) -> RandomStream:
+        """The private stream addressed by ``label``."""
+        return RandomStream(self._seed, f"private/{label}")
+
+
+def independent_labels(base: str, count: int) -> Iterator[str]:
+    """Yield ``count`` distinct labels under ``base`` (helper for loops that
+    need a fresh stream per iteration)."""
+    for index in range(count):
+        yield f"{base}/{index}"

@@ -1,0 +1,29 @@
+"""Workload generators for experiments, examples, and tests.
+
+The paper's motivating workloads are database-shaped: joins between
+relations, near-duplicate documents, distributed logs.  This subpackage
+provides seeded generators for those shapes so benchmarks and downstream
+users exercise the protocols on realistic input distributions, not just
+uniform random sets:
+
+* :mod:`repro.workloads.twoparty` -- pairs ``(S, T)`` with controlled
+  overlap under several element distributions (uniform, Zipf-clustered,
+  contiguous runs, adversarial arithmetic progressions).
+* :mod:`repro.workloads.multiparty` -- ``m``-player families with a
+  planted common core and per-player noise.
+"""
+
+from repro.workloads.multiparty import MultipartySpec, generate_multiparty
+from repro.workloads.twoparty import (
+    Distribution,
+    WorkloadSpec,
+    generate_pair,
+)
+
+__all__ = [
+    "Distribution",
+    "WorkloadSpec",
+    "generate_pair",
+    "MultipartySpec",
+    "generate_multiparty",
+]

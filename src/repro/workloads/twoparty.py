@@ -1,0 +1,128 @@
+"""Two-party instance generators.
+
+An :class:`WorkloadSpec` fixes the universe, set size, overlap fraction,
+and element *distribution*; :func:`generate_pair` draws a seeded instance.
+The distributions model the paper's application domains:
+
+* ``UNIFORM`` -- uniform random ids (hash-friendly; the default in the
+  benchmark suite).
+* ``CLUSTERED`` -- ids concentrated in a few dense runs, as in
+  auto-increment database keys: stresses the hash families' ability to
+  spread structured inputs.
+* ``ZIPF`` -- ids drawn from a Zipf-like popularity ranking, as in word
+  shingles or social graphs: elements cluster at small ids.
+* ``ARITHMETIC`` -- an adversarial arithmetic progression ``a*i + b``:
+  the worst case for the multiply-shift-style hashing this library uses
+  (linear structure can survive one linear hash), exercised by tests to
+  confirm the protocols' guarantees don't secretly rely on benign inputs.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Tuple
+
+__all__ = ["Distribution", "WorkloadSpec", "generate_pair", "generate_stream"]
+
+
+class Distribution(enum.Enum):
+    """Element-placement distributions for generated instances."""
+
+    UNIFORM = "uniform"
+    CLUSTERED = "clustered"
+    ZIPF = "zipf"
+    ARITHMETIC = "arithmetic"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a two-party workload.
+
+    :param universe_size: the universe ``[n]``.
+    :param set_size: ``k`` -- both sets have exactly this size.
+    :param overlap_fraction: ``|S n T| / k`` (0 = disjoint, 1 = identical).
+    :param distribution: element placement (see :class:`Distribution`).
+    """
+
+    universe_size: int
+    set_size: int
+    overlap_fraction: float
+    distribution: Distribution = Distribution.UNIFORM
+
+    def __post_init__(self) -> None:
+        if self.set_size < 1:
+            raise ValueError(f"set_size must be >= 1, got {self.set_size}")
+        if not 0.0 <= self.overlap_fraction <= 1.0:
+            raise ValueError(
+                f"overlap_fraction must be in [0, 1], got {self.overlap_fraction}"
+            )
+        if self.universe_size < 2 * self.set_size:
+            raise ValueError(
+                "universe must hold two disjoint sets: need "
+                f"universe_size >= {2 * self.set_size}, got {self.universe_size}"
+            )
+
+
+def _draw_distinct(rng: random.Random, spec: WorkloadSpec, count: int) -> List[int]:
+    """Draw ``count`` distinct universe elements per the spec's distribution."""
+    n = spec.universe_size
+    if spec.distribution is Distribution.UNIFORM:
+        return rng.sample(range(n), count)
+    chosen: set = set()
+    if spec.distribution is Distribution.CLUSTERED:
+        # A handful of dense runs, like auto-increment key ranges.  Extra
+        # cluster starts are added if overlapping runs leave too few
+        # distinct slots (guarantees termination).
+        starts = [rng.randrange(n) for _ in range(max(1, count // 32))]
+        stall = 0
+        while len(chosen) < count:
+            before = len(chosen)
+            chosen.add((rng.choice(starts) + rng.randrange(64)) % n)
+            stall = stall + 1 if len(chosen) == before else 0
+            if stall > 256:
+                starts.append(rng.randrange(n))
+                stall = 0
+        return list(chosen)
+    if spec.distribution is Distribution.ZIPF:
+        # Inverse-CDF-ish Zipf over ranks; heavy mass at small ids.
+        while len(chosen) < count:
+            rank = int(n ** rng.random()) % n
+            chosen.add(rank)
+        return list(chosen)
+    if spec.distribution is Distribution.ARITHMETIC:
+        stride = rng.randrange(1, max(2, n // (4 * count)) + 1)
+        base = rng.randrange(n)
+        value = base
+        while len(chosen) < count:
+            chosen.add(value % n)
+            value += stride
+        return list(chosen)
+    raise AssertionError(f"unhandled distribution {spec.distribution}")
+
+
+def generate_pair(
+    spec: WorkloadSpec, seed: int
+) -> Tuple[FrozenSet[int], FrozenSet[int]]:
+    """Draw one seeded instance ``(S, T)`` with
+    ``|S| = |T| = spec.set_size`` and
+    ``|S n T| = round(overlap_fraction * set_size)``."""
+    rng = random.Random((seed << 16) ^ hash(spec) & 0xFFFFFFFF)
+    overlap = int(round(spec.overlap_fraction * spec.set_size))
+    needed = 2 * spec.set_size - overlap
+    elements = _draw_distinct(rng, spec, needed)
+    common = elements[:overlap]
+    s_only = elements[overlap : spec.set_size]
+    t_only = elements[spec.set_size :]
+    return frozenset(common + s_only), frozenset(common + t_only)
+
+
+def generate_stream(
+    spec: WorkloadSpec, first_seed: int = 0
+) -> Iterator[Tuple[FrozenSet[int], FrozenSet[int]]]:
+    """An infinite stream of independent instances (for trial loops)."""
+    seed = first_seed
+    while True:
+        yield generate_pair(spec, seed)
+        seed += 1

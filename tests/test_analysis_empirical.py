@@ -1,0 +1,57 @@
+"""Tests for the Monte-Carlo measurement helper."""
+
+from repro.analysis.empirical import measure_protocol
+from repro.core.tree_protocol import TreeProtocol
+from repro.protocols.trivial import TrivialExchangeProtocol
+from repro.workloads import WorkloadSpec
+
+
+class TestMeasureProtocol:
+    def test_aggregates_trials(self):
+        spec = WorkloadSpec(1 << 16, 64, 0.5)
+        report = measure_protocol(
+            TreeProtocol(1 << 16, 64), spec, trials=8, first_seed=0
+        )
+        assert report.trials == 8
+        assert report.success_rate == 1.0
+        assert report.bits.mean > 0
+        assert report.messages.maximum <= 6 * 4
+
+    def test_replayable(self):
+        spec = WorkloadSpec(1 << 16, 64, 0.5)
+        protocol = TreeProtocol(1 << 16, 64)
+        a = measure_protocol(protocol, spec, trials=5)
+        b = measure_protocol(protocol, spec, trials=5)
+        assert a.bits.mean == b.bits.mean
+
+    def test_fixed_instance_mode_isolates_protocol_randomness(self):
+        spec = WorkloadSpec(1 << 16, 64, 0.5)
+        deterministic = TrivialExchangeProtocol(1 << 16, 64)
+        report = measure_protocol(
+            deterministic,
+            spec,
+            trials=6,
+            fresh_instance_per_trial=False,
+        )
+        # same instance + deterministic protocol = identical cost each time
+        assert report.bits.minimum == report.bits.maximum
+
+    def test_fresh_instances_vary_cost_for_trivial(self):
+        spec = WorkloadSpec(1 << 16, 64, 0.5)
+        deterministic = TrivialExchangeProtocol(1 << 16, 64)
+        report = measure_protocol(deterministic, spec, trials=8)
+        assert report.bits.minimum < report.bits.maximum
+
+    def test_budget_forwarding(self):
+        import pytest
+
+        from repro.comm.errors import ProtocolAborted
+
+        spec = WorkloadSpec(1 << 16, 64, 0.5)
+        with pytest.raises(ProtocolAborted):
+            measure_protocol(
+                TreeProtocol(1 << 16, 64),
+                spec,
+                trials=2,
+                max_total_bits=5,
+            )

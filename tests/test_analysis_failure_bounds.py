@@ -1,0 +1,73 @@
+"""Tests for the tree-protocol failure-bound calculator."""
+
+import pytest
+
+from conftest import make_instance
+from repro.analysis.failure_bounds import tree_failure_bound
+from repro.core.tree_protocol import TreeProtocol
+
+
+class TestBoundStructure:
+    def test_stage_chain_shape(self):
+        bound = tree_failure_bound(256, 3)
+        assert len(bound.stages) == 3
+        assert [entry.stage for entry in bound.stages] == [0, 1, 2]
+
+    def test_final_stage_is_strongest(self):
+        # Stage r-1 tests at error 1/k^4: the final leaf error must be the
+        # smallest in the chain.
+        bound = tree_failure_bound(1024, 4)
+        errors = [entry.leaf_error for entry in bound.stages]
+        assert errors[-1] == min(errors)
+        assert errors[-1] < 1e-9  # ~ 2/k^4 at k = 1024
+
+    def test_overall_is_poly_small_at_paper_exponent(self):
+        # Corollary 3.8's 1 - 1/k^3 flavor: overall <= k * O(1/k^4).
+        for k in (64, 256, 1024):
+            bound = tree_failure_bound(k, 3)
+            assert bound.overall <= 8.0 / k**2
+
+    def test_bound_shrinks_with_exponent(self):
+        weak = tree_failure_bound(256, 3, confidence_exponent=1)
+        standard = tree_failure_bound(256, 3, confidence_exponent=4)
+        strong = tree_failure_bound(256, 3, confidence_exponent=8)
+        assert strong.overall < standard.overall < weak.overall
+
+    def test_bound_monotone_in_bucket_load(self):
+        light = tree_failure_bound(256, 3, bucket_load=2)
+        heavy = tree_failure_bound(256, 3, bucket_load=8)
+        assert heavy.overall >= light.overall
+
+    def test_r1_rejected(self):
+        with pytest.raises(ValueError):
+            tree_failure_bound(256, 1)
+
+
+class TestBoundVsObservation:
+    def test_observed_failures_within_bound(self, rng):
+        # The point of the module: the computed bound must dominate the
+        # observed failure rate.  Use the weak exponent so failures are
+        # observable, then check rate <= bound (with Monte-Carlo slack).
+        k, rounds, exponent = 64, 2, 1
+        bound = tree_failure_bound(k, rounds, confidence_exponent=exponent)
+        protocol = TreeProtocol(
+            1 << 16, k, rounds=rounds, confidence_exponent=exponent
+        )
+        trials, failures = 150, 0
+        for seed in range(trials):
+            s, t = make_instance(rng, 1 << 16, k, 0.5)
+            if not protocol.run(s, t, seed=seed).correct_for(s, t):
+                failures += 1
+        observed = failures / trials
+        assert observed <= bound.overall + 0.05
+
+    def test_default_config_bound_predicts_no_observable_failures(self, rng):
+        # At the paper's exponent the bound itself certifies that 100
+        # trials should see ~0 failures.
+        k = 128
+        bound = tree_failure_bound(k, 3)
+        assert bound.overall * 100 < 0.2
+        protocol = TreeProtocol(1 << 16, k, rounds=3)
+        for seed in range(50):
+            s, t = make_instance(rng, 1 << 16, k, 0.5)
+            assert protocol.run(s, t, seed=seed).correct_for(s, t)

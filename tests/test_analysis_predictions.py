@@ -1,0 +1,95 @@
+"""Tests for the analytic cost models."""
+
+import random
+
+import pytest
+
+from conftest import make_instance
+from repro.analysis.predictions import (
+    gamma_length,
+    measured_message_layout_sanity,
+    predict_basic_intersection_bits,
+    predict_equality_bits,
+    predict_one_round_bits,
+    predict_tree_bits_upper,
+    predict_trivial_bits,
+)
+from repro.core.tree_protocol import TreeProtocol
+from repro.protocols.basic_intersection import BasicIntersectionProtocol
+from repro.protocols.equality import EqualityProtocol
+from repro.protocols.one_round import OneRoundHashingProtocol
+from repro.protocols.trivial import TrivialExchangeProtocol
+
+
+class TestExactPredictions:
+    """Protocols with deterministic message layout: prediction == measured."""
+
+    def test_gamma_length_matches_writer(self):
+        assert measured_message_layout_sanity() == 2**20
+
+    @pytest.mark.parametrize("overlap", [0.0, 0.5, 1.0])
+    def test_one_round_exact(self, rng, overlap):
+        k = 128
+        s, t = make_instance(rng, 1 << 20, k, overlap)
+        measured = OneRoundHashingProtocol(1 << 20, k).run(s, t, seed=0).total_bits
+        assert measured == predict_one_round_bits((len(s), len(t)), k)
+
+    def test_one_round_exact_asymmetric(self, rng):
+        k = 64
+        s = frozenset(list(make_instance(rng, 1 << 20, k, 0.0)[0])[:10])
+        t, _ = make_instance(rng, 1 << 20, k, 0.0)
+        measured = OneRoundHashingProtocol(1 << 20, k).run(s, t, seed=0).total_bits
+        assert measured == predict_one_round_bits((len(s), len(t)), k)
+
+    @pytest.mark.parametrize("exponent", [0, 1, 2, 4])
+    def test_basic_intersection_exact(self, rng, exponent):
+        k = 96
+        s, t = make_instance(rng, 1 << 20, k, 0.5)
+        protocol = BasicIntersectionProtocol(1 << 20, k, exponent=exponent)
+        measured = protocol.run(s, t, seed=0).total_bits
+        assert measured == predict_basic_intersection_bits(
+            len(s), len(t), exponent
+        )
+
+    @pytest.mark.parametrize("width", [2, 8, 32, 128])
+    def test_equality_exact(self, width):
+        measured = EqualityProtocol(width=width).run("a", "b", seed=0).total_bits
+        assert measured == predict_equality_bits(width)
+
+
+class TestExpectationModels:
+    def test_trivial_within_model(self):
+        rng = random.Random(70)
+        for log_ratio in (4, 10, 16):
+            k = 256
+            n = k << log_ratio
+            s, t = make_instance(rng, n, k, 0.0)
+            protocol = TrivialExchangeProtocol(n, k, both_outputs=False)
+            measured = protocol.run(s, t, seed=0).total_bits
+            predicted = predict_trivial_bits(n, k, both_outputs=False)
+            assert measured <= predicted * 1.2
+            assert measured >= predicted * 0.5
+
+    def test_tree_upper_bound_model(self):
+        rng = random.Random(71)
+        for k, rounds in ((128, 2), (256, 3), (1024, 4)):
+            s, t = make_instance(rng, 1 << 24, k, 0.5)
+            measured = (
+                TreeProtocol(1 << 24, k, rounds=rounds).run(s, t, seed=0).total_bits
+            )
+            model = predict_tree_bits_upper(k, rounds)
+            assert measured <= model * 2.0, (k, rounds)
+            assert measured >= model / 8.0, (k, rounds)
+
+    def test_tree_r1_model(self):
+        rng = random.Random(72)
+        k = 256
+        s, t = make_instance(rng, 1 << 24, k, 0.5)
+        measured = TreeProtocol(1 << 24, k, rounds=1).run(s, t, seed=0).total_bits
+        model = predict_tree_bits_upper(k, 1)
+        assert abs(measured - model) / model < 0.2
+
+    def test_gamma_length_values(self):
+        assert gamma_length(0) == 1
+        assert gamma_length(1) == 3
+        assert gamma_length(7) == 7

@@ -1,0 +1,179 @@
+"""Tests for the Section 1 applications layer."""
+
+from fractions import Fraction
+
+import pytest
+
+from conftest import make_instance
+from repro.applications import (
+    Relation,
+    containment,
+    distinct_elements,
+    distributed_join,
+    hamming_distance,
+    intersection_size,
+    jaccard,
+    overlap_coefficient,
+    rarity,
+    set_statistics,
+    symmetric_difference_size,
+    union_size,
+)
+
+
+class TestCardinality:
+    def test_all_statistics_exact(self, rng, overlap_fraction):
+        s, t = make_instance(rng, 1 << 18, 96, overlap_fraction)
+        report = set_statistics(s, t, universe_size=1 << 18, max_set_size=96)
+        assert report.intersection == s & t
+        assert report.intersection_size == len(s & t)
+        assert report.union_size == len(s | t)
+        assert report.symmetric_difference_size == len(s ^ t)
+        assert report.bits > 0
+
+    def test_wrappers(self, rng):
+        s, t = make_instance(rng, 1 << 16, 64, 0.5)
+        options = {"universe_size": 1 << 16, "max_set_size": 64}
+        assert intersection_size(s, t, **options) == len(s & t)
+        assert union_size(s, t, **options) == len(s | t)
+        assert distinct_elements(s, t, **options) == len(s | t)
+        assert symmetric_difference_size(s, t, **options) == len(s ^ t)
+
+    def test_empty_sets(self):
+        report = set_statistics(set(), set())
+        assert report.union_size == 0
+        assert report.intersection_size == 0
+
+    def test_size_exchange_counted(self, rng):
+        from repro.core.api import compute_intersection
+
+        s, t = make_instance(rng, 1 << 16, 64, 0.5)
+        options = {"universe_size": 1 << 16, "max_set_size": 64, "seed": 3}
+        bare = compute_intersection(s, t, **options)
+        report = set_statistics(s, t, **options)
+        assert report.bits > bare.bits  # the one-round size exchange
+
+
+class TestSimilarity:
+    def test_jaccard_exact_fraction(self, rng):
+        s, t = make_instance(rng, 1 << 16, 64, 0.5)
+        value = jaccard(s, t, universe_size=1 << 16, max_set_size=64)
+        assert isinstance(value, Fraction)
+        assert value == Fraction(len(s & t), len(s | t))
+
+    def test_jaccard_extremes(self, rng):
+        s, t = make_instance(rng, 1 << 16, 64, 0.0)
+        assert jaccard(s, t, universe_size=1 << 16, max_set_size=64) == 0
+        s, _ = make_instance(rng, 1 << 16, 64, 0.0)
+        assert jaccard(s, s, universe_size=1 << 16, max_set_size=64) == 1
+        assert jaccard(set(), set()) == 1  # convention
+
+    def test_hamming_distance(self, rng):
+        s, t = make_instance(rng, 1 << 16, 64, 0.25)
+        assert hamming_distance(
+            s, t, universe_size=1 << 16, max_set_size=64
+        ) == len(s ^ t)
+
+    def test_overlap_coefficient(self, rng):
+        s, t = make_instance(rng, 1 << 16, 64, 0.5)
+        assert overlap_coefficient(
+            s, t, universe_size=1 << 16, max_set_size=64
+        ) == Fraction(len(s & t), min(len(s), len(t)))
+        assert overlap_coefficient(set(), {1}) == 1
+
+    def test_containment(self, rng):
+        s, t = make_instance(rng, 1 << 16, 64, 0.5)
+        assert containment(
+            s, t, universe_size=1 << 16, max_set_size=64
+        ) == Fraction(len(s & t), len(s))
+        assert containment(set(), {5}) == 1
+
+
+class TestRarity:
+    def test_one_and_two_rarity(self, rng):
+        s, t = make_instance(rng, 1 << 16, 64, 0.5)
+        options = {"universe_size": 1 << 16, "max_set_size": 64}
+        assert rarity(1, s, t, **options) == Fraction(len(s ^ t), len(s | t))
+        assert rarity(2, s, t, **options) == Fraction(len(s & t), len(s | t))
+
+    def test_rarities_sum_to_one(self, rng):
+        s, t = make_instance(rng, 1 << 16, 64, 0.3)
+        options = {"universe_size": 1 << 16, "max_set_size": 64}
+        assert rarity(1, s, t, **options) + rarity(2, s, t, **options) == 1
+
+    def test_higher_alpha_is_zero(self, rng):
+        s, t = make_instance(rng, 1 << 16, 32, 0.3)
+        assert rarity(3, s, t, universe_size=1 << 16, max_set_size=32) == 0
+
+    def test_empty_sets(self):
+        assert rarity(1, set(), set()) == 0
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            rarity(0, {1}, {1})
+
+
+class TestJoin:
+    def test_join_rows_correct(self, rng):
+        s, t = make_instance(rng, 1 << 16, 48, 0.5)
+        left = Relation({key: ("left", key) for key in s})
+        right = Relation({key: ("right", key * 2) for key in t})
+        result = distributed_join(
+            left, right, universe_size=1 << 16, max_set_size=48
+        )
+        assert result.matching_keys == s & t
+        assert set(result.rows) == set(s & t)
+        for key, (left_row, right_row) in result.rows.items():
+            assert left_row == ("left", key)
+            assert right_row == ("right", key * 2)
+
+    def test_empty_join(self, rng):
+        s, t = make_instance(rng, 1 << 16, 32, 0.0)
+        left = Relation({key: key for key in s})
+        right = Relation({key: key for key in t})
+        result = distributed_join(
+            left, right, universe_size=1 << 16, max_set_size=32
+        )
+        assert result.rows == {}
+        assert result.row_bits == 0
+
+    def test_row_bits_proportional_to_matches(self, rng):
+        s, _ = make_instance(rng, 1 << 16, 64, 0.0)
+        left = Relation({key: "payload" for key in s})
+        full = distributed_join(
+            left, Relation({key: "payload" for key in s}),
+            universe_size=1 << 16, max_set_size=64,
+        )
+        tiny_keys = frozenset(list(s)[:4])
+        tiny = distributed_join(
+            left, Relation({key: "payload" for key in tiny_keys}),
+            universe_size=1 << 16, max_set_size=64,
+        )
+        assert tiny.row_bits < full.row_bits / 8
+
+    def test_key_discovery_beats_shipping_everything(self, rng):
+        # The motivation claim: with few matches, INT-based join moves far
+        # fewer bits than shipping a whole relation of fat rows.
+        s, t = make_instance(rng, 1 << 20, 256, 0.02)
+        fat_row = "x" * 200  # 200-byte rows
+        left = Relation({key: fat_row for key in s})
+        right = Relation({key: fat_row for key in t})
+        result = distributed_join(
+            left, right, universe_size=1 << 20, max_set_size=256
+        )
+        ship_everything = 8 * sum(
+            len(repr(key)) + len(fat_row) for key in s
+        )
+        assert result.total_bits < ship_everything / 5
+
+    def test_relation_validation(self):
+        with pytest.raises(ValueError):
+            Relation({-1: "row"})
+        with pytest.raises(ValueError):
+            Relation({"key": "row"})  # type: ignore[dict-item]
+
+    def test_relation_accessors(self):
+        relation = Relation({3: "a", 7: "b"})
+        assert len(relation) == 2
+        assert relation[3] == "a"
+        assert relation.keys == frozenset({3, 7})

@@ -1,0 +1,70 @@
+"""Tests for the deduplication application."""
+
+import random
+
+from conftest import make_instance
+from repro.applications.dedup import (
+    find_duplicates,
+    find_global_duplicates,
+    pairwise_duplicate_matrix,
+)
+
+
+class TestTwoServerDedup:
+    def test_exact_duplicates(self, rng):
+        a, b = make_instance(rng, 1 << 18, 96, 0.4)
+        report = find_duplicates(a, b, universe_size=1 << 18, max_set_size=96)
+        assert report.duplicates == a & b
+        assert report.count == len(a & b)
+        assert report.bits > 0
+        assert report.protocol == "verification-tree"
+
+    def test_no_duplicates(self, rng):
+        a, b = make_instance(rng, 1 << 18, 64, 0.0)
+        report = find_duplicates(a, b, universe_size=1 << 18, max_set_size=64)
+        assert report.count == 0
+
+
+class TestGlobalDedup:
+    def test_global_duplicates(self):
+        rng = random.Random(0)
+        common = set(rng.sample(range(1 << 18), 12))
+        servers = [
+            frozenset(common | set(rng.sample(range(1 << 18), 40)))
+            for _ in range(5)
+        ]
+        truth = frozenset.intersection(*servers)
+        duplicates, accounting = find_global_duplicates(
+            servers, universe_size=1 << 18, max_set_size=64
+        )
+        assert duplicates == truth
+        assert accounting["total_bits"] > 0
+        assert accounting["rounds"] > 0
+        assert accounting["max_player_bits"] <= accounting["total_bits"]
+
+
+class TestPairwiseMatrix:
+    def test_matrix_shape_and_values(self):
+        rng = random.Random(1)
+        base = rng.sample(range(1 << 16), 90)
+        servers = [
+            frozenset(base[:40]),
+            frozenset(base[20:60]),
+            frozenset(base[50:90]),
+        ]
+        matrix = pairwise_duplicate_matrix(
+            servers, universe_size=1 << 16, max_set_size=40
+        )
+        assert len(matrix) == 3
+        for i in range(3):
+            assert matrix[i][i] == len(servers[i])
+            for j in range(3):
+                assert matrix[i][j] == matrix[j][i]
+                if i != j:
+                    assert matrix[i][j] == len(servers[i] & servers[j])
+
+    def test_single_server(self):
+        matrix = pairwise_duplicate_matrix(
+            [frozenset({1, 2})], universe_size=10, max_set_size=4
+        )
+        assert matrix == [[2]]

@@ -1,0 +1,69 @@
+"""Tests for union / symmetric-difference recovery (the counterpoint)."""
+
+import math
+import random
+
+from conftest import make_instance
+from repro.applications.union_set import (
+    recover_symmetric_difference,
+    recover_union,
+)
+
+
+class TestCorrectness:
+    def test_union_exact(self, rng, overlap_fraction):
+        s, t = make_instance(rng, 1 << 18, 64, overlap_fraction)
+        report = recover_union(s, t, universe_size=1 << 18, max_set_size=64)
+        assert report.result == s | t
+        assert report.messages == 2
+
+    def test_symmetric_difference_exact(self, rng, overlap_fraction):
+        s, t = make_instance(rng, 1 << 18, 64, overlap_fraction)
+        report = recover_symmetric_difference(
+            s, t, universe_size=1 << 18, max_set_size=64
+        )
+        assert report.result == s ^ t
+
+    def test_empty_sets(self):
+        report = recover_union(set(), set(), universe_size=16, max_set_size=4)
+        assert report.result == frozenset()
+
+
+class TestTheCounterpoint:
+    def test_union_cost_grows_with_universe(self):
+        # Omega(k log(n/k)) for any rounds: the cost must climb with the
+        # density ratio, unlike every intersection protocol in this repo.
+        rng = random.Random(0)
+        k = 128
+        costs = {}
+        for log_ratio in (4, 12, 20):
+            n = k << log_ratio
+            s, t = make_instance(rng, n, k, 0.5)
+            costs[log_ratio] = recover_union(
+                s, t, universe_size=n, max_set_size=k
+            ).bits
+        assert costs[12] > 1.5 * costs[4]
+        assert costs[20] > 1.3 * costs[12]
+
+    def test_union_near_information_bound(self):
+        # Gap coding is within a small constant of log2 C(n, k) per side.
+        rng = random.Random(1)
+        n, k = 1 << 24, 256
+        s, t = make_instance(rng, n, k, 0.0)
+        report = recover_union(s, t, universe_size=n, max_set_size=k)
+        entropy = 2 * math.log2(math.comb(n, k))  # both sets cross the wire
+        assert report.bits <= 2.0 * entropy
+        assert report.bits >= 0.9 * entropy
+
+    def test_intersection_beats_union_at_scale(self):
+        from repro.core.tree_protocol import TreeProtocol
+
+        rng = random.Random(2)
+        k = 256
+        n = k << 20
+        s, t = make_instance(rng, n, k, 0.5)
+        union_bits = recover_union(
+            s, t, universe_size=n, max_set_size=k
+        ).bits
+        intersection_bits = TreeProtocol(n, k).run(s, t, seed=0).total_bits
+        assert intersection_bits < union_bits

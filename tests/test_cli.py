@@ -1,0 +1,153 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestDemo:
+    def test_default_demo(self):
+        code, output = run_cli(["demo", "--k", "64"])
+        assert code == 0
+        assert "verification-tree" in output
+        assert "correct: True" in output
+
+    def test_rounds_flag(self):
+        code, output = run_cli(["demo", "--k", "64", "--rounds", "1"])
+        assert code == 0
+        assert "one-round-hashing" in output
+
+    def test_private_model(self):
+        code, output = run_cli(["demo", "--k", "32", "--model", "private"])
+        assert code == 0
+        assert "private-coin-intersection" in output
+
+    def test_amplified(self):
+        code, output = run_cli(["demo", "--k", "32", "--amplified"])
+        assert code == 0
+        assert "amplified-intersection" in output
+
+
+class TestIntersect:
+    def test_file_intersection(self, tmp_path):
+        file_a = tmp_path / "a.txt"
+        file_b = tmp_path / "b.txt"
+        file_a.write_text("1\n5\n9\n200\n")
+        file_b.write_text("5\n77\n9\n")
+        code, output = run_cli(["intersect", str(file_a), str(file_b)])
+        assert code == 0
+        lines = [line for line in output.splitlines() if not line.startswith("#")]
+        assert lines == ["5", "9"]
+        assert "2 common ids" in output
+
+    def test_quiet_mode(self, tmp_path):
+        file_a = tmp_path / "a.txt"
+        file_b = tmp_path / "b.txt"
+        file_a.write_text("3\n4\n")
+        file_b.write_text("4\n")
+        code, output = run_cli(
+            ["intersect", str(file_a), str(file_b), "--quiet"]
+        )
+        assert code == 0
+        assert output.strip() == "4"
+
+    def test_blank_lines_ignored(self, tmp_path):
+        file_a = tmp_path / "a.txt"
+        file_b = tmp_path / "b.txt"
+        file_a.write_text("3\n\n4\n\n")
+        file_b.write_text("\n4\n")
+        code, output = run_cli(
+            ["intersect", str(file_a), str(file_b), "--quiet"]
+        )
+        assert output.strip() == "4"
+
+
+class TestTradeoff:
+    def test_curve_printed(self):
+        code, output = run_cli(["tradeoff", "--k", "64", "--seeds", "2"])
+        assert code == 0
+        assert "log* k = 4" in output
+        # one row per r in 1..log* k
+        data_lines = [
+            line for line in output.splitlines() if line.strip().startswith(("1", "2", "3", "4"))
+        ]
+        assert len(data_lines) >= 4
+
+
+class TestProtocolsListing:
+    def test_catalog(self):
+        code, output = run_cli(["protocols"])
+        assert code == 0
+        assert "verification-tree" in output
+        assert "Theorem 1.1" in output
+        assert "Corollary 4.2" in output
+
+
+class TestConformance:
+    def test_shipped_protocol_passes(self):
+        code, output = run_cli(
+            ["conformance", "--protocol", "trivial", "--k", "16"]
+        )
+        assert code == 0
+        assert output.startswith("PASS")
+
+    def test_other_protocols_selectable(self):
+        code, output = run_cli(
+            ["conformance", "--protocol", "one-round", "--k", "16"]
+        )
+        assert code == 0
+        assert "15 runs" in output
+
+
+class TestExactCC:
+    def test_equality(self):
+        code, output = run_cli(["exact-cc", "--problem", "eq", "--size", "4"])
+        assert code == 0
+        assert "D(f) = 3" in output
+
+    def test_disjointness(self):
+        code, output = run_cli(
+            ["exact-cc", "--problem", "disj", "--size", "2", "--max-set-size", "2"]
+        )
+        assert code == 0
+        assert "DISJ" in output
+        assert "D(f) =" in output
+
+    def test_greater_than(self):
+        code, output = run_cli(["exact-cc", "--problem", "gt", "--size", "4"])
+        assert code == 0
+        assert "D(f) = 3" in output
+
+
+class TestRender:
+    def test_sequence_chart(self):
+        code, output = run_cli(["render", "--k", "64", "--rounds", "2"])
+        assert code == 0
+        assert "──▶" in output
+        assert "total:" in output
+        assert "stage anatomy" in output
+        assert "correct: True" in output
+
+    def test_r1_has_no_anatomy(self):
+        code, output = run_cli(["render", "--k", "64", "--rounds", "1"])
+        assert code == 0
+        assert "stage anatomy" not in output
+        assert "total:" in output
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

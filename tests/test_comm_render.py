@@ -1,0 +1,61 @@
+"""Tests for transcript rendering."""
+
+from repro.comm.render import render_transcript, summarize_by_sender
+from repro.comm.transcript import Transcript
+from repro.util.bits import BitString
+
+
+def build_transcript(pattern):
+    transcript = Transcript()
+    for sender, bits in pattern:
+        transcript.record_send(sender, BitString(0, bits))
+    return transcript
+
+
+class TestSummarize:
+    def test_per_sender_totals(self):
+        transcript = build_transcript(
+            [("alice", 10), ("alice", 5), ("bob", 7), ("alice", 3)]
+        )
+        summary = summarize_by_sender(transcript)
+        assert summary["alice"] == {"bits": 18, "messages": 2, "chunks": 3}
+        assert summary["bob"] == {"bits": 7, "messages": 1, "chunks": 1}
+
+
+class TestRender:
+    def test_empty(self):
+        assert "empty transcript" in render_transcript(Transcript())
+
+    def test_directions(self):
+        transcript = build_transcript([("alice", 8), ("bob", 4)])
+        text = render_transcript(transcript)
+        lines = text.splitlines()
+        assert "──▶" in lines[0]
+        assert "◀──" in lines[1]
+        assert "total: 12 bits in 2 messages" in lines[-1]
+        assert "alice: 8" in lines[-1]
+        assert "bob: 4" in lines[-1]
+
+    def test_elision(self):
+        transcript = build_transcript(
+            [("alice" if i % 2 == 0 else "bob", 1) for i in range(100)]
+        )
+        text = render_transcript(transcript, max_messages=10)
+        assert "90 messages elided" in text
+        assert len(text.splitlines()) == 12  # 10 rows + elision + total
+
+    def test_real_protocol_transcript(self, rng):
+        from conftest import make_instance
+        from repro.core.tree_protocol import TreeProtocol
+
+        s, t = make_instance(rng, 1 << 16, 64, 0.5)
+        outcome = TreeProtocol(1 << 16, 64, rounds=2).run(s, t, seed=0)
+        text = render_transcript(outcome.transcript)
+        assert f"total: {outcome.total_bits} bits" in text
+        assert text.count("alice") >= 1
+        assert text.count("bob") >= 1
+
+    def test_first_party_side(self):
+        transcript = build_transcript([("bob", 4)])
+        text = render_transcript(transcript, first_party="bob")
+        assert "──▶" in text

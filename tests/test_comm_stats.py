@@ -1,0 +1,68 @@
+"""Tests for trial aggregation."""
+
+import pytest
+
+from repro.comm.stats import Summary, TrialAggregator, run_trials, summarize
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.p50 == 3.0
+
+    def test_p95_nearest_rank(self):
+        values = list(range(1, 101))
+        assert summarize(values).p95 == 95
+
+    def test_single_value(self):
+        summary = summarize([7])
+        assert summary.mean == summary.p50 == summary.p95 == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_is_compact(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))
+
+
+class TestAggregator:
+    def test_success_rate(self):
+        aggregator = TrialAggregator()
+        for i in range(10):
+            aggregator.add(bits=100 + i, messages=4, correct=(i != 3))
+        report = aggregator.report()
+        assert report.trials == 10
+        assert report.failures == 1
+        assert report.success_rate == pytest.approx(0.9)
+
+    def test_bits_summary(self):
+        aggregator = TrialAggregator()
+        aggregator.add(bits=10, messages=2, correct=True)
+        aggregator.add(bits=30, messages=4, correct=True)
+        report = aggregator.report()
+        assert report.bits.mean == 20.0
+        assert report.messages.maximum == 4.0
+
+    def test_str(self):
+        aggregator = TrialAggregator()
+        aggregator.add(bits=1, messages=1, correct=True)
+        assert "success=1.0000" in str(aggregator.report())
+
+
+class TestRunTrials:
+    def test_drives_seeds(self):
+        seen = []
+
+        def run_once(seed):
+            seen.append(seed)
+            return (seed * 10, 2, True)
+
+        report = run_trials(run_once, trials=5, first_seed=100)
+        assert seen == [100, 101, 102, 103, 104]
+        assert report.trials == 5
+        assert report.bits.minimum == 1000.0

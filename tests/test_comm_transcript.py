@@ -1,0 +1,72 @@
+"""Tests for transcript accounting."""
+
+from repro.comm.transcript import Transcript
+from repro.util.bits import BitString
+
+
+def bits(n):
+    return BitString(0, n)
+
+
+class TestTranscript:
+    def test_empty(self):
+        transcript = Transcript()
+        assert transcript.total_bits == 0
+        assert transcript.num_messages == 0
+        assert transcript.senders == []
+
+    def test_single_send(self):
+        transcript = Transcript()
+        transcript.record_send("alice", bits(10))
+        assert transcript.total_bits == 10
+        assert transcript.num_messages == 1
+        assert transcript.bits_sent_by("alice") == 10
+        assert transcript.bits_sent_by("bob") == 0
+
+    def test_same_sender_merges(self):
+        transcript = Transcript()
+        transcript.record_send("alice", bits(3))
+        transcript.record_send("alice", bits(4))
+        assert transcript.num_messages == 1
+        assert transcript.total_bits == 7
+        assert transcript.messages[0].num_bits == 7
+        assert len(transcript.messages[0].chunks) == 2
+
+    def test_alternation_opens_new_messages(self):
+        transcript = Transcript()
+        for sender in ["alice", "bob", "alice", "alice", "bob"]:
+            transcript.record_send(sender, bits(1))
+        assert transcript.num_messages == 4  # alice, bob, alice+alice, bob
+
+    def test_zero_bit_sends_counted_as_traffic(self):
+        transcript = Transcript()
+        transcript.record_send("alice", bits(0))
+        assert transcript.total_bits == 0
+        assert transcript.num_messages == 1
+
+    def test_senders_in_first_send_order(self):
+        transcript = Transcript()
+        transcript.record_send("bob", bits(1))
+        transcript.record_send("alice", bits(1))
+        transcript.record_send("bob", bits(1))
+        assert transcript.senders == ["bob", "alice"]
+
+    def test_merge_from(self):
+        parent = Transcript()
+        parent.record_send("alice", bits(5))
+        child = Transcript()
+        child.record_send("alice", bits(3))
+        child.record_send("bob", bits(2))
+        parent.merge_from(child)
+        assert parent.total_bits == 10
+        # alice's trailing message merges with the child's leading alice send
+        assert parent.num_messages == 2
+        assert parent.bits_sent_by("alice") == 8
+        assert parent.bits_sent_by("bob") == 2
+
+    def test_repr_mentions_key_stats(self):
+        transcript = Transcript()
+        transcript.record_send("alice", bits(9))
+        text = repr(transcript)
+        assert "bits=9" in text
+        assert "messages=1" in text

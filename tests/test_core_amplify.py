@@ -1,0 +1,83 @@
+"""Tests for the Section 4 amplification wrapper."""
+
+import pytest
+
+from conftest import make_instance
+from repro.comm.errors import ProtocolAborted
+from repro.core.amplify import AmplifiedIntersection
+from repro.core.tree_protocol import TreeProtocol
+
+
+class TestCorrectness:
+    def test_exact_on_all_overlap_regimes(self, rng, overlap_fraction):
+        protocol = AmplifiedIntersection(1 << 20, 128)
+        s, t = make_instance(rng, 1 << 20, 128, overlap_fraction)
+        assert protocol.run(s, t, seed=0).correct_for(s, t)
+
+    def test_never_wrong_over_many_seeds(self, rng):
+        # 1 - 2^-k success: at k = 64, wrongness should be unobservable.
+        protocol = AmplifiedIntersection(1 << 16, 64)
+        for seed in range(60):
+            s, t = make_instance(rng, 1 << 16, 64, 0.5)
+            assert protocol.run(s, t, seed=seed).correct_for(s, t)
+
+    def test_amplifies_a_deliberately_weak_inner(self, rng):
+        # Inner tree protocol with confidence exponent 1 errs noticeably;
+        # the wrapper's equality check must catch and retry every error.
+        weak = TreeProtocol(1 << 14, 64, rounds=2, confidence_exponent=1)
+        protocol = AmplifiedIntersection(1 << 14, 64, inner=weak)
+        for seed in range(60):
+            s, t = make_instance(rng, 1 << 14, 64, 0.5)
+            assert protocol.run(s, t, seed=seed).correct_for(s, t)
+
+    def test_retries_visible_through_message_count(self, rng):
+        # With a weak inner protocol, some seeds must need > 1 attempt,
+        # observable as extra messages beyond 6r + 2.
+        weak = TreeProtocol(1 << 14, 64, rounds=2, confidence_exponent=1)
+        protocol = AmplifiedIntersection(1 << 14, 64, inner=weak)
+        single_attempt_budget = 6 * 2 + 2
+        message_counts = []
+        for seed in range(60):
+            s, t = make_instance(rng, 1 << 14, 64, 0.5)
+            message_counts.append(protocol.run(s, t, seed=seed).num_messages)
+        assert any(count > single_attempt_budget for count in message_counts)
+        assert any(count <= single_attempt_budget for count in message_counts)
+
+    def test_budget_aborts_retry_with_fresh_coins(self, rng):
+        # An inner budget so small every stage-2 run aborts: the wrapper
+        # keeps retrying, and with attempts exhausted raises.
+        strangled = TreeProtocol(1 << 14, 64, rounds=2, bit_budget=1)
+        protocol = AmplifiedIntersection(
+            1 << 14, 64, inner=strangled, max_attempts=3
+        )
+        s, t = make_instance(rng, 1 << 14, 64, 0.5)
+        with pytest.raises(ProtocolAborted):
+            protocol.run(s, t, seed=0)
+
+
+class TestCost:
+    def test_expected_overhead_is_small(self, rng):
+        # Amplification costs one k-bit check on top of the inner run in
+        # the common no-retry case.
+        inner = TreeProtocol(1 << 20, 128, rounds=3)
+        wrapped = AmplifiedIntersection(1 << 20, 128, inner=inner)
+        s, t = make_instance(rng, 1 << 20, 128, 0.5)
+        inner_bits = inner.run(s, t, seed=0).total_bits
+        wrapped_bits = wrapped.run(s, t, seed=0).total_bits
+        assert wrapped_bits <= inner_bits * 1.5 + 2 * 128 + 64
+
+    def test_check_width_parameter(self, rng):
+        protocol = AmplifiedIntersection(1 << 16, 64, check_width=128)
+        assert protocol.check_width == 128
+        s, t = make_instance(rng, 1 << 16, 64, 0.5)
+        assert protocol.run(s, t, seed=0).correct_for(s, t)
+
+    def test_default_inner_is_tree_at_log_star(self):
+        protocol = AmplifiedIntersection(1 << 16, 256)
+        assert isinstance(protocol.inner, TreeProtocol)
+        assert protocol.inner.rounds == 4  # log*(256)
+        assert protocol.inner.bit_budget is not None
+
+    def test_rounds_parameter_forwarded(self):
+        protocol = AmplifiedIntersection(1 << 16, 256, rounds=2)
+        assert protocol.inner.rounds == 2

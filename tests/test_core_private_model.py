@@ -1,0 +1,91 @@
+"""Tests for the constructive private-randomness translation (Section 3.1)."""
+
+import math
+
+from conftest import make_instance
+from repro.core.private_model import PrivateCoinIntersection
+from repro.core.tree_protocol import TreeProtocol
+
+
+class TestCorrectness:
+    def test_exact_on_all_overlap_regimes(self, rng, overlap_fraction):
+        protocol = PrivateCoinIntersection(1 << 20, 64)
+        s, t = make_instance(rng, 1 << 20, 64, overlap_fraction)
+        assert protocol.run(s, t, seed=0).correct_for(s, t)
+
+    def test_many_seeds(self, rng):
+        protocol = PrivateCoinIntersection(1 << 20, 64)
+        failures = 0
+        for seed in range(50):
+            s, t = make_instance(rng, 1 << 20, 64, 0.5)
+            if not protocol.run(s, t, seed=seed).correct_for(s, t):
+                failures += 1
+        assert failures <= 1
+
+    def test_empty(self):
+        protocol = PrivateCoinIntersection(1 << 10, 8)
+        assert protocol.run(set(), set(), seed=0).alice_output == frozenset()
+
+    def test_huge_universe(self, rng):
+        # The whole point of FKS: a 2^60 universe must work and cost barely
+        # more than a small one.
+        protocol = PrivateCoinIntersection(1 << 60, 32)
+        sample = rng.sample(range(1 << 60), 48)
+        s = frozenset(sample[:32])
+        t = frozenset(sample[16:])
+        assert protocol.run(s, t, seed=0).correct_for(s, t)
+
+
+class TestOverheadAccounting:
+    def test_additive_overhead_is_log_k_plus_log_log_n(self):
+        # Private-coin cost minus shared-coin cost must be O(log k +
+        # log log n), not O(log n): grow n from 2^20 to 2^60 and watch the
+        # overhead barely move.
+        import random
+
+        rng = random.Random(40)
+        k = 64
+        overheads = {}
+        for log_n in (20, 60):
+            n = 1 << log_n
+            sample = rng.sample(range(n), 2 * k)
+            s = frozenset(sample[:k])
+            t = frozenset(sample[k // 2 : k // 2 + k])
+            private_bits = (
+                PrivateCoinIntersection(n, k).run(s, t, seed=0).total_bits
+            )
+            shared_bits = TreeProtocol(n, k).run(s, t, seed=0).total_bits
+            overheads[log_n] = private_bits - shared_bits
+        # tripling log n should not triple the overhead
+        assert overheads[60] <= overheads[20] + 16 + abs(overheads[20]) * 0.5
+
+    def test_prefix_does_not_add_rounds(self, rng):
+        # "No increase in the number of rounds": the seed prefix rides on
+        # Alice's first message.
+        k = 64
+        s, t = make_instance(rng, 1 << 20, k, 0.5)
+        shared_messages = TreeProtocol(1 << 20, k).run(s, t, seed=0).num_messages
+        private_messages = (
+            PrivateCoinIntersection(1 << 20, k).run(s, t, seed=0).num_messages
+        )
+        assert private_messages == shared_messages
+
+    def test_seed_bits_default_shape(self):
+        protocol = PrivateCoinIntersection(1 << 40, 256)
+        expected_max = 2 * (math.ceil(math.log2(256)) + math.ceil(math.log2(40))) + 16
+        assert protocol.seed_bits <= expected_max
+
+    def test_custom_inner_factory(self, rng):
+        calls = []
+
+        def factory(reduced_universe):
+            calls.append(reduced_universe)
+            return TreeProtocol(reduced_universe, 32, rounds=2)
+
+        protocol = PrivateCoinIntersection(1 << 50, 32, inner_factory=factory)
+        s, t = make_instance(rng, 1 << 50, 32, 0.5)
+        assert protocol.run(s, t, seed=0).correct_for(s, t)
+        # factory called once per party with the same reduced universe
+        assert len(calls) == 2
+        assert calls[0] == calls[1]
+        assert calls[0] < 1 << 50  # genuinely reduced

@@ -1,0 +1,65 @@
+"""Tests for the tree protocol's per-stage instrumentation."""
+
+from conftest import make_instance
+from repro.core.tree_protocol import StageStats, TreeProtocol
+
+
+class TestStageStats:
+    def run_with_stats(self, rng, k=256, rounds=3, overlap=0.5, seed=0):
+        sink = []
+        protocol = TreeProtocol(
+            1 << 20, k, rounds=rounds, stage_stats_sink=sink
+        )
+        s, t = make_instance(rng, 1 << 20, k, overlap)
+        outcome = protocol.run(s, t, seed=seed)
+        return sink, outcome
+
+    def test_one_entry_per_stage(self, rng):
+        sink, _ = self.run_with_stats(rng, rounds=3)
+        assert [entry.stage for entry in sink] == [0, 1, 2]
+        assert all(isinstance(entry, StageStats) for entry in sink)
+
+    def test_stats_sum_to_total(self, rng):
+        sink, outcome = self.run_with_stats(rng)
+        accounted = sum(
+            entry.equality_bits + entry.rerun_bits for entry in sink
+        )
+        assert accounted == outcome.total_bits
+
+    def test_stage_zero_dominates(self, rng):
+        # The analysis: stage 0 carries the k * log^(r) k equality sweep
+        # and almost all Basic-Intersection re-runs.
+        sink, outcome = self.run_with_stats(rng, overlap=0.5)
+        stage0 = sink[0].equality_bits + sink[0].rerun_bits
+        assert stage0 > outcome.total_bits / 2
+
+    def test_failed_leaves_decrease_up_the_tree(self, rng):
+        sink, _ = self.run_with_stats(rng, overlap=0.5)
+        assert sink[0].failed_leaves >= sink[1].failed_leaves >= sink[2].failed_leaves
+
+    def test_node_counts_match_tree_shape(self, rng):
+        sink, _ = self.run_with_stats(rng, k=256, rounds=3)
+        protocol = TreeProtocol(1 << 20, 256, rounds=3)
+        for entry in sink:
+            assert entry.num_nodes == len(protocol.tree.levels[entry.stage])
+
+    def test_identical_sets_have_no_reruns_after_stage_zero(self, rng):
+        sink, _ = self.run_with_stats(rng, overlap=1.0)
+        # identical buckets pass every equality test: no failed leaves at all
+        assert all(entry.failed_leaves == 0 for entry in sink)
+        assert all(entry.rerun_bits == 0 for entry in sink)
+
+    def test_no_sink_no_stats(self, rng):
+        protocol = TreeProtocol(1 << 20, 64, rounds=2)
+        s, t = make_instance(rng, 1 << 20, 64, 0.5)
+        outcome = protocol.run(s, t, seed=0)
+        assert outcome.correct_for(s, t)
+        assert protocol.stage_stats_sink is None
+
+    def test_sink_accumulates_across_runs(self, rng):
+        sink = []
+        protocol = TreeProtocol(1 << 20, 64, rounds=2, stage_stats_sink=sink)
+        s, t = make_instance(rng, 1 << 20, 64, 0.5)
+        protocol.run(s, t, seed=0)
+        protocol.run(s, t, seed=1)
+        assert len(sink) == 4  # 2 stages x 2 runs

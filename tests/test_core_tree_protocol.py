@@ -1,0 +1,179 @@
+"""Tests for the main verification-tree protocol (Theorem 1.1 / 3.6)."""
+
+import random
+
+import pytest
+
+from conftest import make_instance
+from repro.core.tree_protocol import TreeProtocol, expected_bits_bound
+from repro.util.iterlog import iterated_log, log_star
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("rounds", [1, 2, 3, 4])
+    def test_exact_on_all_overlap_regimes(self, rng, overlap_fraction, rounds):
+        protocol = TreeProtocol(1 << 20, 128, rounds=rounds)
+        s, t = make_instance(rng, 1 << 20, 128, overlap_fraction)
+        assert protocol.run(s, t, seed=0).correct_for(s, t)
+
+    def test_default_rounds_is_log_star(self):
+        protocol = TreeProtocol(1 << 16, 256)
+        assert protocol.rounds == log_star(256)
+
+    def test_many_seeds_high_success(self, rng):
+        # Success 1 - 1/poly(k): over 80 seeded runs at k = 128 we expect
+        # at most a couple of failures.
+        protocol = TreeProtocol(1 << 20, 128)
+        failures = 0
+        for seed in range(80):
+            s, t = make_instance(rng, 1 << 20, 128, 0.5)
+            if not protocol.run(s, t, seed=seed).correct_for(s, t):
+                failures += 1
+        assert failures <= 2
+
+    def test_empty_sets(self):
+        protocol = TreeProtocol(1 << 10, 8, rounds=2)
+        outcome = protocol.run(set(), set(), seed=0)
+        assert outcome.alice_output == outcome.bob_output == frozenset()
+
+    def test_singletons(self):
+        protocol = TreeProtocol(1 << 10, 1, rounds=1)
+        assert protocol.run({5}, {5}, seed=0).alice_output == frozenset({5})
+        assert protocol.run({5}, {6}, seed=0).alice_output == frozenset()
+
+    def test_skewed_sizes(self, rng):
+        protocol = TreeProtocol(1 << 16, 128, rounds=3)
+        s = frozenset(rng.sample(range(1 << 16), 128))
+        t = frozenset(list(s)[:2])
+        assert protocol.run(s, t, seed=0).correct_for(s, t)
+
+    def test_outputs_sandwiched(self, rng):
+        # The one-sided invariant: Alice's output always sits between
+        # S n T and S, even on error seeds (checked with a deliberately
+        # weak confidence exponent to provoke errors).
+        protocol = TreeProtocol(1 << 14, 64, rounds=2, confidence_exponent=1)
+        for seed in range(60):
+            s, t = make_instance(rng, 1 << 14, 64, 0.5)
+            outcome = protocol.run(s, t, seed=seed)
+            assert s & t <= outcome.alice_output <= s
+            assert s & t <= outcome.bob_output <= t
+
+    def test_agreement_implies_correct(self, rng):
+        # Proposition 3.9 end-to-end: whenever the two outputs agree they
+        # equal the true intersection (checked under a weak exponent so
+        # disagreements actually occur in the sample).
+        protocol = TreeProtocol(1 << 14, 64, rounds=2, confidence_exponent=1)
+        agreements = wrong_agreements = 0
+        for seed in range(120):
+            s, t = make_instance(rng, 1 << 14, 64, 0.5)
+            outcome = protocol.run(s, t, seed=seed)
+            if outcome.alice_output == outcome.bob_output:
+                agreements += 1
+                if outcome.alice_output != s & t:
+                    wrong_agreements += 1
+        assert agreements > 0
+        assert wrong_agreements == 0
+
+
+class TestTheorem11Costs:
+    def test_round_budget_6r(self, rng):
+        # Theorem 1.1: 6r rounds.  (r = 1 is the 2-message hash exchange.)
+        for rounds in (1, 2, 3, 4):
+            protocol = TreeProtocol(1 << 20, 256, rounds=rounds)
+            s, t = make_instance(rng, 1 << 20, 256, 0.5)
+            outcome = protocol.run(s, t, seed=0)
+            budget = 2 if rounds == 1 else 6 * rounds
+            assert outcome.num_messages <= budget
+
+    def test_communication_tracks_k_log_r_k(self):
+        # Normalized cost bits / (k * log^(r) k) must stay within a constant
+        # band across k for each fixed r.
+        rng = random.Random(30)
+        for rounds in (1, 2, 3):
+            normalized = []
+            for k in (64, 256, 1024):
+                s, t = make_instance(rng, 1 << 24, k, 0.5)
+                bits = (
+                    TreeProtocol(1 << 24, k, rounds=rounds)
+                    .run(s, t, seed=0)
+                    .total_bits
+                )
+                normalized.append(bits / (k * max(iterated_log(k, rounds), 1.0)))
+            assert max(normalized) / min(normalized) < 3.0
+
+    def test_more_rounds_less_communication(self):
+        # The tradeoff must actually trade: r = log* k beats r = 1 by a
+        # factor ~ log k / constant.
+        rng = random.Random(31)
+        k = 1024
+        s, t = make_instance(rng, 1 << 24, k, 0.5)
+        one_round = TreeProtocol(1 << 24, k, rounds=1).run(s, t, seed=0)
+        optimal = TreeProtocol(1 << 24, k, rounds=log_star(k)).run(s, t, seed=0)
+        assert optimal.total_bits < one_round.total_bits
+        assert optimal.num_messages > one_round.num_messages
+
+    def test_cost_independent_of_universe(self):
+        rng = random.Random(32)
+        k = 128
+        s1, t1 = make_instance(rng, 1 << 14, k, 0.5)
+        s2, t2 = make_instance(rng, 1 << 44, k, 0.5)
+        bits_small = (
+            TreeProtocol(1 << 14, k, rounds=3).run(s1, t1, seed=0).total_bits
+        )
+        bits_large = (
+            TreeProtocol(1 << 44, k, rounds=3).run(s2, t2, seed=0).total_bits
+        )
+        assert abs(bits_large - bits_small) / bits_small < 0.5
+
+    def test_linear_at_optimal_point(self):
+        rng = random.Random(33)
+        per_k = []
+        for k in (256, 1024, 4096):
+            s, t = make_instance(rng, 1 << 24, k, 0.5)
+            bits = TreeProtocol(1 << 24, k).run(s, t, seed=0).total_bits
+            per_k.append(bits / k)
+        # O(k): per-element cost bounded and non-increasing band
+        assert max(per_k) < 64
+        assert max(per_k) / min(per_k) < 2.0
+
+
+class TestBudgetCutoff:
+    def test_generous_budget_never_triggers(self, rng):
+        k = 128
+        protocol = TreeProtocol(
+            1 << 20, k, rounds=3, bit_budget=8 * expected_bits_bound(k, 3)
+        )
+        s, t = make_instance(rng, 1 << 20, k, 0.5)
+        assert protocol.run(s, t, seed=0).correct_for(s, t)
+
+    def test_tiny_budget_aborts_symmetrically(self, rng):
+        protocol = TreeProtocol(1 << 20, 128, rounds=3, bit_budget=10)
+        s, t = make_instance(rng, 1 << 20, 128, 0.5)
+        outcome = protocol.run(s, t, seed=0)
+        assert outcome.alice_output is None
+        assert outcome.bob_output is None
+
+    def test_expected_bits_bound_monotone_in_k(self):
+        assert expected_bits_bound(64, 3) < expected_bits_bound(1024, 3)
+
+
+class TestValidation:
+    def test_rounds_validated(self):
+        with pytest.raises(ValueError):
+            TreeProtocol(100, 10, rounds=0)
+
+    def test_confidence_exponent_validated(self):
+        with pytest.raises(ValueError):
+            TreeProtocol(100, 10, confidence_exponent=0)
+
+    def test_universe_exponent_validated(self):
+        with pytest.raises(ValueError):
+            TreeProtocol(100, 10, universe_exponent=2)
+
+    def test_ablation_exponents_still_correct(self, rng):
+        # DESIGN.md ablation: the confidence exponent trades re-run cost for
+        # failure probability but must not break correctness w.h.p.
+        for exponent in (2, 4, 8):
+            protocol = TreeProtocol(1 << 16, 64, rounds=3, confidence_exponent=exponent)
+            s, t = make_instance(rng, 1 << 16, 64, 0.5)
+            assert protocol.run(s, t, seed=exponent).correct_for(s, t)

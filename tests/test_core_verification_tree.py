@@ -1,0 +1,115 @@
+"""Tests for the verification-tree structure (Section 3.3)."""
+
+import math
+
+import pytest
+
+from repro.core.verification_tree import VerificationTree
+from repro.util.iterlog import iterated_log, log_star
+
+
+class TestShape:
+    def test_leaf_level(self):
+        tree = VerificationTree(num_leaves=16, rounds=3)
+        assert len(tree.levels[0]) == 16
+        for index, leaf in enumerate(tree.levels[0]):
+            assert leaf.num_leaves == 1
+            assert leaf.leaf_start == index
+
+    def test_root_covers_everything(self):
+        for k in (1, 2, 7, 64, 1000):
+            for r in (1, 2, 3):
+                tree = VerificationTree(k, r)
+                assert tree.root.leaf_start == 0
+                assert tree.root.leaf_end == k
+                assert len(tree.levels[r]) == 1
+
+    def test_levels_partition_leaves(self):
+        tree = VerificationTree(num_leaves=100, rounds=3)
+        for level_nodes in tree.levels:
+            covered = []
+            for node in level_nodes:
+                covered.extend(node.leaves)
+            assert covered == list(range(100))
+
+    def test_children_link_to_previous_level(self):
+        tree = VerificationTree(num_leaves=64, rounds=3)
+        for level in range(1, 4):
+            for node in tree.levels[level]:
+                child_cover = []
+                for child_index in node.children:
+                    child = tree.levels[level - 1][child_index]
+                    child_cover.extend(child.leaves)
+                assert child_cover == list(node.leaves)
+
+    def test_coverage_targets_match_paper(self):
+        # |C(v)| for v in L_i should be ~ log^(r-i) k.
+        k, r = 65536, 4
+        tree = VerificationTree(k, r)
+        for level in range(1, r + 1):
+            target = iterated_log(k, r - level)
+            for node in tree.levels[level][:-1]:  # last node may be ragged
+                assert node.num_leaves <= 2 * math.ceil(target)
+                assert node.num_leaves >= math.ceil(target) / 2
+
+    def test_level_sizes_match_paper(self):
+        # |L_i| ~ k / log^(r-i) k.
+        k, r = 65536, 4
+        tree = VerificationTree(k, r)
+        for level in range(1, r + 1):
+            expected = k / iterated_log(k, r - level)
+            actual = len(tree.levels[level])
+            assert actual <= 2 * expected + 1
+            assert actual >= expected / 2
+
+    def test_exact_shape_at_power_tower(self):
+        # k = 65536, r = 2: L_1 nodes cover log k = 16 leaves -> 4096 nodes.
+        tree = VerificationTree(65536, 2)
+        assert len(tree.levels[1]) == 65536 // 16
+        assert all(node.num_leaves == 16 for node in tree.levels[1])
+
+    def test_log_star_rounds_gives_constant_leaf_groups(self):
+        k = 65536
+        tree = VerificationTree(k, log_star(k))
+        # At r = log* k the level-1 nodes cover log^(r-1) k = ~2 leaves.
+        assert all(node.num_leaves <= 3 for node in tree.levels[1])
+
+
+class TestDegenerateCases:
+    def test_single_leaf(self):
+        tree = VerificationTree(1, 2)
+        assert tree.root.num_leaves == 1
+        assert all(len(level) == 1 for level in tree.levels)
+
+    def test_more_rounds_than_log_star(self):
+        # Deeper iterates are all 1: the extra levels become chains, but the
+        # structure stays consistent.
+        tree = VerificationTree(8, 6)
+        assert tree.root.num_leaves == 8
+        for level_nodes in tree.levels:
+            covered = sum(node.num_leaves for node in level_nodes)
+            assert covered == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VerificationTree(0, 1)
+        with pytest.raises(ValueError):
+            VerificationTree(4, 0)
+
+    def test_repr(self):
+        assert "leaves=4" in repr(VerificationTree(4, 2))
+
+
+class TestCoverageTarget:
+    def test_level_zero_is_one(self):
+        tree = VerificationTree(100, 3)
+        assert tree.coverage_target(0) == 1
+
+    def test_root_target_is_k(self):
+        tree = VerificationTree(100, 3)
+        assert tree.coverage_target(3) == 100
+
+    def test_monotone_in_level(self):
+        tree = VerificationTree(4096, 4)
+        targets = [tree.coverage_target(level) for level in range(5)]
+        assert targets == sorted(targets)

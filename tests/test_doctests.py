@@ -1,0 +1,30 @@
+"""Run the docstring examples as tests.
+
+Module docstrings double as the first documentation a reader sees; their
+examples must stay executable.
+"""
+
+import doctest
+
+import pytest
+
+import repro.comm.engine
+import repro.hashing.primes
+import repro.util.bits
+import repro.util.iterlog
+
+DOCTESTED_MODULES = [
+    repro.util.iterlog,
+    repro.util.bits,
+    repro.hashing.primes,
+    repro.comm.engine,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCTESTED_MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module}"
+    assert results.attempted > 0, f"no doctests found in {module}"

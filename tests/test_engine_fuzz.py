@@ -1,0 +1,137 @@
+"""Property-based fuzzing of the two-party engine.
+
+Hypothesis generates random-but-consistent protocol *scripts* -- sequences
+of (sender, payload-length) steps -- compiles them into a pair of party
+coroutines, runs the engine, and checks the accounting invariants:
+
+* total bits = sum of script lengths;
+* message count = number of maximal same-sender runs;
+* payloads arrive unmodified and in order;
+* composition: splitting a script into two `yield from` halves changes
+  nothing.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.engine import Recv, Send, run_two_party
+from repro.util.bits import BitString
+
+script_strategy = st.lists(
+    st.tuples(st.sampled_from(["alice", "bob"]), st.integers(0, 48)),
+    max_size=30,
+)
+
+
+def compile_script(script):
+    """Build (alice_fn, bob_fn) that replay the script faithfully.
+
+    Each step's payload encodes its index so the receiver can verify order
+    and integrity.
+    """
+
+    def payload_for(index, length):
+        value = index % (1 << length) if length else 0
+        return BitString(value, length)
+
+    def party(role):
+        def fn(ctx):
+            received = []
+            for index, (sender, length) in enumerate(script):
+                if sender == role:
+                    yield Send(payload_for(index, length))
+                else:
+                    received.append((yield Recv()))
+            return received
+
+        return fn
+
+    return party("alice"), party("bob")
+
+
+class TestEngineFuzz:
+    @settings(max_examples=120, deadline=None)
+    @given(script_strategy)
+    def test_accounting_matches_script(self, script):
+        alice_fn, bob_fn = compile_script(script)
+        outcome = run_two_party(
+            alice_fn, bob_fn, alice_input=None, bob_input=None
+        )
+        assert outcome.total_bits == sum(length for _, length in script)
+        expected_messages = 0
+        previous = None
+        for sender, _ in script:
+            if sender != previous:
+                expected_messages += 1
+                previous = sender
+        assert outcome.num_messages == expected_messages
+
+    @settings(max_examples=120, deadline=None)
+    @given(script_strategy)
+    def test_payloads_arrive_in_order_and_intact(self, script):
+        alice_fn, bob_fn = compile_script(script)
+        outcome = run_two_party(
+            alice_fn, bob_fn, alice_input=None, bob_input=None
+        )
+        bob_expected = [
+            BitString(i % (1 << length) if length else 0, length)
+            for i, (sender, length) in enumerate(script)
+            if sender == "alice"
+        ]
+        assert outcome.bob_output == bob_expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(script_strategy, st.integers(0, 30))
+    def test_composition_is_transparent(self, script, split_at):
+        split_at = min(split_at, len(script))
+        first, second = script[:split_at], script[split_at:]
+
+        def composed(role):
+            sub_a_alice, sub_a_bob = compile_script(first)
+            sub_b_alice, sub_b_bob = compile_script(second)
+
+            def fn(ctx):
+                part1 = yield from (
+                    sub_a_alice(ctx) if role == "alice" else sub_a_bob(ctx)
+                )
+                part2 = yield from (
+                    sub_b_alice(ctx) if role == "alice" else sub_b_bob(ctx)
+                )
+                return part1 + part2
+
+            return fn
+
+        direct_alice, direct_bob = compile_script(script)
+        direct = run_two_party(
+            direct_alice, direct_bob, alice_input=None, bob_input=None
+        )
+        split = run_two_party(
+            composed("alice"), composed("bob"), alice_input=None, bob_input=None
+        )
+        assert split.total_bits == direct.total_bits
+        assert split.num_messages == direct.num_messages
+        # payload *contents* are indexed per sub-script, so compare shape
+        assert len(split.alice_output) == len(direct.alice_output)
+        assert [len(p) for p in split.bob_output] == [
+            len(p) for p in direct.bob_output
+        ]
+
+    @settings(max_examples=60, deadline=None)
+    @given(script_strategy, st.integers(1, 2000))
+    def test_budget_trips_iff_exceeded(self, script, budget):
+        from repro.comm.errors import ProtocolAborted
+
+        total = sum(length for _, length in script)
+        alice_fn, bob_fn = compile_script(script)
+        try:
+            outcome = run_two_party(
+                alice_fn,
+                bob_fn,
+                alice_input=None,
+                bob_input=None,
+                max_total_bits=budget,
+            )
+            assert outcome.total_bits == total <= budget or total <= budget
+        except ProtocolAborted as aborted:
+            assert total > budget
+            assert aborted.bits_used > budget

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script must run clean and say what it promised.
+
+Examples are documentation; a broken example is a broken promise, so the
+suite executes each one in a subprocess and checks a characteristic line of
+its output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTATIONS = {
+    "quickstart.py": ["intersection ok : True", "savings"],
+    "distributed_join.py": ["matched rows", "total savings"],
+    "similarity_suite.py": ["exact Jaccard", "1-rarity / 2-rarity"],
+    "multiparty_aggregation.py": [
+        "Corollary 4.1",
+        "Corollary 4.2",
+        "cut the heaviest server's load",
+    ],
+    "tradeoff_explorer.py": ["log* k", "baselines:"],
+    "exact_vs_sketch.py": ["EXACT set", "scalar estimate"],
+    "deduplication.py": ["pairwise duplicate counts", "globally replicated"],
+}
+
+
+def test_every_example_has_an_expectation():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTATIONS), (
+        "examples and EXPECTATIONS out of sync; update tests/test_examples.py"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS))
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    for marker in EXPECTATIONS[script]:
+        assert marker in completed.stdout, (
+            f"{script} output missing {marker!r}:\n{completed.stdout[-2000:]}"
+        )

@@ -1,0 +1,176 @@
+"""Failure-injection tests: how the protocols behave on a faulty channel.
+
+The paper's model assumes a reliable channel; these tests document the
+implementation's behaviour when that assumption breaks.  The contract:
+
+1. a corrupted message either surfaces as a decode error
+   (:class:`ValueError` from the strict codecs) or degrades the output,
+   never hangs or crashes the engine;
+2. the *local* one-sided invariants -- each party's output is a subset of
+   its own input -- survive arbitrary corruption, because they are enforced
+   by local filtering, not by anything received;
+3. verification-based protocols (bucket-verify, amplified) treat a
+   corrupted verification exchange like a failed one: they retry and still
+   converge when the fault is transient.
+"""
+
+import random
+
+import pytest
+
+from conftest import make_instance
+from repro.comm.engine import run_two_party
+from repro.core.tree_protocol import TreeProtocol
+from repro.protocols.basic_intersection import BasicIntersectionProtocol
+from repro.protocols.one_round import OneRoundHashingProtocol
+from repro.util.bits import BitString
+
+
+def flip_bit(payload: BitString, position: int) -> BitString:
+    """Flip one bit of a payload."""
+    if len(payload) == 0:
+        return payload
+    position %= len(payload)
+    return BitString(payload.value ^ (1 << (len(payload) - 1 - position)), len(payload))
+
+
+class FlipEveryMessage:
+    """Fault model: flip a pseudo-random bit of every payload from one side."""
+
+    def __init__(self, target_sender: str, seed: int = 0) -> None:
+        self.target_sender = target_sender
+        self.rng = random.Random(seed)
+        self.faults_injected = 0
+
+    def __call__(self, sender: str, payload: BitString) -> BitString:
+        if sender != self.target_sender or len(payload) == 0:
+            return payload
+        self.faults_injected += 1
+        return flip_bit(payload, self.rng.randrange(len(payload)))
+
+
+class FlipOnce:
+    """Fault model: corrupt only the first payload (transient fault)."""
+
+    def __init__(self) -> None:
+        self.done = False
+
+    def __call__(self, sender: str, payload: BitString) -> BitString:
+        if self.done or len(payload) == 0:
+            return payload
+        self.done = True
+        return flip_bit(payload, len(payload) // 2)
+
+
+def run_with_faults(protocol, s, t, fault, seed=0):
+    return run_two_party(
+        protocol.alice,
+        protocol.bob,
+        alice_input=s,
+        bob_input=t,
+        shared_seed=seed,
+        fault_injector=fault,
+    )
+
+
+class TestLocalInvariantsSurvive:
+    def test_one_round_outputs_stay_subsets(self, rng):
+        protocol = OneRoundHashingProtocol(1 << 16, 64)
+        s, t = make_instance(rng, 1 << 16, 64, 0.5)
+        for seed in range(10):
+            fault = FlipEveryMessage("alice", seed)
+            try:
+                outcome = run_with_faults(protocol, s, t, fault, seed)
+            except ValueError:
+                continue  # strict decode caught the corruption: acceptable
+            assert fault.faults_injected > 0
+            # Bob filtered against corrupted hashes, but only ever kept his
+            # own elements.
+            assert outcome.bob_output <= t
+
+    def test_basic_intersection_outputs_stay_subsets(self, rng):
+        protocol = BasicIntersectionProtocol(1 << 16, 64)
+        s, t = make_instance(rng, 1 << 16, 64, 0.5)
+        survived = decode_errors = 0
+        for seed in range(20):
+            fault = FlipEveryMessage("bob", seed)
+            try:
+                outcome = run_with_faults(protocol, s, t, fault, seed)
+            except ValueError:
+                decode_errors += 1
+                continue
+            survived += 1
+            assert outcome.alice_output <= s
+        assert survived + decode_errors == 20
+
+    def test_tree_protocol_never_hangs(self, rng):
+        protocol = TreeProtocol(1 << 16, 64, rounds=2)
+        s, t = make_instance(rng, 1 << 16, 64, 0.5)
+        for seed in range(10):
+            fault = FlipEveryMessage("alice", seed)
+            try:
+                outcome = run_with_faults(protocol, s, t, fault, seed)
+            except ValueError:
+                continue
+            assert outcome.alice_output <= s
+            assert outcome.bob_output <= t
+
+
+class TestVerificationCatchesTransients:
+    def test_bucket_verify_retries_through_one_fault(self, rng):
+        # A single corrupted message makes some verification fail; the
+        # retry loop must converge to the exact answer anyway.
+        from repro.protocols.bucket_verify import BucketVerifyProtocol
+
+        protocol = BucketVerifyProtocol(1 << 16, 64)
+        s, t = make_instance(rng, 1 << 16, 64, 0.5)
+        exact = failures = 0
+        for seed in range(10):
+            try:
+                outcome = run_with_faults(protocol, s, t, FlipOnce(), seed)
+            except ValueError:
+                failures += 1
+                continue
+            if outcome.alice_output == s & t and outcome.bob_output == s & t:
+                exact += 1
+        # most transient faults are absorbed (corrupted hash lists make a
+        # bucket's verification fail -> retry with fresh randomness)
+        assert exact >= 5
+
+    def test_corrupted_equality_verdict_is_detected_or_benign(self):
+        from repro.protocols.equality import EqualityProtocol
+
+        protocol = EqualityProtocol(width=32)
+        # flip the verdict bit (bob's only message)
+        fault = FlipEveryMessage("bob")
+        outcome = run_two_party(
+            protocol.alice,
+            protocol.bob,
+            alice_input="same",
+            bob_input="same",
+            shared_seed=0,
+            fault_injector=fault,
+        )
+        # alice sees the flipped verdict: the parties now DISAGREE, which a
+        # composed protocol would observe as a failed check and retry.
+        assert outcome.alice_output != outcome.bob_output
+
+
+class TestFaultModelMechanics:
+    def test_flip_bit_roundtrip(self):
+        payload = BitString.from_str("10110")
+        flipped = flip_bit(payload, 2)
+        assert str(flipped) == "10010"
+        assert flip_bit(flipped, 2) == payload
+
+    def test_transcript_records_original_payload(self, rng):
+        # The sender paid for what it sent; accounting must not change.
+        protocol = OneRoundHashingProtocol(1 << 16, 32)
+        s, t = make_instance(rng, 1 << 16, 32, 0.5)
+        clean = protocol.run(s, t, seed=0)
+        fault = FlipEveryMessage("alice", seed=1)
+        try:
+            faulty = run_with_faults(protocol, s, t, fault, 0)
+            assert faulty.total_bits == clean.total_bits
+        except ValueError:
+            pytest.skip("decode error before completion (acceptable)")

@@ -1,0 +1,80 @@
+"""Tests for Fact 2.2 collision-free hashing."""
+
+import random
+
+from repro.hashing.families import (
+    CollisionFreeSpec,
+    collision_free_range,
+    sample_collision_free_hash,
+)
+from repro.util.rng import SharedRandomness
+
+
+class TestRangeRule:
+    def test_range_grows_with_exponent(self):
+        assert collision_free_range(10, 0) == 2 * 10**2
+        assert collision_free_range(10, 1) == 2 * 10**3
+        assert collision_free_range(10, 3) == 2 * 10**5
+
+    def test_small_sets_clamped(self):
+        # s < 2 still gets a usable range (base clamps to 2).
+        assert collision_free_range(0, 2) == 2 * 2**4
+        assert collision_free_range(1, 2) == 2 * 2**4
+
+    def test_spec_failure_probability(self):
+        spec = CollisionFreeSpec(
+            set_size=10, exponent=1, range_size=collision_free_range(10, 1)
+        )
+        # union bound: C(10,2) * 2 / 2000 = 0.045 <= 1/10
+        assert spec.failure_probability <= 1 / 10
+        assert spec.failure_probability > 0
+
+    def test_spec_trivial_set(self):
+        spec = CollisionFreeSpec(set_size=1, exponent=3, range_size=100)
+        assert spec.failure_probability == 0.0
+
+    def test_output_bits(self):
+        spec = CollisionFreeSpec(set_size=4, exponent=0, range_size=32)
+        assert spec.output_bits == 5
+
+
+class TestSampledFunctions:
+    def test_collision_free_rate_meets_fact_2_2(self):
+        # Fact 2.2 with i = 1, |S| = 16: failure <= 1/16 per draw.
+        rng = random.Random(0)
+        elements = rng.sample(range(1 << 20), 16)
+        shared = SharedRandomness(3)
+        failures = 0
+        trials = 400
+        for trial in range(trials):
+            hash_fn = sample_collision_free_hash(
+                1 << 20, 16, 1, shared.stream(f"t{trial}")
+            )
+            if not hash_fn.is_collision_free_on(elements):
+                failures += 1
+        assert failures / trials <= 2 / 16  # 2x slack over the bound
+
+    def test_higher_exponent_rarely_fails(self):
+        rng = random.Random(1)
+        elements = rng.sample(range(1 << 20), 32)
+        shared = SharedRandomness(4)
+        failures = sum(
+            0
+            if sample_collision_free_hash(
+                1 << 20, 32, 3, shared.stream(f"t{t}")
+            ).is_collision_free_on(elements)
+            else 1
+            for t in range(200)
+        )
+        assert failures <= 1
+
+    def test_range_matches_spec(self):
+        hash_fn = sample_collision_free_hash(
+            1000, 8, 2, SharedRandomness(5).stream("h")
+        )
+        assert hash_fn.range_size == collision_free_range(8, 2)
+
+    def test_both_parties_agree(self):
+        f = sample_collision_free_hash(1000, 8, 2, SharedRandomness(6).stream("z"))
+        g = sample_collision_free_hash(1000, 8, 2, SharedRandomness(6).stream("z"))
+        assert all(f(e) == g(e) for e in range(0, 1000, 13))

@@ -1,0 +1,80 @@
+"""Tests for the FKS mod-prime universe reduction."""
+
+import math
+import random
+
+import pytest
+
+from repro.hashing.fks import FKSReduction, fks_modulus_bound, sample_fks_reduction
+from repro.util.iterlog import ceil_log2
+from repro.util.rng import SharedRandomness
+
+
+class TestModulusBound:
+    def test_bound_is_polynomial_in_k_and_log_n(self):
+        # q = O~(k^2 log n): doubling n should barely move the bound, while
+        # doubling k should move it by ~2^(2+exponent).
+        base = fks_modulus_bound(64, 1 << 20)
+        bigger_universe = fks_modulus_bound(64, 1 << 40)
+        assert bigger_universe <= 4 * base
+        bigger_sets = fks_modulus_bound(128, 1 << 20)
+        assert bigger_sets > base
+
+    def test_description_is_log_k_plus_log_log_n(self):
+        # The whole point of Section 3.1: the prime's description length is
+        # additive O(log k + log log n), exponentially smaller than log n.
+        k, n = 256, 1 << 256
+        bound = fks_modulus_bound(k, n)
+        description = ceil_log2(bound)
+        assert description <= 8 * (math.log2(k) + math.log2(math.log2(n))) + 32
+
+
+class TestReduction:
+    def test_identity_below_prime(self):
+        reduction = FKSReduction(universe_size=1000, prime=2003)
+        assert all(reduction(x) == x for x in range(0, 1000, 37))
+
+    def test_modular(self):
+        reduction = FKSReduction(universe_size=1000, prime=97)
+        assert reduction(500) == 500 % 97
+
+    def test_domain_validated(self):
+        reduction = FKSReduction(universe_size=100, prime=97)
+        with pytest.raises(ValueError):
+            reduction(100)
+
+    def test_reduce_set_order(self):
+        reduction = FKSReduction(universe_size=100, prime=7)
+        assert reduction.reduce_set([10, 3]) == [3, 3 % 7]
+
+    def test_collision_free_rate(self):
+        # Random prime collision-free on a fixed 2k-subset w.p. 1 - 1/poly.
+        rng = random.Random(2)
+        elements = rng.sample(range(1 << 30), 64)
+        shared = SharedRandomness(1)
+        failures = sum(
+            0
+            if sample_fks_reduction(
+                1 << 30, 64, shared.stream(f"t{t}")
+            ).is_collision_free_on(elements)
+            else 1
+            for t in range(150)
+        )
+        assert failures <= 3
+
+    def test_reduced_universe_much_smaller_than_original(self):
+        reduction = sample_fks_reduction(
+            1 << 60, 64, SharedRandomness(2).stream("q")
+        )
+        assert reduction.reduced_universe_size < 1 << 40
+
+    def test_description_bits(self):
+        reduction = sample_fks_reduction(
+            1 << 30, 32, SharedRandomness(3).stream("q")
+        )
+        assert reduction.description_bits == ceil_log2(reduction.prime + 1)
+
+    def test_deterministic_given_stream(self):
+        a = sample_fks_reduction(1 << 20, 16, SharedRandomness(4).stream("q"))
+        b = sample_fks_reduction(1 << 20, 16, SharedRandomness(4).stream("q"))
+        assert a.prime == b.prime

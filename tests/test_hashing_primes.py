@@ -1,0 +1,95 @@
+"""Tests for primality testing and prime search."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.primes import is_prime, next_prime, random_prime
+from repro.util.rng import SharedRandomness
+
+
+def sieve(limit):
+    flags = [True] * limit
+    flags[0] = flags[1] = False
+    for p in range(2, int(limit**0.5) + 1):
+        if flags[p]:
+            for multiple in range(p * p, limit, p):
+                flags[multiple] = False
+    return [i for i, flag in enumerate(flags) if flag]
+
+
+class TestIsPrime:
+    def test_matches_sieve_below_10000(self):
+        primes = set(sieve(10_000))
+        for candidate in range(10_000):
+            assert is_prime(candidate) == (candidate in primes)
+
+    def test_known_large_primes(self):
+        assert is_prime(2**31 - 1)  # Mersenne
+        assert is_prime(2**61 - 1)  # Mersenne
+        assert is_prime(1_000_000_007)
+        assert is_prime(1_000_000_009)
+
+    def test_known_large_composites(self):
+        assert not is_prime(2**32 - 1)
+        assert not is_prime(1_000_000_007 * 1_000_000_009)
+
+    def test_carmichael_numbers(self):
+        # Fermat pseudoprimes to many bases; Miller-Rabin must reject them.
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041):
+            assert not is_prime(carmichael)
+
+    def test_strong_pseudoprime_base_2(self):
+        assert not is_prime(2047)  # 23 * 89, strong pseudoprime base 2
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_no_small_factor_missed(self, value):
+        if is_prime(value):
+            for factor in (2, 3, 5, 7, 11, 13):
+                assert value == factor or value % factor != 0
+
+
+class TestNextPrime:
+    def test_basic(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 2
+        assert next_prime(8) == 11
+        assert next_prime(14) == 17
+
+    @given(st.integers(min_value=2, max_value=10**9))
+    def test_result_is_prime_and_minimal(self, lower):
+        prime = next_prime(lower)
+        assert prime >= lower
+        assert is_prime(prime)
+        # Bertrand: the gap is bounded; check minimality over the gap.
+        for candidate in range(lower, prime):
+            assert not is_prime(candidate)
+
+
+class TestRandomPrime:
+    def test_in_range_and_prime(self):
+        stream = SharedRandomness(1).stream("p")
+        for _ in range(20):
+            prime = random_prime(1000, 5000, stream)
+            assert 1000 <= prime < 5000
+            assert is_prime(prime)
+
+    def test_spread(self):
+        # The FKS analysis needs the prime to actually be random: over many
+        # draws we must see many distinct primes.
+        stream = SharedRandomness(2).stream("p")
+        drawn = {random_prime(10_000, 100_000, stream) for _ in range(50)}
+        assert len(drawn) > 30
+
+    def test_deterministic_given_stream(self):
+        a = random_prime(100, 1000, SharedRandomness(3).stream("x"))
+        b = random_prime(100, 1000, SharedRandomness(3).stream("x"))
+        assert a == b
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            random_prime(50, 50, SharedRandomness(1).stream("p"))
+
+    def test_interval_without_prime(self):
+        with pytest.raises(ValueError):
+            random_prime(24, 28, SharedRandomness(1).stream("p"))

@@ -1,0 +1,133 @@
+"""Cross-module integration tests: every protocol, one instance, one answer."""
+
+import random
+
+import pytest
+
+from conftest import make_instance
+from repro.core.amplify import AmplifiedIntersection
+from repro.core.private_model import PrivateCoinIntersection
+from repro.core.tree_protocol import TreeProtocol
+from repro.protocols.bucket_verify import BucketVerifyProtocol
+from repro.protocols.one_round import OneRoundHashingProtocol
+from repro.protocols.sqrt_k import SqrtKProtocol
+from repro.protocols.trivial import TrivialExchangeProtocol
+
+N, K = 1 << 18, 96
+
+
+def all_protocols():
+    return [
+        TrivialExchangeProtocol(N, K),
+        OneRoundHashingProtocol(N, K),
+        BucketVerifyProtocol(N, K),
+        SqrtKProtocol(N, K),
+        TreeProtocol(N, K, rounds=1),
+        TreeProtocol(N, K, rounds=2),
+        TreeProtocol(N, K, rounds=4),
+        AmplifiedIntersection(N, K),
+        PrivateCoinIntersection(N, K),
+    ]
+
+
+class TestCrossProtocolAgreement:
+    @pytest.mark.parametrize(
+        "protocol", all_protocols(), ids=lambda p: f"{p.name}-r{getattr(p, 'rounds', '-')}"
+    )
+    def test_every_protocol_recovers_the_same_intersection(
+        self, rng, protocol, overlap_fraction
+    ):
+        s, t = make_instance(rng, N, K, overlap_fraction)
+        outcome = protocol.run(s, t, seed=42)
+        assert outcome.alice_output == s & t
+        assert outcome.bob_output == s & t
+
+    def test_protocol_hierarchy_of_costs(self, rng):
+        # The paper's landscape on one instance: at large n/k, the trivial
+        # exchange must lose to the randomized protocols, and the optimal
+        # tree point must (weakly) beat the one-round hash exchange.
+        s, t = make_instance(rng, N, K, 0.5)
+        costs = {
+            protocol.name: protocol.run(s, t, seed=7).total_bits
+            for protocol in [
+                TrivialExchangeProtocol(N, K, both_outputs=False),
+                OneRoundHashingProtocol(N, K),
+                TreeProtocol(N, K),
+            ]
+        }
+        assert costs["verification-tree"] < costs["one-round-hashing"]
+
+    def test_applications_consistent_with_direct_protocols(self, rng):
+        from repro.applications import set_statistics
+
+        s, t = make_instance(rng, N, K, 0.5)
+        report = set_statistics(s, t, universe_size=N, max_set_size=K)
+        direct = TreeProtocol(N, K).run(s, t, seed=0)
+        assert report.intersection == direct.alice_output
+
+
+class TestMultipartyConsistency:
+    def test_two_player_multiparty_matches_two_party(self):
+        from repro.multiparty.coordinator import CoordinatorIntersection
+
+        rng = random.Random(300)
+        s, t = make_instance(rng, 1 << 16, 64, 0.5)
+        multi = CoordinatorIntersection(1 << 16, 64).run([s, t], seed=0)
+        assert multi.intersection == s & t
+
+    def test_coordinator_and_tree_schemes_agree(self):
+        from repro.multiparty.binary_tree import BinaryTreeIntersection
+        from repro.multiparty.coordinator import CoordinatorIntersection
+
+        rng = random.Random(301)
+        common = set(rng.sample(range(1 << 16), 10))
+        sets = [
+            frozenset(common | set(rng.sample(range(1 << 16), 40)))
+            for _ in range(6)
+        ]
+        a = CoordinatorIntersection(1 << 16, 64).run(sets, seed=1)
+        b = BinaryTreeIntersection(1 << 16, 64).run(sets, seed=1)
+        assert a.intersection == b.intersection
+        assert a.intersection == frozenset.intersection(*sets)
+
+
+class TestSeedStability:
+    def test_runs_are_replayable(self, rng):
+        s, t = make_instance(rng, N, K, 0.5)
+        protocol = TreeProtocol(N, K)
+        first = protocol.run(s, t, seed=11)
+        second = protocol.run(s, t, seed=11)
+        assert first.total_bits == second.total_bits
+        assert first.num_messages == second.num_messages
+        assert first.alice_output == second.alice_output
+
+    def test_different_seeds_vary_cost_not_answer(self, rng):
+        s, t = make_instance(rng, N, K, 0.5)
+        protocol = TreeProtocol(N, K)
+        outcomes = [protocol.run(s, t, seed=seed) for seed in range(8)]
+        assert len({o.alice_output for o in outcomes}) == 1
+        assert len({o.total_bits for o in outcomes}) > 1  # randomized cost
+
+
+class TestStressShapes:
+    def test_max_cardinality_identical_sets(self):
+        rng = random.Random(302)
+        s = frozenset(rng.sample(range(N), K))
+        for protocol in (TreeProtocol(N, K), SqrtKProtocol(N, K)):
+            outcome = protocol.run(s, s, seed=0)
+            assert outcome.alice_output == s
+
+    def test_adversarially_clustered_elements(self):
+        # Consecutive integers stress the hash families (linear structure).
+        s = frozenset(range(K))
+        t = frozenset(range(K // 2, K // 2 + K))
+        for protocol in all_protocols():
+            outcome = protocol.run(s, t, seed=13)
+            assert outcome.alice_output == s & t, protocol.name
+
+    def test_universe_boundary_elements(self):
+        s = frozenset({0, N - 1, N // 2})
+        t = frozenset({0, N - 1, 7})
+        for protocol in all_protocols():
+            outcome = protocol.run(s, t, seed=17)
+            assert outcome.alice_output == {0, N - 1}, protocol.name

@@ -1,0 +1,64 @@
+"""A full-stack story test: the workflow a downstream team would actually run.
+
+One scenario end to end: generate a realistic workload, reconcile through a
+session, audit the costs against the analytic models, export JSON for the
+dashboard, and render the conversation for the postmortem doc.  Exercises
+the seams *between* modules that unit tests cover individually.
+"""
+
+import json
+
+from repro import IntersectionSession
+from repro.analysis import measure_protocol, predict_tree_bits_upper
+from repro.analysis.failure_bounds import tree_failure_bound
+from repro.comm.render import render_transcript
+from repro.core.tree_protocol import TreeProtocol
+from repro.reporting import to_json, trial_report_to_dict
+from repro.testing import check_intersection_contract
+from repro.workloads import Distribution, WorkloadSpec, generate_pair
+
+
+class TestReconciliationStory:
+    N, K = 1 << 24, 256
+
+    def test_the_whole_pipeline(self):
+        # 1. A database-shaped workload: clustered keys, moderate overlap.
+        spec = WorkloadSpec(self.N, self.K, 0.4, Distribution.CLUSTERED)
+
+        # 2. The nightly reconciliation session: three queries.
+        session = IntersectionSession(self.N, self.K, seed=42)
+        for seed in range(3):
+            s, t = generate_pair(spec, seed)
+            assert session.intersect(s, t) == s & t
+        stats = session.stats()
+        assert stats.operations == 3
+
+        # 3. Capacity audit: measured costs sit under the analytic model.
+        model = predict_tree_bits_upper(self.K, 4)
+        assert stats.mean_bits <= 2 * model
+
+        # 4. Reliability audit: the proof-shaped failure bound certifies
+        #    the nightly job (3 ops x bound << 1).
+        bound = tree_failure_bound(self.K, 4)
+        assert 3 * bound.overall < 1e-3
+
+        # 5. Bulk measurement for the quarterly report, exported as JSON.
+        report = measure_protocol(
+            TreeProtocol(self.N, self.K), spec, trials=6
+        )
+        assert report.success_rate == 1.0
+        payload = json.loads(to_json(report))
+        assert payload == trial_report_to_dict(report)
+        assert payload["bits"]["mean"] == report.bits.mean
+
+        # 6. The postmortem artifact: a readable transcript of one run.
+        s, t = generate_pair(spec, 99)
+        outcome = TreeProtocol(self.N, self.K).run(s, t, seed=0)
+        chart = render_transcript(outcome.transcript)
+        assert f"total: {outcome.total_bits} bits" in chart
+
+        # 7. And the gate the team's CI would run on any protocol change.
+        conformance = check_intersection_contract(
+            TreeProtocol(self.N, self.K), failure_budget=1
+        )
+        assert conformance.passed, str(conformance)

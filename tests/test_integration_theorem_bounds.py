@@ -1,0 +1,120 @@
+"""Aggregate validation of the paper's quantitative claims.
+
+These are the *test-sized* versions of the benchmark experiments (see
+EXPERIMENTS.md): modest trial counts, hard assertions.  The benchmarks run
+the same measurements at larger scale and print the full tables.
+"""
+
+import random
+
+from conftest import make_instance
+from repro.comm.stats import TrialAggregator
+from repro.core.tradeoff import communication_bound
+from repro.core.tree_protocol import TreeProtocol
+from repro.protocols.trivial import TrivialExchangeProtocol
+from repro.util.iterlog import log_star
+
+
+class TestTheorem11:
+    """Theorem 1.1: 6r rounds, O(k log^(r) k) expected bits, 1 - 1/poly(k)."""
+
+    def test_full_tradeoff_grid(self):
+        rng = random.Random(400)
+        n = 1 << 22
+        for k in (64, 512):
+            for rounds in range(1, log_star(k) + 1):
+                protocol = TreeProtocol(n, k, rounds=rounds)
+                aggregator = TrialAggregator()
+                for seed in range(8):
+                    s, t = make_instance(rng, n, k, 0.5)
+                    outcome = protocol.run(s, t, seed=seed)
+                    aggregator.add(
+                        bits=outcome.total_bits,
+                        messages=outcome.num_messages,
+                        correct=outcome.correct_for(s, t),
+                    )
+                report = aggregator.report()
+                assert report.success_rate >= 0.99, (k, rounds)
+                assert report.messages.maximum <= max(2, 6 * rounds)
+                # expected bits within a generous constant of k log^(r) k
+                assert report.bits.mean <= 64 * communication_bound(k, rounds)
+
+    def test_success_improves_with_k(self):
+        # 1 - 1/poly(k): failure rate at k = 16 should exceed that at
+        # k = 256 when using a deliberately weak confidence exponent.
+        rng = random.Random(401)
+        failures = {}
+        for k in (16, 256):
+            protocol = TreeProtocol(1 << 16, k, rounds=2, confidence_exponent=2)
+            count = 0
+            for seed in range(120):
+                s, t = make_instance(rng, 1 << 16, k, 0.5)
+                if not protocol.run(s, t, seed=seed).correct_for(s, t):
+                    count += 1
+            failures[k] = count
+        assert failures[256] <= max(failures[16], 2)
+
+
+class TestOptimalityAgainstBaselines:
+    def test_tree_beats_trivial_once_universe_is_large(self):
+        # Crossover: at n/k = 2^24 the k log(n/k) baseline must lose to the
+        # O(k) tree protocol.
+        rng = random.Random(402)
+        k = 256
+        n = k << 24
+        s, t = make_instance(rng, n, k, 0.5)
+        trivial_bits = (
+            TrivialExchangeProtocol(n, k, both_outputs=False)
+            .run(s, t, seed=0)
+            .total_bits
+        )
+        tree_bits = TreeProtocol(n, k).run(s, t, seed=0).total_bits
+        assert tree_bits < trivial_bits
+
+    def test_trivial_wins_when_universe_is_tiny(self):
+        # The other side of the crossover: at n ~= 4k the deterministic
+        # exchange costs ~2 bits/element and beats hashing-based protocols.
+        rng = random.Random(403)
+        k = 256
+        n = 4 * k
+        s, t = make_instance(rng, n, k, 0.5)
+        trivial_bits = (
+            TrivialExchangeProtocol(n, k, both_outputs=False)
+            .run(s, t, seed=0)
+            .total_bits
+        )
+        tree_bits = TreeProtocol(n, k).run(s, t, seed=0).total_bits
+        assert trivial_bits < tree_bits
+
+    def test_communication_never_scales_with_universe(self):
+        # The lower-bound story only makes INT_k interesting because the
+        # randomized cost is universe-free; verify across 30 bits of n.
+        rng = random.Random(404)
+        k = 128
+        costs = []
+        for log_n in (14, 24, 44):
+            s, t = make_instance(rng, 1 << log_n, k, 0.5)
+            costs.append(
+                TreeProtocol(1 << log_n, k).run(s, t, seed=0).total_bits
+            )
+        assert max(costs) / min(costs) < 1.5
+
+
+class TestMultipartyBounds:
+    def test_total_mk_scaling(self):
+        # Corollary 4.1 at r = log* k: total O(mk).
+        rng = random.Random(405)
+        from repro.multiparty.coordinator import CoordinatorIntersection
+
+        k = 64
+        per_mk = []
+        for m in (3, 6, 12):
+            common = set(rng.sample(range(1 << 20), 8))
+            sets = [
+                frozenset(common | set(rng.sample(range(1 << 20), k - 8)))
+                for _ in range(m)
+            ]
+            total = CoordinatorIntersection(1 << 20, k).run(sets, seed=0).total_bits
+            per_mk.append(total / (m * k))
+        assert max(per_mk) < 150
+        assert max(per_mk) / min(per_mk) < 3.0

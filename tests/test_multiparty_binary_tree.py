@@ -1,0 +1,87 @@
+"""Tests for the Corollary 4.2 binary-tree protocol."""
+
+import random
+
+import pytest
+
+from repro.multiparty.binary_tree import BinaryTreeIntersection
+from test_multiparty_coordinator import make_multiparty_instance
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("m", [2, 3, 4, 7, 8])
+    def test_exact_for_various_player_counts(self, m):
+        rng = random.Random(100 + m)
+        sets, truth = make_multiparty_instance(rng, 1 << 16, 64, m, 12)
+        result = BinaryTreeIntersection(1 << 16, 64).run(sets, seed=0)
+        assert result.intersection == truth
+
+    def test_single_player(self):
+        result = BinaryTreeIntersection(1 << 10, 8).run([{4, 5}], seed=0)
+        assert result.intersection == frozenset({4, 5})
+        assert result.total_bits == 0
+
+    def test_non_power_of_two_group(self):
+        rng = random.Random(110)
+        sets, truth = make_multiparty_instance(rng, 1 << 16, 32, 5, 8)
+        result = BinaryTreeIntersection(1 << 16, 32).run(sets, seed=0)
+        assert result.intersection == truth
+
+    def test_multi_level_recursion(self):
+        rng = random.Random(111)
+        sets, truth = make_multiparty_instance(rng, 1 << 16, 32, 10, 6)
+        result = BinaryTreeIntersection(1 << 16, 32, group_size=4).run(sets, seed=0)
+        assert result.intersection == truth
+
+    def test_empty_global_intersection(self):
+        rng = random.Random(112)
+        sets, truth = make_multiparty_instance(rng, 1 << 16, 32, 6, 0)
+        result = BinaryTreeIntersection(1 << 16, 32).run(sets, seed=0)
+        assert result.intersection == truth == frozenset()
+
+    def test_many_seeds(self):
+        rng = random.Random(113)
+        protocol = BinaryTreeIntersection(1 << 16, 32)
+        for seed in range(10):
+            sets, truth = make_multiparty_instance(rng, 1 << 16, 32, 6, 8)
+            assert protocol.run(sets, seed=seed).intersection == truth
+
+
+class TestWorstCaseSpreading:
+    def test_max_player_bits_lower_than_coordinator_scheme(self):
+        # The point of Corollary 4.2: the heaviest player's load drops
+        # relative to the coordinator scheme, at the cost of more rounds.
+        from repro.multiparty.coordinator import CoordinatorIntersection
+
+        rng = random.Random(114)
+        sets, _ = make_multiparty_instance(rng, 1 << 20, 64, 8, 16)
+        coordinator_run = CoordinatorIntersection(1 << 20, 64).run(sets, seed=0)
+        tree_run = BinaryTreeIntersection(1 << 20, 64).run(sets, seed=0)
+        assert tree_run.outcome.max_player_bits < (
+            coordinator_run.outcome.max_player_bits
+        )
+        assert tree_run.rounds > coordinator_run.rounds
+
+    def test_max_player_bits_scales_with_depth_not_group(self):
+        # In the binary tree, the heaviest player joins ceil(log2 m)
+        # protocols; max per-player bits should grow ~log m, not ~m.
+        rng = random.Random(115)
+        k = 32
+        heaviest = {}
+        for m in (4, 8):
+            sets, _ = make_multiparty_instance(rng, 1 << 20, k, m, 8)
+            result = BinaryTreeIntersection(1 << 20, k).run(sets, seed=0)
+            heaviest[m] = result.outcome.max_player_bits
+        # doubling m adds one tree level: ~1 extra pairwise protocol for the
+        # heaviest player, nowhere near doubling.
+        assert heaviest[8] < 1.8 * heaviest[4]
+
+
+class TestValidation:
+    def test_empty_player_list(self):
+        with pytest.raises(ValueError):
+            BinaryTreeIntersection(1 << 10, 8).run([], seed=0)
+
+    def test_oversized_set(self):
+        with pytest.raises(ValueError):
+            BinaryTreeIntersection(1 << 10, 2).run([{1, 2, 3}, {1}], seed=0)

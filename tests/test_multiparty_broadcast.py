@@ -1,0 +1,99 @@
+"""Tests for the multiparty result broadcast (all-players-output mode)."""
+
+import random
+
+from repro.multiparty.coordinator import CoordinatorIntersection
+from test_multiparty_coordinator import make_multiparty_instance
+
+
+class TestBroadcast:
+    def test_every_player_outputs_the_intersection(self):
+        rng = random.Random(0)
+        sets, truth = make_multiparty_instance(rng, 1 << 18, 48, 7, 9)
+        protocol = CoordinatorIntersection(1 << 18, 48, broadcast=True)
+        result = protocol.run(sets, seed=2)
+        assert result.intersection == truth
+        assert all(
+            output == truth for output in result.outcome.outputs.values()
+        )
+
+    def test_without_broadcast_members_output_none(self):
+        rng = random.Random(1)
+        sets, truth = make_multiparty_instance(rng, 1 << 18, 48, 5, 9)
+        protocol = CoordinatorIntersection(1 << 18, 48)
+        result = protocol.run(sets, seed=0)
+        outputs = result.outcome.outputs
+        names = sorted(outputs)
+        assert outputs[names[0]] == truth
+        assert all(outputs[name] is None for name in names[1:])
+
+    def test_broadcast_through_multilevel_recursion(self):
+        rng = random.Random(2)
+        sets, truth = make_multiparty_instance(rng, 1 << 18, 32, 9, 6)
+        protocol = CoordinatorIntersection(
+            1 << 18, 32, group_size=3, broadcast=True
+        )
+        result = protocol.run(sets, seed=1)
+        assert all(
+            output == truth for output in result.outcome.outputs.values()
+        )
+
+    def test_broadcast_adds_one_round_and_linear_bits(self):
+        rng = random.Random(3)
+        sets, truth = make_multiparty_instance(rng, 1 << 18, 64, 6, 16)
+        plain = CoordinatorIntersection(1 << 18, 64).run(sets, seed=4)
+        shared = CoordinatorIntersection(1 << 18, 64, broadcast=True).run(
+            sets, seed=4
+        )
+        assert shared.rounds <= plain.rounds + 2
+        extra = shared.total_bits - plain.total_bits
+        # (m-1) recipients x |result| hash values x O(log mk) bits
+        assert 0 < extra <= 5 * len(truth) * 64 + 5 * 64
+
+    def test_empty_intersection_broadcast(self):
+        rng = random.Random(4)
+        sets, truth = make_multiparty_instance(rng, 1 << 18, 32, 4, 0)
+        protocol = CoordinatorIntersection(1 << 18, 32, broadcast=True)
+        result = protocol.run(sets, seed=0)
+        assert truth == frozenset()
+        assert all(
+            output == frozenset()
+            for output in result.outcome.outputs.values()
+        )
+
+    def test_single_player_broadcast_noop(self):
+        protocol = CoordinatorIntersection(1 << 10, 8, broadcast=True)
+        result = protocol.run([{1, 2}], seed=0)
+        assert result.intersection == frozenset({1, 2})
+        assert result.total_bits == 0
+
+
+class TestBinaryTreeBroadcast:
+    def test_every_player_outputs_the_intersection(self):
+        import random
+
+        from repro.multiparty.binary_tree import BinaryTreeIntersection
+
+        rng = random.Random(10)
+        sets, truth = make_multiparty_instance(rng, 1 << 18, 48, 6, 9)
+        protocol = BinaryTreeIntersection(1 << 18, 48, broadcast=True)
+        result = protocol.run(sets, seed=1)
+        assert result.intersection == truth
+        assert all(
+            output == truth for output in result.outcome.outputs.values()
+        )
+
+    def test_multilevel_tree_broadcast(self):
+        import random
+
+        from repro.multiparty.binary_tree import BinaryTreeIntersection
+
+        rng = random.Random(11)
+        sets, truth = make_multiparty_instance(rng, 1 << 18, 32, 9, 6)
+        protocol = BinaryTreeIntersection(
+            1 << 18, 32, group_size=4, broadcast=True
+        )
+        result = protocol.run(sets, seed=2)
+        assert all(
+            output == truth for output in result.outcome.outputs.values()
+        )

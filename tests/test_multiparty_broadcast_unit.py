@@ -1,0 +1,102 @@
+"""Direct unit tests of the broadcast building blocks (hand-driven)."""
+
+import pytest
+
+from repro.comm.errors import ProtocolViolation
+from repro.multiparty.broadcast import (
+    await_broadcast,
+    broadcast_hash,
+    send_broadcast,
+)
+from repro.multiparty.network import PlayerContext
+from repro.util.rng import PrivateRandomness, SharedRandomness
+
+
+def make_ctx(name, players, seed=0):
+    return PlayerContext(
+        name=name,
+        index=players.index(name),
+        players=tuple(players),
+        input=None,
+        shared=SharedRandomness(seed),
+        private=PrivateRandomness(seed + 1),
+    )
+
+
+PLAYERS = ["p0", "p1", "p2"]
+N, K = 1 << 16, 32
+
+
+class TestBroadcastHash:
+    def test_all_players_derive_the_same_function(self):
+        functions = [
+            broadcast_hash(make_ctx(name, PLAYERS), N, K) for name in PLAYERS
+        ]
+        for element in range(0, N, 997):
+            images = {fn(element) for fn in functions}
+            assert len(images) == 1
+
+    def test_range_scales_with_players_and_k(self):
+        small = broadcast_hash(make_ctx("p0", PLAYERS), N, 8)
+        large = broadcast_hash(make_ctx("p0", PLAYERS * 4), N, 8)
+        assert large.range_size >= small.range_size
+
+
+class TestSendAwaitRoundtrip:
+    def drive_send(self, ctx, result):
+        gen = send_broadcast(ctx, result, N, K)
+        outbox = next(gen)
+        with pytest.raises(StopIteration):
+            gen.send(None)
+        return outbox
+
+    def test_roundtrip(self):
+        result = frozenset({5, 99, 1234})
+        sender_ctx = make_ctx("p0", PLAYERS)
+        outbox = self.drive_send(sender_ctx, result)
+        assert {dst for dst, _ in outbox} == {"p1", "p2"}
+
+        # p1 holds a superset of the result; feeding it the payload must
+        # recover exactly the result.
+        receiver_ctx = make_ctx("p1", PLAYERS)
+        own = result | {7, 8, 60000}
+        gen = await_broadcast(receiver_ctx, own, [], N, K)
+        assert next(gen) == []  # waiting
+        payload = [entry for entry in outbox if entry[0] == "p1"][0][1]
+        with pytest.raises(StopIteration) as stop:
+            gen.send([("p0", payload)])
+        assert stop.value.value == result
+
+    def test_strays_consumed_first(self):
+        result = frozenset({10, 20})
+        outbox = self.drive_send(make_ctx("p0", PLAYERS), result)
+        payload = [entry for entry in outbox if entry[0] == "p2"][0][1]
+        strays = [("p0", payload)]
+        gen = await_broadcast(
+            make_ctx("p2", PLAYERS), result | {30}, strays, N, K
+        )
+        with pytest.raises(StopIteration) as stop:
+            next(gen)  # resolves immediately from the stray
+        assert stop.value.value == result
+        assert strays == []  # consumed
+
+    def test_unexpected_sender_rejected(self):
+        gen = await_broadcast(
+            make_ctx("p1", PLAYERS), frozenset({1}), [], N, K
+        )
+        next(gen)
+        from repro.util.bits import BitString
+
+        with pytest.raises(ProtocolViolation):
+            gen.send([("p2", BitString(0, 4))])
+
+    def test_empty_result_broadcast(self):
+        outbox = self.drive_send(make_ctx("p0", PLAYERS), frozenset())
+        payload = outbox[0][1]
+        gen = await_broadcast(
+            make_ctx("p1", PLAYERS), frozenset({1, 2}), [], N, K
+        )
+        next(gen)
+        with pytest.raises(StopIteration) as stop:
+            gen.send([("p0", payload)])
+        assert stop.value.value == frozenset()

@@ -1,0 +1,134 @@
+"""Tests for the Corollary 4.1 coordinator protocol."""
+
+import random
+
+import pytest
+
+from repro.multiparty.coordinator import CoordinatorIntersection, partition_groups
+
+
+def make_multiparty_instance(rng, n, k, m, common_size):
+    common = set(rng.sample(range(n), common_size))
+    sets = []
+    for _ in range(m):
+        extra = set(rng.sample(range(n), k - common_size))
+        sets.append(frozenset(common | extra))
+    return sets, frozenset.intersection(*map(frozenset, sets))
+
+
+class TestPartitionGroups:
+    def test_even_split(self):
+        assert partition_groups(list("abcdef"), 2) == [
+            ["a", "b"],
+            ["c", "d"],
+            ["e", "f"],
+        ]
+
+    def test_ragged_split(self):
+        assert partition_groups(list("abcde"), 3) == [["a", "b", "c"], ["d", "e"]]
+
+    def test_oversized_group(self):
+        assert partition_groups(["a"], 10) == [["a"]]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("m", [2, 3, 5, 8])
+    def test_exact_for_various_player_counts(self, m):
+        rng = random.Random(m)
+        sets, truth = make_multiparty_instance(rng, 1 << 16, 64, m, 12)
+        result = CoordinatorIntersection(1 << 16, 64).run(sets, seed=0)
+        assert result.intersection == truth
+
+    def test_single_player(self):
+        result = CoordinatorIntersection(1 << 10, 8).run([{1, 2, 3}], seed=0)
+        assert result.intersection == frozenset({1, 2, 3})
+        assert result.total_bits == 0
+        assert result.rounds == 0
+
+    def test_globally_empty_intersection(self):
+        rng = random.Random(50)
+        sets, truth = make_multiparty_instance(rng, 1 << 16, 32, 4, 0)
+        result = CoordinatorIntersection(1 << 16, 32).run(sets, seed=0)
+        assert result.intersection == truth
+
+    def test_identical_sets(self):
+        shared_set = frozenset(range(0, 640, 10))
+        result = CoordinatorIntersection(1 << 10, 64).run([shared_set] * 5, seed=0)
+        assert result.intersection == shared_set
+
+    def test_multi_level_recursion(self):
+        # Force 3 levels of recursion via a tiny group size.
+        rng = random.Random(51)
+        sets, truth = make_multiparty_instance(rng, 1 << 16, 32, 9, 6)
+        result = CoordinatorIntersection(1 << 16, 32, group_size=3).run(
+            sets, seed=0
+        )
+        assert result.intersection == truth
+
+    def test_many_seeds(self):
+        rng = random.Random(52)
+        protocol = CoordinatorIntersection(1 << 16, 32)
+        for seed in range(15):
+            sets, truth = make_multiparty_instance(rng, 1 << 16, 32, 5, 8)
+            assert protocol.run(sets, seed=seed).intersection == truth
+
+
+class TestCostProperties:
+    def test_average_per_player_linear_in_k(self):
+        # Corollary 4.1: average communication per player O(k log^(r) k);
+        # at default r the per-(player, k) cost must sit in a constant band.
+        rng = random.Random(53)
+        m = 6
+        per_player_per_k = []
+        for k in (32, 128):
+            sets, _ = make_multiparty_instance(rng, 1 << 20, k, m, k // 4)
+            result = CoordinatorIntersection(1 << 20, k).run(sets, seed=0)
+            per_player_per_k.append(result.outcome.average_player_bits / k)
+        assert max(per_player_per_k) < 200
+        assert max(per_player_per_k) / min(per_player_per_k) < 3.0
+
+    def test_total_linear_in_m(self):
+        # Total O(mk): doubling m should roughly double total bits.
+        rng = random.Random(54)
+        k = 32
+        totals = {}
+        for m in (4, 8):
+            sets, _ = make_multiparty_instance(rng, 1 << 20, k, m, 8)
+            totals[m] = CoordinatorIntersection(1 << 20, k).run(sets, seed=0).total_bits
+        assert totals[8] < 3 * totals[4]
+        assert totals[8] > 1.2 * totals[4]
+
+    def test_rounds_do_not_grow_with_m_in_single_level(self):
+        # With m <= group size there is one recursion level; rounds are the
+        # two-party O(r) regardless of m (pairs run in parallel).
+        rng = random.Random(55)
+        k = 32
+        rounds = {}
+        for m in (3, 9):
+            sets, _ = make_multiparty_instance(rng, 1 << 20, k, m, 8)
+            rounds[m] = CoordinatorIntersection(1 << 20, k).run(sets, seed=0).rounds
+        assert rounds[9] <= rounds[3] + 10
+
+    def test_coordinator_pays_most(self):
+        rng = random.Random(56)
+        sets, _ = make_multiparty_instance(rng, 1 << 20, 64, 6, 16)
+        result = CoordinatorIntersection(1 << 20, 64).run(sets, seed=0)
+        coordinator = "p00000"
+        coordinator_bits = result.outcome.bits_sent[coordinator] + (
+            result.outcome.bits_received[coordinator]
+        )
+        assert coordinator_bits == result.outcome.max_player_bits
+
+
+class TestValidation:
+    def test_empty_player_list(self):
+        with pytest.raises(ValueError):
+            CoordinatorIntersection(1 << 10, 8).run([], seed=0)
+
+    def test_oversized_set(self):
+        with pytest.raises(ValueError):
+            CoordinatorIntersection(1 << 10, 2).run([{1, 2, 3}, {1}], seed=0)
+
+    def test_group_size_validation(self):
+        with pytest.raises(ValueError):
+            CoordinatorIntersection(1 << 10, 8, group_size=1)

@@ -1,0 +1,195 @@
+"""Tests for the BSP message-passing simulator and the two-party adapter."""
+
+import pytest
+
+from repro.comm.engine import Recv, Send, run_two_party
+from repro.comm.errors import ProtocolDeadlock, ProtocolViolation
+from repro.multiparty.network import (
+    TwoPartyAdapter,
+    run_message_passing,
+)
+from repro.util.bits import BitString, decode_uint, encode_uint
+
+
+class TestBasicExecution:
+    def test_ring_sum(self):
+        # Each player adds its input and forwards around a ring; the last
+        # player outputs the total.
+        def player(ctx):
+            position = ctx.index
+            names = ctx.players
+            total = ctx.input
+            if position == 0:
+                inbox = yield [(names[1], encode_uint(total, 16))]
+                return None
+            inbox = yield []
+            while not inbox:
+                inbox = yield []
+            (_, payload), = inbox
+            total += decode_uint(payload, 16)
+            if position + 1 < len(names):
+                yield [(names[position + 1], encode_uint(total, 16))]
+                return None
+            return total
+
+        outcome = run_message_passing(
+            {f"p{i}": player for i in range(4)},
+            {f"p{i}": 10 * (i + 1) for i in range(4)},
+        )
+        assert outcome.outputs["p3"] == 100
+        assert outcome.total_bits == 3 * 16
+        assert outcome.rounds == 3
+
+    def test_accounting_per_player(self):
+        def sender(ctx):
+            yield [("b", BitString(0, 7))]
+            return None
+
+        def receiver(ctx):
+            inbox = yield []
+            while not inbox:
+                inbox = yield []
+            return inbox[0][1]
+
+        outcome = run_message_passing(
+            {"a": sender, "b": receiver}, {"a": None, "b": None}
+        )
+        assert outcome.bits_sent == {"a": 7, "b": 0}
+        assert outcome.bits_received == {"a": 0, "b": 7}
+        assert outcome.max_player_bits == 7
+        assert outcome.average_player_bits == 7.0
+
+    def test_shared_randomness_common_to_all(self):
+        def player(ctx):
+            return ctx.shared.stream("coin").bits(32)
+            yield  # pragma: no cover
+
+        outcome = run_message_passing(
+            {f"p{i}": player for i in range(3)}, {f"p{i}": None for i in range(3)}
+        )
+        drawn = set(outcome.outputs.values())
+        assert len(drawn) == 1
+
+    def test_private_randomness_distinct(self):
+        def player(ctx):
+            return ctx.private.stream("coin").bits(64)
+            yield  # pragma: no cover
+
+        outcome = run_message_passing(
+            {f"p{i}": player for i in range(3)}, {f"p{i}": None for i in range(3)}
+        )
+        assert len(set(outcome.outputs.values())) == 3
+
+    def test_canonical_player_order(self):
+        def player(ctx):
+            return (ctx.index, ctx.players)
+            yield  # pragma: no cover
+
+        outcome = run_message_passing(
+            {"zeta": player, "alpha": player}, {"zeta": None, "alpha": None}
+        )
+        assert outcome.outputs["alpha"][0] == 0
+        assert outcome.outputs["zeta"][0] == 1
+        assert outcome.outputs["alpha"][1] == ("alpha", "zeta")
+
+
+class TestFailureModes:
+    def test_unknown_destination(self):
+        def bad(ctx):
+            yield [("ghost", BitString(0, 1))]
+            return None
+
+        with pytest.raises(ProtocolViolation):
+            run_message_passing({"a": bad}, {"a": None})
+
+    def test_message_to_finished_player(self):
+        def quick(ctx):
+            return None
+            yield  # pragma: no cover
+
+        def slow(ctx):
+            yield []
+            yield [("a", BitString(0, 1))]
+            return None
+
+        with pytest.raises(ProtocolViolation):
+            run_message_passing({"a": quick, "b": slow}, {"a": None, "b": None})
+
+    def test_deadlock_detected(self):
+        def waiter(ctx):
+            inbox = yield []
+            while not inbox:
+                inbox = yield []
+            return None
+
+        with pytest.raises(ProtocolDeadlock):
+            run_message_passing(
+                {"a": waiter, "b": waiter}, {"a": None, "b": None}
+            )
+
+    def test_non_bitstring_rejected(self):
+        def bad(ctx):
+            yield [("a", "text")]
+            return None
+
+        def idle(ctx):
+            inbox = yield []
+            while not inbox:
+                inbox = yield []
+            return None
+
+        with pytest.raises(ProtocolViolation):
+            run_message_passing({"a": idle, "b": bad}, {"a": None, "b": None})
+
+
+class TestTwoPartyAdapter:
+    def make_pair(self):
+        def alice(ctx):
+            yield Send(encode_uint(5, 8))
+            reply = yield Recv()
+            return decode_uint(reply, 8)
+
+        def bob(ctx):
+            got = yield Recv()
+            yield Send(encode_uint(decode_uint(got, 8) * 2, 8))
+            return "done"
+
+        return alice, bob
+
+    def test_adapter_matches_direct_execution(self):
+        from repro.comm.engine import PartyContext
+        from repro.util.rng import PrivateRandomness, SharedRandomness
+
+        alice_fn, bob_fn = self.make_pair()
+        shared = SharedRandomness(0)
+        alice_ctx = PartyContext("alice", None, shared, PrivateRandomness(1))
+        bob_ctx = PartyContext("bob", None, shared, PrivateRandomness(2))
+        alice_adapter = TwoPartyAdapter(alice_fn(alice_ctx))
+        bob_adapter = TwoPartyAdapter(bob_fn(bob_ctx))
+
+        to_bob = alice_adapter.step([])
+        assert len(to_bob) == 1
+        to_alice = bob_adapter.step(to_bob)
+        assert bob_adapter.done and bob_adapter.output == "done"
+        assert alice_adapter.step(to_alice) == []
+        assert alice_adapter.done and alice_adapter.output == 10
+
+        direct = run_two_party(
+            alice_fn, bob_fn, alice_input=None, bob_input=None, shared_seed=0
+        )
+        assert direct.alice_output == 10
+
+    def test_adapter_buffers_partial_input(self):
+        def needy(ctx):
+            first = yield Recv()
+            second = yield Recv()
+            return (first, second)
+
+        adapter = TwoPartyAdapter(needy(None))
+        assert adapter.step([]) == []
+        assert not adapter.done
+        adapter.step([BitString(1, 1)])
+        assert not adapter.done
+        adapter.step([BitString(0, 1)])
+        assert adapter.done
+        assert adapter.output == (BitString(1, 1), BitString(0, 1))

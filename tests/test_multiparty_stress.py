@@ -1,0 +1,116 @@
+"""Stress and fuzz tests for the multiparty layer."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.multiparty.binary_tree import BinaryTreeIntersection
+from repro.multiparty.coordinator import CoordinatorIntersection
+from repro.workloads import MultipartySpec, generate_multiparty
+
+
+class TestScale:
+    def test_thirty_two_players_coordinator(self):
+        spec = MultipartySpec(1 << 20, 32, 32, 6)
+        sets = generate_multiparty(spec, seed=0)
+        result = CoordinatorIntersection(1 << 20, 32).run(sets, seed=0)
+        assert result.intersection == frozenset.intersection(*sets)
+        # total O(mk): 32 players x 32 elements
+        assert result.total_bits < 150 * 32 * 32
+
+    def test_twenty_four_players_binary_tree_grouped(self):
+        spec = MultipartySpec(1 << 20, 24, 24, 5)
+        sets = generate_multiparty(spec, seed=1)
+        result = BinaryTreeIntersection(1 << 20, 24, group_size=8).run(
+            sets, seed=0
+        )
+        assert result.intersection == frozenset.intersection(*sets)
+
+    def test_broadcast_at_scale(self):
+        spec = MultipartySpec(1 << 20, 24, 20, 6)
+        sets = generate_multiparty(spec, seed=2)
+        truth = frozenset.intersection(*sets)
+        result = CoordinatorIntersection(1 << 20, 24, broadcast=True).run(
+            sets, seed=0
+        )
+        assert all(out == truth for out in result.outcome.outputs.values())
+
+
+class TestFuzz:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.integers(2, 7),  # players
+        st.integers(0, 8),  # planted core
+        st.integers(2, 4),  # group size
+        st.integers(0, 3),  # seed
+    )
+    def test_coordinator_fuzz(self, players, core, group_size, seed):
+        spec = MultipartySpec(1 << 14, 16, players, min(core, 16))
+        sets = generate_multiparty(spec, seed=seed)
+        result = CoordinatorIntersection(
+            1 << 14, 16, group_size=group_size
+        ).run(sets, seed=seed)
+        assert result.intersection == frozenset.intersection(*sets)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.integers(2, 7),
+        st.integers(0, 8),
+        st.integers(2, 4),
+        st.integers(0, 3),
+    )
+    def test_binary_tree_fuzz(self, players, core, group_size, seed):
+        spec = MultipartySpec(1 << 14, 16, players, min(core, 16))
+        sets = generate_multiparty(spec, seed=seed)
+        result = BinaryTreeIntersection(
+            1 << 14, 16, group_size=group_size
+        ).run(sets, seed=seed)
+        assert result.intersection == frozenset.intersection(*sets)
+
+
+class TestHeterogeneousSizes:
+    def test_mixed_set_sizes(self):
+        rng = random.Random(3)
+        universe = 1 << 18
+        common = frozenset(rng.sample(range(universe), 5))
+        sets = []
+        for size in (5, 12, 30, 64, 64):
+            extra = frozenset(rng.sample(range(universe), size - 5))
+            sets.append(common | extra)
+        result = CoordinatorIntersection(universe, 64).run(sets, seed=0)
+        assert result.intersection == frozenset.intersection(*sets)
+
+    def test_one_empty_player_forces_empty_result(self):
+        rng = random.Random(4)
+        sets = [
+            frozenset(rng.sample(range(1 << 16), 30)),
+            frozenset(),
+            frozenset(rng.sample(range(1 << 16), 30)),
+        ]
+        result = CoordinatorIntersection(1 << 16, 32).run(sets, seed=0)
+        assert result.intersection == frozenset()
+
+    def test_two_players_reduces_to_two_party(self):
+        rng = random.Random(5)
+        spec = MultipartySpec(1 << 16, 32, 2, 8)
+        sets = generate_multiparty(spec, seed=0)
+        coordinator = CoordinatorIntersection(1 << 16, 32).run(sets, seed=0)
+        tree = BinaryTreeIntersection(1 << 16, 32).run(sets, seed=0)
+        truth = sets[0] & sets[1]
+        assert coordinator.intersection == tree.intersection == truth
+
+    def test_rejects_oversized_player(self):
+        with pytest.raises(ValueError):
+            CoordinatorIntersection(1 << 10, 4).run(
+                [{1, 2, 3, 4, 5}, {1}], seed=0
+            )

@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) over the core protocols.
+
+Strategy notes: randomized protocols have nonzero failure probability, so
+hypothesis properties assert only the *probability-1* invariants (sandwich
+containment, one-sidedness, Corollary 3.4 agreement-implies-exact) for
+weak-confidence configurations, and exactness only where the failure
+probability is negligible relative to the example count (amplified /
+deterministic protocols, or wide fingerprints).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.tree_protocol import TreeProtocol
+from repro.protocols.basic_intersection import BasicIntersectionProtocol
+from repro.protocols.equality import EqualityProtocol
+from repro.protocols.fknn import AmortizedEqualityProtocol
+from repro.protocols.trivial import TrivialExchangeProtocol
+
+UNIVERSE = 1 << 14
+MAX_K = 48
+
+set_strategy = st.frozensets(
+    st.integers(0, UNIVERSE - 1), min_size=0, max_size=MAX_K
+)
+instance_strategy = st.tuples(set_strategy, set_strategy)
+slow_ok = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestTrivialProtocolProperties:
+    @slow_ok
+    @given(instance_strategy)
+    def test_always_exact(self, instance):
+        s, t = instance
+        outcome = TrivialExchangeProtocol(UNIVERSE, MAX_K).run(s, t, seed=0)
+        assert outcome.alice_output == s & t
+        assert outcome.bob_output == s & t
+
+    @slow_ok
+    @given(instance_strategy)
+    def test_cost_depends_only_on_inputs(self, instance):
+        s, t = instance
+        protocol = TrivialExchangeProtocol(UNIVERSE, MAX_K)
+        assert (
+            protocol.run(s, t, seed=0).total_bits
+            == protocol.run(s, t, seed=99).total_bits
+        )
+
+
+class TestTreeProtocolInvariants:
+    @slow_ok
+    @given(instance_strategy, st.integers(1, 4), st.integers(0, 5))
+    def test_sandwich_invariant(self, instance, rounds, seed):
+        # Probability-1 property: outputs always sandwich the intersection,
+        # even with the weakest confidence exponent.
+        s, t = instance
+        protocol = TreeProtocol(
+            UNIVERSE, MAX_K, rounds=rounds, confidence_exponent=1
+        )
+        outcome = protocol.run(s, t, seed=seed)
+        assert s & t <= outcome.alice_output <= s
+        assert s & t <= outcome.bob_output <= t
+
+    @slow_ok
+    @given(instance_strategy, st.integers(2, 4), st.integers(0, 5))
+    def test_agreement_implies_exact(self, instance, rounds, seed):
+        # Proposition 3.9 as a universal property.
+        s, t = instance
+        protocol = TreeProtocol(
+            UNIVERSE, MAX_K, rounds=rounds, confidence_exponent=1
+        )
+        outcome = protocol.run(s, t, seed=seed)
+        if outcome.alice_output == outcome.bob_output:
+            assert outcome.alice_output == s & t
+
+    @slow_ok
+    @given(instance_strategy)
+    def test_default_configuration_exact(self, instance):
+        # At the default confidence the failure probability is far below
+        # 1/examples, so exactness is a safe property to demand.
+        s, t = instance
+        outcome = TreeProtocol(UNIVERSE, MAX_K).run(s, t, seed=0)
+        assert outcome.alice_output == s & t
+
+    @slow_ok
+    @given(instance_strategy, st.integers(1, 4))
+    def test_round_budget(self, instance, rounds):
+        s, t = instance
+        outcome = TreeProtocol(UNIVERSE, MAX_K, rounds=rounds).run(s, t, seed=0)
+        assert outcome.num_messages <= max(2, 6 * rounds)
+
+
+class TestBasicIntersectionInvariants:
+    @slow_ok
+    @given(instance_strategy, st.integers(0, 3), st.integers(0, 5))
+    def test_lemma_3_3_probability_one_parts(self, instance, exponent, seed):
+        s, t = instance
+        protocol = BasicIntersectionProtocol(UNIVERSE, MAX_K, exponent=exponent)
+        outcome = protocol.run(s, t, seed=seed)
+        assert outcome.alice_output <= s
+        assert outcome.bob_output <= t
+        assert s & t <= (outcome.alice_output & outcome.bob_output)
+        if not s & t:
+            assert not (outcome.alice_output & outcome.bob_output)
+        if outcome.alice_output == outcome.bob_output:
+            assert outcome.alice_output == s & t
+
+
+class TestEqualityProperties:
+    @slow_ok
+    @given(
+        st.frozensets(st.integers(0, 1 << 20), max_size=30), st.integers(0, 3)
+    )
+    def test_equal_inputs_always_accepted(self, value, seed):
+        outcome = EqualityProtocol(width=4).run(value, set(value), seed=seed)
+        assert outcome.alice_output is True
+
+    @slow_ok
+    @given(st.integers(0, 1 << 30), st.integers(0, 1 << 30))
+    def test_wide_fingerprints_decide_correctly(self, x, y):
+        outcome = EqualityProtocol(width=64).run(x, y, seed=0)
+        assert outcome.alice_output == (x == y)
+
+
+class TestAmortizedEqualityProperties:
+    @slow_ok
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 255), st.integers(0, 255)),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    def test_unequal_never_misreported(self, pairs):
+        # One-sidedness: every truly-equal pair must be reported equal.
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        outcome = AmortizedEqualityProtocol(len(pairs)).run(xs, ys, seed=0)
+        for verdict, (x, y) in zip(outcome.alice_output, pairs):
+            if x == y:
+                assert verdict
+
+    @slow_ok
+    @given(st.lists(st.integers(0, 10**9), max_size=40))
+    def test_identical_sequences_all_equal(self, values):
+        outcome = AmortizedEqualityProtocol(len(values)).run(
+            values, list(values), seed=0
+        )
+        assert all(outcome.alice_output)

@@ -1,0 +1,142 @@
+"""Tests for the protocol base layer (validation, outcomes, subcontexts)."""
+
+import pytest
+
+from repro.comm.engine import PartyContext
+from repro.comm.transcript import Transcript
+from repro.protocols.base import (
+    IntersectionOutcome,
+    SetIntersectionProtocol,
+    subcontext,
+    validate_set_pair,
+)
+from repro.util.bits import BitString
+from repro.util.rng import PrivateRandomness, SharedRandomness
+
+
+class TestValidation:
+    def test_accepts_valid_pair(self):
+        s, t = validate_set_pair([1, 2], [2, 3], universe_size=10, max_set_size=4)
+        assert s == frozenset({1, 2})
+        assert t == frozenset({2, 3})
+
+    def test_duplicates_collapse_before_size_check(self):
+        s, _ = validate_set_pair([1, 1, 1], [], universe_size=10, max_set_size=1)
+        assert s == frozenset({1})
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError, match="bound is k"):
+            validate_set_pair([1, 2, 3], [], universe_size=10, max_set_size=2)
+
+    def test_rejects_out_of_universe(self):
+        with pytest.raises(ValueError, match="outside universe"):
+            validate_set_pair([10], [], universe_size=10, max_set_size=2)
+        with pytest.raises(ValueError, match="outside universe"):
+            validate_set_pair([], [-1], universe_size=10, max_set_size=2)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ValueError):
+            validate_set_pair(["x"], [], universe_size=10, max_set_size=2)
+
+
+class TestOutcome:
+    def make(self, alice, bob):
+        return IntersectionOutcome(
+            alice_output=alice,
+            bob_output=bob,
+            transcript=Transcript(),
+            protocol_name="test",
+        )
+
+    def test_agreed(self):
+        assert self.make(frozenset({1}), frozenset({1})).agreed
+        assert not self.make(frozenset({1}), frozenset({2})).agreed
+
+    def test_correct_for(self):
+        outcome = self.make(frozenset({2}), frozenset({2}))
+        assert outcome.correct_for({1, 2}, {2, 3})
+        assert not outcome.correct_for({1, 2}, {1, 2})
+
+    def test_bits_and_messages_proxy_transcript(self):
+        outcome = self.make(frozenset(), frozenset())
+        outcome.transcript.record_send("alice", BitString(0, 5))
+        assert outcome.total_bits == 5
+        assert outcome.num_messages == 1
+
+
+class TestBaseClassPlumbing:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SetIntersectionProtocol(0, 5)
+        with pytest.raises(ValueError):
+            SetIntersectionProtocol(10, 0)
+
+    def test_abstract_coroutines(self):
+        protocol = SetIntersectionProtocol(10, 5)
+        with pytest.raises(NotImplementedError):
+            protocol.alice(None)
+        with pytest.raises(NotImplementedError):
+            protocol.bob(None)
+
+    def test_repr(self):
+        assert "n=10" in repr(SetIntersectionProtocol(10, 5))
+
+    def test_run_composes_onto_existing_transcript(self):
+        from repro.protocols.trivial import TrivialExchangeProtocol
+
+        existing = Transcript()
+        existing.record_send("alice", BitString(0, 100))
+        protocol = TrivialExchangeProtocol(1 << 10, 4)
+        outcome = protocol.run({1, 2}, {2, 3}, seed=0, transcript=existing)
+        assert outcome.transcript is existing
+        assert outcome.total_bits > 100
+
+    def test_seed_derives_distinct_private_seeds(self):
+        # alice and bob must not share private coins derived from the same
+        # master seed.
+        captured = {}
+
+        class Probe(SetIntersectionProtocol):
+            name = "probe"
+
+            def alice(self, ctx):
+                captured["alice"] = ctx.private.stream("x").bits(32)
+                return frozenset()
+                yield  # pragma: no cover
+
+            def bob(self, ctx):
+                captured["bob"] = ctx.private.stream("x").bits(32)
+                return frozenset()
+                yield  # pragma: no cover
+
+        Probe(10, 2).run({1}, {1}, seed=5)
+        assert captured["alice"] != captured["bob"]
+
+
+class TestSubcontext:
+    def test_namespaces_shared_randomness(self):
+        base = PartyContext(
+            role="alice",
+            input={1},
+            shared=SharedRandomness(3),
+            private=PrivateRandomness(4),
+        )
+        derived = subcontext(base, "attempt7", {2})
+        assert derived.input == {2}
+        assert derived.role == "alice"
+        assert derived.private is base.private
+        assert derived.shared.stream("x").bits(32) == SharedRandomness(3).stream(
+            "attempt7/x"
+        ).bits(32)
+
+    def test_nested_subcontexts(self):
+        base = PartyContext(
+            role="bob",
+            input=None,
+            shared=SharedRandomness(3),
+            private=PrivateRandomness(4),
+        )
+        nested = subcontext(subcontext(base, "a", None), "b", None)
+        assert nested.shared.stream("c").bits(16) == SharedRandomness(3).stream(
+            "a/b/c"
+        ).bits(16)

@@ -1,0 +1,122 @@
+"""Tests for Lemma 3.3 (Basic-Intersection) and Corollary 3.4."""
+
+import math
+import random
+
+import pytest
+
+from conftest import make_instance
+from repro.protocols.basic_intersection import (
+    BasicIntersectionProtocol,
+    range_for_inverse_failure,
+)
+
+
+class TestLemma33Properties:
+    """The three guarantees of Lemma 3.3, checked across many seeds."""
+
+    def test_property_1_outputs_are_subsets(self, rng):
+        # S' subset of S and T' subset of T -- with probability 1, so we
+        # check it even under a weak (exponent 0) hash.
+        protocol = BasicIntersectionProtocol(1 << 16, 64, exponent=0)
+        for seed in range(40):
+            s, t = make_instance(rng, 1 << 16, 64, 0.3)
+            outcome = protocol.run(s, t, seed=seed)
+            assert outcome.alice_output <= s
+            assert outcome.bob_output <= t
+
+    def test_property_2_disjoint_stays_disjoint(self, rng):
+        # S n T empty => S' n T' empty with probability 1.
+        protocol = BasicIntersectionProtocol(1 << 16, 64, exponent=0)
+        for seed in range(40):
+            s, t = make_instance(rng, 1 << 16, 64, 0.0)
+            outcome = protocol.run(s, t, seed=seed)
+            assert not (outcome.alice_output & outcome.bob_output)
+
+    def test_property_3_superset_always(self, rng):
+        # S n T subset of S' n T' -- with probability 1.
+        protocol = BasicIntersectionProtocol(1 << 16, 64, exponent=0)
+        for seed in range(40):
+            s, t = make_instance(rng, 1 << 16, 64, 0.5)
+            outcome = protocol.run(s, t, seed=seed)
+            assert (s & t) <= (outcome.alice_output & outcome.bob_output)
+
+    def test_property_3_exactness_whp(self, rng):
+        # With probability 1 - 1/m^i, S' = T' = S n T.
+        protocol = BasicIntersectionProtocol(1 << 20, 64, exponent=2)
+        failures = 0
+        for seed in range(100):
+            s, t = make_instance(rng, 1 << 20, 64, 0.5)
+            outcome = protocol.run(s, t, seed=seed)
+            if not outcome.correct_for(s, t):
+                failures += 1
+        assert failures <= 2  # bound is 100/128^2 << 1 expected failures
+
+    def test_corollary_3_4(self, rng):
+        # If the outputs are equal, they equal S n T -- the invariant that
+        # makes equality tests sound verification.  Checked on every seed,
+        # including ones where the protocol errs.
+        protocol = BasicIntersectionProtocol(1 << 12, 32, exponent=0)
+        for seed in range(200):
+            s, t = make_instance(rng, 1 << 12, 32, 0.4)
+            outcome = protocol.run(s, t, seed=seed)
+            if outcome.alice_output == outcome.bob_output:
+                assert outcome.alice_output == s & t
+
+
+class TestCost:
+    def test_exactly_four_messages(self, rng):
+        protocol = BasicIntersectionProtocol(1 << 16, 64)
+        s, t = make_instance(rng, 1 << 16, 64, 0.5)
+        assert protocol.run(s, t, seed=0).num_messages == 4
+
+    def test_communication_o_i_m_log_m(self):
+        # O(i * m log m) bits: per-element width is (i+2) ceil(log2 m) + 1.
+        rng = random.Random(6)
+        for exponent in (1, 2, 4):
+            m = 128  # |S| + |T| with k = 64 each
+            s, t = make_instance(rng, 1 << 30, 64, 0.0)
+            protocol = BasicIntersectionProtocol(1 << 30, 64, exponent=exponent)
+            bits = protocol.run(s, t, seed=0).total_bits
+            width = math.ceil(math.log2(2 * m ** (exponent + 2)))
+            assert bits <= m * width + 64
+
+    def test_cost_independent_of_universe(self):
+        rng = random.Random(7)
+        k = 32
+        s1, t1 = make_instance(rng, 1 << 12, k, 0.5)
+        s2, t2 = make_instance(rng, 1 << 48, k, 0.5)
+        bits_small = (
+            BasicIntersectionProtocol(1 << 12, k).run(s1, t1, seed=0).total_bits
+        )
+        bits_large = (
+            BasicIntersectionProtocol(1 << 48, k).run(s2, t2, seed=0).total_bits
+        )
+        assert bits_large == bits_small
+
+    def test_empty_inputs(self):
+        protocol = BasicIntersectionProtocol(1 << 10, 8)
+        outcome = protocol.run(set(), set(), seed=0)
+        assert outcome.alice_output == outcome.bob_output == frozenset()
+        assert outcome.num_messages <= 4
+
+    def test_asymmetric_sizes(self, rng):
+        protocol = BasicIntersectionProtocol(1 << 16, 64)
+        s = frozenset(rng.sample(range(1 << 16), 60))
+        t = frozenset(list(s)[:3])
+        outcome = protocol.run(s, t, seed=0)
+        assert outcome.correct_for(s, t)
+
+
+class TestRangeRule:
+    def test_range_for_inverse_failure(self):
+        assert range_for_inverse_failure(10, 100.0) == 10_000
+        assert range_for_inverse_failure(10, 1.0) == 100
+        assert range_for_inverse_failure(0, 50.0) == 200  # m clamped to 2
+
+    def test_range_is_at_least_two(self):
+        assert range_for_inverse_failure(1, 0.1) >= 2
+
+    def test_exponent_validation(self):
+        with pytest.raises(ValueError):
+            BasicIntersectionProtocol(100, 10, exponent=-1)

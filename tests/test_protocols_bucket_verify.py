@@ -1,0 +1,98 @@
+"""Tests for the Section 1 toy protocol (bucket + verify)."""
+
+import math
+import random
+
+import pytest
+
+from conftest import make_instance
+from repro.comm.errors import ProtocolAborted
+from repro.protocols.bucket_verify import BucketVerifyProtocol
+
+
+class TestCorrectness:
+    def test_exact_on_all_overlap_regimes(self, rng, overlap_fraction):
+        protocol = BucketVerifyProtocol(1 << 20, 256)
+        s, t = make_instance(rng, 1 << 20, 256, overlap_fraction)
+        assert protocol.run(s, t, seed=0).correct_for(s, t)
+
+    def test_many_seeds(self, rng):
+        protocol = BucketVerifyProtocol(1 << 20, 64)
+        failures = 0
+        for seed in range(60):
+            s, t = make_instance(rng, 1 << 20, 64, 0.5)
+            if not protocol.run(s, t, seed=seed).correct_for(s, t):
+                failures += 1
+        assert failures == 0  # verified protocol: wrongness needs a 1/k^3 event
+
+    def test_identical_singletons(self):
+        protocol = BucketVerifyProtocol(1 << 10, 1)
+        assert protocol.run({5}, {5}, seed=0).alice_output == frozenset({5})
+
+    def test_empty(self):
+        protocol = BucketVerifyProtocol(1 << 10, 8)
+        outcome = protocol.run(set(), set(), seed=0)
+        assert outcome.alice_output == frozenset()
+
+    def test_both_parties_agree(self, rng):
+        protocol = BucketVerifyProtocol(1 << 16, 128)
+        for seed in range(20):
+            s, t = make_instance(rng, 1 << 16, 128, 0.7)
+            outcome = protocol.run(s, t, seed=seed)
+            assert outcome.alice_output == outcome.bob_output
+
+
+class TestCost:
+    def test_k_log_log_k_scaling(self):
+        # Expected O(k log log k): per-element cost must track ~3 log2 log2 k
+        # (the g_i width) rather than log k or log n.
+        rng = random.Random(8)
+        results = {}
+        for k in (64, 256, 1024):
+            n = 1 << 24
+            s, t = make_instance(rng, n, k, 0.5)
+            bits = BucketVerifyProtocol(n, k).run(s, t, seed=0).total_bits
+            results[k] = bits / (k * math.log2(max(math.log2(k), 2)))
+        values = list(results.values())
+        # normalized cost stays within a narrow constant band
+        assert max(values) / min(values) < 3.0
+
+    def test_cheaper_than_one_round_hashing_at_scale(self):
+        from repro.protocols.one_round import OneRoundHashingProtocol
+
+        rng = random.Random(9)
+        n, k = 1 << 24, 1024
+        s, t = make_instance(rng, n, k, 0.5)
+        toy_bits = BucketVerifyProtocol(n, k).run(s, t, seed=0).total_bits
+        one_round_bits = OneRoundHashingProtocol(n, k).run(s, t, seed=0).total_bits
+        assert toy_bits < one_round_bits  # k log log k beats k log k
+
+    def test_iterations_expected_small(self, rng):
+        # 4 messages per iteration (+ fallback); typical runs settle in
+        # <= 3 iterations, i.e. <= 12 messages.
+        protocol = BucketVerifyProtocol(1 << 20, 256)
+        s, t = make_instance(rng, 1 << 20, 256, 0.5)
+        outcome = protocol.run(s, t, seed=0)
+        assert outcome.num_messages <= 12
+
+
+class TestBudgetModes:
+    def test_exchange_fallback_is_always_correct(self, rng):
+        # Force the fallback by allowing a single iteration: correctness
+        # must survive via the explicit exchange.
+        protocol = BucketVerifyProtocol(1 << 16, 64, max_iterations=1)
+        for seed in range(10):
+            s, t = make_instance(rng, 1 << 16, 64, 0.5)
+            assert protocol.run(s, t, seed=seed).correct_for(s, t)
+
+    def test_abort_mode_raises(self, rng):
+        protocol = BucketVerifyProtocol(
+            1 << 16, 64, max_iterations=0, on_budget="abort"
+        )
+        s, t = make_instance(rng, 1 << 16, 64, 0.5)
+        with pytest.raises(ProtocolAborted):
+            protocol.run(s, t, seed=0)
+
+    def test_invalid_on_budget(self):
+        with pytest.raises(ValueError):
+            BucketVerifyProtocol(100, 10, on_budget="explode")

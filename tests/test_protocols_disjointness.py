@@ -1,0 +1,97 @@
+"""Tests for the disjointness baselines."""
+
+import random
+
+from conftest import make_instance
+from repro.core.tree_protocol import TreeProtocol
+from repro.protocols.disjointness import (
+    DisjointnessViaIntersection,
+    HalvingDisjointness,
+)
+
+
+class TestHalvingDisjointness:
+    def test_disjoint_instances(self, rng):
+        protocol = HalvingDisjointness(1 << 20, 128)
+        for seed in range(30):
+            s, t = make_instance(rng, 1 << 20, 128, 0.0)
+            outcome = protocol.run(s, t, seed=seed)
+            assert outcome.alice_output is True
+            assert outcome.bob_output is True
+
+    def test_intersecting_instances_never_missed(self, rng):
+        # "Intersecting" can only be missed if a common element vanished --
+        # impossible by the one-sided filtering invariant.
+        protocol = HalvingDisjointness(1 << 20, 128)
+        for seed in range(30):
+            s, t = make_instance(rng, 1 << 20, 128, 0.2)
+            outcome = protocol.run(s, t, seed=seed)
+            assert outcome.alice_output is False
+            assert outcome.bob_output is False
+
+    def test_single_common_element(self, rng):
+        protocol = HalvingDisjointness(1 << 20, 64)
+        for seed in range(20):
+            sample = rng.sample(range(1 << 20), 127)
+            s = frozenset(sample[:64])
+            t = frozenset(sample[63:])  # exactly one shared element
+            assert protocol.run(s, t, seed=seed).alice_output is False
+
+    def test_empty_sets_are_disjoint(self):
+        protocol = HalvingDisjointness(1 << 10, 8)
+        assert protocol.run(set(), set(), seed=0).alice_output is True
+        assert protocol.run({1}, set(), seed=0).alice_output is True
+        assert protocol.run(set(), {1}, seed=0).alice_output is True
+
+    def test_identical_singletons(self):
+        protocol = HalvingDisjointness(1 << 10, 1)
+        assert protocol.run({5}, {5}, seed=0).alice_output is False
+        assert protocol.run({5}, {6}, seed=0).alice_output is True
+
+    def test_linear_communication(self):
+        # O(k) bits: the halving phase geometric series dominates.
+        rng = random.Random(22)
+        per_k = {}
+        for k in (64, 256, 1024):
+            s, t = make_instance(rng, 1 << 24, k, 0.0)
+            bits = HalvingDisjointness(1 << 24, k).run(s, t, seed=0).total_bits
+            per_k[k] = bits / k
+        values = list(per_k.values())
+        assert max(values) < 40
+        assert max(values) / min(values) < 3.0
+
+    def test_log_k_rounds(self):
+        rng = random.Random(23)
+        k = 1024
+        s, t = make_instance(rng, 1 << 24, k, 0.0)
+        outcome = HalvingDisjointness(1 << 24, k).run(s, t, seed=0)
+        assert outcome.num_messages <= 4 * (k.bit_length() + 4)
+
+    def test_verdict_agreement(self, rng):
+        protocol = HalvingDisjointness(1 << 16, 64)
+        for seed in range(20):
+            overlap = 0.0 if seed % 2 else 0.1
+            s, t = make_instance(rng, 1 << 16, 64, overlap)
+            outcome = protocol.run(s, t, seed=seed)
+            assert outcome.alice_output == outcome.bob_output
+
+
+class TestDisjointnessViaIntersection:
+    def test_decides_correctly(self, rng):
+        wrapper = DisjointnessViaIntersection(TreeProtocol(1 << 16, 64))
+        s, t = make_instance(rng, 1 << 16, 64, 0.0)
+        assert wrapper.run(s, t, seed=0).alice_output is True
+        s, t = make_instance(rng, 1 << 16, 64, 0.5)
+        assert wrapper.run(s, t, seed=1).alice_output is False
+
+    def test_costs_constant_factor_of_disjointness(self, rng):
+        # The paper's point: recovering the WHOLE intersection costs only a
+        # constant factor more than deciding emptiness.
+        s, t = make_instance(rng, 1 << 20, 256, 0.0)
+        int_bits = (
+            DisjointnessViaIntersection(TreeProtocol(1 << 20, 256))
+            .run(s, t, seed=0)
+            .transcript.total_bits
+        )
+        disj_bits = HalvingDisjointness(1 << 20, 256).run(s, t, seed=0).total_bits
+        assert int_bits < 12 * disj_bits

@@ -1,0 +1,155 @@
+"""Tests for the Fact 3.5 equality protocol."""
+
+import pytest
+
+from repro.comm.engine import run_two_party
+from repro.protocols.equality import (
+    EqualityProtocol,
+    equality_error_exponent,
+    run_equality,
+)
+
+
+class TestErrorExponent:
+    def test_matches_inverse_failure(self):
+        assert equality_error_exponent(1024.0) == 10
+        assert equality_error_exponent(1000.0) == 10  # ceil
+        assert equality_error_exponent(2.0) == 2  # clamped at minimum
+
+    def test_clamp_floor(self):
+        assert equality_error_exponent(1.0) == 2
+        assert equality_error_exponent(0.5) == 2
+        assert equality_error_exponent(1.5, minimum=5) == 5
+
+
+class TestEqualityProtocol:
+    def test_equal_values_accepted_with_certainty(self):
+        # Fact 3.5 property 1: x == y => both output 1 with probability 1.
+        protocol = EqualityProtocol(width=3)  # even a tiny width
+        for seed in range(50):
+            outcome = protocol.run((1, 2, 3), (1, 2, 3), seed=seed)
+            assert outcome.alice_output is True
+            assert outcome.bob_output is True
+
+    def test_unequal_values_rejected_whp(self):
+        protocol = EqualityProtocol(width=24)
+        for seed in range(50):
+            outcome = protocol.run("value-a", "value-b", seed=seed)
+            assert outcome.alice_output is False
+            assert outcome.bob_output is False
+
+    def test_verdict_is_common_knowledge(self):
+        protocol = EqualityProtocol(width=8)
+        for seed in range(30):
+            outcome = protocol.run(frozenset({1}), frozenset({2}), seed=seed)
+            assert outcome.alice_output == outcome.bob_output
+
+    def test_communication_is_width_plus_one(self):
+        # Fact 3.5: O(k) bits total, two messages.
+        protocol = EqualityProtocol(width=48)
+        outcome = protocol.run("x", "y", seed=0)
+        assert outcome.total_bits == 49
+        assert outcome.num_messages == 2
+
+    def test_false_accept_rate_matches_width(self):
+        protocol_width = 5
+        false_accepts = 0
+        trials = 800
+        for seed in range(trials):
+            protocol = EqualityProtocol(width=protocol_width)
+            outcome = protocol.run(seed, seed + 10**6, seed=seed)
+            if outcome.alice_output:
+                false_accepts += 1
+        assert false_accepts / trials == pytest.approx(
+            2**-protocol_width, abs=0.03
+        )
+
+    def test_works_on_sets(self):
+        protocol = EqualityProtocol(width=32)
+        assert protocol.run({3, 1}, {1, 3}, seed=0).alice_output is True
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            EqualityProtocol(width=0)
+
+
+class TestPolynomialMethod:
+    """The standard-model variant (no random-oracle idealization)."""
+
+    def test_equal_always_accepted(self):
+        protocol = EqualityProtocol(width=8, method="polynomial")
+        for seed in range(30):
+            outcome = protocol.run((1, 2, 3), (1, 2, 3), seed=seed)
+            assert outcome.alice_output is True
+
+    def test_unequal_rejected_whp(self):
+        protocol = EqualityProtocol(width=24, method="polynomial")
+        for seed in range(30):
+            outcome = protocol.run("value-a", "value-b", seed=seed)
+            assert outcome.alice_output is False
+
+    def test_different_lengths_certainly_unequal(self):
+        protocol = EqualityProtocol(width=4, method="polynomial")
+        # even at a tiny width, a length mismatch is detected with certainty
+        for seed in range(30):
+            outcome = protocol.run("short", "much longer value", seed=seed)
+            assert outcome.alice_output is False
+
+    def test_cost_overhead_is_logarithmic(self):
+        oracle = EqualityProtocol(width=32)
+        polynomial = EqualityProtocol(width=32, method="polynomial")
+        value = tuple(range(100))
+        oracle_bits = oracle.run(value, value, seed=0).total_bits
+        polynomial_bits = polynomial.run(value, value, seed=0).total_bits
+        assert polynomial_bits > oracle_bits  # the standard-model tax...
+        assert polynomial_bits < oracle_bits + 64  # ...is O(log) bits
+
+    def test_false_accept_rate_bounded(self):
+        width = 6
+        false_accepts = 0
+        trials = 500
+        for seed in range(trials):
+            protocol = EqualityProtocol(width=width, method="polynomial")
+            if protocol.run(seed, seed + 10**6, seed=seed).alice_output:
+                false_accepts += 1
+        assert false_accepts / trials <= 2.0**-width + 0.03
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            EqualityProtocol(width=4, method="telepathic")
+
+
+class TestComposableEquality:
+    def test_inside_larger_coroutine(self):
+        def alice(ctx):
+            first = yield from run_equality(ctx, "same", width=16, label="a")
+            second = yield from run_equality(ctx, "left", width=16, label="b")
+            return (first, second)
+
+        def bob(ctx):
+            first = yield from run_equality(ctx, "same", width=16, label="a")
+            second = yield from run_equality(ctx, "right", width=16, label="b")
+            return (first, second)
+
+        outcome = run_two_party(alice, bob, alice_input=None, bob_input=None)
+        assert outcome.alice_output == (True, False)
+        assert outcome.bob_output == (True, False)
+        assert outcome.num_messages == 4
+        assert outcome.total_bits == 2 * 17
+
+    def test_labels_isolate_randomness(self):
+        # The same pair of unequal values tested under many labels should
+        # produce independent verdicts; with width 2 we expect some false
+        # accepts across labels, proving the salts differ.
+        def party(ctx):
+            verdicts = []
+            for i in range(64):
+                verdict = yield from run_equality(
+                    ctx, ctx.input, width=2, label=f"t{i}"
+                )
+                verdicts.append(verdict)
+            return verdicts
+
+        outcome = run_two_party(party, party, alice_input="p", bob_input="q")
+        assert any(outcome.alice_output)  # some 1/4-probability false accepts
+        assert not all(outcome.alice_output)

@@ -1,0 +1,83 @@
+"""Tests for the exists-equal problem ([ST13] discussion)."""
+
+import random
+
+import pytest
+
+from repro.protocols.exists_equal import (
+    ExistsEqualProtocol,
+    exists_equal_via_intersection,
+)
+
+
+def make_instance(rng, k, num_equal):
+    xs = [rng.getrandbits(40) for _ in range(k)]
+    ys = [x ^ (1 + rng.getrandbits(6)) for x in xs]
+    for index in rng.sample(range(k), num_equal):
+        ys[index] = xs[index]
+    return xs, ys
+
+
+class TestDirectProtocol:
+    def test_with_witness(self):
+        rng = random.Random(0)
+        protocol = ExistsEqualProtocol(64)
+        xs, ys = make_instance(rng, 64, 3)
+        outcome = protocol.run(xs, ys, seed=0)
+        assert outcome.alice_output is True
+        assert outcome.bob_output is True
+
+    def test_single_witness(self):
+        rng = random.Random(1)
+        protocol = ExistsEqualProtocol(128)
+        xs, ys = make_instance(rng, 128, 1)
+        assert protocol.run(xs, ys, seed=0).alice_output is True
+
+    def test_no_witness(self):
+        rng = random.Random(2)
+        protocol = ExistsEqualProtocol(64)
+        xs, ys = make_instance(rng, 64, 0)
+        assert protocol.run(xs, ys, seed=0).alice_output is False
+
+    def test_false_answers_always_correct(self):
+        # One-sidedness: with a witness present, the answer can never be
+        # False (equal pairs are never reported unequal).
+        rng = random.Random(3)
+        protocol = ExistsEqualProtocol(32)
+        for seed in range(40):
+            xs, ys = make_instance(rng, 32, 1)
+            assert protocol.run(xs, ys, seed=seed).alice_output is True
+
+    def test_linear_communication(self):
+        rng = random.Random(4)
+        per_k = []
+        for k in (64, 512):
+            protocol = ExistsEqualProtocol(k)
+            xs, ys = make_instance(rng, k, k // 8)
+            per_k.append(protocol.run(xs, ys, seed=0).total_bits / k)
+        assert max(per_k) < 40
+        assert max(per_k) / min(per_k) < 2.5
+
+    def test_empty_instance(self):
+        protocol = ExistsEqualProtocol(0)
+        assert protocol.run([], [], seed=0).alice_output is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExistsEqualProtocol(-1)
+
+
+class TestViaIntersection:
+    def test_agrees_with_direct(self):
+        rng = random.Random(5)
+        for num_equal in (0, 1, 5):
+            xs, ys = make_instance(rng, 32, num_equal)
+            outcome = exists_equal_via_intersection(xs, ys, string_bits=48, seed=0)
+            assert outcome.alice_output is (num_equal > 0)
+            assert outcome.bob_output is (num_equal > 0)
+
+    def test_cost_is_intersection_cost(self):
+        rng = random.Random(6)
+        xs, ys = make_instance(rng, 64, 4)
+        outcome = exists_equal_via_intersection(xs, ys, string_bits=48, seed=0)
+        assert outcome.total_bits < 64 * 64  # O(k) with the tree constants

@@ -1,0 +1,161 @@
+"""Tests for canonical serialization and fingerprinting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocols.fingerprint import (
+    Fingerprinter,
+    canonical_bytes,
+    polynomial_fingerprint,
+)
+from repro.util.bits import BitString
+from repro.util.rng import SharedRandomness
+
+
+class TestCanonicalBytes:
+    def test_equal_values_equal_bytes(self):
+        assert canonical_bytes((1, 2, 3)) == canonical_bytes((1, 2, 3))
+        assert canonical_bytes(frozenset({3, 1, 2})) == canonical_bytes({1, 2, 3})
+
+    def test_set_order_independent(self):
+        assert canonical_bytes({5, 900, 13}) == canonical_bytes({13, 5, 900})
+
+    def test_type_tags_separate(self):
+        # Values of different types must never serialize identically.
+        candidates = [
+            0,
+            False,
+            None,
+            "",
+            b"",
+            (),
+            frozenset(),
+            "0",
+            (0,),
+            {0},
+            BitString(0, 1),
+        ]
+        encodings = [canonical_bytes(value) for value in candidates]
+        assert len(set(encodings)) == len(encodings)
+
+    def test_concatenation_ambiguity_avoided(self):
+        assert canonical_bytes((1, 23)) != canonical_bytes((12, 3))
+        assert canonical_bytes(("ab", "c")) != canonical_bytes(("a", "bc"))
+
+    def test_nested_structures(self):
+        a = canonical_bytes((1, (2, {3, 4}), "x"))
+        b = canonical_bytes((1, (2, {4, 3}), "x"))
+        assert a == b
+
+    def test_bitstring_length_matters(self):
+        assert canonical_bytes(BitString(1, 1)) != canonical_bytes(BitString(1, 2))
+
+    def test_tuple_vs_list_equivalent(self):
+        assert canonical_bytes([1, 2]) == canonical_bytes((1, 2))
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_bytes(-1)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_bytes(object())
+
+    @given(
+        st.recursive(
+            st.one_of(st.integers(0, 2**64), st.text(max_size=6), st.booleans()),
+            lambda children: st.frozensets(children, max_size=4)
+            | st.tuples(children, children),
+            max_leaves=12,
+        ),
+    )
+    def test_deterministic(self, value):
+        assert canonical_bytes(value) == canonical_bytes(value)
+
+
+class TestFingerprinter:
+    def test_width_respected(self):
+        printer = Fingerprinter(SharedRandomness(1).stream("f"), width=13)
+        for value in (0, "x", (1, 2), frozenset(range(10))):
+            assert 0 <= printer.value_of(value) < (1 << 13)
+            assert len(printer.bits_of(value)) == 13
+
+    def test_shared_between_parties(self):
+        a = Fingerprinter(SharedRandomness(2).stream("f"), width=32)
+        b = Fingerprinter(SharedRandomness(2).stream("f"), width=32)
+        assert a.value_of((5, 6)) == b.value_of((5, 6))
+
+    def test_different_salts_differ(self):
+        shared = SharedRandomness(2)
+        a = Fingerprinter(shared.stream("f1"), width=64)
+        b = Fingerprinter(shared.stream("f2"), width=64)
+        assert a.value_of("hello") != b.value_of("hello")
+
+    def test_one_sided_equal_always_agree(self):
+        printer = Fingerprinter(SharedRandomness(3).stream("f"), width=4)
+        assert printer.value_of({1, 2}) == printer.value_of(frozenset({2, 1}))
+
+    def test_collision_rate_matches_width(self):
+        # 4-bit fingerprints: distinct values collide w.p. ~1/16.
+        shared = SharedRandomness(4)
+        collisions = 0
+        trials = 3000
+        for trial in range(trials):
+            printer = Fingerprinter(shared.stream(f"t{trial}"), width=4)
+            if printer.value_of(trial) == printer.value_of(trial + 10**9):
+                collisions += 1
+        assert collisions / trials == pytest.approx(1 / 16, abs=0.03)
+
+    def test_wide_fingerprints_never_collide_in_practice(self):
+        printer = Fingerprinter(SharedRandomness(5).stream("f"), width=128)
+        values = {printer.value_of(i) for i in range(2000)}
+        assert len(values) == 2000
+
+    def test_wider_than_hash_block(self):
+        printer = Fingerprinter(SharedRandomness(6).stream("f"), width=600)
+        a, b = printer.value_of("a"), printer.value_of("b")
+        assert a != b
+        assert max(a, b) < (1 << 600)
+        assert max(a, b) >= (1 << 300)  # top bits are populated
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Fingerprinter(SharedRandomness(1).stream("f"), width=0)
+
+
+class TestPolynomialFingerprint:
+    def test_equal_inputs_agree(self):
+        stream_a = SharedRandomness(7).stream("p")
+        stream_b = SharedRandomness(7).stream("p")
+        assert polynomial_fingerprint(b"abc", 20, stream_a) == (
+            polynomial_fingerprint(b"abc", 20, stream_b)
+        )
+
+    def test_distinct_inputs_rarely_collide(self):
+        shared = SharedRandomness(8)
+        collisions = 0
+        for trial in range(300):
+            stream = shared.stream(f"t{trial}")
+            stream2 = shared.stream(f"t{trial}")
+            a, _ = polynomial_fingerprint(b"hello world", 16, stream)
+            b, _ = polynomial_fingerprint(b"hello worle", 16, stream2)
+            if a == b:
+                collisions += 1
+        assert collisions <= 2
+
+    def test_length_extension_distinguished(self):
+        stream_a = SharedRandomness(9).stream("p")
+        stream_b = SharedRandomness(9).stream("p")
+        a, _ = polynomial_fingerprint(b"ab", 16, stream_a)
+        b, _ = polynomial_fingerprint(b"ab\x00", 16, stream_b)
+        assert a != b
+
+    def test_width_is_exponent_plus_log_length(self):
+        stream = SharedRandomness(10).stream("p")
+        _, width = polynomial_fingerprint(b"x" * 1000, 30, stream)
+        assert 30 <= width <= 30 + 16
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            polynomial_fingerprint(b"x", 0, SharedRandomness(1).stream("p"))

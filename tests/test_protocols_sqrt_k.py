@@ -1,0 +1,97 @@
+"""Tests for the Theorem 3.1 protocol (bucketing + amortized equality)."""
+
+import math
+import random
+
+import pytest
+
+from conftest import make_instance
+from repro.protocols.sqrt_k import SqrtKProtocol
+
+
+class TestCorrectness:
+    def test_exact_on_all_overlap_regimes(self, rng, overlap_fraction):
+        protocol = SqrtKProtocol(1 << 20, 128)
+        s, t = make_instance(rng, 1 << 20, 128, overlap_fraction)
+        assert protocol.run(s, t, seed=0).correct_for(s, t)
+
+    def test_many_seeds(self, rng):
+        protocol = SqrtKProtocol(1 << 20, 64)
+        failures = 0
+        for seed in range(60):
+            s, t = make_instance(rng, 1 << 20, 64, 0.5)
+            if not protocol.run(s, t, seed=seed).correct_for(s, t):
+                failures += 1
+        assert failures <= 1  # 1 - 1/poly(k) success
+
+    def test_empty(self):
+        protocol = SqrtKProtocol(1 << 10, 8)
+        assert protocol.run(set(), set(), seed=0).alice_output == frozenset()
+
+    def test_one_sided_empty(self, rng):
+        protocol = SqrtKProtocol(1 << 16, 32)
+        s, _ = make_instance(rng, 1 << 16, 32, 0.0)
+        outcome = protocol.run(s, set(), seed=0)
+        assert outcome.alice_output == frozenset()
+        assert outcome.bob_output == frozenset()
+
+    def test_identical_sets(self, rng):
+        protocol = SqrtKProtocol(1 << 16, 64)
+        s, _ = make_instance(rng, 1 << 16, 64, 0.0)
+        outcome = protocol.run(s, s, seed=0)
+        assert outcome.alice_output == s
+
+
+class TestCost:
+    def test_linear_communication(self):
+        # Theorem 3.1: O(k) expected bits -- per-k cost stays in a constant
+        # band as k grows 16x.
+        rng = random.Random(18)
+        per_k = {}
+        for k in (64, 256, 1024):
+            s, t = make_instance(rng, 1 << 24, k, 0.5)
+            bits = SqrtKProtocol(1 << 24, k).run(s, t, seed=0).total_bits
+            per_k[k] = bits / k
+        values = list(per_k.values())
+        assert max(values) < 80
+        assert max(values) / min(values) < 2.5
+
+    def test_rounds_within_sqrt_k(self):
+        rng = random.Random(19)
+        k = 256
+        s, t = make_instance(rng, 1 << 20, k, 0.5)
+        outcome = SqrtKProtocol(1 << 20, k).run(s, t, seed=0)
+        assert outcome.num_messages <= 6 * math.ceil(math.sqrt(k))
+
+    def test_cost_independent_of_universe(self):
+        rng = random.Random(20)
+        k = 64
+        s1, t1 = make_instance(rng, 1 << 16, k, 0.5)
+        s2, t2 = make_instance(rng, 1 << 48, k, 0.5)
+        bits_small = SqrtKProtocol(1 << 16, k).run(s1, t1, seed=0).total_bits
+        bits_large = SqrtKProtocol(1 << 48, k).run(s2, t2, seed=0).total_bits
+        # identical up to bucket-occupancy noise (different random sets)
+        assert abs(bits_large - bits_small) / bits_small < 0.5
+
+    def test_expected_instance_count_bound(self):
+        # Paper equation (1): E[#equality instances] <= 6k.  We check the
+        # realized instance count indirectly: communication stays linear
+        # even at full overlap, where |S u T| = k is smallest.
+        rng = random.Random(21)
+        k = 512
+        s, t = make_instance(rng, 1 << 24, k, 1.0)
+        bits = SqrtKProtocol(1 << 24, k).run(s, t, seed=0).total_bits
+        assert bits < 80 * k
+
+
+class TestValidation:
+    def test_universe_exponent_must_exceed_two(self):
+        with pytest.raises(ValueError):
+            SqrtKProtocol(100, 10, universe_exponent=2)
+
+    def test_agreement(self, rng):
+        protocol = SqrtKProtocol(1 << 16, 64)
+        for seed in range(10):
+            s, t = make_instance(rng, 1 << 16, 64, 0.5)
+            outcome = protocol.run(s, t, seed=seed)
+            assert outcome.alice_output == outcome.bob_output

@@ -1,0 +1,99 @@
+"""Tests for staged equality (the [BCK+] discussion's asymmetry)."""
+
+import pytest
+
+from repro.protocols.staged_equality import StagedEqualityProtocol, stage_widths
+
+
+class TestStageWidths:
+    def test_geometric_plan(self):
+        assert stage_widths(28, 3) == [4, 8, 16]
+
+    def test_sum_is_exact(self):
+        for total in (1, 7, 28, 100, 257):
+            for stages in (1, 2, 3, 5):
+                widths = stage_widths(total, stages)
+                assert sum(widths) == total
+                assert all(width >= 1 for width in widths)
+
+    def test_single_stage(self):
+        assert stage_widths(64, 1) == [64]
+
+    def test_stages_capped_by_width(self):
+        widths = stage_widths(2, 5)
+        assert sum(widths) == 2
+        assert len(widths) <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stage_widths(0, 3)
+        with pytest.raises(ValueError):
+            stage_widths(8, 0)
+
+
+class TestStagedEquality:
+    def test_equal_always_accepted(self):
+        protocol = StagedEqualityProtocol(24, stages=3)
+        for seed in range(30):
+            outcome = protocol.run((1, 2, 3), (1, 2, 3), seed=seed)
+            assert outcome.alice_output is True
+            assert outcome.bob_output is True
+
+    def test_unequal_rejected_whp(self):
+        protocol = StagedEqualityProtocol(32, stages=4)
+        for seed in range(30):
+            outcome = protocol.run("a", "b", seed=seed)
+            assert outcome.alice_output is False
+
+    def test_verdicts_agree(self):
+        protocol = StagedEqualityProtocol(12, stages=3)
+        for seed in range(20):
+            outcome = protocol.run(seed, seed + 1, seed=seed)
+            assert outcome.alice_output == outcome.bob_output
+
+    def test_unequal_is_much_cheaper_than_equal(self):
+        # The [BCK+] asymmetry: verification of unequal inputs should end
+        # at stage 1 almost always.
+        protocol = StagedEqualityProtocol(64, stages=4)
+        equal_bits = protocol.run("x", "x", seed=0).total_bits
+        unequal_costs = [
+            protocol.run(f"a{seed}", f"b{seed}", seed=seed).total_bits
+            for seed in range(40)
+        ]
+        assert equal_bits == 64 + 4  # all stages + verdicts
+        average_unequal = sum(unequal_costs) / len(unequal_costs)
+        assert average_unequal < equal_bits / 3
+
+    def test_round_structure(self):
+        protocol = StagedEqualityProtocol(30, stages=3)
+        equal_outcome = protocol.run(5, 5, seed=0)
+        assert equal_outcome.num_messages == 6  # 2 per stage
+        unequal_outcome = protocol.run(5, 6, seed=0)
+        assert unequal_outcome.num_messages <= 6
+        # first-stage rejection (the common case) is exactly 2 messages
+        two_message_rejections = sum(
+            1
+            for seed in range(20)
+            if protocol.run(seed, seed + 100, seed=seed).num_messages == 2
+        )
+        assert two_message_rejections >= 15
+
+    def test_false_accept_rate_matches_total_width(self):
+        # A tiny total width makes false accepts observable; the rate must
+        # track 2^-total.
+        protocol_width = 4
+        false_accepts = 0
+        trials = 600
+        for seed in range(trials):
+            protocol = StagedEqualityProtocol(protocol_width, stages=2)
+            if protocol.run(seed, seed + 10**7, seed=seed).alice_output:
+                false_accepts += 1
+        assert false_accepts / trials == pytest.approx(
+            2**-protocol_width, abs=0.04
+        )
+
+    def test_rejection_is_certain_evidence(self):
+        # Equal inputs can never be rejected at any stage.
+        protocol = StagedEqualityProtocol(8, stages=2)
+        for seed in range(50):
+            assert protocol.run("v", "v", seed=seed).alice_output is True

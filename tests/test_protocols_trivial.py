@@ -1,0 +1,91 @@
+"""Tests for the trivial deterministic exchange (D^(1))."""
+
+import math
+import random
+
+import pytest
+
+from conftest import make_instance
+from repro.protocols.trivial import TrivialExchangeProtocol
+
+
+class TestCorrectness:
+    def test_exact_on_all_overlap_regimes(self, rng, overlap_fraction):
+        protocol = TrivialExchangeProtocol(1 << 16, 128)
+        s, t = make_instance(rng, 1 << 16, 128, overlap_fraction)
+        outcome = protocol.run(s, t, seed=0)
+        assert outcome.correct_for(s, t)
+
+    def test_deterministic_across_seeds(self, rng):
+        protocol = TrivialExchangeProtocol(1 << 12, 32)
+        s, t = make_instance(rng, 1 << 12, 32, 0.5)
+        runs = {
+            (outcome := protocol.run(s, t, seed=seed)).total_bits
+            for seed in range(5)
+        }
+        assert len(runs) == 1  # zero randomness: identical cost every time
+
+    def test_empty_sets(self):
+        protocol = TrivialExchangeProtocol(100, 10)
+        outcome = protocol.run(frozenset(), frozenset(), seed=0)
+        assert outcome.alice_output == frozenset()
+        assert outcome.bob_output == frozenset()
+
+    def test_one_empty_side(self):
+        protocol = TrivialExchangeProtocol(100, 10)
+        outcome = protocol.run(frozenset(), {1, 2, 3}, seed=0)
+        assert outcome.correct_for(frozenset(), {1, 2, 3})
+
+    def test_single_elements(self):
+        protocol = TrivialExchangeProtocol(100, 1)
+        assert protocol.run({7}, {7}, seed=0).alice_output == frozenset({7})
+        assert protocol.run({7}, {8}, seed=0).alice_output == frozenset()
+
+
+class TestRoundsAndOutputs:
+    def test_two_messages_in_two_output_mode(self, rng):
+        protocol = TrivialExchangeProtocol(1 << 10, 16)
+        s, t = make_instance(rng, 1 << 10, 16, 0.5)
+        assert protocol.run(s, t, seed=0).num_messages == 2
+
+    def test_single_message_mode(self, rng):
+        protocol = TrivialExchangeProtocol(1 << 10, 16, both_outputs=False)
+        s, t = make_instance(rng, 1 << 10, 16, 0.5)
+        outcome = protocol.run(s, t, seed=0)
+        assert outcome.num_messages == 1
+        assert outcome.alice_output is None
+        assert outcome.bob_output == s & t
+
+
+class TestCommunicationScaling:
+    def test_k_log_n_over_k_scaling(self):
+        # D^(1) = O(k log(n/k)): per-element cost must track log(n/k).
+        rng = random.Random(1)
+        k = 128
+        costs = {}
+        for log_ratio in (2, 6, 10):
+            n = k << log_ratio
+            s, t = make_instance(rng, n, k, 0.0)
+            protocol = TrivialExchangeProtocol(n, k, both_outputs=False)
+            costs[log_ratio] = protocol.run(s, t, seed=0).total_bits
+        # cost per element ~ 2 log(n/k) + O(1) for gamma-coded gaps
+        for log_ratio, bits in costs.items():
+            assert bits <= k * (2 * log_ratio + 6)
+        assert costs[2] < costs[6] < costs[10]
+
+    def test_within_constant_of_information_bound(self):
+        rng = random.Random(2)
+        n, k = 1 << 20, 256
+        s, t = make_instance(rng, n, k, 0.0)
+        protocol = TrivialExchangeProtocol(n, k, both_outputs=False)
+        bits = protocol.run(s, t, seed=0).total_bits
+        information_bound = math.log2(math.comb(n, k))
+        assert bits >= information_bound * 0.9  # can't beat entropy
+        assert bits <= information_bound * 4  # gamma-gap overhead is small
+
+    def test_validation(self, rng):
+        protocol = TrivialExchangeProtocol(100, 4)
+        with pytest.raises(ValueError):
+            protocol.run({1, 2, 3, 4, 5}, {1}, seed=0)  # |S| > k
+        with pytest.raises(ValueError):
+            protocol.run({200}, {1}, seed=0)  # outside universe

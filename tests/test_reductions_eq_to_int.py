@@ -1,0 +1,97 @@
+"""Tests for the Fact 2.1 reduction (EQ^n_k via INT_k)."""
+
+import random
+
+import pytest
+
+from repro.core.tree_protocol import TreeProtocol
+from repro.reductions.eq_to_int import EqualityViaIntersection
+from repro.util.iterlog import log_star
+
+
+def make_strings(rng, k, n_bits, unequal_indices):
+    xs = [rng.getrandbits(n_bits) for _ in range(k)]
+    ys = list(xs)
+    for index in unequal_indices:
+        ys[index] ^= 1 + rng.getrandbits(4)
+    return xs, ys, tuple(i not in set(unequal_indices) for i in range(k))
+
+
+class TestCorrectness:
+    def test_mixed_instance(self):
+        rng = random.Random(200)
+        reduction = EqualityViaIntersection(32, 64)
+        xs, ys, truth = make_strings(rng, 32, 64, [0, 5, 31])
+        outcome = reduction.run(xs, ys, seed=0)
+        assert outcome.alice_output == truth
+        assert outcome.bob_output == truth
+
+    def test_all_equal(self):
+        rng = random.Random(201)
+        reduction = EqualityViaIntersection(16, 32)
+        xs, ys, truth = make_strings(rng, 16, 32, [])
+        assert reduction.run(xs, ys, seed=0).alice_output == truth
+
+    def test_all_unequal(self):
+        rng = random.Random(202)
+        reduction = EqualityViaIntersection(16, 32)
+        xs, ys, truth = make_strings(rng, 16, 32, list(range(16)))
+        assert reduction.run(xs, ys, seed=0).alice_output == truth
+
+    def test_long_strings(self):
+        # n = 512-bit strings: the universe is k * 2^512; hashing inside the
+        # protocol must absorb it without blowup.
+        rng = random.Random(203)
+        reduction = EqualityViaIntersection(8, 512)
+        xs, ys, truth = make_strings(rng, 8, 512, [2])
+        assert reduction.run(xs, ys, seed=0).alice_output == truth
+
+    def test_many_seeds(self):
+        rng = random.Random(204)
+        reduction = EqualityViaIntersection(24, 48)
+        failures = 0
+        for seed in range(30):
+            xs, ys, truth = make_strings(rng, 24, 48, [1, 7])
+            if reduction.run(xs, ys, seed=seed).alice_output != truth:
+                failures += 1
+        assert failures <= 1
+
+    def test_validation(self):
+        reduction = EqualityViaIntersection(4, 8)
+        with pytest.raises(ValueError):
+            reduction.run([1, 2, 3], [1, 2, 3, 4], seed=0)
+        with pytest.raises(ValueError):
+            reduction.run([256, 0, 0, 0], [0, 0, 0, 0], seed=0)  # > 2^8
+
+
+class TestRoundImprovement:
+    def test_rounds_are_log_star_not_sqrt(self):
+        # The paper's observation: the reduction + tree protocol solves
+        # EQ^n_k in O(log* k) rounds, improving FKNN's O(sqrt(k)).
+        rng = random.Random(205)
+        k = 1024
+        reduction = EqualityViaIntersection(k, 32)
+        xs, ys, _ = make_strings(rng, k, 32, [3, 9])
+        outcome = reduction.run(xs, ys, seed=0)
+        assert outcome.num_messages <= 6 * log_star(k)  # = 24
+        assert outcome.num_messages < k**0.5  # far below FKNN's sqrt(k) pace
+
+    def test_linear_communication(self):
+        rng = random.Random(206)
+        per_k = []
+        for k in (32, 128, 512):
+            reduction = EqualityViaIntersection(k, 40)
+            xs, ys, _ = make_strings(rng, k, 40, list(range(0, k, 4)))
+            per_k.append(reduction.run(xs, ys, seed=0).total_bits / k)
+        assert max(per_k) < 64
+        assert max(per_k) / min(per_k) < 2.5
+
+    def test_custom_protocol_factory(self):
+        rng = random.Random(207)
+        reduction = EqualityViaIntersection(
+            16,
+            32,
+            protocol_factory=lambda n, k: TreeProtocol(n, k, rounds=2),
+        )
+        xs, ys, truth = make_strings(rng, 16, 32, [4])
+        assert reduction.run(xs, ys, seed=0).alice_output == truth

@@ -1,0 +1,85 @@
+"""Tests for the JSON reporting layer."""
+
+import json
+import random
+
+import pytest
+
+from conftest import make_instance
+from repro.analysis.empirical import measure_protocol
+from repro.core.api import compute_intersection
+from repro.core.tree_protocol import TreeProtocol
+from repro.multiparty.coordinator import CoordinatorIntersection
+from repro.reporting import (
+    intersection_result_to_dict,
+    multiparty_result_to_dict,
+    to_json,
+    trial_report_to_dict,
+)
+from repro.workloads import WorkloadSpec
+
+
+class TestIntersectionResultSchema:
+    def test_keys_pinned(self, rng):
+        s, t = make_instance(rng, 1 << 16, 32, 0.5)
+        result = compute_intersection(s, t, universe_size=1 << 16, max_set_size=32)
+        payload = intersection_result_to_dict(result)
+        assert set(payload) == {
+            "schema",
+            "intersection",
+            "intersection_size",
+            "bits",
+            "messages",
+            "protocol",
+            "rounds_parameter",
+            "parties_agree",
+        }
+        assert payload["schema"] == "repro.intersection_result/1"
+        assert payload["intersection"] == sorted(s & t)
+
+    def test_json_roundtrip(self, rng):
+        s, t = make_instance(rng, 1 << 16, 32, 0.5)
+        result = compute_intersection(s, t, universe_size=1 << 16, max_set_size=32)
+        decoded = json.loads(to_json(result))
+        assert decoded["intersection_size"] == len(s & t)
+
+    def test_deterministic_serialization(self, rng):
+        s, t = make_instance(rng, 1 << 16, 32, 0.5)
+        result = compute_intersection(
+            s, t, universe_size=1 << 16, max_set_size=32, seed=3
+        )
+        assert to_json(result) == to_json(result)
+
+
+class TestTrialReportSchema:
+    def test_summary_structure(self):
+        report = measure_protocol(
+            TreeProtocol(1 << 16, 32), WorkloadSpec(1 << 16, 32, 0.5), trials=4
+        )
+        payload = trial_report_to_dict(report)
+        assert payload["trials"] == 4
+        assert set(payload["bits"]) == {"count", "mean", "min", "max", "p50", "p95"}
+        json.loads(to_json(report))  # serializable
+
+
+class TestMultipartySchema:
+    def test_per_player_accounting(self):
+        rng = random.Random(0)
+        common = set(rng.sample(range(1 << 16), 8))
+        sets = [
+            frozenset(common | set(rng.sample(range(1 << 16), 24)))
+            for _ in range(4)
+        ]
+        result = CoordinatorIntersection(1 << 16, 32).run(sets, seed=0)
+        payload = multiparty_result_to_dict(result)
+        assert payload["schema"] == "repro.multiparty_result/1"
+        assert len(payload["players"]) == 4
+        total = sum(entry["sent"] for entry in payload["players"].values())
+        assert total == payload["total_bits"]
+        json.loads(to_json(result))
+
+
+class TestErrors:
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            to_json(object())

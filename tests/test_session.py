@@ -1,0 +1,97 @@
+"""Tests for the long-lived session façade."""
+
+from fractions import Fraction
+
+from conftest import make_instance
+from repro.session import IntersectionSession
+
+
+class TestOperations:
+    def test_intersect(self, rng):
+        session = IntersectionSession(1 << 18, 64)
+        s, t = make_instance(rng, 1 << 18, 64, 0.5)
+        assert session.intersect(s, t) == s & t
+
+    def test_jaccard(self, rng):
+        session = IntersectionSession(1 << 18, 64)
+        s, t = make_instance(rng, 1 << 18, 64, 0.5)
+        assert session.jaccard(s, t) == Fraction(len(s & t), len(s | t))
+        assert session.jaccard(set(), set()) == Fraction(1)
+
+    def test_contains_any(self, rng):
+        session = IntersectionSession(1 << 18, 64)
+        s, t = make_instance(rng, 1 << 18, 64, 0.0)
+        assert session.contains_any(s, t) is False
+        s2, t2 = make_instance(rng, 1 << 18, 64, 0.2)
+        assert session.contains_any(s2, t2) is True
+
+    def test_intersection_size(self, rng):
+        session = IntersectionSession(1 << 18, 64)
+        s, t = make_instance(rng, 1 << 18, 64, 0.5)
+        assert session.intersection_size(s, t) == len(s & t)
+
+
+class TestAccounting:
+    def test_history_accumulates(self, rng):
+        session = IntersectionSession(1 << 18, 64)
+        s, t = make_instance(rng, 1 << 18, 64, 0.5)
+        session.intersect(s, t)
+        session.jaccard(s, t)
+        session.contains_any(s, t)
+        stats = session.stats()
+        assert stats.operations == 3
+        assert [record.kind for record in stats.history] == [
+            "intersect",
+            "jaccard",
+            "contains-any",
+        ]
+        assert stats.total_bits == sum(r.bits for r in stats.history)
+        assert stats.mean_bits == stats.total_bits / 3
+
+    def test_idle_session(self):
+        session = IntersectionSession(1 << 10, 8)
+        assert session.stats().operations == 0
+        assert session.stats().mean_bits == 0.0
+
+    def test_repeated_identical_queries_draw_fresh_coins(self, rng):
+        # Same inputs twice: per-operation seeds differ, so transcripts may
+        # differ, and both must be exact.
+        session = IntersectionSession(1 << 18, 64)
+        s, t = make_instance(rng, 1 << 18, 64, 0.5)
+        first = session.intersect(s, t)
+        second = session.intersect(s, t)
+        assert first == second == s & t
+        history = session.stats().history
+        assert history[0].index == 0 and history[1].index == 1
+
+    def test_sessions_replayable(self, rng):
+        s, t = make_instance(rng, 1 << 18, 64, 0.5)
+        a = IntersectionSession(1 << 18, 64, seed=9)
+        b = IntersectionSession(1 << 18, 64, seed=9)
+        a.intersect(s, t)
+        b.intersect(s, t)
+        assert a.stats().total_bits == b.stats().total_bits
+
+    def test_repr(self):
+        session = IntersectionSession(1 << 10, 8)
+        assert "ops=0" in repr(session)
+
+
+class TestSessionModes:
+    def test_rounds_fixed_session_wide(self, rng):
+        session = IntersectionSession(1 << 18, 64, rounds=1)
+        s, t = make_instance(rng, 1 << 18, 64, 0.5)
+        session.intersect(s, t)
+        assert session.stats().history[0].protocol == "one-round-hashing"
+        assert session.stats().history[0].messages <= 2
+
+    def test_amplified_session(self, rng):
+        session = IntersectionSession(1 << 18, 64, amplified=True)
+        s, t = make_instance(rng, 1 << 18, 64, 0.5)
+        assert session.intersect(s, t) == s & t
+        assert session.stats().history[0].protocol == "amplified-intersection"
+
+    def test_private_session(self, rng):
+        session = IntersectionSession(1 << 18, 64, model="private")
+        s, t = make_instance(rng, 1 << 18, 64, 0.5)
+        assert session.intersect(s, t) == s & t

@@ -1,0 +1,113 @@
+"""Tests for the conformance kit -- and via it, every shipped protocol."""
+
+import pytest
+
+from repro.core.amplify import AmplifiedIntersection
+from repro.core.private_model import PrivateCoinIntersection
+from repro.core.tree_protocol import TreeProtocol
+from repro.protocols.bucket_verify import BucketVerifyProtocol
+from repro.protocols.one_round import OneRoundHashingProtocol
+from repro.protocols.sqrt_k import SqrtKProtocol
+from repro.protocols.trivial import TrivialExchangeProtocol
+from repro.testing import check_intersection_contract
+
+N, K = 1 << 18, 64
+
+
+class TestShippedProtocolsConform:
+    @pytest.mark.parametrize(
+        "protocol",
+        [
+            TrivialExchangeProtocol(N, K),
+            OneRoundHashingProtocol(N, K),
+            BucketVerifyProtocol(N, K),
+            SqrtKProtocol(N, K),
+            TreeProtocol(N, K, rounds=2),
+            TreeProtocol(N, K),
+            AmplifiedIntersection(N, K),
+            PrivateCoinIntersection(N, K),
+        ],
+        ids=lambda p: p.name,
+    )
+    def test_contract(self, protocol):
+        report = check_intersection_contract(protocol, failure_budget=1)
+        assert report.passed, str(report)
+        assert report.runs == 15
+
+    def test_tree_round_budget_clause(self):
+        report = check_intersection_contract(
+            TreeProtocol(N, K, rounds=2), max_messages=12, failure_budget=1
+        )
+        assert report.passed, str(report)
+
+
+class TestKitDetectsBrokenProtocols:
+    class LyingProtocol(TrivialExchangeProtocol):
+        """Outputs a superset-violating extra element."""
+
+        name = "lying"
+
+        def run(self, alice_set, bob_set, **kwargs):
+            outcome = super().run(alice_set, bob_set, **kwargs)
+            poisoned = frozenset(outcome.alice_output | {self.universe_size - 1})
+            outcome.alice_output = poisoned
+            outcome.bob_output = poisoned
+            return outcome
+
+    class FlakyCostProtocol(TrivialExchangeProtocol):
+        """Non-replayable accounting."""
+
+        name = "flaky"
+
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self._calls = 0
+
+        def run(self, alice_set, bob_set, **kwargs):
+            outcome = super().run(alice_set, bob_set, **kwargs)
+            self._calls += 1
+            if self._calls % 2 == 0:
+                outcome.transcript.record_send(
+                    "alice", __import__("repro.util.bits", fromlist=["BitString"]).BitString(0, 1)
+                )
+            return outcome
+
+    def test_catches_agreement_violation(self):
+        report = check_intersection_contract(
+            self.LyingProtocol(N, K), failure_budget=100
+        )
+        assert not report.passed
+        assert any("Prop 3.9" in violation for violation in report.violations)
+
+    def test_catches_sandwich_violation(self):
+        report = check_intersection_contract(
+            self.LyingProtocol(N, K),
+            failure_budget=100,
+            check_agreement_exactness=False,
+        )
+        assert any("violates" in violation for violation in report.violations)
+
+    def test_catches_nonreplayable_cost(self):
+        report = check_intersection_contract(self.FlakyCostProtocol(N, K))
+        assert any("replay changed cost" in v for v in report.violations)
+
+    def test_catches_failure_budget_excess(self):
+        class AlwaysWrong(TrivialExchangeProtocol):
+            name = "wrong"
+
+            def run(self, alice_set, bob_set, **kwargs):
+                outcome = super().run(alice_set, bob_set, **kwargs)
+                outcome.alice_output = frozenset(alice_set)
+                outcome.bob_output = frozenset(alice_set) & frozenset(bob_set)
+                return outcome
+
+        report = check_intersection_contract(
+            AlwaysWrong(N, K), check_sandwich=False,
+            check_agreement_exactness=False,
+        )
+        # wrong on every instance with a nonempty difference
+        assert any("failure budget" in v for v in report.violations)
+
+    def test_report_str(self):
+        report = check_intersection_contract(TrivialExchangeProtocol(N, K))
+        assert str(report).startswith("PASS")

@@ -1,0 +1,133 @@
+"""Tests for the iterated-logarithm arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.iterlog import ceil_log2, ilog2, iterated_log, log_star, tower
+
+
+class TestIlog2:
+    def test_powers_of_two_are_exact(self):
+        for exponent in range(0, 200, 7):
+            assert ilog2(1 << exponent) == exponent
+
+    def test_one_below_powers(self):
+        for exponent in range(2, 60, 5):
+            assert ilog2((1 << exponent) - 1) == exponent - 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+        with pytest.raises(ValueError):
+            ilog2(-5)
+
+    @given(st.integers(min_value=1, max_value=10**30))
+    def test_matches_bit_length(self, value):
+        assert ilog2(value) == value.bit_length() - 1
+
+    def test_exact_beyond_float_precision(self):
+        # 2^53 + 1 rounds to 2^53 as a float; ilog2 must stay exact.
+        value = (1 << 53) + 1
+        assert ilog2(value) == 53
+
+
+class TestCeilLog2:
+    def test_addressing_widths(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        assert ceil_log2(4) == 2
+        assert ceil_log2(5) == 3
+
+    @given(st.integers(min_value=1, max_value=10**20))
+    def test_is_minimal_width(self, value):
+        width = ceil_log2(value)
+        assert (1 << width) >= value
+        if width > 0:
+            assert (1 << (width - 1)) < value
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+
+class TestIteratedLog:
+    def test_zeroth_iterate_is_identity(self):
+        for k in (0, 1, 5, 1000):
+            assert iterated_log(k, 0) == k
+
+    def test_first_iterate_is_log2(self):
+        assert iterated_log(1024, 1) == pytest.approx(10.0)
+        assert iterated_log(65536, 1) == pytest.approx(16.0)
+
+    def test_second_iterate(self):
+        assert iterated_log(65536, 2) == pytest.approx(4.0)
+
+    def test_clamps_at_one(self):
+        assert iterated_log(16, 10) == 1.0
+        assert iterated_log(2, 1) == 1.0
+        assert iterated_log(1, 5) == 1.0
+
+    def test_monotone_decreasing_in_r(self):
+        k = 10**6
+        values = [iterated_log(k, r) for r in range(8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_nondecreasing_in_k(self):
+        for r in range(4):
+            values = [iterated_log(k, r) for k in (4, 16, 256, 65536)]
+            assert values == sorted(values)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            iterated_log(-1, 0)
+        with pytest.raises(ValueError):
+            iterated_log(5, -1)
+
+    @given(st.integers(min_value=2, max_value=10**9), st.integers(1, 6))
+    def test_iterate_recurrence(self, k, r):
+        inner = iterated_log(k, r - 1)
+        outer = iterated_log(k, r)
+        if inner > 2.0:
+            assert outer == pytest.approx(max(math.log2(inner), 1.0))
+        else:
+            assert outer == 1.0
+
+
+class TestLogStar:
+    def test_tower_boundaries(self):
+        assert [log_star(k) for k in (0, 1, 2, 4, 16, 65536)] == [0, 0, 1, 2, 3, 4]
+
+    def test_just_past_tower_boundaries(self):
+        assert log_star(3) == 2
+        assert log_star(5) == 3
+        assert log_star(17) == 4
+        assert log_star(65537) == 5
+
+    def test_practical_range_is_tiny(self):
+        # For every practically simulable k, log* k <= 5.
+        assert log_star(10**9) <= 5
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_definition(self, k):
+        r = log_star(k)
+        assert iterated_log(k, r) <= 1.0 + 1e-9
+        if r > 0:
+            assert iterated_log(k, r - 1) > 1.0
+
+
+class TestTower:
+    def test_values(self):
+        assert [tower(h) for h in range(5)] == [1, 2, 4, 16, 65536]
+
+    def test_inverse_of_log_star(self):
+        for height in range(1, 5):
+            assert log_star(tower(height)) == height
+            assert log_star(tower(height) + 1) == height + 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            tower(-1)

@@ -1,0 +1,109 @@
+"""Tests for the shared/private randomness model."""
+
+import pytest
+
+from repro.util.bits import BitString
+from repro.util.rng import PrivateRandomness, SharedRandomness
+
+
+class TestSharedRandomness:
+    def test_same_seed_same_label_same_bits(self):
+        # The defining property of the common random string: both parties
+        # derive identical coins from (seed, label).
+        alice_view = SharedRandomness(42)
+        bob_view = SharedRandomness(42)
+        assert alice_view.stream("h").bits(128) == bob_view.stream("h").bits(128)
+
+    def test_different_labels_differ(self):
+        shared = SharedRandomness(42)
+        assert shared.stream("a").bits(64) != shared.stream("b").bits(64)
+
+    def test_different_seeds_differ(self):
+        assert SharedRandomness(1).stream("x").bits(64) != SharedRandomness(
+            2
+        ).stream("x").bits(64)
+
+    def test_stream_restart_replays(self):
+        shared = SharedRandomness(7)
+        first = shared.stream("lbl")
+        second = shared.stream("lbl")
+        assert [first.bit() for _ in range(50)] == [
+            second.bit() for _ in range(50)
+        ]
+
+    def test_namespacing_equivalence(self):
+        shared = SharedRandomness(7)
+        assert shared.sub("pre").stream("x").bits(32) == shared.stream(
+            "pre/x"
+        ).bits(32)
+
+    def test_nested_namespacing(self):
+        shared = SharedRandomness(7)
+        nested = shared.sub("a").sub("b")
+        assert nested.stream("c").bits(32) == shared.stream("a/b/c").bits(32)
+
+    def test_bits_returns_bitstring_of_exact_length(self):
+        stream = SharedRandomness(1).stream("x")
+        drawn = stream.bits(17)
+        assert isinstance(drawn, BitString)
+        assert len(drawn) == 17
+
+    def test_zero_bits(self):
+        assert len(SharedRandomness(1).stream("x").bits(0)) == 0
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            SharedRandomness(1).stream("x").bits(-1)
+
+    def test_uint_below_range(self):
+        stream = SharedRandomness(3).stream("u")
+        for _ in range(200):
+            assert 0 <= stream.uint_below(7) < 7
+
+    def test_uint_below_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SharedRandomness(3).stream("u").uint_below(0)
+
+    def test_uint_below_roughly_uniform(self):
+        stream = SharedRandomness(5).stream("uniform")
+        counts = [0] * 4
+        for _ in range(4000):
+            counts[stream.uint_below(4)] += 1
+        for count in counts:
+            assert 800 < count < 1200
+
+    def test_sample_without_replacement(self):
+        stream = SharedRandomness(5).stream("s")
+        sample = stream.sample_without_replacement(100, 30)
+        assert len(sample) == 30
+        assert len(set(sample)) == 30
+        assert sample == sorted(sample)
+        assert all(0 <= x < 100 for x in sample)
+
+    def test_sample_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            SharedRandomness(1).stream("s").sample_without_replacement(5, 6)
+
+
+class TestPrivateRandomness:
+    def test_distinct_from_shared_with_same_seed(self):
+        # Private streams live in their own namespace: a party's private
+        # coins never accidentally coincide with the shared string.
+        shared = SharedRandomness(9).stream("x")
+        private = PrivateRandomness(9).stream("x")
+        assert shared.bits(64) != private.bits(64)
+
+    def test_replayable(self):
+        a = PrivateRandomness(11).stream("y").bits(64)
+        b = PrivateRandomness(11).stream("y").bits(64)
+        assert a == b
+
+    def test_seed_property(self):
+        assert PrivateRandomness(13).seed == 13
+        assert SharedRandomness(14).seed == 14
+
+    def test_bit_balance(self):
+        # Sanity: coin flips are roughly unbiased.
+        stream = PrivateRandomness(17).stream("flips")
+        ones = sum(stream.bit() for _ in range(4000))
+        assert 1800 < ones < 2200

@@ -1,0 +1,123 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.workloads import (
+    Distribution,
+    MultipartySpec,
+    WorkloadSpec,
+    generate_multiparty,
+    generate_pair,
+)
+from repro.workloads.twoparty import generate_stream
+
+
+class TestTwoPartyWorkloads:
+    @pytest.mark.parametrize("distribution", list(Distribution))
+    def test_sizes_and_overlap_exact(self, distribution):
+        spec = WorkloadSpec(1 << 20, 200, 0.25, distribution)
+        s, t = generate_pair(spec, seed=0)
+        assert len(s) == len(t) == 200
+        assert len(s & t) == 50
+
+    @pytest.mark.parametrize("overlap", [0.0, 0.5, 1.0])
+    def test_overlap_extremes(self, overlap):
+        spec = WorkloadSpec(1 << 16, 64, overlap)
+        s, t = generate_pair(spec, seed=3)
+        assert len(s & t) == int(round(overlap * 64))
+
+    def test_elements_in_universe(self):
+        for distribution in Distribution:
+            spec = WorkloadSpec(1 << 12, 100, 0.5, distribution)
+            s, t = generate_pair(spec, seed=1)
+            assert all(0 <= x < (1 << 12) for x in s | t)
+
+    def test_seeded_reproducibility(self):
+        spec = WorkloadSpec(1 << 20, 128, 0.3)
+        assert generate_pair(spec, 7) == generate_pair(spec, 7)
+        assert generate_pair(spec, 7) != generate_pair(spec, 8)
+
+    def test_clustered_is_actually_clustered(self):
+        spec = WorkloadSpec(1 << 30, 256, 0.0, Distribution.CLUSTERED)
+        s, _ = generate_pair(spec, seed=2)
+        ordered = sorted(s)
+        small_gaps = sum(
+            1 for a, b in zip(ordered, ordered[1:]) if b - a <= 64
+        )
+        # most consecutive gaps are within one run
+        assert small_gaps > len(ordered) * 0.5
+
+    def test_uniform_is_not_clustered(self):
+        spec = WorkloadSpec(1 << 30, 256, 0.0, Distribution.UNIFORM)
+        s, _ = generate_pair(spec, seed=2)
+        ordered = sorted(s)
+        small_gaps = sum(
+            1 for a, b in zip(ordered, ordered[1:]) if b - a <= 64
+        )
+        assert small_gaps < len(ordered) * 0.05
+
+    def test_arithmetic_structure(self):
+        spec = WorkloadSpec(1 << 24, 128, 0.0, Distribution.ARITHMETIC)
+        s, _ = generate_pair(spec, seed=4)
+        # the union of both draws comes from <= 2 progressions; the set of
+        # pairwise gap values within one draw must be tiny
+        ordered = sorted(s)
+        gaps = {b - a for a, b in zip(ordered, ordered[1:])}
+        assert len(gaps) < len(ordered) // 4
+
+    def test_stream_yields_distinct_instances(self):
+        spec = WorkloadSpec(1 << 16, 32, 0.5)
+        stream = generate_stream(spec)
+        first = next(stream)
+        second = next(stream)
+        assert first != second
+
+    def test_protocols_exact_on_every_distribution(self):
+        # The protocols' guarantees must not depend on benign inputs; the
+        # ARITHMETIC case in particular probes linear-structure hashing.
+        from repro.core.tree_protocol import TreeProtocol
+
+        for distribution in Distribution:
+            spec = WorkloadSpec(1 << 20, 128, 0.5, distribution)
+            s, t = generate_pair(spec, seed=5)
+            outcome = TreeProtocol(1 << 20, 128).run(s, t, seed=0)
+            assert outcome.correct_for(s, t), distribution
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(10, 20, 0.5)  # universe too small
+        with pytest.raises(ValueError):
+            WorkloadSpec(1 << 10, 16, 1.5)  # bad overlap
+        with pytest.raises(ValueError):
+            WorkloadSpec(1 << 10, 0, 0.5)  # empty sets
+
+
+class TestMultipartyWorkloads:
+    def test_planted_core_is_exact(self):
+        spec = MultipartySpec(1 << 20, 64, 8, 12)
+        sets = generate_multiparty(spec, seed=0)
+        assert len(sets) == 8
+        assert all(len(player_set) == 64 for player_set in sets)
+        assert len(frozenset.intersection(*sets)) == 12
+
+    def test_zero_core(self):
+        spec = MultipartySpec(1 << 20, 32, 4, 0)
+        sets = generate_multiparty(spec, seed=1)
+        assert frozenset.intersection(*sets) == frozenset()
+
+    def test_full_core(self):
+        spec = MultipartySpec(1 << 20, 32, 4, 32)
+        sets = generate_multiparty(spec, seed=2)
+        assert len(set(sets)) == 1  # identical sets
+
+    def test_reproducibility(self):
+        spec = MultipartySpec(1 << 20, 32, 4, 8)
+        assert generate_multiparty(spec, 3) == generate_multiparty(spec, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultipartySpec(100, 32, 8, 8)  # universe too small
+        with pytest.raises(ValueError):
+            MultipartySpec(1 << 20, 32, 0, 8)
+        with pytest.raises(ValueError):
+            MultipartySpec(1 << 20, 32, 4, 40)  # core > set size
