@@ -10,52 +10,31 @@ validate the theorems).  Conventions:
   ``benchmarks/results/<name>.txt`` so the output survives pytest's capture;
 * ``pytest-benchmark`` additionally times one representative protocol run
   per experiment (wall time is not a paper claim, but it keeps the harness
-  honest about simulation cost).
+  honest about simulation cost);
+* trial loops go through :func:`repro.perf.run_trials`, so setting
+  ``REPRO_WORKERS=4`` parallelizes every experiment's seed sweep with
+  bit-identical tables (closure-style ``run`` callables fall back to the
+  thread executor automatically; the counters don't change either way).
 
 Run with::
 
     pytest benchmarks/ --benchmark-only
+    REPRO_WORKERS=4 pytest benchmarks/ --benchmark-only
 """
 
 from __future__ import annotations
 
-import random
 from pathlib import Path
-from typing import Callable, FrozenSet, List, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
+
+from repro.perf.executor import run_trials
+
+# Single source of truth for planted-overlap instances: the generators the
+# test suite and benchmarks share now live in repro.workloads (re-exported
+# here so every bench_e*.py keeps importing from the harness).
+from repro.workloads import make_instance, make_multiparty_instance  # noqa: F401
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
-
-
-def make_instance(
-    rng: random.Random,
-    universe_size: int,
-    set_size: int,
-    overlap_fraction: float,
-) -> Tuple[FrozenSet[int], FrozenSet[int]]:
-    """Build ``(S, T)`` with the requested overlap (same generator the test
-    suite uses, duplicated here so benchmarks are self-contained)."""
-    overlap = int(round(overlap_fraction * set_size))
-    sample = rng.sample(range(universe_size), 2 * set_size - overlap)
-    return (
-        frozenset(sample[:set_size]),
-        frozenset(sample[:overlap] + sample[set_size:]),
-    )
-
-
-def make_multiparty_instance(
-    rng: random.Random,
-    universe_size: int,
-    set_size: int,
-    num_players: int,
-    common_size: int,
-):
-    """``m`` player sets sharing a planted common core."""
-    common = set(rng.sample(range(universe_size), common_size))
-    sets = []
-    for _ in range(num_players):
-        extra = set(rng.sample(range(universe_size), set_size - common_size))
-        sets.append(frozenset(common | extra))
-    return sets
 
 
 def mean(values: Sequence[float]) -> float:
@@ -68,15 +47,16 @@ def average_cost(
     seeds: int,
 ) -> Tuple[float, float, float]:
     """Drive ``run(seed) -> (bits, messages, correct)`` over seeds;
-    returns (mean bits, max messages, success rate)."""
-    bits: List[int] = []
-    messages: List[int] = []
-    correct = 0
-    for seed in range(seeds):
-        b, m, ok = run(seed)
-        bits.append(b)
-        messages.append(m)
-        correct += int(ok)
+    returns (mean bits, max messages, success rate).
+
+    Seeds are ``0..seeds-1`` as before; execution goes through the
+    deterministic trial executor, so the aggregate is identical for any
+    ``REPRO_WORKERS`` setting.
+    """
+    results = run_trials(run, list(range(seeds))).values()
+    bits: List[int] = [b for b, _, _ in results]
+    messages: List[int] = [m for _, m, _ in results]
+    correct = sum(int(ok) for _, _, ok in results)
     return mean(bits), max(messages), correct / seeds
 
 

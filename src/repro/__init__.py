@@ -33,6 +33,7 @@ statistics (Jaccard similarity, rarity, distributed joins, ...).
 from repro.core.api import IntersectionResult, compute_intersection
 from repro.core.tradeoff import communication_bound, optimal_rounds, select_protocol
 from repro.core.tree_protocol import TreeProtocol
+from repro.perf import derive_seed, run_trials
 from repro.session import IntersectionSession
 
 __version__ = "1.0.0"
@@ -45,5 +46,7 @@ __all__ = [
     "select_protocol",
     "TreeProtocol",
     "IntersectionSession",
+    "derive_seed",
+    "run_trials",
     "__version__",
 ]

@@ -11,18 +11,48 @@ downstream users can measure any protocol on any
         TreeProtocol(1 << 24, 512),
         WorkloadSpec(1 << 24, 512, 0.5),
         trials=50,
+        workers=4,
     )
     report.bits.mean, report.messages.maximum, report.success_rate
+
+Trials run through :func:`repro.perf.run_trials`, so ``workers > 1``
+distributes them over a process pool with bit-identical results: the seed
+schedule (``first_seed + offset`` for both the instance and the protocol
+coins) does not depend on the execution plan.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from functools import partial
+from typing import FrozenSet, Optional, Tuple
 
 from repro.comm.stats import TrialAggregator, TrialReport
+from repro.perf.executor import run_trials
 from repro.workloads.twoparty import WorkloadSpec, generate_pair
 
 __all__ = ["measure_protocol"]
+
+
+def _run_one_trial(
+    protocol,
+    spec: WorkloadSpec,
+    fixed_instance: Optional[Tuple[FrozenSet[int], FrozenSet[int]]],
+    max_total_bits: Optional[int],
+    seed: int,
+) -> Tuple[int, int, bool]:
+    """One seeded trial (module-level so process workers can pickle it)."""
+    instance = (
+        fixed_instance if fixed_instance is not None else generate_pair(spec, seed)
+    )
+    kwargs = {"seed": seed}
+    if max_total_bits is not None:
+        kwargs["max_total_bits"] = max_total_bits
+    outcome = protocol.run(*instance, **kwargs)
+    return (
+        outcome.total_bits,
+        outcome.num_messages,
+        outcome.correct_for(*instance),
+    )
 
 
 def measure_protocol(
@@ -33,6 +63,7 @@ def measure_protocol(
     first_seed: int = 0,
     fresh_instance_per_trial: bool = True,
     max_total_bits: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> TrialReport:
     """Run ``protocol`` over seeded workload instances and aggregate.
 
@@ -48,20 +79,20 @@ def measure_protocol(
         workload randomness.
     :param max_total_bits: optional per-run engine budget, forwarded when
         the protocol's ``run`` supports it.
+    :param workers: trial parallelism; ``None`` reads ``$REPRO_WORKERS``
+        and defaults to serial.  The report is identical for every worker
+        count (same seeds, same trials, same aggregation order); only wall
+        time changes.  Process dispatch needs ``protocol`` to be picklable;
+        unpicklable protocols fall back to threads transparently.
     """
+    fixed_instance = (
+        None if fresh_instance_per_trial else generate_pair(spec, first_seed)
+    )
+    trial_fn = partial(_run_one_trial, protocol, spec, fixed_instance, max_total_bits)
+    seeds = [first_seed + offset for offset in range(trials)]
+    run = run_trials(trial_fn, seeds, workers=workers)
+
     aggregator = TrialAggregator()
-    instance = generate_pair(spec, first_seed)
-    for offset in range(trials):
-        seed = first_seed + offset
-        if fresh_instance_per_trial:
-            instance = generate_pair(spec, seed)
-        kwargs = {"seed": seed}
-        if max_total_bits is not None:
-            kwargs["max_total_bits"] = max_total_bits
-        outcome = protocol.run(*instance, **kwargs)
-        aggregator.add(
-            bits=outcome.total_bits,
-            messages=outcome.num_messages,
-            correct=outcome.correct_for(*instance),
-        )
+    for bits, messages, correct in run.values():
+        aggregator.add(bits=bits, messages=messages, correct=correct)
     return aggregator.report()

@@ -11,6 +11,8 @@ Commands:
   (Theorem 1.1) for a chosen ``k`` and universe.
 * ``protocols`` -- list every implemented protocol with its paper
   reference and guarantee.
+* ``bench`` -- run the repro.perf core microbenchmark suite and write
+  ``BENCH_core.json`` (or validate an existing report against the schema).
 """
 
 from __future__ import annotations
@@ -118,6 +120,34 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--log-universe", type=int, default=24)
     render.add_argument("--rounds", type=int, default=None)
     render.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf core benchmarks and write BENCH_core.json",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="trial parallelism for the e1 loop (default: $REPRO_WORKERS or 4)",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_core.json", help="output JSON path"
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="short calibration + few trials (CI smoke; numbers are noisy)",
+    )
+    bench.add_argument(
+        "--trials", type=int, default=None, help="e1 trial-loop trial count"
+    )
+    bench.add_argument(
+        "--validate",
+        metavar="PATH",
+        default=None,
+        help="validate an existing report against the schema instead of running",
+    )
     return parser
 
 
@@ -227,7 +257,56 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_exact_cc(args, out)
     if args.command == "render":
         return _cmd_render(args, out)
+    if args.command == "bench":
+        return _cmd_bench(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _cmd_bench(args, out) -> int:
+    import json
+
+    from repro.perf.schema import validate_bench_report
+
+    if args.validate is not None:
+        try:
+            with open(args.validate, "r", encoding="utf-8") as handle:
+                report = json.load(handle)
+        except OSError as exc:
+            print(f"cannot read {args.validate}: {exc}", file=out)
+            return 1
+        except json.JSONDecodeError as exc:
+            print(f"{args.validate}: not valid JSON ({exc})", file=out)
+            return 1
+        problems = validate_bench_report(report)
+        if problems:
+            for problem in problems:
+                print(f"schema: {problem}", file=out)
+            return 1
+        print(f"{args.validate}: OK (schema v{report['schema_version']})", file=out)
+        return 0
+
+    from repro.perf.bench import run_core_benchmarks
+    from repro.perf.executor import resolve_workers
+
+    workers = (
+        args.workers if args.workers is not None else max(resolve_workers(), 4)
+    )
+    report = run_core_benchmarks(
+        workers=workers,
+        quick=args.quick,
+        trials=args.trials,
+        out_path=args.out,
+    )
+    loop = report["e1_trial_loop"]
+    print(f"wrote {args.out}", file=out)
+    print(
+        f"e1 loop: {loop['trials']} trials, "
+        f"speedup {loop['speedup_vs_serial']:.2f}x vs serial-uncached "
+        f"({loop['speedup_cached_only']:.2f}x from caching alone), "
+        f"bit_identical={loop['bit_identical']}",
+        file=out,
+    )
+    return 0
 
 
 def _cmd_render(args, out) -> int:

@@ -47,3 +47,9 @@ class ProtocolAborted(ProtocolError):
         super().__init__(message)
         self.bits_used = bits_used
         self.budget = budget
+
+    def __reduce__(self):
+        # Default exception pickling replays only ``args`` (the message),
+        # which would lose bits_used/budget and break unpickling in trial
+        # executor workers; reconstruct with the full signature instead.
+        return (type(self), (self.args[0], self.bits_used, self.budget))

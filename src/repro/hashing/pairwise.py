@@ -15,9 +15,11 @@ constructed using only ``O(log n)`` random bits").
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, List
 
 from repro.hashing.primes import next_prime
+from repro.util import hotcache
 from repro.util.iterlog import ceil_log2
 from repro.util.rng import RandomStream
 
@@ -98,6 +100,27 @@ class PairwiseHash:
         return True
 
 
+def _modulus_impl(universe_size: int, range_size: int) -> int:
+    return next_prime(max(universe_size, range_size, 2))
+
+
+_modulus_cached = hotcache.register(
+    "hashing.pairwise.modulus", lru_cache(maxsize=1 << 12)(_modulus_impl)
+)
+
+
+def _modulus_for(universe_size: int, range_size: int) -> int:
+    """The prime modulus for a ``(universe, range)`` family, memoized.
+
+    The prime depends only on the sizes, not on the sampled ``(a, b)``, so
+    every trial of a protocol re-derives the same modulus: a process-local
+    memo turns the per-sample prime search into a dictionary hit.
+    """
+    if hotcache.enabled():
+        return _modulus_cached(universe_size, range_size)
+    return _modulus_impl(universe_size, range_size)
+
+
 def sample_pairwise_hash(
     universe_size: int, range_size: int, stream: RandomStream
 ) -> PairwiseHash:
@@ -115,7 +138,7 @@ def sample_pairwise_hash(
         raise ValueError(f"universe_size must be >= 1, got {universe_size}")
     if range_size < 1:
         raise ValueError(f"range_size must be >= 1, got {range_size}")
-    prime = next_prime(max(universe_size, range_size, 2))
+    prime = _modulus_for(universe_size, range_size)
     mult = 1 + stream.uint_below(prime - 1)
     shift = stream.uint_below(prime)
     return PairwiseHash(

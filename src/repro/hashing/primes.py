@@ -9,6 +9,9 @@ and overwhelmingly reliable beyond via additional witnesses) plus
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+from repro.util import hotcache
 from repro.util.rng import RandomStream
 
 __all__ = ["is_prime", "next_prime", "random_prime"]
@@ -40,16 +43,7 @@ def _miller_rabin_witness(candidate: int, base: int) -> bool:
     return True
 
 
-def is_prime(candidate: int) -> bool:
-    """Exact primality for every integer this library constructs.
-
-    Deterministic Miller-Rabin with the 13-witness set, exact below
-    ``~2^81``; moduli here are ``O(poly(n))`` for universe sizes ``n`` that
-    fit comfortably under that.
-
-    >>> [p for p in range(20) if is_prime(p)]
-    [2, 3, 5, 7, 11, 13, 17, 19]
-    """
+def _is_prime_impl(candidate: int) -> bool:
     if candidate < 2:
         return False
     for small in _SMALL_PRIMES:
@@ -62,19 +56,54 @@ def is_prime(candidate: int) -> bool:
     )
 
 
+_is_prime_cached = hotcache.register(
+    "hashing.primes.is_prime", lru_cache(maxsize=1 << 16)(_is_prime_impl)
+)
+
+
+def is_prime(candidate: int) -> bool:
+    """Exact primality for every integer this library constructs.
+
+    Deterministic Miller-Rabin with the 13-witness set, exact below
+    ``~2^81``; moduli here are ``O(poly(n))`` for universe sizes ``n`` that
+    fit comfortably under that.  Memoized (primality is pure and protocols
+    re-test the same handful of moduli on every trial); the cache is
+    managed through :mod:`repro.util.hotcache`.
+
+    >>> [p for p in range(20) if is_prime(p)]
+    [2, 3, 5, 7, 11, 13, 17, 19]
+    """
+    if hotcache.enabled():
+        return _is_prime_cached(candidate)
+    return _is_prime_impl(candidate)
+
+
+def _next_prime_impl(lower_bound: int) -> int:
+    candidate = max(lower_bound, 2)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+_next_prime_cached = hotcache.register(
+    "hashing.primes.next_prime", lru_cache(maxsize=1 << 16)(_next_prime_impl)
+)
+
+
 def next_prime(lower_bound: int) -> int:
     """The smallest prime ``>= lower_bound``.
 
     By Bertrand's postulate the search never scans past ``2 * lower_bound``;
     in practice prime gaps near ``x`` are ``O(log^2 x)`` so this is fast.
+    Memoized like :func:`is_prime`: every hash-family setup re-derives the
+    same modulus, so repeated trials hit the cache.
 
     >>> next_prime(10), next_prime(11), next_prime(1)
     (11, 11, 2)
     """
-    candidate = max(lower_bound, 2)
-    while not is_prime(candidate):
-        candidate += 1
-    return candidate
+    if hotcache.enabled():
+        return _next_prime_cached(lower_bound)
+    return _next_prime_impl(lower_bound)
 
 
 def random_prime(lower: int, upper: int, stream: RandomStream) -> int:

@@ -1,0 +1,61 @@
+"""Performance subsystem: deterministic parallel execution + hot caches.
+
+The simulator's protocols are deterministic functions of their seeds, so
+performance work here never trades correctness: the same seeds produce the
+same transcripts and counters no matter how the trials are scheduled or
+which caches are warm.  Three pieces:
+
+* :mod:`repro.perf.executor` -- ``run_trials``/``derive_seed``, the
+  deterministic trial executor (serial, threads, or a chunked process
+  pool; per-trial timing and failure capture; results in trial order).
+* :mod:`repro.perf.cache` -- control surface over the hot-path memo caches
+  (prime search, hash-parameter setup, stream-seed derivation, canonical
+  serialization).
+* :mod:`repro.perf.bench` / :mod:`repro.perf.schema` -- the core
+  microbenchmark suite and the versioned ``BENCH_core.json`` it emits,
+  the repo's perf trajectory across PRs.
+
+Quick start::
+
+    from repro.perf import run_trials
+
+    run = run_trials(my_trial_fn, 1000, workers=4)
+    results = run.values()          # in trial order, identical to serial
+
+The worker count can also come from the environment (``REPRO_WORKERS``),
+which is how the benchmark suite and ``measure_protocol`` expose the knob
+without threading it through every call site.
+"""
+
+from repro.perf.cache import (
+    clear_hot_caches,
+    hot_cache_names,
+    hot_cache_stats,
+    hot_caches_disabled,
+)
+from repro.perf.executor import (
+    WORKERS_ENV_VAR,
+    TrialFailure,
+    TrialOutcome,
+    TrialRun,
+    derive_seed,
+    resolve_workers,
+    run_trials,
+)
+from repro.perf.schema import BENCH_SCHEMA_VERSION, validate_bench_report
+
+__all__ = [
+    "derive_seed",
+    "run_trials",
+    "resolve_workers",
+    "TrialOutcome",
+    "TrialRun",
+    "TrialFailure",
+    "WORKERS_ENV_VAR",
+    "clear_hot_caches",
+    "hot_caches_disabled",
+    "hot_cache_stats",
+    "hot_cache_names",
+    "BENCH_SCHEMA_VERSION",
+    "validate_bench_report",
+]

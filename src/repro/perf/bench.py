@@ -1,0 +1,267 @@
+"""The core microbenchmark suite behind ``BENCH_core.json``.
+
+Times the simulator's hot layers -- engine round-trips, batched equality,
+full tree-protocol runs, bit-codec operations -- plus the headline number:
+the E1 tree-tradeoff trial loop, run three ways (seed-equivalent uncached
+serial, hot-cached serial, hot-cached parallel via
+:func:`repro.perf.run_trials`).  The parallel and serial loops are checked
+bit-identical on their communication counters before any speedup is
+reported; a speedup that changed the counters would be a bug, not an
+optimization.
+
+Usage::
+
+    from repro.perf.bench import run_core_benchmarks
+    report = run_core_benchmarks(workers=4)
+
+or ``python -m repro bench --workers 4 --out BENCH_core.json``.
+
+Every timed trial function is a module-level callable so the process
+executor can pickle it; see :mod:`repro.perf.executor` for the contract.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import platform
+import os
+import random
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from repro.comm.engine import PartyContext, Recv, Send, run_two_party
+from repro.comm.parallel import run_batched
+from repro.core.tree_protocol import TreeProtocol
+from repro.perf.cache import clear_hot_caches, hot_caches_disabled
+from repro.perf.executor import run_trials
+from repro.perf.schema import BENCH_SCHEMA_VERSION, SUITE_NAME, validate_bench_report
+from repro.protocols.equality import run_equality
+from repro.util.bits import BitReader, BitWriter
+from repro.workloads import make_instance
+
+__all__ = ["run_core_benchmarks", "DEFAULT_OUTPUT"]
+
+DEFAULT_OUTPUT = "BENCH_core.json"
+
+_E1_UNIVERSE = 1 << 24
+_E1_K = 256
+_E1_ROUNDS = 2
+
+
+# -- module-level protocol parties / trial functions (picklable) ----------
+
+
+def _ping(ctx: PartyContext):
+    value = 0
+    for _ in range(4):
+        yield Send(_uint_bits(value))
+        reply = yield Recv()
+        value = (reply.value + 1) & 0xFFFFFFFF
+    return value
+
+
+def _pong(ctx: PartyContext):
+    value = 0
+    for _ in range(4):
+        got = yield Recv()
+        value = (got.value + 1) & 0xFFFFFFFF
+        yield Send(_uint_bits(value))
+    return value
+
+
+def _uint_bits(value: int):
+    writer = BitWriter()
+    writer.write_uint(value, 32)
+    return writer.finish()
+
+
+def _batched_equality_party(ctx: PartyContext):
+    coroutines = [
+        run_equality(ctx, (index, index % 7), width=16, label=f"bench/eq/{index}")
+        for index in range(32)
+    ]
+    verdicts = yield from run_batched(ctx, coroutines, num_messages=2)
+    return verdicts
+
+
+def _op_engine_round_trip() -> None:
+    run_two_party(_ping, _pong, alice_input=None, bob_input=None, shared_seed=0)
+
+
+def _op_batched_equality() -> None:
+    run_two_party(
+        _batched_equality_party,
+        _batched_equality_party,
+        alice_input=None,
+        bob_input=None,
+        shared_seed=0,
+    )
+
+
+def _op_tree_protocol(protocol: TreeProtocol, alice_set, bob_set, seed: int) -> None:
+    protocol.run(alice_set, bob_set, seed=seed)
+
+
+def _op_bit_codec_gamma() -> None:
+    writer = BitWriter()
+    for value in range(512):
+        writer.write_gamma(value * 7 % 1021)
+    reader = BitReader(writer.finish())
+    for _ in range(512):
+        reader.read_gamma()
+    reader.expect_exhausted()
+
+
+def _op_bit_codec_uint() -> None:
+    writer = BitWriter()
+    for value in range(512):
+        writer.write_uint((value * 2654435761) & 0xFFFFFF, 24)
+    reader = BitReader(writer.finish())
+    for _ in range(512):
+        reader.read_uint(24)
+    reader.expect_exhausted()
+
+
+def _tree_trial(protocol: TreeProtocol, alice_set, bob_set, seed: int):
+    """One E1-style trial: exact counters + correctness for one seed."""
+    outcome = protocol.run(alice_set, bob_set, seed=seed)
+    return (
+        outcome.total_bits,
+        outcome.num_messages,
+        outcome.correct_for(alice_set, bob_set),
+    )
+
+
+# -- timing helpers -------------------------------------------------------
+
+
+def _time_op(op: Callable[[], Any], target_s: float) -> Dict[str, Any]:
+    """Time ``op`` for roughly ``target_s`` seconds of repetitions."""
+    start = time.perf_counter()
+    op()
+    once = max(time.perf_counter() - start, 1e-9)
+    iterations = max(3, int(target_s / once))
+    start = time.perf_counter()
+    for _ in range(iterations):
+        op()
+    wall = max(time.perf_counter() - start, 1e-9)
+    return {
+        "ops_per_s": iterations / wall,
+        "wall_s": wall,
+        "iterations": iterations,
+    }
+
+
+def _counters_sha256(values) -> str:
+    return hashlib.sha256(repr(values).encode("utf-8")).hexdigest()
+
+
+def _e1_trial_loop(workers: int, trials: int) -> Dict[str, Any]:
+    """The headline comparison: the E1 trial loop three ways."""
+    rng = random.Random(1)
+    alice_set, bob_set = make_instance(rng, _E1_UNIVERSE, _E1_K, 0.5)
+    protocol = TreeProtocol(_E1_UNIVERSE, _E1_K, rounds=_E1_ROUNDS)
+    fn = functools.partial(_tree_trial, protocol, alice_set, bob_set)
+    seeds = list(range(trials))
+
+    with hot_caches_disabled():
+        uncached = run_trials(fn, seeds, workers=1, executor="serial")
+
+    clear_hot_caches()
+    cached = run_trials(fn, seeds, workers=1, executor="serial")
+
+    parallel = run_trials(fn, seeds, workers=workers, executor="process")
+
+    serial_values = cached.values()
+    parallel_values = parallel.values()
+    bit_identical = (
+        serial_values == parallel_values == uncached.values()
+    )
+
+    return {
+        "trials": trials,
+        "k": _E1_K,
+        "rounds": _E1_ROUNDS,
+        "serial_uncached_s": uncached.wall_time_s,
+        "serial_cached_s": cached.wall_time_s,
+        "parallel_s": parallel.wall_time_s,
+        "workers": parallel.workers,
+        "speedup_vs_serial": uncached.wall_time_s / parallel.wall_time_s,
+        "speedup_cached_only": uncached.wall_time_s / cached.wall_time_s,
+        "bit_identical": bit_identical,
+        "counters_sha256": _counters_sha256(parallel_values),
+    }
+
+
+def run_core_benchmarks(
+    *,
+    workers: int = 4,
+    quick: bool = False,
+    trials: Optional[int] = None,
+    out_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run the core suite and (optionally) write ``BENCH_core.json``.
+
+    :param workers: worker count for the parallel leg of the E1 loop.
+    :param quick: CI smoke mode -- fewer repetitions and trials, same
+        schema.
+    :param trials: override the E1 trial count (default 96, quick 8).
+    :param out_path: write the JSON report here; parent directories are
+        created.  ``None`` skips writing.
+    :returns: the validated report dictionary.
+    :raises ValueError: if the produced report fails its own schema check
+        (guards against schema drift at the source).
+    """
+    target = 0.08 if quick else 0.4
+    if trials is None:
+        trials = 8 if quick else 96
+    if trials < 1:
+        raise ValueError(
+            f"the e1 trial loop needs at least 1 trial, got {trials} "
+            "(a 0-trial loop times nothing and its speedup is noise)"
+        )
+
+    rng = random.Random(3)
+    tree_alice, tree_bob = make_instance(rng, _E1_UNIVERSE, 512, 0.5)
+    tree_protocol = TreeProtocol(_E1_UNIVERSE, 512)
+
+    clear_hot_caches()
+    micro = {
+        "engine_round_trip": _time_op(_op_engine_round_trip, target),
+        "batched_equality": _time_op(_op_batched_equality, target),
+        "tree_protocol": _time_op(
+            functools.partial(_op_tree_protocol, tree_protocol, tree_alice, tree_bob, 0),
+            target,
+        ),
+        "bit_codec_gamma": _time_op(_op_bit_codec_gamma, target),
+        "bit_codec_uint": _time_op(_op_bit_codec_uint, target),
+    }
+
+    report: Dict[str, Any] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": SUITE_NAME,
+        "created_unix": time.time(),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count() or 1,
+        },
+        "config": {"workers": workers, "quick": quick},
+        "micro": micro,
+        "e1_trial_loop": _e1_trial_loop(workers, trials),
+    }
+
+    problems = validate_bench_report(report)
+    if problems:
+        raise ValueError(
+            "benchmark report failed its own schema: " + "; ".join(problems)
+        )
+
+    if out_path is not None:
+        path = Path(out_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report

@@ -1,0 +1,46 @@
+"""Control surface for the library's hot-path caches.
+
+The memoized hot paths live next to the code they accelerate
+(:mod:`repro.hashing.primes`, :mod:`repro.hashing.pairwise`,
+:mod:`repro.hashing.families`, :mod:`repro.util.rng`,
+:mod:`repro.protocols.fingerprint`) and register themselves with
+:mod:`repro.util.hotcache` at import time.  This module is the public face:
+
+* :func:`hot_caches_disabled` -- context manager that clears and bypasses
+  every cache inside the block.  The microbenchmarks use it to time the
+  seed-equivalent uncached baseline against the cached paths.
+* :func:`clear_hot_caches` -- drop all memoized entries (memory hygiene in
+  long-running processes; measurement hygiene between benchmark phases).
+* :func:`hot_cache_stats` -- per-cache hit/miss/size counters, handy for
+  verifying a workload actually exercises the caches.
+
+All cached functions are pure, so none of this ever changes results --
+only wall time and memory.  The caches are per-process: forked worker
+processes inherit the parent's warm entries, spawned workers start cold,
+and either way the computed values are identical.
+"""
+
+from __future__ import annotations
+
+from repro.util import hotcache
+
+# Import the cache-owning modules for their registration side effects, so
+# `hot_cache_stats()` is complete no matter which parts of the library the
+# caller has touched.
+import repro.hashing.families  # noqa: F401
+import repro.hashing.pairwise  # noqa: F401
+import repro.hashing.primes  # noqa: F401
+import repro.protocols.fingerprint  # noqa: F401
+import repro.util.rng  # noqa: F401
+
+__all__ = [
+    "hot_caches_disabled",
+    "clear_hot_caches",
+    "hot_cache_stats",
+    "hot_cache_names",
+]
+
+hot_caches_disabled = hotcache.disabled
+clear_hot_caches = hotcache.clear_all
+hot_cache_stats = hotcache.stats
+hot_cache_names = hotcache.registered_names

@@ -1,0 +1,130 @@
+"""The ``BENCH_core.json`` schema and its validator.
+
+``BENCH_core.json`` is the repo's perf trajectory: one file per commit (or
+CI run) with comparable numbers, so a regression between PRs is a diff of
+two JSON files rather than an archaeology project.  The schema is versioned
+and validated hand-rolled (no external jsonschema dependency); CI runs the
+validator against every freshly produced file and fails on drift.
+
+Top-level document::
+
+    {
+      "schema_version": 1,
+      "suite": "repro.perf.core",
+      "created_unix": 1754000000.0,
+      "host": {"python": "3.11.7", "platform": "...", "cpu_count": 1},
+      "config": {"workers": 4, "quick": false},
+      "micro": {"<name>": {"ops_per_s": ..., "wall_s": ..., "iterations": ...}},
+      "e1_trial_loop": {
+        "trials": ..., "k": ..., "rounds": ...,
+        "serial_uncached_s": ...,   # seed-equivalent baseline (caches bypassed)
+        "serial_cached_s": ...,     # hot caches on, workers=1
+        "parallel_s": ...,          # hot caches on, executor with `workers`
+        "workers": ...,
+        "speedup_vs_serial": ...,   # serial_uncached_s / parallel_s
+        "speedup_cached_only": ..., # serial_uncached_s / serial_cached_s
+        "bit_identical": true,      # serial vs parallel counters compared
+        "counters_sha256": "..."    # fingerprint of the (bits, messages) list
+      }
+    }
+
+Comparing runs across PRs: ratios within one file (the ``speedup_*``
+fields, ``ops_per_s`` between two commits on the same machine) are
+meaningful; absolute seconds across different machines are not.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["BENCH_SCHEMA_VERSION", "SUITE_NAME", "validate_bench_report"]
+
+BENCH_SCHEMA_VERSION = 1
+SUITE_NAME = "repro.perf.core"
+
+_MICRO_FIELDS = {"ops_per_s": float, "wall_s": float, "iterations": int}
+_E1_FIELDS = {
+    "trials": int,
+    "k": int,
+    "rounds": int,
+    "serial_uncached_s": float,
+    "serial_cached_s": float,
+    "parallel_s": float,
+    "workers": int,
+    "speedup_vs_serial": float,
+    "speedup_cached_only": float,
+    "bit_identical": bool,
+    "counters_sha256": str,
+}
+_HOST_FIELDS = {"python": str, "platform": str, "cpu_count": int}
+_CONFIG_FIELDS = {"workers": int, "quick": bool}
+
+#: Microbenchmarks every report must contain (the suite may add more).
+REQUIRED_MICRO = (
+    "engine_round_trip",
+    "batched_equality",
+    "tree_protocol",
+    "bit_codec_gamma",
+    "bit_codec_uint",
+)
+
+
+def _check_fields(
+    errors: List[str], where: str, section: Any, fields: Dict[str, type]
+) -> None:
+    if not isinstance(section, dict):
+        errors.append(f"{where}: expected object, got {type(section).__name__}")
+        return
+    for name, expected in fields.items():
+        if name not in section:
+            errors.append(f"{where}.{name}: missing")
+            continue
+        value = section[name]
+        if expected is float:
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        elif expected is int:
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        else:
+            ok = isinstance(value, expected)
+        if not ok:
+            errors.append(
+                f"{where}.{name}: expected {expected.__name__}, "
+                f"got {type(value).__name__}"
+            )
+
+
+def validate_bench_report(report: Any) -> List[str]:
+    """Validate a parsed ``BENCH_core.json`` document.
+
+    :returns: a list of human-readable problems; empty means valid.
+    """
+    errors: List[str] = []
+    if not isinstance(report, dict):
+        return [f"top level: expected object, got {type(report).__name__}"]
+
+    if report.get("schema_version") != BENCH_SCHEMA_VERSION:
+        errors.append(
+            f"schema_version: expected {BENCH_SCHEMA_VERSION}, "
+            f"got {report.get('schema_version')!r}"
+        )
+    if report.get("suite") != SUITE_NAME:
+        errors.append(f"suite: expected {SUITE_NAME!r}, got {report.get('suite')!r}")
+    created = report.get("created_unix")
+    if not isinstance(created, (int, float)) or isinstance(created, bool):
+        errors.append("created_unix: missing or not a number")
+
+    _check_fields(errors, "host", report.get("host"), _HOST_FIELDS)
+    _check_fields(errors, "config", report.get("config"), _CONFIG_FIELDS)
+
+    micro = report.get("micro")
+    if not isinstance(micro, dict):
+        errors.append("micro: missing or not an object")
+    else:
+        for required in REQUIRED_MICRO:
+            if required not in micro:
+                errors.append(f"micro.{required}: missing")
+        for name, entry in micro.items():
+            _check_fields(errors, f"micro.{name}", entry, _MICRO_FIELDS)
+
+    _check_fields(errors, "e1_trial_loop", report.get("e1_trial_loop"), _E1_FIELDS)
+    return errors

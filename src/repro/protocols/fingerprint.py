@@ -26,9 +26,11 @@ makes "fingerprints agree implies values agree w.h.p." sound.
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 from typing import Any
 
 from repro.hashing.primes import next_prime
+from repro.util import hotcache
 from repro.util.bits import BitString
 from repro.util.rng import RandomStream
 
@@ -48,16 +50,7 @@ def _encode_length(length: int) -> bytes:
             return bytes(out)
 
 
-def canonical_bytes(value: Any) -> bytes:
-    """Serialize a value unambiguously (equal values <=> equal bytes).
-
-    Supported: nonnegative ``int``, ``bytes``, ``str``, ``BitString``,
-    ``None``, ``bool``, and (nested) ``tuple`` / ``list`` / ``set`` /
-    ``frozenset`` of supported values.  Sets are serialized in sorted order
-    of their members' serializations, so set equality maps to byte equality.
-    Tagged and length-prefixed, so e.g. ``(1, 2)`` and ``(12,)`` cannot
-    collide.
-    """
+def _canonical_bytes_impl(value: Any) -> bytes:
     if value is None:
         return b"N"
     if isinstance(value, bool):
@@ -84,6 +77,40 @@ def canonical_bytes(value: Any) -> bytes:
         body = b"".join(parts)
         return b"F" + _encode_length(len(parts)) + _encode_length(len(body)) + body
     raise TypeError(f"canonical_bytes does not support {type(value).__name__}")
+
+
+# typed=True is load-bearing: lru_cache keys compare with ==, and
+# True == 1 even though their serializations differ (b"B1" vs the
+# I-tagged form), so an untyped cache would conflate them.
+_canonical_bytes_cached = hotcache.register(
+    "protocols.fingerprint.canonical_bytes",
+    lru_cache(maxsize=1 << 16, typed=True)(_canonical_bytes_impl),
+)
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Serialize a value unambiguously (equal values <=> equal bytes).
+
+    Supported: nonnegative ``int``, ``bytes``, ``str``, ``BitString``,
+    ``None``, ``bool``, and (nested) ``tuple`` / ``list`` / ``set`` /
+    ``frozenset`` of supported values.  Sets are serialized in sorted order
+    of their members' serializations, so set equality maps to byte equality.
+    Tagged and length-prefixed, so e.g. ``(1, 2)`` and ``(12,)`` cannot
+    collide.
+
+    Hashable values are memoized (equality tests fingerprint the same hash
+    values and small tuples over and over); unhashable containers fall
+    through to the direct implementation, whose recursion still benefits
+    from cached leaves.
+    """
+    if hotcache.enabled():
+        try:
+            return _canonical_bytes_cached(value)
+        except TypeError:
+            # Unhashable (list / set) -- serialize directly.  Unsupported
+            # types also land here and re-raise from the impl below.
+            pass
+    return _canonical_bytes_impl(value)
 
 
 class Fingerprinter:

@@ -187,8 +187,10 @@ class BitWriter:
             raise ValueError(f"gamma code requires value >= 0, got {value}")
         shifted = value + 1
         width = shifted.bit_length()
-        self.write_uint(0, width - 1)
-        self.write_uint(shifted, width)
+        # Fast path: the (width - 1) leading zeros and the payload are one
+        # shift-or on the backing integer instead of two write_uint calls.
+        self._value = (self._value << (2 * width - 1)) | shifted
+        self._length += 2 * width - 1
 
     def finish(self) -> BitString:
         """Return the accumulated bits as an immutable :class:`BitString`."""
@@ -211,11 +213,12 @@ class BitReader:
         self._pos = 0
 
     def read_bit(self) -> int:
-        if self._pos >= len(self._bits):
+        bits = self._bits
+        remaining = len(bits) - self._pos
+        if remaining <= 0:
             raise ValueError("BitReader: read past end of message")
-        bit = self._bits[self._pos]
         self._pos += 1
-        return bit
+        return (bits.value >> (remaining - 1)) & 1
 
     def read_uint(self, width: int) -> int:
         """Read ``width`` bits as a big-endian unsigned integer."""
@@ -236,11 +239,24 @@ class BitReader:
         return value
 
     def read_gamma(self) -> int:
-        """Read one Elias-gamma-coded nonnegative integer."""
-        zeros = 0
-        while self.read_bit() == 0:
-            zeros += 1
-        # The leading 1 already consumed is the top bit of the payload.
+        """Read one Elias-gamma-coded nonnegative integer.
+
+        The run of leading zeros is counted in one step from the backing
+        integer (``remaining - bit_length`` of the unread suffix) instead
+        of a bit-by-bit loop -- gamma headers are on every framed message,
+        so this is a protocol-wide hot path.
+        """
+        bits = self._bits
+        remaining = len(bits) - self._pos
+        if remaining <= 0:
+            raise ValueError("BitReader: read past end of message")
+        suffix = bits.value & ((1 << remaining) - 1)
+        zeros = remaining - suffix.bit_length()
+        if zeros >= remaining:
+            # All-zero suffix: the terminating 1 bit never arrives.
+            raise ValueError("BitReader: read past end of message")
+        self._pos += zeros + 1
+        # The leading 1 just consumed is the top bit of the payload.
         rest = self.read_uint(zeros)
         return ((1 << zeros) | rest) - 1
 

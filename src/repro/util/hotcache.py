@@ -1,0 +1,111 @@
+"""Registry and kill-switch for the library's hot-path caches.
+
+Several pure functions sit on the per-trial hot path (primality testing,
+prime search, hash-parameter setup, stream-seed derivation, canonical
+serialization) and are memoized with :func:`functools.lru_cache`.  The
+caches are *semantically invisible* -- every cached function is a pure
+function of its arguments -- but benchmarks need to measure the uncached
+baseline, and long-running services may want to bound or reset cache
+memory.  This module is the single control surface:
+
+* modules that add an ``lru_cache`` to a hot function call
+  :func:`register` at import time;
+* the cached wrappers consult :func:`enabled` and fall through to the
+  uncached implementation while :func:`disabled` is active;
+* :func:`clear_all` / :func:`stats` reset and introspect every registered
+  cache at once.
+
+``repro.perf.cache`` re-exports this surface under the public API; keeping
+the state here (a leaf module with no repro dependencies) avoids import
+cycles between :mod:`repro.hashing` and :mod:`repro.perf`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, Iterator
+
+__all__ = [
+    "register",
+    "enabled",
+    "disabled",
+    "clear_all",
+    "stats",
+    "registered_names",
+]
+
+# name -> the lru_cache-wrapped callable (exposes cache_clear/cache_info).
+_REGISTRY: Dict[str, Callable] = {}
+
+
+class _State:
+    """Mutable on/off switch shared by every cached wrapper."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_STATE = _State()
+
+
+def register(name: str, cached_fn: Callable) -> Callable:
+    """Record a cache under ``name`` (module-qualified) and return it.
+
+    Called once at import time by the module that owns the cache; the
+    returned function is the same object, so this composes as
+    ``cached = register("mod.fn", lru_cache()(impl))``.
+    """
+    if not hasattr(cached_fn, "cache_clear"):
+        raise TypeError(f"{name}: registered object has no cache_clear()")
+    _REGISTRY[name] = cached_fn
+    return cached_fn
+
+
+def enabled() -> bool:
+    """True while hot-path caches should be consulted (the default)."""
+    return _STATE.enabled
+
+
+@contextlib.contextmanager
+def disabled() -> Iterator[None]:
+    """Context manager: bypass every registered cache inside the block.
+
+    Entering also clears the caches, so timings taken inside the block
+    measure the genuinely uncached code path; the caches re-enable (empty)
+    on exit.  Used by the perf microbenchmarks to time the seed-equivalent
+    baseline.  Not thread-safe: toggling is process-global, so don't run
+    measurements concurrently with other work.
+    """
+    _STATE.enabled = False
+    clear_all()
+    try:
+        yield
+    finally:
+        _STATE.enabled = True
+
+
+def clear_all() -> None:
+    """Empty every registered cache (memory reset / measurement hygiene)."""
+    for cached_fn in _REGISTRY.values():
+        cached_fn.cache_clear()
+
+
+def stats() -> Dict[str, Dict[str, int]]:
+    """Snapshot ``cache_info()`` for every registered cache, by name."""
+    report: Dict[str, Dict[str, int]] = {}
+    for name, cached_fn in sorted(_REGISTRY.items()):
+        info = cached_fn.cache_info()
+        report[name] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "maxsize": info.maxsize,
+            "currsize": info.currsize,
+        }
+    return report
+
+
+def registered_names() -> list:
+    """The sorted names of all registered caches."""
+    return sorted(_REGISTRY)

@@ -25,18 +25,35 @@ from __future__ import annotations
 
 import hashlib
 import random
+from functools import lru_cache
 from typing import Iterator
 
+from repro.util import hotcache
 from repro.util.bits import BitString
 
 __all__ = ["SharedRandomness", "PrivateRandomness"]
 
 
-def _derive_seed(seed: int, label: str) -> int:
-    """Derive a stream seed from a master seed and a label, collision-free
-    for all practical purposes (SHA-256 of the pair)."""
+def _derive_seed_impl(seed: int, label: str) -> int:
     digest = hashlib.sha256(f"{seed}:{label}".encode("utf-8")).digest()
     return int.from_bytes(digest[:16], "big")
+
+
+_derive_seed_cached = hotcache.register(
+    "util.rng.derive_seed", lru_cache(maxsize=1 << 16)(_derive_seed_impl)
+)
+
+
+def _derive_seed(seed: int, label: str) -> int:
+    """Derive a stream seed from a master seed and a label, collision-free
+    for all practical purposes (SHA-256 of the pair).
+
+    Memoized (bounded): both parties derive every shared label once per
+    run, so the second derivation is always a cache hit.
+    """
+    if hotcache.enabled():
+        return _derive_seed_cached(seed, label)
+    return _derive_seed_impl(seed, label)
 
 
 class RandomStream:

@@ -13,17 +13,24 @@ uniform random sets:
   planted common core and per-player noise.
 """
 
-from repro.workloads.multiparty import MultipartySpec, generate_multiparty
+from repro.workloads.multiparty import (
+    MultipartySpec,
+    generate_multiparty,
+    make_multiparty_instance,
+)
 from repro.workloads.twoparty import (
     Distribution,
     WorkloadSpec,
     generate_pair,
+    make_instance,
 )
 
 __all__ = [
     "Distribution",
     "WorkloadSpec",
     "generate_pair",
+    "make_instance",
     "MultipartySpec",
     "generate_multiparty",
+    "make_multiparty_instance",
 ]

@@ -12,7 +12,7 @@ import random
 from dataclasses import dataclass
 from typing import FrozenSet, List
 
-__all__ = ["MultipartySpec", "generate_multiparty"]
+__all__ = ["MultipartySpec", "generate_multiparty", "make_multiparty_instance"]
 
 
 @dataclass(frozen=True)
@@ -66,4 +66,27 @@ def generate_multiparty(
         noise = elements[cursor : cursor + noise_per_player]
         cursor += noise_per_player
         sets.append(frozenset(common + noise))
+    return sets
+
+
+def make_multiparty_instance(
+    rng: random.Random,
+    universe_size: int,
+    set_size: int,
+    num_players: int,
+    common_size: int,
+) -> List[FrozenSet[int]]:
+    """``m`` player sets sharing a planted common core, from a caller-owned
+    RNG.
+
+    The benchmark harness's multiparty generator, hoisted here as the single
+    source of truth (noise elements may coincide across players, so the true
+    intersection can exceed the planted core by chance; use
+    :func:`generate_multiparty` for an exact core).
+    """
+    common = set(rng.sample(range(universe_size), common_size))
+    sets = []
+    for _ in range(num_players):
+        extra = set(rng.sample(range(universe_size), set_size - common_size))
+        sets.append(frozenset(common | extra))
     return sets

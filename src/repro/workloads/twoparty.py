@@ -21,10 +21,17 @@ from __future__ import annotations
 
 import enum
 import random
+import zlib
 from dataclasses import dataclass
 from typing import FrozenSet, Iterator, List, Tuple
 
-__all__ = ["Distribution", "WorkloadSpec", "generate_pair", "generate_stream"]
+__all__ = [
+    "Distribution",
+    "WorkloadSpec",
+    "generate_pair",
+    "generate_stream",
+    "make_instance",
+]
 
 
 class Distribution(enum.Enum):
@@ -102,19 +109,60 @@ def _draw_distinct(rng: random.Random, spec: WorkloadSpec, count: int) -> List[i
     raise AssertionError(f"unhandled distribution {spec.distribution}")
 
 
+def _spec_fingerprint(spec: WorkloadSpec) -> int:
+    """A stable 32-bit fingerprint of a spec.
+
+    Deliberately *not* ``hash(spec)``: enum members hash through their name
+    string, and string hashing is randomized per process (PYTHONHASHSEED),
+    which would make instances differ between a parent and a spawned worker
+    and between repeated invocations.  CRC32 of the canonical repr is
+    stable everywhere, which is what lets the parallel trial executor
+    guarantee bit-identical runs across processes.
+    """
+    key = (
+        f"{spec.universe_size}:{spec.set_size}:{spec.overlap_fraction!r}:"
+        f"{spec.distribution.value}"
+    )
+    return zlib.crc32(key.encode("utf-8"))
+
+
 def generate_pair(
     spec: WorkloadSpec, seed: int
 ) -> Tuple[FrozenSet[int], FrozenSet[int]]:
     """Draw one seeded instance ``(S, T)`` with
     ``|S| = |T| = spec.set_size`` and
     ``|S n T| = round(overlap_fraction * set_size)``."""
-    rng = random.Random((seed << 16) ^ hash(spec) & 0xFFFFFFFF)
+    rng = random.Random((seed << 16) ^ _spec_fingerprint(spec))
     overlap = int(round(spec.overlap_fraction * spec.set_size))
     needed = 2 * spec.set_size - overlap
     elements = _draw_distinct(rng, spec, needed)
     common = elements[:overlap]
     s_only = elements[overlap : spec.set_size]
     t_only = elements[spec.set_size :]
+    return frozenset(common + s_only), frozenset(common + t_only)
+
+
+def make_instance(
+    rng: random.Random,
+    universe_size: int,
+    set_size: int,
+    overlap_fraction: float,
+) -> Tuple[FrozenSet[int], FrozenSet[int]]:
+    """Build ``(S, T)`` with ``|S| = |T| = set_size`` and
+    ``|S n T| = round(overlap_fraction * set_size)`` from a caller-owned RNG.
+
+    This is the uniform-instance generator shared by the test suite
+    (``tests/conftest.py``) and the benchmark harness
+    (``benchmarks/_harness.py``) -- the single source of truth for what "a
+    random instance with planted overlap" means.  Callers that want
+    non-uniform element placement use :class:`WorkloadSpec` +
+    :func:`generate_pair` instead.
+    """
+    overlap = int(round(overlap_fraction * set_size))
+    sample = rng.sample(range(universe_size), 2 * set_size - overlap)
+    common = sample[:overlap]
+    s_only = sample[overlap:set_size]
+    t_only = sample[set_size:]
     return frozenset(common + s_only), frozenset(common + t_only)
 
 

@@ -13,27 +13,15 @@ Workload conventions:
 from __future__ import annotations
 
 import random
-from typing import FrozenSet, Tuple
 
 import pytest
 
 from repro.util.rng import SharedRandomness
 
-
-def make_instance(
-    rng: random.Random,
-    universe_size: int,
-    set_size: int,
-    overlap_fraction: float,
-) -> Tuple[FrozenSet[int], FrozenSet[int]]:
-    """Build ``(S, T)`` with ``|S| = |T| = set_size`` and
-    ``|S n T| ~= overlap_fraction * set_size``."""
-    overlap = int(round(overlap_fraction * set_size))
-    sample = rng.sample(range(universe_size), 2 * set_size - overlap)
-    common = sample[:overlap]
-    s_only = sample[overlap:set_size]
-    t_only = sample[set_size:]
-    return frozenset(common + s_only), frozenset(common + t_only)
+# The canonical planted-overlap instance generator lives in repro.workloads
+# (shared with benchmarks/_harness.py); re-exported so tests keep doing
+# ``from conftest import make_instance``.
+from repro.workloads import make_instance  # noqa: F401
 
 
 @pytest.fixture

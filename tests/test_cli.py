@@ -151,3 +151,37 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+
+class TestBench:
+    def test_quick_bench_writes_valid_report(self, tmp_path):
+        import json
+
+        from repro.perf.schema import validate_bench_report
+
+        out_path = tmp_path / "BENCH_core.json"
+        code, output = run_cli(
+            ["bench", "--quick", "--trials", "4", "--workers", "2",
+             "--out", str(out_path)]
+        )
+        assert code == 0
+        assert "bit_identical=True" in output
+        report = json.loads(out_path.read_text(encoding="utf-8"))
+        assert validate_bench_report(report) == []
+
+    def test_validate_accepts_good_report(self, tmp_path):
+        out_path = tmp_path / "BENCH_core.json"
+        run_cli(["bench", "--quick", "--trials", "2", "--workers", "1",
+                 "--out", str(out_path)])
+        code, output = run_cli(["bench", "--validate", str(out_path)])
+        assert code == 0
+        assert "OK" in output
+
+    def test_validate_rejects_drifted_report(self, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema_version": 99}), encoding="utf-8")
+        code, output = run_cli(["bench", "--validate", str(bad)])
+        assert code == 1
+        assert "schema_version" in output

@@ -93,3 +93,43 @@ class TestRandomPrime:
     def test_interval_without_prime(self):
         with pytest.raises(ValueError):
             random_prime(24, 28, SharedRandomness(1).stream("p"))
+
+
+class TestHotCacheAgreement:
+    """The lru_cache layer on is_prime/next_prime is pure perf: cached and
+    uncached answers must agree everywhere (satellite regression for the
+    repro.perf hot-path caching)."""
+
+    def test_is_prime_cached_matches_uncached_sweep(self):
+        from repro.perf import clear_hot_caches, hot_caches_disabled
+
+        candidates = list(range(2, 2000)) + [
+            1 << 13, (1 << 13) + 1, 104_729, 104_730, 2**31 - 1
+        ]
+        clear_hot_caches()
+        cached = [is_prime(candidate) for candidate in candidates]
+        with hot_caches_disabled():
+            uncached = [is_prime(candidate) for candidate in candidates]
+        assert cached == uncached
+        assert cached[:4] == [True, True, False, True]  # 2, 3, 4, 5
+
+    def test_next_prime_cached_matches_uncached_sweep(self):
+        from repro.perf import clear_hot_caches, hot_caches_disabled
+
+        starts = [2, 3, 10, 100, 1000, 104_728, 1 << 16]
+        clear_hot_caches()
+        cached = [next_prime(start) for start in starts]
+        with hot_caches_disabled():
+            uncached = [next_prime(start) for start in starts]
+        assert cached == uncached
+        for start, prime in zip(starts, cached):
+            assert prime >= start and is_prime(prime)
+
+    def test_cache_stats_report_hits(self):
+        from repro.perf import clear_hot_caches, hot_cache_stats
+
+        clear_hot_caches()
+        for _ in range(3):
+            is_prime(104_729)
+        stats = hot_cache_stats()["hashing.primes.is_prime"]
+        assert stats["hits"] >= 2

@@ -1,0 +1,302 @@
+"""Tests for the deterministic parallel trial executor (repro.perf).
+
+The load-bearing property is bit-exactness: a trial run must produce
+identical protocol outputs and communication counters whether it executes
+serially, on threads, or across processes -- otherwise ``REPRO_WORKERS``
+would silently change experiment tables.  The protocol-level checks here
+run real ``TreeProtocol`` and ``SqrtKProtocol`` trials both ways and
+compare every counter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_instance
+from repro.perf import (
+    TrialFailure,
+    derive_seed,
+    hot_cache_names,
+    hot_caches_disabled,
+    resolve_workers,
+    run_trials,
+)
+from repro.perf.schema import validate_bench_report
+from repro.util.rng import SharedRandomness
+
+
+# ---------------------------------------------------------------------------
+# seed schedule
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, 3) == derive_seed(7, 3)
+
+    def test_collision_free_over_10k_indices(self):
+        seeds = {derive_seed(0, index) for index in range(10_000)}
+        assert len(seeds) == 10_000
+
+    def test_roots_are_independent(self):
+        a = [derive_seed(0, index) for index in range(100)]
+        b = [derive_seed(1, index) for index in range(100)]
+        assert not set(a) & set(b)
+
+    def test_fits_in_63_bits(self):
+        for index in range(100):
+            assert 0 <= derive_seed(123, index) < 1 << 63
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert resolve_workers(2) == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+
+# ---------------------------------------------------------------------------
+# executor mechanics (cheap trial functions)
+
+
+def _square(seed: int) -> int:
+    return seed * seed
+
+
+def _fail_on_odd(seed: int) -> int:
+    if seed % 2:
+        raise ValueError(f"odd seed {seed}")
+    return seed
+
+
+class TestRunTrials:
+    def test_explicit_seeds_used_verbatim(self):
+        run = run_trials(_square, [5, 3, 9], workers=1)
+        assert run.values() == [25, 9, 81]
+        assert [outcome.seed for outcome in run.outcomes] == [5, 3, 9]
+
+    def test_count_uses_derived_schedule(self):
+        run = run_trials(_square, 4, workers=1, root_seed=42)
+        expected = [derive_seed(42, index) ** 2 for index in range(4)]
+        assert run.values() == expected
+        assert run.root_seed == 42
+
+    def test_serial_and_process_agree(self):
+        serial = run_trials(_square, 20, workers=1)
+        parallel = run_trials(_square, 20, workers=4)
+        assert serial.values() == parallel.values()
+        assert serial.executor == "serial"
+        assert parallel.executor == "process"
+        assert parallel.workers == 4
+
+    def test_thread_executor_agrees(self):
+        serial = run_trials(_square, 12, workers=1)
+        threaded = run_trials(_square, 12, workers=3, executor="thread")
+        assert serial.values() == threaded.values()
+        assert threaded.executor == "thread"
+
+    def test_chunking_does_not_reorder(self):
+        run = run_trials(_square, [*range(17)], workers=4, chunk_size=2)
+        assert run.values() == [seed * seed for seed in range(17)]
+        assert run.chunk_size == 2
+
+    def test_closure_falls_back_to_threads(self):
+        offset = 7
+        run = run_trials(lambda seed: seed + offset, [1, 2, 3], workers=2)
+        assert run.values() == [8, 9, 10]
+        assert run.executor == "thread"
+        assert "not picklable" in run.fallback_reason
+
+    def test_failures_captured_per_trial(self):
+        run = run_trials(_fail_on_odd, [0, 1, 2, 3], workers=1)
+        assert [outcome.ok for outcome in run.outcomes] == [
+            True, False, True, False,
+        ]
+        assert "odd seed 1" in run.failures[0].error
+        assert run.values(strict=False) == [0, None, 2, None]
+
+    def test_strict_values_reraise_original_exception(self):
+        run = run_trials(_fail_on_odd, [0, 1], workers=1)
+        with pytest.raises(ValueError, match="odd seed 1"):
+            run.values()
+
+    def test_strict_values_reraise_across_processes(self):
+        run = run_trials(_fail_on_odd, [0, 1, 2, 3], workers=2)
+        with pytest.raises(ValueError, match="odd seed 1"):
+            run.values()
+
+    def test_trial_failure_when_not_transportable(self):
+        outcome = run_trials(_fail_on_odd, [1], workers=1).outcomes[0]
+        stripped = type(outcome)(
+            index=outcome.index,
+            seed=outcome.seed,
+            value=None,
+            error=outcome.error,
+            duration_s=outcome.duration_s,
+            exception=None,
+        )
+        run = run_trials(_square, [0], workers=1)
+        run.outcomes = [stripped]
+        with pytest.raises(TrialFailure, match="1 of the trials failed"):
+            run.values()
+
+    def test_timing_recorded(self):
+        run = run_trials(_square, 5, workers=1)
+        assert run.wall_time_s > 0
+        assert all(outcome.duration_s >= 0 for outcome in run.outcomes)
+        assert run.trial_time_s <= run.wall_time_s * 1.5 + 0.1
+
+    def test_zero_trials(self):
+        run = run_trials(_square, 0, workers=4)
+        assert run.values() == []
+        assert run.trials == 0
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            run_trials(_square, 2, executor="gpu")
+
+
+# ---------------------------------------------------------------------------
+# bit-exactness on real protocols
+
+
+def _tree_trial(seed: int):
+    from repro.core.tree_protocol import TreeProtocol
+
+    import random
+
+    rng = random.Random(seed)
+    alice, bob = make_instance(rng, 1 << 20, 64, 0.5)
+    outcome = TreeProtocol(1 << 20, 64).run(alice, bob, seed=seed)
+    return (
+        outcome.total_bits,
+        outcome.num_messages,
+        sorted(outcome.alice_output),
+        outcome.correct_for(alice, bob),
+    )
+
+
+def _sqrt_k_trial(seed: int):
+    from repro.protocols.sqrt_k import SqrtKProtocol
+
+    import random
+
+    rng = random.Random(seed)
+    alice, bob = make_instance(rng, 1 << 18, 32, 0.5)
+    outcome = SqrtKProtocol(1 << 18, 32).run(alice, bob, seed=seed)
+    return (
+        outcome.total_bits,
+        outcome.num_messages,
+        sorted(outcome.alice_output),
+        outcome.correct_for(alice, bob),
+    )
+
+
+@pytest.mark.parametrize(
+    "trial_fn", [_tree_trial, _sqrt_k_trial], ids=["tree", "sqrt_k"]
+)
+def test_protocol_counters_identical_serial_vs_parallel(trial_fn):
+    serial = run_trials(trial_fn, 8, workers=1, root_seed=99)
+    parallel = run_trials(trial_fn, 8, workers=4, root_seed=99)
+    assert parallel.executor == "process"
+    assert serial.values() == parallel.values()
+
+
+def test_protocol_counters_identical_with_caches_disabled():
+    # Hot caches are a pure perf layer: disabling every registered cache
+    # must not move a single counter.
+    warm = run_trials(_tree_trial, 4, workers=1, root_seed=5).values()
+    with hot_caches_disabled():
+        cold = run_trials(_tree_trial, 4, workers=1, root_seed=5).values()
+    assert warm == cold
+    assert len(hot_cache_names()) >= 5
+
+
+def test_shared_randomness_streams_stable_across_modes():
+    # The substrate the protocols sample from must itself be scheduling
+    # independent.
+    def draws(seed: int):
+        stream = SharedRandomness(seed).stream("perf-test")
+        return [stream.uint_below(1 << 30) for _ in range(16)]
+
+    serial = run_trials(draws, 6, workers=1, root_seed=11).values()
+    threaded = run_trials(draws, 6, workers=3, executor="thread",
+                          root_seed=11).values()
+    assert serial == threaded
+
+
+# ---------------------------------------------------------------------------
+# benchmark report schema
+
+
+class TestBenchSchema:
+    def _minimal_report(self):
+        micro_entry = {"ops_per_s": 10.0, "wall_s": 0.1, "iterations": 1}
+        return {
+            "schema_version": 1,
+            "suite": "repro.perf.core",
+            "created_unix": 1754000000.0,
+            "host": {
+                "python": "3.11.7",
+                "platform": "linux",
+                "cpu_count": 1,
+            },
+            "config": {"workers": 4, "quick": True, "target_s": 0.08},
+            "micro": {
+                name: dict(micro_entry)
+                for name in (
+                    "engine_round_trip",
+                    "batched_equality",
+                    "tree_protocol",
+                    "bit_codec_gamma",
+                    "bit_codec_uint",
+                )
+            },
+            "e1_trial_loop": {
+                "trials": 8,
+                "k": 256,
+                "rounds": 2,
+                "serial_uncached_s": 1.0,
+                "serial_cached_s": 0.4,
+                "parallel_s": 0.4,
+                "workers": 4,
+                "speedup_vs_serial": 2.5,
+                "speedup_cached_only": 2.5,
+                "bit_identical": True,
+                "counters_sha256": "0" * 64,
+            },
+        }
+
+    def test_valid_report_passes(self):
+        assert validate_bench_report(self._minimal_report()) == []
+
+    def test_version_drift_detected(self):
+        report = self._minimal_report()
+        report["schema_version"] = 2
+        assert any("schema_version" in p for p in validate_bench_report(report))
+
+    def test_missing_micro_detected(self):
+        report = self._minimal_report()
+        del report["micro"]["tree_protocol"]
+        assert any("tree_protocol" in p for p in validate_bench_report(report))
+
+    def test_wrong_type_detected(self):
+        report = self._minimal_report()
+        report["e1_trial_loop"]["speedup_vs_serial"] = "fast"
+        assert any(
+            "speedup_vs_serial" in p for p in validate_bench_report(report)
+        )
+
+    def test_non_dict_rejected(self):
+        assert validate_bench_report([]) != []
