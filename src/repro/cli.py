@@ -148,6 +148,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="validate an existing report against the schema instead of running",
     )
+    bench.add_argument(
+        "--compare",
+        metavar="OLD_JSON",
+        default=None,
+        help="regression gate: compare the fresh report against this "
+        "baseline report and exit nonzero on regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed per-micro slowdown for --compare, percent "
+        "(default 10)",
+    )
+    bench.add_argument(
+        "--report",
+        metavar="NEW_JSON",
+        default=None,
+        help="with --compare: load the new-side report from this file "
+        "instead of running the benchmarks",
+    )
+    bench.add_argument(
+        "--compare-out",
+        metavar="PATH",
+        default=None,
+        help="with --compare: also write the comparison result as JSON",
+    )
     return parser
 
 
@@ -262,51 +289,102 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
+def _load_json_report(path: str, out):
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=out)
+        return None
+    except json.JSONDecodeError as exc:
+        print(f"{path}: not valid JSON ({exc})", file=out)
+        return None
+
+
 def _cmd_bench(args, out) -> int:
     import json
 
-    from repro.perf.schema import validate_bench_report
+    from repro.perf.schema import bench_report_warnings, validate_bench_report
 
     if args.validate is not None:
-        try:
-            with open(args.validate, "r", encoding="utf-8") as handle:
-                report = json.load(handle)
-        except OSError as exc:
-            print(f"cannot read {args.validate}: {exc}", file=out)
-            return 1
-        except json.JSONDecodeError as exc:
-            print(f"{args.validate}: not valid JSON ({exc})", file=out)
+        report = _load_json_report(args.validate, out)
+        if report is None:
             return 1
         problems = validate_bench_report(report)
         if problems:
             for problem in problems:
                 print(f"schema: {problem}", file=out)
             return 1
+        for warning in bench_report_warnings(report):
+            print(f"warning: {warning}", file=out)
         print(f"{args.validate}: OK (schema v{report['schema_version']})", file=out)
         return 0
 
-    from repro.perf.bench import run_core_benchmarks
-    from repro.perf.executor import resolve_workers
+    if args.report is not None and args.compare is None:
+        print("--report only makes sense together with --compare", file=out)
+        return 2
+    if args.tolerance is not None and args.compare is None:
+        print("--tolerance only makes sense together with --compare", file=out)
+        return 2
 
-    workers = (
-        args.workers if args.workers is not None else max(resolve_workers(), 4)
+    if args.report is not None:
+        report = _load_json_report(args.report, out)
+        if report is None:
+            return 1
+    else:
+        from repro.perf.bench import run_core_benchmarks
+        from repro.perf.executor import resolve_workers
+
+        workers = (
+            args.workers if args.workers is not None else max(resolve_workers(), 4)
+        )
+        report = run_core_benchmarks(
+            workers=workers,
+            quick=args.quick,
+            trials=args.trials,
+            out_path=args.out,
+        )
+        loop = report["e1_trial_loop"]
+        print(f"wrote {args.out}", file=out)
+        print(
+            f"e1 loop: {loop['trials']} trials, "
+            f"speedup {loop['speedup_vs_serial']:.2f}x vs serial-uncached "
+            f"({loop['speedup_cached_only']:.2f}x from caching alone), "
+            f"bit_identical={loop['bit_identical']}",
+            file=out,
+        )
+    for warning in bench_report_warnings(report):
+        print(f"warning: {warning}", file=out)
+
+    if args.compare is None:
+        return 0
+
+    from repro.perf.compare import (
+        DEFAULT_TOLERANCE_PCT,
+        compare_reports,
+        format_comparison,
     )
-    report = run_core_benchmarks(
-        workers=workers,
-        quick=args.quick,
-        trials=args.trials,
-        out_path=args.out,
+
+    baseline = _load_json_report(args.compare, out)
+    if baseline is None:
+        return 1
+    tolerance = (
+        args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE_PCT
     )
-    loop = report["e1_trial_loop"]
-    print(f"wrote {args.out}", file=out)
-    print(
-        f"e1 loop: {loop['trials']} trials, "
-        f"speedup {loop['speedup_vs_serial']:.2f}x vs serial-uncached "
-        f"({loop['speedup_cached_only']:.2f}x from caching alone), "
-        f"bit_identical={loop['bit_identical']}",
-        file=out,
-    )
-    return 0
+    try:
+        result = compare_reports(baseline, report, tolerance_pct=tolerance)
+    except ValueError as exc:
+        print(f"compare: {exc}", file=out)
+        return 2
+    print(format_comparison(result), file=out)
+    if args.compare_out is not None:
+        with open(args.compare_out, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.compare_out}", file=out)
+    return 0 if result["ok"] else 1
 
 
 def _cmd_render(args, out) -> int:

@@ -199,6 +199,10 @@ def run_two_party(
         ),
     }
     peers = {ALICE: BOB, BOB: ALICE}
+    # Hot path: every Send flows through these; bind them once.  Payloads
+    # are byte-backed BitStrings recorded and delivered by reference, so
+    # the engine never re-materializes message bytes per send.
+    record_send = record.record_send
 
     def advance(state: _PartyState, value: Any) -> None:
         """Resume the coroutine with ``value``; stash the next effect."""
@@ -229,7 +233,7 @@ def run_two_party(
                 continue
             effect = state.pending_effect
             if isinstance(effect, Send):
-                record.record_send(state.role, effect.payload)
+                record_send(state.role, effect.payload)
                 if (
                     max_total_bits is not None
                     and record.total_bits - budget_base > max_total_bits

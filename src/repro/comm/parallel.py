@@ -38,6 +38,59 @@ from repro.util.bits import BitReader, BitString, BitWriter
 __all__ = ["run_batched"]
 
 
+class _Slot:
+    """Book-keeping for one sub-coroutine: the pending effect it is blocked
+    on, plus a queue for chunks that arrived while it was not receiving.
+
+    A deliberately thin replacement for driving each instance through a
+    full :class:`~repro.multiparty.network.TwoPartyAdapter`: the combinator
+    resumes every sub-coroutine a handful of times per combined message,
+    so per-resume overhead multiplies by the batch size.
+    """
+
+    __slots__ = ("gen", "effect", "done", "output", "queue")
+
+    def __init__(self, gen: Generator) -> None:
+        self.gen = gen
+        self.done = False
+        self.output: Any = None
+        self.queue: List[BitString] = []
+        try:
+            self.effect = next(gen)
+        except StopIteration as stop:
+            self.done = True
+            self.output = stop.value
+            self.effect = None
+
+
+def _drain(slot: _Slot, sink: List[BitString]) -> None:
+    """Advance ``slot`` until it blocks on a Recv with an empty queue or
+    finishes; Send payloads append to ``sink``, queued chunks feed Recvs."""
+    gen = slot.gen
+    effect = slot.effect
+    queue = slot.queue
+    try:
+        while True:
+            if isinstance(effect, Send):
+                sink.append(effect.payload)
+                effect = gen.send(None)
+            elif isinstance(effect, Recv):
+                if queue:
+                    effect = gen.send(queue.pop(0))
+                else:
+                    slot.effect = effect
+                    return
+            else:
+                raise ProtocolViolation(
+                    f"batched sub-protocol yielded {effect!r}; "
+                    f"expected Send(...) or Recv()"
+                )
+    except StopIteration as stop:
+        slot.done = True
+        slot.output = stop.value
+        slot.effect = None
+
+
 def run_batched(
     ctx: PartyContext,
     coroutines: Sequence[Generator],
@@ -56,43 +109,38 @@ def run_batched(
         contract (sent during a receive round beyond buffering, or failed
         to finish within ``num_messages`` messages).
     """
-    # Imported lazily: the adapter lives with the multiparty machinery,
-    # which itself builds on repro.comm (import cycle otherwise).
-    from repro.multiparty.network import TwoPartyAdapter
-
-    adapters = [TwoPartyAdapter(coroutine) for coroutine in coroutines]
-    pending: List[List[BitString]] = [[] for _ in adapters]
+    slots = [_Slot(coroutine) for coroutine in coroutines]
+    # Sends produced in reaction to a receive belong to OUR next combined
+    # message; they buffer here until that round comes up.
+    pending: List[List[BitString]] = [[] for _ in slots]
 
     for round_index in range(num_messages):
         alice_sends = round_index % 2 == 0
         i_send = (ctx.role == "alice") == alice_sends
         if i_send:
             writer = BitWriter()
-            for index, adapter in enumerate(adapters):
-                chunks = pending[index] + adapter.step([])
-                pending[index] = []
-                writer.write_gamma(len(chunks))
-                for chunk in chunks:
-                    writer.write_gamma(len(chunk))
-                    writer.write_bits(chunk)
+            write_frame = writer.write_chunk_frame
+            for slot, chunks in zip(slots, pending):
+                if not slot.done:
+                    _drain(slot, chunks)
+                write_frame(chunks)
+                chunks.clear()
             yield Send(writer.finish())
         else:
             payload = yield Recv()
             reader = BitReader(payload)
-            for index, adapter in enumerate(adapters):
-                count = reader.read_gamma()
-                chunks = []
-                for _ in range(count):
-                    length = reader.read_gamma()
-                    chunks.append(BitString(reader.read_uint(length), length))
-                # Sends produced in reaction to a receive belong to OUR
-                # next combined message; buffer them.
-                pending[index].extend(adapter.step(chunks))
+            read_frame = reader.read_chunk_frame
+            for slot, buffered in zip(slots, pending):
+                chunks = read_frame()
+                if chunks:
+                    slot.queue.extend(chunks)
+                if slot.queue and not slot.done:
+                    _drain(slot, buffered)
             reader.expect_exhausted()
 
     outputs: List[Any] = []
-    for index, adapter in enumerate(adapters):
-        if not adapter.done:
+    for index, slot in enumerate(slots):
+        if not slot.done:
             raise ProtocolViolation(
                 f"batched sub-protocol {index} did not finish within "
                 f"{num_messages} messages"
@@ -102,5 +150,5 @@ def run_batched(
                 f"batched sub-protocol {index} has {len(pending[index])} "
                 f"unsent chunk(s) after the final round"
             )
-        outputs.append(adapter.output)
+        outputs.append(slot.output)
     return outputs

@@ -13,37 +13,57 @@ theorems bound:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.util.bits import BitString
 
 __all__ = ["Message", "Transcript"]
 
 
-@dataclass
 class Message:
     """One message: a maximal run of same-sender sends.
+
+    A slotted plain class rather than a dataclass: the engine constructs one
+    per round on every protocol run, so construction must stay a few
+    attribute stores.
 
     :param sender: the sending party's name (``"alice"`` / ``"bob"`` for
         two-party runs; player names in multiparty runs).
     :param chunks: the individual ``Send`` payloads merged into this message,
         in order.  Kept separate so decoders can consume them one logical
-        payload at a time.
+        payload at a time.  Append through :meth:`append_chunk` so the
+        running bit counter stays true; mutating ``chunks`` directly
+        desynchronizes it.
     """
 
-    sender: str
-    chunks: List[BitString] = field(default_factory=list)
+    __slots__ = ("sender", "chunks", "_num_bits")
+
+    def __init__(
+        self, sender: str, chunks: Optional[List[BitString]] = None
+    ) -> None:
+        self.sender = sender
+        self.chunks = [] if chunks is None else chunks
+        total = 0
+        for chunk in self.chunks:
+            total += len(chunk)
+        self._num_bits = total
+
+    def append_chunk(self, payload: BitString) -> None:
+        """Add one payload, maintaining the bit counter incrementally."""
+        self.chunks.append(payload)
+        self._num_bits += len(payload)
 
     @property
     def num_bits(self) -> int:
-        """Total bits in this message."""
-        return sum(len(chunk) for chunk in chunks_or_empty(self.chunks))
+        """Total bits in this message (O(1): maintained on append, not
+        recounted per access -- renderers and stats poll this per message)."""
+        return self._num_bits
 
-
-def chunks_or_empty(chunks: List[BitString]) -> List[BitString]:
-    """Tiny helper so ``Message.num_bits`` reads cleanly."""
-    return chunks
+    def __repr__(self) -> str:
+        return (
+            f"Message(sender={self.sender!r}, bits={self._num_bits}, "
+            f"chunks={len(self.chunks)})"
+        )
 
 
 class Transcript:
@@ -61,15 +81,30 @@ class Transcript:
         self._total_bits = 0
 
     def record_send(self, sender: str, payload: BitString) -> None:
-        """Record one ``Send`` effect by ``sender``."""
-        if self._messages and self._messages[-1].sender == sender:
-            self._messages[-1].chunks.append(payload)
+        """Record one ``Send`` effect by ``sender``.
+
+        The payload object is kept by reference (zero-copy) and every
+        counter -- per-message, per-sender, total -- is bumped
+        incrementally, so recording is O(1) per send regardless of how
+        long the transcript already is.
+        """
+        num_bits = len(payload)
+        messages = self._messages
+        if messages:
+            last = messages[-1]
+            if last.sender == sender:
+                # Inlined append_chunk: this branch is the single hottest
+                # line of transcript accounting.
+                last.chunks.append(payload)
+                last._num_bits += num_bits
+            else:
+                messages.append(Message(sender, [payload]))
         else:
-            self._messages.append(Message(sender=sender, chunks=[payload]))
-        self._bits_by_sender[sender] = self._bits_by_sender.get(sender, 0) + len(
-            payload
+            messages.append(Message(sender, [payload]))
+        self._bits_by_sender[sender] = (
+            self._bits_by_sender.get(sender, 0) + num_bits
         )
-        self._total_bits += len(payload)
+        self._total_bits += num_bits
 
     @property
     def messages(self) -> List[Message]:

@@ -14,6 +14,7 @@ constructed using only ``O(log n)`` random bits").
 
 from __future__ import annotations
 
+import random as _random
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterable, List
@@ -75,6 +76,23 @@ class PairwiseHash:
         """Hash a collection, preserving order (duplicates kept)."""
         return [self(element) for element in elements]
 
+    def image_pairs(self, elements: Iterable[int]) -> List[tuple]:
+        """``[(h(x), x)]`` with the parameters hoisted out of the loop.
+
+        The bulk path under the tree protocol's per-leaf hash exchanges,
+        which evaluate a fresh function on every element of every failed
+        leaf: one attribute fetch per parameter instead of four per
+        element.  Skips the per-element range check -- callers pass sets
+        they already validated against the universe.
+        """
+        mult = self.mult
+        shift = self.shift
+        prime = self.prime
+        range_size = self.range_size
+        return [
+            ((mult * x + shift) % prime % range_size, x) for x in elements
+        ]
+
     @property
     def output_bits(self) -> int:
         """Wire width of one hash value: ``ceil_log2(range_size)`` bits."""
@@ -121,6 +139,27 @@ def _modulus_for(universe_size: int, range_size: int) -> int:
     return _modulus_impl(universe_size, range_size)
 
 
+def _sample_impl(
+    derived_seed: int, universe_size: int, range_size: int
+) -> PairwiseHash:
+    # Must draw exactly as sample_pairwise_hash does on a fresh stream:
+    # uint_below is randrange on the stream's seeded twister.
+    rng = _random.Random(derived_seed)
+    prime = _modulus_for(universe_size, range_size)
+    return PairwiseHash(
+        universe_size=universe_size,
+        range_size=range_size,
+        prime=prime,
+        mult=1 + rng.randrange(prime - 1),
+        shift=rng.randrange(prime),
+    )
+
+
+_sample_cached = hotcache.register(
+    "hashing.pairwise.sample", lru_cache(maxsize=1 << 16)(_sample_impl)
+)
+
+
 def sample_pairwise_hash(
     universe_size: int, range_size: int, stream: RandomStream
 ) -> PairwiseHash:
@@ -130,6 +169,13 @@ def sample_pairwise_hash(
     obtain the same function -- the common-random-string idiom used
     throughout the protocols.
 
+    A fresh stream's draw is fully determined by ``(derived seed, universe,
+    range)``, so samples are served from a hot cache: protocols construct
+    thousands of throwaway streams purely to sample a hash function, and the
+    cache removes both the twister seeding and the prime search from that
+    path.  The skipped draws are replayed if the stream is used again, so
+    the coin sequence is bit-identical with caches on or off.
+
     :param universe_size: domain is ``[universe_size]``.
     :param range_size: codomain is ``[range_size]``.
     :param stream: source of the ``O(log universe_size)`` random bits.
@@ -138,6 +184,16 @@ def sample_pairwise_hash(
         raise ValueError(f"universe_size must be >= 1, got {universe_size}")
     if range_size < 1:
         raise ValueError(f"range_size must be >= 1, got {range_size}")
+    if hotcache.enabled() and stream.untouched:
+        sampled = _sample_cached(stream.derived_seed, universe_size, range_size)
+        prime = sampled.prime
+
+        def replay(rng):
+            rng.randrange(prime - 1)
+            rng.randrange(prime)
+
+        stream.skip_draws(replay)
+        return sampled
     prime = _modulus_for(universe_size, range_size)
     mult = 1 + stream.uint_below(prime - 1)
     shift = stream.uint_below(prime)

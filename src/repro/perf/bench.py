@@ -38,8 +38,9 @@ from repro.core.tree_protocol import TreeProtocol
 from repro.perf.cache import clear_hot_caches, hot_caches_disabled
 from repro.perf.executor import run_trials
 from repro.perf.schema import BENCH_SCHEMA_VERSION, SUITE_NAME, validate_bench_report
+from repro.comm.transcript import Transcript
 from repro.protocols.equality import run_equality
-from repro.util.bits import BitReader, BitWriter
+from repro.util.bits import BitReader, BitString, BitWriter
 from repro.workloads import make_instance
 
 __all__ = ["run_core_benchmarks", "DEFAULT_OUTPUT"]
@@ -78,10 +79,14 @@ def _uint_bits(value: int):
     return writer.finish()
 
 
+# Hoisted so the micro times the protocol machinery, not f-string assembly.
+_BATCHED_EQ_ARGS = [((index, index % 7), f"bench/eq/{index}") for index in range(32)]
+
+
 def _batched_equality_party(ctx: PartyContext):
     coroutines = [
-        run_equality(ctx, (index, index % 7), width=16, label=f"bench/eq/{index}")
-        for index in range(32)
+        run_equality(ctx, value, width=16, label=label)
+        for value, label in _BATCHED_EQ_ARGS
     ]
     verdicts = yield from run_batched(ctx, coroutines, num_messages=2)
     return verdicts
@@ -125,6 +130,54 @@ def _op_bit_codec_uint() -> None:
     reader.expect_exhausted()
 
 
+_BULK_RUN_VALUES = [(index * 2654435761) & 0xFFFFFF for index in range(4096)]
+
+
+def _op_bitwriter_bulk() -> None:
+    """Bulk message assembly: one 4096-value fixed-width run, write + read.
+
+    This is the shape under every sorted-hash-list exchange; the byte-backed
+    engine makes it O(total bits) where the big-int writer re-shifted the
+    whole prefix per append."""
+    writer = BitWriter()
+    writer.write_run(_BULK_RUN_VALUES, 24)
+    reader = BitReader(writer.finish())
+    reader.read_run(4096, 24)
+    reader.expect_exhausted()
+
+
+# Mixed widths on purpose: byte-aligned pieces exercise the buffer-join
+# path, the others the sub-byte cursor.
+_CONCAT_PIECES = [
+    BitString((index * 0x9E3779B1) & ((1 << width) - 1), width)
+    for index, width in enumerate([8, 24, 19, 32, 5, 16] * 85)
+]
+
+
+def _op_bitstring_concat() -> None:
+    """Chunk concatenation: 510 BitStrings streamed into one message."""
+    writer = BitWriter()
+    write_bits = writer.write_bits
+    for piece in _CONCAT_PIECES:
+        write_bits(piece)
+    writer.finish()
+
+
+_TRANSCRIPT_PAYLOAD = BitString(0xBEEF, 24)
+
+
+def _op_transcript_append() -> None:
+    """Transcript accounting: 2048 sends, alternating sender every 8, and a
+    final recount through the running counters."""
+    transcript = Transcript()
+    record_send = transcript.record_send
+    for index in range(2048):
+        record_send(
+            "alice" if (index >> 3) & 1 == 0 else "bob", _TRANSCRIPT_PAYLOAD
+        )
+    assert transcript.total_bits == 2048 * 24
+
+
 def _tree_trial(protocol: TreeProtocol, alice_set, bob_set, seed: int):
     """One E1-style trial: exact counters + correctness for one seed."""
     outcome = protocol.run(alice_set, bob_set, seed=seed)
@@ -133,6 +186,27 @@ def _tree_trial(protocol: TreeProtocol, alice_set, bob_set, seed: int):
         outcome.num_messages,
         outcome.correct_for(alice_set, bob_set),
     )
+
+
+def _host_facts() -> Dict[str, Any]:
+    """The host section: honest CPU counts.
+
+    ``cpu_count`` is the logical CPU count; ``cpu_count_affinity`` is how
+    many of them this process may actually schedule on (cgroup/affinity
+    pinning makes these differ on CI runners), which is the number any
+    parallel-speedup claim should be read against.
+    """
+    logical = os.cpu_count() or 1
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        affinity = logical
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": logical,
+        "cpu_count_affinity": affinity,
+    }
 
 
 # -- timing helpers -------------------------------------------------------
@@ -238,17 +312,16 @@ def run_core_benchmarks(
         ),
         "bit_codec_gamma": _time_op(_op_bit_codec_gamma, target),
         "bit_codec_uint": _time_op(_op_bit_codec_uint, target),
+        "bitwriter_bulk": _time_op(_op_bitwriter_bulk, target),
+        "bitstring_concat": _time_op(_op_bitstring_concat, target),
+        "transcript_append": _time_op(_op_transcript_append, target),
     }
 
     report: Dict[str, Any] = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "suite": SUITE_NAME,
         "created_unix": time.time(),
-        "host": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count() or 1,
-        },
+        "host": _host_facts(),
         "config": {"workers": workers, "quick": quick},
         "micro": micro,
         "e1_trial_loop": _e1_trial_loop(workers, trials),

@@ -1,0 +1,200 @@
+"""The bench regression gate: diff two ``BENCH_core.json`` reports.
+
+``repro bench --compare OLD.json`` runs (or loads) a fresh report and
+compares its microbenchmark throughputs against a committed baseline.  A
+micro *regresses* when its new ``ops_per_s`` falls more than the tolerance
+below the old value; a micro present in the baseline but missing from the
+new report regresses by definition (renaming a micro does not get to erase
+its history).  The E1 trial loop is gated on correctness, not speed: the
+new report must claim ``bit_identical`` and -- when both reports ran the
+same loop configuration -- reproduce the same ``counters_sha256``
+(identical trial counters across commits is the wire-format invariant the
+whole perf effort rides on).
+
+Throughput comparisons are only meaningful between runs on the same
+machine; the tolerance band exists because even same-machine runs wobble.
+CI uses a generous band (``--tolerance 25``) for its ``--quick`` smoke
+run; local full runs can afford a tighter one (default 10).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["compare_reports", "format_comparison", "DEFAULT_TOLERANCE_PCT"]
+
+#: Default allowed per-micro slowdown, percent.
+DEFAULT_TOLERANCE_PCT = 10.0
+
+#: E1 fields that identify "the same loop" for counters comparison.
+_E1_IDENTITY = ("trials", "k", "rounds")
+
+
+def compare_reports(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    *,
+    tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+) -> Dict[str, Any]:
+    """Compare two parsed bench reports; the old one is the baseline.
+
+    :param old: the baseline report (e.g. the committed ``BENCH_core.json``).
+    :param new: the candidate report.
+    :param tolerance_pct: allowed slowdown per micro, in percent of the old
+        throughput (``new_ops >= old_ops * (1 - tolerance_pct / 100)``
+        passes).
+    :returns: a JSON-serializable result::
+
+        {
+          "tolerance_pct": 10.0,
+          "ok": false,
+          "micro": [{"name", "old_ops_per_s", "new_ops_per_s",
+                     "ratio", "status"}, ...],   # status: ok|improved|
+                                                 # regressed|missing|new
+          "e1": [{"check", "status", "detail"}, ...],
+          "regressions": ["<human-readable>", ...],
+        }
+
+    :raises ValueError: if ``tolerance_pct`` is negative or >= 100.
+    """
+    if not 0 <= tolerance_pct < 100:
+        raise ValueError(
+            f"tolerance_pct must be in [0, 100), got {tolerance_pct}"
+        )
+    floor = 1.0 - tolerance_pct / 100.0
+    regressions: List[str] = []
+    micro_rows: List[Dict[str, Any]] = []
+
+    old_micro = old.get("micro") or {}
+    new_micro = new.get("micro") or {}
+    for name in sorted(set(old_micro) | set(new_micro)):
+        old_entry = old_micro.get(name)
+        new_entry = new_micro.get(name)
+        row: Dict[str, Any] = {
+            "name": name,
+            "old_ops_per_s": old_entry["ops_per_s"] if old_entry else None,
+            "new_ops_per_s": new_entry["ops_per_s"] if new_entry else None,
+            "ratio": None,
+        }
+        if old_entry is None:
+            row["status"] = "new"
+        elif new_entry is None:
+            row["status"] = "missing"
+            regressions.append(
+                f"micro.{name}: present in baseline but missing from the "
+                f"new report"
+            )
+        else:
+            old_ops = float(old_entry["ops_per_s"])
+            new_ops = float(new_entry["ops_per_s"])
+            ratio = new_ops / old_ops if old_ops > 0 else float("inf")
+            row["ratio"] = ratio
+            if new_ops < old_ops * floor:
+                row["status"] = "regressed"
+                regressions.append(
+                    f"micro.{name}: {new_ops:.2f} ops/s is "
+                    f"{(1 - ratio) * 100:.1f}% below baseline "
+                    f"{old_ops:.2f} ops/s (tolerance {tolerance_pct:.0f}%)"
+                )
+            else:
+                row["status"] = "improved" if ratio > 1.0 else "ok"
+        micro_rows.append(row)
+
+    e1_rows: List[Dict[str, Any]] = []
+    old_e1 = old.get("e1_trial_loop") or {}
+    new_e1 = new.get("e1_trial_loop") or {}
+
+    bit_identical = new_e1.get("bit_identical")
+    if bit_identical is True:
+        e1_rows.append(
+            {"check": "bit_identical", "status": "ok", "detail": "true"}
+        )
+    else:
+        e1_rows.append(
+            {
+                "check": "bit_identical",
+                "status": "regressed",
+                "detail": repr(bit_identical),
+            }
+        )
+        regressions.append(
+            "e1_trial_loop.bit_identical: new report does not certify "
+            "serial/cached/parallel counter identity"
+        )
+
+    same_loop = all(
+        old_e1.get(field) == new_e1.get(field) for field in _E1_IDENTITY
+    ) and all(field in old_e1 and field in new_e1 for field in _E1_IDENTITY)
+    if not same_loop:
+        e1_rows.append(
+            {
+                "check": "counters_sha256",
+                "status": "skipped",
+                "detail": "loop configs differ "
+                + repr(
+                    {
+                        field: (old_e1.get(field), new_e1.get(field))
+                        for field in _E1_IDENTITY
+                    }
+                ),
+            }
+        )
+    elif old_e1.get("counters_sha256") == new_e1.get("counters_sha256"):
+        e1_rows.append(
+            {
+                "check": "counters_sha256",
+                "status": "ok",
+                "detail": str(new_e1.get("counters_sha256")),
+            }
+        )
+    else:
+        e1_rows.append(
+            {
+                "check": "counters_sha256",
+                "status": "regressed",
+                "detail": f"{old_e1.get('counters_sha256')} -> "
+                f"{new_e1.get('counters_sha256')}",
+            }
+        )
+        regressions.append(
+            "e1_trial_loop.counters_sha256: trial counters changed for an "
+            "identical loop config -- the wire format drifted"
+        )
+
+    return {
+        "tolerance_pct": tolerance_pct,
+        "ok": not regressions,
+        "micro": micro_rows,
+        "e1": e1_rows,
+        "regressions": regressions,
+    }
+
+
+def format_comparison(result: Dict[str, Any]) -> str:
+    """Render a :func:`compare_reports` result as an aligned text table."""
+    lines: List[str] = []
+    header = f"{'micro':<20} {'old ops/s':>14} {'new ops/s':>14} {'ratio':>8}  status"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in result["micro"]:
+        old_ops = row["old_ops_per_s"]
+        new_ops = row["new_ops_per_s"]
+        ratio = row["ratio"]
+        old_cell = f"{old_ops:>14.2f}" if old_ops is not None else f"{'-':>14}"
+        new_cell = f"{new_ops:>14.2f}" if new_ops is not None else f"{'-':>14}"
+        ratio_cell = f"{ratio:>8.3f}" if ratio is not None else f"{'-':>8}"
+        lines.append(
+            f"{row['name']:<20} {old_cell} {new_cell} {ratio_cell}  "
+            f"{row['status']}"
+        )
+    for row in result["e1"]:
+        lines.append(f"e1.{row['check']}: {row['status']} ({row['detail']})")
+    if result["ok"]:
+        lines.append(
+            f"PASS: no regressions beyond {result['tolerance_pct']:.0f}% tolerance"
+        )
+    else:
+        lines.append(f"FAIL: {len(result['regressions'])} regression(s)")
+        for reason in result["regressions"]:
+            lines.append(f"  - {reason}")
+    return "\n".join(lines)

@@ -9,10 +9,14 @@ validator against every freshly produced file and fails on drift.
 Top-level document::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "suite": "repro.perf.core",
       "created_unix": 1754000000.0,
-      "host": {"python": "3.11.7", "platform": "...", "cpu_count": 1},
+      "host": {
+        "python": "3.11.7", "platform": "...",
+        "cpu_count": 1,           # os.cpu_count(): logical CPUs
+        "cpu_count_affinity": 1   # CPUs this process may actually use
+      },
       "config": {"workers": 4, "quick": false},
       "micro": {"<name>": {"ops_per_s": ..., "wall_s": ..., "iterations": ...}},
       "e1_trial_loop": {
@@ -31,15 +35,31 @@ Top-level document::
 Comparing runs across PRs: ratios within one file (the ``speedup_*``
 fields, ``ops_per_s`` between two commits on the same machine) are
 meaningful; absolute seconds across different machines are not.
+``repro bench --compare OLD.json`` (see :mod:`repro.perf.compare`)
+automates the between-commit diff with a tolerance band.
+
+Schema history:
+
+* **v2** -- honest host parallelism: ``host.cpu_count_affinity`` (the CPUs
+  the process is actually allowed to schedule on, which on pinned CI
+  runners is smaller than ``os.cpu_count()``) joins ``host.cpu_count``;
+  three engine micros (``bitwriter_bulk``, ``bitstring_concat``,
+  ``transcript_append``) become required.
+* **v1** -- initial shape.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List
 
-__all__ = ["BENCH_SCHEMA_VERSION", "SUITE_NAME", "validate_bench_report"]
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "SUITE_NAME",
+    "validate_bench_report",
+    "bench_report_warnings",
+]
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 SUITE_NAME = "repro.perf.core"
 
 _MICRO_FIELDS = {"ops_per_s": float, "wall_s": float, "iterations": int}
@@ -56,7 +76,12 @@ _E1_FIELDS = {
     "bit_identical": bool,
     "counters_sha256": str,
 }
-_HOST_FIELDS = {"python": str, "platform": str, "cpu_count": int}
+_HOST_FIELDS = {
+    "python": str,
+    "platform": str,
+    "cpu_count": int,
+    "cpu_count_affinity": int,
+}
 _CONFIG_FIELDS = {"workers": int, "quick": bool}
 
 #: Microbenchmarks every report must contain (the suite may add more).
@@ -66,6 +91,9 @@ REQUIRED_MICRO = (
     "tree_protocol",
     "bit_codec_gamma",
     "bit_codec_uint",
+    "bitwriter_bulk",
+    "bitstring_concat",
+    "transcript_append",
 )
 
 
@@ -128,3 +156,37 @@ def validate_bench_report(report: Any) -> List[str]:
 
     _check_fields(errors, "e1_trial_loop", report.get("e1_trial_loop"), _E1_FIELDS)
     return errors
+
+
+def bench_report_warnings(report: Any) -> List[str]:
+    """Non-fatal honesty checks on a (structurally valid) report.
+
+    Currently one: a parallel-speedup claim made with more workers than the
+    host can actually schedule is noise, not parallelism -- the classic way
+    to produce an impressive-looking but meaningless ``speedup_vs_serial``
+    on a single-CPU CI runner.
+
+    :returns: human-readable warnings; empty means nothing suspicious.
+    """
+    warnings: List[str] = []
+    if not isinstance(report, dict):
+        return warnings
+    host = report.get("host")
+    config = report.get("config")
+    if not isinstance(host, dict) or not isinstance(config, dict):
+        return warnings
+    workers = config.get("workers")
+    cpus = host.get("cpu_count_affinity", host.get("cpu_count"))
+    if (
+        isinstance(workers, int)
+        and isinstance(cpus, int)
+        and not isinstance(workers, bool)
+        and not isinstance(cpus, bool)
+        and workers > cpus > 0
+    ):
+        warnings.append(
+            f"config.workers = {workers} exceeds the {cpus} CPU(s) this "
+            f"process may schedule on; parallel timings oversubscribe the "
+            f"host and speedup figures are not meaningful"
+        )
+    return warnings

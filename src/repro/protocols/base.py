@@ -38,20 +38,45 @@ def validate_set_pair(
 
     Checks ``S, T subset of [n]`` and ``|S|, |T| <= k``, returning the sets
     as frozensets.  Raised errors are caller bugs, not protocol failures.
+
+    Inputs that are already frozensets are passed through by reference (no
+    re-freeze copy) and range-checked via ``min``/``max`` instead of a
+    per-element ``isinstance`` loop -- this runs on every trial of every
+    experiment, so the valid-input fast path must stay O(k) with no
+    allocations.  The slow per-element path only runs to produce a precise
+    error message once the cheap checks have already failed.
     """
     normalized = []
     for name, raw in (("alice", alice_set), ("bob", bob_set)):
-        as_set = frozenset(raw)
+        as_set = raw if isinstance(raw, frozenset) else frozenset(raw)
         if len(as_set) > max_set_size:
             raise ValueError(
                 f"{name}'s set has {len(as_set)} elements; bound is k={max_set_size}"
             )
-        for element in as_set:
-            if not isinstance(element, int) or not 0 <= element < universe_size:
-                raise ValueError(
-                    f"{name}'s element {element!r} outside universe "
-                    f"[0, {universe_size})"
+        if as_set:
+            try:
+                lo, hi = min(as_set), max(as_set)
+                in_range = (
+                    type(lo) is int  # bool passes isinstance(., int); min/max
+                    and type(hi) is int  # of a mixed set can hide a stray type
+                    and 0 <= lo
+                    and hi < universe_size
                 )
+            except TypeError:
+                in_range = False
+            if not in_range:
+                # Slow path: find the exact offender for the error message
+                # (or accept sets that only *look* bad to min/max, e.g.
+                # bools, which are ints by contract).
+                for element in as_set:
+                    if (
+                        not isinstance(element, int)
+                        or not 0 <= element < universe_size
+                    ):
+                        raise ValueError(
+                            f"{name}'s element {element!r} outside universe "
+                            f"[0, {universe_size})"
+                        )
         normalized.append(as_set)
     return normalized[0], normalized[1]
 

@@ -102,13 +102,17 @@ class BasicIntersectionCore:
 
     def write_hashes(self, writer: BitWriter, elements: Iterable[int]) -> None:
         """Append the sorted hash list of ``elements`` (no count header; the
-        receiver knows the count from the size exchange)."""
-        for value in sorted(self.hash_fn(x) for x in elements):
-            writer.write_uint(value, self.value_width)
+        receiver knows the count from the size exchange).  The whole run
+        goes through :meth:`~repro.util.bits.BitWriter.write_run`, so a
+        batch of many leaves' lists into one shared writer stays linear in
+        the combined message length."""
+        writer.write_run(
+            sorted(self.hash_fn(x) for x in elements), self.value_width
+        )
 
     def read_hashes(self, reader: BitReader, count: int) -> List[int]:
-        """Read ``count`` hash values."""
-        return [reader.read_uint(self.value_width) for _ in range(count)]
+        """Read ``count`` hash values (bulk read off the message buffer)."""
+        return reader.read_run(count, self.value_width)
 
     def filter_with(
         self, own_elements: Iterable[int], other_hashes: Iterable[int]

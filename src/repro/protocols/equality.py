@@ -30,6 +30,10 @@ from repro.util.bits import BitString
 
 __all__ = ["EqualityProtocol", "equality_error_exponent", "run_equality"]
 
+# The two possible verdict payloads, preallocated: BitStrings are immutable,
+# and every equality test ends by sending one of these.
+_VERDICT_BITS = (BitString(0, 1), BitString(1, 1))
+
 
 def equality_error_exponent(inverse_polynomial: float, minimum: int = 2) -> int:
     """Fingerprint width achieving failure probability ``<= 1/inverse_polynomial``.
@@ -121,14 +125,15 @@ class EqualityProtocol:
             alice_length = reader.read_gamma()
             if alice_length != len(data):
                 # different serialized lengths: certainly unequal.  The
-                # remaining fingerprint bits are alice's; drain them.
-                reader.read_uint(reader.remaining)
+                # remaining fingerprint bits are alice's; drain them
+                # (read_bits slices the buffer, no big-int materialization).
+                reader.read_bits(reader.remaining)
                 equal = False
             else:
                 value, fp_width = self._polynomial_print(ctx, data)
                 equal = reader.read_uint(fp_width) == value
                 reader.expect_exhausted()
-        yield Send(BitString(int(equal), 1))
+        yield Send(_VERDICT_BITS[equal])
         return equal
 
     def run(self, alice_value: Any, bob_value: Any, *, seed: int = 0):
@@ -167,5 +172,5 @@ def run_equality(
         return bool(verdict.value)
     received = yield Recv()
     equal = received == mine
-    yield Send(BitString(int(equal), 1))
+    yield Send(_VERDICT_BITS[equal])
     return equal

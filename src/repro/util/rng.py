@@ -66,16 +66,61 @@ class RandomStream:
 
     def __init__(self, seed: int, label: str) -> None:
         self._label = label
-        self._rng = random.Random(_derive_seed(seed, label))
+        self._derived_seed = _derive_seed(seed, label)
+        # The underlying random.Random is constructed lazily: seeding the
+        # Mersenne twister is the dominant cost of stream creation, and the
+        # hottest streams (fingerprint salts, pairwise-hash samples) are
+        # fully served from hot caches keyed on the derived seed, never
+        # touching the twister at all.
+        self._rng = None
+        self._pending_replay = None
 
     @property
     def label(self) -> str:
         """The label this stream was derived for."""
         return self._label
 
+    @property
+    def derived_seed(self) -> int:
+        """The label-derived seed.
+
+        This value determines the stream's entire coin sequence, which makes
+        it the cache key for hot caches over deterministic draws (see
+        :meth:`untouched` / :meth:`skip_draws`).
+        """
+        return self._derived_seed
+
+    @property
+    def untouched(self) -> bool:
+        """True while no coins have been drawn from this stream object."""
+        return self._rng is None and self._pending_replay is None
+
+    def skip_draws(self, replay) -> None:
+        """Declare that the stream's opening draws were served from a cache.
+
+        ``replay`` must re-perform exactly those draws on a fresh
+        ``random.Random``; it runs if (and only if) someone later draws from
+        this stream object, so the observable coin sequence is bit for bit
+        the same as if the draws had happened here.  Callers must hold
+        :attr:`untouched` when serving from a cache.
+        """
+        if not self.untouched:
+            raise RuntimeError("skip_draws requires an untouched stream")
+        self._pending_replay = replay
+
+    def _random(self) -> random.Random:
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = random.Random(self._derived_seed)
+            replay = self._pending_replay
+            if replay is not None:
+                self._pending_replay = None
+                replay(rng)
+        return rng
+
     def bit(self) -> int:
         """One unbiased coin flip."""
-        return self._rng.getrandbits(1)
+        return self._random().getrandbits(1)
 
     def bits(self, count: int) -> BitString:
         """``count`` unbiased coin flips as a :class:`BitString`."""
@@ -83,17 +128,17 @@ class RandomStream:
             raise ValueError(f"cannot draw {count} bits")
         if count == 0:
             return BitString.empty()
-        return BitString(self._rng.getrandbits(count), count)
+        return BitString._from_value(self._random().getrandbits(count), count)
 
     def uint_below(self, bound: int) -> int:
         """A uniform integer in ``[0, bound)``."""
         if bound <= 0:
             raise ValueError(f"uint_below requires bound >= 1, got {bound}")
-        return self._rng.randrange(bound)
+        return self._random().randrange(bound)
 
     def uniform(self) -> float:
         """A uniform float in ``[0, 1)`` (used only by workload generators)."""
-        return self._rng.random()
+        return self._random().random()
 
     def sample_without_replacement(self, population: int, size: int) -> list:
         """A uniform ``size``-subset of ``[population]`` as a sorted list."""
@@ -101,7 +146,7 @@ class RandomStream:
             raise ValueError(
                 f"cannot sample {size} elements from a universe of {population}"
             )
-        return sorted(self._rng.sample(range(population), size))
+        return sorted(self._random().sample(range(population), size))
 
 
 class SharedRandomness:
@@ -121,6 +166,15 @@ class SharedRandomness:
     def seed(self) -> int:
         """The master seed (for replay / reporting)."""
         return self._seed
+
+    def cache_key(self) -> tuple:
+        """Hashable identity of this view of the common random string.
+
+        Two views with equal cache keys produce bit-identical streams for
+        every label, which makes the key usable as the randomness component
+        of hot-cache keys over derived objects (hash functions, salts).
+        """
+        return (self._seed, "")
 
     def stream(self, label: str) -> RandomStream:
         """The shared stream addressed by ``label``.
@@ -147,6 +201,9 @@ class _NamespacedSharedRandomness(SharedRandomness):
         super().__init__(parent.seed)
         self._parent = parent
         self._prefix = prefix
+
+    def cache_key(self) -> tuple:
+        return (self._parent.seed, self._prefix)
 
     def stream(self, label: str) -> RandomStream:
         return self._parent.stream(f"{self._prefix}/{label}")

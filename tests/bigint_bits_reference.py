@@ -1,0 +1,368 @@
+"""The retained pure-big-int reference bitstream implementation (test oracle).
+
+This is the original ``repro.util.bits`` implementation, frozen verbatim:
+every bit string is one Python big int holding the bits MSB-first, and all
+writes re-shift the whole accumulated prefix.  It is *quadratic* in message
+length and exists only as the differential-testing oracle -- the shipped
+byte-backed engine in :mod:`repro.util.bits` must produce bit-for-bit
+identical encodings for every codec, which ``test_bits_differential.py``
+asserts over randomized inputs.
+
+Do not import this from library code; it lives under ``tests/`` on purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+__all__ = [
+    "BitString",
+    "BitWriter",
+    "BitReader",
+    "encode_uint",
+    "decode_uint",
+    "encode_elias_gamma",
+    "decode_elias_gamma",
+    "encode_fixed_list",
+    "decode_fixed_list",
+    "encode_delta_sorted_set",
+    "decode_delta_sorted_set",
+]
+
+
+class BitString:
+    """An immutable sequence of bits.
+
+    Internally a pair ``(value, length)`` where ``value`` is a nonnegative
+    integer holding the bits most-significant-first.  Supports concatenation
+    (``+``), slicing, equality, hashing, and iteration over individual bits.
+
+    >>> b = BitString.from_bits([1, 0, 1, 1])
+    >>> len(b), str(b)
+    (4, '1011')
+    >>> (b + BitString.from_bits([0]))[4]
+    0
+    """
+
+    __slots__ = ("_value", "_length")
+
+    def __init__(self, value: int, length: int):
+        if length < 0:
+            raise ValueError(f"BitString length must be >= 0, got {length}")
+        if value < 0:
+            raise ValueError(f"BitString value must be >= 0, got {value}")
+        if value.bit_length() > length:
+            raise ValueError(
+                f"value {value} does not fit in {length} bits "
+                f"(needs {value.bit_length()})"
+            )
+        self._value = value
+        self._length = length
+
+    @classmethod
+    def empty(cls) -> "BitString":
+        """The zero-length bit string."""
+        return cls(0, 0)
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "BitString":
+        """Build from an iterable of 0/1 integers, first bit first."""
+        value = 0
+        length = 0
+        for bit in bits:
+            if bit not in (0, 1):
+                raise ValueError(f"bits must be 0 or 1, got {bit!r}")
+            value = (value << 1) | bit
+            length += 1
+        return cls(value, length)
+
+    @classmethod
+    def from_str(cls, text: str) -> "BitString":
+        """Build from a string of '0'/'1' characters."""
+        return cls.from_bits(int(ch) for ch in text)
+
+    @property
+    def value(self) -> int:
+        """The bits interpreted as a big-endian unsigned integer."""
+        return self._value
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._length):
+            yield (self._value >> (self._length - 1 - i)) & 1
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            indices = range(*index.indices(self._length))
+            return BitString.from_bits(self._raw_bit(i) for i in indices)
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(f"bit index {index} out of range [0, {self._length})")
+        return self._raw_bit(index)
+
+    def _raw_bit(self, index: int) -> int:
+        return (self._value >> (self._length - 1 - index)) & 1
+
+    def __add__(self, other: "BitString") -> "BitString":
+        if not isinstance(other, BitString):
+            return NotImplemented
+        return BitString(
+            (self._value << other._length) | other._value,
+            self._length + other._length,
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, BitString)
+            and self._value == other._value
+            and self._length == other._length
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._length))
+
+    def __str__(self) -> str:
+        return format(self._value, f"0{self._length}b") if self._length else ""
+
+    def __repr__(self) -> str:
+        if self._length <= 64:
+            return f"BitString('{self}')"
+        return f"BitString(<{self._length} bits>)"
+
+
+class BitWriter:
+    """Accumulates bits into a :class:`BitString`.
+
+    >>> w = BitWriter()
+    >>> w.write_uint(5, width=4)
+    >>> str(w.finish())
+    '0101'
+    """
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._length = 0
+
+    def write_bit(self, bit: int) -> None:
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        self._value = (self._value << 1) | bit
+        self._length += 1
+
+    def write_uint(self, value: int, width: int) -> None:
+        """Write ``value`` as exactly ``width`` big-endian bits."""
+        if width < 0:
+            raise ValueError(f"width must be >= 0, got {width}")
+        if value < 0 or value.bit_length() > width:
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        self._value = (self._value << width) | value
+        self._length += width
+
+    def write_bits(self, bits: BitString) -> None:
+        """Append an entire :class:`BitString`."""
+        self._value = (self._value << len(bits)) | bits.value
+        self._length += len(bits)
+
+    def write_gamma(self, value: int) -> None:
+        """Write a nonnegative integer with the Elias gamma code.
+
+        Encodes ``value + 1`` (gamma natively codes positive integers) as
+        ``floor(log2(v))`` zeros followed by the binary expansion of ``v``:
+        ``2 * floor(log2(value + 1)) + 1`` bits total, self-delimiting.
+        """
+        if value < 0:
+            raise ValueError(f"gamma code requires value >= 0, got {value}")
+        shifted = value + 1
+        width = shifted.bit_length()
+        # Fast path: the (width - 1) leading zeros and the payload are one
+        # shift-or on the backing integer instead of two write_uint calls.
+        self._value = (self._value << (2 * width - 1)) | shifted
+        self._length += 2 * width - 1
+
+    def finish(self) -> BitString:
+        """Return the accumulated bits as an immutable :class:`BitString`."""
+        return BitString(self._value, self._length)
+
+    def __len__(self) -> int:
+        return self._length
+
+
+class BitReader:
+    """Sequentially consumes a :class:`BitString`.
+
+    Raises :class:`ValueError` on attempts to read past the end; protocols
+    call :meth:`expect_exhausted` after decoding a message to assert the
+    message contained exactly what the codec expected.
+    """
+
+    def __init__(self, bits: BitString) -> None:
+        self._bits = bits
+        self._pos = 0
+
+    def read_bit(self) -> int:
+        bits = self._bits
+        remaining = len(bits) - self._pos
+        if remaining <= 0:
+            raise ValueError("BitReader: read past end of message")
+        self._pos += 1
+        return (bits.value >> (remaining - 1)) & 1
+
+    def read_uint(self, width: int) -> int:
+        """Read ``width`` bits as a big-endian unsigned integer."""
+        if width < 0:
+            raise ValueError(f"width must be >= 0, got {width}")
+        total = len(self._bits)
+        if self._pos + width > total:
+            raise ValueError(
+                f"BitReader: requested {width} bits with only "
+                f"{total - self._pos} remaining"
+            )
+        # One shift-and-mask over the backing integer instead of a
+        # bit-by-bit loop: reads are O(remaining) big-int work, not
+        # O(width) Python iterations.
+        shift = total - self._pos - width
+        value = (self._bits.value >> shift) & ((1 << width) - 1)
+        self._pos += width
+        return value
+
+    def read_gamma(self) -> int:
+        """Read one Elias-gamma-coded nonnegative integer.
+
+        The run of leading zeros is counted in one step from the backing
+        integer (``remaining - bit_length`` of the unread suffix) instead
+        of a bit-by-bit loop -- gamma headers are on every framed message,
+        so this is a protocol-wide hot path.
+        """
+        bits = self._bits
+        remaining = len(bits) - self._pos
+        if remaining <= 0:
+            raise ValueError("BitReader: read past end of message")
+        suffix = bits.value & ((1 << remaining) - 1)
+        zeros = remaining - suffix.bit_length()
+        if zeros >= remaining:
+            # All-zero suffix: the terminating 1 bit never arrives.
+            raise ValueError("BitReader: read past end of message")
+        self._pos += zeros + 1
+        # The leading 1 just consumed is the top bit of the payload.
+        rest = self.read_uint(zeros)
+        return ((1 << zeros) | rest) - 1
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bits."""
+        return len(self._bits) - self._pos
+
+    def expect_exhausted(self) -> None:
+        """Assert the whole message has been consumed."""
+        if self.remaining:
+            raise ValueError(
+                f"BitReader: {self.remaining} unconsumed bits in message"
+            )
+
+
+def encode_uint(value: int, width: int) -> BitString:
+    """Encode ``value`` as exactly ``width`` bits."""
+    writer = BitWriter()
+    writer.write_uint(value, width)
+    return writer.finish()
+
+
+def decode_uint(bits: BitString, width: int) -> int:
+    """Decode a :func:`encode_uint` message; the message must be exact."""
+    reader = BitReader(bits)
+    value = reader.read_uint(width)
+    reader.expect_exhausted()
+    return value
+
+
+def encode_elias_gamma(value: int) -> BitString:
+    """Encode a single nonnegative integer with the Elias gamma code."""
+    writer = BitWriter()
+    writer.write_gamma(value)
+    return writer.finish()
+
+
+def decode_elias_gamma(bits: BitString) -> int:
+    """Decode a single :func:`encode_elias_gamma` message."""
+    reader = BitReader(bits)
+    value = reader.read_gamma()
+    reader.expect_exhausted()
+    return value
+
+
+def encode_fixed_list(values: Sequence[int], width: int) -> BitString:
+    """Encode a list of integers: gamma-coded count, then fixed-width items.
+
+    This is the codec used for lists of hash values: ``O(log m)`` bits of
+    header plus ``width`` bits per element, so a list of ``m`` hashes into
+    ``[t]`` costs ``m * ceil_log2(t) + O(log m)`` bits -- exactly the
+    ``O(m log t)`` the paper charges for exchanging ``h(S)``.
+    """
+    writer = BitWriter()
+    writer.write_gamma(len(values))
+    for value in values:
+        writer.write_uint(value, width)
+    return writer.finish()
+
+
+def decode_fixed_list(bits: BitString, width: int) -> List[int]:
+    """Decode a :func:`encode_fixed_list` message."""
+    reader = BitReader(bits)
+    count = reader.read_gamma()
+    values = [reader.read_uint(width) for _ in range(count)]
+    reader.expect_exhausted()
+    return values
+
+
+def write_fixed_list(writer: BitWriter, values: Sequence[int], width: int) -> None:
+    """In-place variant of :func:`encode_fixed_list` for composite messages."""
+    writer.write_gamma(len(values))
+    for value in values:
+        writer.write_uint(value, width)
+
+
+def read_fixed_list(reader: BitReader, width: int) -> List[int]:
+    """In-place variant of :func:`decode_fixed_list` for composite messages."""
+    count = reader.read_gamma()
+    return [reader.read_uint(width) for _ in range(count)]
+
+
+def encode_delta_sorted_set(elements: Iterable[int]) -> BitString:
+    """Gap-encode a set of nonnegative integers.
+
+    The elements are sorted and the consecutive gaps (first element, then
+    successive differences minus one) are Elias-gamma coded.  For a k-subset
+    of ``[n]`` the expected cost is ``O(k log(n/k))`` bits -- within a
+    constant factor of the information-theoretic optimum ``log2 C(n, k)``.
+    This is the wire format of the trivial deterministic protocol
+    (``D^(1)(INT_k) = O(k log(n/k))``).
+    """
+    sorted_elements = sorted(elements)
+    for element in sorted_elements:
+        if element < 0:
+            raise ValueError(f"set elements must be >= 0, got {element}")
+    writer = BitWriter()
+    writer.write_gamma(len(sorted_elements))
+    previous = -1
+    for element in sorted_elements:
+        if element == previous:
+            raise ValueError(f"duplicate element {element} in set encoding")
+        writer.write_gamma(element - previous - 1)
+        previous = element
+    return writer.finish()
+
+
+def decode_delta_sorted_set(bits: BitString) -> List[int]:
+    """Decode a :func:`encode_delta_sorted_set` message into a sorted list."""
+    reader = BitReader(bits)
+    count = reader.read_gamma()
+    elements: List[int] = []
+    previous = -1
+    for _ in range(count):
+        previous = previous + 1 + reader.read_gamma()
+        elements.append(previous)
+    reader.expect_exhausted()
+    return elements

@@ -64,6 +64,40 @@ class TestTranscript:
         assert parent.bits_sent_by("alice") == 8
         assert parent.bits_sent_by("bob") == 2
 
+    def test_running_counters_match_recount_after_10k_messages(self):
+        # total_bits / num_messages / per-sender / per-message counters are
+        # maintained incrementally on append; after 10k messages they must
+        # agree exactly with a from-scratch recount over the chunks.
+        import random
+
+        rng = random.Random(99)
+        transcript = Transcript()
+        for i in range(10_000):
+            sender = rng.choice(["alice", "bob"])
+            for _ in range(rng.randrange(1, 4)):
+                transcript.record_send(sender, bits(rng.randrange(0, 64)))
+
+        recount_total = sum(
+            len(chunk) for m in transcript.messages for chunk in m.chunks
+        )
+        assert transcript.total_bits == recount_total
+        assert transcript.num_messages == len(transcript.messages)
+        for message in transcript.messages:
+            assert message.num_bits == sum(len(c) for c in message.chunks)
+        for sender in ("alice", "bob"):
+            assert transcript.bits_sent_by(sender) == sum(
+                m.num_bits for m in transcript.messages if m.sender == sender
+            )
+
+    def test_message_append_chunk_keeps_counter(self):
+        from repro.comm.transcript import Message
+
+        message = Message(sender="alice", chunks=[bits(3)])
+        assert message.num_bits == 3
+        message.append_chunk(bits(5))
+        assert message.num_bits == 8
+        assert len(message.chunks) == 2
+
     def test_repr_mentions_key_stats(self):
         transcript = Transcript()
         transcript.record_send("alice", bits(9))

@@ -244,13 +244,14 @@ class TestBenchSchema:
     def _minimal_report(self):
         micro_entry = {"ops_per_s": 10.0, "wall_s": 0.1, "iterations": 1}
         return {
-            "schema_version": 1,
+            "schema_version": 2,
             "suite": "repro.perf.core",
             "created_unix": 1754000000.0,
             "host": {
                 "python": "3.11.7",
                 "platform": "linux",
                 "cpu_count": 1,
+                "cpu_count_affinity": 1,
             },
             "config": {"workers": 4, "quick": True, "target_s": 0.08},
             "micro": {
@@ -261,6 +262,9 @@ class TestBenchSchema:
                     "tree_protocol",
                     "bit_codec_gamma",
                     "bit_codec_uint",
+                    "bitwriter_bulk",
+                    "bitstring_concat",
+                    "transcript_append",
                 )
             },
             "e1_trial_loop": {
@@ -283,7 +287,7 @@ class TestBenchSchema:
 
     def test_version_drift_detected(self):
         report = self._minimal_report()
-        report["schema_version"] = 2
+        report["schema_version"] = 1
         assert any("schema_version" in p for p in validate_bench_report(report))
 
     def test_missing_micro_detected(self):

@@ -38,6 +38,51 @@ class TestValidation:
         with pytest.raises(ValueError):
             validate_set_pair(["x"], [], universe_size=10, max_set_size=2)
 
+    def test_rejects_float_in_frozenset_fast_path(self):
+        # 2.0 == 2 but is not an int; the min/max fast path must still
+        # funnel it to the precise per-element error.
+        with pytest.raises(ValueError, match="outside universe"):
+            validate_set_pair(frozenset({2.0}), [], universe_size=10, max_set_size=2)
+
+    def test_rejects_mixed_types_in_frozenset(self):
+        with pytest.raises(ValueError):
+            validate_set_pair(
+                frozenset({1, "x"}), [], universe_size=10, max_set_size=2
+            )
+
+    def test_bools_accepted_as_ints(self):
+        # bool is an int subtype; both code paths must agree on that.
+        s, _ = validate_set_pair(frozenset({True, 3}), [], 10, 4)
+        assert s == frozenset({1, 3})
+
+    def test_frozensets_pass_through_without_copy(self):
+        # The per-trial fast path: already-frozen inputs of k=4096 elements
+        # are validated via min/max only and returned *by reference* -- no
+        # re-freeze, no per-element isinstance sweep allocating anything.
+        k = 4096
+        alice = frozenset(range(0, 2 * k, 2))
+        bob = frozenset(range(1, 2 * k, 2))
+        s, t = validate_set_pair(alice, bob, universe_size=2 * k, max_set_size=k)
+        assert s is alice
+        assert t is bob
+
+    def test_frozenset_fast_path_cost_is_linear(self):
+        # Guard the O(k) claim: validating 8x the elements must cost less
+        # than ~20x the time (quadratic re-freezing or per-element python
+        # loops would blow well past that; generous bound for timer noise).
+        import timeit
+
+        k = 4096
+        small = frozenset(range(512))
+        large = frozenset(range(k))
+
+        def run(sets):
+            validate_set_pair(sets, sets, universe_size=k, max_set_size=k)
+
+        t_small = min(timeit.repeat(lambda: run(small), number=50, repeat=5))
+        t_large = min(timeit.repeat(lambda: run(large), number=50, repeat=5))
+        assert t_large < 20 * max(t_small, 1e-7)
+
 
 class TestOutcome:
     def make(self, alice, bob):
