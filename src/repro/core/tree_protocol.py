@@ -51,9 +51,10 @@ from typing import Dict, FrozenSet, Generator, List, Optional, Tuple
 from repro.comm.engine import PartyContext, Recv, Send
 from repro.core.verification_tree import VerificationTree
 from repro.hashing.pairwise import PairwiseHash, sample_pairwise_hash
+from repro.kernels import sort_ints
 from repro.protocols.base import SetIntersectionProtocol
 from repro.protocols.basic_intersection import range_for_inverse_failure
-from repro.protocols.equality import equality_error_exponent
+from repro.protocols.equality import bulk_verdicts, equality_error_exponent
 from repro.protocols.fingerprint import Fingerprinter
 from repro.util import hotcache
 from repro.util.bits import BitReader, BitWriter
@@ -245,7 +246,9 @@ class TreeProtocol(SetIntersectionProtocol):
         )
         width = hash_fn.output_bits
         writer = BitWriter()
-        values = sorted(hash_fn(x) for x in own)
+        # One batch-kernel sweep for the whole set, then a bulk sort -- the
+        # r = 1 message is a single sorted hash list of up to k images.
+        values = sort_ints(hash_fn.images(list(own)))
         writer.write_gamma(len(values))
         writer.write_run(values, width)
         if is_alice:
@@ -257,7 +260,12 @@ class TreeProtocol(SetIntersectionProtocol):
         count = reader.read_gamma()
         other = set(reader.read_run(count, width))
         reader.expect_exhausted()
-        return frozenset(x for x in own if hash_fn(x) in other)
+        own_list = list(own)
+        return frozenset(
+            x
+            for x, image in zip(own_list, hash_fn.images(own_list))
+            if image in other
+        )
 
     # -- r > 1 stages ---------------------------------------------------------
 
@@ -281,8 +289,12 @@ class TreeProtocol(SetIntersectionProtocol):
         # access skips dict hashing.
         assignment: List[FrozenSet[int]] = [_EMPTY_SET] * num_leaves
         grouped: Dict[int, set] = {}
-        for element in own:
-            grouped.setdefault(bucket_hash(element), set()).add(element)
+        own_list = list(own)
+        # Leaf assignment is the Theorem 3.1-style bucket-hashing step: one
+        # batch kernel call for every element's bucket, then pure-Python
+        # grouping.
+        for element, leaf in zip(own_list, bucket_hash.images(own_list)):
+            grouped.setdefault(leaf, set()).add(element)
         for leaf, elements in grouped.items():
             assignment[leaf] = frozenset(elements)
 
@@ -334,9 +346,7 @@ class TreeProtocol(SetIntersectionProtocol):
                 reader = BitReader(payload)
                 received = reader.read_run(len(spans), eq_width)
                 reader.expect_exhausted()
-                verdicts = [
-                    int(got == mine) for got, mine in zip(received, prints)
-                ]
+                verdicts = bulk_verdicts(received, prints)
                 writer = BitWriter()
                 writer.write_run(verdicts, 1)
                 reply = writer.finish()

@@ -17,7 +17,6 @@ tests agree on the exact range size used.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 from repro.util import hotcache
 from repro.hashing.pairwise import (
@@ -58,31 +57,21 @@ class CollisionFreeSpec:
         return ceil_log2(self.range_size)
 
 
-def _collision_free_range_impl(set_size: int, exponent: int) -> int:
-    if exponent < 0:
-        raise ValueError(f"exponent must be >= 0, got {exponent}")
-    base = max(set_size, 2)
-    return 2 * base ** (exponent + 2)
-
-
-_collision_free_range_cached = hotcache.register(
-    "hashing.families.collision_free_range",
-    lru_cache(maxsize=1 << 12)(_collision_free_range_impl),
-)
-
-
+@hotcache.memoize("hashing.families.collision_free_range")
 def collision_free_range(set_size: int, exponent: int) -> int:
     """The Fact 2.2 range size ``t = Theta(s^(i+2))``.
 
     Concretely ``t = 2 * max(s, 2)^(i+2)``: with the pairwise family's
     ``2/t`` per-pair collision bound this yields failure probability at most
-    ``1/s^i`` (see module docstring).  Memoized: the big-int power shows up
-    in every hash-parameter setup, with a handful of distinct arguments per
-    protocol.
+    ``1/s^i`` (see module docstring).  Memoized through the shared
+    :func:`repro.util.hotcache.memoize` layer (big-int powers show up in
+    every hash-parameter setup with a handful of distinct arguments per
+    protocol); the hot-cache kill-switch bypasses it like every other memo.
     """
-    if hotcache.enabled():
-        return _collision_free_range_cached(set_size, exponent)
-    return _collision_free_range_impl(set_size, exponent)
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    base = max(set_size, 2)
+    return 2 * base ** (exponent + 2)
 
 
 def sample_collision_free_hash(

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Iterable, List
 
 from repro.hashing.primes import next_prime, random_prime
+from repro.kernels import mod_batch
 from repro.util.iterlog import ceil_log2
 from repro.util.rng import RandomStream
 
@@ -49,8 +50,17 @@ class FKSReduction:
         return element % self.prime
 
     def reduce_set(self, elements: Iterable[int]) -> List[int]:
-        """Reduce a collection, preserving order."""
-        return [self(element) for element in elements]
+        """Reduce a collection, preserving order.
+
+        Validated like :meth:`__call__` (a min/max scan stands in for the
+        per-element range check; violations fall back to the per-element
+        path for its precise error), with the arithmetic in one
+        :func:`repro.kernels.mod_batch` call.
+        """
+        xs = list(elements)
+        if xs and (min(xs) < 0 or max(xs) >= self.universe_size):
+            return [self(element) for element in xs]
+        return mod_batch(xs, self.prime)
 
     @property
     def reduced_universe_size(self) -> int:

@@ -20,6 +20,7 @@ from functools import lru_cache
 from typing import Iterable, List
 
 from repro.hashing.primes import next_prime
+from repro.kernels import affine_image_batch
 from repro.util import hotcache
 from repro.util.iterlog import ceil_log2
 from repro.util.rng import RandomStream
@@ -73,25 +74,48 @@ class PairwiseHash:
         return ((self.mult * element + self.shift) % self.prime) % self.range_size
 
     def hash_set(self, elements: Iterable[int]) -> List[int]:
-        """Hash a collection, preserving order (duplicates kept)."""
-        return [self(element) for element in elements]
+        """Hash a collection, preserving order (duplicates kept).
+
+        Validates every element against the universe (like :meth:`__call__`)
+        but runs the arithmetic through the batch kernel: a cheap min/max
+        scan replaces the per-element range check, and only a violating
+        collection falls back to the per-element path (whose error message
+        names the offending element).
+        """
+        xs = list(elements)
+        if xs and (min(xs) < 0 or max(xs) >= self.universe_size):
+            return [self(element) for element in xs]
+        return self.images(xs)
+
+    def images(self, elements: Iterable[int]) -> List[int]:
+        """Bulk hash images in iteration order, no per-element range check.
+
+        The batch form of :meth:`__call__` for callers that already
+        validated their sets against the universe -- one
+        :func:`repro.kernels.affine_image_batch` call (uint64 lanes when
+        numpy is available and the parameters are lane-safe, exact scalar
+        otherwise) instead of one Python evaluation per element.
+        """
+        return affine_image_batch(
+            elements, self.mult, self.shift, self.prime, self.range_size
+        )
 
     def image_pairs(self, elements: Iterable[int]) -> List[tuple]:
-        """``[(h(x), x)]`` with the parameters hoisted out of the loop.
-
-        The bulk path under the tree protocol's per-leaf hash exchanges,
-        which evaluate a fresh function on every element of every failed
-        leaf: one attribute fetch per parameter instead of four per
-        element.  Skips the per-element range check -- callers pass sets
-        they already validated against the universe.
+        """``[(h(x), x)]`` -- the bulk path under the tree protocol's
+        per-leaf hash exchanges, which evaluate a fresh function on every
+        element of every failed leaf.  Skips the per-element range check --
+        callers pass sets they already validated against the universe.
+        Images come from the same batch kernel as :meth:`images`.
         """
-        mult = self.mult
-        shift = self.shift
-        prime = self.prime
-        range_size = self.range_size
-        return [
-            ((mult * x + shift) % prime % range_size, x) for x in elements
-        ]
+        xs = elements if isinstance(elements, list) else list(elements)
+        return list(
+            zip(
+                affine_image_batch(
+                    xs, self.mult, self.shift, self.prime, self.range_size
+                ),
+                xs,
+            )
+        )
 
     @property
     def output_bits(self) -> int:

@@ -1,0 +1,65 @@
+"""``repro.kernels``: batched evaluation of the hot numeric primitives.
+
+The protocol layers (:mod:`repro.hashing`, :mod:`repro.protocols`,
+:mod:`repro.core`, :mod:`repro.multiparty`) route their per-key hot loops
+-- pairwise-hash images, bucket assignment, FKS reduction, fingerprint and
+equality sweeps, sorted hash-list assembly -- through this package instead
+of evaluating one Python int at a time.
+
+Two layers:
+
+* :mod:`repro.kernels.backend` -- numpy detection and the scalar
+  kill-switch (``REPRO_SCALAR_KERNELS`` / :func:`scalar_only`);
+* :mod:`repro.kernels.batch` -- the kernels themselves, each a dispatch
+  between an exact scalar oracle and a ``uint64``-lane numpy path that
+  runs only when provably value-identical (direct lane-safe range or the
+  Mersenne ``2**61 - 1`` split reduction).
+
+numpy is optional (``pip install repro[fast]``); without it every kernel
+*is* its scalar oracle and nothing else changes.  See DESIGN.md ("The
+kernel layer") for the fallback rule and the differential-testing story.
+"""
+
+from repro.kernels.backend import (
+    SCALAR_ENV_VAR,
+    backend_name,
+    numpy_available,
+    numpy_or_none,
+    scalar_only,
+)
+from repro.kernels.batch import (
+    M61,
+    MIN_LANES,
+    affine_image_batch,
+    affine_image_batch_scalar,
+    bucket_assign,
+    bucket_assign_scalar,
+    equal_mask,
+    equal_mask_scalar,
+    fingerprint_sweep,
+    mod_batch,
+    mod_batch_scalar,
+    sort_ints,
+    sort_ints_scalar,
+)
+
+__all__ = [
+    "SCALAR_ENV_VAR",
+    "backend_name",
+    "numpy_available",
+    "numpy_or_none",
+    "scalar_only",
+    "M61",
+    "MIN_LANES",
+    "affine_image_batch",
+    "affine_image_batch_scalar",
+    "bucket_assign",
+    "bucket_assign_scalar",
+    "equal_mask",
+    "equal_mask_scalar",
+    "fingerprint_sweep",
+    "mod_batch",
+    "mod_batch_scalar",
+    "sort_ints",
+    "sort_ints_scalar",
+]

@@ -1,0 +1,96 @@
+"""numpy detection and gating for the batch kernels.
+
+The kernels in :mod:`repro.kernels.batch` have two implementations each: a
+pure-Python scalar oracle (always present, always exact) and a numpy
+``uint64``-lane path used when it is *provably* value-identical.  This
+module is the single switch deciding which one runs:
+
+* numpy is an **optional** dependency (the ``repro[fast]`` extra).  When it
+  is not importable the scalar path is simply the implementation -- nothing
+  else in the library changes, and the wire format is identical either way.
+* ``REPRO_SCALAR_KERNELS=1`` in the environment forces the scalar path even
+  with numpy installed (mirror of the hot-cache kill-switch: useful for
+  benchmarking the per-key baseline and for bisecting suspected kernel
+  bugs).
+* :func:`scalar_only` forces the scalar path for a ``with`` block -- the
+  differential test suite and the ``pairwise_batch_scalar`` micro use it to
+  time/compare the oracle on a host that has numpy.
+
+Like the hot caches, the backend choice is *semantically invisible*: every
+kernel dispatch decision is guarded by an exact lane-safety proof (see
+:mod:`repro.kernels.batch`), so switching backends never changes a single
+output bit, only wall time.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator, Optional
+
+__all__ = [
+    "numpy_or_none",
+    "numpy_available",
+    "backend_name",
+    "scalar_only",
+    "SCALAR_ENV_VAR",
+]
+
+#: Environment kill-switch: set to a non-empty value to force scalar kernels.
+SCALAR_ENV_VAR = "REPRO_SCALAR_KERNELS"
+
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as _numpy
+except ImportError:  # pragma: no cover
+    _numpy = None
+
+
+class _State:
+    """Mutable force-scalar flag shared by every kernel dispatch."""
+
+    __slots__ = ("force_scalar",)
+
+    def __init__(self) -> None:
+        self.force_scalar = bool(os.environ.get(SCALAR_ENV_VAR))
+
+
+_STATE = _State()
+
+
+def numpy_or_none() -> Optional[object]:
+    """The numpy module when vectorized kernels may run, else ``None``.
+
+    ``None`` when numpy is not installed *or* the scalar path is forced
+    (``REPRO_SCALAR_KERNELS`` / :func:`scalar_only`); kernel dispatchers
+    treat both identically.
+    """
+    if _STATE.force_scalar:
+        return None
+    return _numpy
+
+
+def numpy_available() -> bool:
+    """True iff vectorized kernels may currently run."""
+    return numpy_or_none() is not None
+
+
+def backend_name() -> str:
+    """``"numpy"`` or ``"scalar"`` -- recorded in bench reports so the
+    regression gate only compares like against like."""
+    return "numpy" if numpy_available() else "scalar"
+
+
+@contextlib.contextmanager
+def scalar_only() -> Iterator[None]:
+    """Force the scalar kernel path inside the block.
+
+    Used by the differential suite (oracle leg) and the bench suite (the
+    per-key baseline micros).  Not thread-safe: the flag is process-global,
+    like the hot-cache switch.
+    """
+    previous = _STATE.force_scalar
+    _STATE.force_scalar = True
+    try:
+        yield
+    finally:
+        _STATE.force_scalar = previous

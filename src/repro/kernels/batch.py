@@ -1,0 +1,318 @@
+"""Vectorized batch evaluation of the hot numeric primitives.
+
+Every protocol in the paper reduces to enormous numbers of independent
+pairwise-hash evaluations and equality fingerprints -- the shape that the
+batched-primitive literature (sparse disjointness, multiple equality
+testing) exploits.  This module provides those primitives over whole
+arrays of keys:
+
+* :func:`affine_image_batch` -- Carter-Wegman images
+  ``((a*x + b) mod p) mod t`` for an array of keys;
+* :func:`bucket_assign` -- the Theorem 3.1 / Section 1 bucket-hashing step
+  (the same affine map with the bucket count as the outer modulus);
+* :func:`mod_batch` -- the FKS universe reduction ``x -> x mod q``;
+* :func:`equal_mask` -- bulk equality verdicts for fingerprint sweeps;
+* :func:`sort_ints` -- sorted hash-list assembly;
+* :func:`fingerprint_sweep` -- bulk SHA-256 fingerprints (scalar: the work
+  is inside hashlib's C core, so the batch win is hoisting the Python
+  dispatch out of the loop, not lanes).
+
+**Value transparency is the contract.**  Each kernel has a pure-Python
+scalar implementation (the ``*_scalar`` twins) that is exact over
+arbitrary-precision integers, and a numpy ``uint64``-lane path that runs
+only when it is provably identical:
+
+* the *direct* lane path runs when ``a * max(x) + b < 2**64`` -- every
+  intermediate fits a ``uint64`` lane exactly;
+* the *Mersenne* lane path runs when the modulus is exactly
+  ``M61 = 2**61 - 1``: products of 61-bit residues are reduced with the
+  classic 32-bit split (``2**64 = 8 mod M61``, ``2**61 = 1 mod M61``), so
+  the whole field fits ``uint64`` lanes with no overflow;
+* anything else -- numpy absent, keys or moduli beyond the lane-safe
+  range, forced via :func:`repro.kernels.backend.scalar_only` -- falls
+  back to the scalar twin.
+
+The randomized differential suite (``tests/test_kernels_differential.py``)
+pins the lane paths against the scalar oracles on >= 1000 cases per
+kernel; the perf regression gate additionally pins ``counters_sha256`` of
+the E1 trial loop, so a kernel that changed a single wire bit cannot land.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Sequence
+
+from repro.kernels.backend import numpy_or_none
+
+__all__ = [
+    "M61",
+    "MIN_LANES",
+    "affine_image_batch",
+    "affine_image_batch_scalar",
+    "bucket_assign",
+    "bucket_assign_scalar",
+    "mod_batch",
+    "mod_batch_scalar",
+    "equal_mask",
+    "equal_mask_scalar",
+    "sort_ints",
+    "sort_ints_scalar",
+    "fingerprint_sweep",
+]
+
+#: The Mersenne prime ``2**61 - 1`` -- the largest modulus with a fully
+#: lane-safe ``uint64`` multiply via the 32-bit split reduction.
+M61 = (1 << 61) - 1
+
+#: Below this many keys the numpy call overhead (list-of-int to uint64
+#: array conversion + ufunc dispatch) exceeds the per-key Python loop
+#: cost, so the scalar twin runs even when numpy is available.  Dispatch
+#: only -- values are identical either way.
+MIN_LANES = 128
+
+_LANE_LIMIT = 1 << 64
+
+
+# -- scalar oracles --------------------------------------------------------
+
+
+def affine_image_batch_scalar(
+    elements: Sequence[int], mult: int, shift: int, prime: int, range_size: int
+) -> List[int]:
+    """Exact per-key evaluation of ``((a*x + b) mod p) mod t``."""
+    return [(mult * x + shift) % prime % range_size for x in elements]
+
+
+def bucket_assign_scalar(
+    elements: Sequence[int], mult: int, shift: int, prime: int, num_buckets: int
+) -> List[int]:
+    """Exact per-key bucket assignment (affine map, bucket-count modulus)."""
+    return affine_image_batch_scalar(elements, mult, shift, prime, num_buckets)
+
+
+def mod_batch_scalar(elements: Sequence[int], modulus: int) -> List[int]:
+    """Exact per-key ``x mod q``."""
+    return [x % modulus for x in elements]
+
+
+def equal_mask_scalar(left: Sequence, right: Sequence) -> List[int]:
+    """Exact per-index equality verdicts (``1`` iff equal)."""
+    return [int(a == b) for a, b in zip(left, right)]
+
+
+def sort_ints_scalar(values: Iterable[int]) -> List[int]:
+    """Exact sorted copy."""
+    return sorted(values)
+
+
+# -- lane helpers ----------------------------------------------------------
+
+
+def _as_lanes(np, values):
+    """``values`` as a ``uint64`` array, or ``None`` when any value does
+    not fit a lane (negative or ``>= 2**64``) -- the caller falls back to
+    the scalar twin, whose arbitrary-precision arithmetic is always exact."""
+    try:
+        return np.asarray(values, dtype=np.uint64)
+    except (OverflowError, TypeError, ValueError):
+        return None
+
+
+def _m61_mulmod(np, scalar: int, lanes):
+    """``(scalar * x) mod M61`` on ``uint64`` lanes, exact for
+    ``scalar, x < M61``.
+
+    Standard 32-bit split: with ``a = a_hi*2**32 + a_lo`` and
+    ``x = x_hi*2**32 + x_lo``,
+
+        a*x = a_hi*x_hi * 2**64  +  (a_hi*x_lo + a_lo*x_hi) * 2**32
+              + a_lo*x_lo
+
+    and modulo ``M61`` the power weights collapse (``2**64 = 8``,
+    ``2**61 = 1``), so every term fits a lane:
+
+    * ``a_hi*x_hi < 2**58``, times 8 still ``< 2**61``;
+    * ``mid = a_hi*x_lo + a_lo*x_hi < 2**62``; splitting ``mid`` at bit 29
+      turns ``mid * 2**32`` into ``(mid >> 29) + ((mid & (2**29-1)) << 32)``,
+      both ``< 2**61``;
+    * ``a_lo*x_lo < 2**64`` folds once to ``< 2**61 + 8``.
+
+    The partial sums stay below ``2**63``, and one fold plus one
+    conditional subtract lands in ``[0, M61)``.
+    """
+    u = np.uint64
+    mask32 = u(0xFFFFFFFF)
+    mask29 = u((1 << 29) - 1)
+    m61 = u(M61)
+    a_hi = u(scalar >> 32)
+    a_lo = u(scalar & 0xFFFFFFFF)
+    x_hi = lanes >> u(32)
+    x_lo = lanes & mask32
+    t0 = a_lo * x_lo
+    t0 = (t0 >> u(61)) + (t0 & m61)
+    mid = a_hi * x_lo + a_lo * x_hi
+    total = (
+        (a_hi * x_hi) * u(8)
+        + (mid >> u(29))
+        + ((mid & mask29) << u(32))
+        + t0
+    )
+    total = (total >> u(61)) + (total & m61)
+    return np.where(total >= m61, total - m61, total)
+
+
+def _affine_lanes(np, arr, mult: int, shift: int, prime: int, range_size: int):
+    """The numpy affine path, or ``None`` when no lane-safe route exists.
+
+    Exactness proofs per route:
+
+    * direct -- ``mult * max(x) + shift < 2**64`` (checked in exact Python
+      arithmetic), so the whole affine form is one overflow-free lane
+      expression;
+    * Mersenne -- ``prime == M61`` with all operands below it (see
+      :func:`_m61_mulmod`).
+
+    The outer ``mod range_size`` (and ``mod prime`` in the direct route) is
+    applied only when the modulus can change the value; a modulus above
+    every lane value is the identity and is skipped rather than converted
+    (moduli ``>= 2**64`` do not fit a lane but also cannot matter).
+    """
+    u = np.uint64
+    max_x = int(arr.max())
+    if mult * max_x + shift < _LANE_LIMIT:
+        out = u(mult) * arr + u(shift)
+        if prime <= mult * max_x + shift:
+            out = out % u(prime)
+    elif prime == M61 and mult < M61 and shift < M61 and max_x < M61:
+        out = _m61_mulmod(np, mult, arr) + u(shift)
+        out = (out >> u(61)) + (out & u(M61))
+        out = np.where(out >= u(M61), out - u(M61), out)
+    else:
+        return None
+    if range_size < _LANE_LIMIT:
+        out = out % u(range_size)
+    return out
+
+
+# -- dispatched kernels ----------------------------------------------------
+
+
+def affine_image_batch(
+    elements, mult: int, shift: int, prime: int, range_size: int
+) -> List[int]:
+    """Carter-Wegman images ``((a*x + b) mod p) mod t`` over an array of keys.
+
+    Returns plain Python ints in iteration order (duplicates kept), bit for
+    bit identical to the per-key scalar evaluation regardless of backend.
+    No per-key range validation -- callers pass sets already validated
+    against the universe, exactly like
+    :meth:`repro.hashing.pairwise.PairwiseHash.image_pairs`.
+    """
+    xs = elements if isinstance(elements, list) else list(elements)
+    np = numpy_or_none()
+    if np is None or len(xs) < MIN_LANES:
+        return affine_image_batch_scalar(xs, mult, shift, prime, range_size)
+    arr = _as_lanes(np, xs)
+    if arr is None:
+        return affine_image_batch_scalar(xs, mult, shift, prime, range_size)
+    out = _affine_lanes(np, arr, mult, shift, prime, range_size)
+    if out is None:
+        return affine_image_batch_scalar(xs, mult, shift, prime, range_size)
+    return out.tolist()
+
+
+def bucket_assign(
+    elements, mult: int, shift: int, prime: int, num_buckets: int
+) -> List[int]:
+    """The bucket-hashing step: which bucket each key lands in.
+
+    Identical arithmetic to :func:`affine_image_batch` with the bucket
+    count as the outer modulus; named separately because it is a distinct
+    protocol step (Theorem 3.1 / Section 1 bucketing, the tree protocol's
+    leaf assignment) with its own micro in ``BENCH_core.json``.
+    """
+    return affine_image_batch(elements, mult, shift, prime, num_buckets)
+
+
+def mod_batch(elements, modulus: int) -> List[int]:
+    """FKS universe reduction ``x -> x mod q`` over an array of keys."""
+    xs = elements if isinstance(elements, list) else list(elements)
+    np = numpy_or_none()
+    if np is None or len(xs) < MIN_LANES or not 1 <= modulus < _LANE_LIMIT:
+        return mod_batch_scalar(xs, modulus)
+    arr = _as_lanes(np, xs)
+    if arr is None:
+        return mod_batch_scalar(xs, modulus)
+    return (arr % np.uint64(modulus)).tolist()
+
+
+def equal_mask(left: Sequence, right: Sequence) -> List[int]:
+    """Per-index equality verdicts: ``out[i] = 1`` iff ``left[i] == right[i]``.
+
+    The bulk form of the equality sweep's verdict computation (Bob's side
+    of Fact 3.5 over a whole tree level).  Both sequences must have equal
+    length -- a silent ``zip`` truncation would drop verdicts on the wire.
+    """
+    if len(left) != len(right):
+        raise ValueError(
+            f"equal_mask requires equal lengths, got {len(left)} vs {len(right)}"
+        )
+    np = numpy_or_none()
+    if np is None or len(left) < MIN_LANES:
+        return equal_mask_scalar(left, right)
+    lanes_l = _as_lanes(np, left)
+    if lanes_l is None:
+        return equal_mask_scalar(left, right)
+    lanes_r = _as_lanes(np, right)
+    if lanes_r is None:
+        return equal_mask_scalar(left, right)
+    return (lanes_l == lanes_r).astype(np.uint8).tolist()
+
+
+def sort_ints(values) -> List[int]:
+    """Sorted copy of an integer collection (hash-list assembly order)."""
+    xs = values if isinstance(values, list) else list(values)
+    np = numpy_or_none()
+    if np is None or len(xs) < MIN_LANES:
+        return sorted(xs)
+    arr = _as_lanes(np, xs)
+    if arr is None:
+        return sorted(xs)
+    arr.sort()
+    return arr.tolist()
+
+
+def fingerprint_sweep(salt: bytes, width: int, payloads) -> List[int]:
+    """Bulk shared-random-function fingerprints over serialized payloads.
+
+    Value-identical to per-payload
+    ``repro.protocols.fingerprint._fingerprint_impl``: SHA-256 of
+    ``salt || payload || counter``, concatenated until ``width`` bits are
+    available, truncated from the top.  SHA dominates and lives in C, so
+    the batch form's win is one locals-hoisted loop for the whole sweep
+    instead of a Python-level dispatch per value; it exists here so the
+    fingerprint path has the same kernel surface (and differential
+    coverage) as the arithmetic ones.
+    """
+    sha256 = hashlib.sha256
+    needed_bytes = (width + 7) // 8
+    drop = 8 * needed_bytes - width
+    from_bytes = int.from_bytes
+    out = []
+    if needed_bytes <= 32:
+        # The common case (width <= 256): exactly one digest per payload.
+        zero = (0).to_bytes(4, "big")
+        for data in payloads:
+            digest = sha256(salt + data + zero).digest()
+            out.append(from_bytes(digest[:needed_bytes], "big") >> drop)
+        return out
+    for data in payloads:
+        digest_input = salt + data
+        digest = b""
+        counter = 0
+        while len(digest) < needed_bytes:
+            digest += sha256(digest_input + counter.to_bytes(4, "big")).digest()
+            counter += 1
+        out.append(from_bytes(digest[:needed_bytes], "big") >> drop)
+    return out

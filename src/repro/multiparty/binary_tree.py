@@ -97,6 +97,9 @@ class BinaryTreeIntersection:
         inbox: List = []
         strays: List = []
         level = 0
+        # Stateless, like the coordinator protocol's: one instance covers
+        # every tree edge this player climbs.
+        pair_protocol = self._pair_protocol()
 
         while len(active) > 1:
             groups = partition_groups(active, self.group_size)
@@ -117,9 +120,9 @@ class BinaryTreeIntersection:
                     role = "alice" if ctx.name == left else "bob"
                     pctx = pair_context(ctx, role, current, left, right, label)
                     coroutine = (
-                        self._pair_protocol().alice(pctx)
+                        pair_protocol.alice(pctx)
                         if role == "alice"
-                        else self._pair_protocol().bob(pctx)
+                        else pair_protocol.bob(pctx)
                     )
                     peer = right if role == "alice" else left
                     adapter = TwoPartyAdapter(coroutine)

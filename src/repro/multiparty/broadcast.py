@@ -20,6 +20,7 @@ from typing import Generator, List, Tuple
 
 from repro.comm.errors import ProtocolViolation
 from repro.hashing.pairwise import PairwiseHash, sample_pairwise_hash
+from repro.kernels import sort_ints
 from repro.multiparty.network import PlayerContext
 from repro.protocols.basic_intersection import range_for_inverse_failure
 from repro.util.bits import BitReader, BitString, BitWriter
@@ -50,10 +51,9 @@ def send_broadcast(
     """Final holder: ship the result's sorted hash image to every player."""
     hash_fn = broadcast_hash(ctx, universe_size, max_set_size)
     writer = BitWriter()
-    values = sorted(hash_fn(x) for x in result)
+    values = sort_ints(hash_fn.images(list(result)))
     writer.write_gamma(len(values))
-    for value in values:
-        writer.write_uint(value, hash_fn.output_bits)
+    writer.write_run(values, hash_fn.output_bits)
     payload = writer.finish()
     yield [(peer, payload) for peer in ctx.players if peer != ctx.name]
 
@@ -83,9 +83,12 @@ def await_broadcast(
                 )
             reader = BitReader(payload)
             count = reader.read_gamma()
-            images = {
-                reader.read_uint(hash_fn.output_bits) for _ in range(count)
-            }
+            images = set(reader.read_run(count, hash_fn.output_bits))
             reader.expect_exhausted()
-            return frozenset(x for x in original if hash_fn(x) in images)
+            own = list(original)
+            return frozenset(
+                x
+                for x, image in zip(own, hash_fn.images(own))
+                if image in images
+            )
         pending = yield []

@@ -129,6 +129,10 @@ class CoordinatorIntersection:
         inbox: List = []
         strays: List = []
         level = 0
+        # AmplifiedIntersection is stateless (per-run state lives in the
+        # coroutines it constructs), so one instance serves every pairwise
+        # run this player ever participates in.
+        pair_protocol = self._pair_protocol()
 
         while len(active) > 1:
             groups = partition_groups(active, self.group_size)
@@ -143,7 +147,7 @@ class CoordinatorIntersection:
                         ctx, "alice", current, coordinator, member, label
                     )
                     adapters[member] = TwoPartyAdapter(
-                        self._pair_protocol().alice(pctx)
+                        pair_protocol.alice(pctx)
                     )
                 if adapters:
                     first_inbox = strays + inbox
@@ -157,7 +161,7 @@ class CoordinatorIntersection:
                 pctx = pair_context(
                     ctx, "bob", current, coordinator, ctx.name, label
                 )
-                adapter = TwoPartyAdapter(self._pair_protocol().bob(pctx))
+                adapter = TwoPartyAdapter(pair_protocol.bob(pctx))
                 first_inbox = strays + inbox
                 strays.clear()
                 inbox = []

@@ -62,6 +62,28 @@ def drive_adapters(
     Returns once every adapter has completed and all its sends are flushed.
     """
     inbox = first_inbox
+    # The common shape (every non-coordinator player, every tree edge) is a
+    # single adapter; skip the per-superstep sort and routing dict for it.
+    if len(adapters) == 1:
+        (peer, adapter), = adapters.items()
+        while True:
+            arrived: List[BitString] = []
+            for source, payload in inbox:
+                if source == peer:
+                    arrived.append(payload)
+                else:
+                    strays.append((source, payload))
+            if adapter.done:
+                if arrived:
+                    raise ProtocolViolation(
+                        f"payloads from {peer!r} after its protocol finished"
+                    )
+                return None
+            outbox = [(peer, payload) for payload in adapter.step(arrived)]
+            if not outbox and adapter.done:
+                return None
+            inbox = yield outbox
+    peers = sorted(adapters)
     while True:
         routed: Dict[str, List[BitString]] = {}
         for source, payload in inbox:
@@ -70,7 +92,7 @@ def drive_adapters(
             else:
                 strays.append((source, payload))
         outbox: List[Tuple[str, BitString]] = []
-        for peer in sorted(adapters):
+        for peer in peers:
             adapter = adapters[peer]
             arrived = routed.get(peer, [])
             if adapter.done:

@@ -11,6 +11,10 @@ same loop configuration -- reproduce the same ``counters_sha256``
 (identical trial counters across commits is the wire-format invariant the
 whole perf effort rides on).
 
+Micros that record a kernel ``backend`` (schema v3) are only compared when
+both reports used the same backend -- a scalar run on a numpy-less host
+against a numpy baseline is a configuration difference, not a regression.
+
 Throughput comparisons are only meaningful between runs on the same
 machine; the tolerance band exists because even same-machine runs wobble.
 CI uses a generous band (``--tolerance 25``) for its ``--quick`` smoke
@@ -83,6 +87,15 @@ def compare_reports(
             regressions.append(
                 f"micro.{name}: present in baseline but missing from the "
                 f"new report"
+            )
+        elif old_entry.get("backend") != new_entry.get("backend"):
+            # Same rule as the counters hash: only compare like with like.
+            # A scalar-backend run (no numpy on the host) against a
+            # numpy-backend baseline is a backend diff, not a regression.
+            row["status"] = "skipped"
+            row["detail"] = (
+                f"backends differ: {old_entry.get('backend')!r} -> "
+                f"{new_entry.get('backend')!r}"
             )
         else:
             old_ops = float(old_entry["ops_per_s"])

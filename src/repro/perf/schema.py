@@ -9,16 +9,20 @@ validator against every freshly produced file and fails on drift.
 Top-level document::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "suite": "repro.perf.core",
       "created_unix": 1754000000.0,
       "host": {
         "python": "3.11.7", "platform": "...",
-        "cpu_count": 1,           # os.cpu_count(): logical CPUs
-        "cpu_count_affinity": 1   # CPUs this process may actually use
+        "cpu_count": 1,            # os.cpu_count(): logical CPUs
+        "cpu_count_affinity": 1    # CPUs this process may actually use;
+                                   # null where the host cannot say
+                                   # (no os.sched_getaffinity)
       },
       "config": {"workers": 4, "quick": false},
-      "micro": {"<name>": {"ops_per_s": ..., "wall_s": ..., "iterations": ...}},
+      "micro": {"<name>": {"ops_per_s": ..., "wall_s": ..., "iterations": ...,
+                           "backend": "numpy"}},  # backend optional: which
+                                                  # kernel backend timed it
       "e1_trial_loop": {
         "trials": ..., "k": ..., "rounds": ...,
         "serial_uncached_s": ...,   # seed-equivalent baseline (caches bypassed)
@@ -40,6 +44,13 @@ automates the between-commit diff with a tolerance band.
 
 Schema history:
 
+* **v3** -- the kernel layer: three kernel micros (``pairwise_batch``,
+  ``bucket_assign``, ``multiparty_round``) become required; micro entries
+  may carry an optional ``backend`` string (``"numpy"`` / ``"scalar"``)
+  naming the kernel backend that produced the timing, so the regression
+  gate can skip throughput comparisons across different backends;
+  ``host.cpu_count_affinity`` may be ``null`` on hosts without
+  ``os.sched_getaffinity`` (macOS/Windows) instead of fabricating a count.
 * **v2** -- honest host parallelism: ``host.cpu_count_affinity`` (the CPUs
   the process is actually allowed to schedule on, which on pinned CI
   runners is smaller than ``os.cpu_count()``) joins ``host.cpu_count``;
@@ -59,8 +70,16 @@ __all__ = [
     "bench_report_warnings",
 ]
 
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 SUITE_NAME = "repro.perf.core"
+
+
+class _IntOrNull:
+    """Marker type for fields that are an int where the host can say and
+    ``null`` where it cannot (see ``host.cpu_count_affinity``)."""
+
+    __name__ = "int or null"
+
 
 _MICRO_FIELDS = {"ops_per_s": float, "wall_s": float, "iterations": int}
 _E1_FIELDS = {
@@ -80,7 +99,7 @@ _HOST_FIELDS = {
     "python": str,
     "platform": str,
     "cpu_count": int,
-    "cpu_count_affinity": int,
+    "cpu_count_affinity": _IntOrNull,
 }
 _CONFIG_FIELDS = {"workers": int, "quick": bool}
 
@@ -94,6 +113,9 @@ REQUIRED_MICRO = (
     "bitwriter_bulk",
     "bitstring_concat",
     "transcript_append",
+    "pairwise_batch",
+    "bucket_assign",
+    "multiparty_round",
 )
 
 
@@ -112,6 +134,10 @@ def _check_fields(
             ok = isinstance(value, (int, float)) and not isinstance(value, bool)
         elif expected is int:
             ok = isinstance(value, int) and not isinstance(value, bool)
+        elif expected is _IntOrNull:
+            ok = value is None or (
+                isinstance(value, int) and not isinstance(value, bool)
+            )
         else:
             ok = isinstance(value, expected)
         if not ok:
@@ -153,6 +179,12 @@ def validate_bench_report(report: Any) -> List[str]:
                 errors.append(f"micro.{required}: missing")
         for name, entry in micro.items():
             _check_fields(errors, f"micro.{name}", entry, _MICRO_FIELDS)
+            if isinstance(entry, dict) and "backend" in entry:
+                if not isinstance(entry["backend"], str):
+                    errors.append(
+                        f"micro.{name}.backend: expected str, got "
+                        f"{type(entry['backend']).__name__}"
+                    )
 
     _check_fields(errors, "e1_trial_loop", report.get("e1_trial_loop"), _E1_FIELDS)
     return errors

@@ -35,6 +35,7 @@ from typing import FrozenSet, Generator, Iterable, List
 from repro.comm.engine import PartyContext, Recv, Send
 from repro.hashing.families import collision_free_range
 from repro.hashing.pairwise import PairwiseHash, sample_pairwise_hash
+from repro.kernels import sort_ints
 from repro.protocols.base import SetIntersectionProtocol
 from repro.util.bits import (
     BitReader,
@@ -102,12 +103,13 @@ class BasicIntersectionCore:
 
     def write_hashes(self, writer: BitWriter, elements: Iterable[int]) -> None:
         """Append the sorted hash list of ``elements`` (no count header; the
-        receiver knows the count from the size exchange).  The whole run
-        goes through :meth:`~repro.util.bits.BitWriter.write_run`, so a
-        batch of many leaves' lists into one shared writer stays linear in
-        the combined message length."""
+        receiver knows the count from the size exchange).  Images come from
+        one batch-kernel sweep and the whole run goes through
+        :meth:`~repro.util.bits.BitWriter.write_run`, so a batch of many
+        leaves' lists into one shared writer stays linear in the combined
+        message length."""
         writer.write_run(
-            sorted(self.hash_fn(x) for x in elements), self.value_width
+            sort_ints(self.hash_fn.images(list(elements))), self.value_width
         )
 
     def read_hashes(self, reader: BitReader, count: int) -> List[int]:
@@ -119,7 +121,12 @@ class BasicIntersectionCore:
     ) -> FrozenSet[int]:
         """``h^{-1}(other_hashes) n own`` -- the Lemma 3.3 output rule."""
         other = set(other_hashes)
-        return frozenset(x for x in own_elements if self.hash_fn(x) in other)
+        own = list(own_elements)
+        return frozenset(
+            x
+            for x, image in zip(own, self.hash_fn.images(own))
+            if image in other
+        )
 
 
 class BasicIntersectionProtocol(SetIntersectionProtocol):

@@ -31,7 +31,9 @@ from typing import Dict, FrozenSet, Generator, List
 from repro.comm.engine import PartyContext, Recv, Send
 from repro.comm.errors import ProtocolAborted
 from repro.hashing.pairwise import PairwiseHash, sample_pairwise_hash
+from repro.kernels import sort_ints
 from repro.protocols.base import SetIntersectionProtocol
+from repro.protocols.equality import bulk_verdicts
 from repro.protocols.fingerprint import Fingerprinter
 from repro.util.bits import (
     BitReader,
@@ -113,10 +115,10 @@ class BucketVerifyProtocol(SetIntersectionProtocol):
         writer = BitWriter()
         width = ceil_log2(self.inner_range)
         for bucket in active:
-            values = sorted(inner[bucket](x) for x in buckets.get(bucket, ()))
+            elements = list(buckets.get(bucket, ()))
+            values = sort_ints(inner[bucket].images(elements))
             writer.write_gamma(len(values))
-            for value in values:
-                writer.write_uint(value, width)
+            writer.write_run(values, width)
         return writer.finish()
 
     def _decode_bucket_hashes(self, payload, active: List[int]) -> Dict[int, set]:
@@ -136,10 +138,12 @@ class BucketVerifyProtocol(SetIntersectionProtocol):
         is_alice = ctx.role == "alice"
         own = frozenset(ctx.input)
         bucket_hash = self._bucket_hash(ctx)
+        own_list = list(own)
         buckets: Dict[int, FrozenSet[int]] = {}
-        for element in own:
-            buckets.setdefault(bucket_hash(element), set())
-            buckets[bucket_hash(element)].add(element)  # type: ignore[union-attr]
+        # One batch-kernel sweep assigns every element its bucket (the old
+        # loop evaluated the hash twice per element on top of being scalar).
+        for element, bucket in zip(own_list, bucket_hash.images(own_list)):
+            buckets.setdefault(bucket, set()).add(element)  # type: ignore[union-attr]
         buckets = {b: frozenset(v) for b, v in buckets.items()}
 
         active = list(range(self.num_buckets))
@@ -160,34 +164,31 @@ class BucketVerifyProtocol(SetIntersectionProtocol):
             candidates: Dict[int, FrozenSet[int]] = {}
             for bucket in active:
                 other_values = theirs[bucket]
+                elements = list(buckets.get(bucket, frozenset()))
                 candidates[bucket] = frozenset(
                     x
-                    for x in buckets.get(bucket, frozenset())
-                    if inner[bucket](x) in other_values
+                    for x, image in zip(elements, inner[bucket].images(elements))
+                    if image in other_values
                 )
 
             # Verification: Alice ships fingerprints, Bob replies verdicts.
             verifier = self._verifier(ctx, iteration)
+            prints = verifier.values_of([candidates[b] for b in active])
             if is_alice:
                 writer = BitWriter()
-                for bucket in active:
-                    writer.write_uint(
-                        verifier.value_of(candidates[bucket]), self.verify_width
-                    )
+                writer.write_run(prints, self.verify_width)
                 yield Send(writer.finish())
                 verdict_reader = BitReader((yield Recv()))
                 verdicts = [verdict_reader.read_bit() for _ in active]
                 verdict_reader.expect_exhausted()
             else:
                 reader = BitReader((yield Recv()))
-                verdicts = []
-                writer = BitWriter()
-                for bucket in active:
-                    received = reader.read_uint(self.verify_width)
-                    passed = int(received == verifier.value_of(candidates[bucket]))
-                    verdicts.append(passed)
-                    writer.write_bit(passed)
+                received = reader.read_run(len(active), self.verify_width)
                 reader.expect_exhausted()
+                verdicts = bulk_verdicts(received, prints)
+                writer = BitWriter()
+                for passed in verdicts:
+                    writer.write_bit(passed)
                 yield Send(writer.finish())
 
             still_active = []

@@ -25,10 +25,16 @@ import math
 from typing import Any, Generator
 
 from repro.comm.engine import PartyContext, Recv, Send
+from repro.kernels import equal_mask
 from repro.protocols.fingerprint import Fingerprinter
 from repro.util.bits import BitString
 
-__all__ = ["EqualityProtocol", "equality_error_exponent", "run_equality"]
+__all__ = [
+    "EqualityProtocol",
+    "bulk_verdicts",
+    "equality_error_exponent",
+    "run_equality",
+]
 
 # The two possible verdict payloads, preallocated: BitStrings are immutable,
 # and every equality test ends by sending one of these.
@@ -45,6 +51,19 @@ def equality_error_exponent(inverse_polynomial: float, minimum: int = 2) -> int:
     if inverse_polynomial <= 1.0:
         return minimum
     return max(minimum, math.ceil(math.log2(inverse_polynomial)))
+
+
+def bulk_verdicts(received, expected) -> list:
+    """Verdict bits for a whole sweep of equality tests at once.
+
+    ``out[i] = 1`` iff ``received[i] == expected[i]`` -- Bob's side of
+    Fact 3.5 amortized over every test of a batch (a tree level's node
+    sweep, a bucket iteration), routed through
+    :func:`repro.kernels.equal_mask` (uint64 lanes when the fingerprints
+    fit, exact scalar otherwise).  Raises on length mismatch: a silent
+    truncation here would drop verdict bits from the wire.
+    """
+    return equal_mask(received, expected)
 
 
 class EqualityProtocol:

@@ -31,6 +31,7 @@ from functools import lru_cache
 from typing import Any
 
 from repro.hashing.primes import next_prime
+from repro.kernels import fingerprint_sweep
 from repro.util import hotcache
 from repro.util.bits import BitString
 from repro.util.rng import RandomStream
@@ -208,14 +209,18 @@ class Fingerprinter:
         value -- the tree protocol fingerprints every node of a level in
         one go.  Callers must pass hashable values only (the tree's node
         values are frozensets); unhashable values need :meth:`value_of`.
+        With the caches bypassed the sweep runs through
+        :func:`repro.kernels.fingerprint_sweep`, the locals-hoisted bulk
+        digest kernel (value-identical per the differential suite).
         """
         salt = self._salt
         width = self.width
         if hotcache.enabled():
             cached = _fingerprint_of_cached
             return [cached(salt, width, value) for value in values]
-        impl = _fingerprint_impl
-        return [impl(salt, width, canonical_bytes(value)) for value in values]
+        return fingerprint_sweep(
+            salt, width, [canonical_bytes(value) for value in values]
+        )
 
     def bits_of(self, value: Any) -> BitString:
         """The fingerprint as a ``width``-bit :class:`BitString`."""

@@ -26,6 +26,7 @@ from typing import FrozenSet, Generator, List
 from repro.comm.engine import PartyContext, Recv, Send
 from repro.hashing.families import collision_free_range
 from repro.hashing.pairwise import PairwiseHash, sample_pairwise_hash
+from repro.kernels import sort_ints
 from repro.protocols.base import SetIntersectionProtocol
 from repro.util.bits import BitString, decode_fixed_list, encode_fixed_list
 
@@ -69,10 +70,15 @@ class OneRoundHashingProtocol(SetIntersectionProtocol):
     def _filter(self, own_set, own_hash_fn, received: BitString) -> FrozenSet[int]:
         """Keep own elements whose hash value the other party also sent."""
         other_values = set(decode_fixed_list(received, own_hash_fn.output_bits))
-        return frozenset(x for x in own_set if own_hash_fn(x) in other_values)
+        own = list(own_set)
+        return frozenset(
+            x
+            for x, image in zip(own, own_hash_fn.images(own))
+            if image in other_values
+        )
 
     def _encode_hashes(self, hash_fn: PairwiseHash, elements) -> BitString:
-        values: List[int] = sorted(hash_fn(x) for x in elements)
+        values: List[int] = sort_ints(hash_fn.images(list(elements)))
         return encode_fixed_list(values, hash_fn.output_bits)
 
     def alice(self, ctx: PartyContext) -> Generator:

@@ -23,10 +23,12 @@ cycles between :mod:`repro.hashing` and :mod:`repro.perf`.
 from __future__ import annotations
 
 import contextlib
+import functools
 from typing import Callable, Dict, Iterator
 
 __all__ = [
     "register",
+    "memoize",
     "enabled",
     "disabled",
     "clear_all",
@@ -61,6 +63,40 @@ def register(name: str, cached_fn: Callable) -> Callable:
         raise TypeError(f"{name}: registered object has no cache_clear()")
     _REGISTRY[name] = cached_fn
     return cached_fn
+
+
+def memoize(
+    name: str, *, maxsize: int = 1 << 12, typed: bool = False
+) -> Callable[[Callable], Callable]:
+    """Decorator: register an ``lru_cache`` memo under ``name`` and return
+    a wrapper that respects the kill-switch.
+
+    The shared form of the pattern every hot-path memo hand-rolled before::
+
+        @hotcache.memoize("module.fn")
+        def fn(...): ...
+
+    is equivalent to registering ``lru_cache(maxsize)(impl)`` and
+    dispatching on :func:`enabled` at every call: while the switch is on,
+    calls hit the cache; inside :func:`disabled` they fall through to the
+    undecorated implementation (which stays reachable as
+    ``fn.__wrapped__``; the cache itself as ``fn.cache`` for tests that
+    inspect hit counters directly).
+    """
+
+    def decorate(impl: Callable) -> Callable:
+        cached = register(name, functools.lru_cache(maxsize=maxsize, typed=typed)(impl))
+
+        @functools.wraps(impl)
+        def wrapper(*args):
+            if _STATE.enabled:
+                return cached(*args)
+            return impl(*args)
+
+        wrapper.cache = cached  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate
 
 
 def enabled() -> bool:

@@ -30,6 +30,39 @@ class TestPartitionGroups:
     def test_oversized_group(self):
         assert partition_groups(["a"], 10) == [["a"]]
 
+    def test_group_size_exceeds_player_count(self):
+        # One group containing everybody -- the single-level recursion case.
+        players = [f"p{i}" for i in range(5)]
+        assert partition_groups(players, 100) == [players]
+
+    def test_single_player(self):
+        assert partition_groups(["only"], 2) == [["only"]]
+
+    def test_empty_player_list(self):
+        assert partition_groups([], 4) == []
+
+    def test_non_divisible_sizes_cover_everyone_once(self):
+        players = [f"p{i}" for i in range(7)]
+        for group_size in (2, 3, 4, 5, 6):
+            groups = partition_groups(players, group_size)
+            # Every player appears exactly once, order preserved.
+            assert [p for group in groups for p in group] == players
+            # All groups full except possibly the last.
+            assert all(len(g) == group_size for g in groups[:-1])
+            assert 1 <= len(groups[-1]) <= group_size
+
+    def test_group_size_of_remainder_one(self):
+        # 7 players in groups of 3 leaves a singleton tail group whose lone
+        # member is its own coordinator.
+        groups = partition_groups([f"p{i}" for i in range(7)], 3)
+        assert groups[-1] == ["p6"]
+
+    def test_returns_lists_not_views(self):
+        players = ["a", "b", "c", "d"]
+        groups = partition_groups(players, 2)
+        groups[0].append("mutated")
+        assert players == ["a", "b", "c", "d"]
+
 
 class TestCorrectness:
     @pytest.mark.parametrize("m", [2, 3, 5, 8])

@@ -48,7 +48,7 @@ def make_report(ops, e1=None, workers=4, cpus=8):
     if e1:
         e1_section.update(e1)
     return {
-        "schema_version": 2,
+        "schema_version": 3,
         "suite": "repro.perf.core",
         "created_unix": 0.0,
         "host": {
@@ -111,6 +111,27 @@ class TestCompareReports:
         assert result["ok"]
         (row,) = [r for r in result["micro"] if r["name"] == "bitwriter_bulk"]
         assert row["status"] == "new"
+
+    def test_backend_mismatch_skips_throughput(self):
+        # A scalar-backend run (no numpy) against a numpy baseline must not
+        # read as a regression -- or as a pass; it is simply not comparable.
+        old = make_report({"pairwise_batch": 100.0})
+        old["micro"]["pairwise_batch"]["backend"] = "numpy"
+        new = make_report({"pairwise_batch": 10.0})
+        new["micro"]["pairwise_batch"]["backend"] = "scalar"
+        result = compare_reports(old, new)
+        assert result["ok"]
+        (row,) = [r for r in result["micro"] if r["name"] == "pairwise_batch"]
+        assert row["status"] == "skipped"
+        assert "backends differ" in row["detail"]
+
+    def test_same_backend_still_gated(self):
+        old = make_report({"pairwise_batch": 100.0})
+        old["micro"]["pairwise_batch"]["backend"] = "numpy"
+        new = make_report({"pairwise_batch": 10.0})
+        new["micro"]["pairwise_batch"]["backend"] = "numpy"
+        result = compare_reports(old, new, tolerance_pct=10.0)
+        assert not result["ok"]
 
     def test_lost_bit_identity_regresses(self):
         old = make_report({"tree_protocol": 100.0})

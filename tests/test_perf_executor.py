@@ -244,7 +244,7 @@ class TestBenchSchema:
     def _minimal_report(self):
         micro_entry = {"ops_per_s": 10.0, "wall_s": 0.1, "iterations": 1}
         return {
-            "schema_version": 2,
+            "schema_version": 3,
             "suite": "repro.perf.core",
             "created_unix": 1754000000.0,
             "host": {
@@ -265,6 +265,9 @@ class TestBenchSchema:
                     "bitwriter_bulk",
                     "bitstring_concat",
                     "transcript_append",
+                    "pairwise_batch",
+                    "bucket_assign",
+                    "multiparty_round",
                 )
             },
             "e1_trial_loop": {
@@ -289,6 +292,28 @@ class TestBenchSchema:
         report = self._minimal_report()
         report["schema_version"] = 1
         assert any("schema_version" in p for p in validate_bench_report(report))
+
+    def test_null_affinity_accepted(self):
+        # Hosts without os.sched_getaffinity (macOS/Windows) report null.
+        report = self._minimal_report()
+        report["host"]["cpu_count_affinity"] = None
+        assert validate_bench_report(report) == []
+
+    def test_non_int_affinity_rejected(self):
+        report = self._minimal_report()
+        report["host"]["cpu_count_affinity"] = "all"
+        assert any(
+            "cpu_count_affinity" in p for p in validate_bench_report(report)
+        )
+
+    def test_backend_field_accepted_and_typed(self):
+        report = self._minimal_report()
+        report["micro"]["pairwise_batch"]["backend"] = "numpy"
+        assert validate_bench_report(report) == []
+        report["micro"]["pairwise_batch"]["backend"] = 7
+        assert any(
+            "pairwise_batch.backend" in p for p in validate_bench_report(report)
+        )
 
     def test_missing_micro_detected(self):
         report = self._minimal_report()
