@@ -13,6 +13,9 @@ Commands:
   reference and guarantee.
 * ``bench`` -- run the repro.perf core microbenchmark suite and write
   ``BENCH_core.json`` (or validate an existing report against the schema).
+* ``trace`` -- run a traced workload, write a schema-validated JSONL event
+  trace, print the per-round/per-sender rollup, and check the run against
+  the paper's bounds (or validate an existing trace with ``--validate``).
 """
 
 from __future__ import annotations
@@ -175,6 +178,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="with --compare: also write the comparison result as JSON",
     )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced tree-protocol workload, write a JSONL event "
+        "trace, and check it against the paper's bounds",
+    )
+    trace.add_argument("--k", type=int, default=256, help="set-size bound k")
+    trace.add_argument(
+        "--log-universe", type=int, default=24, help="universe is 2^THIS"
+    )
+    trace.add_argument(
+        "--rounds", type=int, default=None, help="round parameter r (default log* k)"
+    )
+    trace.add_argument("--overlap", type=float, default=0.3, help="overlap fraction")
+    trace.add_argument("--seed", type=int, default=0, help="first trial seed")
+    trace.add_argument("--trials", type=int, default=1, help="number of traced runs")
+    trace.add_argument(
+        "--out", default="trace.jsonl", help="JSONL trace output path"
+    )
+    trace.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the prediction checker (write + validate + rollup only)",
+    )
+    trace.add_argument(
+        "--validate",
+        metavar="PATH",
+        default=None,
+        help="validate an existing JSONL trace against the event schema "
+        "instead of running",
+    )
     return parser
 
 
@@ -286,6 +320,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_render(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -385,6 +421,121 @@ def _cmd_bench(args, out) -> int:
             handle.write("\n")
         print(f"wrote {args.compare_out}", file=out)
     return 0 if result["ok"] else 1
+
+
+def _cmd_trace(args, out) -> int:
+    from repro.obs.schema import (
+        TRACE_SCHEMA_VERSION,
+        load_trace,
+        validate_trace_events,
+    )
+
+    if args.validate is not None:
+        try:
+            events = load_trace(args.validate)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.validate}: {exc}", file=out)
+            return 1
+        problems = validate_trace_events(events)
+        if problems:
+            for problem in problems:
+                print(f"schema: {problem}", file=out)
+            return 1
+        print(
+            f"{args.validate}: OK ({len(events)} events, "
+            f"trace schema v{TRACE_SCHEMA_VERSION})",
+            file=out,
+        )
+        return 0
+
+    from repro.obs import metrics as _metrics
+    from repro.obs import state as _obs_state
+    from repro.obs.checker import check_runs
+    from repro.obs.rollup import rollup_runs
+    from repro.obs.trace import JsonlSink, RingBufferSink, Tracer
+    from repro.workloads import make_instance
+
+    universe = 1 << args.log_universe
+    protocol = TreeProtocol(universe, args.k, rounds=args.rounds)
+    # A private tracer for the workload: ring buffer for the in-process
+    # rollup plus the JSONL file; whatever tracer the environment installed
+    # is restored afterwards.  Metrics reset so the final snapshot covers
+    # exactly the traced runs.
+    ring = RingBufferSink()
+    tracer = Tracer([ring, JsonlSink(args.out)])
+    previous = _obs_state.STATE.tracer
+    _metrics.reset_metrics()
+    _obs_state.STATE.install(tracer)
+    try:
+        rng = random.Random(args.seed)
+        for trial in range(args.trials):
+            alice, bob = make_instance(rng, universe, args.k, args.overlap)
+            outcome = protocol.run(alice, bob, seed=args.seed + trial)
+            if outcome.alice_output != alice & bob:
+                print(f"trial {trial}: protocol output INCORRECT", file=out)
+                return 1
+    finally:
+        _obs_state.STATE.install(previous)
+        tracer.close()
+
+    events = ring.events()
+    if ring.dropped:
+        print(
+            f"warning: ring buffer dropped {ring.dropped} events; "
+            f"rollup below is partial (the JSONL file is complete)",
+            file=out,
+        )
+    problems = validate_trace_events(load_trace(args.out))
+    if problems:
+        for problem in problems:
+            print(f"schema: {problem}", file=out)
+        return 1
+    print(
+        f"wrote {args.out} ({len(events)} events, "
+        f"trace schema v{TRACE_SCHEMA_VERSION})",
+        file=out,
+    )
+
+    runs = rollup_runs(events)
+    for index, run in enumerate(runs):
+        r = run.params.get("rounds", "?")
+        print(
+            f"\nrun {index}: {run.protocol} "
+            f"(k={run.params.get('max_set_size')}, r={r}) -- "
+            f"{run.total_bits} bits in {run.num_rounds} messages",
+            file=out,
+        )
+        for round_index, bits in enumerate(run.round_bits):
+            print(f"  round {round_index:>2}: {bits:>8} bits", file=out)
+        for sender in sorted(run.sender_bits):
+            print(
+                f"  sender {sender}: {run.sender_bits[sender]} bits", file=out
+            )
+
+    metrics_snapshot = _metrics.snapshot(include_hotcache=True)
+    if metrics_snapshot:
+        print("\nmetrics:", file=out)
+        for name, entry in metrics_snapshot.items():
+            if entry["kind"] == "counter":
+                print(f"  {name}: {entry['value']}", file=out)
+            elif entry["kind"] == "histogram":
+                print(
+                    f"  {name}: n={entry['count']} mean={entry['mean']:.1f} "
+                    f"min={entry['min']} max={entry['max']}",
+                    file=out,
+                )
+            else:
+                print(
+                    f"  {name}: hits={entry['hits']} misses={entry['misses']}",
+                    file=out,
+                )
+
+    if args.no_check:
+        return 0
+    report = check_runs(runs)
+    print("", file=out)
+    print(str(report), file=out)
+    return 0 if report.passed else 1
 
 
 def _cmd_render(args, out) -> int:

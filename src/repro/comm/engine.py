@@ -41,6 +41,7 @@ from typing import Any, Callable, Deque, Dict, Generator, Optional
 
 from repro.comm.errors import ProtocolAborted, ProtocolDeadlock, ProtocolViolation
 from repro.comm.transcript import Transcript
+from repro.obs.state import STATE as _OBS
 from repro.util.bits import BitString
 from repro.util.rng import PrivateRandomness, SharedRandomness
 
@@ -169,10 +170,20 @@ def run_two_party(
     :returns: a :class:`TwoPartyOutcome` with both outputs and the transcript.
     :raises ProtocolDeadlock: mismatched send/receive structure.
     :raises ProtocolAborted: communication budget exceeded.
+
+    Zero-length payloads are *delivered* like any other send (the peer's
+    ``Recv`` completes with a 0-bit string, keeping the effect structure
+    synchronized), but they are free on the transcript and never open a
+    message -- see :meth:`Transcript.record_send
+    <repro.comm.transcript.Transcript.record_send>` for the pinned
+    convention.
     """
     shared_randomness = shared if shared is not None else SharedRandomness(shared_seed)
     record = transcript if transcript is not None else Transcript()
     budget_base = record.total_bits
+    messages_base = record.num_messages
+    if _OBS.active:
+        _OBS.tracer.emit("engine.start")
 
     states: Dict[str, _PartyState] = {
         ALICE: _PartyState(
@@ -279,6 +290,23 @@ def run_two_party(
             raise ProtocolViolation(
                 f"{state.role} finished with {len(state.inbox)} undelivered "
                 f"payload(s) in its inbox"
+            )
+
+    if _OBS.active:
+        # Run-relative totals: with a composed (pre-populated) transcript
+        # only this run's share is reported, matching budget accounting.
+        run_bits = record.total_bits - budget_base
+        run_messages = record.num_messages - messages_base
+        _OBS.tracer.emit(
+            "engine.finish", total_bits=run_bits, num_messages=run_messages
+        )
+        from repro.obs import metrics as _metrics
+
+        _metrics.histogram("engine.rounds_per_run").observe(run_messages)
+        _metrics.histogram("engine.bits_per_run").observe(run_bits)
+        for message in record.messages[messages_base:]:
+            _metrics.histogram("engine.bits_per_round").observe(
+                message.num_bits
             )
 
     return TwoPartyOutcome(

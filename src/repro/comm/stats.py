@@ -34,16 +34,22 @@ class Summary:
 
 
 def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of an already sorted sample."""
-    if not sorted_values:
+    """Nearest-rank percentile of an already sorted sample.
+
+    Emptiness is checked via ``len``, not truthiness: numpy arrays (the
+    natural output of a kernel-backend caller) raise "truth value of an
+    array is ambiguous" under ``if not values``.
+    """
+    if len(sorted_values) == 0:
         raise ValueError("percentile of empty sample")
     rank = max(0, math.ceil(fraction * len(sorted_values)) - 1)
     return sorted_values[rank]
 
 
 def summarize(values: Sequence[float]) -> Summary:
-    """Summarize a nonempty sample."""
-    if not values:
+    """Summarize a nonempty sample (any sized sequence, including numpy
+    arrays -- see :func:`_percentile` for why the check is ``len``-based)."""
+    if len(values) == 0:
         raise ValueError("summarize requires a nonempty sample")
     ordered = sorted(float(v) for v in values)
     return Summary(
@@ -67,14 +73,23 @@ class TrialReport:
 
     @property
     def success_rate(self) -> float:
-        """Fraction of trials whose output matched ground truth."""
+        """Fraction of trials whose output matched ground truth.
+
+        A zero-trial report has no success rate: it returns ``nan`` rather
+        than the former (silently vacuous) ``1.0``, so code that compares
+        it against a threshold fails loudly instead of reporting success
+        for an experiment that never ran.
+        """
         if self.trials == 0:
-            return 1.0
+            return float("nan")
         return 1.0 - self.failures / self.trials
 
     def __str__(self) -> str:
+        success = (
+            "n/a (0 trials)" if self.trials == 0 else f"{self.success_rate:.4f}"
+        )
         return (
-            f"trials={self.trials} success={self.success_rate:.4f} "
+            f"trials={self.trials} success={success} "
             f"bits[{self.bits}] messages[{self.messages}]"
         )
 

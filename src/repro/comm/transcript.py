@@ -9,12 +9,26 @@ theorems bound:
 * :attr:`Transcript.num_messages` -- the round complexity (the paper counts
   rounds as messages exchanged);
 * per-party bit counts, used by the multiparty per-player bounds.
+
+**Zero-length payloads never open messages.**  A 0-bit ``Send`` is a
+synchronization artifact (a party with nothing to report in a shared
+round), not communication: it is still *delivered* by the engine, but the
+transcript neither opens a new message for it nor bumps any counter.
+Before this convention was pinned, an empty send from the non-current
+sender opened a brand-new 0-bit message and inflated the paper's round
+count.  An empty send by the *current* sender still appends a 0-bit chunk,
+so decoders that walk ``chunks`` see every logical payload.
+
+With observability enabled (:mod:`repro.obs`), every message boundary
+emits a ``message.open`` event and every merged chunk a ``message.merge``
+event -- the per-round bit breakdown every trace rollup is built from.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.obs.state import STATE as _OBS
 from repro.util.bits import BitString
 
 __all__ = ["Message", "Transcript"]
@@ -70,8 +84,9 @@ class Transcript:
     """The full record of one protocol execution.
 
     Sends are appended via :meth:`record_send`; consecutive sends by the same
-    party merge into the current message, and a send by a different party
-    opens a new message.  This implements the paper's round convention
+    party merge into the current message, and a *nonempty* send by a
+    different party opens a new message (empty sends never open one; see
+    the module docstring).  This implements the paper's round convention
     without protocols having to declare round boundaries explicitly.
     """
 
@@ -87,20 +102,39 @@ class Transcript:
         counter -- per-message, per-sender, total -- is bumped
         incrementally, so recording is O(1) per send regardless of how
         long the transcript already is.
+
+        A zero-length payload never opens a message (see the module
+        docstring): when no same-sender message is current it is dropped
+        from the accounting entirely.
         """
         num_bits = len(payload)
         messages = self._messages
-        if messages:
-            last = messages[-1]
-            if last.sender == sender:
-                # Inlined append_chunk: this branch is the single hottest
-                # line of transcript accounting.
-                last.chunks.append(payload)
-                last._num_bits += num_bits
-            else:
-                messages.append(Message(sender, [payload]))
-        else:
+        last = messages[-1] if messages else None
+        if last is not None and last.sender == sender:
+            # Inlined append_chunk: this branch is the single hottest
+            # line of transcript accounting.
+            last.chunks.append(payload)
+            last._num_bits += num_bits
+            if _OBS.active:
+                _OBS.tracer.emit(
+                    "message.merge",
+                    sender=sender,
+                    index=len(messages) - 1,
+                    bits=num_bits,
+                )
+        elif num_bits:
             messages.append(Message(sender, [payload]))
+            if _OBS.active:
+                _OBS.tracer.emit(
+                    "message.open",
+                    sender=sender,
+                    index=len(messages) - 1,
+                    bits=num_bits,
+                )
+        else:
+            # Empty payload with no open same-sender message: delivered by
+            # the engine, invisible to the accounting.
+            return
         self._bits_by_sender[sender] = (
             self._bits_by_sender.get(sender, 0) + num_bits
         )

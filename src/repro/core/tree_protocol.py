@@ -50,6 +50,7 @@ from typing import Dict, FrozenSet, Generator, List, Optional, Tuple
 
 from repro.comm.engine import PartyContext, Recv, Send
 from repro.core.verification_tree import VerificationTree
+from repro.obs.state import STATE as _OBS
 from repro.hashing.pairwise import PairwiseHash, sample_pairwise_hash
 from repro.kernels import sort_ints
 from repro.protocols.base import SetIntersectionProtocol
@@ -376,6 +377,26 @@ class TreeProtocol(SetIntersectionProtocol):
                             failed_leaves=len(failed_leaves),
                             rerun_bits=bits_seen - stage_start_bits - equality_bits,
                         )
+                    )
+                # Alice-only so each stage traces once per run, mirroring
+                # the stage_stats_sink convention.
+                if is_alice and _OBS.active:
+                    _OBS.tracer.emit(
+                        "bucket.phase",
+                        protocol=self.name,
+                        phase=f"stage{stage}",
+                        num_nodes=len(spans),
+                        eq_width=eq_width,
+                        equality_bits=equality_bits,
+                        failed_leaves=len(failed_leaves),
+                        rerun_bits=bits_seen - stage_start_bits - equality_bits,
+                    )
+                    _OBS.tracer.emit(
+                        "verify.outcome",
+                        protocol=self.name,
+                        context=f"stage{stage}",
+                        passed=len(spans) - failed_nodes,
+                        failed=failed_nodes,
                     )
 
             if not failed_leaves:

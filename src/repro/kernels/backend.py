@@ -28,11 +28,14 @@ import contextlib
 import os
 from typing import Iterator, Optional
 
+from repro.obs.state import STATE as _OBS
+
 __all__ = [
     "numpy_or_none",
     "numpy_available",
     "backend_name",
     "scalar_only",
+    "note_route",
     "SCALAR_ENV_VAR",
 ]
 
@@ -78,6 +81,32 @@ def backend_name() -> str:
     """``"numpy"`` or ``"scalar"`` -- recorded in bench reports so the
     regression gate only compares like against like."""
     return "numpy" if numpy_available() else "scalar"
+
+
+# (kernel, route) pairs already announced as a ``kernel.route`` event;
+# per-dispatch volumes live in the metrics registry, the event stream only
+# carries the first sighting of each route per process.
+_ROUTES_SEEN: set = set()
+
+
+def note_route(kernel: str, route: str) -> None:
+    """Record one kernel dispatch decision with observability enabled.
+
+    Callers (the dispatchers in :mod:`repro.kernels.batch`) guard on the
+    obs kill-switch *before* calling, so the disabled hot path never pays
+    for this function.  Every dispatch bumps the
+    ``kernels.route.<kernel>.<route>`` counter -- the hit-rate evidence the
+    bench docs cite -- and the first dispatch of each (kernel, route) pair
+    also emits a ``kernel.route`` trace event.
+    """
+    from repro.obs import metrics
+
+    metrics.counter(f"kernels.route.{kernel}.{route}").inc()
+    key = (kernel, route)
+    if key not in _ROUTES_SEEN:
+        _ROUTES_SEEN.add(key)
+        if _OBS.active:
+            _OBS.tracer.emit("kernel.route", kernel=kernel, route=route)
 
 
 @contextlib.contextmanager

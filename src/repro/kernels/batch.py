@@ -43,7 +43,8 @@ from __future__ import annotations
 import hashlib
 from typing import Iterable, List, Sequence
 
-from repro.kernels.backend import numpy_or_none
+from repro.kernels.backend import note_route, numpy_or_none
+from repro.obs.state import STATE as _OBS
 
 __all__ = [
     "M61",
@@ -211,14 +212,17 @@ def affine_image_batch(
     """
     xs = elements if isinstance(elements, list) else list(elements)
     np = numpy_or_none()
-    if np is None or len(xs) < MIN_LANES:
-        return affine_image_batch_scalar(xs, mult, shift, prime, range_size)
-    arr = _as_lanes(np, xs)
-    if arr is None:
-        return affine_image_batch_scalar(xs, mult, shift, prime, range_size)
-    out = _affine_lanes(np, arr, mult, shift, prime, range_size)
+    out = None
+    if np is not None and len(xs) >= MIN_LANES:
+        arr = _as_lanes(np, xs)
+        if arr is not None:
+            out = _affine_lanes(np, arr, mult, shift, prime, range_size)
     if out is None:
+        if _OBS.active:
+            note_route("affine_image_batch", "scalar")
         return affine_image_batch_scalar(xs, mult, shift, prime, range_size)
+    if _OBS.active:
+        note_route("affine_image_batch", "numpy")
     return out.tolist()
 
 
@@ -239,11 +243,15 @@ def mod_batch(elements, modulus: int) -> List[int]:
     """FKS universe reduction ``x -> x mod q`` over an array of keys."""
     xs = elements if isinstance(elements, list) else list(elements)
     np = numpy_or_none()
-    if np is None or len(xs) < MIN_LANES or not 1 <= modulus < _LANE_LIMIT:
-        return mod_batch_scalar(xs, modulus)
-    arr = _as_lanes(np, xs)
+    arr = None
+    if np is not None and len(xs) >= MIN_LANES and 1 <= modulus < _LANE_LIMIT:
+        arr = _as_lanes(np, xs)
     if arr is None:
+        if _OBS.active:
+            note_route("mod_batch", "scalar")
         return mod_batch_scalar(xs, modulus)
+    if _OBS.active:
+        note_route("mod_batch", "numpy")
     return (arr % np.uint64(modulus)).tolist()
 
 
@@ -259,14 +267,17 @@ def equal_mask(left: Sequence, right: Sequence) -> List[int]:
             f"equal_mask requires equal lengths, got {len(left)} vs {len(right)}"
         )
     np = numpy_or_none()
-    if np is None or len(left) < MIN_LANES:
-        return equal_mask_scalar(left, right)
-    lanes_l = _as_lanes(np, left)
-    if lanes_l is None:
-        return equal_mask_scalar(left, right)
-    lanes_r = _as_lanes(np, right)
+    lanes_l = lanes_r = None
+    if np is not None and len(left) >= MIN_LANES:
+        lanes_l = _as_lanes(np, left)
+        if lanes_l is not None:
+            lanes_r = _as_lanes(np, right)
     if lanes_r is None:
+        if _OBS.active:
+            note_route("equal_mask", "scalar")
         return equal_mask_scalar(left, right)
+    if _OBS.active:
+        note_route("equal_mask", "numpy")
     return (lanes_l == lanes_r).astype(np.uint8).tolist()
 
 
@@ -274,11 +285,15 @@ def sort_ints(values) -> List[int]:
     """Sorted copy of an integer collection (hash-list assembly order)."""
     xs = values if isinstance(values, list) else list(values)
     np = numpy_or_none()
-    if np is None or len(xs) < MIN_LANES:
-        return sorted(xs)
-    arr = _as_lanes(np, xs)
+    arr = None
+    if np is not None and len(xs) >= MIN_LANES:
+        arr = _as_lanes(np, xs)
     if arr is None:
+        if _OBS.active:
+            note_route("sort_ints", "scalar")
         return sorted(xs)
+    if _OBS.active:
+        note_route("sort_ints", "numpy")
     arr.sort()
     return arr.tolist()
 

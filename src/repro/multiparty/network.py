@@ -30,6 +30,7 @@ from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
 
 from repro.comm.errors import ProtocolDeadlock, ProtocolViolation
 from repro.comm.engine import Recv, Send
+from repro.obs.state import STATE as _OBS
 from repro.util.bits import BitString
 from repro.util.rng import PrivateRandomness, SharedRandomness
 
@@ -207,6 +208,8 @@ def run_message_passing(
     bits_sent = {name: 0 for name in names}
     bits_received = {name: 0 for name in names}
     rounds = 0
+    if _OBS.active:
+        _OBS.tracer.emit("multiparty.start", players=len(names))
     quiet_live: Optional[List[str]] = None
     # Canonical-order list of not-yet-finished players; rebuilt (filtered)
     # only on rounds in which someone finished.
@@ -227,6 +230,7 @@ def run_message_passing(
             )
         traffic = False
         finished_this_round = False
+        superstep_bits = 0
         pending: Dict[str, List[Tuple[str, BitString]]] = {}
         for name in live:
             state = states[name]
@@ -264,6 +268,7 @@ def run_message_passing(
                     bucket = pending[destination] = []
                 bucket.append((name, payload))
             bits_sent[name] += sent_bits
+            superstep_bits += sent_bits
         for name, messages in pending.items():
             state = states[name]
             state.inbox.extend(messages)
@@ -274,6 +279,20 @@ def run_message_passing(
         if traffic:
             rounds += 1
             quiet_live = None
+            if _OBS.active:
+                # One event per superstep that carried traffic -- the
+                # multiparty analogue of the two-party round boundary.
+                _OBS.tracer.emit(
+                    "round.boundary",
+                    round=rounds,
+                    bits=superstep_bits,
+                    live=len(live),
+                )
+                from repro.obs import metrics as _metrics
+
+                _metrics.histogram("multiparty.bits_per_round").observe(
+                    superstep_bits
+                )
         elif live:
             # One quiet grace step lets players finish after their last
             # receive; a second quiet step with the same live set is a
@@ -287,6 +306,14 @@ def run_message_passing(
         raise ProtocolDeadlock(
             f"multiparty protocol exceeded {max_supersteps} supersteps"
         )
+
+    if _OBS.active:
+        total = sum(bits_sent.values())
+        _OBS.tracer.emit("multiparty.finish", rounds=rounds, total_bits=total)
+        from repro.obs import metrics as _metrics
+
+        _metrics.histogram("multiparty.rounds_per_run").observe(rounds)
+        _metrics.histogram("multiparty.bits_per_run").observe(total)
 
     return MultipartyOutcome(
         outputs={name: states[name].output for name in names},

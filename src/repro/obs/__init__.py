@@ -1,0 +1,103 @@
+"""repro.obs: structured tracing and metrics for protocol executions.
+
+The paper's guarantees are quantitative (``6r`` rounds, ``O(k log^(r) k)``
+expected bits, one-sided superset invariants), and checking them requires
+looking *inside* a run -- per-round bit breakdowns, per-stage verification
+verdicts, which kernel route actually executed.  This package is the
+library's one window in:
+
+* :mod:`repro.obs.trace` -- the :class:`Tracer` (events + spans) and the
+  sink implementations (ring buffer, JSONL file, null);
+* :mod:`repro.obs.metrics` -- counters and histograms (bits per round,
+  rounds per trial, kernel route hits, hot-cache hit/miss);
+* :mod:`repro.obs.schema` -- the closed event taxonomy and the JSONL
+  validator behind ``repro trace --validate``;
+* :mod:`repro.obs.rollup` / :mod:`repro.obs.checker` -- per-run
+  segmentation and the prediction checker that replays a trace against
+  the Theorem 1.1 / 3.6 bounds (imported lazily; see their docstrings).
+
+Observability is **off by default** and costs one module-level bool check
+per instrumented site while off (see :mod:`repro.obs.state`); set
+``REPRO_TRACE=1`` (optionally with ``REPRO_TRACE_FILE=/path/run.jsonl``)
+or call :func:`enable` / :func:`capture` to switch it on.
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    counter,
+    histogram,
+    metric_names,
+    reset_metrics,
+    snapshot,
+)
+from repro.obs.schema import (
+    EVENT_TYPES,
+    TRACE_SCHEMA_VERSION,
+    load_trace,
+    parse_jsonl,
+    validate_trace_events,
+)
+from repro.obs.state import (
+    STATE,
+    TRACE_ENV_VAR,
+    TRACE_FILE_ENV_VAR,
+    trace_requested_by_env,
+)
+from repro.obs.trace import (
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    Sink,
+    Tracer,
+    capture,
+    disable,
+    enable,
+    get_tracer,
+)
+
+__all__ = [
+    "STATE",
+    "TRACE_ENV_VAR",
+    "TRACE_FILE_ENV_VAR",
+    "TRACE_SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "Sink",
+    "RingBufferSink",
+    "JsonlSink",
+    "NullSink",
+    "Tracer",
+    "enable",
+    "disable",
+    "capture",
+    "get_tracer",
+    "counter",
+    "histogram",
+    "snapshot",
+    "reset_metrics",
+    "metric_names",
+    "metrics",
+    "validate_trace_events",
+    "parse_jsonl",
+    "load_trace",
+    "trace_requested_by_env",
+]
+
+
+def _bootstrap_from_env() -> None:
+    """Honor ``REPRO_TRACE`` at first import (idempotent: a tracer already
+    installed -- e.g. by a test fixture that imported us explicitly --
+    wins over the environment)."""
+    if STATE.active or not trace_requested_by_env():
+        return
+    import os
+
+    path = os.environ.get(TRACE_FILE_ENV_VAR)
+    if path:
+        enable(jsonl_path=path)
+    else:
+        enable()
+
+
+_bootstrap_from_env()

@@ -1,0 +1,177 @@
+"""The prediction checker: replay a trace against the paper's bounds.
+
+Theorem 1.1 / 3.6 promises, for the verification-tree protocol at round
+parameter ``r``, at most ``6r`` messages and ``O(k log^(r) k)`` expected
+bits.  A trace captured by :mod:`repro.obs` contains everything needed to
+*check* a concrete run against concrete instantiations of those bounds:
+
+* **accounting** -- the per-round bit totals rebuilt from the message
+  events must sum exactly to the run's reported ``total_bits`` (the
+  transcript's incremental counters and the event stream agree bit for
+  bit), and the observed round count must equal ``num_messages``;
+* **rounds** -- ``num_messages <= 6r`` (an *exact* worst-case bound: the
+  protocol takes 6 messages per stage, 2 for ``r = 1``);
+* **bits** -- ``total_bits`` at or below the library's concrete
+  expected-bits cutoff (:func:`repro.core.tree_protocol.expected_bits_bound`,
+  four times the Theorem 3.6 upper model plus slack) -- a single run above
+  it is a genuine tail event worth flagging.
+
+Protocols other than the verification tree get the accounting check only;
+their bound formulas live in :mod:`repro.analysis.predictions` and can be
+added per-protocol as they are needed.
+
+This module is imported lazily (by the CLI and tests), never by the hook
+sites, so the observability hot path stays free of protocol imports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.obs.rollup import ProtocolRun, rollup_runs
+
+__all__ = ["CheckResult", "TraceCheckReport", "check_trace", "check_runs"]
+
+#: The paper's messages-per-stage constant (Algorithm 1: 2 for the
+#: equality sweep + 4 for the Basic-Intersection re-runs).
+MESSAGES_PER_STAGE = 6
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One bound checked against one run."""
+
+    run_index: int
+    protocol: str
+    check: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return f"[{verdict}] run {self.run_index} {self.protocol} {self.check}: {self.detail}"
+
+
+@dataclass
+class TraceCheckReport:
+    """Every check over every run of a trace."""
+
+    results: List[CheckResult]
+
+    @property
+    def passed(self) -> bool:
+        """True when every check passed (vacuously true for no runs is
+        *not* allowed -- an empty trace fails, see :func:`check_trace`)."""
+        return all(result.passed for result in self.results) and bool(
+            self.results
+        )
+
+    @property
+    def failures(self) -> List[CheckResult]:
+        return [result for result in self.results if not result.passed]
+
+    def __str__(self) -> str:
+        return "\n".join(str(result) for result in self.results)
+
+
+def check_runs(runs: List[ProtocolRun]) -> TraceCheckReport:
+    """Check already-rolled-up runs (see :func:`check_trace`)."""
+    results: List[CheckResult] = []
+    for index, run in enumerate(runs):
+        if not run.closed:
+            results.append(
+                CheckResult(
+                    run_index=index,
+                    protocol=run.protocol,
+                    check="accounting",
+                    passed=False,
+                    detail="run has no protocol.finish (truncated trace)",
+                )
+            )
+            continue
+        event_total = run.total_bits
+        reported = run.reported_total_bits
+        rounds_seen = run.num_rounds
+        reported_rounds = run.reported_num_messages
+        accounting_ok = (
+            event_total == reported and rounds_seen == reported_rounds
+        )
+        results.append(
+            CheckResult(
+                run_index=index,
+                protocol=run.protocol,
+                check="accounting",
+                passed=accounting_ok,
+                detail=(
+                    f"per-round bits sum {event_total} vs reported {reported}; "
+                    f"rounds {rounds_seen} vs reported {reported_rounds}"
+                ),
+            )
+        )
+        if run.protocol != "verification-tree":
+            continue
+        r = run.params.get("rounds")
+        k = run.params.get("max_set_size")
+        if not isinstance(r, int) or not isinstance(k, int):
+            results.append(
+                CheckResult(
+                    run_index=index,
+                    protocol=run.protocol,
+                    check="rounds<=6r",
+                    passed=False,
+                    detail=f"protocol.start lacks rounds/max_set_size ({run.params!r})",
+                )
+            )
+            continue
+        round_budget = MESSAGES_PER_STAGE * r
+        results.append(
+            CheckResult(
+                run_index=index,
+                protocol=run.protocol,
+                check="rounds<=6r",
+                passed=reported_rounds <= round_budget,
+                detail=f"{reported_rounds} messages vs budget {round_budget} (r={r})",
+            )
+        )
+        # Imported here, not at module scope: expected_bits_bound lives with
+        # the protocol and pulls the whole comm stack in.
+        from repro.core.tree_protocol import expected_bits_bound
+
+        bit_budget = expected_bits_bound(k, r)
+        results.append(
+            CheckResult(
+                run_index=index,
+                protocol=run.protocol,
+                check="bits<=O(k log^(r) k)",
+                passed=reported <= bit_budget,
+                detail=(
+                    f"{reported} bits vs expected-bits cutoff {bit_budget} "
+                    f"(k={k}, r={r})"
+                ),
+            )
+        )
+    return TraceCheckReport(results=results)
+
+
+def check_trace(events: List[Dict[str, Any]]) -> TraceCheckReport:
+    """Roll up an event stream and check every run it contains.
+
+    A trace with no protocol runs yields a report that fails (one synthetic
+    result): silently "passing" on an empty trace is how accounting bugs
+    hide.
+    """
+    runs = rollup_runs(events)
+    if not runs:
+        return TraceCheckReport(
+            results=[
+                CheckResult(
+                    run_index=0,
+                    protocol="-",
+                    check="nonempty",
+                    passed=False,
+                    detail="trace contains no protocol runs",
+                )
+            ]
+        )
+    return check_runs(runs)

@@ -1,0 +1,142 @@
+"""The metrics registry: counters and histograms behind the obs switch.
+
+Quantities the paper bounds in aggregate -- bits per round, rounds per
+trial -- and operational rates the perf work cares about -- kernel route
+hits, hot-cache hits -- accumulate here while observability is enabled.
+Hook sites guard on :data:`repro.obs.state.STATE.active` *before* touching
+the registry, so the disabled path costs one bool check and the registry
+itself never needs locking tricks on the hot path.
+
+Metrics are process-global and cumulative; :func:`reset_metrics` starts a
+fresh window (the ``repro trace`` CLI resets before its workload so the
+printed snapshot covers exactly the traced run).  :func:`snapshot` renders
+everything JSON-ready, optionally merging the hot-cache counters from
+:func:`repro.util.hotcache.stats` so one call answers "what did the caches
+do during this window" alongside the protocol-level rates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "counter",
+    "histogram",
+    "snapshot",
+    "reset_metrics",
+    "metric_names",
+]
+
+
+class Counter:
+    """A monotone event counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": "counter", "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of a nonnegative sample: count/total/min/max/mean.
+
+    Deliberately moment-based rather than bucketed: the quantities the
+    bounds speak about (expected bits, worst-case rounds) need exactly the
+    mean and the extremes, and a fixed-bucket scheme would bake in a scale
+    the workloads (k from 4 to millions) do not share.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean if self.count else None,
+        }
+
+
+_REGISTRY: Dict[str, Any] = {}
+
+
+def counter(name: str) -> Counter:
+    """Get or create the counter registered under ``name``."""
+    metric = _REGISTRY.get(name)
+    if metric is None:
+        metric = _REGISTRY[name] = Counter()
+    elif not isinstance(metric, Counter):
+        raise TypeError(f"{name} is registered as {type(metric).__name__}")
+    return metric
+
+
+def histogram(name: str) -> Histogram:
+    """Get or create the histogram registered under ``name``."""
+    metric = _REGISTRY.get(name)
+    if metric is None:
+        metric = _REGISTRY[name] = Histogram()
+    elif not isinstance(metric, Histogram):
+        raise TypeError(f"{name} is registered as {type(metric).__name__}")
+    return metric
+
+
+def snapshot(*, include_hotcache: bool = False) -> Dict[str, Dict[str, Any]]:
+    """JSON-ready view of every metric, by name (sorted).
+
+    :param include_hotcache: also merge the registered hot-cache hit/miss
+        counters (:func:`repro.util.hotcache.stats`) under
+        ``hotcache.<cache-name>`` keys, so cache behavior shows up in the
+        same report as the protocol metrics.
+    """
+    report: Dict[str, Dict[str, Any]] = {
+        name: metric.as_dict() for name, metric in sorted(_REGISTRY.items())
+    }
+    if include_hotcache:
+        from repro.util import hotcache
+
+        for cache_name, info in hotcache.stats().items():
+            report[f"hotcache.{cache_name}"] = {
+                "kind": "cache",
+                "hits": info["hits"],
+                "misses": info["misses"],
+                "currsize": info["currsize"],
+            }
+    return report
+
+
+def reset_metrics() -> None:
+    """Drop every registered metric (a fresh measurement window)."""
+    _REGISTRY.clear()
+
+
+def metric_names() -> list:
+    """The sorted names of all live metrics."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,103 @@
+"""Trace rollups: from raw event streams to per-run accounting tables.
+
+A trace is a flat event stream; analyses want *runs* -- everything between
+one ``protocol.start`` and its matching ``protocol.finish`` -- with bits
+attributed to rounds (message indices) and senders.  This module does that
+segmentation once so the prediction checker, the CLI's rollup table, and
+tests all read the same derived structure.
+
+The per-round totals are rebuilt purely from ``message.open`` /
+``message.merge`` events, *not* copied from ``protocol.finish``: that makes
+``sum(round_bits) == reported_total_bits`` a genuine cross-check between
+the transcript's incremental counters and the event stream, which is
+exactly the accounting invariant the checker asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ProtocolRun", "rollup_runs"]
+
+
+@dataclass
+class ProtocolRun:
+    """One protocol execution reconstructed from its trace segment.
+
+    :param protocol: the protocol's :attr:`name`.
+    :param params: the ``protocol.start`` payload (``universe_size``,
+        ``max_set_size``, optional ``rounds`` / ``seed``).
+    :param round_bits: bits of round ``i`` at ``round_bits[i]``, summed
+        from the message events (missing indices count 0 -- cannot happen
+        for transcripts built through ``record_send``, but the rollup does
+        not assume it).
+    :param sender_bits: per-sender bit totals from the same events.
+    :param reported_total_bits: the ``protocol.finish`` totals (``None``
+        while a run is unclosed -- e.g. a protocol aborted mid-trace).
+    """
+
+    protocol: str
+    params: Dict[str, Any]
+    round_bits: List[int] = field(default_factory=list)
+    sender_bits: Dict[str, int] = field(default_factory=dict)
+    reported_total_bits: Optional[int] = None
+    reported_num_messages: Optional[int] = None
+
+    @property
+    def total_bits(self) -> int:
+        """Sum of the per-round totals (the event-stream side of the
+        accounting cross-check)."""
+        return sum(self.round_bits)
+
+    @property
+    def num_rounds(self) -> int:
+        """Rounds observed via message events."""
+        return len(self.round_bits)
+
+    @property
+    def closed(self) -> bool:
+        """True once the matching ``protocol.finish`` was seen."""
+        return self.reported_total_bits is not None
+
+    def _record_message(self, index: int, sender: str, bits: int) -> None:
+        while len(self.round_bits) <= index:
+            self.round_bits.append(0)
+        self.round_bits[index] += bits
+        self.sender_bits[sender] = self.sender_bits.get(sender, 0) + bits
+
+
+def rollup_runs(events: List[Dict[str, Any]]) -> List[ProtocolRun]:
+    """Segment an event stream into protocol runs.
+
+    Message events outside any open run (raw engine users, multiparty
+    traffic) are ignored; runs the stream never closes are returned with
+    ``closed == False`` so callers can flag truncated traces instead of
+    silently checking partial totals.  Runs do not nest in the shipped
+    protocols (sub-protocols compose on one transcript below ``run``), so
+    a second ``protocol.start`` before a finish simply opens the next run.
+    """
+    runs: List[ProtocolRun] = []
+    current: Optional[ProtocolRun] = None
+    for event in events:
+        event_type = event.get("type")
+        if event_type == "protocol.start":
+            current = ProtocolRun(
+                protocol=event.get("protocol", "?"),
+                params={
+                    key: value
+                    for key, value in event.items()
+                    if key not in ("ts", "seq", "type", "protocol")
+                },
+            )
+            runs.append(current)
+        elif event_type in ("message.open", "message.merge"):
+            if current is not None and not current.closed:
+                current._record_message(
+                    event["index"], event["sender"], event["bits"]
+                )
+        elif event_type == "protocol.finish":
+            if current is not None and not current.closed:
+                current.reported_total_bits = event.get("total_bits")
+                current.reported_num_messages = event.get("num_messages")
+    return runs

@@ -1,0 +1,147 @@
+"""The trace event taxonomy and JSONL schema validator.
+
+Every record a :class:`~repro.obs.trace.Tracer` emits carries the envelope
+fields ``ts`` (wall-clock seconds), ``seq`` (per-tracer monotone int), and
+``type``; the type fixes which payload fields are required.  The taxonomy
+is *closed*: an unknown type is a schema violation, so adding an event kind
+means adding it here (and its semantics to DESIGN.md) first.
+
+Event types
+-----------
+
+==================  ====================================================
+``protocol.start``   a :class:`SetIntersectionProtocol` run begins
+                     (``protocol``, ``universe_size``, ``max_set_size``,
+                     optional ``rounds``, ``seed``)
+``protocol.finish``  the run's exact totals (``protocol``, ``total_bits``,
+                     ``num_messages``)
+``engine.start``     ``run_two_party`` entered (below protocol level --
+                     also fires for raw engine users)
+``engine.finish``    engine-level totals for the run
+``message.open``     a send opened message ``index`` (= a round boundary
+                     under the paper's message-counting convention)
+``message.merge``    a send merged into the current message ``index``
+``round.boundary``   one multiparty superstep carried traffic
+                     (``round``, ``bits``, ``live``)
+``multiparty.start`` / ``multiparty.finish``  BSP run bracket
+``kernel.route``     first time a kernel dispatches via a route in this
+                     process (per-dispatch counts live in the metrics
+                     registry, not the event stream)
+``bucket.phase``     one phase of a bucketed protocol (a tree stage, a
+                     bucket-verify iteration)
+``verify.outcome``   a verification step's verdict tallies
+``span.start`` / ``span.end``  user-defined phase brackets
+==================  ====================================================
+
+The validator is deliberately tolerant of *extra* fields (instrumentation
+may enrich events without a schema bump) and of cross-process ``seq``
+collisions (a JSONL file appended by executor workers holds several
+independent sequences); it is strict about the envelope, the closed type
+set, and each type's required payload.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "validate_trace_events",
+    "parse_jsonl",
+    "load_trace",
+]
+
+#: Bump when the envelope or a type's required fields change.
+TRACE_SCHEMA_VERSION = 1
+
+#: type -> required payload fields (envelope fields are implicit).
+EVENT_TYPES: Dict[str, tuple] = {
+    "protocol.start": ("protocol", "universe_size", "max_set_size"),
+    "protocol.finish": ("protocol", "total_bits", "num_messages"),
+    "engine.start": (),
+    "engine.finish": ("total_bits", "num_messages"),
+    "message.open": ("sender", "index", "bits"),
+    "message.merge": ("sender", "index", "bits"),
+    "round.boundary": ("round", "bits", "live"),
+    "multiparty.start": ("players",),
+    "multiparty.finish": ("rounds", "total_bits"),
+    "kernel.route": ("kernel", "route"),
+    "bucket.phase": ("protocol", "phase"),
+    "verify.outcome": ("protocol", "context"),
+    "span.start": ("name",),
+    "span.end": ("name", "duration_s"),
+}
+
+_ENVELOPE = ("ts", "seq", "type")
+
+
+def validate_trace_events(events: List[Dict[str, Any]]) -> List[str]:
+    """Check a list of event records; returns problems (empty = valid).
+
+    Problems are human-readable strings prefixed with the offending event's
+    position, mirroring :func:`repro.perf.schema.validate_bench_report`'s
+    convention so CLI output stays uniform across the two validators.
+    """
+    problems: List[str] = []
+    for position, event in enumerate(events):
+        where = f"event[{position}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field in _ENVELOPE:
+            if field not in event:
+                problems.append(f"{where}: missing envelope field {field!r}")
+        ts = event.get("ts")
+        if "ts" in event and not isinstance(ts, (int, float)):
+            problems.append(f"{where}: ts must be a number, got {ts!r}")
+        seq = event.get("seq")
+        if "seq" in event and (not isinstance(seq, int) or seq < 1):
+            problems.append(f"{where}: seq must be a positive int, got {seq!r}")
+        event_type = event.get("type")
+        if event_type is None:
+            continue
+        required = EVENT_TYPES.get(event_type)
+        if required is None:
+            problems.append(f"{where}: unknown event type {event_type!r}")
+            continue
+        for field in required:
+            if field not in event:
+                problems.append(
+                    f"{where} ({event_type}): missing field {field!r}"
+                )
+        if event_type in ("message.open", "message.merge"):
+            bits = event.get("bits")
+            if isinstance(bits, int) and bits < 0:
+                problems.append(f"{where} ({event_type}): negative bits {bits}")
+            if event_type == "message.open" and event.get("bits") == 0:
+                problems.append(
+                    f"{where}: message.open with 0 bits -- empty payloads "
+                    f"must not open messages"
+                )
+    return problems
+
+
+def parse_jsonl(text: str) -> List[Dict[str, Any]]:
+    """Parse JSONL text into event records.
+
+    :raises ValueError: on a line that is not valid JSON (with its line
+        number) -- a torn line means a sink bug, not a tolerable blemish.
+    """
+    events: List[Dict[str, Any]] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            events.append(json.loads(stripped))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {line_number}: not valid JSON ({exc})")
+    return events
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Read and parse a JSONL trace file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_jsonl(handle.read())

@@ -1,0 +1,65 @@
+"""The observability kill-switch: one module-level flag, zero hot-path cost.
+
+Every tracing/metrics hook in the library is guarded by a single check of
+:data:`STATE.active <ObsState.active>` -- the same pattern as the hot-cache
+(:mod:`repro.util.hotcache`) and scalar-kernel
+(:mod:`repro.kernels.backend`) kill-switches.  With ``REPRO_TRACE`` unset
+(the default) the guard is one slotted-attribute load and a falsy branch,
+so the instrumented hot paths (``Transcript.record_send``, the engine's
+send loop, the BSP round scheduler, kernel dispatch) keep their benchmark
+throughput and the E1 ``counters_sha256`` bit for bit.
+
+This module is a leaf (stdlib imports only) so that :mod:`repro.comm`,
+:mod:`repro.multiparty`, and :mod:`repro.kernels` can all import it without
+cycles; the actual :class:`~repro.obs.trace.Tracer` installation happens in
+:mod:`repro.obs` (which bootstraps from the environment on first import).
+
+Environment contract:
+
+* ``REPRO_TRACE`` -- unset, empty, or ``"0"`` leaves observability off;
+  anything else enables it at import time;
+* ``REPRO_TRACE_FILE`` -- with tracing enabled, append JSONL events to
+  this path (safe for concurrent appenders: one line per ``write``);
+  without it events go to an in-memory ring buffer.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["ObsState", "STATE", "TRACE_ENV_VAR", "TRACE_FILE_ENV_VAR"]
+
+#: Environment kill-switch: unset / "" / "0" keeps observability off.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+#: With tracing enabled, the JSONL sink path (optional).
+TRACE_FILE_ENV_VAR = "REPRO_TRACE_FILE"
+
+
+class ObsState:
+    """Mutable on/off switch plus the installed tracer.
+
+    ``active`` is the *only* thing hot paths read; it is ``True`` iff a
+    tracer is installed, so guarded sites may call ``STATE.tracer.emit``
+    without a second ``None`` check.
+    """
+
+    __slots__ = ("active", "tracer")
+
+    def __init__(self) -> None:
+        self.active = False
+        self.tracer: Optional[object] = None
+
+    def install(self, tracer: Optional[object]) -> None:
+        """Install (or, with ``None``, remove) the process-global tracer."""
+        self.tracer = tracer
+        self.active = tracer is not None
+
+
+STATE = ObsState()
+
+
+def trace_requested_by_env() -> bool:
+    """True when ``REPRO_TRACE`` asks for tracing (read at call time)."""
+    return os.environ.get(TRACE_ENV_VAR, "0") not in ("", "0")

@@ -1,0 +1,251 @@
+"""Structured protocol tracing: typed events, spans, pluggable sinks.
+
+A :class:`Tracer` turns instrumented points in the library into *typed
+records* -- plain dicts with ``ts`` (wall-clock seconds), ``seq`` (a
+per-tracer monotone counter), ``type`` (one of the taxonomy in
+:mod:`repro.obs.schema`), and type-specific fields -- and hands each record
+to every attached sink.  Three sinks ship:
+
+* :class:`RingBufferSink` -- bounded in-memory deque; the default for
+  interactive use and what :func:`capture` hands to tests;
+* :class:`JsonlSink` -- append-only JSON-lines file, one event per line,
+  flushed per event so concurrent processes (the parallel trial executor's
+  workers inherit ``REPRO_TRACE_FILE``) interleave at line granularity;
+* :class:`NullSink` -- swallows everything; useful to measure the cost of
+  the *enabled* hook path itself.
+
+The module deliberately knows nothing about protocols: emitting sites pass
+whatever fields their event type requires, and :mod:`repro.obs.schema`
+is the contract that keeps them honest.
+
+Usage::
+
+    from repro import obs
+
+    with obs.capture() as sink:
+        protocol.run(S, T, seed=0)
+    events = sink.events()           # list of dicts, in emit order
+
+or, for a persistent trace::
+
+    tracer = obs.enable(jsonl_path="run.jsonl")
+    ...                              # traced workload
+    obs.disable()
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.obs.state import STATE
+
+__all__ = [
+    "Sink",
+    "RingBufferSink",
+    "JsonlSink",
+    "NullSink",
+    "Tracer",
+    "enable",
+    "disable",
+    "capture",
+    "get_tracer",
+]
+
+
+class Sink:
+    """Sink contract: receive one event dict per :meth:`emit` call.
+
+    Implementations must treat the record as immutable (it is shared by
+    every sink attached to the tracer) and must not raise from ``emit`` on
+    well-formed records -- a sink failure would otherwise abort the traced
+    protocol itself.
+    """
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; further emits are undefined."""
+
+
+class NullSink(Sink):
+    """Swallows every event (cost floor of the enabled path)."""
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        pass
+
+
+class RingBufferSink(Sink):
+    """Keeps the most recent ``capacity`` events in memory.
+
+    :param capacity: maximum retained events; older ones are dropped
+        silently (``dropped`` counts them so rollups can tell a truncated
+        window from a complete one).
+    """
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(record)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The retained events, oldest first (a fresh list)."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        """Drop all retained events and reset the dropped counter."""
+        self._events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class JsonlSink(Sink):
+    """Appends events to a JSON-lines file, one event per line.
+
+    The file opens lazily on the first event (so merely enabling tracing
+    never touches the filesystem) in append mode, and every event is
+    written as a single ``write`` call followed by a flush: concurrent
+    appenders -- e.g. process-executor workers that inherited
+    ``REPRO_TRACE_FILE`` -- interleave at line granularity, never inside a
+    line.  Within one process ``seq`` orders the lines; across processes
+    only ``ts`` is comparable.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class Tracer:
+    """Emit typed trace records to one or more sinks.
+
+    :param sinks: the attached sinks; every event goes to each, in order.
+    """
+
+    def __init__(self, sinks: Sequence[Sink]) -> None:
+        self.sinks: List[Sink] = list(sinks)
+        self._seq = 0
+
+    def emit(self, event_type: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event; returns the record (handy in tests)."""
+        self._seq += 1
+        record: Dict[str, Any] = {
+            "ts": time.time(),
+            "seq": self._seq,
+            "type": event_type,
+        }
+        record.update(fields)
+        for sink in self.sinks:
+            sink.emit(record)
+        return record
+
+    # ``event`` reads better at call sites that are not on a hot path.
+    event = emit
+
+    @contextlib.contextmanager
+    def span(self, name: str, **fields: Any) -> Iterator[None]:
+        """Bracket a phase with ``span.start`` / ``span.end`` events.
+
+        The ``span.end`` event carries ``duration_s`` (perf-counter
+        elapsed) plus the same identifying fields, so a rollup can pair
+        them by ``name`` without a span-id protocol.
+        """
+        self.emit("span.start", name=name, **fields)
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.emit(
+                "span.end",
+                name=name,
+                duration_s=time.perf_counter() - started,
+                **fields,
+            )
+
+    def close(self) -> None:
+        """Close every attached sink."""
+        for sink in self.sinks:
+            sink.close()
+
+
+def enable(
+    *,
+    sinks: Optional[Sequence[Sink]] = None,
+    jsonl_path: Optional[str] = None,
+    ring_capacity: int = 1 << 16,
+) -> Tracer:
+    """Install a process-global tracer and flip the hooks on.
+
+    :param sinks: explicit sinks; when given, ``jsonl_path`` and
+        ``ring_capacity`` are ignored.
+    :param jsonl_path: convenience -- attach a :class:`JsonlSink` at this
+        path (alongside nothing else unless ``sinks`` says so).
+    :param ring_capacity: capacity of the default ring buffer used when
+        neither ``sinks`` nor ``jsonl_path`` is given.
+    :returns: the installed tracer.
+    """
+    if sinks is None:
+        if jsonl_path is not None:
+            sinks = [JsonlSink(jsonl_path)]
+        else:
+            sinks = [RingBufferSink(ring_capacity)]
+    tracer = Tracer(sinks)
+    STATE.install(tracer)
+    return tracer
+
+
+def disable() -> None:
+    """Remove the process-global tracer (hooks return to the free path)."""
+    tracer = STATE.tracer
+    STATE.install(None)
+    if tracer is not None:
+        tracer.close()
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The installed tracer, or ``None`` while observability is off."""
+    return STATE.tracer  # type: ignore[return-value]
+
+
+@contextlib.contextmanager
+def capture(capacity: int = 1 << 16) -> Iterator[RingBufferSink]:
+    """Trace the block into a fresh ring buffer; restore the previous
+    tracer (or the disabled state) on exit.
+
+    The canonical test fixture::
+
+        with obs.capture() as sink:
+            protocol.run(S, T, seed=0)
+        assert any(e["type"] == "protocol.finish" for e in sink.events())
+    """
+    previous = STATE.tracer
+    sink = RingBufferSink(capacity)
+    STATE.install(Tracer([sink]))
+    try:
+        yield sink
+    finally:
+        STATE.install(previous)

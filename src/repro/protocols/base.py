@@ -19,6 +19,7 @@ from typing import Any, FrozenSet, Generator, Iterable, Optional
 
 from repro.comm.engine import PartyContext, TwoPartyOutcome, run_two_party
 from repro.comm.transcript import Transcript
+from repro.obs.state import STATE as _OBS
 
 __all__ = [
     "validate_set_pair",
@@ -172,6 +173,19 @@ class SetIntersectionProtocol:
         s, t = validate_set_pair(
             alice_set, bob_set, self.universe_size, self.max_set_size
         )
+        bits_base = transcript.total_bits if transcript is not None else 0
+        messages_base = transcript.num_messages if transcript is not None else 0
+        if _OBS.active:
+            fields = {
+                "protocol": self.name,
+                "universe_size": self.universe_size,
+                "max_set_size": self.max_set_size,
+                "seed": seed,
+            }
+            rounds = getattr(self, "rounds", None)
+            if isinstance(rounds, int):
+                fields["rounds"] = rounds
+            _OBS.tracer.emit("protocol.start", **fields)
         outcome: TwoPartyOutcome = run_two_party(
             self.alice,
             self.bob,
@@ -183,6 +197,13 @@ class SetIntersectionProtocol:
             max_total_bits=max_total_bits,
             transcript=transcript,
         )
+        if _OBS.active:
+            _OBS.tracer.emit(
+                "protocol.finish",
+                protocol=self.name,
+                total_bits=outcome.transcript.total_bits - bits_base,
+                num_messages=outcome.transcript.num_messages - messages_base,
+            )
         return IntersectionOutcome(
             alice_output=outcome.alice_output,
             bob_output=outcome.bob_output,

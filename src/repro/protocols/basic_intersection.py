@@ -34,6 +34,7 @@ from typing import FrozenSet, Generator, Iterable, List
 
 from repro.comm.engine import PartyContext, Recv, Send
 from repro.hashing.families import collision_free_range
+from repro.obs.state import STATE as _OBS
 from repro.hashing.pairwise import PairwiseHash, sample_pairwise_hash
 from repro.kernels import sort_ints
 from repro.protocols.base import SetIntersectionProtocol
@@ -178,7 +179,20 @@ class BasicIntersectionProtocol(SetIntersectionProtocol):
         reader = BitReader((yield Recv()))
         other_hashes = core.read_hashes(reader, other_size)
         reader.expect_exhausted()
-        return core.filter_with(own, other_hashes)
+        result = core.filter_with(own, other_hashes)
+        if _OBS.active:
+            # Lemma 3.3's one-sided guarantee (S' superset of S n T) is only
+            # observable inside a run; surface the filter outcome so a trace
+            # can audit it against ground truth.
+            _OBS.tracer.emit(
+                "verify.outcome",
+                protocol=self.name,
+                context="filter/alice",
+                own_size=len(own),
+                other_size=other_size,
+                kept=len(result),
+            )
+        return result
 
     def bob(self, ctx: PartyContext) -> Generator:
         """Rounds 2 and 4 of the message schedule."""

@@ -30,6 +30,7 @@ from typing import Dict, FrozenSet, Generator, List
 
 from repro.comm.engine import PartyContext, Recv, Send
 from repro.comm.errors import ProtocolAborted
+from repro.obs.state import STATE as _OBS
 from repro.hashing.pairwise import PairwiseHash, sample_pairwise_hash
 from repro.kernels import sort_ints
 from repro.protocols.base import SetIntersectionProtocol
@@ -197,6 +198,21 @@ class BucketVerifyProtocol(SetIntersectionProtocol):
                     settled[bucket] = candidates[bucket]
                 else:
                     still_active.append(bucket)
+            if is_alice and _OBS.active:
+                _OBS.tracer.emit(
+                    "bucket.phase",
+                    protocol=self.name,
+                    phase=f"iteration{iteration}",
+                    active=len(active),
+                    settled=len(active) - len(still_active),
+                )
+                _OBS.tracer.emit(
+                    "verify.outcome",
+                    protocol=self.name,
+                    context=f"iteration{iteration}",
+                    passed=len(active) - len(still_active),
+                    failed=len(still_active),
+                )
             active = still_active
 
         if active:

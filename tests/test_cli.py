@@ -185,3 +185,68 @@ class TestBench:
         code, output = run_cli(["bench", "--validate", str(bad)])
         assert code == 1
         assert "schema_version" in output
+
+
+class TestTrace:
+    def test_run_writes_valid_trace_and_passes_checks(self, tmp_path):
+        from repro.obs.schema import load_trace, validate_trace_events
+        from repro.obs.state import STATE
+
+        before = STATE.tracer
+        path = tmp_path / "trace.jsonl"
+        code, output = run_cli(
+            ["trace", "--k", "64", "--rounds", "1", "--log-universe", "16",
+             "--trials", "2", "--out", str(path)]
+        )
+        assert code == 0
+        assert STATE.tracer is before  # global state restored
+        assert "[PASS]" in output and "FAIL" not in output
+        assert "rounds<=6r" in output
+        events = load_trace(str(path))
+        assert validate_trace_events(events) == []
+        # Two trials -> two protocol runs in the file.
+        assert sum(1 for e in events if e["type"] == "protocol.start") == 2
+
+    def test_rollup_rounds_sum_to_reported_total(self, tmp_path):
+        import re
+
+        path = tmp_path / "trace.jsonl"
+        code, output = run_cli(
+            ["trace", "--k", "64", "--rounds", "2", "--log-universe", "16",
+             "--out", str(path)]
+        )
+        assert code == 0
+        (header,) = re.findall(r"run 0: .* -- (\d+) bits", output)
+        round_bits = [int(b) for b in re.findall(r"round\s+\d+:\s+(\d+) bits", output)]
+        assert sum(round_bits) == int(header)
+
+    def test_no_check_skips_the_checker(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code, output = run_cli(
+            ["trace", "--k", "64", "--rounds", "1", "--log-universe", "16",
+             "--out", str(path), "--no-check"]
+        )
+        assert code == 0
+        assert "[PASS]" not in output
+
+    def test_validate_accepts_its_own_output(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        run_cli(["trace", "--k", "64", "--rounds", "1", "--log-universe",
+                 "16", "--out", str(path)])
+        code, output = run_cli(["trace", "--validate", str(path)])
+        assert code == 0
+        assert "OK" in output
+
+    def test_validate_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"ts": 1.0, "seq": 1, "type": "no.such.event"}\n')
+        code, output = run_cli(["trace", "--validate", str(bad)])
+        assert code == 1
+        assert "unknown event type" in output
+
+    def test_validate_missing_file_fails_cleanly(self, tmp_path):
+        code, output = run_cli(
+            ["trace", "--validate", str(tmp_path / "nope.jsonl")]
+        )
+        assert code == 1
+        assert "cannot read" in output

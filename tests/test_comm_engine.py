@@ -264,3 +264,68 @@ class TestComposition:
             draw, draw, alice_input=None, bob_input=None, shared=shared
         )
         assert outcome.alice_output == SharedRandomness(99).stream("x").bits(16)
+
+
+class TestZeroLengthPayloads:
+    # The pinned convention, engine edition: zero-length payloads are
+    # *delivered* (a Recv completes and yields a 0-bit BitString) but are
+    # free on the transcript -- they never open a message, so they never
+    # count toward the round complexity.
+
+    def test_empty_first_send_is_delivered_but_free(self):
+        def alice(ctx):
+            yield Send(BitString(0, 0))
+            yield Send(BitString(5, 3))
+            return None
+
+        def bob(ctx):
+            first = yield Recv()
+            second = yield Recv()
+            return (len(first), len(second))
+
+        outcome = run_two_party(alice, bob, alice_input=None, bob_input=None)
+        assert outcome.bob_output == (0, 3)
+        assert outcome.total_bits == 3
+        assert outcome.num_messages == 1
+
+    def test_empty_send_between_rounds_does_not_split_or_open(self):
+        def alice(ctx):
+            yield Send(BitString(1, 2))
+            (yield Recv())
+            yield Send(BitString(1, 4))
+            return None
+
+        def bob(ctx):
+            (yield Recv())
+            yield Send(BitString(0, 0))  # empty reply between rounds
+            (yield Recv())
+            return None
+
+        outcome = run_two_party(alice, bob, alice_input=None, bob_input=None)
+        assert outcome.total_bits == 6
+        # Bob's empty reply opened nothing, so alice's message is still the
+        # open one and her second send merges into it: the exchange counts
+        # as ONE message.  Zero information flowed back, so in the
+        # round-complexity ledger no round happened in between.
+        assert outcome.num_messages == 1
+        assert outcome.transcript.bits_sent_by("bob") == 0
+
+    def test_empty_trailing_send_is_free(self):
+        # Delivery is still mandatory -- the engine flags undelivered
+        # payloads, empty or not -- so alice receives the trailing empty
+        # send; it just leaves no trace in the accounting.
+        def alice(ctx):
+            yield Send(BitString(3, 2))
+            trailing = yield Recv()
+            return len(trailing)
+
+        def bob(ctx):
+            (yield Recv())
+            yield Send(BitString(0, 0))
+            return None
+
+        outcome = run_two_party(alice, bob, alice_input=None, bob_input=None)
+        assert outcome.alice_output == 0
+        assert outcome.total_bits == 2
+        assert outcome.num_messages == 1
+        assert outcome.transcript.senders == ["alice"]

@@ -60,7 +60,10 @@ class TestBatchedEquality:
 
         outcome = run_two_party(party, party, alice_input=None, bob_input=None)
         assert outcome.alice_output == []
-        assert outcome.num_messages == 2  # empty frames still flow
+        # Empty frames still flow through the engine, but zero-length
+        # payloads never open messages, so the transcript stays empty.
+        assert outcome.num_messages == 0
+        assert outcome.total_bits == 0
 
 
 class TestBatchedBasicIntersection:

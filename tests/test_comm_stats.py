@@ -66,3 +66,62 @@ class TestRunTrials:
         assert seen == [100, 101, 102, 103, 104]
         assert report.trials == 5
         assert report.bits.minimum == 1000.0
+
+
+class TestNumpyArrayInputs:
+    # Regression: ``if not values`` raises "truth value of an array is
+    # ambiguous" for numpy arrays of length > 1, and treats a length-1
+    # zero array as empty.  The emptiness checks must be len-based so
+    # kernel-backend callers can hand measurement arrays straight in.
+
+    def test_summarize_accepts_numpy_arrays(self):
+        np = pytest.importorskip("numpy")
+        values = np.array([10.0, 20.0, 60.0])
+        summary = summarize(values)
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(30.0)
+
+    def test_single_zero_element_array_is_not_empty(self):
+        np = pytest.importorskip("numpy")
+        summary = summarize(np.array([0.0]))
+        assert summary.count == 1
+        assert summary.mean == 0.0
+
+    def test_empty_numpy_array_rejected(self):
+        np = pytest.importorskip("numpy")
+        with pytest.raises(ValueError):
+            summarize(np.array([]))
+
+    def test_plain_lists_unchanged(self):
+        # The scalar-backend leg of the matrix has no numpy: the same
+        # len-based checks must keep serving plain sequences.
+        assert summarize([0.0]).count == 1
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestZeroTrialReport:
+    def test_success_rate_is_nan_not_vacuous_success(self):
+        import math
+
+        from repro.comm.stats import TrialReport
+
+        empty = Summary(
+            count=0, mean=0.0, minimum=0.0, maximum=0.0, p50=0.0, p95=0.0
+        )
+        report = TrialReport(trials=0, failures=0, bits=empty, messages=empty)
+        assert math.isnan(report.success_rate)
+
+    def test_str_says_no_trials(self):
+        from repro.comm.stats import TrialReport
+
+        empty = Summary(
+            count=0, mean=0.0, minimum=0.0, maximum=0.0, p50=0.0, p95=0.0
+        )
+        report = TrialReport(trials=0, failures=0, bits=empty, messages=empty)
+        assert "n/a (0 trials)" in str(report)
+
+    def test_nonzero_trials_unaffected(self):
+        aggregator = TrialAggregator()
+        aggregator.add(bits=1, messages=1, correct=True)
+        assert aggregator.report().success_rate == 1.0

@@ -38,11 +38,44 @@ class TestTranscript:
             transcript.record_send(sender, bits(1))
         assert transcript.num_messages == 4  # alice, bob, alice+alice, bob
 
-    def test_zero_bit_sends_counted_as_traffic(self):
+    def test_zero_bit_first_send_does_not_open_message(self):
+        # The pinned convention: zero-length payloads are delivered by the
+        # engine but invisible to the accounting.  An empty first send must
+        # not open a message (num_messages is the round complexity; a free
+        # send is not a round).
         transcript = Transcript()
         transcript.record_send("alice", bits(0))
         assert transcript.total_bits == 0
+        assert transcript.num_messages == 0
+        assert transcript.senders == []
+
+    def test_zero_bit_send_between_rounds_does_not_open_message(self):
+        transcript = Transcript()
+        transcript.record_send("alice", bits(2))
+        transcript.record_send("bob", bits(0))  # would have opened pre-fix
+        transcript.record_send("bob", bits(4))
+        assert transcript.num_messages == 2
+        assert transcript.total_bits == 6
+        assert transcript.bits_sent_by("bob") == 4
+
+    def test_zero_bit_trailing_send_does_not_open_message(self):
+        transcript = Transcript()
+        transcript.record_send("alice", bits(2))
+        transcript.record_send("bob", bits(3))
+        transcript.record_send("alice", bits(0))  # trailing empty send
+        assert transcript.num_messages == 2
+        assert transcript.total_bits == 5
+
+    def test_zero_bit_send_merges_into_open_same_sender_message(self):
+        # A same-sender empty send merges into the already-open message
+        # (zero bits, one more chunk) -- merging is free, so there is no
+        # reason to special-case it away.
+        transcript = Transcript()
+        transcript.record_send("alice", bits(3))
+        transcript.record_send("alice", bits(0))
         assert transcript.num_messages == 1
+        assert transcript.messages[0].num_bits == 3
+        assert len(transcript.messages[0].chunks) == 2
 
     def test_senders_in_first_send_order(self):
         transcript = Transcript()

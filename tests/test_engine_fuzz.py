@@ -5,7 +5,8 @@ of (sender, payload-length) steps -- compiles them into a pair of party
 coroutines, runs the engine, and checks the accounting invariants:
 
 * total bits = sum of script lengths;
-* message count = number of maximal same-sender runs;
+* message count = number of maximal same-sender runs, where zero-length
+  sends merge into an open same-sender message but never open one;
 * payloads arrive unmodified and in order;
 * composition: splitting a script into two `yield from` halves changes
   nothing.
@@ -58,12 +59,18 @@ class TestEngineFuzz:
             alice_fn, bob_fn, alice_input=None, bob_input=None
         )
         assert outcome.total_bits == sum(length for _, length in script)
+        # Reference model of the message-counting convention: a nonempty
+        # send by a new sender opens a message; a same-sender send (any
+        # length) merges into the open one; an empty send by a new sender
+        # is delivered but leaves the transcript untouched.
         expected_messages = 0
-        previous = None
-        for sender, _ in script:
-            if sender != previous:
+        open_sender = None
+        for sender, length in script:
+            if sender == open_sender:
+                continue
+            if length:
                 expected_messages += 1
-                previous = sender
+                open_sender = sender
         assert outcome.num_messages == expected_messages
 
     @settings(max_examples=120, deadline=None)

@@ -1,0 +1,145 @@
+"""Rollup + prediction-checker tests, including the acceptance invariant:
+per-round bit totals from the event stream sum exactly to the transcript's
+``total_bits``, and TreeProtocol runs satisfy the Theorem 1.1/3.6 bounds
+for r in {1, 2, log* k}."""
+
+import pytest
+
+from conftest import make_instance
+from repro import obs
+from repro.core.tradeoff import optimal_rounds
+from repro.core.tree_protocol import TreeProtocol
+from repro.obs.checker import MESSAGES_PER_STAGE, check_runs, check_trace
+from repro.obs.rollup import rollup_runs
+
+
+def traced_run(rng, k, rounds, seed=0, universe=1 << 20):
+    S, T = make_instance(rng, universe, k, 0.4)
+    protocol = TreeProtocol(universe, k, rounds=rounds)
+    with obs.capture() as sink:
+        outcome = protocol.run(S, T, seed=seed)
+    assert outcome.alice_output == S & T
+    return sink.events(), outcome
+
+
+class TestRollup:
+    def test_round_bits_rebuild_the_transcript_totals(self, rng):
+        events, outcome = traced_run(rng, 128, rounds=2)
+        (run,) = rollup_runs(events)
+        assert run.closed
+        assert run.protocol == "verification-tree"
+        assert sum(run.round_bits) == outcome.total_bits
+        assert run.num_rounds == outcome.num_messages
+        assert run.reported_total_bits == outcome.total_bits
+        # Sender attribution covers both parties and sums to the total.
+        assert set(run.sender_bits) == {"alice", "bob"}
+        assert sum(run.sender_bits.values()) == outcome.total_bits
+
+    def test_multiple_runs_segment_cleanly(self, rng):
+        events_a, outcome_a = traced_run(rng, 64, rounds=1, seed=1)
+        events_b, outcome_b = traced_run(rng, 64, rounds=2, seed=2)
+        runs = rollup_runs(events_a + events_b)
+        assert len(runs) == 2
+        assert runs[0].total_bits == outcome_a.total_bits
+        assert runs[1].total_bits == outcome_b.total_bits
+
+    def test_unclosed_run_is_flagged_not_checked(self, rng):
+        events, _ = traced_run(rng, 64, rounds=1)
+        truncated = [e for e in events if e["type"] != "protocol.finish"]
+        (run,) = rollup_runs(truncated)
+        assert not run.closed
+        report = check_runs([run])
+        assert not report.passed
+        assert "truncated" in report.failures[0].detail
+
+    def test_stray_message_events_outside_runs_are_ignored(self, rng):
+        events, outcome = traced_run(rng, 64, rounds=1)
+        stray = {
+            "ts": 0.0,
+            "seq": 1,
+            "type": "message.open",
+            "sender": "alice",
+            "index": 0,
+            "bits": 999,
+        }
+        runs = rollup_runs(events + [stray])
+        assert runs[0].total_bits == outcome.total_bits
+
+
+class TestChecker:
+    @pytest.mark.parametrize("rounds", [1, 2, None])
+    def test_tree_runs_pass_all_bounds(self, rng, rounds):
+        # rounds=None resolves to the optimal r = log* k -- the acceptance
+        # sweep {1, 2, log* k}.
+        k = 256
+        effective = rounds if rounds is not None else optimal_rounds(k)
+        events, outcome = traced_run(rng, k, rounds=rounds)
+        report = check_trace(events)
+        assert report.passed, str(report)
+        checks = {r.check for r in report.results}
+        assert checks == {"accounting", "rounds<=6r", "bits<=O(k log^(r) k)"}
+        assert outcome.num_messages <= MESSAGES_PER_STAGE * effective
+
+    def test_accounting_mismatch_fails(self, rng):
+        events, _ = traced_run(rng, 64, rounds=1)
+        # Inflate every message.open's bits so the event-stream sum drifts
+        # from the reported transcript total.
+        tampered = [
+            dict(e, bits=e["bits"] + 1) if e["type"] == "message.open" else e
+            for e in events
+        ]
+        report = check_trace(tampered)
+        assert not report.passed
+        assert any(f.check == "accounting" for f in report.failures)
+
+    def test_round_budget_violation_fails(self, rng):
+        events, _ = traced_run(rng, 64, rounds=1)
+        # Claim the run had r=1 but report an impossible message count.
+        tampered = [
+            dict(e, num_messages=100)
+            if e["type"] == "protocol.finish"
+            else e
+            for e in events
+        ]
+        report = check_trace(tampered)
+        assert not report.passed
+        failed_checks = {f.check for f in report.failures}
+        # The inflated message count breaks accounting *and* the 6r budget.
+        assert "rounds<=6r" in failed_checks
+
+    def test_bits_budget_violation_fails(self, rng):
+        events, outcome = traced_run(rng, 64, rounds=1)
+        # Scale both sides of the accounting identity by the same factor,
+        # so accounting still balances but the bits bound blows up.
+        factor = 10_000
+        tampered = []
+        for event in events:
+            if event["type"] == "protocol.finish":
+                event = dict(event, total_bits=event["total_bits"] * factor)
+            elif event["type"] in ("message.open", "message.merge"):
+                event = dict(event, bits=event["bits"] * factor)
+            tampered.append(event)
+        report = check_trace(tampered)
+        assert any(
+            f.check == "bits<=O(k log^(r) k)" for f in report.failures
+        )
+
+    def test_empty_trace_fails_loudly(self):
+        report = check_trace([])
+        assert not report.passed
+        assert "no protocol runs" in report.failures[0].detail
+
+    def test_non_tree_protocols_get_accounting_only(self, rng):
+        from repro.protocols.bucket_verify import BucketVerifyProtocol
+
+        S, T = make_instance(rng, 1 << 16, 64, 0.5)
+        with obs.capture() as sink:
+            BucketVerifyProtocol(1 << 16, 64).run(S, T, seed=1)
+        report = check_trace(sink.events())
+        assert report.passed, str(report)
+        assert {r.check for r in report.results} == {"accounting"}
+
+    def test_report_str_lists_verdicts(self, rng):
+        events, _ = traced_run(rng, 64, rounds=1)
+        text = str(check_trace(events))
+        assert "[PASS]" in text and "verification-tree" in text

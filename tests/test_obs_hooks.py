@@ -1,0 +1,176 @@
+"""Hook coverage: every instrumented layer emits its events under capture.
+
+These tests run real protocols inside ``obs.capture()`` and assert the
+event stream carries what the taxonomy promises -- and, just as load-
+bearing, that tracing changes no protocol output.
+"""
+
+import random
+
+import pytest
+
+from conftest import make_instance
+from repro import obs
+from repro.obs import metrics
+from repro.obs.schema import validate_trace_events
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    metrics.reset_metrics()
+    yield
+    metrics.reset_metrics()
+
+
+def events_of(sink, event_type):
+    return [e for e in sink.events() if e["type"] == event_type]
+
+
+class TestProtocolAndEngineHooks:
+    def test_tree_protocol_emits_bracket_and_messages(self, rng):
+        from repro.core.tree_protocol import TreeProtocol
+
+        S, T = make_instance(rng, 1 << 18, 128, 0.4)
+        protocol = TreeProtocol(1 << 18, 128, rounds=2)
+        with obs.capture() as sink:
+            outcome = protocol.run(S, T, seed=3)
+        assert outcome.alice_output == S & T
+        assert validate_trace_events(sink.events()) == []
+
+        (start,) = events_of(sink, "protocol.start")
+        assert start["protocol"] == "verification-tree"
+        assert start["max_set_size"] == 128
+        assert start["rounds"] == 2
+        (finish,) = events_of(sink, "protocol.finish")
+        assert finish["total_bits"] == outcome.total_bits
+        assert finish["num_messages"] == outcome.num_messages
+        # Message events reconstruct the exact bit total.
+        message_bits = sum(
+            e["bits"]
+            for e in sink.events()
+            if e["type"] in ("message.open", "message.merge")
+        )
+        assert message_bits == outcome.total_bits
+        assert len(events_of(sink, "message.open")) == outcome.num_messages
+
+    def test_engine_bracket_reports_run_relative_totals(self):
+        from repro.comm.engine import Recv, Send, run_two_party
+        from repro.util.bits import BitString
+
+        def alice(ctx):
+            yield Send(BitString(3, 4))
+            (yield Recv())
+            return None
+
+        def bob(ctx):
+            (yield Recv())
+            yield Send(BitString(1, 2))
+            return None
+
+        with obs.capture() as sink:
+            run_two_party(alice, bob, alice_input=None, bob_input=None)
+        (finish,) = events_of(sink, "engine.finish")
+        assert finish["total_bits"] == 6
+        assert finish["num_messages"] == 2
+        assert metrics.histogram("engine.bits_per_round").count == 2
+
+    def test_tracing_changes_no_output(self, rng):
+        from repro.core.tree_protocol import TreeProtocol
+
+        S, T = make_instance(rng, 1 << 16, 64, 0.5)
+        protocol = TreeProtocol(1 << 16, 64, rounds=2)
+        plain = protocol.run(S, T, seed=7)
+        with obs.capture():
+            traced = protocol.run(S, T, seed=7)
+        assert traced.alice_output == plain.alice_output
+        assert traced.total_bits == plain.total_bits
+        assert traced.num_messages == plain.num_messages
+
+
+class TestStageAndBucketHooks:
+    def test_tree_stages_emit_phase_and_verify_events(self, rng):
+        from repro.core.tree_protocol import TreeProtocol
+
+        S, T = make_instance(rng, 1 << 18, 128, 0.4)
+        with obs.capture() as sink:
+            TreeProtocol(1 << 18, 128, rounds=2).run(S, T, seed=1)
+        phases = events_of(sink, "bucket.phase")
+        assert [e["phase"] for e in phases] == ["stage0", "stage1"]
+        for event in phases:
+            assert event["protocol"] == "verification-tree"
+            assert event["equality_bits"] >= 0
+        verifies = events_of(sink, "verify.outcome")
+        assert len(verifies) == 2
+        assert all(v["passed"] + v["failed"] > 0 for v in verifies)
+
+    def test_bucket_verify_emits_iterations(self, rng):
+        from repro.protocols.bucket_verify import BucketVerifyProtocol
+
+        S, T = make_instance(rng, 1 << 16, 64, 0.5)
+        protocol = BucketVerifyProtocol(1 << 16, 64)
+        with obs.capture() as sink:
+            outcome = protocol.run(S, T, seed=2)
+        assert outcome.alice_output == S & T
+        phases = events_of(sink, "bucket.phase")
+        assert phases and phases[0]["phase"] == "iteration0"
+        assert phases[0]["active"] == protocol.num_buckets
+        # Settled buckets accumulate to the full bucket count.
+        assert sum(e["settled"] for e in phases) <= protocol.num_buckets
+
+    def test_basic_intersection_reports_filter_outcome(self, rng):
+        from repro.protocols.basic_intersection import BasicIntersectionProtocol
+
+        S, T = make_instance(rng, 1 << 14, 32, 0.5)
+        with obs.capture() as sink:
+            outcome = BasicIntersectionProtocol(1 << 14, 32).run(S, T, seed=4)
+        (event,) = events_of(sink, "verify.outcome")
+        assert event["context"] == "filter/alice"
+        assert event["kept"] == len(outcome.alice_output)
+
+
+class TestMultipartyHooks:
+    def test_round_boundaries_sum_to_finish_total(self, rng):
+        from repro.multiparty.coordinator import CoordinatorIntersection
+        from repro.workloads import make_multiparty_instance
+
+        sets = make_multiparty_instance(rng, 1 << 16, 48, 4, 12)
+        with obs.capture() as sink:
+            outcome = CoordinatorIntersection(1 << 16, 48).run(sets, seed=6)
+        (start,) = events_of(sink, "multiparty.start")
+        assert start["players"] == 4
+        (finish,) = events_of(sink, "multiparty.finish")
+        boundaries = events_of(sink, "round.boundary")
+        assert finish["rounds"] == outcome.rounds == len(boundaries)
+        assert finish["total_bits"] == outcome.total_bits
+        assert sum(e["bits"] for e in boundaries) == outcome.total_bits
+        assert metrics.histogram("multiparty.rounds_per_run").count == 1
+
+
+class TestKernelRouteHooks:
+    def test_route_counters_accumulate_while_active(self):
+        from repro.kernels.batch import affine_image_batch
+
+        with obs.capture() as sink:
+            affine_image_batch(list(range(200)), 3, 1, 997, 256)
+            affine_image_batch(list(range(200)), 5, 2, 997, 256)
+        routes = [
+            name
+            for name in metrics.metric_names()
+            if name.startswith("kernels.route.affine_image_batch.")
+        ]
+        (route_name,) = routes
+        assert metrics.counter(route_name).value == 2
+        # The event stream gets the first sighting only (counters carry the
+        # rates); with a fresh-enough process this may be zero if an earlier
+        # test already sighted the route, so only the counter is asserted.
+        assert len(events_of(sink, "kernel.route")) <= 1
+
+    def test_disabled_path_records_nothing(self):
+        from repro.kernels.batch import affine_image_batch
+        from repro.obs.state import STATE
+
+        assert not STATE.active or True  # document intent; no-op if CI traces
+        if STATE.active:
+            pytest.skip("tracing enabled via environment")
+        affine_image_batch(list(range(200)), 3, 1, 997, 256)
+        assert metrics.metric_names() == []

@@ -1,0 +1,74 @@
+"""Tests for the metrics registry."""
+
+import math
+
+import pytest
+
+from repro.obs import metrics
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    metrics.reset_metrics()
+    yield
+    metrics.reset_metrics()
+
+
+class TestCounter:
+    def test_get_or_create_and_inc(self):
+        metrics.counter("x").inc()
+        metrics.counter("x").inc(3)
+        assert metrics.counter("x").value == 4
+        assert metrics.counter("x").as_dict() == {"kind": "counter", "value": 4}
+
+    def test_kind_clash_raises(self):
+        metrics.counter("x")
+        with pytest.raises(TypeError):
+            metrics.histogram("x")
+        metrics.histogram("y")
+        with pytest.raises(TypeError):
+            metrics.counter("y")
+
+
+class TestHistogram:
+    def test_moments(self):
+        h = metrics.histogram("bits")
+        for value in (10, 20, 60):
+            h.observe(value)
+        assert h.count == 3
+        assert h.total == 90
+        assert h.min == 10 and h.max == 60
+        assert h.mean == pytest.approx(30.0)
+
+    def test_empty_histogram_renders_without_garbage(self):
+        h = metrics.histogram("bits")
+        d = h.as_dict()
+        assert d["count"] == 0
+        assert d["min"] is None and d["max"] is None and d["mean"] is None
+        assert math.isnan(h.mean)
+
+
+class TestRegistry:
+    def test_snapshot_is_sorted_and_json_ready(self):
+        metrics.counter("b").inc()
+        metrics.histogram("a").observe(1)
+        snap = metrics.snapshot()
+        assert list(snap) == ["a", "b"]
+        assert snap["b"]["value"] == 1
+
+    def test_snapshot_can_merge_hotcache_stats(self):
+        snap = metrics.snapshot(include_hotcache=True)
+        # Hot caches register at import time; every merged entry is
+        # namespaced and cache-kinded.
+        hotcache_entries = {
+            k: v for k, v in snap.items() if k.startswith("hotcache.")
+        }
+        for entry in hotcache_entries.values():
+            assert entry["kind"] == "cache"
+            assert "hits" in entry and "misses" in entry
+
+    def test_reset_clears_names(self):
+        metrics.counter("x")
+        assert metrics.metric_names() == ["x"]
+        metrics.reset_metrics()
+        assert metrics.metric_names() == []

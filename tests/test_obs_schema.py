@@ -1,0 +1,103 @@
+"""Tests for the trace event schema and the JSONL parser."""
+
+import pytest
+
+from repro.obs.schema import (
+    EVENT_TYPES,
+    load_trace,
+    parse_jsonl,
+    validate_trace_events,
+)
+from repro.obs.trace import RingBufferSink, Tracer
+
+
+def valid_event(event_type="message.open", **overrides):
+    base = {
+        "ts": 1.0,
+        "seq": 1,
+        "type": event_type,
+        "sender": "alice",
+        "index": 0,
+        "bits": 8,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestValidate:
+    def test_clean_event_passes(self):
+        assert validate_trace_events([valid_event()]) == []
+
+    def test_missing_envelope_field_flagged(self):
+        event = valid_event()
+        del event["seq"]
+        problems = validate_trace_events([event])
+        assert any("seq" in p for p in problems)
+
+    def test_unknown_type_flagged(self):
+        problems = validate_trace_events([valid_event(event_type="no.such")])
+        assert any("unknown event type" in p for p in problems)
+
+    def test_missing_required_payload_field_flagged(self):
+        event = valid_event()
+        del event["bits"]
+        problems = validate_trace_events([event])
+        assert any("missing field 'bits'" in p for p in problems)
+
+    def test_extra_fields_are_tolerated(self):
+        assert validate_trace_events([valid_event(extra="fine")]) == []
+
+    def test_bad_ts_and_seq_flagged(self):
+        problems = validate_trace_events(
+            [valid_event(ts="yesterday", seq=0)]
+        )
+        assert any("ts" in p for p in problems)
+        assert any("seq" in p for p in problems)
+
+    def test_negative_bits_flagged(self):
+        problems = validate_trace_events([valid_event(bits=-1)])
+        assert any("negative bits" in p for p in problems)
+
+    def test_zero_bit_message_open_is_a_violation(self):
+        # The transcript convention this schema polices: empty payloads
+        # never open messages, so a 0-bit message.open in a trace means the
+        # instrumented transcript broke the convention.
+        problems = validate_trace_events([valid_event(bits=0)])
+        assert any("must not open" in p for p in problems)
+        # ...but a 0-bit *merge* is legal (same-sender empty send).
+        assert (
+            validate_trace_events(
+                [valid_event(event_type="message.merge", bits=0)]
+            )
+            == []
+        )
+
+    def test_non_dict_event_flagged(self):
+        problems = validate_trace_events(["not an event"])
+        assert any("not an object" in p for p in problems)
+
+    def test_every_emitted_type_is_in_the_taxonomy(self):
+        # The taxonomy is closed; whatever the Tracer emits in the library
+        # must validate.  Spot-check one record per type with its required
+        # fields.
+        tracer = Tracer([RingBufferSink()])
+        for event_type, required in EVENT_TYPES.items():
+            record = tracer.emit(
+                event_type, **{field: 1 for field in required}
+            )
+            if event_type == "message.open":
+                record["bits"] = 1
+            assert validate_trace_events([record]) == []
+
+
+class TestJsonl:
+    def test_parse_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"ts": 1.0, "seq": 1, "type": "engine.start"}\n\n')
+        events = load_trace(str(path))
+        assert len(events) == 1
+        assert validate_trace_events(events) == []
+
+    def test_torn_line_raises_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_jsonl('{"ts": 1}\n{"torn...')

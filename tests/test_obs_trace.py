@@ -1,0 +1,198 @@
+"""Tests for the tracing core: tracer, sinks, capture, env bootstrap."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+from repro.obs.state import STATE
+from repro.obs.trace import (
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    Tracer,
+    disable,
+    enable,
+    get_tracer,
+)
+
+
+class TestTracer:
+    def test_emit_builds_the_envelope(self):
+        sink = RingBufferSink()
+        tracer = Tracer([sink])
+        record = tracer.emit("span.start", name="x")
+        assert record["type"] == "span.start"
+        assert record["name"] == "x"
+        assert record["seq"] == 1
+        assert isinstance(record["ts"], float)
+        assert sink.events() == [record]
+
+    def test_seq_is_monotone_per_tracer(self):
+        tracer = Tracer([NullSink()])
+        seqs = [tracer.emit("span.start", name="x")["seq"] for _ in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+
+    def test_every_sink_sees_every_event(self):
+        a, b = RingBufferSink(), RingBufferSink()
+        tracer = Tracer([a, b])
+        tracer.emit("span.start", name="x")
+        assert len(a) == len(b) == 1
+        assert a.events() == b.events()
+
+    def test_span_brackets_with_duration(self):
+        sink = RingBufferSink()
+        tracer = Tracer([sink])
+        with tracer.span("phase", stage=3):
+            pass
+        start, end = sink.events()
+        assert start["type"] == "span.start" and start["stage"] == 3
+        assert end["type"] == "span.end" and end["name"] == "phase"
+        assert end["duration_s"] >= 0
+
+    def test_span_end_fires_on_exception(self):
+        sink = RingBufferSink()
+        tracer = Tracer([sink])
+        with pytest.raises(RuntimeError):
+            with tracer.span("phase"):
+                raise RuntimeError("boom")
+        assert [e["type"] for e in sink.events()] == ["span.start", "span.end"]
+
+
+class TestRingBufferSink:
+    def test_capacity_bound_and_dropped_counter(self):
+        sink = RingBufferSink(capacity=3)
+        tracer = Tracer([sink])
+        for i in range(5):
+            tracer.emit("span.start", name=str(i))
+        assert len(sink) == 3
+        assert sink.dropped == 2
+        assert [e["name"] for e in sink.events()] == ["2", "3", "4"]
+
+    def test_clear(self):
+        sink = RingBufferSink(capacity=1)
+        Tracer([sink]).emit("span.start", name="x")
+        sink.clear()
+        assert len(sink) == 0 and sink.dropped == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_writes_one_line_per_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        tracer = Tracer([sink])
+        tracer.emit("span.start", name="a")
+        tracer.emit("span.end", name="a", duration_s=0.0)
+        tracer.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "a"
+
+    def test_open_is_lazy(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        JsonlSink(str(path))
+        assert not path.exists()
+
+    def test_appends_across_sinks(self, tmp_path):
+        # Two sinks on the same path (the multi-process story, single
+        # process edition) interleave whole lines.
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            sink = JsonlSink(str(path))
+            Tracer([sink]).emit("span.start", name="x")
+            sink.close()
+        assert len(path.read_text().splitlines()) == 2
+
+
+class TestGlobalState:
+    def test_enable_disable_flip_the_switch(self):
+        previous = STATE.tracer
+        try:
+            tracer = enable()
+            assert STATE.active and get_tracer() is tracer
+            disable()
+            assert not STATE.active and get_tracer() is None
+        finally:
+            STATE.install(previous)
+
+    def test_capture_restores_previous_tracer(self):
+        previous = STATE.tracer
+        try:
+            outer = enable()
+            with obs.capture() as sink:
+                assert get_tracer() is not outer
+                get_tracer().emit("span.start", name="inner")
+            assert get_tracer() is outer
+            assert [e["name"] for e in sink.events()] == ["inner"]
+            disable()
+        finally:
+            STATE.install(previous)
+
+    def test_capture_restores_disabled_state(self):
+        previous = STATE.tracer
+        STATE.install(None)
+        try:
+            with obs.capture():
+                assert STATE.active
+            assert not STATE.active
+        finally:
+            STATE.install(previous)
+
+
+class TestEnvBootstrap:
+    def _run(self, env_extra, code):
+        import os
+
+        env = dict(os.environ)
+        env.pop("REPRO_TRACE", None)
+        env.pop("REPRO_TRACE_FILE", None)
+        env.update(env_extra)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        return subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+
+    def test_default_is_off(self):
+        proc = self._run(
+            {},
+            "from repro.obs.state import STATE; print(STATE.active)",
+        )
+        assert proc.stdout.strip() == "False"
+
+    def test_repro_trace_enables_ring_buffer(self):
+        proc = self._run(
+            {"REPRO_TRACE": "1"},
+            "from repro.obs.state import STATE; print(STATE.active)",
+        )
+        assert proc.stdout.strip() == "True"
+
+    def test_trace_file_env_routes_to_jsonl(self, tmp_path):
+        path = tmp_path / "env_trace.jsonl"
+        proc = self._run(
+            {"REPRO_TRACE": "1", "REPRO_TRACE_FILE": str(path)},
+            "import random\n"
+            "from repro.core.tree_protocol import TreeProtocol\n"
+            "from repro.workloads import make_instance\n"
+            "rng = random.Random(0)\n"
+            "S, T = make_instance(rng, 1 << 16, 64, 0.5)\n"
+            "p = TreeProtocol(1 << 16, 64, rounds=1)\n"
+            "p.run(S, T, seed=0)\n",
+        )
+        assert proc.returncode == 0, proc.stderr
+        from repro.obs.schema import load_trace, validate_trace_events
+
+        events = load_trace(str(path))
+        assert validate_trace_events(events) == []
+        assert any(e["type"] == "protocol.finish" for e in events)

@@ -257,3 +257,74 @@ class TestNewMicros:
         _op_bitwriter_bulk()
         _op_bitstring_concat()
         _op_transcript_append()
+
+
+class TestMixedSchemaBackends:
+    # Schema v2 reports carry no per-micro ``backend`` tag; v3 reports do.
+    # A mixed compare must skip the throughput check in both directions --
+    # ``None`` vs a real tag is a configuration difference, same as
+    # ``numpy`` vs ``scalar``.
+
+    def test_tagged_baseline_vs_untagged_new_is_skipped(self):
+        old = make_report({"pairwise_batch": 100.0})
+        old["micro"]["pairwise_batch"]["backend"] = "numpy"
+        new = make_report({"pairwise_batch": 10.0})
+        result = compare_reports(old, new)
+        assert result["ok"]
+        (row,) = [r for r in result["micro"] if r["name"] == "pairwise_batch"]
+        assert row["status"] == "skipped"
+        assert "backends differ" in row["detail"]
+
+    def test_untagged_baseline_vs_tagged_new_is_skipped(self):
+        old = make_report({"pairwise_batch": 100.0})
+        new = make_report({"pairwise_batch": 10.0})
+        new["micro"]["pairwise_batch"]["backend"] = "scalar"
+        result = compare_reports(old, new)
+        assert result["ok"]
+        (row,) = [r for r in result["micro"] if r["name"] == "pairwise_batch"]
+        assert row["status"] == "skipped"
+
+    def test_new_micro_never_gates_even_with_backend_tag(self):
+        # A micro the baseline has never seen cannot regress, whatever its
+        # backend or throughput.
+        old = make_report({"tree_protocol": 100.0})
+        new = make_report({"tree_protocol": 100.0, "fresh_micro": 0.001})
+        new["micro"]["fresh_micro"]["backend"] = "scalar"
+        result = compare_reports(old, new)
+        assert result["ok"]
+        (row,) = [r for r in result["micro"] if r["name"] == "fresh_micro"]
+        assert row["status"] == "new"
+        assert row["ratio"] is None
+
+
+class TestTimeOp:
+    def test_iterations_count_the_timed_calls_exactly(self):
+        from repro.perf.bench import _time_op
+
+        calls = []
+        result = _time_op(lambda: calls.append(None), 0.005)
+        # Four equal blocks of block_iters calls each, plus the single
+        # calibration warm-up call which is *not* part of ``iterations``.
+        assert result["iterations"] % 4 == 0
+        assert len(calls) == result["iterations"] + 1
+        assert result["ops_per_s"] > 0
+        assert result["wall_s"] > 0
+
+    def test_wall_time_excludes_the_warmup_call(self):
+        import time as _time
+
+        from repro.perf.bench import _time_op
+
+        state = {"first": True}
+
+        def op():
+            if state["first"]:
+                state["first"] = False
+                _time.sleep(0.2)
+
+        result = _time_op(op, 0.0)
+        # The slow call was the calibration run; the four timed blocks (one
+        # fast iteration each, since target/once rounds to one) must not
+        # include its 200ms.
+        assert result["iterations"] == 4
+        assert result["wall_s"] < 0.1
