@@ -16,6 +16,9 @@ Commands:
 * ``trace`` -- run a traced workload, write a schema-validated JSONL event
   trace, print the per-round/per-sender rollup, and check the run against
   the paper's bounds (or validate an existing trace with ``--validate``).
+* ``faults`` -- sweep fault models x rates x protocols under the
+  verification-driven retry loop (``repro.faults``) and print a
+  survival/degradation table.
 """
 
 from __future__ import annotations
@@ -209,6 +212,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate an existing JSONL trace against the event schema "
         "instead of running",
     )
+
+    faults = sub.add_parser(
+        "faults",
+        help="sweep fault models x rates x protocols under the "
+        "verification-driven retry loop; print a survival table",
+    )
+    faults.add_argument("--k", type=int, default=64, help="set-size bound k")
+    faults.add_argument(
+        "--log-universe", type=int, default=16, help="universe is 2^THIS"
+    )
+    faults.add_argument(
+        "--trials", type=int, default=100, help="trials per (protocol, model, rate) cell"
+    )
+    faults.add_argument("--seed", type=int, default=0, help="sweep master seed")
+    faults.add_argument(
+        "--overlap", type=float, default=0.5, help="overlap fraction"
+    )
+    faults.add_argument(
+        "--rates",
+        default="0.01,0.05,0.2",
+        help="comma-separated per-message fault probabilities",
+    )
+    faults.add_argument(
+        "--models",
+        default="bitflip",
+        help="comma-separated channel models "
+        "(bitflip, truncate, drop, duplicate)",
+    )
+    faults.add_argument(
+        "--protocols",
+        default="bucket,amplified",
+        help="comma-separated protocols "
+        "(bucket, basic, tree, amplified, one-round, trivial)",
+    )
+    faults.add_argument(
+        "--max-attempts",
+        type=int,
+        default=5,
+        help="retry budget per trial before degrading",
+    )
+    faults.add_argument(
+        "--attempt-bit-budget",
+        type=int,
+        default=None,
+        help="per-attempt communication cutoff in bits (the retry timeout)",
+    )
     return parser
 
 
@@ -322,6 +371,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_bench(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
+    if args.command == "faults":
+        return _cmd_faults(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -499,10 +550,17 @@ def _cmd_trace(args, out) -> int:
     runs = rollup_runs(events)
     for index, run in enumerate(runs):
         r = run.params.get("rounds", "?")
+        fault_note = ""
+        if run.fault_events or run.retry_attempts or run.degraded:
+            fault_note = (
+                f" [faults={run.fault_events} retries={run.retry_attempts}"
+                + (" degraded" if run.degraded else "")
+                + "]"
+            )
         print(
             f"\nrun {index}: {run.protocol} "
             f"(k={run.params.get('max_set_size')}, r={r}) -- "
-            f"{run.total_bits} bits in {run.num_rounds} messages",
+            f"{run.total_bits} bits in {run.num_rounds} messages{fault_note}",
             file=out,
         )
         for round_index, bits in enumerate(run.round_bits):
@@ -536,6 +594,129 @@ def _cmd_trace(args, out) -> int:
     print("", file=out)
     print(str(report), file=out)
     return 0 if report.passed else 1
+
+
+def _cmd_faults(args, out) -> int:
+    from repro.core.amplify import AmplifiedIntersection
+    from repro.faults.models import MODEL_FACTORIES, FaultConfigError
+    from repro.faults.plan import FaultPlan
+    from repro.faults.retry import RetryPolicy, run_with_retry
+    from repro.protocols.basic_intersection import BasicIntersectionProtocol
+    from repro.protocols.bucket_verify import BucketVerifyProtocol
+    from repro.protocols.one_round import OneRoundHashingProtocol
+    from repro.protocols.trivial import TrivialExchangeProtocol
+    from repro.workloads import make_instance
+
+    universe = 1 << args.log_universe
+    protocol_factories = {
+        "bucket": lambda: BucketVerifyProtocol(universe, args.k),
+        "basic": lambda: BasicIntersectionProtocol(universe, args.k),
+        "tree": lambda: TreeProtocol(universe, args.k),
+        "amplified": lambda: AmplifiedIntersection(universe, args.k),
+        "one-round": lambda: OneRoundHashingProtocol(universe, args.k),
+        "trivial": lambda: TrivialExchangeProtocol(universe, args.k),
+    }
+    # Reorder and crash are round/player faults of the multiparty network;
+    # the two-party sweep covers the per-payload channel models.
+    two_party_models = ("bitflip", "truncate", "drop", "duplicate")
+
+    try:
+        rates = [float(rate) for rate in args.rates.split(",") if rate.strip()]
+    except ValueError:
+        print(f"bad --rates value {args.rates!r}", file=out)
+        return 2
+    model_names = [m.strip() for m in args.models.split(",") if m.strip()]
+    protocol_names = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    for model_name in model_names:
+        if model_name not in two_party_models:
+            print(
+                f"unknown two-party fault model {model_name!r} "
+                f"(know: {', '.join(two_party_models)})",
+                file=out,
+            )
+            return 2
+    for protocol_name in protocol_names:
+        if protocol_name not in protocol_factories:
+            print(
+                f"unknown protocol {protocol_name!r} "
+                f"(know: {', '.join(sorted(protocol_factories))})",
+                file=out,
+            )
+            return 2
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts,
+        attempt_bit_budget=args.attempt_bit_budget,
+    )
+
+    print(
+        f"fault sweep: universe 2^{args.log_universe}, k={args.k}, "
+        f"{args.trials} trials/cell, retry budget {args.max_attempts} "
+        f"attempts (rate = per-message fault probability)",
+        file=out,
+    )
+    header = (
+        f"{'protocol':<24}{'model':<11}{'rate':>6}  {'exact%':>7}  "
+        f"{'inexact%':>8}  {'degraded%':>9}  {'attempts':>8}  "
+        f"{'faults/trial':>12}  {'bits/trial':>11}"
+    )
+    print(header, file=out)
+    for protocol_name in protocol_names:
+        protocol = protocol_factories[protocol_name]()
+        for model_name in model_names:
+            factory = MODEL_FACTORIES[model_name]
+            for rate in rates:
+                try:
+                    model_probe = factory(rate)
+                except FaultConfigError as exc:
+                    print(f"bad rate {rate} for {model_name}: {exc}", file=out)
+                    return 2
+                del model_probe
+                rng = random.Random(args.seed)
+                exact = degraded = inexact = 0
+                attempts_total = faults_total = bits_total = 0
+                for trial in range(args.trials):
+                    s, t = make_instance(rng, universe, args.k, args.overlap)
+                    plan = FaultPlan(factory(rate), seed=args.seed + trial)
+                    outcome = run_with_retry(
+                        protocol,
+                        s,
+                        t,
+                        seed=args.seed + trial,
+                        policy=policy,
+                        plan=plan,
+                    )
+                    if outcome.degraded:
+                        degraded += 1
+                    elif outcome.correct_for(s, t):
+                        exact += 1
+                    else:
+                        inexact += 1
+                    attempts_total += outcome.attempts
+                    faults_total += plan.injected
+                    bits_total += outcome.total_bits
+                trials = args.trials
+                print(
+                    f"{protocol.name:<24}{model_name:<11}{rate:>6.3f}  "
+                    f"{100.0 * exact / trials:>7.1f}  "
+                    f"{100.0 * inexact / trials:>8.1f}  "
+                    f"{100.0 * degraded / trials:>9.1f}  "
+                    f"{attempts_total / trials:>8.2f}  "
+                    f"{faults_total / trials:>12.1f}  "
+                    f"{bits_total / trials:>11.0f}",
+                    file=out,
+                )
+    # An *inexact* (agreed-but-wrong) cell is not an error exit: the
+    # equality check certifies agreement, and agreement implies exactness
+    # only over a reliable channel (DESIGN §9) -- at high fault rates both
+    # parties can consistently lose the same element, and the sweep's whole
+    # point is to measure how often.
+    print(
+        "\nexact: verified and equal to S ∩ T; inexact: verified but "
+        "corrupted consistently on both sides;\ndegraded: retry budget "
+        "exhausted, certified supersets (own inputs) returned instead.",
+        file=out,
+    )
+    return 0
 
 
 def _cmd_render(args, out) -> int:

@@ -41,6 +41,7 @@ from typing import Any, Callable, Deque, Dict, Generator, Optional
 
 from repro.comm.errors import ProtocolAborted, ProtocolDeadlock, ProtocolViolation
 from repro.comm.transcript import Transcript
+from repro.faults.state import STATE as _FAULTS
 from repro.obs.state import STATE as _OBS
 from repro.util.bits import BitString
 from repro.util.rng import PrivateRandomness, SharedRandomness
@@ -163,10 +164,16 @@ def run_two_party(
         composition); a fresh one is created by default.
     :param fault_injector: optional channel fault model for robustness
         testing: called as ``fault_injector(sender, payload)`` on every
-        send; the returned bit string is what gets *delivered* (the
-        transcript records the original, since the sender paid for it).
-        The protocols assume a reliable channel, so this exists to test
-        how they fail, not to model the paper.
+        send.  It may return a single bit string (delivered as-is) or a
+        list of bit strings -- each delivered in order, so an empty list
+        models a dropped message and a two-element list a duplication;
+        the transcript always records the original, since the sender paid
+        for it.  When ``None`` and a process-global fault plan is
+        installed (:mod:`repro.faults`), that plan's injector is used;
+        otherwise the channel is reliable.  The protocols assume a
+        reliable channel, so this exists to test how they fail (and to
+        drive the :mod:`repro.faults.retry` loop), not to model the
+        paper.
     :returns: a :class:`TwoPartyOutcome` with both outputs and the transcript.
     :raises ProtocolDeadlock: mismatched send/receive structure.
     :raises ProtocolAborted: communication budget exceeded.
@@ -214,6 +221,12 @@ def run_two_party(
     # are byte-backed BitStrings recorded and delivered by reference, so
     # the engine never re-materializes message bytes per send.
     record_send = record.record_send
+    # Resolve the channel model once: an explicit injector wins, else the
+    # process-global fault plan (REPRO_FAULTS), else a reliable channel --
+    # the default costs one falsy check here and nothing per send.
+    injector = fault_injector
+    if injector is None and _FAULTS.active:
+        injector = _FAULTS.plan.inject_two_party
 
     def advance(state: _PartyState, value: Any) -> None:
         """Resume the coroutine with ``value``; stash the next effect."""
@@ -255,12 +268,17 @@ def run_two_party(
                         bits_used=record.total_bits - budget_base,
                         budget=max_total_bits,
                     )
-                delivered = (
-                    fault_injector(state.role, effect.payload)
-                    if fault_injector is not None
-                    else effect.payload
-                )
-                states[peers[state.role]].inbox.append(delivered)
+                if injector is None:
+                    states[peers[state.role]].inbox.append(effect.payload)
+                else:
+                    delivered = injector(state.role, effect.payload)
+                    inbox = states[peers[state.role]].inbox
+                    if isinstance(delivered, BitString):
+                        inbox.append(delivered)
+                    else:
+                        # Structural faults: a list of deliveries (empty =
+                        # dropped, several = duplicated).
+                        inbox.extend(delivered)
                 advance(state, None)
                 progressed = True
             elif isinstance(effect, Recv):

@@ -12,6 +12,7 @@ __all__ = [
     "ProtocolError",
     "ProtocolDeadlock",
     "ProtocolViolation",
+    "MessageToFinishedPlayer",
     "ProtocolAborted",
 ]
 
@@ -31,6 +32,29 @@ class ProtocolDeadlock(ProtocolError):
 class ProtocolViolation(ProtocolError):
     """A party coroutine yielded something the engine cannot interpret,
     or violated the model (e.g. sent a non-``BitString`` payload)."""
+
+
+class MessageToFinishedPlayer(ProtocolViolation):
+    """A multiparty message was addressed to a player that had already
+    finished (or crashed under a fault model).
+
+    The BSP scheduler defers this check to the top of the following
+    superstep (where the full-scan scheduler would have seen it), then
+    raises with the offending player and its undelivered message count.
+    Subclassing :class:`ProtocolViolation` keeps pre-existing handlers
+    working; fault-aware callers catch this type to distinguish "peer is
+    gone" from a structural protocol bug.
+    """
+
+    def __init__(self, message: str, player: str, undelivered: int) -> None:
+        super().__init__(message)
+        self.player = player
+        self.undelivered = undelivered
+
+    def __reduce__(self):
+        # Same pickling concern as ProtocolAborted: keep the typed fields
+        # across process boundaries (executor workers).
+        return (type(self), (self.args[0], self.player, self.undelivered))
 
 
 class ProtocolAborted(ProtocolError):

@@ -1,0 +1,409 @@
+"""Composable channel fault models.
+
+The library's protocols assume a reliable channel; this module is the
+vocabulary for breaking that assumption *deterministically*.  A
+:class:`FaultModel` is a pure description of one kind of channel damage --
+flip a bit, truncate a payload, drop or duplicate a message, reorder a
+round's inbox, crash a player -- with all randomness supplied by the caller
+(a :class:`~repro.faults.plan.FaultPlan` owns one seeded stream), so the
+same seed always reproduces the same fault schedule.
+
+The model API has three hooks, each a no-op on the base class:
+
+* :meth:`FaultModel.perturb` -- per-payload damage.  Returns ``None`` for
+  "deliver unchanged" (the common case, kept allocation-free) or a
+  ``(kind, deliveries)`` pair where ``deliveries`` is the tuple of payloads
+  actually delivered: ``()`` models a drop, two entries a duplication, a
+  modified single entry a corruption.
+* :meth:`FaultModel.maybe_reorder` -- per-destination inbox shuffle within
+  one multiparty superstep (the BSP model delivers a round's messages as a
+  list; reordering within the round is the only reordering that exists).
+* :meth:`FaultModel.maybe_crash` -- per-player, per-superstep crash
+  decision for the multiparty scheduler.
+
+Structural faults (drop / duplicate) are representable on the two-party
+engine too: the engine detects the resulting desynchronization and raises
+its usual typed errors (:class:`~repro.comm.errors.ProtocolDeadlock` for a
+message the peer waits on forever, :class:`~repro.comm.errors.ProtocolViolation`
+for an undelivered surplus), which the retry layer treats as failed
+attempts.  ``flip_bit``, :class:`FlipEveryMessage`, and :class:`FlipOnce`
+are the historical helpers promoted out of the failure-injection test
+suite; the two classes keep their raw injector ``__call__`` signature so
+they remain directly usable as ``run_two_party(..., fault_injector=...)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.bits import BitString
+
+__all__ = [
+    "FaultConfigError",
+    "flip_bit",
+    "FaultModel",
+    "BitFlip",
+    "Truncate",
+    "Drop",
+    "Duplicate",
+    "ReorderWithinRound",
+    "PlayerCrash",
+    "Compose",
+    "FlipEveryMessage",
+    "FlipOnce",
+    "MODEL_FACTORIES",
+    "smoke_model",
+    "parse_fault_spec",
+]
+
+#: A perturbation outcome: the fault kind plus the payloads delivered.
+Perturbation = Tuple[str, Tuple[BitString, ...]]
+
+
+class FaultConfigError(ValueError):
+    """A fault spec or model parameter is malformed (caller bug, raised at
+    construction/parse time, never mid-protocol)."""
+
+
+def flip_bit(payload: BitString, position: int) -> BitString:
+    """Flip one bit of a payload (position taken mod the length).
+
+    Zero-length payloads are returned unchanged -- there is no bit to flip,
+    and the empty payload's delivery semantics must stay intact.
+    """
+    if len(payload) == 0:
+        return payload
+    position %= len(payload)
+    return BitString(
+        payload.value ^ (1 << (len(payload) - 1 - position)), len(payload)
+    )
+
+
+class FaultModel:
+    """Base class: a named, rate-free description of channel damage.
+
+    Subclasses override the hooks they implement; every hook draws coins
+    only from the ``rng`` argument so the owning plan controls determinism.
+    """
+
+    name = "abstract"
+
+    def perturb(
+        self, sender: str, payload: BitString, rng: random.Random
+    ) -> Optional[Perturbation]:
+        """Damage one payload, or ``None`` to deliver it unchanged."""
+        return None
+
+    def maybe_reorder(self, inbox: List, rng: random.Random) -> bool:
+        """Shuffle a round's per-destination inbox in place; True if it did."""
+        return False
+
+    def maybe_crash(
+        self, player: str, round_index: int, rng: random.Random
+    ) -> bool:
+        """True to crash ``player`` at the top of superstep ``round_index``."""
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class _RateModel(FaultModel):
+    """Shared rate validation for the per-message Bernoulli models."""
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise FaultConfigError(
+                f"{type(self).__name__} rate must be in [0, 1], got {rate}"
+            )
+        self.rate = rate
+
+    def _fires(self, rng: random.Random) -> bool:
+        # Rate 0 must not consume coins: the smoke plan runs the full hook
+        # path on every send and must leave schedules (and costs) alone.
+        return self.rate > 0.0 and rng.random() < self.rate
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(rate={self.rate})"
+
+
+class BitFlip(_RateModel):
+    """Flip one uniformly random bit of a payload with probability ``rate``."""
+
+    name = "bitflip"
+
+    def perturb(self, sender, payload, rng):
+        if len(payload) == 0 or not self._fires(rng):
+            return None
+        return self.name, (flip_bit(payload, rng.randrange(len(payload))),)
+
+
+class Truncate(_RateModel):
+    """Cut a payload to a uniformly random proper prefix with probability
+    ``rate`` (models a torn write; the strict codecs surface it as a decode
+    error on the receiving side)."""
+
+    name = "truncate"
+
+    def perturb(self, sender, payload, rng):
+        if len(payload) == 0 or not self._fires(rng):
+            return None
+        return self.name, (payload[: rng.randrange(len(payload))],)
+
+
+class Drop(_RateModel):
+    """Silently drop a payload with probability ``rate``."""
+
+    name = "drop"
+
+    def perturb(self, sender, payload, rng):
+        if not self._fires(rng):
+            return None
+        return self.name, ()
+
+
+class Duplicate(_RateModel):
+    """Deliver a payload twice with probability ``rate``."""
+
+    name = "duplicate"
+
+    def perturb(self, sender, payload, rng):
+        if not self._fires(rng):
+            return None
+        return self.name, (payload, payload)
+
+
+class ReorderWithinRound(_RateModel):
+    """Shuffle one destination's superstep inbox with probability ``rate``.
+
+    Only meaningful on the multiparty scheduler: the two-party channel has
+    one FIFO lane per direction and delivers eagerly, so within-round
+    reordering does not exist there (the hook simply never fires).
+    """
+
+    name = "reorder"
+
+    def maybe_reorder(self, inbox, rng):
+        if len(inbox) < 2 or not self._fires(rng):
+            return False
+        rng.shuffle(inbox)
+        return True
+
+
+class PlayerCrash(_RateModel):
+    """Crash a live player with probability ``rate`` per superstep
+    (multiparty only).
+
+    :param rate: per-player, per-superstep crash probability.
+    :param max_crashes: hard cap on total crashes (default 1 -- a single
+        fail-stop fault, the classical model).
+    :param target: restrict crashes to this player name (``None`` = any).
+    """
+
+    name = "crash"
+
+    def __init__(
+        self,
+        rate: float,
+        *,
+        max_crashes: int = 1,
+        target: Optional[str] = None,
+    ) -> None:
+        super().__init__(rate)
+        if max_crashes < 0:
+            raise FaultConfigError(
+                f"max_crashes must be >= 0, got {max_crashes}"
+            )
+        self.max_crashes = max_crashes
+        self.target = target
+        self.crashes = 0
+
+    def maybe_crash(self, player, round_index, rng):
+        if self.crashes >= self.max_crashes:
+            return False
+        if self.target is not None and player != self.target:
+            return False
+        if not self._fires(rng):
+            return False
+        self.crashes += 1
+        return True
+
+
+class Compose(FaultModel):
+    """Apply several models in sequence (each sees the previous one's
+    deliveries, so e.g. a duplicate's second copy can itself be corrupted).
+
+    The reported kind of a multi-model hit joins the fired kinds with
+    ``+``.
+    """
+
+    name = "compose"
+
+    def __init__(self, *models: FaultModel) -> None:
+        if not models:
+            raise FaultConfigError("Compose needs at least one model")
+        self.models = tuple(models)
+
+    def perturb(self, sender, payload, rng):
+        deliveries: Tuple[BitString, ...] = (payload,)
+        kinds: List[str] = []
+        for model in self.models:
+            next_deliveries: List[BitString] = []
+            fired = None
+            for delivery in deliveries:
+                outcome = model.perturb(sender, delivery, rng)
+                if outcome is None:
+                    next_deliveries.append(delivery)
+                else:
+                    fired, damaged = outcome
+                    next_deliveries.extend(damaged)
+            if fired is not None:
+                kinds.append(fired)
+            deliveries = tuple(next_deliveries)
+        if not kinds:
+            return None
+        return "+".join(kinds), deliveries
+
+    def maybe_reorder(self, inbox, rng):
+        fired = False
+        for model in self.models:
+            if model.maybe_reorder(inbox, rng):
+                fired = True
+        return fired
+
+    def maybe_crash(self, player, round_index, rng):
+        return any(
+            model.maybe_crash(player, round_index, rng)
+            for model in self.models
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(model) for model in self.models)
+        return f"Compose({inner})"
+
+
+class FlipEveryMessage(FaultModel):
+    """Flip a pseudo-random bit of every payload from one sender.
+
+    Promoted from the failure-injection test suite.  Carries its own seeded
+    stream (so the historical raw-injector usage stays reproducible) and
+    counts ``faults_injected``; usable both as a raw
+    ``fault_injector(sender, payload)`` callable and as a
+    :class:`FaultModel`.
+    """
+
+    name = "flip-every-message"
+
+    def __init__(self, target_sender: str, seed: int = 0) -> None:
+        self.target_sender = target_sender
+        self.rng = random.Random(seed)
+        self.faults_injected = 0
+
+    def __call__(self, sender: str, payload: BitString) -> BitString:
+        if sender != self.target_sender or len(payload) == 0:
+            return payload
+        self.faults_injected += 1
+        return flip_bit(payload, self.rng.randrange(len(payload)))
+
+    def perturb(self, sender, payload, rng):
+        if sender != self.target_sender or len(payload) == 0:
+            return None
+        return "bitflip", (self(sender, payload),)
+
+    def __repr__(self) -> str:
+        return f"FlipEveryMessage(target_sender={self.target_sender!r})"
+
+
+class FlipOnce(FaultModel):
+    """Corrupt only the first nonempty payload (a transient fault).
+
+    Promoted from the failure-injection test suite; same dual interface as
+    :class:`FlipEveryMessage`.
+    """
+
+    name = "flip-once"
+
+    def __init__(self) -> None:
+        self.done = False
+
+    def __call__(self, sender: str, payload: BitString) -> BitString:
+        if self.done or len(payload) == 0:
+            return payload
+        self.done = True
+        return flip_bit(payload, len(payload) // 2)
+
+    def perturb(self, sender, payload, rng):
+        if self.done or len(payload) == 0:
+            return None
+        return "bitflip", (self(sender, payload),)
+
+
+#: Spec/CLI name -> rate-parameterized factory.
+MODEL_FACTORIES: Dict[str, object] = {
+    "bitflip": BitFlip,
+    "truncate": Truncate,
+    "drop": Drop,
+    "duplicate": Duplicate,
+    "reorder": ReorderWithinRound,
+    "crash": PlayerCrash,
+}
+
+
+def smoke_model() -> Compose:
+    """Every channel model armed at rate 0: the full fault plumbing runs on
+    each send without ever changing a delivered bit (the ``REPRO_FAULTS=1``
+    CI leg's configuration)."""
+    return Compose(
+        BitFlip(0.0),
+        Truncate(0.0),
+        Drop(0.0),
+        Duplicate(0.0),
+        ReorderWithinRound(0.0),
+    )
+
+
+def parse_fault_spec(spec: str) -> Tuple[FaultModel, int]:
+    """Parse a ``REPRO_FAULTS`` spec into ``(model, seed)``.
+
+    Grammar: ``1`` / ``smoke`` / ``on`` for the smoke plan, otherwise
+    ``name@rate`` terms joined by ``+`` with an optional ``:seed=N``
+    suffix, e.g. ``bitflip@0.01`` or ``drop@0.02+duplicate@0.01:seed=7``.
+
+    :raises FaultConfigError: unknown model name, malformed rate or seed.
+    """
+    seed = 0
+    body = spec.strip()
+    if ":" in body:
+        body, _, suffix = body.partition(":")
+        if not suffix.startswith("seed="):
+            raise FaultConfigError(
+                f"unrecognized fault spec suffix {suffix!r} (want seed=N)"
+            )
+        try:
+            seed = int(suffix[len("seed="):])
+        except ValueError:
+            raise FaultConfigError(f"bad fault seed in {spec!r}")
+    if body in ("1", "smoke", "on"):
+        return smoke_model(), seed
+    models: List[FaultModel] = []
+    for term in body.split("+"):
+        name, sep, rate_text = term.strip().partition("@")
+        factory = MODEL_FACTORIES.get(name)
+        if factory is None:
+            raise FaultConfigError(
+                f"unknown fault model {name!r} "
+                f"(know: {', '.join(sorted(MODEL_FACTORIES))})"
+            )
+        if not sep:
+            raise FaultConfigError(
+                f"fault term {term!r} needs a rate (e.g. {name}@0.01)"
+            )
+        try:
+            rate = float(rate_text)
+        except ValueError:
+            raise FaultConfigError(f"bad rate in fault term {term!r}")
+        models.append(factory(rate))
+    if len(models) == 1:
+        return models[0], seed
+    return Compose(*models), seed

@@ -1,0 +1,167 @@
+"""The fault plan: a model bound to a seeded coin stream = a schedule.
+
+A :class:`FaultPlan` is the object the engines actually talk to.  It owns
+one :class:`random.Random` derived from its seed, feeds it to the model's
+hooks in engine-call order (which is deterministic for both engines), and
+records every fired fault -- so *the same seed always produces the same
+fault schedule*, the property the seeded-determinism tests pin.
+
+The plan is also the observability bridge: each fired fault emits one
+``fault.injected`` event (kind, sender, model) through the process tracer
+when observability is on, which is how the trace rollup attributes faults
+to protocol runs and the prediction checker knows a run's bits were
+measured under fire.
+
+Plans reach the engines two ways:
+
+* explicitly -- ``run_two_party(..., fault_injector=plan.inject_two_party)``
+  or ``run_message_passing(..., fault_plan=plan)``;
+* globally -- :func:`install` (or the ``REPRO_FAULTS`` environment
+  bootstrap in :mod:`repro.faults`) sets the process-wide plan that both
+  engines consult when no explicit injector is given.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.faults.models import FaultModel, parse_fault_spec
+from repro.faults.state import STATE
+from repro.obs.state import STATE as _OBS
+from repro.util.bits import BitString
+
+__all__ = [
+    "FaultPlan",
+    "plan_from_spec",
+    "install",
+    "uninstall",
+    "inject",
+]
+
+
+class FaultPlan:
+    """One deterministic fault schedule over a channel model.
+
+    :param model: the :class:`~repro.faults.models.FaultModel` to drive.
+    :param seed: schedule seed; two plans with equal ``(model parameters,
+        seed)`` fire identically against identical traffic.
+    """
+
+    def __init__(self, model: FaultModel, seed: int = 0) -> None:
+        self.model = model
+        self.seed = seed
+        self._rng = random.Random(f"repro.faults:{seed}")
+        #: Total faults fired (all kinds).
+        self.injected = 0
+        #: Per-kind fired counts.
+        self.counts: Dict[str, int] = {}
+        #: The fired schedule, in order: ``(kind, sender)`` pairs.  This is
+        #: the artifact the determinism tests compare across runs.
+        self.log: List[Tuple[str, str]] = []
+
+    # -- two-party ---------------------------------------------------------
+
+    def inject_two_party(self, sender: str, payload: BitString):
+        """Engine injector hook: original payload in, deliveries out.
+
+        Returns the payload itself when the model does not fire (the
+        allocation-free common case) or the list of payloads to deliver --
+        possibly empty (drop) or longer than one (duplication); the engine
+        surfaces the resulting desynchronization through its usual typed
+        errors.
+        """
+        outcome = self.model.perturb(sender, payload, self._rng)
+        if outcome is None:
+            return payload
+        kind, deliveries = outcome
+        self._note(kind, sender)
+        return list(deliveries)
+
+    # -- multiparty --------------------------------------------------------
+
+    def deliver_multiparty(
+        self, sender: str, destination: str, payload: BitString
+    ) -> Tuple[BitString, ...]:
+        """Per-addressed-message hook for the BSP scheduler."""
+        outcome = self.model.perturb(sender, payload, self._rng)
+        if outcome is None:
+            return (payload,)
+        kind, deliveries = outcome
+        self._note(kind, sender, destination=destination)
+        return deliveries
+
+    def maybe_reorder(self, destination: str, inbox: List) -> None:
+        """Per-destination within-round reorder hook."""
+        if self.model.maybe_reorder(inbox, self._rng):
+            self._note("reorder", destination)
+
+    def crash_sweep(self, live: List[str], round_index: int) -> List[str]:
+        """Players crashing at the top of this superstep, in player order."""
+        crashed = [
+            name
+            for name in live
+            if self.model.maybe_crash(name, round_index, self._rng)
+        ]
+        for name in crashed:
+            self._note("crash", name, round=round_index)
+        return crashed
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _note(self, kind: str, sender: str, **fields) -> None:
+        self.injected += 1
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.log.append((kind, sender))
+        if _OBS.active:
+            _OBS.tracer.emit(
+                "fault.injected",
+                kind=kind,
+                sender=sender,
+                model=self.model.name,
+                **fields,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(model={self.model!r}, seed={self.seed}, "
+            f"injected={self.injected})"
+        )
+
+
+def plan_from_spec(spec: str) -> FaultPlan:
+    """Build a plan from a ``REPRO_FAULTS``-style spec string."""
+    model, seed = parse_fault_spec(spec)
+    return FaultPlan(model, seed=seed)
+
+
+def install(model: FaultModel, seed: int = 0) -> FaultPlan:
+    """Install a process-global fault plan; returns it (for its counters)."""
+    plan = FaultPlan(model, seed=seed)
+    STATE.install(plan)
+    return plan
+
+
+def uninstall() -> None:
+    """Remove the process-global fault plan (channels back to reliable)."""
+    STATE.install(None)
+
+
+@contextlib.contextmanager
+def inject(model: FaultModel, seed: int = 0) -> Iterator[FaultPlan]:
+    """Run a block under a fault plan; restore the previous plan on exit.
+
+    The canonical test fixture::
+
+        with faults.inject(BitFlip(0.05), seed=3) as plan:
+            outcome = protocol.run(S, T, seed=0)
+        assert plan.injected >= 0
+    """
+    previous: Optional[object] = STATE.plan
+    plan = FaultPlan(model, seed=seed)
+    STATE.install(plan)
+    try:
+        yield plan
+    finally:
+        STATE.install(previous)

@@ -1,0 +1,68 @@
+"""The fault-injection kill-switch: one module-level flag, zero hot-path cost.
+
+Exactly the pattern of the observability switch (:mod:`repro.obs.state`),
+the hot-cache switch (:mod:`repro.util.hotcache`), and the scalar-kernel
+switch (:mod:`repro.kernels.backend`): every fault hook in the engines is
+guarded by a single check of :data:`STATE.active <FaultState.active>`.
+With ``REPRO_FAULTS`` unset (the default) the reliable-channel fast path is
+untouched -- one slotted-attribute load and a falsy branch per send -- so
+benchmark throughput and the E1 ``counters_sha256`` stay bit for bit.
+
+This module is a leaf (stdlib imports only) so :mod:`repro.comm.engine` and
+:mod:`repro.multiparty.network` can import it without cycles; plan
+construction from the environment happens in :mod:`repro.faults` (which
+bootstraps on first import, mirroring :mod:`repro.obs`).
+
+Environment contract:
+
+* ``REPRO_FAULTS`` -- unset, empty, or ``"0"`` leaves fault injection off.
+  ``"1"`` / ``"smoke"`` installs the *smoke plan*: every channel model is
+  armed at rate 0, so the fault plumbing runs on every send but never
+  changes a delivered bit (the CI fault-matrix leg runs the tier-1 suite
+  this way to prove the wrapped path is value-transparent).  Any other
+  value is parsed as a fault spec, e.g. ``bitflip@0.01`` or
+  ``drop@0.02+duplicate@0.01:seed=7`` -- see
+  :func:`repro.faults.models.parse_fault_spec`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["FaultState", "STATE", "FAULTS_ENV_VAR", "fault_spec_from_env"]
+
+#: Environment kill-switch: unset / "" / "0" keeps fault injection off.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+
+class FaultState:
+    """Mutable on/off switch plus the installed fault plan.
+
+    ``active`` is the *only* thing the engine hot paths read; it is ``True``
+    iff a plan is installed, so guarded sites may use ``STATE.plan``
+    without a second ``None`` check.
+    """
+
+    __slots__ = ("active", "plan")
+
+    def __init__(self) -> None:
+        self.active = False
+        self.plan: Optional[object] = None
+
+    def install(self, plan: Optional[object]) -> None:
+        """Install (or, with ``None``, remove) the process-global plan."""
+        self.plan = plan
+        self.active = plan is not None
+
+
+STATE = FaultState()
+
+
+def fault_spec_from_env() -> Optional[str]:
+    """The ``REPRO_FAULTS`` spec string, or ``None`` when faults are off
+    (read at call time)."""
+    value = os.environ.get(FAULTS_ENV_VAR, "0")
+    if value in ("", "0"):
+        return None
+    return value

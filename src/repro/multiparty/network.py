@@ -28,8 +28,13 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
 
-from repro.comm.errors import ProtocolDeadlock, ProtocolViolation
+from repro.comm.errors import (
+    MessageToFinishedPlayer,
+    ProtocolDeadlock,
+    ProtocolViolation,
+)
 from repro.comm.engine import Recv, Send
+from repro.faults.state import STATE as _FAULTS
 from repro.obs.state import STATE as _OBS
 from repro.util.bits import BitString
 from repro.util.rng import PrivateRandomness, SharedRandomness
@@ -170,6 +175,7 @@ def run_message_passing(
     *,
     shared_seed: int = 0,
     max_supersteps: int = 100_000,
+    fault_plan: Optional[object] = None,
 ) -> MultipartyOutcome:
     """Execute a multiparty protocol to completion.
 
@@ -186,10 +192,21 @@ def run_message_passing(
     :param shared_seed: seed of the common random string.
     :param max_supersteps: safety bound; exceeding it raises
         :class:`ProtocolDeadlock` (indicates a protocol bug).
-    :raises ProtocolDeadlock: players still live but no traffic flows, or
-        the superstep bound is exceeded.
-    :raises ProtocolViolation: a message addressed to an unknown or
-        already-finished player.
+    :param fault_plan: explicit :class:`~repro.faults.plan.FaultPlan` for
+        this run; ``None`` falls back to the process-global plan
+        (``REPRO_FAULTS``), else a reliable network.  Under a plan, each
+        addressed message may be corrupted / dropped / duplicated, each
+        destination's superstep inbox may be reordered, and players may
+        crash fail-stop at superstep boundaries.  Bit accounting always
+        charges the *original* payload to both endpoints -- the sender
+        paid for it, and the accounting tracks reliable-channel cost.
+    :raises ProtocolDeadlock: players still live but no traffic flows
+        (including: every copy of an awaited message was dropped), or the
+        superstep bound is exceeded.
+    :raises ProtocolViolation: a message addressed to an unknown player or
+        a non-``BitString`` payload.
+    :raises MessageToFinishedPlayer: a message addressed to a finished (or
+        crashed) player, surfaced at the top of the following superstep.
     """
     names = tuple(sorted(player_fns))
     shared = SharedRandomness(shared_seed)
@@ -208,6 +225,9 @@ def run_message_passing(
     bits_sent = {name: 0 for name in names}
     bits_received = {name: 0 for name in names}
     rounds = 0
+    plan = fault_plan
+    if plan is None and _FAULTS.active:
+        plan = _FAULTS.plan
     if _OBS.active:
         _OBS.tracer.emit("multiparty.start", players=len(names))
     quiet_live: Optional[List[str]] = None
@@ -224,10 +244,28 @@ def run_message_passing(
             break
         if mailed_finished:
             offender = min(mailed_finished, key=names.index)
-            raise ProtocolViolation(
-                f"{len(states[offender].inbox)} message(s) addressed to "
-                f"finished player {offender!r}"
+            undelivered = len(states[offender].inbox)
+            raise MessageToFinishedPlayer(
+                f"{undelivered} message(s) addressed to finished player "
+                f"{offender!r}",
+                player=offender,
+                undelivered=undelivered,
             )
+        if plan is not None:
+            # Fail-stop crashes happen at superstep boundaries: a crashed
+            # player's pending mail is lost with it, its output stays None,
+            # and anyone who messages it afterwards gets the deferred
+            # MessageToFinishedPlayer above.
+            crashed = plan.crash_sweep(live, rounds)
+            if crashed:
+                for name in crashed:
+                    state = states[name]
+                    state.generator.close()
+                    state.done = True
+                    state.inbox = []
+                live = [n for n in live if not states[n].done]
+                if not live:
+                    break
         traffic = False
         finished_this_round = False
         superstep_bits = 0
@@ -266,10 +304,20 @@ def run_message_passing(
                 bucket = pending.get(destination)
                 if bucket is None:
                     bucket = pending[destination] = []
-                bucket.append((name, payload))
+                if plan is None:
+                    bucket.append((name, payload))
+                else:
+                    for delivery in plan.deliver_multiparty(
+                        name, destination, payload
+                    ):
+                        bucket.append((name, delivery))
             bits_sent[name] += sent_bits
             superstep_bits += sent_bits
         for name, messages in pending.items():
+            if plan is not None:
+                plan.maybe_reorder(name, messages)
+            if not messages:
+                continue  # every copy was dropped by the fault model
             state = states[name]
             state.inbox.extend(messages)
             if state.done:

@@ -124,14 +124,28 @@ def check_runs(runs: List[ProtocolRun]) -> TraceCheckReport:
                 )
             )
             continue
+        # A run with injected faults was measured under fire: the paper's
+        # bounds assume a reliable channel, so the round/bit checks become
+        # *informational* -- still reported (bits-under-faults vs the
+        # Theorem 3.6 bound is exactly what a fault sweep wants to see),
+        # but never failing the trace.
+        under_faults = run.fault_events > 0
+        suffix = (
+            f" [under {run.fault_events} injected fault(s); informational]"
+            if under_faults
+            else ""
+        )
         round_budget = MESSAGES_PER_STAGE * r
         results.append(
             CheckResult(
                 run_index=index,
                 protocol=run.protocol,
                 check="rounds<=6r",
-                passed=reported_rounds <= round_budget,
-                detail=f"{reported_rounds} messages vs budget {round_budget} (r={r})",
+                passed=under_faults or reported_rounds <= round_budget,
+                detail=(
+                    f"{reported_rounds} messages vs budget {round_budget} "
+                    f"(r={r}){suffix}"
+                ),
             )
         )
         # Imported here, not at module scope: expected_bits_bound lives with
@@ -144,10 +158,10 @@ def check_runs(runs: List[ProtocolRun]) -> TraceCheckReport:
                 run_index=index,
                 protocol=run.protocol,
                 check="bits<=O(k log^(r) k)",
-                passed=reported <= bit_budget,
+                passed=under_faults or reported <= bit_budget,
                 detail=(
                     f"{reported} bits vs expected-bits cutoff {bit_budget} "
-                    f"(k={k}, r={r})"
+                    f"(k={k}, r={r}){suffix}"
                 ),
             )
         )

@@ -35,6 +35,14 @@ class ProtocolRun:
     :param sender_bits: per-sender bit totals from the same events.
     :param reported_total_bits: the ``protocol.finish`` totals (``None``
         while a run is unclosed -- e.g. a protocol aborted mid-trace).
+    :param fault_events: ``fault.injected`` events observed during the run
+        -- nonzero means every bit/round figure was measured *under fire*
+        and the prediction checker treats the paper's bounds as
+        informational for this run.
+    :param retry_attempts: failed ``retry.attempt`` events attributed to
+        this run (the retry wrapper emits them right after the attempt's
+        trace segment, so they attach to the most recent run).
+    :param degraded: a ``degraded.output`` event followed this run.
     """
 
     protocol: str
@@ -43,6 +51,9 @@ class ProtocolRun:
     sender_bits: Dict[str, int] = field(default_factory=dict)
     reported_total_bits: Optional[int] = None
     reported_num_messages: Optional[int] = None
+    fault_events: int = 0
+    retry_attempts: int = 0
+    degraded: bool = False
 
     @property
     def total_bits(self) -> int:
@@ -100,4 +111,15 @@ def rollup_runs(events: List[Dict[str, Any]]) -> List[ProtocolRun]:
             if current is not None and not current.closed:
                 current.reported_total_bits = event.get("total_bits")
                 current.reported_num_messages = event.get("num_messages")
+        elif event_type == "fault.injected":
+            if current is not None and not current.closed:
+                current.fault_events += 1
+        elif event_type == "retry.attempt":
+            # Emitted by the retry wrapper just after the failed attempt's
+            # segment (closed or aborted), so it belongs to the latest run.
+            if current is not None:
+                current.retry_attempts += 1
+        elif event_type == "degraded.output":
+            if current is not None:
+                current.degraded = True
     return runs

@@ -30,6 +30,14 @@ Event types
 ``bucket.phase``     one phase of a bucketed protocol (a tree stage, a
                      bucket-verify iteration)
 ``verify.outcome``   a verification step's verdict tallies
+``fault.injected``   the active fault plan fired (``kind``, ``sender``;
+                     emitters add ``model`` and multiparty
+                     ``destination`` / ``round``)
+``retry.attempt``    one failed attempt of the verification-driven retry
+                     loop (``protocol``, ``attempt``, ``reason``)
+``retry.exhausted``  the retry budget ran out (``protocol``, ``attempts``)
+``degraded.output``  the retry wrapper returned the degradation contract
+                     (``protocol``, ``mode``)
 ``span.start`` / ``span.end``  user-defined phase brackets
 ==================  ====================================================
 
@@ -70,6 +78,10 @@ EVENT_TYPES: Dict[str, tuple] = {
     "kernel.route": ("kernel", "route"),
     "bucket.phase": ("protocol", "phase"),
     "verify.outcome": ("protocol", "context"),
+    "fault.injected": ("kind", "sender"),
+    "retry.attempt": ("protocol", "attempt", "reason"),
+    "retry.exhausted": ("protocol", "attempts"),
+    "degraded.output": ("protocol", "mode"),
     "span.start": ("name",),
     "span.end": ("name", "duration_s"),
 }

@@ -160,6 +160,7 @@ class SetIntersectionProtocol:
         seed: int = 0,
         max_total_bits: Optional[int] = None,
         transcript: Optional[Transcript] = None,
+        fault_injector: Optional[Any] = None,
     ) -> IntersectionOutcome:
         """Execute the protocol on one instance.
 
@@ -169,6 +170,9 @@ class SetIntersectionProtocol:
             from it deterministically (replayable runs).
         :param max_total_bits: optional worst-case communication cutoff.
         :param transcript: append to an existing transcript (composition).
+        :param fault_injector: forwarded to
+            :func:`~repro.comm.engine.run_two_party` -- an explicit channel
+            fault model for this run (see :mod:`repro.faults`).
         """
         s, t = validate_set_pair(
             alice_set, bob_set, self.universe_size, self.max_set_size
@@ -196,6 +200,7 @@ class SetIntersectionProtocol:
             bob_private_seed=seed * 3 + 2,
             max_total_bits=max_total_bits,
             transcript=transcript,
+            fault_injector=fault_injector,
         )
         if _OBS.active:
             _OBS.tracer.emit(

@@ -187,6 +187,94 @@ class TestBench:
         assert "schema_version" in output
 
 
+class TestFaults:
+    def test_sweep_prints_survival_table(self):
+        code, output = run_cli(
+            ["faults", "--k", "16", "--trials", "3", "--log-universe", "14",
+             "--rates", "0.0,0.05", "--models", "bitflip",
+             "--protocols", "bucket"]
+        )
+        assert code == 0
+        assert "exact%" in output and "degraded%" in output
+        rows = [line for line in output.splitlines()
+                if line.startswith("bucket-verify")]
+        assert len(rows) == 2  # one per rate
+        # rate 0 is a reliable channel: all trials exact, no faults fired
+        assert "  100.0" in rows[0] and "0.0" in rows[0]
+
+    def test_multiple_protocols_and_models(self):
+        code, output = run_cli(
+            ["faults", "--k", "16", "--trials", "2", "--log-universe", "14",
+             "--rates", "0.05", "--models", "drop,duplicate",
+             "--protocols", "bucket,trivial"]
+        )
+        assert code == 0
+        assert sum(1 for line in output.splitlines()
+                   if line.startswith(("bucket-verify", "trivial"))) == 4
+
+    def test_unknown_model_rejected(self):
+        code, output = run_cli(
+            ["faults", "--trials", "1", "--models", "gremlins"]
+        )
+        assert code == 2
+        assert "unknown two-party fault model" in output
+
+    def test_multiparty_only_model_rejected(self):
+        code, output = run_cli(
+            ["faults", "--trials", "1", "--models", "crash"]
+        )
+        assert code == 2
+
+    def test_unknown_protocol_rejected(self):
+        code, output = run_cli(
+            ["faults", "--trials", "1", "--protocols", "nope"]
+        )
+        assert code == 2
+        assert "unknown protocol" in output
+
+    def test_malformed_rates_rejected(self):
+        code, output = run_cli(["faults", "--trials", "1", "--rates", "lots"])
+        assert code == 2
+        assert "bad --rates" in output
+
+    def test_out_of_range_rate_rejected(self):
+        code, output = run_cli(["faults", "--trials", "1", "--rates", "1.5"])
+        assert code == 2
+        assert "bad rate" in output
+
+    def test_trace_validate_passes_on_a_traced_faulty_run(self, tmp_path):
+        # Acceptance: a run under fault injection produces a trace the
+        # schema validator accepts -- fault events are first-class citizens
+        # of the taxonomy, not schema violations.
+        import random
+
+        from repro.faults.models import BitFlip
+        from repro.faults.plan import FaultPlan
+        from repro.faults.retry import run_with_retry
+        from repro.obs.state import STATE
+        from repro.obs.trace import JsonlSink, Tracer
+        from repro.protocols.bucket_verify import BucketVerifyProtocol
+        from repro.workloads import make_instance
+
+        path = tmp_path / "faulty.jsonl"
+        tracer = Tracer([JsonlSink(str(path))])
+        previous = STATE.tracer
+        STATE.install(tracer)
+        try:
+            rng = random.Random(0)
+            protocol = BucketVerifyProtocol(1 << 14, 16)
+            for trial in range(5):
+                s, t = make_instance(rng, 1 << 14, 16, 0.5)
+                run_with_retry(protocol, s, t, seed=trial,
+                               plan=FaultPlan(BitFlip(0.2), seed=trial))
+        finally:
+            STATE.install(previous)
+            tracer.close()
+        code, output = run_cli(["trace", "--validate", str(path)])
+        assert code == 0
+        assert "OK" in output
+
+
 class TestTrace:
     def test_run_writes_valid_trace_and_passes_checks(self, tmp_path):
         from repro.obs.schema import load_trace, validate_trace_events

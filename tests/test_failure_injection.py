@@ -11,55 +11,34 @@ implementation's behaviour when that assumption breaks.  The contract:
    by local filtering, not by anything received;
 3. verification-based protocols (bucket-verify, amplified) treat a
    corrupted verification exchange like a failed one: they retry and still
-   converge when the fault is transient.
-"""
+   converge when the fault is transient;
+4. structural faults (drop / duplicate) desynchronize the channel and
+   surface through the engine's usual typed errors.
 
-import random
+The fault-model vocabulary itself (``flip_bit``, :class:`FlipEveryMessage`,
+:class:`FlipOnce`) lives in :mod:`repro.faults.models` -- promoted from
+this file's original ad-hoc helpers -- and is imported here like any other
+library code.
+"""
 
 import pytest
 
 from conftest import make_instance
 from repro.comm.engine import run_two_party
+from repro.comm.errors import ProtocolDeadlock, ProtocolViolation
 from repro.core.tree_protocol import TreeProtocol
+from repro.faults import inject
+from repro.faults.models import (
+    Drop,
+    Duplicate,
+    FlipEveryMessage,
+    FlipOnce,
+    flip_bit,
+)
+from repro.faults.plan import FaultPlan
 from repro.protocols.basic_intersection import BasicIntersectionProtocol
 from repro.protocols.one_round import OneRoundHashingProtocol
 from repro.util.bits import BitString
-
-
-def flip_bit(payload: BitString, position: int) -> BitString:
-    """Flip one bit of a payload."""
-    if len(payload) == 0:
-        return payload
-    position %= len(payload)
-    return BitString(payload.value ^ (1 << (len(payload) - 1 - position)), len(payload))
-
-
-class FlipEveryMessage:
-    """Fault model: flip a pseudo-random bit of every payload from one side."""
-
-    def __init__(self, target_sender: str, seed: int = 0) -> None:
-        self.target_sender = target_sender
-        self.rng = random.Random(seed)
-        self.faults_injected = 0
-
-    def __call__(self, sender: str, payload: BitString) -> BitString:
-        if sender != self.target_sender or len(payload) == 0:
-            return payload
-        self.faults_injected += 1
-        return flip_bit(payload, self.rng.randrange(len(payload)))
-
-
-class FlipOnce:
-    """Fault model: corrupt only the first payload (transient fault)."""
-
-    def __init__(self) -> None:
-        self.done = False
-
-    def __call__(self, sender: str, payload: BitString) -> BitString:
-        if self.done or len(payload) == 0:
-            return payload
-        self.done = True
-        return flip_bit(payload, len(payload) // 2)
 
 
 def run_with_faults(protocol, s, t, fault, seed=0):
@@ -154,6 +133,40 @@ class TestVerificationCatchesTransients:
         # alice sees the flipped verdict: the parties now DISAGREE, which a
         # composed protocol would observe as a failed check and retry.
         assert outcome.alice_output != outcome.bob_output
+
+
+class TestStructuralFaultsOnTheEngine:
+    """Drops and duplications desynchronize the two-party channel; the
+    engine's existing typed errors are the detection mechanism."""
+
+    def test_dropped_message_deadlocks(self, rng):
+        protocol = BasicIntersectionProtocol(1 << 16, 32)
+        s, t = make_instance(rng, 1 << 16, 32, 0.5)
+        plan = FaultPlan(Drop(1.0), seed=0)
+        with pytest.raises(ProtocolDeadlock):
+            run_with_faults(protocol, s, t, plan.inject_two_party)
+        assert plan.counts.get("drop", 0) >= 1
+
+    def test_duplicated_message_is_a_violation(self, rng):
+        protocol = BasicIntersectionProtocol(1 << 16, 32)
+        s, t = make_instance(rng, 1 << 16, 32, 0.5)
+        plan = FaultPlan(Duplicate(1.0), seed=0)
+        # The surplus copy either desynchronizes a later Recv (decode
+        # error / violation mid-run) or sits undelivered at the end
+        # (violation); it must never pass silently.
+        with pytest.raises((ProtocolViolation, ValueError)):
+            run_with_faults(protocol, s, t, plan.inject_two_party)
+
+    def test_global_plan_reaches_the_engine(self, rng):
+        protocol = BasicIntersectionProtocol(1 << 16, 32)
+        s, t = make_instance(rng, 1 << 16, 32, 0.5)
+        with inject(Drop(1.0), seed=0) as plan:
+            with pytest.raises(ProtocolDeadlock):
+                protocol.run(s, t, seed=0)
+        assert plan.counts.get("drop", 0) >= 1
+        # reliable again outside the context
+        outcome = protocol.run(s, t, seed=0)
+        assert outcome.alice_output <= s
 
 
 class TestFaultModelMechanics:

@@ -1,0 +1,214 @@
+"""Unit tests for the composable fault models and the spec parser."""
+
+import random
+
+import pytest
+
+from repro.faults.models import (
+    BitFlip,
+    Compose,
+    Drop,
+    Duplicate,
+    FaultConfigError,
+    FlipEveryMessage,
+    FlipOnce,
+    MODEL_FACTORIES,
+    PlayerCrash,
+    ReorderWithinRound,
+    Truncate,
+    flip_bit,
+    parse_fault_spec,
+    smoke_model,
+)
+from repro.util.bits import BitString
+
+
+class TestFlipBit:
+    def test_flip_and_restore(self):
+        payload = BitString.from_str("10110")
+        flipped = flip_bit(payload, 2)
+        assert str(flipped) == "10010"
+        assert flip_bit(flipped, 2) == payload
+
+    def test_position_taken_mod_length(self):
+        payload = BitString.from_str("10110")
+        assert flip_bit(payload, 7) == flip_bit(payload, 2)
+
+    def test_empty_payload_passthrough(self):
+        empty = BitString(0, 0)
+        assert flip_bit(empty, 3) is empty
+
+
+class TestRateValidation:
+    @pytest.mark.parametrize("factory", [BitFlip, Truncate, Drop, Duplicate,
+                                         ReorderWithinRound, PlayerCrash])
+    def test_out_of_range_rate_rejected(self, factory):
+        with pytest.raises(FaultConfigError):
+            factory(1.5)
+        with pytest.raises(FaultConfigError):
+            factory(-0.1)
+
+    def test_fault_config_error_is_value_error(self):
+        assert issubclass(FaultConfigError, ValueError)
+
+    def test_rate_zero_draws_no_coins(self):
+        # The smoke plan's load-bearing property: an armed-at-rate-0 model
+        # must not consume randomness, or its presence would shift every
+        # downstream coin and change schedules of composed nonzero models.
+        rng = random.Random(7)
+        expected = random.Random(7).random()
+        model = smoke_model()
+        payload = BitString.from_str("1011")
+        for _ in range(50):
+            assert model.perturb("alice", payload, rng) is None
+        assert rng.random() == expected
+
+
+class TestChannelModels:
+    def test_bitflip_changes_exactly_one_bit(self):
+        rng = random.Random(0)
+        model = BitFlip(1.0)
+        payload = BitString.from_str("1010101010")
+        kind, (delivered,) = model.perturb("alice", payload, rng)
+        assert kind == "bitflip"
+        assert len(delivered) == len(payload)
+        assert bin(delivered.value ^ payload.value).count("1") == 1
+
+    def test_bitflip_skips_empty_payloads(self):
+        assert BitFlip(1.0).perturb("alice", BitString(0, 0),
+                                    random.Random(0)) is None
+
+    def test_truncate_yields_proper_prefix(self):
+        rng = random.Random(1)
+        payload = BitString.from_str("110011")
+        kind, (delivered,) = Truncate(1.0).perturb("bob", payload, rng)
+        assert kind == "truncate"
+        assert len(delivered) < len(payload)
+        assert delivered == payload[: len(delivered)]
+
+    def test_drop_delivers_nothing(self):
+        kind, deliveries = Drop(1.0).perturb("alice", BitString(1, 1),
+                                             random.Random(0))
+        assert kind == "drop"
+        assert deliveries == ()
+
+    def test_duplicate_delivers_twice(self):
+        payload = BitString.from_str("01")
+        kind, deliveries = Duplicate(1.0).perturb("alice", payload,
+                                                  random.Random(0))
+        assert kind == "duplicate"
+        assert deliveries == (payload, payload)
+
+    def test_reorder_shuffles_inbox_in_place(self):
+        rng = random.Random(3)
+        inbox = [("a", BitString(i, 4)) for i in range(8)]
+        original = list(inbox)
+        assert ReorderWithinRound(1.0).maybe_reorder(inbox, rng)
+        assert sorted(inbox, key=lambda m: m[1].value) == original
+
+    def test_reorder_needs_two_messages(self):
+        inbox = [("a", BitString(0, 1))]
+        assert not ReorderWithinRound(1.0).maybe_reorder(inbox,
+                                                         random.Random(0))
+
+
+class TestPlayerCrash:
+    def test_single_crash_cap(self):
+        rng = random.Random(0)
+        model = PlayerCrash(1.0)
+        fired = [model.maybe_crash(f"p{i}", 0, rng) for i in range(5)]
+        assert fired == [True, False, False, False, False]
+        assert model.crashes == 1
+
+    def test_target_restricts_victim(self):
+        rng = random.Random(0)
+        model = PlayerCrash(1.0, target="p2")
+        assert not model.maybe_crash("p0", 0, rng)
+        assert model.maybe_crash("p2", 0, rng)
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(FaultConfigError):
+            PlayerCrash(0.5, max_crashes=-1)
+
+
+class TestCompose:
+    def test_requires_a_model(self):
+        with pytest.raises(FaultConfigError):
+            Compose()
+
+    def test_kinds_joined_in_model_order(self):
+        rng = random.Random(0)
+        model = Compose(Drop(0.0), Duplicate(1.0), BitFlip(1.0))
+        payload = BitString.from_str("1111")
+        kind, deliveries = model.perturb("alice", payload, rng)
+        assert kind == "duplicate+bitflip"
+        # the duplicate fired first, then bitflip hit each copy it chose to
+        assert len(deliveries) == 2
+
+    def test_silent_when_nothing_fires(self):
+        model = Compose(Drop(0.0), BitFlip(0.0))
+        assert model.perturb("alice", BitString(1, 4),
+                             random.Random(0)) is None
+
+
+class TestPromotedHelpers:
+    def test_flip_every_message_raw_injector_interface(self):
+        fault = FlipEveryMessage("alice", seed=3)
+        payload = BitString.from_str("1010")
+        damaged = fault("alice", payload)
+        assert damaged != payload and len(damaged) == len(payload)
+        assert fault("bob", payload) is payload
+        assert fault.faults_injected == 1
+
+    def test_flip_once_fires_exactly_once(self):
+        fault = FlipOnce()
+        payload = BitString.from_str("1111")
+        first = fault("alice", payload)
+        assert first != payload
+        assert fault("alice", payload) is payload
+        assert fault.done
+
+    def test_promoted_helpers_also_speak_the_model_api(self):
+        rng = random.Random(0)
+        fault = FlipOnce()
+        kind, (delivered,) = fault.perturb("alice", BitString.from_str("11"),
+                                           rng)
+        assert kind == "bitflip" and delivered != BitString.from_str("11")
+        assert fault.perturb("alice", BitString.from_str("11"), rng) is None
+
+
+class TestSpecParser:
+    def test_smoke_aliases(self):
+        for alias in ("1", "smoke", "on"):
+            model, seed = parse_fault_spec(alias)
+            assert isinstance(model, Compose)
+            assert seed == 0
+
+    def test_single_term(self):
+        model, seed = parse_fault_spec("bitflip@0.25")
+        assert isinstance(model, BitFlip)
+        assert model.rate == 0.25
+        assert seed == 0
+
+    def test_composed_terms_with_seed(self):
+        model, seed = parse_fault_spec("drop@0.02+duplicate@0.01:seed=7")
+        assert isinstance(model, Compose)
+        assert [type(m) for m in model.models] == [Drop, Duplicate]
+        assert seed == 7
+
+    def test_every_factory_name_parses(self):
+        for name in MODEL_FACTORIES:
+            model, _ = parse_fault_spec(f"{name}@0.5")
+            assert model.rate == 0.5
+
+    @pytest.mark.parametrize("bad", [
+        "gremlins@0.1",          # unknown model
+        "bitflip",               # missing rate
+        "bitflip@lots",          # malformed rate
+        "bitflip@2.0",           # out-of-range rate
+        "bitflip@0.1:sneed=7",   # bad suffix key
+        "bitflip@0.1:seed=x",    # malformed seed
+    ])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(FaultConfigError):
+            parse_fault_spec(bad)

@@ -1,0 +1,204 @@
+"""Fault injection on the BSP multiparty scheduler.
+
+Covers the plan hooks the two-party engine cannot exercise -- per-message
+drop/duplicate on addressed mail, within-round inbox reordering, fail-stop
+player crashes -- plus the accounting rule (original payloads are charged)
+and smoke-plan transparency.
+"""
+
+import pytest
+
+from repro.comm.errors import (
+    MessageToFinishedPlayer,
+    ProtocolDeadlock,
+)
+from repro.faults import inject
+from repro.faults.models import (
+    Drop,
+    Duplicate,
+    PlayerCrash,
+    ReorderWithinRound,
+    smoke_model,
+)
+from repro.faults.plan import FaultPlan
+from repro.multiparty.network import run_message_passing
+from repro.util.bits import BitString, decode_uint, encode_uint
+
+
+def sender_receiver():
+    def sender(ctx):
+        yield [("b", BitString(5, 4))]
+        return None
+
+    def receiver(ctx):
+        inbox = yield []
+        while not inbox:
+            inbox = yield []
+        return [payload for _, payload in inbox]
+
+    return {"a": sender, "b": receiver}, {"a": None, "b": None}
+
+
+def ring_players(size=4):
+    def player(ctx):
+        position = ctx.index
+        names = ctx.players
+        total = ctx.input
+        if position == 0:
+            yield [(names[1], encode_uint(total, 16))]
+            return None
+        inbox = yield []
+        while not inbox:
+            inbox = yield []
+        (_, payload), = inbox
+        total += decode_uint(payload, 16)
+        if position + 1 < len(names):
+            yield [(names[position + 1], encode_uint(total, 16))]
+            return None
+        return total
+
+    return (
+        {f"p{i}": player for i in range(size)},
+        {f"p{i}": 10 * (i + 1) for i in range(size)},
+    )
+
+
+class TestDropAndDuplicate:
+    def test_dropped_mail_surfaces_as_deadlock(self):
+        fns, inputs = sender_receiver()
+        plan = FaultPlan(Drop(1.0), seed=0)
+        with pytest.raises(ProtocolDeadlock):
+            run_message_passing(fns, inputs, fault_plan=plan)
+        assert plan.counts == {"drop": 1}
+
+    def test_duplicate_delivers_two_copies(self):
+        fns, inputs = sender_receiver()
+        plan = FaultPlan(Duplicate(1.0), seed=0)
+        outcome = run_message_passing(fns, inputs, fault_plan=plan)
+        assert outcome.outputs["b"] == [BitString(5, 4), BitString(5, 4)]
+
+    def test_accounting_charges_the_original_payload(self):
+        # Both a total drop and a total duplication leave the books
+        # identical to the reliable run: the sender paid for what it sent.
+        fns, inputs = sender_receiver()
+        clean = run_message_passing(fns, inputs)
+        fns, inputs = sender_receiver()
+        duplicated = run_message_passing(
+            fns, inputs, fault_plan=FaultPlan(Duplicate(1.0), seed=0)
+        )
+        assert duplicated.bits_sent == clean.bits_sent
+        assert duplicated.bits_received == clean.bits_received
+        fns, inputs = sender_receiver()
+        plan = FaultPlan(Drop(1.0), seed=0)
+        with pytest.raises(ProtocolDeadlock):
+            run_message_passing(fns, inputs, fault_plan=plan)
+
+
+class TestReorder:
+    def burst_players(self):
+        def burst(ctx):
+            yield [
+                ("b", BitString(1, 4)),
+                ("b", BitString(2, 4)),
+                ("b", BitString(3, 4)),
+            ]
+            return None
+
+        def collect(ctx):
+            inbox = yield []
+            while not inbox:
+                inbox = yield []
+            return [payload.value for _, payload in inbox]
+
+        return {"a": burst, "b": collect}, {"a": None, "b": None}
+
+    def test_inbox_shuffled_within_the_round(self):
+        orders = set()
+        for seed in range(8):
+            fns, inputs = self.burst_players()
+            plan = FaultPlan(ReorderWithinRound(1.0), seed=seed)
+            outcome = run_message_passing(fns, inputs, fault_plan=plan)
+            assert sorted(outcome.outputs["b"]) == [1, 2, 3]
+            assert plan.counts.get("reorder") == 1
+            orders.add(tuple(outcome.outputs["b"]))
+        assert len(orders) > 1  # some seed actually permuted the inbox
+
+    def test_reorder_is_seed_deterministic(self):
+        results = []
+        for _ in range(2):
+            fns, inputs = self.burst_players()
+            plan = FaultPlan(ReorderWithinRound(1.0), seed=3)
+            outcome = run_message_passing(fns, inputs, fault_plan=plan)
+            results.append((outcome.outputs["b"], plan.log))
+        assert results[0] == results[1]
+
+
+class TestPlayerCrash:
+    def test_crashed_player_outputs_none_and_mail_to_it_raises(self):
+        fns, inputs = sender_receiver()
+        plan = FaultPlan(PlayerCrash(1.0, target="b"), seed=0)
+        with pytest.raises(MessageToFinishedPlayer) as excinfo:
+            run_message_passing(fns, inputs, fault_plan=plan)
+        assert excinfo.value.player == "b"
+        assert excinfo.value.undelivered == 1
+        assert plan.counts == {"crash": 1}
+
+    def test_survivors_finish_when_crash_victim_is_not_needed(self):
+        # Crash a bystander nobody mails: the rest of the group completes
+        # and only the victim's output is lost.
+        fns, inputs = sender_receiver()
+
+        def bystander(ctx):
+            yield []
+            return "alive"
+
+        fns["c"] = bystander
+        inputs["c"] = None
+        plan = FaultPlan(PlayerCrash(1.0, target="c"), seed=0)
+        outcome = run_message_passing(fns, inputs, fault_plan=plan)
+        assert outcome.outputs["c"] is None
+        assert outcome.outputs["b"] == [BitString(5, 4)]
+        assert plan.counts == {"crash": 1}
+
+    def test_whole_group_crash_terminates_cleanly(self):
+        fns, inputs = ring_players(3)
+        plan = FaultPlan(PlayerCrash(1.0, max_crashes=3), seed=0)
+        outcome = run_message_passing(fns, inputs, fault_plan=plan)
+        assert all(output is None for output in outcome.outputs.values())
+        assert outcome.total_bits == 0
+        assert outcome.rounds == 0
+
+
+class TestSmokeTransparency:
+    def test_smoke_plan_is_bit_identical_and_silent(self):
+        fns, inputs = ring_players(4)
+        clean = run_message_passing(fns, inputs)
+        fns, inputs = ring_players(4)
+        plan = FaultPlan(smoke_model(), seed=0)
+        smoked = run_message_passing(fns, inputs, fault_plan=plan)
+        assert smoked.outputs == clean.outputs
+        assert smoked.bits_sent == clean.bits_sent
+        assert smoked.rounds == clean.rounds
+        assert plan.injected == 0
+        assert plan.log == []
+
+
+class TestGlobalPlanFallback:
+    def test_installed_plan_reaches_the_scheduler(self):
+        fns, inputs = sender_receiver()
+        with inject(Drop(1.0), seed=0) as plan:
+            with pytest.raises(ProtocolDeadlock):
+                run_message_passing(fns, inputs)
+        assert plan.counts == {"drop": 1}
+        # ...and the channel is reliable again outside the context.
+        fns, inputs = sender_receiver()
+        outcome = run_message_passing(fns, inputs)
+        assert outcome.outputs["b"] == [BitString(5, 4)]
+
+    def test_explicit_plan_wins_over_global(self):
+        fns, inputs = sender_receiver()
+        explicit = FaultPlan(smoke_model(), seed=0)
+        with inject(Drop(1.0), seed=0) as global_plan:
+            outcome = run_message_passing(fns, inputs, fault_plan=explicit)
+        assert outcome.outputs["b"] == [BitString(5, 4)]
+        assert global_plan.injected == 0

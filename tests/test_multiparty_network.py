@@ -3,7 +3,11 @@
 import pytest
 
 from repro.comm.engine import Recv, Send, run_two_party
-from repro.comm.errors import ProtocolDeadlock, ProtocolViolation
+from repro.comm.errors import (
+    MessageToFinishedPlayer,
+    ProtocolDeadlock,
+    ProtocolViolation,
+)
 from repro.multiparty.network import (
     TwoPartyAdapter,
     run_message_passing,
@@ -114,6 +118,36 @@ class TestFailureModes:
 
         with pytest.raises(ProtocolViolation):
             run_message_passing({"a": quick, "b": slow}, {"a": None, "b": None})
+
+    def test_message_to_finished_player_is_typed(self):
+        # Regression: the deferred finished-player check raises the typed
+        # subclass carrying who was mailed and how much, not a bare
+        # ProtocolViolation -- fault-tolerance layers dispatch on it.
+        def quick(ctx):
+            return None
+            yield  # pragma: no cover
+
+        def slow(ctx):
+            yield []
+            yield [("a", BitString(0, 1)), ("a", BitString(1, 2))]
+            return None
+
+        with pytest.raises(MessageToFinishedPlayer) as excinfo:
+            run_message_passing({"a": quick, "b": slow}, {"a": None, "b": None})
+        assert isinstance(excinfo.value, ProtocolViolation)
+        assert excinfo.value.player == "a"
+        assert excinfo.value.undelivered == 2
+
+    def test_message_to_finished_player_survives_pickling(self):
+        # The parallel trial executor ships worker exceptions across the
+        # process boundary; the keyword-only attrs must round-trip.
+        import pickle
+
+        error = MessageToFinishedPlayer("boom", player="p7", undelivered=3)
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.player == "p7"
+        assert clone.undelivered == 3
+        assert str(clone) == str(error)
 
     def test_deadlock_detected(self):
         def waiter(ctx):

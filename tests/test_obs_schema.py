@@ -90,6 +90,73 @@ class TestValidate:
             assert validate_trace_events([record]) == []
 
 
+class TestFaultEventTypes:
+    """The four fault-taxonomy event types added with repro.faults."""
+
+    def test_types_are_in_the_closed_taxonomy(self):
+        assert EVENT_TYPES["fault.injected"] == ("kind", "sender")
+        assert EVENT_TYPES["retry.attempt"] == ("protocol", "attempt",
+                                                "reason")
+        assert EVENT_TYPES["retry.exhausted"] == ("protocol", "attempts")
+        assert EVENT_TYPES["degraded.output"] == ("protocol", "mode")
+
+    @pytest.mark.parametrize("event_type,payload", [
+        ("fault.injected", {"kind": "bitflip", "sender": "alice"}),
+        ("retry.attempt", {"protocol": "bucket-verify", "attempt": 0,
+                           "reason": "deadlock"}),
+        ("retry.exhausted", {"protocol": "bucket-verify", "attempts": 5}),
+        ("degraded.output", {"protocol": "bucket-verify",
+                             "mode": "superset"}),
+    ])
+    def test_well_formed_events_validate(self, event_type, payload):
+        event = {"ts": 1.0, "seq": 1, "type": event_type, **payload}
+        assert validate_trace_events([event]) == []
+
+    @pytest.mark.parametrize("event_type,missing", [
+        ("fault.injected", "kind"),
+        ("retry.attempt", "reason"),
+        ("retry.exhausted", "attempts"),
+        ("degraded.output", "mode"),
+    ])
+    def test_missing_payload_field_flagged(self, event_type, missing):
+        required = EVENT_TYPES[event_type]
+        event = {"ts": 1.0, "seq": 1, "type": event_type,
+                 **{f: 1 for f in required if f != missing}}
+        problems = validate_trace_events([event])
+        assert any(missing in p for p in problems)
+
+    def test_emitted_fault_events_validate_end_to_end(self, rng):
+        # A traced faulty session must produce a schema-clean stream with
+        # all four types present: injected faults during attempts, a
+        # retry.attempt per failure, and the exhaustion + degradation pair.
+        from conftest import make_instance
+        from repro.faults.models import Drop
+        from repro.faults.plan import FaultPlan
+        from repro.faults.retry import RetryPolicy, run_with_retry
+        from repro.obs.state import STATE
+        from repro.protocols.bucket_verify import BucketVerifyProtocol
+
+        ring = RingBufferSink()
+        previous = STATE.tracer
+        STATE.install(Tracer([ring]))
+        try:
+            protocol = BucketVerifyProtocol(1 << 14, 16)
+            s, t = make_instance(rng, 1 << 14, 16, 0.5)
+            outcome = run_with_retry(
+                protocol, s, t, seed=0,
+                policy=RetryPolicy(max_attempts=2),
+                plan=FaultPlan(Drop(1.0), seed=0),
+            )
+        finally:
+            STATE.install(previous)
+        assert outcome.degraded
+        events = ring.events()
+        assert validate_trace_events(events) == []
+        seen = {event["type"] for event in events}
+        assert {"fault.injected", "retry.attempt", "retry.exhausted",
+                "degraded.output"} <= seen
+
+
 class TestJsonl:
     def test_parse_round_trip(self, tmp_path):
         path = tmp_path / "t.jsonl"

@@ -8,11 +8,16 @@ probability is negligible relative to the example count (amplified /
 deterministic protocols, or wide fingerprints).
 """
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.tree_protocol import TreeProtocol
+from repro.faults.models import BitFlip, Compose, Drop, Duplicate, Truncate
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy, run_with_retry
 from repro.protocols.basic_intersection import BasicIntersectionProtocol
+from repro.protocols.bucket_verify import BucketVerifyProtocol
 from repro.protocols.equality import EqualityProtocol
 from repro.protocols.fknn import AmortizedEqualityProtocol
 from repro.protocols.trivial import TrivialExchangeProtocol
@@ -122,6 +127,78 @@ class TestEqualityProperties:
     def test_wide_fingerprints_decide_correctly(self, x, y):
         outcome = EqualityProtocol(width=64).run(x, y, seed=0)
         assert outcome.alice_output == (x == y)
+
+
+FAULT_MODELS = {
+    "bitflip": lambda: BitFlip(0.1),
+    "truncate": lambda: Truncate(0.1),
+    "drop": lambda: Drop(0.05),
+    "duplicate": lambda: Duplicate(0.05),
+    "compose": lambda: Compose(BitFlip(0.05), Drop(0.02), Duplicate(0.02)),
+}
+
+fault_examples = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.mark.parametrize(
+    "model_name", sorted(FAULT_MODELS), ids=sorted(FAULT_MODELS)
+)
+class TestFaultSweepInvariants:
+    """The probability-1 invariants must survive *every* fault model.
+
+    Under channel damage the surviving guarantees are the local ones:
+    outputs are subsets of own inputs (enforced by local filtering), the
+    retry wrapper never raises, degradation returns exactly the certified
+    supersets, and a session the schedule left untouched behaves like a
+    reliable one.
+    """
+
+    @fault_examples
+    @given(instance_strategy, st.integers(0, 10_000))
+    def test_retry_outcome_invariants(self, model_name, instance, seed):
+        s, t = instance
+        protocol = BucketVerifyProtocol(UNIVERSE, MAX_K)
+        plan = FaultPlan(FAULT_MODELS[model_name](), seed=seed)
+        outcome = run_with_retry(
+            protocol, s, t, seed=seed, plan=plan,
+            policy=RetryPolicy(max_attempts=3),
+        )
+        assert outcome.alice_output <= s
+        assert outcome.bob_output <= t
+        if outcome.degraded:
+            # The degradation contract, exactly.
+            assert outcome.degraded_mode == "superset"
+            assert outcome.alice_output == s and outcome.bob_output == t
+            assert len(outcome.failure_reasons) == 3
+        else:
+            assert outcome.agreed
+        if plan.injected == 0 and not outcome.degraded:
+            # A schedule that never fired is a reliable channel.
+            assert outcome.correct_for(s, t)
+
+    @fault_examples
+    @given(instance_strategy, st.integers(0, 10_000))
+    def test_raw_protocol_subsets_survive(self, model_name, instance, seed):
+        # Below the retry layer: a single faulty run either raises one of
+        # the engine's typed errors (or a strict-codec ValueError) or
+        # completes with locally-filtered outputs.
+        from repro.comm.errors import ProtocolError
+
+        s, t = instance
+        protocol = BasicIntersectionProtocol(UNIVERSE, MAX_K)
+        plan = FaultPlan(FAULT_MODELS[model_name](), seed=seed)
+        try:
+            outcome = protocol.run(
+                s, t, seed=seed, fault_injector=plan.inject_two_party
+            )
+        except (ProtocolError, ValueError):
+            return
+        assert outcome.alice_output <= s
+        assert outcome.bob_output <= t
 
 
 class TestAmortizedEqualityProperties:
