@@ -11,23 +11,29 @@ validate the theorems).  Conventions:
 * ``pytest-benchmark`` additionally times one representative protocol run
   per experiment (wall time is not a paper claim, but it keeps the harness
   honest about simulation cost);
-* trial loops go through :func:`repro.perf.run_trials`, so setting
-  ``REPRO_WORKERS=4`` parallelizes every experiment's seed sweep with
-  bit-identical tables (closure-style ``run`` callables fall back to the
-  thread executor automatically; the counters don't change either way).
+* trial loops go through :func:`repro.plans.cached_trials` (which drives
+  :func:`repro.perf.run_trials`), so setting ``REPRO_WORKERS=4``
+  parallelizes every experiment's seed sweep with bit-identical tables
+  (closure-style ``run`` callables fall back to the thread executor
+  automatically; the counters don't change either way), and setting
+  ``REPRO_PLAN_CACHE=/some/dir`` makes re-runs of keyed sweeps
+  incremental: an experiment that passes a stable ``key`` to
+  :func:`average_cost` re-reads its finished cells from the
+  content-addressed shard cache instead of re-simulating them.
 
 Run with::
 
     pytest benchmarks/ --benchmark-only
     REPRO_WORKERS=4 pytest benchmarks/ --benchmark-only
+    REPRO_PLAN_CACHE=.plan-cache pytest benchmarks/ --benchmark-only
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.perf.executor import run_trials
+from repro.plans import cached_trials
 
 # Single source of truth for planted-overlap instances: the generators the
 # test suite and benchmarks share now live in repro.workloads (re-exported
@@ -45,6 +51,7 @@ def mean(values: Sequence[float]) -> float:
 def average_cost(
     run: Callable[[int], Tuple[int, int, bool]],
     seeds: int,
+    key: Optional[str] = None,
 ) -> Tuple[float, float, float]:
     """Drive ``run(seed) -> (bits, messages, correct)`` over seeds;
     returns (mean bits, max messages, success rate).
@@ -52,12 +59,33 @@ def average_cost(
     Seeds are ``0..seeds-1`` as before; execution goes through the
     deterministic trial executor, so the aggregate is identical for any
     ``REPRO_WORKERS`` setting.
+
+    :param key: optional stable cell name (e.g. ``"e1/tree/k=256/r=2"``)
+        enabling the content-addressed shard cache when
+        ``$REPRO_PLAN_CACHE`` is set.  The key must name everything that
+        determines the results -- experiment, protocol, parameters -- since
+        the cache cannot see inside ``run``.
     """
-    results = run_trials(run, list(range(seeds))).values()
+    results = cached_trials(run, list(range(seeds)), key=key)
     bits: List[int] = [b for b, _, _ in results]
     messages: List[int] = [m for _, m, _ in results]
     correct = sum(int(ok) for _, _, ok in results)
     return mean(bits), max(messages), correct / seeds
+
+
+def instance_key(instance) -> str:
+    """A short content fingerprint of a sampled instance pair.
+
+    Cache keys passed to :func:`average_cost` must name everything that
+    determines the trial results; experiments that sample instances from a
+    shared sequential RNG fold this fingerprint into the key so a change
+    in sampling order can never alias a stale cached cell.
+    """
+    import zlib
+
+    alice, bob = instance
+    digest = zlib.crc32(repr((sorted(alice), sorted(bob))).encode("ascii"))
+    return f"{digest:08x}"
 
 
 def format_table(

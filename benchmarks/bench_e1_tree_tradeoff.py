@@ -13,7 +13,7 @@ Also includes the DESIGN.md ablation: the per-stage confidence exponent
 
 import random
 
-from _harness import average_cost, emit, format_table, make_instance
+from _harness import average_cost, emit, format_table, instance_key, make_instance
 from repro.core.tradeoff import communication_bound
 from repro.core.tree_protocol import TreeProtocol
 from repro.util.iterlog import log_star
@@ -39,7 +39,12 @@ def measure_tradeoff():
                         outcome.correct_for(*instance),
                     )
 
-                bits, max_messages, success = average_cost(run, SEEDS)
+                bits, max_messages, success = average_cost(
+                    run,
+                    SEEDS,
+                    key=f"e1/tree/k={k}/r={rounds}/overlap={overlap}"
+                    f"/{instance_key(instance)}",
+                )
                 bound = communication_bound(k, rounds)
                 rows.append(
                     [
@@ -73,7 +78,12 @@ def measure_ablation():
                 outcome.correct_for(*instance),
             )
 
-        bits, _, success = average_cost(run, 20)
+        bits, _, success = average_cost(
+            run,
+            20,
+            key=f"e1/ablation-confidence/k={k}/r={rounds}"
+            f"/exp={exponent}/{instance_key(instance)}",
+        )
         rows.append([exponent, f"{bits:.0f}", success])
     return rows
 
@@ -103,7 +113,12 @@ def measure_leaf_ablation():
                 outcome.correct_for(*instance),
             )
 
-        bits, _, success = average_cost(run, 10)
+        bits, _, success = average_cost(
+            run,
+            10,
+            key=f"e1/ablation-leaves/k={k}/r={rounds}"
+            f"/leaves={leaves}/{instance_key(instance)}",
+        )
         rows.append([label, leaves, f"{bits:.0f}", success])
     return rows
 

@@ -12,7 +12,7 @@ Ablation (DESIGN.md): the amortized-equality base test width.
 import math
 import random
 
-from _harness import average_cost, emit, format_table, make_instance
+from _harness import average_cost, emit, format_table, instance_key, make_instance
 from repro.protocols.fknn import AmortizedEqualityProtocol
 from repro.protocols.sqrt_k import SqrtKProtocol
 
@@ -35,7 +35,9 @@ def measure_protocol():
                 outcome.correct_for(*instance),
             )
 
-        bits, max_messages, success = average_cost(run, SEEDS)
+        bits, max_messages, success = average_cost(
+            run, SEEDS, key=f"e4/sqrt-k/k={k}/{instance_key(instance)}"
+        )
         rows.append(
             [
                 k,

@@ -18,7 +18,12 @@ Commands:
   the paper's bounds (or validate an existing trace with ``--validate``).
 * ``faults`` -- sweep fault models x rates x protocols under the
   verification-driven retry loop (``repro.faults``) and print a
-  survival/degradation table.
+  survival/degradation table.  Compiled through the declarative plan
+  layer, so an active ``REPRO_PLAN_CACHE`` makes repeated sweeps
+  incremental.
+* ``plan`` -- the declarative sweep driver (``repro.plans``): ``plan
+  show`` compiles a grid and prints its shards; ``plan run`` executes it
+  with content-addressed shard caching and bit-identical resume.
 """
 
 from __future__ import annotations
@@ -258,6 +263,102 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-attempt communication cutoff in bits (the retry timeout)",
     )
+    faults.add_argument(
+        "--adaptive-budget",
+        action="store_true",
+        help="scale later attempts' bit budgets with observed fault "
+        "pressure instead of re-using the static cutoff",
+    )
+    faults.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard parallelism (default: $REPRO_WORKERS or serial)",
+    )
+
+    plan = sub.add_parser(
+        "plan",
+        help="compile and run declarative experiment plans "
+        "(content-addressed shard cache, bit-identical resume)",
+    )
+    plan_sub = plan.add_subparsers(dest="plan_command", required=True)
+    for name, description in (
+        ("show", "compile a plan and print its cells and shards"),
+        ("run", "execute a plan (cache-aware, resumable)"),
+    ):
+        plan_cmd = plan_sub.add_parser(name, help=description)
+        plan_cmd.add_argument(
+            "--file",
+            default=None,
+            help="JSON plan file (repro.plans.plan_to_dict form); "
+            "overrides the inline grid flags below",
+        )
+        plan_cmd.add_argument("--name", default="cli", help="plan name")
+        plan_cmd.add_argument(
+            "--analysis", choices=("cost", "survival"), default="cost"
+        )
+        plan_cmd.add_argument(
+            "--protocols",
+            default="bucket",
+            help="comma-separated protocol registry names "
+            "(bucket, basic, tree, amplified, one-round, trivial, sqrt-k)",
+        )
+        plan_cmd.add_argument("--k", type=int, default=64)
+        plan_cmd.add_argument("--log-universe", type=int, default=16)
+        plan_cmd.add_argument("--overlap", type=float, default=0.5)
+        plan_cmd.add_argument(
+            "--distribution",
+            choices=("uniform", "clustered", "zipf", "arithmetic"),
+            default="uniform",
+        )
+        plan_cmd.add_argument("--trials", type=int, default=16)
+        plan_cmd.add_argument("--seed", type=int, default=0)
+        plan_cmd.add_argument("--shard-size", type=int, default=32)
+        plan_cmd.add_argument(
+            "--fault-specs",
+            default=None,
+            help="comma-separated fault specs for survival analysis "
+            '(e.g. "bitflip@0.05,drop@0.1")',
+        )
+        plan_cmd.add_argument("--max-attempts", type=int, default=5)
+        plan_cmd.add_argument("--attempt-bit-budget", type=int, default=None)
+        plan_cmd.add_argument("--adaptive-budget", action="store_true")
+        if name == "run":
+            plan_cmd.add_argument(
+                "--workers",
+                type=int,
+                default=None,
+                help="shard parallelism (default: $REPRO_WORKERS or serial)",
+            )
+            plan_cmd.add_argument(
+                "--executor",
+                choices=("process", "thread", "serial"),
+                default="process",
+            )
+            plan_cmd.add_argument(
+                "--cache",
+                default=None,
+                help="shard-cache directory (overrides $REPRO_PLAN_CACHE; "
+                '"0" disables caching for this run)',
+            )
+            plan_cmd.add_argument(
+                "--halt-after",
+                type=int,
+                default=None,
+                help="stop after N shards execute (deterministic kill "
+                "point for resume testing); exits 3",
+            )
+            plan_cmd.add_argument(
+                "--out",
+                default=None,
+                help="write the deterministic aggregate document (JSON) "
+                "here -- byte-identical across resumes",
+            )
+            plan_cmd.add_argument(
+                "--stats-out",
+                default=None,
+                help="write cache/scheduler statistics (JSON) here",
+            )
     return parser
 
 
@@ -373,6 +474,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_trace(args, out)
     if args.command == "faults":
         return _cmd_faults(args, out)
+    if args.command == "plan":
+        return _cmd_plan(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -597,25 +700,12 @@ def _cmd_trace(args, out) -> int:
 
 
 def _cmd_faults(args, out) -> int:
-    from repro.core.amplify import AmplifiedIntersection
     from repro.faults.models import MODEL_FACTORIES, FaultConfigError
-    from repro.faults.plan import FaultPlan
-    from repro.faults.retry import RetryPolicy, run_with_retry
-    from repro.protocols.basic_intersection import BasicIntersectionProtocol
-    from repro.protocols.bucket_verify import BucketVerifyProtocol
-    from repro.protocols.one_round import OneRoundHashingProtocol
-    from repro.protocols.trivial import TrivialExchangeProtocol
-    from repro.workloads import make_instance
+    from repro.plans import Plan, ProtocolSpec, RetrySpec, run_plan
+    from repro.plans.registry import PROTOCOLS, protocol_display_name
+    from repro.workloads import Distribution, WorkloadSpec
 
     universe = 1 << args.log_universe
-    protocol_factories = {
-        "bucket": lambda: BucketVerifyProtocol(universe, args.k),
-        "basic": lambda: BasicIntersectionProtocol(universe, args.k),
-        "tree": lambda: TreeProtocol(universe, args.k),
-        "amplified": lambda: AmplifiedIntersection(universe, args.k),
-        "one-round": lambda: OneRoundHashingProtocol(universe, args.k),
-        "trivial": lambda: TrivialExchangeProtocol(universe, args.k),
-    }
     # Reorder and crash are round/player faults of the multiparty network;
     # the two-party sweep covers the per-payload channel models.
     two_party_models = ("bitflip", "truncate", "drop", "duplicate")
@@ -636,17 +726,53 @@ def _cmd_faults(args, out) -> int:
             )
             return 2
     for protocol_name in protocol_names:
-        if protocol_name not in protocol_factories:
+        if protocol_name not in PROTOCOLS:
             print(
                 f"unknown protocol {protocol_name!r} "
-                f"(know: {', '.join(sorted(protocol_factories))})",
+                f"(know: {', '.join(sorted(PROTOCOLS))})",
                 file=out,
             )
             return 2
-    policy = RetryPolicy(
-        max_attempts=args.max_attempts,
-        attempt_bit_budget=args.attempt_bit_budget,
+    for model_name in model_names:
+        for rate in rates:
+            try:
+                MODEL_FACTORIES[model_name](rate)
+            except FaultConfigError as exc:
+                print(f"bad rate {rate} for {model_name}: {exc}", file=out)
+                return 2
+
+    # The sweep is one declarative plan: cells enumerate protocol (outer) x
+    # fault spec (inner, models x rates), matching the table's row order.
+    # Running through the plan layer means an active $REPRO_PLAN_CACHE
+    # makes repeated sweeps incremental, for free.
+    fault_specs = tuple(
+        f"{model_name}@{rate!r}"
+        for model_name in model_names
+        for rate in rates
     )
+    plan = Plan(
+        name="faults-sweep",
+        analysis="survival",
+        protocols=tuple(ProtocolSpec(name) for name in protocol_names),
+        instances=(
+            WorkloadSpec(
+                universe_size=universe,
+                set_size=args.k,
+                overlap_fraction=args.overlap,
+                distribution=Distribution.UNIFORM,
+            ),
+        ),
+        fault_specs=fault_specs,
+        trials=args.trials,
+        seed=args.seed,
+        shard_size=max(1, min(args.trials, 32)),
+        retry=RetrySpec(
+            max_attempts=args.max_attempts,
+            attempt_bit_budget=args.attempt_bit_budget,
+            adaptive_budget=args.adaptive_budget,
+        ),
+    )
+    result = run_plan(plan, workers=args.workers)
 
     print(
         f"fault sweep: universe 2^{args.log_universe}, k={args.k}, "
@@ -660,51 +786,31 @@ def _cmd_faults(args, out) -> int:
         f"{'faults/trial':>12}  {'bits/trial':>11}"
     )
     print(header, file=out)
+    cell_rows = iter(result.cells)
     for protocol_name in protocol_names:
-        protocol = protocol_factories[protocol_name]()
+        display = protocol_display_name(
+            ProtocolSpec(protocol_name), universe, args.k
+        )
         for model_name in model_names:
-            factory = MODEL_FACTORIES[model_name]
             for rate in rates:
-                try:
-                    model_probe = factory(rate)
-                except FaultConfigError as exc:
-                    print(f"bad rate {rate} for {model_name}: {exc}", file=out)
-                    return 2
-                del model_probe
-                rng = random.Random(args.seed)
-                exact = degraded = inexact = 0
-                attempts_total = faults_total = bits_total = 0
-                for trial in range(args.trials):
-                    s, t = make_instance(rng, universe, args.k, args.overlap)
-                    plan = FaultPlan(factory(rate), seed=args.seed + trial)
-                    outcome = run_with_retry(
-                        protocol,
-                        s,
-                        t,
-                        seed=args.seed + trial,
-                        policy=policy,
-                        plan=plan,
-                    )
-                    if outcome.degraded:
-                        degraded += 1
-                    elif outcome.correct_for(s, t):
-                        exact += 1
-                    else:
-                        inexact += 1
-                    attempts_total += outcome.attempts
-                    faults_total += plan.injected
-                    bits_total += outcome.total_bits
-                trials = args.trials
+                aggregate = next(cell_rows)["aggregate"]
+                trials = aggregate["trials"]
                 print(
-                    f"{protocol.name:<24}{model_name:<11}{rate:>6.3f}  "
-                    f"{100.0 * exact / trials:>7.1f}  "
-                    f"{100.0 * inexact / trials:>8.1f}  "
-                    f"{100.0 * degraded / trials:>9.1f}  "
-                    f"{attempts_total / trials:>8.2f}  "
-                    f"{faults_total / trials:>12.1f}  "
-                    f"{bits_total / trials:>11.0f}",
+                    f"{display:<24}{model_name:<11}{rate:>6.3f}  "
+                    f"{100.0 * aggregate['exact'] / trials:>7.1f}  "
+                    f"{100.0 * aggregate['inexact'] / trials:>8.1f}  "
+                    f"{100.0 * aggregate['degraded'] / trials:>9.1f}  "
+                    f"{aggregate['attempts'] / trials:>8.2f}  "
+                    f"{aggregate['faults'] / trials:>12.1f}  "
+                    f"{aggregate['bits'] / trials:>11.0f}",
                     file=out,
                 )
+    if result.shards_cached:
+        print(
+            f"\nshard cache: {result.shards_cached}/{result.shards_total} "
+            f"shards reused",
+            file=out,
+        )
     # An *inexact* (agreed-but-wrong) cell is not an error exit: the
     # equality check certifies agreement, and agreement implies exactness
     # only over a reliable channel (DESIGN §9) -- at high fault rates both
@@ -716,6 +822,165 @@ def _cmd_faults(args, out) -> int:
         "exhausted, certified supersets (own inputs) returned instead.",
         file=out,
     )
+    return 0
+
+
+def _plan_from_args(args, out):
+    """Build a Plan from ``--file`` or the inline grid flags.
+
+    Returns ``None`` after printing the problem (callers exit 2).
+    """
+    import json
+
+    from repro.plans import Plan, ProtocolSpec, RetrySpec, plan_from_dict
+    from repro.workloads import Distribution, WorkloadSpec
+
+    if args.file is not None:
+        try:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as exc:
+            print(f"cannot read {args.file}: {exc}", file=out)
+            return None
+        except json.JSONDecodeError as exc:
+            print(f"{args.file}: not valid JSON ({exc})", file=out)
+            return None
+        try:
+            return plan_from_dict(document)
+        except ValueError as exc:
+            print(f"{args.file}: {exc}", file=out)
+            return None
+
+    protocol_names = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    if args.fault_specs is not None:
+        fault_specs = tuple(
+            spec.strip() for spec in args.fault_specs.split(",") if spec.strip()
+        )
+    else:
+        fault_specs = (None,)
+    try:
+        return Plan(
+            name=args.name,
+            analysis=args.analysis,
+            protocols=tuple(ProtocolSpec(name) for name in protocol_names),
+            instances=(
+                WorkloadSpec(
+                    universe_size=1 << args.log_universe,
+                    set_size=args.k,
+                    overlap_fraction=args.overlap,
+                    distribution=Distribution(args.distribution),
+                ),
+            ),
+            fault_specs=fault_specs,
+            trials=args.trials,
+            seed=args.seed,
+            shard_size=args.shard_size,
+            retry=RetrySpec(
+                max_attempts=args.max_attempts,
+                attempt_bit_budget=args.attempt_bit_budget,
+                adaptive_budget=args.adaptive_budget,
+            ),
+        )
+    except ValueError as exc:
+        print(f"bad plan: {exc}", file=out)
+        return None
+
+
+def _cmd_plan(args, out) -> int:
+    import json
+
+    from repro.plans import ShardCache, compile_plan, plan_to_dict, run_plan
+
+    plan = _plan_from_args(args, out)
+    if plan is None:
+        return 2
+    try:
+        compiled = compile_plan(plan)
+    except ValueError as exc:
+        print(f"bad plan: {exc}", file=out)
+        return 2
+
+    if args.plan_command == "show":
+        print(
+            f"plan {plan.name!r}: {plan.num_cells} cells x {plan.trials} "
+            f"trials = {compiled.total_trials} trials in "
+            f"{len(compiled.shards)} shards (analysis={plan.analysis})",
+            file=out,
+        )
+        print(f"plan key: {compiled.plan_key}", file=out)
+        for shard in compiled.shards:
+            print(
+                f"  shard {shard.index:>3}  {shard.key[:16]}  "
+                f"trials {shard.trial_start}"
+                f"..{shard.trial_start + shard.trials - 1}  "
+                f"{shard.cell.label()}",
+                file=out,
+            )
+        return 0
+
+    cache = None
+    if args.cache is not None:
+        cache = ShardCache(args.cache) if args.cache.strip() not in ("", "0") else None
+    result = run_plan(
+        plan,
+        cache=cache,
+        use_env_cache=args.cache is None,
+        workers=args.workers,
+        executor=args.executor,
+        halt_after=args.halt_after,
+        compiled=compiled,
+    )
+
+    if args.stats_out is not None:
+        with open(args.stats_out, "w", encoding="utf-8") as handle:
+            json.dump(result.stats(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if result.interrupted:
+        print(
+            f"interrupted after {result.shards_executed} executed shard(s): "
+            f"{result.shards_cached + result.shards_executed}/"
+            f"{result.shards_total} shards done; re-run with the same cache "
+            f"to resume",
+            file=out,
+        )
+        return 3
+
+    print(
+        f"plan {plan.name!r}: {result.shards_total} shards "
+        f"({result.shards_cached} cached, {result.shards_executed} executed) "
+        f"in {result.wall_s:.2f}s",
+        file=out,
+    )
+    print(f"counters_sha256: {result.counters_sha256}", file=out)
+    for cell in result.cells:
+        aggregate = ", ".join(
+            f"{key}={value:.4g}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in cell["aggregate"].items()
+        )
+        instance = cell["instance"]
+        fault = cell["fault_spec"] if cell["fault_spec"] is not None else "reliable"
+        print(
+            f"  {cell['protocol']['name']} "
+            f"n={instance['universe_size']} k={instance['set_size']} "
+            f"{fault}: {aggregate}",
+            file=out,
+        )
+
+    if args.out is not None:
+        # The aggregate document is deliberately timing-free so a resumed
+        # run's file is byte-identical to an uninterrupted one (the CI
+        # resumability gate compares with cmp).
+        document = {
+            "plan": plan_to_dict(plan),
+            "plan_key": result.plan_key,
+            "counters_sha256": result.counters_sha256,
+            "cells": result.cells,
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=out)
     return 0
 
 

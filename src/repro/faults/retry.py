@@ -69,12 +69,23 @@ class RetryPolicy:
     :param backoff_base: simulated delay units charged before retry ``i``
         (0 disables backoff accounting).
     :param backoff_factor: exponential growth of the simulated delay.
+    :param adaptive_budget: when True (and a budget is set), later
+        attempts' budgets grow with the fault pressure the session has
+        actually observed (see :meth:`effective_budget`) instead of
+        re-using the static per-attempt constant.  A budget sized for the
+        reliable channel is systematically too tight once faults are
+        firing -- retransmissions and re-verification legitimately cost
+        bits -- so the static policy converts recoverable damage into
+        budget aborts; the adaptive policy widens exactly in proportion to
+        the observed damage while leaving the fault-free fast path (and
+        attempt 0) at the original bound.
     """
 
     max_attempts: int = 5
     attempt_bit_budget: Optional[int] = None
     backoff_base: float = 0.0
     backoff_factor: float = 2.0
+    adaptive_budget: bool = False
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -96,6 +107,28 @@ class RetryPolicy:
         if self.backoff_base <= 0:
             return 0.0
         return self.backoff_base * self.backoff_factor**attempt
+
+    def effective_budget(
+        self, attempt: int, observed_faults: int
+    ) -> Optional[int]:
+        """The bit budget for ``attempt`` given the session's observed
+        fault count so far.
+
+        Static policies (and attempt 0, where nothing has been observed
+        yet) use ``attempt_bit_budget`` unchanged; adaptive policies scale
+        it by ``1 + observed_faults / attempt`` -- the average fault
+        pressure per completed attempt -- so a session seeing one fault per
+        attempt doubles its headroom while a fault-free session never pays
+        for slack it does not need.  Deterministic: a pure function of the
+        policy and the two counters, so retry sessions stay replayable.
+        """
+        if (
+            self.attempt_bit_budget is None
+            or not self.adaptive_budget
+            or attempt <= 0
+        ):
+            return self.attempt_bit_budget
+        return int(self.attempt_bit_budget * (1.0 + observed_faults / attempt))
 
 
 @dataclass
@@ -199,14 +232,16 @@ def run_with_retry(
     last_candidates: Optional[Tuple] = None
     suspect: Optional[FrozenSet[int]] = None
     delay = 0.0
+    session_fault_base = plan.injected if plan is not None else 0
     for attempt in range(policy.max_attempts):
         faults_before = plan.injected if plan is not None else 0
+        observed_faults = faults_before - session_fault_base
         try:
             outcome = protocol.run(
                 s,
                 t,
                 seed=attempt_seed(seed, attempt),
-                max_total_bits=policy.attempt_bit_budget,
+                max_total_bits=policy.effective_budget(attempt, observed_faults),
                 transcript=record,
                 fault_injector=injector,
             )

@@ -38,6 +38,12 @@ Event types
 ``retry.exhausted``  the retry budget ran out (``protocol``, ``attempts``)
 ``degraded.output``  the retry wrapper returned the degradation contract
                      (``protocol``, ``mode``)
+``plan.compile``     a declarative plan compiled to shards
+                     (``plan``, ``shards``; emitters add ``plan_key``)
+``shard.start``      the scheduler dispatched one shard (``shard`` = its
+                     content key; emitters add ``cell``)
+``shard.finish``     one shard completed (``shard``, ``status`` --
+                     ``"executed"`` or ``"cached"``)
 ``span.start`` / ``span.end``  user-defined phase brackets
 ==================  ====================================================
 
@@ -62,7 +68,9 @@ __all__ = [
 ]
 
 #: Bump when the envelope or a type's required fields change.
-TRACE_SCHEMA_VERSION = 1
+#: History: 1 = initial taxonomy; 2 = plan.compile / shard.start /
+#: shard.finish (the declarative-plans scheduler).
+TRACE_SCHEMA_VERSION = 2
 
 #: type -> required payload fields (envelope fields are implicit).
 EVENT_TYPES: Dict[str, tuple] = {
@@ -82,6 +90,9 @@ EVENT_TYPES: Dict[str, tuple] = {
     "retry.attempt": ("protocol", "attempt", "reason"),
     "retry.exhausted": ("protocol", "attempts"),
     "degraded.output": ("protocol", "mode"),
+    "plan.compile": ("plan", "shards"),
+    "shard.start": ("shard",),
+    "shard.finish": ("shard", "status"),
     "span.start": ("name",),
     "span.end": ("name", "duration_s"),
 }

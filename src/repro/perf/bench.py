@@ -45,7 +45,7 @@ from repro.perf.schema import BENCH_SCHEMA_VERSION, SUITE_NAME, validate_bench_r
 from repro.comm.transcript import Transcript
 from repro.protocols.equality import run_equality
 from repro.util.bits import BitReader, BitString, BitWriter
-from repro.workloads import make_instance
+from repro.workloads import Distribution, WorkloadSpec, make_instance
 
 __all__ = ["run_core_benchmarks", "DEFAULT_OUTPUT"]
 
@@ -246,6 +246,83 @@ def _op_multiparty_round() -> None:
     _MP_PROTOCOL.run(_MP_SETS, seed=5)
 
 
+# -- plan-scheduler micro --------------------------------------------------
+
+
+def _plan_resume_micro(quick: bool) -> Dict[str, Any]:
+    """Cold vs warm shard-cache runs of a small declarative plan.
+
+    Four legs through :func:`repro.plans.run_plan`, all serial so the
+    ratio measures the cache, not the pool:
+
+    1. **cold** -- every shard executes, cache A fills;
+    2. **halted** -- a fresh cache B stops after half the shards
+       (the deterministic kill point);
+    3. **resumed** -- the same plan in cache B finishes the rest;
+    4. **warm** -- the plan re-runs against the full cache A: zero shards
+       execute.
+
+    ``speedup`` is ``cold_s / warm_s`` (the content-addressed cache's
+    payoff) and ``resume_identical`` asserts the killed-then-resumed
+    aggregate fingerprint matches the uninterrupted one -- the
+    bit-identical-resume contract, measured on every bench run.
+    """
+    import tempfile
+
+    from repro.plans import Plan, ProtocolSpec, ShardCache, run_plan
+
+    plan = Plan(
+        name="bench-plan-resume",
+        protocols=(ProtocolSpec("bucket"),),
+        instances=(
+            WorkloadSpec(
+                universe_size=1 << 16,
+                set_size=32,
+                overlap_fraction=0.5,
+                distribution=Distribution.UNIFORM,
+            ),
+        ),
+        trials=8 if quick else 24,
+        seed=17,
+        shard_size=4,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-plan-bench-") as root:
+        cache_a = ShardCache(Path(root) / "a")
+        cold = run_plan(plan, cache=cache_a, workers=1, executor="serial")
+
+        half = max(1, cold.shards_total // 2)
+        cache_b_root = Path(root) / "b"
+        run_plan(
+            plan,
+            cache=ShardCache(cache_b_root),
+            workers=1,
+            executor="serial",
+            halt_after=half,
+        )
+        resumed = run_plan(
+            plan, cache=ShardCache(cache_b_root), workers=1, executor="serial"
+        )
+
+        warm_cache = ShardCache(Path(root) / "a")
+        warm = run_plan(plan, cache=warm_cache, workers=1, executor="serial")
+
+    warm_s = max(warm.wall_s, 1e-9)
+    return {
+        "ops_per_s": 1.0 / warm_s,
+        "wall_s": cold.wall_s + warm.wall_s,
+        "iterations": 2,
+        "shards": cold.shards_total,
+        "cold_s": cold.wall_s,
+        "warm_s": warm.wall_s,
+        "speedup": cold.wall_s / warm_s,
+        "cache_hits": warm_cache.hits,
+        "cache_misses": warm_cache.misses,
+        "resume_identical": (
+            resumed.counters_sha256 == cold.counters_sha256 == warm.counters_sha256
+        ),
+    }
+
+
 def _tree_trial(protocol: TreeProtocol, alice_set, bob_set, seed: int):
     """One E1-style trial: exact counters + correctness for one seed."""
     outcome = protocol.run(alice_set, bob_set, seed=seed)
@@ -420,6 +497,7 @@ def run_core_benchmarks(
         "multiparty_round": dict(
             _time_op(_op_multiparty_round, target), backend=kernel_backend
         ),
+        "plan_resume": _plan_resume_micro(quick),
     }
 
     report: Dict[str, Any] = {

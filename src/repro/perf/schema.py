@@ -51,6 +51,12 @@ Schema history:
   gate can skip throughput comparisons across different backends;
   ``host.cpu_count_affinity`` may be ``null`` on hosts without
   ``os.sched_getaffinity`` (macOS/Windows) instead of fabricating a count.
+  Later v3 reports add an *optional* ``plan_resume`` micro (the
+  declarative-plan shard cache: ``cold_s`` / ``warm_s`` / ``speedup`` /
+  ``resume_identical`` alongside the standard timing fields) -- optional
+  rather than required so older v3 baselines still validate and
+  ``--compare`` against them stays green (the compare gate reports a
+  missing-on-one-side micro as ``"new"``, never a regression).
 * **v2** -- honest host parallelism: ``host.cpu_count_affinity`` (the CPUs
   the process is actually allowed to schedule on, which on pinned CI
   runners is smaller than ``os.cpu_count()``) joins ``host.cpu_count``;
@@ -82,6 +88,15 @@ class _IntOrNull:
 
 
 _MICRO_FIELDS = {"ops_per_s": float, "wall_s": float, "iterations": int}
+#: Extra fields the (optional) plan_resume micro must carry when present.
+_PLAN_RESUME_FIELDS = {
+    "cold_s": float,
+    "warm_s": float,
+    "speedup": float,
+    "cache_hits": int,
+    "cache_misses": int,
+    "resume_identical": bool,
+}
 _E1_FIELDS = {
     "trials": int,
     "k": int,
@@ -179,6 +194,10 @@ def validate_bench_report(report: Any) -> List[str]:
                 errors.append(f"micro.{required}: missing")
         for name, entry in micro.items():
             _check_fields(errors, f"micro.{name}", entry, _MICRO_FIELDS)
+            if name == "plan_resume":
+                _check_fields(
+                    errors, f"micro.{name}", entry, _PLAN_RESUME_FIELDS
+                )
             if isinstance(entry, dict) and "backend" in entry:
                 if not isinstance(entry["backend"], str):
                     errors.append(
@@ -193,10 +212,15 @@ def validate_bench_report(report: Any) -> List[str]:
 def bench_report_warnings(report: Any) -> List[str]:
     """Non-fatal honesty checks on a (structurally valid) report.
 
-    Currently one: a parallel-speedup claim made with more workers than the
-    host can actually schedule is noise, not parallelism -- the classic way
-    to produce an impressive-looking but meaningless ``speedup_vs_serial``
-    on a single-CPU CI runner.
+    Two today:
+
+    * a parallel-speedup claim made with more workers than the host can
+      actually schedule is noise, not parallelism -- the classic way to
+      produce an impressive-looking but meaningless ``speedup_vs_serial``
+      on a single-CPU CI runner;
+    * a ``plan_resume`` micro whose warm-cache run is under 5x faster than
+      cold, or whose killed-then-resumed fingerprint diverged -- the shard
+      cache's two load-bearing promises, surfaced on every bench run.
 
     :returns: human-readable warnings; empty means nothing suspicious.
     """
@@ -205,20 +229,39 @@ def bench_report_warnings(report: Any) -> List[str]:
         return warnings
     host = report.get("host")
     config = report.get("config")
-    if not isinstance(host, dict) or not isinstance(config, dict):
-        return warnings
-    workers = config.get("workers")
-    cpus = host.get("cpu_count_affinity", host.get("cpu_count"))
-    if (
-        isinstance(workers, int)
-        and isinstance(cpus, int)
-        and not isinstance(workers, bool)
-        and not isinstance(cpus, bool)
-        and workers > cpus > 0
-    ):
-        warnings.append(
-            f"config.workers = {workers} exceeds the {cpus} CPU(s) this "
-            f"process may schedule on; parallel timings oversubscribe the "
-            f"host and speedup figures are not meaningful"
-        )
+    if isinstance(host, dict) and isinstance(config, dict):
+        workers = config.get("workers")
+        cpus = host.get("cpu_count_affinity", host.get("cpu_count"))
+        if (
+            isinstance(workers, int)
+            and isinstance(cpus, int)
+            and not isinstance(workers, bool)
+            and not isinstance(cpus, bool)
+            and workers > cpus > 0
+        ):
+            warnings.append(
+                f"config.workers = {workers} exceeds the {cpus} CPU(s) this "
+                f"process may schedule on; parallel timings oversubscribe the "
+                f"host and speedup figures are not meaningful"
+            )
+    micro = report.get("micro")
+    plan_resume = micro.get("plan_resume") if isinstance(micro, dict) else None
+    if isinstance(plan_resume, dict):
+        speedup = plan_resume.get("speedup")
+        if (
+            isinstance(speedup, (int, float))
+            and not isinstance(speedup, bool)
+            and speedup < 5.0
+        ):
+            warnings.append(
+                f"micro.plan_resume.speedup = {speedup:.2f} is below the "
+                f"5x warm-cache target; the shard cache is not paying for "
+                f"itself on this host"
+            )
+        if plan_resume.get("resume_identical") is False:
+            warnings.append(
+                "micro.plan_resume.resume_identical is false: a "
+                "killed-then-resumed plan produced a different aggregate "
+                "fingerprint than the uninterrupted run"
+            )
     return warnings

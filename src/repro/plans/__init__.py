@@ -1,0 +1,70 @@
+"""Declarative experiment plans: compile, cache, shard, replay.
+
+The one sweep path for the repo: describe a grid as a :class:`Plan`,
+compile it into content-addressed shards (:func:`compile_plan`), and run
+it through the cache-aware scheduler (:func:`run_plan`).  ``repro bench``,
+``repro faults``, and the ``benchmarks/`` harness all ride this layer.
+
+See ``DESIGN.md`` for the full contract (content identity, seed lineage,
+bit-identical resume) and ``EXPERIMENTS.md`` for a kill-and-resume
+walkthrough.
+"""
+
+from repro.plans.cache import PLAN_CACHE_ENV_VAR, ShardCache, cache_from_env
+from repro.plans.compile import (
+    CACHE_EPOCH,
+    PLAN_SCHEMA_VERSION,
+    Cell,
+    CompiledPlan,
+    Shard,
+    cell_seed,
+    compile_plan,
+)
+from repro.plans.model import (
+    ANALYSES,
+    Plan,
+    ProtocolSpec,
+    RetrySpec,
+    canonical_json,
+    instance_from_dict,
+    instance_to_dict,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.plans.registry import PROTOCOLS, build_protocol
+from repro.plans.runner import execute_shard
+from repro.plans.scheduler import (
+    PlanResult,
+    aggregate_cell,
+    cached_trials,
+    run_plan,
+)
+
+__all__ = [
+    "ANALYSES",
+    "CACHE_EPOCH",
+    "PLAN_CACHE_ENV_VAR",
+    "PLAN_SCHEMA_VERSION",
+    "PROTOCOLS",
+    "Cell",
+    "CompiledPlan",
+    "Plan",
+    "PlanResult",
+    "ProtocolSpec",
+    "RetrySpec",
+    "Shard",
+    "ShardCache",
+    "aggregate_cell",
+    "build_protocol",
+    "cache_from_env",
+    "cached_trials",
+    "canonical_json",
+    "cell_seed",
+    "compile_plan",
+    "execute_shard",
+    "instance_from_dict",
+    "instance_to_dict",
+    "plan_from_dict",
+    "plan_to_dict",
+    "run_plan",
+]

@@ -1,0 +1,162 @@
+"""The content-addressed shard cache and its environment kill-switch.
+
+Layout (all under one root directory)::
+
+    <root>/objects/<key[:2]>/<key>.json    one completed shard's records
+    <root>/journal/<plan_key>.jsonl        append-only replay log per plan
+
+A cache object holds exactly one shard's per-trial records plus the key
+that produced them; :meth:`ShardCache.get` re-checks the embedded key and
+schema version and treats *any* unreadable, truncated, or mismatched file
+as a miss (a killed writer can leave nothing worse than a re-executed
+shard).  Writes are atomic -- temp file in the same directory, then
+``os.replace`` -- so a reader never observes a half-written object and a
+``kill -9`` mid-run leaves only whole shards behind, which is precisely
+what makes resume bit-identical.
+
+Environment contract (the same shape as ``REPRO_TRACE`` / ``REPRO_FAULTS``
+/ the hotcache switch):
+
+* ``REPRO_PLAN_CACHE`` -- unset, empty, or ``"0"`` disables the on-disk
+  cache (shards always execute).  Any other value is the cache root
+  directory, created on first write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.obs import metrics as _metrics
+from repro.plans.compile import PLAN_SCHEMA_VERSION
+
+__all__ = [
+    "PLAN_CACHE_ENV_VAR",
+    "ShardCache",
+    "cache_from_env",
+]
+
+#: Environment kill-switch: unset / "" / "0" keeps the shard cache off.
+PLAN_CACHE_ENV_VAR = "REPRO_PLAN_CACHE"
+
+
+class ShardCache:
+    """Content-addressed store of completed shard records.
+
+    :param root: cache directory (created lazily on first ``put``).
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        #: Lookup counters for this cache handle (process-lifetime cache
+        #: hit/miss totals live in the metrics registry).
+        self.hits = 0
+        self.misses = 0
+
+    def _object_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[List[Any]]:
+        """The cached records for ``key``, or ``None`` on any miss.
+
+        Corrupt, truncated, or foreign files are misses, not errors: the
+        scheduler re-executes the shard and overwrites the bad object.
+        """
+        path = self._object_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self._note_miss()
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("plan_schema") != PLAN_SCHEMA_VERSION
+            or payload.get("key") != key
+            or not isinstance(payload.get("records"), list)
+        ):
+            self._note_miss()
+            return None
+        self.hits += 1
+        _metrics.counter("plans.shard.cache_hit").inc()
+        return payload["records"]
+
+    def put(self, key: str, records: List[Any]) -> None:
+        """Atomically store one shard's records under its content key."""
+        path = self._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "plan_schema": PLAN_SCHEMA_VERSION,
+            "key": key,
+            "records": records,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _note_miss(self) -> None:
+        self.misses += 1
+        _metrics.counter("plans.shard.cache_miss").inc()
+
+    # -- replay journal ----------------------------------------------------
+
+    def journal_path(self, plan_key: str) -> Path:
+        return self.root / "journal" / f"{plan_key}.jsonl"
+
+    def append_journal(self, plan_key: str, record: Dict[str, Any]) -> None:
+        """Append one replay-log line (fsync-free: the journal is an audit
+        trail; correctness rides on the content-addressed objects)."""
+        path = self.journal_path(plan_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def read_journal(self, plan_key: str) -> List[Dict[str, Any]]:
+        """All journal lines for a plan (skipping any torn final line)."""
+        try:
+            with open(self.journal_path(plan_key), "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return []
+        records = []
+        for line in lines:
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                continue
+        return records
+
+    def stats(self) -> Dict[str, int]:
+        """This handle's lookup counters."""
+        return {"hits": self.hits, "misses": self.misses}
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardCache({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
+def cache_from_env() -> Optional[ShardCache]:
+    """The environment-configured cache, or ``None`` when disabled.
+
+    Read at call time (like the other kill-switches) so tests and
+    long-lived processes can flip ``REPRO_PLAN_CACHE`` between runs.
+    """
+    value = os.environ.get(PLAN_CACHE_ENV_VAR, "").strip()
+    if value in ("", "0"):
+        return None
+    return ShardCache(value)

@@ -1,0 +1,267 @@
+"""The declarative plan model: a whole experiment grid as data.
+
+A :class:`Plan` names everything a sweep needs -- protocols, instance
+families, fault specs, trial count, retry policy, analysis kind -- as
+plain frozen data with a canonical JSON form.  Nothing in a plan is
+executable: the compiler (:mod:`repro.plans.compile`) turns it into
+deterministic shards, and the scheduler (:mod:`repro.plans.scheduler`)
+runs them.  Because the plan is data, two properties fall out for free:
+
+* **content identity** -- the canonical JSON of a plan node is hashable,
+  which is what lets completed shards be cached by content address and
+  re-used across runs, processes, and machines;
+* **declarative files** -- a plan round-trips through
+  :func:`plan_to_dict` / :func:`plan_from_dict`, so sweeps can live in
+  version-controlled JSON next to the experiments they drive
+  (``repro plan run --file sweep.json``).
+
+The grid a plan describes is the cross product
+
+    protocols x instances x fault_specs   (each cell runs ``trials`` trials)
+
+-- exactly the triple loop that ``repro bench``, ``repro faults``, and the
+``benchmarks/`` harness used to each hand-roll.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.workloads import Distribution, WorkloadSpec
+
+__all__ = [
+    "ProtocolSpec",
+    "RetrySpec",
+    "Plan",
+    "ANALYSES",
+    "canonical_json",
+    "instance_to_dict",
+    "instance_from_dict",
+    "plan_to_dict",
+    "plan_from_dict",
+]
+
+#: The analysis kinds the trial runner knows how to execute.
+ANALYSES = ("cost", "survival")
+
+
+def canonical_json(value: Any) -> str:
+    """The one canonical JSON form used for every content hash.
+
+    Sorted keys, no whitespace, no NaN: byte-identical for equal values
+    across processes and Python versions, which is the property cache keys
+    ride on.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One protocol axis entry: a registry name plus canonical parameters.
+
+    :param name: a :data:`repro.plans.registry.PROTOCOLS` key (e.g.
+        ``"bucket"``, ``"tree"``).
+    :param params: protocol-specific knobs as a sorted tuple of
+        ``(key, value)`` pairs (e.g. ``(("rounds", 2),)``); kept as a
+        tuple so the spec stays hashable and canonically ordered.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "params", tuple(sorted((str(k), v) for k, v in self.params))
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProtocolSpec":
+        return cls(
+            name=str(data["name"]),
+            params=tuple(sorted(dict(data.get("params") or {}).items())),
+        )
+
+
+@dataclass(frozen=True)
+class RetrySpec:
+    """The retry-policy slice of a plan (survival analysis only).
+
+    Mirrors :class:`repro.faults.retry.RetryPolicy`'s code-relevant knobs;
+    part of the shard content hash because changing any of them changes
+    trial outcomes.
+    """
+
+    max_attempts: int = 5
+    attempt_bit_budget: Optional[int] = None
+    adaptive_budget: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.attempt_bit_budget is not None and self.attempt_bit_budget < 1:
+            raise ValueError(
+                "attempt_bit_budget must be >= 1 or None, got "
+                f"{self.attempt_bit_budget}"
+            )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "max_attempts": self.max_attempts,
+            "attempt_bit_budget": self.attempt_bit_budget,
+            "adaptive_budget": self.adaptive_budget,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RetrySpec":
+        return cls(
+            max_attempts=int(data.get("max_attempts", 5)),
+            attempt_bit_budget=data.get("attempt_bit_budget"),
+            adaptive_budget=bool(data.get("adaptive_budget", False)),
+        )
+
+
+def instance_to_dict(spec: WorkloadSpec) -> Dict[str, Any]:
+    """Canonical dict form of a :class:`~repro.workloads.WorkloadSpec`."""
+    return {
+        "universe_size": spec.universe_size,
+        "set_size": spec.set_size,
+        "overlap_fraction": spec.overlap_fraction,
+        "distribution": spec.distribution.value,
+    }
+
+
+def instance_from_dict(data: Mapping[str, Any]) -> WorkloadSpec:
+    return WorkloadSpec(
+        universe_size=int(data["universe_size"]),
+        set_size=int(data["set_size"]),
+        overlap_fraction=float(data["overlap_fraction"]),
+        distribution=Distribution(data.get("distribution", "uniform")),
+    )
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A declarative experiment grid.
+
+    :param name: a human label (journal/file naming only; *not* part of
+        shard content hashes, so renaming a plan keeps its cache warm).
+    :param protocols: the protocol axis.
+    :param instances: the instance-family axis.
+    :param fault_specs: the fault axis -- ``None`` entries mean a reliable
+        channel, strings are ``REPRO_FAULTS``-grammar specs such as
+        ``"bitflip@0.05"`` (see :func:`repro.faults.models.parse_fault_spec`).
+    :param trials: trials per grid cell.
+    :param seed: the plan's root seed; every cell and trial seed derives
+        from it (see :mod:`repro.plans.compile`).
+    :param shard_size: trials per shard -- the unit of caching, dispatch,
+        and resume.  Changing it re-partitions the grid (different shard
+        hashes) but never changes any trial's seed or result.
+    :param analysis: ``"cost"`` (bits/messages/correctness per trial) or
+        ``"survival"`` (verification-driven retry under the cell's fault
+        spec).
+    :param retry: retry policy for survival cells.
+    """
+
+    name: str
+    protocols: Tuple[ProtocolSpec, ...]
+    instances: Tuple[WorkloadSpec, ...]
+    fault_specs: Tuple[Optional[str], ...] = (None,)
+    trials: int = 16
+    seed: int = 0
+    shard_size: int = 32
+    analysis: str = "cost"
+    retry: RetrySpec = field(default_factory=RetrySpec)
+
+    def __post_init__(self) -> None:
+        if not self.protocols:
+            raise ValueError("a plan needs at least one protocol")
+        if not self.instances:
+            raise ValueError("a plan needs at least one instance family")
+        if not self.fault_specs:
+            raise ValueError(
+                "a plan needs at least one fault spec (use (None,) for a "
+                "reliable channel)"
+            )
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+        if self.shard_size < 1:
+            raise ValueError(
+                f"shard_size must be >= 1, got {self.shard_size}"
+            )
+        if self.analysis not in ANALYSES:
+            raise ValueError(
+                f"unknown analysis {self.analysis!r} (know: {ANALYSES})"
+            )
+        if self.analysis == "cost" and any(
+            spec is not None for spec in self.fault_specs
+        ):
+            raise ValueError(
+                "cost analysis measures the reliable channel; use "
+                "analysis='survival' for fault specs"
+            )
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.protocols) * len(self.instances) * len(self.fault_specs)
+
+
+def plan_to_dict(plan: Plan) -> Dict[str, Any]:
+    """The declarative (JSON-file) form of a plan."""
+    return {
+        "name": plan.name,
+        "analysis": plan.analysis,
+        "protocols": [spec.as_dict() for spec in plan.protocols],
+        "instances": [instance_to_dict(spec) for spec in plan.instances],
+        "fault_specs": list(plan.fault_specs),
+        "trials": plan.trials,
+        "seed": plan.seed,
+        "shard_size": plan.shard_size,
+        "retry": plan.retry.as_dict(),
+    }
+
+
+def plan_from_dict(data: Mapping[str, Any]) -> Plan:
+    """Parse the declarative form back into a :class:`Plan`.
+
+    :raises ValueError: on structural problems (missing axes, bad values);
+        the messages are meant for CLI users editing plan files by hand.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(
+            f"plan document must be an object, got {type(data).__name__}"
+        )
+    try:
+        protocols = tuple(
+            ProtocolSpec.from_dict(entry) for entry in data["protocols"]
+        )
+        instances = tuple(
+            instance_from_dict(entry) for entry in data["instances"]
+        )
+    except KeyError as exc:
+        raise ValueError(f"plan document missing {exc.args[0]!r}") from None
+    fault_specs = tuple(data.get("fault_specs") or (None,))
+    for spec in fault_specs:
+        if spec is not None and not isinstance(spec, str):
+            raise ValueError(
+                f"fault_specs entries must be null or strings, got {spec!r}"
+            )
+    return Plan(
+        name=str(data.get("name", "plan")),
+        protocols=protocols,
+        instances=instances,
+        fault_specs=fault_specs,
+        trials=int(data.get("trials", 16)),
+        seed=int(data.get("seed", 0)),
+        shard_size=int(data.get("shard_size", 32)),
+        analysis=str(data.get("analysis", "cost")),
+        retry=RetrySpec.from_dict(data.get("retry") or {}),
+    )

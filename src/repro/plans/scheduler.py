@@ -1,0 +1,362 @@
+"""The plan scheduler: cache-aware, resumable shard execution.
+
+:func:`run_plan` drives a compiled plan to aggregates:
+
+1. every shard's content key is looked up in the cache (when one is
+   active) -- hits skip execution entirely;
+2. missing shards execute in *waves* through the
+   :mod:`repro.perf.executor` process pool; after each wave the results
+   are written to the cache and the replay journal **before** the next
+   wave dispatches, so a kill at any moment loses at most one in-flight
+   wave and a re-run resumes from the completed shards bit-identically;
+3. per-cell aggregates and a fingerprint over the full ordered record
+   stream (:attr:`PlanResult.counters_sha256`) are computed from the
+   merged cached + executed records -- the fingerprint is the artifact the
+   resume gate compares between an interrupted-then-resumed sweep and an
+   uninterrupted one.
+
+Observability: the scheduler emits ``plan.compile`` / ``shard.start`` /
+``shard.finish`` events (taxonomy v2) when tracing is on, and counts cache
+hits/misses in the metrics registry (``plans.shard.cache_hit`` /
+``plans.shard.cache_miss``) unconditionally.
+
+Determinism contract: aggregates and the fingerprint depend only on the
+plan (see :mod:`repro.plans.compile`); worker count, executor kind, shard
+cache state, wave size, and interruption points never change them --
+pinned by ``tests/test_plans_scheduler.py``.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.state import STATE as _OBS
+from repro.perf.executor import resolve_workers, run_trials
+from repro.plans.cache import ShardCache, cache_from_env
+from repro.plans.compile import CompiledPlan, Shard, compile_plan
+from repro.plans.model import Plan, canonical_json
+from repro.plans.runner import execute_shard
+
+__all__ = ["PlanResult", "run_plan", "cached_trials", "aggregate_cell"]
+
+
+@dataclass
+class PlanResult:
+    """Everything one :func:`run_plan` call produced.
+
+    :param interrupted: True when ``halt_after`` stopped the run before
+        every shard completed; ``cells`` and ``counters_sha256`` are then
+        ``None`` (a partial aggregate would be a lie -- resume instead).
+    """
+
+    plan: Plan
+    plan_key: str
+    cells: Optional[List[Dict[str, Any]]]
+    counters_sha256: Optional[str]
+    shards_total: int
+    shards_cached: int
+    shards_executed: int
+    cache_hits: int
+    cache_misses: int
+    interrupted: bool
+    wall_s: float
+    #: Per-shard record lists in shard order (None for shards an
+    #: interrupted run never reached).
+    shard_records: List[Optional[List[Any]]] = field(default_factory=list)
+
+    def stats(self) -> Dict[str, Any]:
+        """The cache-stats document (CI uploads this as an artifact)."""
+        return {
+            "plan": self.plan.name,
+            "plan_key": self.plan_key,
+            "shards_total": self.shards_total,
+            "shards_cached": self.shards_cached,
+            "shards_executed": self.shards_executed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "interrupted": self.interrupted,
+            "wall_s": self.wall_s,
+        }
+
+
+def _records_fingerprint(shard_records: Sequence[List[Any]]) -> str:
+    """SHA-256 over the canonical JSON of every record, in trial order.
+
+    Hashed per *record* (the flat trial stream), not per shard: the
+    fingerprint is invariant to how the grid was partitioned, so plans
+    differing only in ``shard_size`` -- or a resumed run whose shards came
+    half from cache, half from execution -- fingerprint identically.
+    Records are JSON-native by the runner's contract, so cached and
+    freshly executed shards contribute identical bytes.
+    """
+    digest = hashlib.sha256(b"repro.plans.records:")
+    for records in shard_records:
+        for record in records:
+            digest.update(canonical_json(record).encode("utf-8"))
+            digest.update(b";")
+    return digest.hexdigest()
+
+
+def aggregate_cell(
+    analysis: str, records: Sequence[Sequence[Any]]
+) -> Dict[str, Any]:
+    """Fold one cell's ordered trial records into its aggregate row."""
+    trials = len(records)
+    if analysis == "survival":
+        exact = sum(1 for r in records if r[0] == "exact")
+        inexact = sum(1 for r in records if r[0] == "inexact")
+        degraded = sum(1 for r in records if r[0] == "degraded")
+        return {
+            "trials": trials,
+            "exact": exact,
+            "inexact": inexact,
+            "degraded": degraded,
+            "attempts": sum(r[1] for r in records),
+            "faults": sum(r[2] for r in records),
+            "bits": sum(r[3] for r in records),
+        }
+    correct = sum(1 for r in records if r[2])
+    total_bits = sum(r[0] for r in records)
+    return {
+        "trials": trials,
+        "total_bits": total_bits,
+        "mean_bits": total_bits / trials if trials else 0.0,
+        "max_messages": max((r[1] for r in records), default=0),
+        "success_rate": correct / trials if trials else 0.0,
+    }
+
+
+def _emit(event_type: str, **fields: Any) -> None:
+    if _OBS.active:
+        _OBS.tracer.emit(event_type, **fields)
+
+
+def run_plan(
+    plan: Plan,
+    *,
+    cache: Optional[ShardCache] = None,
+    use_env_cache: bool = True,
+    workers: Optional[int] = None,
+    executor: str = "process",
+    halt_after: Optional[int] = None,
+    compiled: Optional[CompiledPlan] = None,
+) -> PlanResult:
+    """Execute a plan to per-cell aggregates, reusing cached shards.
+
+    :param cache: explicit shard cache; ``None`` consults
+        ``$REPRO_PLAN_CACHE`` (unless ``use_env_cache`` is False), and a
+        still-``None`` cache simply executes everything.
+    :param workers: process-pool width for shard execution (``None``:
+        ``$REPRO_WORKERS`` or serial, as everywhere else).
+    :param executor: passed through to :func:`repro.perf.run_trials`.
+    :param halt_after: stop after this many shards have *executed* (cache
+        hits don't count) -- the deterministic kill point the resumability
+        gate uses to simulate an interrupted sweep.  The partial result has
+        ``interrupted=True`` and no aggregates.
+    :param compiled: pre-compiled plan (skips recompilation when the
+        caller already has one, e.g. ``repro plan show`` then ``run``).
+    """
+    start = time.perf_counter()
+    if compiled is None:
+        compiled = compile_plan(plan)
+    if cache is None and use_env_cache:
+        cache = cache_from_env()
+    _emit(
+        "plan.compile",
+        plan=plan.name,
+        shards=len(compiled.shards),
+        plan_key=compiled.plan_key,
+    )
+
+    shard_records: List[Optional[List[Any]]] = [None] * len(compiled.shards)
+    pending: List[Shard] = []
+    cached_count = 0
+    for shard in compiled.shards:
+        hit = cache.get(shard.key) if cache is not None else None
+        if hit is not None and len(hit) == shard.trials:
+            shard_records[shard.index] = hit
+            cached_count += 1
+            _emit("shard.finish", shard=shard.key, status="cached")
+        else:
+            pending.append(shard)
+
+    if halt_after is not None:
+        pending = pending[: max(0, halt_after)]
+        interrupted = bool(
+            cached_count + len(pending) < len(compiled.shards)
+        )
+    else:
+        interrupted = False
+
+    worker_count = resolve_workers(workers)
+    # Waves bound the work lost to a hard kill: results are cached and
+    # journaled after each wave, before the next dispatches.
+    wave_size = max(4, 2 * worker_count)
+    executed = 0
+    run_fn = functools.partial(execute_shard, compiled.shards)
+    for wave_start in range(0, len(pending), wave_size):
+        wave = pending[wave_start : wave_start + wave_size]
+        for shard in wave:
+            _emit("shard.start", shard=shard.key, cell=shard.cell.label())
+        run = run_trials(
+            run_fn,
+            [shard.index for shard in wave],
+            workers=worker_count,
+            executor=executor,
+        )
+        for shard, outcome in zip(wave, run.outcomes):
+            if not outcome.ok:
+                # Surface the first shard failure with its traceback; a
+                # failed shard is a bug (trials are pure), not a retryable
+                # condition, and caching it would poison future runs.
+                if outcome.exception is not None:
+                    raise outcome.exception
+                raise RuntimeError(
+                    f"shard {shard.index} ({shard.cell.label()}) failed:\n"
+                    f"{outcome.error}"
+                )
+            shard_records[shard.index] = outcome.value
+            executed += 1
+            if cache is not None:
+                cache.put(shard.key, outcome.value)
+                cache.append_journal(
+                    compiled.plan_key,
+                    {
+                        "shard": shard.key,
+                        "index": shard.index,
+                        "cell": shard.cell.label(),
+                        "trials": shard.trials,
+                        "status": "executed",
+                        "wall_s": outcome.duration_s,
+                    },
+                )
+            _emit(
+                "shard.finish",
+                shard=shard.key,
+                status="executed",
+                wall_s=outcome.duration_s,
+            )
+
+    wall = time.perf_counter() - start
+    hits = cache.hits if cache is not None else 0
+    misses = cache.misses if cache is not None else 0
+    if interrupted:
+        return PlanResult(
+            plan=plan,
+            plan_key=compiled.plan_key,
+            cells=None,
+            counters_sha256=None,
+            shards_total=len(compiled.shards),
+            shards_cached=cached_count,
+            shards_executed=executed,
+            cache_hits=hits,
+            cache_misses=misses,
+            interrupted=True,
+            wall_s=wall,
+            shard_records=shard_records,
+        )
+
+    cells: List[Dict[str, Any]] = []
+    for cell in compiled.cells:
+        records: List[Any] = []
+        for shard in compiled.shards:
+            if shard.cell.index == cell.index:
+                records.extend(shard_records[shard.index])
+        cells.append(
+            {
+                "protocol": cell.protocol.as_dict(),
+                "instance": {
+                    "universe_size": cell.instance.universe_size,
+                    "set_size": cell.instance.set_size,
+                    "overlap_fraction": cell.instance.overlap_fraction,
+                    "distribution": cell.instance.distribution.value,
+                },
+                "fault_spec": cell.fault_spec,
+                "aggregate": aggregate_cell(plan.analysis, records),
+            }
+        )
+    return PlanResult(
+        plan=plan,
+        plan_key=compiled.plan_key,
+        cells=cells,
+        counters_sha256=_records_fingerprint(shard_records),
+        shards_total=len(compiled.shards),
+        shards_cached=cached_count,
+        shards_executed=executed,
+        cache_hits=hits,
+        cache_misses=misses,
+        interrupted=False,
+        wall_s=wall,
+        shard_records=shard_records,
+    )
+
+
+# -- ad-hoc cached trial loops (the benchmarks harness path) ---------------
+
+
+def _adhoc_key(key: str, seeds: Sequence[int]) -> str:
+    from repro.plans.compile import CACHE_EPOCH, PLAN_SCHEMA_VERSION
+
+    import repro
+
+    doc = {
+        "plan_schema": PLAN_SCHEMA_VERSION,
+        "cache_epoch": CACHE_EPOCH,
+        "library": repro.__version__,
+        "key": key,
+        "seeds": list(seeds),
+    }
+    return hashlib.sha256(
+        ("repro.plans.adhoc:" + canonical_json(doc)).encode("utf-8")
+    ).hexdigest()
+
+
+def cached_trials(
+    fn,
+    seeds: Sequence[int],
+    *,
+    key: Optional[str] = None,
+    cache: Optional[ShardCache] = None,
+    workers: Optional[int] = None,
+) -> List[Any]:
+    """Run a trial loop through the executor with shard-cache semantics.
+
+    The opt-in path for sweeps whose trial function is code, not data (the
+    ``benchmarks/`` experiment harness): results are cached under
+    ``sha256(epoch, library version, key, seeds)`` when a cache is active
+    *and* the caller supplies a stable ``key`` naming the cell.  Because
+    the key cannot see inside ``fn``, staleness is the caller's contract:
+    the key must name everything that determines the results (the
+    experiment, its parameters), and the cache epoch/library version
+    handles the rest.  Non-JSON-serializable results silently skip the
+    cache (the loop still runs and returns them).
+    """
+    if cache is None:
+        cache = cache_from_env()
+    adhoc = _adhoc_key(key, seeds) if cache is not None and key is not None else None
+    if adhoc is not None:
+        hit = cache.get(adhoc)
+        if hit is not None and len(hit) == len(seeds):
+            _emit("shard.finish", shard=adhoc, status="cached")
+            # JSON round-trips lists for tuples; restore the tuple shape
+            # trial records conventionally use so cached and fresh values
+            # compare equal downstream.
+            return [
+                tuple(value) if isinstance(value, list) else value
+                for value in hit
+            ]
+    if adhoc is not None:
+        _emit("shard.start", shard=adhoc, cell=key)
+    run = run_trials(fn, list(seeds), workers=workers)
+    values = run.values()
+    if adhoc is not None:
+        try:
+            cache.put(adhoc, values)
+        except (TypeError, ValueError):
+            pass  # non-JSON trial values: executable but not cacheable
+        _emit("shard.finish", shard=adhoc, status="executed")
+    return values

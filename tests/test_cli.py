@@ -338,3 +338,100 @@ class TestTrace:
         )
         assert code == 1
         assert "cannot read" in output
+
+
+class TestPlan:
+    PLAN_FLAGS = [
+        "--protocols", "bucket", "--k", "8", "--log-universe", "10",
+        "--trials", "4", "--shard-size", "2", "--seed", "5",
+    ]
+
+    def test_show_lists_shards(self):
+        code, output = run_cli(["plan", "show"] + self.PLAN_FLAGS)
+        assert code == 0
+        assert "plan key:" in output
+        assert "2 shards" in output
+        assert output.count("shard ") == 2
+
+    def test_run_prints_fingerprint_and_aggregates(self):
+        code, output = run_cli(
+            ["plan", "run", "--executor", "serial", "--cache", "0"]
+            + self.PLAN_FLAGS
+        )
+        assert code == 0
+        assert "counters_sha256:" in output
+        assert "bucket n=1024 k=8" in output
+        assert "trials=4" in output
+
+    def test_halt_exits_3_then_resume_is_byte_identical(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        base_args = ["plan", "run", "--executor", "serial"] + self.PLAN_FLAGS
+
+        full = tmp_path / "full.json"
+        code, _ = run_cli(base_args + ["--cache", "0", "--out", str(full)])
+        assert code == 0
+
+        code, output = run_cli(
+            base_args + ["--cache", cache, "--halt-after", "1"]
+        )
+        assert code == 3
+        assert "resume" in output
+
+        resumed = tmp_path / "resumed.json"
+        stats = tmp_path / "stats.json"
+        code, output = run_cli(
+            base_args
+            + ["--cache", cache, "--out", str(resumed),
+               "--stats-out", str(stats)]
+        )
+        assert code == 0
+        assert "1 cached" in output
+        assert resumed.read_bytes() == full.read_bytes()
+
+        import json
+
+        stats_doc = json.loads(stats.read_text())
+        assert stats_doc["shards_cached"] == 1
+        assert stats_doc["shards_executed"] == 1
+
+    def test_plan_file_round_trip(self, tmp_path):
+        import json
+
+        from repro.plans import plan_to_dict
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["plan", "show"] + self.PLAN_FLAGS)
+        from repro.cli import _plan_from_args
+        import io as _io
+
+        plan = _plan_from_args(args, _io.StringIO())
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan_to_dict(plan)))
+        code, output = run_cli(["plan", "show", "--file", str(path)])
+        assert code == 0
+        assert "plan key:" in output
+
+    def test_unknown_protocol_exits_2(self):
+        code, output = run_cli(
+            ["plan", "run", "--protocols", "quantum", "--trials", "2"]
+        )
+        assert code == 2
+        assert "unknown protocol" in output
+
+    def test_bad_plan_file_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code, output = run_cli(["plan", "show", "--file", str(bad)])
+        assert code == 2
+        assert "not valid JSON" in output
+
+    def test_survival_plan_runs(self):
+        code, output = run_cli(
+            ["plan", "run", "--executor", "serial", "--cache", "0",
+             "--analysis", "survival", "--fault-specs", "bitflip@0.02",
+             "--max-attempts", "3", "--adaptive-budget"]
+            + self.PLAN_FLAGS
+        )
+        assert code == 0
+        assert "exact=" in output
+        assert "bitflip@0.02" in output

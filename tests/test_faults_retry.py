@@ -46,6 +46,59 @@ class TestRetryPolicy:
         assert [policy.delay(i) for i in range(4)] == [1.0, 2.0, 4.0, 8.0]
 
 
+class TestAdaptiveBudget:
+    def test_static_by_default(self):
+        policy = RetryPolicy(attempt_bit_budget=100)
+        assert policy.effective_budget(0, 0) == 100
+        assert policy.effective_budget(3, 50) == 100
+
+    def test_none_budget_stays_none(self):
+        policy = RetryPolicy(adaptive_budget=True)
+        assert policy.effective_budget(2, 10) is None
+
+    def test_first_attempt_uses_base_budget(self):
+        policy = RetryPolicy(attempt_bit_budget=100, adaptive_budget=True)
+        assert policy.effective_budget(0, 0) == 100
+
+    def test_scales_with_observed_fault_rate(self):
+        # budget * (1 + faults/attempts): each observed fault per past
+        # attempt buys another full budget's worth of headroom.
+        policy = RetryPolicy(attempt_bit_budget=100, adaptive_budget=True)
+        assert policy.effective_budget(1, 0) == 100
+        assert policy.effective_budget(1, 1) == 200
+        assert policy.effective_budget(2, 1) == 150
+        assert policy.effective_budget(2, 6) == 400
+
+    def test_adaptive_budget_rescues_faulty_session(self, rng):
+        """Under heavy flips a tight static budget aborts every attempt;
+        the adaptive policy widens the cutoff from observed fault counts
+        and converges instead."""
+        protocol = BucketVerifyProtocol(UNIVERSE, 32)
+        s, t = make_instance(rng, UNIVERSE, 32, 0.5)
+        clean = run_with_retry(protocol, s, t, seed=0)
+        budget = int(clean.total_bits * 1.05)
+
+        static = RetryPolicy(max_attempts=6, attempt_bit_budget=budget)
+        adaptive = RetryPolicy(
+            max_attempts=6, attempt_bit_budget=budget, adaptive_budget=True
+        )
+        flaky = BitFlip(0.01)
+        static_outcome = run_with_retry(
+            protocol, s, t, seed=1, policy=static,
+            plan=FaultPlan(flaky, seed=7),
+        )
+        adaptive_outcome = run_with_retry(
+            protocol, s, t, seed=1, policy=adaptive,
+            plan=FaultPlan(flaky, seed=7),
+        )
+        # Same fault stream; the adaptive run can only do better (fewer
+        # or equal aborted attempts) because its later cutoffs are wider.
+        static_aborts = static_outcome.failure_reasons.count("aborted")
+        adaptive_aborts = adaptive_outcome.failure_reasons.count("aborted")
+        assert adaptive_aborts <= static_aborts
+        assert adaptive_outcome.attempts <= static_outcome.attempts
+
+
 class TestAttemptSeed:
     def test_deterministic(self):
         assert attempt_seed(3, 1) == attempt_seed(3, 1)

@@ -143,3 +143,96 @@ class TestChecker:
         events, _ = traced_run(rng, 64, rounds=1)
         text = str(check_trace(events))
         assert "[PASS]" in text and "verification-tree" in text
+
+
+def _with_injected(events, extra):
+    """Splice synthetic events in just before protocol.finish, so the
+    rollup attributes them to the run."""
+    spliced = []
+    for event in events:
+        if event["type"] == "protocol.finish":
+            for i, synthetic in enumerate(extra):
+                spliced.append(dict(synthetic, ts=event["ts"], seq=-1 - i))
+        spliced.append(event)
+    return spliced
+
+
+def _scale_bits(events, factor):
+    """Scale both sides of the accounting identity so accounting still
+    balances while the bit total blows past the per-attempt cutoff."""
+    scaled = []
+    for event in events:
+        if event["type"] == "protocol.finish":
+            event = dict(event, total_bits=event["total_bits"] * factor)
+        elif event["type"] in ("message.open", "message.merge"):
+            event = dict(event, bits=event["bits"] * factor)
+        scaled.append(event)
+    return scaled
+
+
+FAULT = {"type": "fault.injected", "kind": "bitflip", "sender": "alice"}
+
+
+def _retry(attempt):
+    return {
+        "type": "retry.attempt",
+        "protocol": "verification-tree",
+        "attempt": attempt,
+        "reason": "verify-failed",
+    }
+
+
+class TestRetryAwareChecker:
+    def test_faulted_run_gets_the_retry_aware_bits_check(self, rng):
+        events, _ = traced_run(rng, 64, rounds=1)
+        report = check_trace(_with_injected(events, [FAULT]))
+        assert report.passed, str(report)
+        checks = {r.check for r in report.results}
+        assert checks == {"accounting", "rounds<=6r", "bits<=attempts*bound"}
+
+    def test_rounds_check_stays_informational_under_faults(self, rng):
+        events, _ = traced_run(rng, 64, rounds=1)
+        report = check_trace(_with_injected(events, [FAULT]))
+        (rounds_check,) = [
+            r for r in report.results if r.check == "rounds<=6r"
+        ]
+        assert rounds_check.passed
+        assert "informational" in rounds_check.detail
+
+    def test_bits_over_retry_budget_fails(self, rng):
+        events, _ = traced_run(rng, 64, rounds=1)
+        tampered = _with_injected(_scale_bits(events, 10_000), [FAULT])
+        report = check_trace(tampered)
+        assert not report.passed
+        assert any(
+            f.check == "bits<=attempts*bound" for f in report.failures
+        )
+
+    def test_retry_attempts_widen_the_budget(self, rng):
+        from repro.core.tree_protocol import expected_bits_bound
+
+        events, outcome = traced_run(rng, 64, rounds=1)
+        # Pick a factor putting the total past 1x the cutoff but inside
+        # the 3-attempt budget: with two attributed retry.attempt events
+        # the same trace must pass.
+        bound = expected_bits_bound(64, 1)
+        factor = (2 * bound) // outcome.total_bits
+        assert bound < factor * outcome.total_bits <= 3 * bound
+        tampered = _scale_bits(events, factor)
+
+        one_attempt = check_trace(_with_injected(tampered, [FAULT]))
+        assert any(
+            f.check == "bits<=attempts*bound" for f in one_attempt.failures
+        )
+
+        three_attempts = check_trace(
+            _with_injected(tampered, [FAULT, _retry(0), _retry(1)])
+        )
+        assert three_attempts.passed, str(three_attempts)
+
+    def test_fault_free_check_names_unchanged(self, rng):
+        # The enforced fault-free names are pinned API: dashboards and the
+        # CLI grep for them.
+        events, _ = traced_run(rng, 64, rounds=1)
+        checks = {r.check for r in check_trace(events).results}
+        assert checks == {"accounting", "rounds<=6r", "bits<=O(k log^(r) k)"}

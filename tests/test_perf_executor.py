@@ -46,6 +46,36 @@ class TestDeriveSeed:
         for index in range(100):
             assert 0 <= derive_seed(123, index) < 1 << 63
 
+    def test_pinned_lineage_values(self):
+        # The derived seed schedule is load-bearing for the plan layer's
+        # content-addressed shard cache: shard keys embed these values, so
+        # any drift in the derivation silently invalidates every cache and
+        # changes every experiment table.  Pin concrete values -- a failure
+        # here means a deliberate (epoch-bumping) break, never a refactor
+        # accident.
+        assert derive_seed(0, 0) == 1819438799946339871
+        assert derive_seed(0, 1) == 5314481483878345782
+        assert derive_seed(1, 0) == 2882150976574477689
+        assert derive_seed(42, 7) == 623293494264892931
+        assert derive_seed(1 << 62, 999) == 305755527477710396
+
+    def test_schedule_identical_across_executors(self):
+        # The per-trial seeds an executor hands out are a function of
+        # (root_seed, trial index) only -- never of worker count, executor
+        # kind, or chunking.
+        runs = [
+            run_trials(_identity_trial, 9, root_seed=5, workers=1,
+                       executor="serial"),
+            run_trials(_identity_trial, 9, root_seed=5, workers=3,
+                       executor="thread", chunk_size=2),
+            run_trials(_identity_trial, 9, root_seed=5, workers=3,
+                       executor="process", chunk_size=4),
+        ]
+        expected = [derive_seed(5, index) for index in range(9)]
+        for run in runs:
+            assert [outcome.seed for outcome in run.outcomes] == expected
+            assert run.values() == expected
+
 
 class TestResolveWorkers:
     def test_explicit_wins(self, monkeypatch):
@@ -68,6 +98,10 @@ class TestResolveWorkers:
 
 # ---------------------------------------------------------------------------
 # executor mechanics (cheap trial functions)
+
+
+def _identity_trial(seed: int) -> int:
+    return seed
 
 
 def _square(seed: int) -> int:
@@ -329,3 +363,52 @@ class TestBenchSchema:
 
     def test_non_dict_rejected(self):
         assert validate_bench_report([]) != []
+
+    def _plan_resume_entry(self):
+        return {
+            "ops_per_s": 4000.0,
+            "wall_s": 0.02,
+            "iterations": 2,
+            "shards": 6,
+            "cold_s": 0.02,
+            "warm_s": 0.001,
+            "speedup": 20.0,
+            "cache_hits": 6,
+            "cache_misses": 0,
+            "resume_identical": True,
+        }
+
+    def test_plan_resume_optional(self):
+        # Old v3 baselines predate the plan layer; absence must validate so
+        # `bench --compare` against them stays green.
+        report = self._minimal_report()
+        assert validate_bench_report(report) == []
+        report["micro"]["plan_resume"] = self._plan_resume_entry()
+        assert validate_bench_report(report) == []
+
+    def test_plan_resume_fields_required_when_present(self):
+        report = self._minimal_report()
+        entry = self._plan_resume_entry()
+        del entry["resume_identical"]
+        report["micro"]["plan_resume"] = entry
+        assert any(
+            "plan_resume.resume_identical" in p
+            for p in validate_bench_report(report)
+        )
+
+    def test_plan_resume_warnings(self):
+        from repro.perf.schema import bench_report_warnings
+
+        def plan_warnings(report):
+            return [
+                w for w in bench_report_warnings(report) if "plan_resume" in w
+            ]
+
+        report = self._minimal_report()
+        report["micro"]["plan_resume"] = self._plan_resume_entry()
+        assert plan_warnings(report) == []
+        report["micro"]["plan_resume"]["speedup"] = 2.0
+        report["micro"]["plan_resume"]["resume_identical"] = False
+        warnings = plan_warnings(report)
+        assert any("5x" in w for w in warnings)
+        assert any("resume_identical" in w for w in warnings)

@@ -1,0 +1,100 @@
+"""Tests for the content-addressed shard cache (``repro.plans.cache``)."""
+
+import json
+import os
+
+import pytest
+
+from repro.plans import PLAN_CACHE_ENV_VAR, ShardCache, cache_from_env
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+class TestShardCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        assert cache.get(KEY_A) is None
+        records = [[1, 2, True], [3, 4, False]]
+        cache.put(KEY_A, records)
+        assert cache.get(KEY_A) == records
+        assert cache.get(KEY_B) is None
+
+    def test_objects_are_sharded_by_prefix(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        cache.put(KEY_A, [])
+        assert (tmp_path / "objects" / KEY_A[:2] / f"{KEY_A}.json").exists()
+
+    def test_corrupt_object_is_a_miss(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        cache.put(KEY_A, [[1]])
+        path = tmp_path / "objects" / KEY_A[:2] / f"{KEY_A}.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(KEY_A) is None
+
+    def test_foreign_schema_is_a_miss(self, tmp_path):
+        """An object written under a different plan schema version must not
+        be served: a schema bump invalidates the whole store."""
+        cache = ShardCache(tmp_path)
+        cache.put(KEY_A, [[1]])
+        path = tmp_path / "objects" / KEY_A[:2] / f"{KEY_A}.json"
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["plan_schema"] = 999
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.get(KEY_A) is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        cache.put(KEY_A, [[1]])
+        path = tmp_path / "objects" / KEY_A[:2] / f"{KEY_A}.json"
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["key"] = KEY_B
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.get(KEY_A) is None
+
+    def test_journal_round_trip(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        plan_key = "p" * 64
+        cache.append_journal(plan_key, {"shard": 0, "key": KEY_A})
+        cache.append_journal(plan_key, {"shard": 1, "key": KEY_B})
+        entries = cache.read_journal(plan_key)
+        assert [e["shard"] for e in entries] == [0, 1]
+
+    def test_journal_skips_torn_tail(self, tmp_path):
+        """A kill mid-append leaves a torn final line; replay must skip it
+        instead of failing the whole resume."""
+        cache = ShardCache(tmp_path)
+        plan_key = "p" * 64
+        cache.append_journal(plan_key, {"shard": 0})
+        journal = tmp_path / "journal" / f"{plan_key}.jsonl"
+        with open(journal, "a", encoding="utf-8") as fh:
+            fh.write('{"shard": 1, "ke')
+        assert [e["shard"] for e in cache.read_journal(plan_key)] == [0]
+
+    def test_empty_journal(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        assert cache.read_journal("q" * 64) == []
+
+
+class TestCacheFromEnv:
+    def _with_env(self, monkeypatch, value):
+        if value is None:
+            monkeypatch.delenv(PLAN_CACHE_ENV_VAR, raising=False)
+        else:
+            monkeypatch.setenv(PLAN_CACHE_ENV_VAR, value)
+        return cache_from_env()
+
+    def test_unset_disables(self, monkeypatch):
+        assert self._with_env(monkeypatch, None) is None
+
+    def test_empty_disables(self, monkeypatch):
+        assert self._with_env(monkeypatch, "") is None
+
+    def test_zero_disables(self, monkeypatch):
+        assert self._with_env(monkeypatch, "0") is None
+
+    def test_path_enables(self, monkeypatch, tmp_path):
+        cache = self._with_env(monkeypatch, str(tmp_path / "cache"))
+        assert isinstance(cache, ShardCache)
+        cache.put(KEY_A, [[1]])
+        assert cache.get(KEY_A) == [[1]]

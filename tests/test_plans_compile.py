@@ -1,0 +1,176 @@
+"""Tests for the plan model and compiler (``repro.plans``).
+
+The load-bearing properties: compilation is a pure function of the plan
+document (same plan -> same keys, same seeds), trial seeds depend only on
+the cell and trial index (never on how trials are sharded), and shard keys
+are sensitive to everything that could change the records.
+"""
+
+import pytest
+
+from repro.plans import (
+    Plan,
+    ProtocolSpec,
+    RetrySpec,
+    cell_seed,
+    compile_plan,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.workloads import Distribution, WorkloadSpec
+
+
+def make_plan(**overrides):
+    base = dict(
+        name="unit",
+        protocols=(ProtocolSpec("bucket"),),
+        instances=(
+            WorkloadSpec(
+                universe_size=1 << 12,
+                set_size=8,
+                overlap_fraction=0.5,
+                distribution=Distribution.UNIFORM,
+            ),
+        ),
+        trials=10,
+        seed=3,
+        shard_size=4,
+    )
+    base.update(overrides)
+    return Plan(**base)
+
+
+class TestPlanModel:
+    def test_round_trip(self):
+        plan = make_plan(
+            analysis="survival",
+            fault_specs=("bitflip@0.02",),
+            retry=RetrySpec(max_attempts=3, attempt_bit_budget=4096,
+                            adaptive_budget=True),
+        )
+        assert plan_from_dict(plan_to_dict(plan)) == plan
+
+    def test_unknown_analysis_rejected(self):
+        with pytest.raises(ValueError):
+            make_plan(analysis="latency")
+
+    def test_cost_analysis_rejects_faults(self):
+        with pytest.raises(ValueError):
+            make_plan(analysis="cost", fault_specs=("bitflip@0.02",))
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            make_plan(protocols=())
+        with pytest.raises(ValueError):
+            make_plan(instances=())
+        with pytest.raises(ValueError):
+            make_plan(trials=0)
+        with pytest.raises(ValueError):
+            make_plan(shard_size=0)
+
+
+class TestCompile:
+    def test_deterministic(self):
+        a = compile_plan(make_plan())
+        b = compile_plan(make_plan())
+        assert a.plan_key == b.plan_key
+        assert [s.key for s in a.shards] == [s.key for s in b.shards]
+        assert [s.seeds for s in a.shards] == [s.seeds for s in b.shards]
+
+    def test_grid_enumeration(self):
+        plan = make_plan(
+            protocols=(ProtocolSpec("bucket"), ProtocolSpec("trivial")),
+            analysis="survival",
+            fault_specs=(None, "bitflip@0.02"),
+        )
+        compiled = compile_plan(plan)
+        assert len(compiled.cells) == 2 * 1 * 2
+        # protocols outer, fault specs inner
+        labels = [c.label() for c in compiled.cells]
+        assert labels == sorted(labels, key=labels.index)
+        assert compiled.cells[0].protocol.name == "bucket"
+        assert compiled.cells[0].fault_spec is None
+        assert compiled.cells[1].fault_spec == "bitflip@0.02"
+        assert compiled.cells[2].protocol.name == "trivial"
+
+    def test_shard_partitioning(self):
+        compiled = compile_plan(make_plan(trials=10, shard_size=4))
+        sizes = [s.trials for s in compiled.shards]
+        assert sizes == [4, 4, 2]
+        starts = [s.trial_start for s in compiled.shards]
+        assert starts == [0, 4, 8]
+
+    def test_trial_seeds_invariant_to_shard_size(self):
+        """The seed of trial i is a function of (plan seed, cell, i) only.
+
+        Resharding a plan must never change what gets simulated -- this is
+        what makes the aggregate fingerprint comparable across shard sizes.
+        """
+        fine = compile_plan(make_plan(trials=10, shard_size=1))
+        coarse = compile_plan(make_plan(trials=10, shard_size=10))
+        fine_seeds = [seed for s in fine.shards for seed in s.seeds]
+        coarse_seeds = [seed for s in coarse.shards for seed in s.seeds]
+        assert fine_seeds == coarse_seeds
+
+    def test_shard_key_changes_with_shard_size(self):
+        a = compile_plan(make_plan(shard_size=4))
+        b = compile_plan(make_plan(shard_size=5))
+        assert a.shards[0].key != b.shards[0].key
+
+    def test_shard_key_sensitivity(self):
+        base = compile_plan(make_plan())
+        for overrides in (
+            dict(seed=4),
+            dict(protocols=(ProtocolSpec("trivial"),)),
+            dict(
+                instances=(
+                    WorkloadSpec(
+                        universe_size=1 << 12,
+                        set_size=16,
+                        overlap_fraction=0.5,
+                        distribution=Distribution.UNIFORM,
+                    ),
+                )
+            ),
+        ):
+            other = compile_plan(make_plan(**overrides))
+            assert other.shards[0].key != base.shards[0].key
+
+    def test_shard_key_ignores_plan_name(self):
+        """Renaming a plan must still hit the cache: the name is not part
+        of what determines the records."""
+        a = compile_plan(make_plan(name="one"))
+        b = compile_plan(make_plan(name="two"))
+        assert [s.key for s in a.shards] == [s.key for s in b.shards]
+
+    def test_retry_spec_keyed_only_for_survival(self):
+        cost_a = compile_plan(make_plan(retry=RetrySpec(max_attempts=3)))
+        cost_b = compile_plan(make_plan(retry=RetrySpec(max_attempts=5)))
+        assert cost_a.shards[0].key == cost_b.shards[0].key
+
+        surv = dict(analysis="survival", fault_specs=("bitflip@0.02",))
+        surv_a = compile_plan(
+            make_plan(retry=RetrySpec(max_attempts=3), **surv)
+        )
+        surv_b = compile_plan(
+            make_plan(retry=RetrySpec(max_attempts=5), **surv)
+        )
+        assert surv_a.shards[0].key != surv_b.shards[0].key
+
+    def test_cell_seed_distinct_per_cell(self):
+        plan = make_plan(
+            protocols=(ProtocolSpec("bucket"), ProtocolSpec("trivial")),
+        )
+        compiled = compile_plan(plan)
+        roots = {cell_seed(plan.seed, c.canonical(plan)) for c in compiled.cells}
+        assert len(roots) == len(compiled.cells)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            compile_plan(make_plan(protocols=(ProtocolSpec("quantum"),)))
+
+    def test_bad_fault_spec_rejected(self):
+        with pytest.raises(ValueError):
+            compile_plan(
+                make_plan(analysis="survival", fault_specs=("bitflip@2.0",))
+            )

@@ -1,0 +1,207 @@
+"""Tests for the plan scheduler: cache reuse, resume bit-identity, and the
+determinism contract (aggregates depend only on the plan, never on workers,
+executor kind, shard size, cache state, or interruption points)."""
+
+import pytest
+
+from repro.plans import (
+    Plan,
+    ProtocolSpec,
+    RetrySpec,
+    ShardCache,
+    cached_trials,
+    compile_plan,
+    run_plan,
+)
+from repro.workloads import Distribution, WorkloadSpec
+
+
+def make_plan(**overrides):
+    base = dict(
+        name="sched-unit",
+        protocols=(ProtocolSpec("bucket"),),
+        instances=(
+            WorkloadSpec(
+                universe_size=1 << 10,
+                set_size=8,
+                overlap_fraction=0.5,
+                distribution=Distribution.UNIFORM,
+            ),
+        ),
+        trials=6,
+        seed=11,
+        shard_size=2,
+    )
+    base.update(overrides)
+    return Plan(**base)
+
+
+def run_serial(plan, **kwargs):
+    kwargs.setdefault("executor", "serial")
+    kwargs.setdefault("use_env_cache", False)
+    return run_plan(plan, **kwargs)
+
+
+class TestRunPlan:
+    def test_cold_run_aggregates(self):
+        result = run_serial(make_plan())
+        assert not result.interrupted
+        assert result.shards_total == 3
+        assert result.shards_executed == 3
+        assert result.shards_cached == 0
+        assert len(result.cells) == 1
+        agg = result.cells[0]["aggregate"]
+        assert agg["trials"] == 6
+        assert agg["total_bits"] > 0
+        assert 0.0 <= agg["success_rate"] <= 1.0
+        assert len(result.counters_sha256) == 64
+
+    def test_warm_run_executes_nothing(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        cold = run_serial(make_plan(), cache=cache)
+        warm = run_serial(make_plan(), cache=ShardCache(tmp_path))
+        assert warm.shards_executed == 0
+        assert warm.shards_cached == warm.shards_total == 3
+        assert warm.cache_hits == 3
+        assert warm.counters_sha256 == cold.counters_sha256
+        assert warm.cells == cold.cells
+
+    def test_no_cache_matches_cached(self, tmp_path):
+        cached = run_serial(make_plan(), cache=ShardCache(tmp_path))
+        plain = run_serial(make_plan())
+        assert plain.counters_sha256 == cached.counters_sha256
+        assert plain.cells == cached.cells
+
+    def test_halt_then_resume_bit_identical(self, tmp_path):
+        baseline = run_serial(make_plan())
+
+        halted = run_serial(
+            make_plan(), cache=ShardCache(tmp_path), halt_after=1
+        )
+        assert halted.interrupted
+        assert halted.shards_executed == 1
+        assert halted.cells is None
+        assert halted.counters_sha256 is None
+
+        resumed = run_serial(make_plan(), cache=ShardCache(tmp_path))
+        assert not resumed.interrupted
+        assert resumed.shards_cached == 1
+        assert resumed.shards_executed == 2
+        assert resumed.counters_sha256 == baseline.counters_sha256
+        assert resumed.cells == baseline.cells
+
+    def test_halt_after_zero(self, tmp_path):
+        halted = run_serial(
+            make_plan(), cache=ShardCache(tmp_path), halt_after=0
+        )
+        assert halted.interrupted
+        assert halted.shards_executed == 0
+
+    def test_fingerprint_invariant_to_shard_size(self):
+        fine = run_serial(make_plan(shard_size=1))
+        coarse = run_serial(make_plan(shard_size=6))
+        assert fine.shards_total == 6
+        assert coarse.shards_total == 1
+        assert fine.counters_sha256 == coarse.counters_sha256
+        assert fine.cells == coarse.cells
+
+    def test_process_pool_matches_serial(self):
+        serial = run_serial(make_plan())
+        pooled = run_plan(
+            make_plan(),
+            use_env_cache=False,
+            workers=2,
+            executor="process",
+        )
+        assert pooled.counters_sha256 == serial.counters_sha256
+        assert pooled.cells == serial.cells
+
+    def test_journal_written(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        result = run_serial(make_plan(), cache=cache)
+        entries = cache.read_journal(result.plan_key)
+        assert [e["index"] for e in entries] == [0, 1, 2]
+        assert all(e["status"] == "executed" for e in entries)
+
+    def test_stats_document(self, tmp_path):
+        result = run_serial(make_plan(), cache=ShardCache(tmp_path))
+        stats = result.stats()
+        assert stats["plan"] == "sched-unit"
+        assert stats["shards_total"] == 3
+        assert stats["interrupted"] is False
+
+    def test_survival_analysis(self):
+        plan = make_plan(
+            analysis="survival",
+            fault_specs=("bitflip@0.05",),
+            trials=4,
+            shard_size=4,
+            retry=RetrySpec(max_attempts=4, attempt_bit_budget=None),
+        )
+        result = run_serial(plan)
+        agg = result.cells[0]["aggregate"]
+        assert agg["trials"] == 4
+        assert agg["exact"] + agg["inexact"] + agg["degraded"] == 4
+        assert agg["attempts"] >= 4
+        assert result.cells[0]["fault_spec"] == "bitflip@0.05"
+
+    def test_precompiled_plan_reused(self):
+        plan = make_plan()
+        compiled = compile_plan(plan)
+        result = run_serial(plan, compiled=compiled)
+        assert result.plan_key == compiled.plan_key
+
+
+class TestCachedTrials:
+    def test_matches_direct_run(self):
+        values = cached_trials(_double, [3, 1, 2], cache=None)
+        assert values == [6, 2, 4]
+
+    def test_cache_round_trip(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        first = cached_trials(_double, [1, 2], key="unit/double", cache=cache)
+        again = cached_trials(_double, [1, 2], key="unit/double", cache=cache)
+        assert first == again == [2, 4]
+        assert cache.hits == 1
+
+    def test_key_distinguishes_cells(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        cached_trials(_double, [1], key="cell/a", cache=cache)
+        triple = cached_trials(_triple, [1], key="cell/b", cache=cache)
+        assert triple == [3]
+
+    def test_tuples_survive_the_cache(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        first = cached_trials(_pair, [5], key="unit/pair", cache=cache)
+        second = cached_trials(_pair, [5], key="unit/pair", cache=cache)
+        assert first == second == [(5, 10)]
+
+    def test_non_json_values_skip_cache(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        values = cached_trials(_opaque, [1], key="unit/opaque", cache=cache)
+        assert isinstance(values[0], set)
+        assert cache.hits == 0
+        again = cached_trials(_opaque, [1], key="unit/opaque", cache=cache)
+        assert isinstance(again[0], set)
+        assert cache.hits == 0
+
+    def test_no_key_means_no_cache(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        cached_trials(_double, [1], cache=cache)
+        assert cache.hits == cache.misses == 0
+
+
+def _double(seed):
+    return 2 * seed
+
+
+def _triple(seed):
+    return 3 * seed
+
+
+def _pair(seed):
+    return (seed, 2 * seed)
+
+
+def _opaque(seed):
+    return {seed}
