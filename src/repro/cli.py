@@ -24,6 +24,11 @@ Commands:
 * ``plan`` -- the declarative sweep driver (``repro.plans``): ``plan
   show`` compiles a grid and prints its shards; ``plan run`` executes it
   with content-addressed shard caching and bit-identical resume.
+* ``serve`` -- the asyncio intersection server (``repro.serve``):
+  ``serve run`` boots it on a socket; ``serve load`` replays a seeded
+  traffic mix against an in-process server and prints the capacity report
+  (p50/p99/p999, sessions/sec, coalesced-lane occupancy, shed count);
+  ``serve mix`` writes a mix-document template to edit.
 """
 
 from __future__ import annotations
@@ -359,6 +364,109 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
                 help="write cache/scheduler statistics (JSON) here",
             )
+
+    serve = sub.add_parser(
+        "serve",
+        help="the asyncio intersection server: run it, load-test it, "
+        "or write a traffic-mix template",
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    serve_run = serve_sub.add_parser(
+        "run", help="boot the server and serve until interrupted"
+    )
+    serve_run.add_argument("--host", default="127.0.0.1")
+    serve_run.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port"
+    )
+    serve_run.add_argument(
+        "--master-seed",
+        type=int,
+        default=0,
+        help="seed-lineage root for sessions opened without a seed",
+    )
+
+    serve_load = serve_sub.add_parser(
+        "load",
+        help="replay a seeded traffic mix against an in-process server "
+        "and print the capacity report",
+    )
+    serve_load.add_argument(
+        "--mix",
+        metavar="FILE",
+        default=None,
+        help="JSON mix document (see 'serve mix'); overrides the inline "
+        "mix flags below",
+    )
+    serve_load.add_argument("--seed", type=int, default=0, help="mix seed")
+    serve_load.add_argument("--sessions", type=int, default=32)
+    serve_load.add_argument("--ops", type=int, default=16, help="ops per session")
+    serve_load.add_argument(
+        "--log-universe", type=int, default=32, help="universe is 2^THIS"
+    )
+    serve_load.add_argument(
+        "--set-sizes",
+        default="64",
+        help="comma-separated k values, assigned round-robin to sessions",
+    )
+    serve_load.add_argument("--overlap", type=float, default=0.3)
+    serve_load.add_argument("--connections", type=int, default=8)
+    serve_load.add_argument(
+        "--pipeline", type=int, default=32, help="in-flight ops per connection"
+    )
+    serve_load.add_argument(
+        "--tick",
+        type=float,
+        default=0.002,
+        help="coalescer scheduling tick, seconds",
+    )
+    serve_load.add_argument(
+        "--max-pending-global", type=int, default=4096
+    )
+    serve_load.add_argument(
+        "--max-pending-per-session", type=int, default=512
+    )
+    serve_load.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="scalar baseline: one engine run per operation",
+    )
+    serve_load.add_argument(
+        "--check-serial",
+        action="store_true",
+        help="also replay the mix serially and compare aggregate "
+        "fingerprints (the determinism gate); exits nonzero on mismatch",
+    )
+    serve_load.add_argument(
+        "--require-no-shed",
+        action="store_true",
+        help="exit nonzero if any operation was shed",
+    )
+    serve_load.add_argument(
+        "--expect-shed",
+        action="store_true",
+        help="exit nonzero unless at least one operation was shed AND "
+        "every shed got a typed overloaded reply (the backpressure gate)",
+    )
+    serve_load.add_argument(
+        "--hist-out",
+        metavar="PATH",
+        default=None,
+        help="write the latency histogram (JSON) here",
+    )
+    serve_load.add_argument(
+        "--report-out",
+        metavar="PATH",
+        default=None,
+        help="write the full load report (JSON) here",
+    )
+
+    serve_mix = serve_sub.add_parser(
+        "mix", help="write a traffic-mix document template"
+    )
+    serve_mix.add_argument(
+        "--out", default="mix.json", help="where to write the template"
+    )
     return parser
 
 
@@ -476,6 +584,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_faults(args, out)
     if args.command == "plan":
         return _cmd_plan(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -981,6 +1091,180 @@ def _cmd_plan(args, out) -> int:
             json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.out}", file=out)
+    return 0
+
+
+def _load_mix_from_args(args, out):
+    """The mix under test: ``--mix FILE`` or the inline flags.
+
+    Returns ``None`` after printing the problem (callers exit 2).
+    """
+    import json
+
+    from repro.serve import LoadMix, mix_from_dict
+
+    if args.mix is not None:
+        document = _load_json_report(args.mix, out)
+        if document is None:
+            return None
+        try:
+            return mix_from_dict(document)
+        except (TypeError, ValueError) as exc:
+            print(f"{args.mix}: {exc}", file=out)
+            return None
+    try:
+        set_sizes = tuple(
+            int(value) for value in args.set_sizes.split(",") if value.strip()
+        )
+    except ValueError:
+        print(f"bad --set-sizes value {args.set_sizes!r}", file=out)
+        return None
+    try:
+        return LoadMix(
+            name="cli",
+            seed=args.seed,
+            sessions=args.sessions,
+            ops_per_session=args.ops,
+            universe_size=1 << args.log_universe,
+            set_sizes=set_sizes,
+            overlap=args.overlap,
+        )
+    except ValueError as exc:
+        print(f"bad mix: {exc}", file=out)
+        return None
+
+
+def _cmd_serve_load(args, out) -> int:
+    import json
+
+    from repro.serve import latency_histogram, run_load
+
+    mix = _load_mix_from_args(args, out)
+    if mix is None:
+        return 2
+    report = run_load(
+        mix,
+        coalesce=not args.no_coalesce,
+        tick_s=args.tick,
+        connections=args.connections,
+        pipeline=args.pipeline,
+        max_pending_global=args.max_pending_global,
+        max_pending_per_session=args.max_pending_per_session,
+        check_serial=args.check_serial,
+    )
+
+    mode = "coalesced" if report.coalesce else "scalar"
+    print(
+        f"mix {mix.name!r}: {report.sessions} sessions x "
+        f"{mix.ops_per_session} ops, {mode}",
+        file=out,
+    )
+    print(
+        f"  {report.ops_ok}/{report.ops_total} ok, {report.shed} shed, "
+        f"{len(report.errors)} errors in {report.wall_s:.3f}s",
+        file=out,
+    )
+    print(
+        f"  {report.sessions_per_sec:.0f} sessions/s, "
+        f"{report.ops_per_sec:.0f} ops/s",
+        file=out,
+    )
+    print(
+        f"  latency ms: p50={report.p50_ms:.2f} p99={report.p99_ms:.2f} "
+        f"p999={report.p999_ms:.2f}",
+        file=out,
+    )
+    if report.batches:
+        print(
+            f"  coalescer: {report.batches} batches, "
+            f"{report.coalesced_ops} coalesced + {report.scalar_ops} scalar "
+            f"ops, {report.lanes_per_batch:.0f} lanes/batch",
+            file=out,
+        )
+    print(f"  fingerprint: {report.fingerprint}", file=out)
+    if report.serial_match is not None:
+        print(f"  serial_match: {report.serial_match}", file=out)
+
+    if args.hist_out is not None:
+        with open(args.hist_out, "w", encoding="utf-8") as handle:
+            json.dump(latency_histogram(report.latencies_ms), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.hist_out}", file=out)
+    if args.report_out is not None:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.report_out}", file=out)
+
+    if args.check_serial and report.serial_match is not True:
+        print("FAIL: async run diverged from the serial reference", file=out)
+        return 1
+    if args.require_no_shed and report.shed > 0:
+        print(f"FAIL: {report.shed} operation(s) shed", file=out)
+        return 1
+    if args.expect_shed:
+        # Every non-ok reply must be a typed overloaded shed; anything in
+        # ``errors`` means an op was dropped without the typed contract.
+        if report.shed == 0:
+            print("FAIL: expected shedding, none happened", file=out)
+            return 1
+        if report.errors:
+            print(
+                f"FAIL: {len(report.errors)} non-overloaded error repl(ies) "
+                f"under overload",
+                file=out,
+            )
+            return 1
+        if report.ops_ok + report.shed != report.ops_total:
+            print("FAIL: some operations were never answered", file=out)
+            return 1
+        print(
+            f"backpressure OK: every one of the {report.shed} shed op(s) "
+            f"got a typed overloaded reply",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    import asyncio
+    import json
+
+    if args.serve_command == "load":
+        return _cmd_serve_load(args, out)
+
+    if args.serve_command == "mix":
+        from repro.serve import DEFAULT_MIX, mix_to_dict
+
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(mix_to_dict(DEFAULT_MIX), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out} (edit, then: repro serve load --mix {args.out})",
+              file=out)
+        return 0
+
+    from repro.serve import IntersectionServer, ServeConfig
+
+    async def _run_server() -> None:
+        server = IntersectionServer(
+            ServeConfig(
+                host=args.host,
+                port=args.port,
+                master_seed=args.master_seed,
+            )
+        )
+        await server.start()
+        host, port = server.address
+        print(f"serving on {host}:{port} (ctrl-c to stop)", file=out)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run_server())
+    except KeyboardInterrupt:
+        print("stopped", file=out)
     return 0
 
 

@@ -32,6 +32,8 @@ from repro.kernels.batch import (
     MIN_LANES,
     affine_image_batch,
     affine_image_batch_scalar,
+    affine_image_segments,
+    affine_image_segments_scalar,
     bucket_assign,
     bucket_assign_scalar,
     equal_mask,
@@ -53,6 +55,8 @@ __all__ = [
     "MIN_LANES",
     "affine_image_batch",
     "affine_image_batch_scalar",
+    "affine_image_segments",
+    "affine_image_segments_scalar",
     "bucket_assign",
     "bucket_assign_scalar",
     "equal_mask",

@@ -41,7 +41,7 @@ the E1 trial loop, so a kernel that changed a single wire bit cannot land.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.kernels.backend import note_route, numpy_or_none
 from repro.obs.state import STATE as _OBS
@@ -51,6 +51,8 @@ __all__ = [
     "MIN_LANES",
     "affine_image_batch",
     "affine_image_batch_scalar",
+    "affine_image_segments",
+    "affine_image_segments_scalar",
     "bucket_assign",
     "bucket_assign_scalar",
     "mod_batch",
@@ -120,9 +122,12 @@ def _as_lanes(np, values):
         return None
 
 
-def _m61_mulmod(np, scalar: int, lanes):
-    """``(scalar * x) mod M61`` on ``uint64`` lanes, exact for
-    ``scalar, x < M61``.
+def _m61_mulmod(np, mults, lanes):
+    """``(a * x) mod M61`` on ``uint64`` lanes, exact for ``a, x < M61``.
+
+    ``mults`` is a ``uint64`` scalar (one multiplier for every lane) or a
+    ``uint64`` array (a per-lane multiplier, the segmented-kernel case);
+    the limb arithmetic below is element-wise either way.
 
     Standard 32-bit split: with ``a = a_hi*2**32 + a_lo`` and
     ``x = x_hi*2**32 + x_lo``,
@@ -146,8 +151,8 @@ def _m61_mulmod(np, scalar: int, lanes):
     mask32 = u(0xFFFFFFFF)
     mask29 = u((1 << 29) - 1)
     m61 = u(M61)
-    a_hi = u(scalar >> 32)
-    a_lo = u(scalar & 0xFFFFFFFF)
+    a_hi = mults >> u(32)
+    a_lo = mults & mask32
     x_hi = lanes >> u(32)
     x_lo = lanes & mask32
     t0 = a_lo * x_lo
@@ -171,6 +176,15 @@ def _affine_lanes(np, arr, mult: int, shift: int, prime: int, range_size: int):
     * direct -- ``mult * max(x) + shift < 2**64`` (checked in exact Python
       arithmetic), so the whole affine form is one overflow-free lane
       expression;
+    * split-16 -- ``mult = m_hi * 2**16 + m_lo`` with ``x * 2**16`` reduced
+      mod ``p`` first: ``m_hi * ((x << 16) % p) + m_lo * x + shift`` is
+      congruent to ``mult * x + shift`` mod ``p`` and, when the exact
+      Python bound ``(mult >> 16) * (p - 1) + (mult & 0xFFFF) * max(x) +
+      shift < 2**64`` holds (so every intermediate fits a lane, requiring
+      also ``max(x) < 2**48`` for the shifted keys), evaluates
+      overflow-free.  This is the route for the pairwise-hash family over
+      word-sized universes, where ``p`` is just above ``n`` and a random
+      ``mult`` makes ``mult * x`` overflow the direct route almost surely;
     * Mersenne -- ``prime == M61`` with all operands below it (see
       :func:`_m61_mulmod`).
 
@@ -185,8 +199,16 @@ def _affine_lanes(np, arr, mult: int, shift: int, prime: int, range_size: int):
         out = u(mult) * arr + u(shift)
         if prime <= mult * max_x + shift:
             out = out % u(prime)
+    elif (
+        max_x < (1 << 48)
+        and (mult >> 16) * (prime - 1) + (mult & 0xFFFF) * max_x + shift
+        < _LANE_LIMIT
+    ):
+        step = (arr << u(16)) % u(prime)
+        out = u(mult >> 16) * step + u(mult & 0xFFFF) * arr + u(shift)
+        out = out % u(prime)
     elif prime == M61 and mult < M61 and shift < M61 and max_x < M61:
-        out = _m61_mulmod(np, mult, arr) + u(shift)
+        out = _m61_mulmod(np, u(mult), arr) + u(shift)
         out = (out >> u(61)) + (out & u(M61))
         out = np.where(out >= u(M61), out - u(M61), out)
     else:
@@ -224,6 +246,150 @@ def affine_image_batch(
     if _OBS.active:
         note_route("affine_image_batch", "numpy")
     return out.tolist()
+
+
+def affine_image_segments_scalar(segments) -> List[List[int]]:
+    """Exact per-segment evaluation: one scalar affine sweep per segment."""
+    return [
+        affine_image_batch_scalar(elements, mult, shift, prime, range_size)
+        for elements, mult, shift, prime, range_size in segments
+    ]
+
+
+def _segments_route(np, segs, plan, route: str, out) -> bool:
+    """Run one route's pooled lanes; fills ``out`` at the plan positions.
+
+    Returns False (leaving the positions for the scalar fallback) when the
+    pooled key list does not convert to ``uint64`` lanes -- the planner's
+    int-range checks make that unreachable for integer keys, so this only
+    guards exotic element types.
+    """
+    u = np.uint64
+    lengths = [len(segs[p][0]) for p in plan]
+    flat: List[int] = []
+    for p in plan:
+        flat.extend(segs[p][0])
+    try:
+        joined = np.asarray(flat, dtype=np.uint64)
+    except (OverflowError, TypeError, ValueError):
+        return False
+
+    def per_lane(values):
+        return np.repeat(np.asarray(values, dtype=np.uint64), lengths)
+
+    mults = [segs[p][1] for p in plan]
+    shifts = per_lane([segs[p][2] for p in plan])
+    primes = per_lane([segs[p][3] for p in plan])
+    if route == "direct":
+        packed = per_lane(mults) * joined + shifts
+        packed %= primes
+    elif route == "split16":
+        step = (joined << u(16)) % primes
+        packed = (
+            per_lane([m >> 16 for m in mults]) * step
+            + per_lane([m & 0xFFFF for m in mults]) * joined
+            + shifts
+        )
+        packed %= primes
+    else:  # m61
+        m61 = u(M61)
+        packed = _m61_mulmod(np, per_lane(mults), joined) + shifts
+        packed = (packed >> u(61)) + (packed & m61)
+        packed = np.where(packed >= m61, packed - m61, packed)
+    packed %= per_lane([segs[p][4] for p in plan])
+    images = packed.tolist()
+    cursor = 0
+    for p, length in zip(plan, lengths):
+        out[p] = images[cursor : cursor + length]
+        cursor += length
+    return True
+
+
+def affine_image_segments(segments) -> List[List[int]]:
+    """Many independent affine sweeps, each with its own parameters, in one
+    dispatch: ``out[i] = affine_image_batch(*segments[i])``.
+
+    ``segments`` is a sequence of ``(elements, mult, shift, prime,
+    range_size)`` tuples.  This is the cross-session coalescing kernel: a
+    server multiplexing many small sessions has per-session hash sweeps far
+    below :data:`MIN_LANES`, but their *aggregate* is thousands of lanes --
+    the amortization regime the batched-primitive literature targets
+    per-instance.  The numpy path concatenates every lane-safe segment into
+    one ``uint64`` array with per-lane parameter arrays (``np.repeat`` over
+    the segment lengths), so the whole group costs one vectorized pass
+    instead of one Python loop per session.
+
+    Value transparency matches :func:`affine_image_batch`: a segment rides
+    the lane path only when its whole affine form is provably overflow-free
+    (``mult * max(x) + shift < 2**64`` with moduli below ``2**64``); any
+    other segment -- huge parameters, negative or over-wide keys, numpy
+    absent or suppressed -- is evaluated by the exact scalar twin.  Output
+    order always matches input order, bit for bit identical either way.
+    """
+    segs = [
+        (
+            elements if isinstance(elements, list) else list(elements),
+            mult,
+            shift,
+            prime,
+            range_size,
+        )
+        for elements, mult, shift, prime, range_size in segments
+    ]
+    np = numpy_or_none()
+    # One position list per exactness route; each non-empty route costs one
+    # vectorized pass over its pooled lanes.  Routes mirror _affine_lanes:
+    # "direct" (whole affine form overflow-free), "split16" (limb-
+    # decomposed multiplier, the word-sized-universe pairwise-hash case),
+    # "m61" (Mersenne mulmod).  Proofs are per segment, in exact Python
+    # arithmetic, before any lane math runs; min/max and the pooled
+    # uint64 conversion are the only per-key passes, so planning stays
+    # cheap even for many tiny segments (the coalescing-server shape).
+    plans: Dict[str, List[int]] = {"direct": [], "split16": [], "m61": []}
+    if np is not None:
+        for position, (xs, mult, shift, prime, range_size) in enumerate(segs):
+            if not xs or prime >= _LANE_LIMIT or range_size >= _LANE_LIMIT:
+                continue
+            try:
+                min_x = min(xs)
+                max_x = max(xs)
+            except TypeError:
+                continue
+            if min_x < 0 or max_x >= _LANE_LIMIT:
+                continue
+            if mult * max_x + shift < _LANE_LIMIT:
+                plans["direct"].append(position)
+            elif (
+                max_x < (1 << 48)
+                and (mult >> 16) * (prime - 1)
+                + (mult & 0xFFFF) * max_x
+                + shift
+                < _LANE_LIMIT
+            ):
+                plans["split16"].append(position)
+            elif prime == M61 and mult < M61 and shift < M61 and max_x < M61:
+                plans["m61"].append(position)
+    total_lanes = sum(
+        len(segs[p][0]) for plan in plans.values() for p in plan
+    )
+    out: List[Optional[List[int]]] = [None] * len(segs)
+    if total_lanes >= MIN_LANES:
+        used_numpy = False
+        for route, plan in plans.items():
+            if plan and _segments_route(np, segs, plan, route, out):
+                used_numpy = True
+        if _OBS.active:
+            note_route(
+                "affine_image_segments", "numpy" if used_numpy else "scalar"
+            )
+    elif _OBS.active and segs:
+        note_route("affine_image_segments", "scalar")
+    for position, (xs, mult, shift, prime, range_size) in enumerate(segs):
+        if out[position] is None:
+            out[position] = affine_image_batch_scalar(
+                xs, mult, shift, prime, range_size
+            )
+    return out
 
 
 def bucket_assign(

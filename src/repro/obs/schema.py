@@ -40,6 +40,10 @@ Event types
                      (``protocol``, ``mode``)
 ``plan.compile``     a declarative plan compiled to shards
                      (``plan``, ``shards``; emitters add ``plan_key``)
+``serve.batch``      the serving layer's coalescer dispatched one
+                     cross-session batch (``ops``, ``lanes``, ``groups``
+                     -- operations batched, total kernel lanes, distinct
+                     (protocol, round-shape) groups)
 ``shard.start``      the scheduler dispatched one shard (``shard`` = its
                      content key; emitters add ``cell``)
 ``shard.finish``     one shard completed (``shard``, ``status`` --
@@ -69,8 +73,9 @@ __all__ = [
 
 #: Bump when the envelope or a type's required fields change.
 #: History: 1 = initial taxonomy; 2 = plan.compile / shard.start /
-#: shard.finish (the declarative-plans scheduler).
-TRACE_SCHEMA_VERSION = 2
+#: shard.finish (the declarative-plans scheduler); 3 = serve.batch (the
+#: serving layer's cross-session coalescer).
+TRACE_SCHEMA_VERSION = 3
 
 #: type -> required payload fields (envelope fields are implicit).
 EVENT_TYPES: Dict[str, tuple] = {
@@ -91,6 +96,7 @@ EVENT_TYPES: Dict[str, tuple] = {
     "retry.exhausted": ("protocol", "attempts"),
     "degraded.output": ("protocol", "mode"),
     "plan.compile": ("plan", "shards"),
+    "serve.batch": ("ops", "lanes", "groups"),
     "shard.start": ("shard",),
     "shard.finish": ("shard", "status"),
     "span.start": ("name",),

@@ -323,6 +323,77 @@ def _plan_resume_micro(quick: bool) -> Dict[str, Any]:
     }
 
 
+# -- serve-layer micro -----------------------------------------------------
+
+
+def _serve_throughput_micro(quick: bool) -> Dict[str, Any]:
+    """The cross-session coalescer's payoff, measured end to end.
+
+    One seeded :class:`~repro.serve.loadgen.LoadMix` is replayed against
+    an in-process server twice per trial -- coalescing off (every
+    operation takes the scalar engine path) and on (one-round hash sweeps
+    batched across sessions into single kernel calls) -- and
+    ``coalesce_speedup`` is the best-of-N scalar wall over the best-of-N
+    coalesced wall.  Best-of-N per mode because a single socket-bound
+    wall on a shared host carries scheduler noise that would swamp the
+    ratio; the best wall is the least-disturbed run of each mode.
+
+    ``batch_identical`` compares three aggregate fingerprints -- serial
+    reference, scalar server, coalesced server -- and is the contract
+    that makes the speedup claim meaningful: the batch path must be
+    bit-identical to the path it replaces.
+    """
+    from repro.serve import LoadMix, run_load, run_mix_serial
+
+    mix = LoadMix(
+        name="bench",
+        seed=11,
+        sessions=24 if quick else 64,
+        ops_per_session=8 if quick else 16,
+        set_sizes=(64,),
+    )
+    trials = 2 if quick else 3
+    run = functools.partial(run_load, mix, tick_s=0.001, pipeline=64)
+
+    scalar_walls, coalesced_walls = [], []
+    scalar_best = coalesced_best = None
+    for _ in range(trials):
+        scalar = run(coalesce=False)
+        scalar_walls.append(scalar.wall_s)
+        if scalar_best is None or scalar.wall_s < scalar_best.wall_s:
+            scalar_best = scalar
+        coalesced = run(coalesce=True)
+        coalesced_walls.append(coalesced.wall_s)
+        if coalesced_best is None or coalesced.wall_s < coalesced_best.wall_s:
+            coalesced_best = coalesced
+
+    serial_fingerprint = run_mix_serial(mix)["fingerprint"]
+    batch_identical = (
+        scalar_best.shed == coalesced_best.shed == 0
+        and not scalar_best.errors
+        and not coalesced_best.errors
+        and serial_fingerprint
+        == scalar_best.fingerprint
+        == coalesced_best.fingerprint
+    )
+    coalesced_wall = max(coalesced_best.wall_s, 1e-9)
+    lanes = coalesced_best.lanes_per_batch
+    return {
+        "ops_per_s": coalesced_best.ops_total / coalesced_wall,
+        "wall_s": sum(scalar_walls) + sum(coalesced_walls),
+        "iterations": 2 * trials,
+        "sessions_per_s": mix.sessions / coalesced_wall,
+        "p50_ms": coalesced_best.p50_ms,
+        "p99_ms": coalesced_best.p99_ms,
+        "scalar_wall_s": scalar_best.wall_s,
+        "coalesced_wall_s": coalesced_best.wall_s,
+        "coalesce_speedup": scalar_best.wall_s / coalesced_wall,
+        "lanes_per_batch": lanes if lanes is not None else 0.0,
+        "batch_identical": batch_identical,
+        "shed": scalar_best.shed + coalesced_best.shed,
+    }
+
+
 def _tree_trial(protocol: TreeProtocol, alice_set, bob_set, seed: int):
     """One E1-style trial: exact counters + correctness for one seed."""
     outcome = protocol.run(alice_set, bob_set, seed=seed)
@@ -498,6 +569,7 @@ def run_core_benchmarks(
             _time_op(_op_multiparty_round, target), backend=kernel_backend
         ),
         "plan_resume": _plan_resume_micro(quick),
+        "serve_throughput": _serve_throughput_micro(quick),
     }
 
     report: Dict[str, Any] = {

@@ -56,7 +56,12 @@ Schema history:
   ``resume_identical`` alongside the standard timing fields) -- optional
   rather than required so older v3 baselines still validate and
   ``--compare`` against them stays green (the compare gate reports a
-  missing-on-one-side micro as ``"new"``, never a regression).
+  missing-on-one-side micro as ``"new"``, never a regression).  The
+  serving layer adds a second optional micro on the same terms,
+  ``serve_throughput`` (the cross-session batch coalescer:
+  ``sessions_per_s`` / ``p99_ms`` / ``coalesce_speedup`` /
+  ``batch_identical`` / ``shed``, measured by replaying one seeded
+  traffic mix against an in-process server with coalescing on and off).
 * **v2** -- honest host parallelism: ``host.cpu_count_affinity`` (the CPUs
   the process is actually allowed to schedule on, which on pinned CI
   runners is smaller than ``os.cpu_count()``) joins ``host.cpu_count``;
@@ -96,6 +101,22 @@ _PLAN_RESUME_FIELDS = {
     "cache_hits": int,
     "cache_misses": int,
     "resume_identical": bool,
+}
+#: Extra fields the (optional) serve_throughput micro must carry when
+#: present.  ``coalesce_speedup`` is scalar-mode wall over coalesced-mode
+#: wall on the same seeded mix (best-of-N each); ``batch_identical`` is
+#: the coalesced-vs-scalar-vs-serial aggregate-fingerprint comparison.
+_SERVE_THROUGHPUT_FIELDS = {
+    "sessions_per_s": float,
+    "ops_per_s": float,
+    "p50_ms": float,
+    "p99_ms": float,
+    "scalar_wall_s": float,
+    "coalesced_wall_s": float,
+    "coalesce_speedup": float,
+    "lanes_per_batch": float,
+    "batch_identical": bool,
+    "shed": int,
 }
 _E1_FIELDS = {
     "trials": int,
@@ -198,6 +219,10 @@ def validate_bench_report(report: Any) -> List[str]:
                 _check_fields(
                     errors, f"micro.{name}", entry, _PLAN_RESUME_FIELDS
                 )
+            if name == "serve_throughput":
+                _check_fields(
+                    errors, f"micro.{name}", entry, _SERVE_THROUGHPUT_FIELDS
+                )
             if isinstance(entry, dict) and "backend" in entry:
                 if not isinstance(entry["backend"], str):
                     errors.append(
@@ -212,7 +237,7 @@ def validate_bench_report(report: Any) -> List[str]:
 def bench_report_warnings(report: Any) -> List[str]:
     """Non-fatal honesty checks on a (structurally valid) report.
 
-    Two today:
+    Three today:
 
     * a parallel-speedup claim made with more workers than the host can
       actually schedule is noise, not parallelism -- the classic way to
@@ -220,7 +245,10 @@ def bench_report_warnings(report: Any) -> List[str]:
       on a single-CPU CI runner;
     * a ``plan_resume`` micro whose warm-cache run is under 5x faster than
       cold, or whose killed-then-resumed fingerprint diverged -- the shard
-      cache's two load-bearing promises, surfaced on every bench run.
+      cache's two load-bearing promises, surfaced on every bench run;
+    * a ``serve_throughput`` micro whose coalescing speedup fell below the
+      2x target, or whose coalesced fingerprint diverged from the scalar
+      and serial paths -- the serving layer's two load-bearing promises.
 
     :returns: human-readable warnings; empty means nothing suspicious.
     """
@@ -263,5 +291,24 @@ def bench_report_warnings(report: Any) -> List[str]:
                 "micro.plan_resume.resume_identical is false: a "
                 "killed-then-resumed plan produced a different aggregate "
                 "fingerprint than the uninterrupted run"
+            )
+    serve = micro.get("serve_throughput") if isinstance(micro, dict) else None
+    if isinstance(serve, dict):
+        speedup = serve.get("coalesce_speedup")
+        if (
+            isinstance(speedup, (int, float))
+            and not isinstance(speedup, bool)
+            and speedup < 2.0
+        ):
+            warnings.append(
+                f"micro.serve_throughput.coalesce_speedup = {speedup:.2f} "
+                f"is below the 2x target; cross-session batching is not "
+                f"paying for itself on this host"
+            )
+        if serve.get("batch_identical") is False:
+            warnings.append(
+                "micro.serve_throughput.batch_identical is false: the "
+                "coalesced run's aggregate fingerprint diverged from the "
+                "scalar/serial reference paths"
             )
     return warnings

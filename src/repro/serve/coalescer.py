@@ -1,0 +1,470 @@
+"""Cross-session batch coalescing: the server's perf core.
+
+A single small session never crosses the kernel layer's ``MIN_LANES``
+threshold -- a ``k = 64`` one-round exchange hashes 128 keys total, right
+at the cliff, and every protocol-side sweep runs scalar.  But a server
+multiplexing hundreds of such sessions sees the same sweep *shape*
+hundreds of times per scheduling tick.  This module exploits that:
+operations arriving within a tick are grouped by (protocol, round-shape)
+and their Carter-Wegman hash sweeps -- each with its own session-derived
+``(mult, shift, prime, range)`` -- are dispatched as **one**
+:func:`repro.kernels.affine_image_segments` call, the amortization regime
+Saglam-Tardos and Huang-Pettie-Zhang reach per-instance, reached here by
+aggregate traffic.
+
+**Bit identity is the contract.**  The batched executor
+(:func:`one_round_batch_results`) re-derives exactly the coins the engine
+path would draw (same ``SharedRandomness`` labels, same hot-cached
+``sample_pairwise_hash``), computes the same outputs, and charges the
+exact wire cost the engine's transcript would have counted (gamma-coded
+count + fixed-width run per message, 2 messages).  The equivalence suite
+(``tests/test_serve_coalescer.py``) pins every field of
+:class:`~repro.core.api.IntersectionResult` against the per-session
+scalar path; a coalesced answer that differs by one bit is a test
+failure, not a rounding note.
+
+Only the one-round shape (effective ``rounds == 1``, shared coins, not
+amplified) coalesces today; everything else takes the per-session scalar
+path inside the same drain loop, so enabling coalescing never changes
+*what* is computed, only how many Python dispatches it costs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.api import IntersectionResult
+from repro.core.tradeoff import optimal_rounds
+from repro.hashing.families import collision_free_range
+from repro.hashing.pairwise import sample_pairwise_hash
+from repro.kernels import affine_image_segments
+from repro.obs import metrics as _metrics
+from repro.obs.state import STATE as _OBS
+from repro.protocols.base import validate_set_pair
+from repro.serve.registry import ServedSession, SessionRegistry
+from repro.serve.wire import ServeError
+from repro.session import IntersectionSession
+from repro.util.rng import SharedRandomness
+
+__all__ = [
+    "OP_KINDS",
+    "PendingOp",
+    "BatchCoalescer",
+    "coalescible",
+    "one_round_batch_results",
+    "run_scalar_operation",
+]
+
+#: The operation kinds a session serves (the wire ``op`` values).
+OP_KINDS = ("intersect", "size", "jaccard", "contains-any")
+
+#: The confidence exponent the one-round protocol runs with when selected
+#: by the tradeoff layer (its constructor default; the batch executor must
+#: match it coin for coin).
+_ONE_ROUND_CONFIDENCE = 3
+
+
+def coalescible(session: IntersectionSession) -> bool:
+    """True iff the session's fixed parameters select the one-round shape.
+
+    Mirrors :func:`repro.core.tradeoff.select_protocol`: shared coins, no
+    amplification, and an effective round budget of 1 mean every operation
+    runs ``OneRoundHashingProtocol`` -- the shape the batch executor
+    reproduces bit for bit.
+    """
+    if session.model != "shared" or session.amplified:
+        return False
+    rounds = (
+        session.rounds
+        if session.rounds is not None
+        else optimal_rounds(session.max_set_size)
+    )
+    return rounds == 1
+
+
+def _gamma_bits(value: int) -> int:
+    """Wire width of one Elias-gamma code (``BitWriter.write_gamma``)."""
+    return 2 * (value + 1).bit_length() - 1
+
+
+def one_round_batch_results(
+    requests: List[Tuple[int, int, Any, Any, int]],
+    *,
+    prevalidated: bool = False,
+) -> List[IntersectionResult]:
+    """Execute many one-round intersections as one kernel dispatch.
+
+    :param requests: ``(universe_size, max_set_size, alice_set, bob_set,
+        seed)`` per operation; sets may be any iterables of ints already
+        known to fit the session's universe/size bounds (validated again
+        here, exactly like the engine path).
+    :param prevalidated: skip re-validation; only for callers that already
+        ran :func:`validate_set_pair` on every pair (the coalescer does,
+        per-operation, so failures stay per-operation).
+    :returns: per-request :class:`IntersectionResult`, field-for-field
+        identical to ``compute_intersection(..., rounds=1)`` on the same
+        arguments.
+    """
+    segments: List[Tuple[List[int], int, int, int, int]] = []
+    prepared = []
+    for universe_size, max_set_size, alice_set, bob_set, seed in requests:
+        if prevalidated:
+            s, t = alice_set, bob_set
+        else:
+            s, t = validate_set_pair(
+                alice_set, bob_set, universe_size, max_set_size
+            )
+        range_size = collision_free_range(
+            2 * max_set_size, _ONE_ROUND_CONFIDENCE
+        )
+        # Exactly the coins the engine path draws: the protocol samples its
+        # shared hash from SharedRandomness(seed).stream("one-round/h").
+        hash_fn = sample_pairwise_hash(
+            universe_size, range_size, SharedRandomness(seed).stream("one-round/h")
+        )
+        # Membership below is per-element and the billed cost depends only
+        # on sizes, so lane order within a segment is free to be iteration
+        # order -- no sort needed for bit identity.
+        s_list = list(s)
+        t_list = list(t)
+        segments.append(
+            (s_list, hash_fn.mult, hash_fn.shift, hash_fn.prime, hash_fn.range_size)
+        )
+        segments.append(
+            (t_list, hash_fn.mult, hash_fn.shift, hash_fn.prime, hash_fn.range_size)
+        )
+        prepared.append((s_list, t_list, hash_fn))
+
+    images = affine_image_segments(segments)
+
+    results: List[IntersectionResult] = []
+    for index, (s_list, t_list, hash_fn) in enumerate(prepared):
+        images_s = images[2 * index]
+        images_t = images[2 * index + 1]
+        sent_by_bob = set(images_t)
+        sent_by_alice = set(images_s)
+        alice_output = frozenset(
+            x for x, image in zip(s_list, images_s) if image in sent_by_bob
+        )
+        bob_output = frozenset(
+            x for x, image in zip(t_list, images_t) if image in sent_by_alice
+        )
+        # The exact transcript cost: each party sends encode_fixed_list of
+        # its sorted hash values -- a gamma-coded count plus output_bits
+        # per value -- and (count + 1 >= 1, so) both payloads are nonempty:
+        # exactly 2 messages under the engine's merge convention.
+        width = hash_fn.output_bits
+        bits = (
+            _gamma_bits(len(s_list))
+            + len(s_list) * width
+            + _gamma_bits(len(t_list))
+            + len(t_list) * width
+        )
+        results.append(
+            IntersectionResult(
+                intersection=alice_output,
+                bits=bits,
+                messages=2,
+                protocol="one-round-hashing",
+                rounds_parameter=1,
+                parties_agree=alice_output == bob_output,
+            )
+        )
+    return results
+
+
+def _operation_value(
+    kind: str, alice_set, bob_set, result: IntersectionResult
+) -> Any:
+    """The kind-specific answer derived from one operation's result."""
+    if kind == "intersect":
+        return result.intersection
+    if kind == "size":
+        return len(result.intersection)
+    if kind == "jaccard":
+        union = len(frozenset(alice_set) | frozenset(bob_set))
+        if union == 0:
+            return Fraction(1)
+        return Fraction(len(result.intersection), union)
+    if kind == "contains-any":
+        return bool(result.intersection)
+    raise ServeError("bad-request", f"unknown operation kind {kind!r}")
+
+
+def run_scalar_operation(entry: ServedSession, kind: str, alice_set, bob_set):
+    """The per-session scalar path: the session facade runs the engine.
+
+    Returns ``(value, record)`` -- the kind-specific answer plus the
+    operation's accounting record.  This is both the coalescing-disabled
+    baseline and the fallback for non-coalescible shapes, so every
+    operation is answered from the same two pieces of state regardless of
+    execution strategy.
+    """
+    session = entry.session
+    try:
+        if kind == "intersect":
+            value: Any = session.intersect(alice_set, bob_set)
+        elif kind == "size":
+            value = session.intersection_size(alice_set, bob_set)
+        elif kind == "jaccard":
+            value = session.jaccard(alice_set, bob_set)
+        elif kind == "contains-any":
+            value = session.contains_any(alice_set, bob_set)
+        else:
+            raise ServeError("bad-request", f"unknown operation kind {kind!r}")
+    except (TypeError, ValueError) as exc:
+        raise ServeError("invalid-input", str(exc)) from None
+    return value, session.stats().history[-1]
+
+
+@dataclass
+class PendingOp:
+    """One accepted operation waiting for the next scheduling tick."""
+
+    entry: ServedSession
+    kind: str
+    alice_set: Any
+    bob_set: Any
+    future: "asyncio.Future"
+    request_id: Optional[int] = None
+
+
+@dataclass
+class CoalescerStats:
+    """Plain counters for reports (the metrics registry gets them too)."""
+
+    dispatches: int = 0
+    batches: int = 0
+    coalesced_ops: int = 0
+    scalar_ops: int = 0
+    lanes_total: int = 0
+    group_sizes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def lanes_per_batch(self) -> float:
+        if not self.batches:
+            return float("nan")
+        return self.lanes_total / self.batches
+
+    def as_dict(self) -> Dict[str, Any]:
+        lanes = self.lanes_per_batch
+        return {
+            "dispatches": self.dispatches,
+            "batches": self.batches,
+            "coalesced_ops": self.coalesced_ops,
+            "scalar_ops": self.scalar_ops,
+            "lanes_total": self.lanes_total,
+            "lanes_per_batch": lanes if lanes == lanes else None,
+        }
+
+
+class BatchCoalescer:
+    """The scheduling-tick drain loop feeding the batch executor.
+
+    Operations are submitted to an unbounded internal queue (bounds are the
+    server's job -- it sheds *before* submitting, so nothing here ever
+    drops work).  The drain task wakes on the first pending operation,
+    sleeps one scheduling tick to let concurrent sessions' operations
+    arrive, then drains everything queued and executes it: coalescible
+    operations as one grouped kernel dispatch, the rest through the scalar
+    path, all in submission order per session.
+    """
+
+    def __init__(
+        self,
+        registry: SessionRegistry,
+        *,
+        coalesce: bool = True,
+        tick_s: float = 0.002,
+    ) -> None:
+        self.registry = registry
+        self.coalesce = coalesce
+        self.tick_s = tick_s
+        self.stats = CoalescerStats()
+        self._queue: "asyncio.Queue[PendingOp]" = asyncio.Queue()
+        self._pending = 0
+        self._task: Optional["asyncio.Task"] = None
+
+    @property
+    def pending(self) -> int:
+        """Accepted-but-unanswered operations (the global queue depth)."""
+        return self._pending
+
+    async def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._drain_loop()
+            )
+
+    async def stop(self) -> None:
+        """Stop draining; queued operations fail with ``shutting-down``."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        while True:
+            try:
+                op = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            self._finish(
+                op, error=ServeError("shutting-down", "server is stopping")
+            )
+
+    def submit(self, op: PendingOp) -> None:
+        """Queue one operation (the server already applied its bounds)."""
+        self._pending += 1
+        op.entry.pending += 1
+        self._queue.put_nowait(op)
+
+    def _finish(
+        self, op: PendingOp, *, error: Optional[Exception] = None, value=None
+    ) -> None:
+        self._pending -= 1
+        op.entry.pending -= 1
+        if op.future.cancelled():
+            return
+        if error is not None:
+            op.future.set_exception(error)
+        else:
+            op.future.set_result(value)
+
+    async def _drain_loop(self) -> None:
+        while True:
+            first = await self._queue.get()
+            if self.tick_s > 0:
+                # The scheduling tick: let other sessions' operations land.
+                await asyncio.sleep(self.tick_s)
+            else:
+                await asyncio.sleep(0)
+            batch = [first]
+            while True:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self._execute(batch)
+
+    # -- execution (synchronous: one tick's work) ---------------------------
+
+    def _execute(self, batch: List[PendingOp]) -> None:
+        self.stats.dispatches += 1
+        if not self.coalesce:
+            for op in batch:
+                self._execute_scalar(op)
+            return
+
+        eligible: List[PendingOp] = []
+        for op in batch:
+            if op.kind in OP_KINDS and coalescible(op.entry.session):
+                eligible.append(op)
+            else:
+                self._execute_scalar(op)
+        if not eligible:
+            return
+        if len(eligible) == 1:
+            # A lone operation gains nothing from the batch plumbing.
+            self._execute_scalar(eligible[0])
+            return
+        self._execute_coalesced(eligible)
+
+    def _execute_scalar(self, op: PendingOp) -> None:
+        self.stats.scalar_ops += 1
+        _metrics.counter("serve.ops.scalar").inc()
+        try:
+            value, record = run_scalar_operation(
+                op.entry, op.kind, op.alice_set, op.bob_set
+            )
+        except ServeError as exc:
+            self._finish(op, error=exc)
+            return
+        self.registry.bill(op.entry, _record_as_result(record))
+        self._finish(op, value=(value, record))
+
+    def _execute_coalesced(self, ops: List[PendingOp]) -> None:
+        # Pass 1: validate and assign per-operation seeds in submission
+        # order; a session with several operations in one tick consumes
+        # consecutive operation indices, exactly as it would serially.
+        next_index: Dict[str, int] = {}
+        requests = []
+        runnable: List[Tuple[PendingOp, Any, Any]] = []
+        shape_counts: Dict[Tuple[int, int], int] = {}
+        for op in ops:
+            session = op.entry.session
+            key = op.entry.key
+            index = next_index.get(key, session.stats().operations)
+            try:
+                s, t = validate_set_pair(
+                    op.alice_set,
+                    op.bob_set,
+                    session.universe_size,
+                    session.max_set_size,
+                )
+            except (TypeError, ValueError) as exc:
+                self._finish(op, error=ServeError("invalid-input", str(exc)))
+                continue
+            next_index[key] = index + 1
+            requests.append(
+                (
+                    session.universe_size,
+                    session.max_set_size,
+                    s,
+                    t,
+                    session.operation_seed(index),
+                )
+            )
+            runnable.append((op, s, t))
+            shape = (session.universe_size, session.max_set_size)
+            shape_counts[shape] = shape_counts.get(shape, 0) + 1
+        if not runnable:
+            return
+
+        results = one_round_batch_results(requests, prevalidated=True)
+        lanes = sum(len(request[2]) + len(request[3]) for request in requests)
+        self.stats.batches += 1
+        self.stats.coalesced_ops += len(runnable)
+        self.stats.lanes_total += lanes
+        for (universe_size, max_set_size), count in shape_counts.items():
+            label = f"one-round/n={universe_size}/k={max_set_size}"
+            self.stats.group_sizes[label] = (
+                self.stats.group_sizes.get(label, 0) + count
+            )
+        _metrics.counter("serve.ops.coalesced").inc(len(runnable))
+        _metrics.counter("serve.batch.dispatches").inc()
+        _metrics.histogram("serve.batch.lanes").observe(lanes)
+        _metrics.histogram("serve.batch.ops").observe(len(runnable))
+        if _OBS.active:
+            _OBS.tracer.emit(
+                "serve.batch",
+                ops=len(runnable),
+                lanes=lanes,
+                groups=len(shape_counts),
+            )
+
+        # Pass 2: bill results back in the same submission order the seeds
+        # were assigned in, so per-session histories are order-identical to
+        # the scalar path.
+        for (op, s, t), result in zip(runnable, results):
+            op.entry.session.record_operation(op.kind, result)
+            self.registry.bill(op.entry, result)
+            record = op.entry.session.stats().history[-1]
+            value = _operation_value(op.kind, s, t, result)
+            self._finish(op, value=(value, record))
+
+
+def _record_as_result(record) -> IntersectionResult:
+    """Adapter so billing sees one shape for both execution paths."""
+    return IntersectionResult(
+        intersection=frozenset(),
+        bits=record.bits,
+        messages=record.messages,
+        protocol=record.protocol,
+        rounds_parameter=0,
+        parties_agree=True,
+    )

@@ -1,0 +1,561 @@
+"""Deterministic load generation for the serve layer.
+
+A :class:`LoadMix` is a small JSON-round-trippable document describing a
+traffic shape: how many sessions, which ``(n, k)`` shapes, how many
+operations per session, the operation-kind weights, and the overlap
+fraction between each pair of sets.  Everything a mix generates is a pure
+function of its ``seed`` through the shared ``derive_seed`` lineage --
+session ``i`` is seeded ``derive_seed(derive_seed(seed, 1), i)`` and its
+traffic stream ``derive_seed(derive_seed(seed, 2), i)`` -- so the same
+mix document replays bit-identical traffic anywhere: against the async
+server (coalesced or not), or through :func:`run_mix_serial`, the
+in-process serial reference runner the determinism gate compares
+fingerprints against.
+
+:func:`run_load` boots an in-process server, replays the mix over real
+socket connections, and reports the capacity numbers: p50/p99/p999
+latency, sessions/sec and ops/sec, shed count, and coalesced-lane
+occupancy.  Request frames are pre-encoded *before* the measured window
+so the numbers measure the server, not the client's JSON encoder.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.perf.executor import derive_seed
+from repro.serve.coalescer import OP_KINDS, run_scalar_operation
+from repro.serve.registry import SessionRegistry
+from repro.serve.server import IntersectionServer, ServeConfig
+from repro.serve.wire import FrameReader, encode_frame
+
+__all__ = [
+    "LoadMix",
+    "LoadReport",
+    "DEFAULT_MIX",
+    "mix_from_dict",
+    "mix_to_dict",
+    "generate_schedule",
+    "run_mix_serial",
+    "run_load",
+    "latency_histogram",
+]
+
+#: Default op-kind weights: the small-reply kinds dominate, as they do in
+#: reconciliation traffic (most queries ask "how similar / anything new?",
+#: few pull the full intersection).
+DEFAULT_OP_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("size", 0.4),
+    ("contains-any", 0.3),
+    ("jaccard", 0.2),
+    ("intersect", 0.1),
+)
+
+
+@dataclass(frozen=True)
+class LoadMix:
+    """A seeded traffic mix (JSON document; see :func:`mix_to_dict`)."""
+
+    name: str = "default"
+    seed: int = 0
+    sessions: int = 32
+    ops_per_session: int = 16
+    universe_size: int = 1 << 32
+    #: Session ``i`` gets ``set_sizes[i % len(set_sizes)]`` as its ``k``.
+    set_sizes: Tuple[int, ...] = (64,)
+    #: Fixed session round budget; 1 selects the coalescible one-round
+    #: shape (the default -- this is the amortization regime under test).
+    rounds: Optional[int] = 1
+    op_weights: Tuple[Tuple[str, float], ...] = DEFAULT_OP_WEIGHTS
+    #: Target fraction of the smaller set shared between the two sides.
+    overlap: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.sessions <= 0 or self.ops_per_session <= 0:
+            raise ValueError("sessions and ops_per_session must be positive")
+        if not self.set_sizes:
+            raise ValueError("set_sizes must be non-empty")
+        for kind, weight in self.op_weights:
+            if kind not in OP_KINDS:
+                raise ValueError(f"unknown op kind {kind!r} in op_weights")
+            if weight < 0:
+                raise ValueError("op weights must be non-negative")
+        # Canonical order: the weight sequence feeds rng.choices, so two
+        # mixes that differ only in op_weights ordering must generate the
+        # same schedule (a JSON round-trip loses dict order).
+        object.__setattr__(
+            self, "op_weights", tuple(sorted(self.op_weights))
+        )
+        if not 0 <= self.overlap <= 1:
+            raise ValueError("overlap must be in [0, 1]")
+
+    def session_key(self, index: int) -> str:
+        return f"s{index:04d}"
+
+    def session_seed(self, index: int) -> int:
+        return derive_seed(derive_seed(self.seed, 1), index)
+
+    def traffic_seed(self, index: int) -> int:
+        return derive_seed(derive_seed(self.seed, 2), index)
+
+    def session_set_size(self, index: int) -> int:
+        return self.set_sizes[index % len(self.set_sizes)]
+
+
+#: The stock mix: 32 sessions of one-round k=64 traffic (the coalescible
+#: shape), reply-heavy op weights, moderate overlap.
+DEFAULT_MIX = LoadMix()
+
+
+def mix_to_dict(mix: LoadMix) -> Dict[str, Any]:
+    """The mix as a JSON-ready document (inverse of :func:`mix_from_dict`)."""
+    return {
+        "name": mix.name,
+        "seed": mix.seed,
+        "sessions": mix.sessions,
+        "ops_per_session": mix.ops_per_session,
+        "universe_size": mix.universe_size,
+        "set_sizes": list(mix.set_sizes),
+        "rounds": mix.rounds,
+        "op_weights": {kind: weight for kind, weight in mix.op_weights},
+        "overlap": mix.overlap,
+    }
+
+
+def mix_from_dict(doc: Mapping[str, Any]) -> LoadMix:
+    """Parse a mix document (unknown keys rejected, defaults applied)."""
+    known = {
+        "name",
+        "seed",
+        "sessions",
+        "ops_per_session",
+        "universe_size",
+        "set_sizes",
+        "rounds",
+        "op_weights",
+        "overlap",
+    }
+    unknown = set(doc) - known
+    if unknown:
+        raise ValueError(f"unknown mix keys: {sorted(unknown)}")
+    kwargs: Dict[str, Any] = dict(doc)
+    if "set_sizes" in kwargs:
+        kwargs["set_sizes"] = tuple(kwargs["set_sizes"])
+    if "op_weights" in kwargs:
+        kwargs["op_weights"] = tuple(
+            sorted(kwargs["op_weights"].items())
+        )
+    return LoadMix(**kwargs)
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One pre-generated operation in a mix's global schedule."""
+
+    session_index: int
+    op_index: int
+    kind: str
+    alice: Tuple[int, ...]
+    bob: Tuple[int, ...]
+
+
+def generate_schedule(mix: LoadMix) -> List[ScheduledOp]:
+    """The mix's full operation schedule, in global submission order.
+
+    Order is op-index-major round-robin across sessions -- the worst case
+    for per-session batching and the natural case for *cross-session*
+    coalescing, which is the regime under test.  Per-session order is by
+    ``op_index``, which every executor must preserve.
+    """
+    kinds = [kind for kind, _ in mix.op_weights]
+    weights = [weight for _, weight in mix.op_weights]
+    per_session: List[List[ScheduledOp]] = []
+    for i in range(mix.sessions):
+        rng = random.Random(mix.traffic_seed(i))
+        k = mix.session_set_size(i)
+        ops = []
+        for j in range(mix.ops_per_session):
+            kind = rng.choices(kinds, weights=weights)[0]
+            a_n = rng.randint(0, k)
+            b_n = rng.randint(0, k)
+            alice = rng.sample(range(mix.universe_size), a_n)
+            shared_n = min(int(mix.overlap * b_n), a_n)
+            shared = rng.sample(alice, shared_n) if shared_n else []
+            fresh = []
+            taken = set(alice)
+            while len(fresh) < b_n - shared_n:
+                x = rng.randrange(mix.universe_size)
+                if x not in taken:
+                    taken.add(x)
+                    fresh.append(x)
+            ops.append(
+                ScheduledOp(
+                    session_index=i,
+                    op_index=j,
+                    kind=kind,
+                    alice=tuple(alice),
+                    bob=tuple(shared + fresh),
+                )
+            )
+        per_session.append(ops)
+    schedule: List[ScheduledOp] = []
+    for j in range(mix.ops_per_session):
+        for i in range(mix.sessions):
+            schedule.append(per_session[i][j])
+    return schedule
+
+
+def _open_registry_sessions(mix: LoadMix, registry: SessionRegistry) -> None:
+    for i in range(mix.sessions):
+        registry.open(
+            mix.session_key(i),
+            universe_size=mix.universe_size,
+            max_set_size=mix.session_set_size(i),
+            rounds=mix.rounds,
+            seed=mix.session_seed(i),
+        )
+
+
+def run_mix_serial(mix: LoadMix) -> Dict[str, Any]:
+    """The serial reference runner: same traffic, one thread, no server.
+
+    Returns the aggregate fingerprint plus totals.  This is the oracle the
+    determinism gate compares every async/coalesced run against.
+    """
+    registry = SessionRegistry(mix.seed)
+    _open_registry_sessions(mix, registry)
+    total_bits = 0
+    for op in generate_schedule(mix):
+        entry = registry.get(mix.session_key(op.session_index))
+        _, record = run_scalar_operation(
+            entry, op.kind, list(op.alice), list(op.bob)
+        )
+        total_bits += record.bits
+    return {
+        "fingerprint": registry.fingerprint(),
+        "ops": mix.sessions * mix.ops_per_session,
+        "total_bits": total_bits,
+    }
+
+
+@dataclass
+class LoadReport:
+    """One load run's capacity numbers."""
+
+    mix_name: str
+    coalesce: bool
+    sessions: int
+    ops_total: int
+    ops_ok: int
+    shed: int
+    errors: List[Dict[str, Any]] = field(default_factory=list)
+    wall_s: float = 0.0
+    sessions_per_sec: float = 0.0
+    ops_per_sec: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    p999_ms: float = 0.0
+    coalesced_ops: int = 0
+    scalar_ops: int = 0
+    lanes_per_batch: Optional[float] = None
+    batches: int = 0
+    fingerprint: str = ""
+    serial_match: Optional[bool] = None
+    latencies_ms: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "mix": self.mix_name,
+            "coalesce": self.coalesce,
+            "sessions": self.sessions,
+            "ops_total": self.ops_total,
+            "ops_ok": self.ops_ok,
+            "shed": self.shed,
+            "errors": len(self.errors),
+            "wall_s": self.wall_s,
+            "sessions_per_sec": self.sessions_per_sec,
+            "ops_per_sec": self.ops_per_sec,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "p999_ms": self.p999_ms,
+            "coalesced_ops": self.coalesced_ops,
+            "scalar_ops": self.scalar_ops,
+            "lanes_per_batch": self.lanes_per_batch,
+            "batches": self.batches,
+            "fingerprint": self.fingerprint,
+            "serial_match": self.serial_match,
+        }
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+#: Log-spaced latency bucket upper bounds, in milliseconds.
+HISTOGRAM_BUCKETS_MS: Tuple[float, ...] = (
+    0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+    100.0, 200.0, 500.0, 1000.0, float("inf"),
+)
+
+
+def latency_histogram(latencies_ms: Sequence[float]) -> Dict[str, Any]:
+    """Cumulative ``le``-bucket histogram (JSON-ready; the CI artifact)."""
+    counts = [0] * len(HISTOGRAM_BUCKETS_MS)
+    for value in latencies_ms:
+        for bucket_index, upper in enumerate(HISTOGRAM_BUCKETS_MS):
+            if value <= upper:
+                counts[bucket_index] += 1
+    return {
+        "unit": "ms",
+        "count": len(latencies_ms),
+        "buckets": [
+            {"le": "inf" if upper == float("inf") else upper, "count": count}
+            for upper, count in zip(HISTOGRAM_BUCKETS_MS, counts)
+        ],
+    }
+
+
+async def _client_open(
+    host: str,
+    port: int,
+    open_frames: List[bytes],
+) -> Tuple[FrameReader, asyncio.StreamWriter]:
+    reader, writer = await asyncio.open_connection(host, port)
+    frames = FrameReader(reader)
+    for frame in open_frames:
+        writer.write(frame)
+    await writer.drain()
+    for _ in open_frames:
+        reply = await frames.next()
+        if reply is None or not reply.get("ok"):
+            raise RuntimeError(f"session open failed: {reply!r}")
+    return frames, writer
+
+
+async def _client_run(
+    frames: FrameReader,
+    writer: asyncio.StreamWriter,
+    op_frames: List[Tuple[int, bytes]],
+    pipeline: int,
+    latencies_s: List[float],
+    counters: Dict[str, Any],
+) -> None:
+    pending: Dict[int, float] = {}
+    expected = len(op_frames)
+    window = asyncio.Semaphore(pipeline)
+
+    async def read_loop() -> None:
+        received = 0
+        while received < expected:
+            reply = await frames.next()
+            now = time.perf_counter()
+            if reply is None:
+                raise RuntimeError("server closed connection mid-load")
+            request_id = reply.get("id")
+            started = pending.pop(request_id)
+            latencies_s.append(now - started)
+            received += 1
+            if reply.get("ok"):
+                counters["ok"] += 1
+            else:
+                error = reply.get("error", {})
+                if error.get("type") == "overloaded":
+                    counters["shed"] += 1
+                else:
+                    counters["errors"].append(error)
+            window.release()
+
+    read_task = asyncio.get_running_loop().create_task(read_loop())
+    unflushed = 0
+    for request_id, frame in op_frames:
+        await window.acquire()
+        pending[request_id] = time.perf_counter()
+        writer.write(frame)
+        unflushed += 1
+        if unflushed >= 16:
+            await writer.drain()
+            unflushed = 0
+    await writer.drain()
+    await read_task
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+
+
+def _partition_sessions(mix: LoadMix, connections: int) -> List[List[int]]:
+    connections = max(1, min(connections, mix.sessions))
+    groups: List[List[int]] = [[] for _ in range(connections)]
+    for i in range(mix.sessions):
+        groups[i % connections].append(i)
+    return groups
+
+
+async def _run_load_async(
+    mix: LoadMix,
+    *,
+    coalesce: bool,
+    tick_s: float,
+    connections: int,
+    pipeline: int,
+    max_pending_global: int,
+    max_pending_per_session: int,
+    check_serial: bool,
+) -> LoadReport:
+    server = IntersectionServer(
+        ServeConfig(
+            coalesce=coalesce,
+            tick_s=tick_s,
+            max_pending_global=max_pending_global,
+            max_pending_per_session=max_pending_per_session,
+        )
+    )
+    await server.start()
+    host, port = server.address
+    try:
+        schedule = generate_schedule(mix)
+
+        # Pre-encode every frame before the measured window: the numbers
+        # should measure the server, not the client's JSON encoder.
+        groups = _partition_sessions(mix, connections)
+        session_to_group = {}
+        open_frames: List[List[bytes]] = []
+        op_frames: List[List[Tuple[int, bytes]]] = []
+        for group_index, group in enumerate(groups):
+            frames = []
+            for i in group:
+                session_to_group[i] = group_index
+                frames.append(
+                    encode_frame(
+                        {
+                            "op": "open",
+                            "session": mix.session_key(i),
+                            "universe": mix.universe_size,
+                            "k": mix.session_set_size(i),
+                            "rounds": mix.rounds,
+                            "seed": mix.session_seed(i),
+                        }
+                    )
+                )
+            open_frames.append(frames)
+            op_frames.append([])
+        for request_id, op in enumerate(schedule):
+            group_index = session_to_group[op.session_index]
+            op_frames[group_index].append(
+                (
+                    request_id,
+                    encode_frame(
+                        {
+                            "op": op.kind,
+                            "id": request_id,
+                            "session": mix.session_key(op.session_index),
+                            "alice": list(op.alice),
+                            "bob": list(op.bob),
+                        }
+                    ),
+                )
+            )
+
+        # Phase 1 (unmeasured): connect and open every session.
+        streams = await asyncio.gather(
+            *(
+                _client_open(host, port, open_frames[g])
+                for g in range(len(groups))
+            )
+        )
+
+        # Phase 2 (measured): replay the schedule.
+        latencies_s: List[float] = []
+        counters: Dict[str, Any] = {"ok": 0, "shed": 0, "errors": []}
+        started = time.perf_counter()
+        await asyncio.gather(
+            *(
+                _client_run(
+                    frames,
+                    writer,
+                    op_frames[g],
+                    pipeline,
+                    latencies_s,
+                    counters,
+                )
+                for g, (frames, writer) in enumerate(streams)
+            )
+        )
+        wall_s = time.perf_counter() - started
+
+        info = server.info_payload()
+    finally:
+        await server.stop()
+
+    latencies_ms = sorted(value * 1e3 for value in latencies_s)
+    ops_total = len(schedule)
+    coalescer = info["coalescer"]
+    report = LoadReport(
+        mix_name=mix.name,
+        coalesce=coalesce,
+        sessions=mix.sessions,
+        ops_total=ops_total,
+        ops_ok=counters["ok"],
+        shed=counters["shed"],
+        errors=counters["errors"],
+        wall_s=wall_s,
+        sessions_per_sec=mix.sessions / wall_s if wall_s > 0 else 0.0,
+        ops_per_sec=ops_total / wall_s if wall_s > 0 else 0.0,
+        p50_ms=_percentile(latencies_ms, 0.50),
+        p99_ms=_percentile(latencies_ms, 0.99),
+        p999_ms=_percentile(latencies_ms, 0.999),
+        coalesced_ops=coalescer["coalesced_ops"],
+        scalar_ops=coalescer["scalar_ops"],
+        lanes_per_batch=coalescer["lanes_per_batch"],
+        batches=coalescer["batches"],
+        fingerprint=info["fingerprint"],
+        latencies_ms=latencies_ms,
+    )
+    if check_serial:
+        reference = run_mix_serial(mix)
+        report.serial_match = (
+            report.shed == 0
+            and not report.errors
+            and reference["fingerprint"] == report.fingerprint
+        )
+    return report
+
+
+def run_load(
+    mix: LoadMix,
+    *,
+    coalesce: bool = True,
+    tick_s: float = 0.002,
+    connections: int = 8,
+    pipeline: int = 32,
+    max_pending_global: int = 4096,
+    max_pending_per_session: int = 512,
+    check_serial: bool = False,
+) -> LoadReport:
+    """Boot an in-process server and replay ``mix`` against it.
+
+    With ``check_serial`` the same mix is replayed through
+    :func:`run_mix_serial` and the aggregate fingerprints compared; a
+    mismatch (or any shed under the generous default bounds) sets
+    ``serial_match`` False.
+    """
+    return asyncio.run(
+        _run_load_async(
+            mix,
+            coalesce=coalesce,
+            tick_s=tick_s,
+            connections=connections,
+            pipeline=pipeline,
+            max_pending_global=max_pending_global,
+            max_pending_per_session=max_pending_per_session,
+            check_serial=check_serial,
+        )
+    )

@@ -28,6 +28,7 @@ from fractions import Fraction
 from typing import FrozenSet, Iterable, List, Optional
 
 from repro.core.api import IntersectionResult, compute_intersection
+from repro.perf.executor import derive_seed
 
 __all__ = ["IntersectionSession", "OperationRecord", "SessionStats"]
 
@@ -71,9 +72,15 @@ class SessionStats:
 
     @property
     def mean_bits(self) -> float:
-        """Average bits per operation (0 for an idle session)."""
+        """Average bits per operation (``nan`` for an idle session).
+
+        ``nan`` rather than 0: an idle session has no mean, and a
+        fabricated 0 would read as "operations are free" in any dashboard
+        averaging over sessions -- the same honesty convention as the
+        zero-trial ``success_rate`` in :mod:`repro.comm.stats`.
+        """
         if not self.operations:
-            return 0.0
+            return float("nan")
         return self.total_bits / self.operations
 
 
@@ -86,9 +93,10 @@ class IntersectionSession:
     :param model: ``"shared"`` or ``"private"`` (the private-coin seed
         transmission then recurs per operation, as it must).
     :param amplified: use the Section 4 amplification on every operation.
-    :param seed: master session seed; operation ``i`` uses the derived seed
-        ``hash(seed, i)`` so repeated identical queries still draw fresh
-        coins.
+    :param seed: master session seed; operation ``i`` uses
+        ``derive_seed(seed, i)`` (the shared SHA-256 lineage of
+        :mod:`repro.perf`) so repeated identical queries still draw fresh
+        coins and the whole session replays from one master seed.
     """
 
     def __init__(
@@ -109,10 +117,24 @@ class IntersectionSession:
         self.seed = seed
         self._stats = SessionStats()
 
+    def operation_seed(self, index: Optional[int] = None) -> int:
+        """The seed operation ``index`` draws its coins from (default: the
+        next operation).
+
+        Routed through the shared :func:`repro.perf.derive_seed` lineage --
+        the same SHA-256 schedule the trial executor and the plan layer
+        use -- so a session's whole traffic is replayable from its master
+        seed by anything that knows the operation index, independent of
+        which process (or which batch of a coalescing server) executes it.
+        """
+        if index is None:
+            index = self._stats.operations
+        return derive_seed(self.seed, index)
+
     def _operation_seed(self) -> int:
         # Deterministic per-operation derivation; avoids coin reuse across
         # operations without any renegotiation bits.
-        return (self.seed * 1_000_003 + self._stats.operations) & 0x7FFFFFFF
+        return self.operation_seed()
 
     def _run(self, kind: str, alice_set, bob_set) -> IntersectionResult:
         result = compute_intersection(
@@ -161,6 +183,17 @@ class IntersectionSession:
         return bool(self._run("contains-any", alice_set, bob_set).intersection)
 
     # -- accounting ----------------------------------------------------------
+
+    def record_operation(self, kind: str, result: IntersectionResult) -> None:
+        """Account one externally executed operation.
+
+        The coalescing server (:mod:`repro.serve`) computes operations for
+        many sessions in one batched kernel dispatch -- bit-identical to
+        what :meth:`intersect` and friends would have produced -- and bills
+        each result back to its session here, so cumulative accounting is
+        independent of *how* an operation was executed.
+        """
+        self._stats.record(kind, result)
 
     def stats(self) -> SessionStats:
         """The session's cumulative accounting (live object)."""

@@ -435,3 +435,81 @@ class TestPlan:
         assert code == 0
         assert "exact=" in output
         assert "bitflip@0.02" in output
+
+
+class TestServe:
+    # Tiny mixes keep these under a second each; the serving layer's own
+    # behavior is covered in tests/test_serve_*.py -- this class pins the
+    # CLI wiring: flags, gates, exit codes, artifact files.
+    SMALL = ["--sessions", "6", "--ops", "3", "--log-universe", "20",
+             "--set-sizes", "16", "--connections", "3", "--tick", "0.001"]
+
+    def test_mix_template_round_trips_through_load(self, tmp_path):
+        path = tmp_path / "mix.json"
+        code, output = run_cli(["serve", "mix", "--out", str(path)])
+        assert code == 0
+        assert str(path) in output
+        code, output = run_cli(
+            ["serve", "load", "--mix", str(path), "--tick", "0.001"]
+        )
+        assert code == 0
+        assert "coalesced" in output
+        assert "fingerprint:" in output
+
+    def test_inline_load_with_serial_check(self):
+        code, output = run_cli(
+            ["serve", "load", "--check-serial", "--require-no-shed"]
+            + self.SMALL
+        )
+        assert code == 0
+        assert "serial_match: True" in output
+        assert "18/18 ok, 0 shed" in output
+
+    def test_no_coalesce_runs_scalar(self):
+        code, output = run_cli(["serve", "load", "--no-coalesce"] + self.SMALL)
+        assert code == 0
+        assert "scalar" in output
+        assert "coalescer:" not in output
+
+    def test_expect_shed_gate_passes_under_overload(self):
+        code, output = run_cli(
+            ["serve", "load", "--expect-shed", "--max-pending-global", "2",
+             "--sessions", "8", "--ops", "6", "--log-universe", "20",
+             "--set-sizes", "16", "--pipeline", "48", "--tick", "0.05"]
+        )
+        assert code == 0
+        assert "backpressure OK" in output
+
+    def test_expect_shed_gate_fails_without_overload(self):
+        code, output = run_cli(["serve", "load", "--expect-shed"] + self.SMALL)
+        assert code == 1
+        assert "expected shedding" in output
+
+    def test_bad_mix_file_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code, output = run_cli(["serve", "load", "--mix", str(bad)])
+        assert code == 2
+        assert "not valid JSON" in output
+        unknown = tmp_path / "unknown.json"
+        unknown.write_text('{"name": "x", "sessons": 3}')
+        code, output = run_cli(["serve", "load", "--mix", str(unknown)])
+        assert code == 2
+        assert "unknown mix keys" in output
+
+    def test_artifact_files_are_valid_json(self, tmp_path):
+        import json
+
+        hist = tmp_path / "hist.json"
+        report = tmp_path / "report.json"
+        code, output = run_cli(
+            ["serve", "load", "--hist-out", str(hist),
+             "--report-out", str(report)] + self.SMALL
+        )
+        assert code == 0
+        histogram = json.loads(hist.read_text())
+        assert histogram["count"] == 18
+        assert histogram["buckets"][-1]["le"] == "inf"
+        document = json.loads(report.read_text())
+        assert document["ops_ok"] == 18
+        assert document["coalesce"] is True

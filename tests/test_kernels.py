@@ -14,6 +14,8 @@ from repro.kernels import (
     SCALAR_ENV_VAR,
     affine_image_batch,
     affine_image_batch_scalar,
+    affine_image_segments,
+    affine_image_segments_scalar,
     backend_name,
     bucket_assign,
     bucket_assign_scalar,
@@ -127,6 +129,89 @@ class TestAffineImageBatch:
         assert affine_image_batch((x for x in range(200)), 5, 3, 97, 10) == [
             (5 * x + 3) % 97 % 10 for x in range(200)
         ]
+
+
+class TestAffineImageSegments:
+    """The cross-session coalescing kernel: many per-segment parameter
+    tuples, one dispatch, bit-identical to per-segment scalar sweeps."""
+
+    PRIME_24 = 16777259  # next_prime(2**24)
+    PRIME_32 = 4294967311  # next_prime(2**32)
+
+    def _mixed_segments(self):
+        import random
+
+        rng = random.Random(5)
+        segments = []
+        for _ in range(40):
+            regime = rng.randrange(4)
+            if regime == 0:  # direct: small mult, 24-bit keys
+                prime, mult = self.PRIME_24, rng.randrange(1, 1 << 16)
+                xs = [rng.randrange(1 << 24) for _ in range(rng.randrange(0, 90))]
+            elif regime == 1:  # split16: 32-bit universe, random full mult
+                prime = self.PRIME_32
+                mult = rng.randrange(1, prime)
+                xs = [rng.randrange(1 << 32) for _ in range(rng.randrange(0, 90))]
+            elif regime == 2:  # m61
+                prime = M61
+                mult = rng.randrange(1, M61)
+                xs = [rng.randrange(1 << 50) for _ in range(rng.randrange(0, 90))]
+            else:  # beyond every lane route: scalar fallback
+                prime = (1 << 70) + 9
+                mult = rng.randrange(1, 1 << 68)
+                xs = [rng.randrange(1 << 62) for _ in range(rng.randrange(0, 40))]
+            shift = rng.randrange(prime)
+            segments.append((xs, mult, shift, prime, rng.randrange(2, 5000)))
+        return segments
+
+    def test_matches_scalar_twin_across_routes(self):
+        segments = self._mixed_segments()
+        assert affine_image_segments(segments) == affine_image_segments_scalar(
+            segments
+        )
+
+    def test_matches_per_key_formula(self):
+        segments = self._mixed_segments()
+        out = affine_image_segments(segments)
+        for (xs, mult, shift, prime, range_size), images in zip(segments, out):
+            assert images == [(mult * x + shift) % prime % range_size for x in xs]
+
+    def test_split16_regime_exact(self):
+        # The pairwise-hash family over a word-sized universe: prime just
+        # above 2**32 and a random full-range mult, so mult * max_x
+        # overflows the direct route and prime != M61 -- only the split-16
+        # limb route can take it off the scalar path.  The coalescing
+        # server's whole speedup on 2**32-universe traffic rides on this.
+        import random
+
+        rng = random.Random(11)
+        prime = self.PRIME_32
+        segments = []
+        for _ in range(32):
+            mult = rng.randrange(prime // 2, prime)  # guaranteed overflow
+            xs = [rng.randrange(1 << 32) for _ in range(64)]
+            segments.append((xs, mult, rng.randrange(prime), prime, 3083))
+        assert affine_image_segments(segments) == affine_image_segments_scalar(
+            segments
+        )
+
+    def test_empty_and_edge_segments(self):
+        segments = [
+            ([], 5, 3, 97, 10),
+            ([0], 5, 3, 97, 10),
+            ([96] * 200, 5, 3, 97, 10),
+            ([-1, 5], 7, 1, 101, 13),  # negative key: scalar fallback
+        ]
+        out = affine_image_segments(segments)
+        assert out == affine_image_segments_scalar(segments)
+        assert out[0] == []
+
+    def test_scalar_only_bit_identical(self):
+        segments = self._mixed_segments()
+        dispatched = affine_image_segments(segments)
+        with scalar_only():
+            forced = affine_image_segments(segments)
+        assert dispatched == forced
 
 
 class TestOtherKernels:

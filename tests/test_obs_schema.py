@@ -157,6 +157,70 @@ class TestFaultEventTypes:
                 "degraded.output"} <= seen
 
 
+class TestServeEventTypes:
+    """The serve.batch event added with the coalescing server."""
+
+    def test_type_is_in_the_closed_taxonomy(self):
+        assert EVENT_TYPES["serve.batch"] == ("ops", "lanes", "groups")
+
+    def test_well_formed_event_validates(self):
+        event = {"ts": 1.0, "seq": 1, "type": "serve.batch",
+                 "ops": 48, "lanes": 4096, "groups": 2}
+        assert validate_trace_events([event]) == []
+
+    @pytest.mark.parametrize("missing", ["ops", "lanes", "groups"])
+    def test_missing_payload_field_flagged(self, missing):
+        event = {"ts": 1.0, "seq": 1, "type": "serve.batch",
+                 **{f: 1 for f in EVENT_TYPES["serve.batch"] if f != missing}}
+        problems = validate_trace_events([event])
+        assert any(missing in p for p in problems)
+
+    def test_coalescer_emits_schema_clean_events(self, rng):
+        # Drive a real coalesced batch under an installed tracer and
+        # validate the emitted stream end to end.
+        import asyncio
+
+        from conftest import make_instance
+        from repro.obs.state import STATE
+        from repro.serve import BatchCoalescer, SessionRegistry
+        from repro.serve.coalescer import PendingOp
+
+        ring = RingBufferSink()
+        previous = STATE.tracer
+        STATE.install(Tracer([ring]))
+        try:
+            registry = SessionRegistry(0)
+            for i in range(4):
+                registry.open(f"s{i}", universe_size=1 << 20,
+                              max_set_size=64, rounds=1)
+
+            async def scenario():
+                coalescer = BatchCoalescer(registry, tick_s=0.0)
+                await coalescer.start()
+                futures = []
+                for i in range(4):
+                    s, t = make_instance(rng, 1 << 20, 64, 0.5)
+                    future = asyncio.get_running_loop().create_future()
+                    futures.append(future)
+                    coalescer.submit(
+                        PendingOp(entry=registry.get(f"s{i}"), kind="size",
+                                  alice_set=s, bob_set=t, future=future)
+                    )
+                await asyncio.gather(*futures)
+                await coalescer.stop()
+
+            asyncio.run(scenario())
+        finally:
+            STATE.install(previous)
+        batch_events = [
+            event for event in ring.events() if event["type"] == "serve.batch"
+        ]
+        assert batch_events, "coalesced dispatch must emit serve.batch"
+        assert validate_trace_events(ring.events()) == []
+        assert batch_events[0]["ops"] == 4
+        assert batch_events[0]["groups"] == 1
+
+
 class TestJsonl:
     def test_parse_round_trip(self, tmp_path):
         path = tmp_path / "t.jsonl"

@@ -412,3 +412,56 @@ class TestBenchSchema:
         warnings = plan_warnings(report)
         assert any("5x" in w for w in warnings)
         assert any("resume_identical" in w for w in warnings)
+
+    def _serve_throughput_entry(self):
+        return {
+            "ops_per_s": 10000.0,
+            "wall_s": 0.3,
+            "iterations": 6,
+            "sessions_per_s": 1200.0,
+            "p50_ms": 2.0,
+            "p99_ms": 8.0,
+            "scalar_wall_s": 0.2,
+            "coalesced_wall_s": 0.09,
+            "coalesce_speedup": 2.2,
+            "lanes_per_batch": 9000.0,
+            "batch_identical": True,
+            "shed": 0,
+        }
+
+    def test_serve_throughput_optional(self):
+        # Baselines predating the serve layer must stay valid (same
+        # optional-micro contract as plan_resume).
+        report = self._minimal_report()
+        assert validate_bench_report(report) == []
+        report["micro"]["serve_throughput"] = self._serve_throughput_entry()
+        assert validate_bench_report(report) == []
+
+    def test_serve_throughput_fields_required_when_present(self):
+        report = self._minimal_report()
+        entry = self._serve_throughput_entry()
+        del entry["batch_identical"]
+        report["micro"]["serve_throughput"] = entry
+        assert any(
+            "serve_throughput.batch_identical" in p
+            for p in validate_bench_report(report)
+        )
+
+    def test_serve_throughput_warnings(self):
+        from repro.perf.schema import bench_report_warnings
+
+        def serve_warnings(report):
+            return [
+                w
+                for w in bench_report_warnings(report)
+                if "serve_throughput" in w
+            ]
+
+        report = self._minimal_report()
+        report["micro"]["serve_throughput"] = self._serve_throughput_entry()
+        assert serve_warnings(report) == []
+        report["micro"]["serve_throughput"]["coalesce_speedup"] = 1.3
+        report["micro"]["serve_throughput"]["batch_identical"] = False
+        warnings = serve_warnings(report)
+        assert any("2x" in w for w in warnings)
+        assert any("batch_identical" in w for w in warnings)

@@ -1,0 +1,217 @@
+"""Bit-identity tests for the cross-session batch executor.
+
+The contract under test: :func:`one_round_batch_results` is
+field-for-field identical to ``compute_intersection(..., rounds=1)`` on
+the same arguments, and the coalescer's seed assignment makes a batched
+server session's history identical to the same session run serially.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from conftest import make_instance
+from repro.core.api import compute_intersection
+from repro.serve import BatchCoalescer, SessionRegistry, coalescible
+from repro.serve.coalescer import (
+    PendingOp,
+    one_round_batch_results,
+    run_scalar_operation,
+)
+from repro.serve.wire import ServeError
+from repro.session import IntersectionSession
+
+
+def _mixed_requests(seed: int):
+    rng = random.Random(seed)
+    requests = []
+    for universe, k in [(1 << 16, 8), (1 << 20, 64), (1 << 32, 64), (1 << 16, 200)]:
+        for trial in range(3):
+            s, t = make_instance(rng, universe, k, rng.choice([0.0, 0.3, 1.0]))
+            requests.append((universe, k, s, t, rng.randrange(1 << 60)))
+    return requests
+
+
+class TestBatchExecutor:
+    def test_identical_to_engine_path(self):
+        requests = _mixed_requests(1)
+        batched = one_round_batch_results(requests)
+        for (universe, k, s, t, seed), result in zip(requests, batched):
+            engine = compute_intersection(
+                s, t, universe_size=universe, max_set_size=k,
+                rounds=1, seed=seed,
+            )
+            assert result.intersection == engine.intersection
+            assert result.bits == engine.bits
+            assert result.messages == engine.messages
+            assert result.protocol == engine.protocol
+            assert result.rounds_parameter == engine.rounds_parameter
+            assert result.parties_agree == engine.parties_agree
+
+    def test_empty_sets(self):
+        (result,) = one_round_batch_results([(1 << 16, 8, set(), set(), 5)])
+        engine = compute_intersection(
+            set(), set(), universe_size=1 << 16, max_set_size=8,
+            rounds=1, seed=5,
+        )
+        assert result.intersection == frozenset()
+        assert result.bits == engine.bits
+
+    def test_validation_still_applies(self):
+        with pytest.raises(ValueError):
+            one_round_batch_results([(1 << 16, 8, {1 << 16}, set(), 0)])
+
+
+class TestCoalescible:
+    def test_one_round_shared_is_coalescible(self):
+        assert coalescible(IntersectionSession(1 << 20, 64, rounds=1))
+        # k=2: optimal_rounds(2) == 1, so the default is the one-round shape.
+        assert coalescible(IntersectionSession(1 << 20, 2))
+
+    def test_other_shapes_are_not(self):
+        assert not coalescible(IntersectionSession(1 << 20, 64, rounds=2))
+        assert not coalescible(IntersectionSession(1 << 20, 64))
+        assert not coalescible(
+            IntersectionSession(1 << 20, 64, rounds=1, model="private")
+        )
+        assert not coalescible(
+            IntersectionSession(1 << 20, 64, rounds=1, amplified=True)
+        )
+
+
+def _drive(registry, ops, *, coalesce: bool):
+    """Submit ops to a coalescer and drain until every future resolves."""
+
+    async def scenario():
+        coalescer = BatchCoalescer(registry, coalesce=coalesce, tick_s=0.0)
+        await coalescer.start()
+        futures = []
+        for key, kind, s, t in ops:
+            future = asyncio.get_running_loop().create_future()
+            futures.append(future)
+            coalescer.submit(
+                PendingOp(
+                    entry=registry.get(key),
+                    kind=kind,
+                    alice_set=s,
+                    bob_set=t,
+                    future=future,
+                )
+            )
+        outcomes = await asyncio.gather(*futures)
+        await coalescer.stop()
+        return outcomes, coalescer.stats
+
+    return asyncio.run(scenario())
+
+
+class TestCoalescerDrain:
+    def _ops(self, rng, sessions=6, per_session=4):
+        ops = []
+        for j in range(per_session):
+            for i in range(sessions):
+                s, t = make_instance(rng, 1 << 20, 64, 0.5)
+                kind = ["intersect", "size", "jaccard", "contains-any"][j % 4]
+                ops.append((f"s{i}", kind, s, t))
+        return ops
+
+    def _registry(self, sessions=6):
+        registry = SessionRegistry(0)
+        for i in range(sessions):
+            registry.open(
+                f"s{i}", universe_size=1 << 20, max_set_size=64, rounds=1
+            )
+        return registry
+
+    def test_coalesced_fingerprint_matches_scalar(self, rng):
+        ops = self._ops(rng)
+        scalar_registry = self._registry()
+        _, scalar_stats = _drive(scalar_registry, ops, coalesce=False)
+        coalesced_registry = self._registry()
+        _, coalesced_stats = _drive(coalesced_registry, ops, coalesce=True)
+        assert scalar_registry.fingerprint() == coalesced_registry.fingerprint()
+        assert coalesced_stats.coalesced_ops > 0
+        assert scalar_stats.coalesced_ops == 0
+        assert scalar_stats.scalar_ops == len(ops)
+
+    def test_histories_order_identical(self, rng):
+        # Several ops for ONE session inside one tick must consume
+        # consecutive operation seeds in submission order.
+        ops = []
+        for j in range(5):
+            s, t = make_instance(rng, 1 << 20, 64, 0.5)
+            ops.append(("s0", "size", s, t))
+        batched = self._registry(1)
+        _drive(batched, ops, coalesce=True)
+        serial = SessionRegistry(0)
+        serial.open("s0", universe_size=1 << 20, max_set_size=64, rounds=1)
+        for key, kind, s, t in ops:
+            run_scalar_operation(serial.get(key), kind, s, t)
+        batched_history = batched.get("s0").session.stats().history
+        serial_history = serial.get("s0").session.stats().history
+        assert batched_history == serial_history
+
+    def test_invalid_input_fails_only_that_op(self, rng):
+        s, t = make_instance(rng, 1 << 20, 64, 0.5)
+        registry = self._registry(2)
+
+        async def scenario():
+            coalescer = BatchCoalescer(registry, coalesce=True, tick_s=0.0)
+            await coalescer.start()
+            loop = asyncio.get_running_loop()
+            good, bad, good2 = loop.create_future(), loop.create_future(), loop.create_future()
+            coalescer.submit(
+                PendingOp(entry=registry.get("s0"), kind="size",
+                          alice_set=s, bob_set=t, future=good)
+            )
+            coalescer.submit(
+                PendingOp(entry=registry.get("s1"), kind="size",
+                          alice_set=[1 << 40], bob_set=[], future=bad)
+            )
+            coalescer.submit(
+                PendingOp(entry=registry.get("s1"), kind="size",
+                          alice_set=s, bob_set=t, future=good2)
+            )
+            value, _ = await good
+            value2, _ = await good2
+            with pytest.raises(ServeError) as excinfo:
+                await bad
+            await coalescer.stop()
+            return value, value2, excinfo.value
+
+        value, value2, error = asyncio.run(scenario())
+        assert value == value2 == len(s & t)
+        assert error.type == "invalid-input"
+
+    def test_non_coalescible_session_takes_scalar_path(self, rng):
+        registry = SessionRegistry(0)
+        registry.open("multi", universe_size=1 << 20, max_set_size=64, rounds=2)
+        registry.open("one", universe_size=1 << 20, max_set_size=64, rounds=1)
+        ops = []
+        for _ in range(3):
+            s, t = make_instance(rng, 1 << 20, 64, 0.5)
+            ops.append(("multi", "size", s, t))
+            ops.append(("one", "size", s, t))
+        _, stats = _drive(registry, ops, coalesce=True)
+        assert stats.scalar_ops >= 3
+        history = registry.get("multi").session.stats().history
+        assert all(record.protocol == "verification-tree" for record in history)
+
+    def test_stop_fails_queued_ops_typed(self, rng):
+        s, t = make_instance(rng, 1 << 20, 64, 0.5)
+        registry = self._registry(1)
+
+        async def scenario():
+            coalescer = BatchCoalescer(registry, coalesce=True, tick_s=60.0)
+            future = asyncio.get_running_loop().create_future()
+            coalescer.submit(
+                PendingOp(entry=registry.get("s0"), kind="size",
+                          alice_set=s, bob_set=t, future=future)
+            )
+            await coalescer.stop()
+            with pytest.raises(ServeError) as excinfo:
+                await future
+            return excinfo.value
+
+        assert asyncio.run(scenario()).type == "shutting-down"

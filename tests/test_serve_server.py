@@ -1,0 +1,231 @@
+"""End-to-end tests for the asyncio intersection server.
+
+Each scenario boots a real server on a loopback socket and speaks the
+frame protocol through :class:`FrameReader` -- the same path production
+clients take, including the backpressure and typed-shedding contract.
+"""
+
+import asyncio
+
+from conftest import make_instance
+from repro.serve import IntersectionServer, ServeConfig
+from repro.serve.wire import FrameReader, encode_frame
+
+
+async def _client(server):
+    host, port = server.address
+    reader, writer = await asyncio.open_connection(host, port)
+    return FrameReader(reader), writer
+
+
+async def _ask(frames, writer, request):
+    writer.write(encode_frame(request))
+    await writer.drain()
+    return await frames.next()
+
+
+def _with_server(config, scenario):
+    async def runner():
+        server = IntersectionServer(config)
+        await server.start()
+        try:
+            return await scenario(server)
+        finally:
+            await server.stop()
+
+    return asyncio.run(runner())
+
+
+class TestControlOps:
+    def test_ping_open_stats_close(self, rng):
+        s, t = make_instance(rng, 1 << 20, 64, 0.5)
+
+        async def scenario(server):
+            frames, writer = await _client(server)
+            assert (await _ask(frames, writer, {"op": "ping"}))["pong"]
+            opened = await _ask(
+                frames, writer,
+                {"op": "open", "session": "a", "universe": 1 << 20,
+                 "k": 64, "rounds": 1},
+            )
+            assert opened["ok"] and isinstance(opened["seed"], int)
+            reply = await _ask(
+                frames, writer,
+                {"op": "size", "id": 1, "session": "a",
+                 "alice": sorted(s), "bob": sorted(t)},
+            )
+            assert reply["ok"] and reply["result"] == len(s & t)
+            assert reply["protocol"] == "one-round-hashing"
+            assert reply["bits"] > 0 and reply["id"] == 1
+            stats = await _ask(
+                frames, writer, {"op": "stats", "session": "a"}
+            )
+            assert stats["stats"]["operations"] == 1
+            closed = await _ask(
+                frames, writer, {"op": "close", "session": "a"}
+            )
+            assert closed["ok"]
+            gone = await _ask(
+                frames, writer, {"op": "stats", "session": "a"}
+            )
+            assert gone["error"]["type"] == "unknown-session"
+            writer.close()
+
+        _with_server(ServeConfig(), scenario)
+
+    def test_typed_request_errors(self):
+        async def scenario(server):
+            frames, writer = await _client(server)
+            unknown = await _ask(
+                frames, writer,
+                {"op": "size", "session": "nope", "alice": [], "bob": []},
+            )
+            assert unknown["error"]["type"] == "unknown-session"
+            await _ask(
+                frames, writer,
+                {"op": "open", "session": "a", "universe": 1 << 10, "k": 8},
+            )
+            duplicate = await _ask(
+                frames, writer,
+                {"op": "open", "session": "a", "universe": 1 << 10, "k": 8},
+            )
+            assert duplicate["error"]["type"] == "session-exists"
+            bad = await _ask(
+                frames, writer,
+                {"op": "open", "session": "b", "universe": "big", "k": 8},
+            )
+            assert bad["error"]["type"] == "bad-request"
+            weird = await _ask(frames, writer, {"op": "frobnicate"})
+            assert weird["error"]["type"] == "bad-request"
+            writer.close()
+
+        _with_server(ServeConfig(), scenario)
+
+    def test_invalid_elements_get_typed_reply(self):
+        # Admission is shape-only; element bounds surface from the
+        # execution path as a typed invalid-input reply.
+        async def scenario(server):
+            frames, writer = await _client(server)
+            await _ask(
+                frames, writer,
+                {"op": "open", "session": "a", "universe": 1 << 10, "k": 8,
+                 "rounds": 1},
+            )
+            replies = []
+            for alice in ([1 << 30], ["x"]):
+                replies.append(
+                    await _ask(
+                        frames, writer,
+                        {"op": "size", "session": "a",
+                         "alice": alice, "bob": []},
+                    )
+                )
+            not_a_list = await _ask(
+                frames, writer,
+                {"op": "size", "session": "a", "alice": 3, "bob": []},
+            )
+            writer.close()
+            return replies, not_a_list
+
+        replies, not_a_list = _with_server(ServeConfig(), scenario)
+        assert all(reply["error"]["type"] == "invalid-input" for reply in replies)
+        assert not_a_list["error"]["type"] == "bad-request"
+
+    def test_bad_frame_answered_then_disconnected(self):
+        async def scenario(server):
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write((99999999).to_bytes(4, "big"))
+            await writer.drain()
+            reply = await FrameReader(reader).next()
+            assert reply["error"]["type"] == "bad-frame"
+            assert await reader.read() == b""
+            writer.close()
+
+        _with_server(ServeConfig(max_frame_bytes=1024), scenario)
+
+
+class TestBackpressure:
+    def test_per_session_overload_is_typed_and_scoped(self, rng):
+        s, t = make_instance(rng, 1 << 20, 64, 0.5)
+        config = ServeConfig(
+            tick_s=5.0,  # hold the batch so the queue visibly fills
+            max_pending_per_session=2,
+            max_pending_global=100,
+        )
+
+        async def scenario(server):
+            frames, writer = await _client(server)
+            await _ask(
+                frames, writer,
+                {"op": "open", "session": "hot", "universe": 1 << 20,
+                 "k": 64, "rounds": 1},
+            )
+            request = {"op": "size", "session": "hot",
+                       "alice": sorted(s), "bob": sorted(t)}
+            for index in range(5):
+                writer.write(encode_frame(dict(request, id=index)))
+            await writer.drain()
+            # The three over-bound ops are shed immediately; the two
+            # admitted ones complete when the tick fires at shutdown...
+            sheds = [await frames.next() for _ in range(3)]
+            info = await _ask(frames, writer, {"op": "info"})
+            writer.close()
+            return sheds, info
+
+        sheds, info = _with_server(config, scenario)
+        for reply in sheds:
+            assert reply["error"]["type"] == "overloaded"
+            assert reply["error"]["scope"] == "session"
+        assert info["info"]["shed"] == 3
+        assert info["info"]["pending"] == 2
+
+    def test_global_overload_scope(self, rng):
+        s, t = make_instance(rng, 1 << 20, 64, 0.5)
+        config = ServeConfig(
+            tick_s=5.0, max_pending_global=1, max_pending_per_session=100
+        )
+
+        async def scenario(server):
+            frames, writer = await _client(server)
+            for key in ("a", "b"):
+                await _ask(
+                    frames, writer,
+                    {"op": "open", "session": key, "universe": 1 << 20,
+                     "k": 64, "rounds": 1},
+                )
+            request = {"alice": sorted(s), "bob": sorted(t), "op": "size"}
+            writer.write(encode_frame(dict(request, session="a", id=0)))
+            writer.write(encode_frame(dict(request, session="b", id=1)))
+            await writer.drain()
+            shed = await frames.next()
+            writer.close()
+            return shed
+
+        shed = _with_server(config, scenario)
+        assert shed["error"]["type"] == "overloaded"
+        assert shed["error"]["scope"] == "server"
+
+    def test_admitted_ops_answered_after_eof(self, rng):
+        # EOF is not cancellation: ops admitted before the client stops
+        # sending still execute, bill, and get replies.
+        s, t = make_instance(rng, 1 << 20, 64, 0.5)
+
+        async def scenario(server):
+            frames, writer = await _client(server)
+            await _ask(
+                frames, writer,
+                {"op": "open", "session": "a", "universe": 1 << 20,
+                 "k": 64, "rounds": 1},
+            )
+            writer.write(
+                encode_frame({"op": "size", "id": 9, "session": "a",
+                              "alice": sorted(s), "bob": sorted(t)})
+            )
+            writer.write_eof()
+            reply = await frames.next()
+            writer.close()
+            return reply
+
+        reply = _with_server(ServeConfig(tick_s=0.001), scenario)
+        assert reply["ok"] and reply["result"] == len(s & t)

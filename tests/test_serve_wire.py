@@ -1,0 +1,143 @@
+"""Tests for the serve wire protocol (frames, typed errors, FrameReader)."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.wire import (
+    ERROR_TYPES,
+    MAX_FRAME_BYTES,
+    FrameError,
+    FrameReader,
+    ServeError,
+    decode_frame_payload,
+    encode_frame,
+    error_reply,
+    read_frame,
+)
+
+
+def _stream_with(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestFrames:
+    def test_round_trip(self):
+        frame = encode_frame({"op": "ping", "id": 3})
+        assert decode_frame_payload(frame[4:]) == {"op": "ping", "id": 3}
+
+    def test_header_is_big_endian_length(self):
+        frame = encode_frame({"a": 1})
+        assert int.from_bytes(frame[:4], "big") == len(frame) - 4
+
+    def test_compact_deterministic_encoding(self):
+        # sorted keys + no whitespace: identical objects encode identically,
+        # which the load generator's pre-encoding relies on.
+        assert encode_frame({"b": 2, "a": 1}) == encode_frame({"a": 1, "b": 2})
+        assert b" " not in encode_frame({"a": [1, 2], "b": {"c": 3}})
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(FrameError):
+            decode_frame_payload(b"[1,2,3]")
+        with pytest.raises(FrameError):
+            decode_frame_payload(b"not json")
+
+    def test_read_frame_clean_eof(self):
+        async def scenario():
+            return await read_frame(_stream_with(b""))
+
+        assert _run(scenario()) is None
+
+    def test_read_frame_torn_frame(self):
+        async def scenario():
+            whole = encode_frame({"op": "ping"})
+            with pytest.raises(FrameError):
+                await read_frame(_stream_with(whole[: len(whole) - 2]))
+
+        _run(scenario())
+
+    def test_read_frame_oversize(self):
+        async def scenario():
+            frame = encode_frame({"op": "ping"})
+            with pytest.raises(FrameError):
+                await read_frame(_stream_with(frame), max_bytes=4)
+
+        _run(scenario())
+
+
+class TestFrameReader:
+    def test_many_frames_one_chunk(self):
+        # The buffered reader's whole point: a pipelined burst arrives in
+        # one socket read and every frame slices out of the buffer.
+        frames = [encode_frame({"id": index}) for index in range(50)]
+
+        async def scenario():
+            reader = FrameReader(_stream_with(b"".join(frames)))
+            got = []
+            while True:
+                frame = await reader.next()
+                if frame is None:
+                    break
+                got.append(frame)
+            return got
+
+        assert _run(scenario()) == [{"id": index} for index in range(50)]
+
+    def test_same_contract_as_read_frame(self):
+        async def clean():
+            return await FrameReader(_stream_with(b"")).next()
+
+        assert _run(clean()) is None
+
+        async def torn():
+            whole = encode_frame({"op": "ping"})
+            with pytest.raises(FrameError):
+                await FrameReader(_stream_with(whole[:-1])).next()
+
+        _run(torn())
+
+        async def oversize():
+            frame = encode_frame({"op": "ping"})
+            with pytest.raises(FrameError):
+                await FrameReader(_stream_with(frame), max_bytes=4).next()
+
+        _run(oversize())
+
+
+class TestTypedErrors:
+    def test_error_reply_shape(self):
+        reply = error_reply("overloaded", "queue full", 7, scope="server")
+        assert reply == {
+            "ok": False,
+            "id": 7,
+            "error": {
+                "type": "overloaded",
+                "message": "queue full",
+                "scope": "server",
+            },
+        }
+
+    def test_reply_without_id(self):
+        assert "id" not in error_reply("bad-frame", "torn")
+
+    def test_closed_type_set(self):
+        with pytest.raises(ValueError):
+            error_reply("surprise", "nope")
+        with pytest.raises(ValueError):
+            ServeError("surprise", "nope")
+
+    def test_serve_error_to_reply(self):
+        exc = ServeError("unknown-session", "no session 'x'")
+        assert exc.reply(4)["error"]["type"] == "unknown-session"
+        assert exc.reply(4)["id"] == 4
+
+    def test_overloaded_is_a_known_type(self):
+        assert "overloaded" in ERROR_TYPES
+        assert MAX_FRAME_BYTES >= 1 << 20

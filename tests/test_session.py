@@ -1,8 +1,10 @@
 """Tests for the long-lived session façade."""
 
+import math
 from fractions import Fraction
 
 from conftest import make_instance
+from repro.perf.executor import derive_seed
 from repro.session import IntersectionSession
 
 
@@ -48,10 +50,24 @@ class TestAccounting:
         assert stats.total_bits == sum(r.bits for r in stats.history)
         assert stats.mean_bits == stats.total_bits / 3
 
-    def test_idle_session(self):
+    def test_idle_session_mean_is_nan(self):
+        # nan, not 0: an idle session has no mean, and a fabricated 0
+        # would read as "operations are free" in a dashboard averaging
+        # over sessions.
         session = IntersectionSession(1 << 10, 8)
         assert session.stats().operations == 0
-        assert session.stats().mean_bits == 0.0
+        assert math.isnan(session.stats().mean_bits)
+
+    def test_record_operation_bills_external_results(self, rng):
+        # The coalescing server executes operations out-of-session and
+        # bills them back; accounting must not care who executed.
+        s, t = make_instance(rng, 1 << 18, 64, 0.5)
+        direct = IntersectionSession(1 << 18, 64, seed=9)
+        billed = IntersectionSession(1 << 18, 64, seed=9)
+        result = direct._run("intersect", s, t)
+        billed.record_operation("intersect", result)
+        assert billed.stats().history == direct.stats().history
+        assert billed.stats().total_bits == direct.stats().total_bits
 
     def test_repeated_identical_queries_draw_fresh_coins(self, rng):
         # Same inputs twice: per-operation seeds differ, so transcripts may
@@ -75,6 +91,24 @@ class TestAccounting:
     def test_repr(self):
         session = IntersectionSession(1 << 10, 8)
         assert "ops=0" in repr(session)
+
+
+class TestSeedLineage:
+    def test_operation_seed_is_shared_lineage(self):
+        # The session's per-operation seed IS the shared derive_seed
+        # schedule -- pinned to a literal so any re-derivation through a
+        # different code path (the coalescing server, the plan layer)
+        # breaks loudly here.
+        session = IntersectionSession(1 << 10, 8, seed=0)
+        assert session.operation_seed(0) == derive_seed(0, 0)
+        assert session.operation_seed(0) == 1819438799946339871
+
+    def test_operation_seed_defaults_to_next(self, rng):
+        session = IntersectionSession(1 << 18, 64)
+        assert session.operation_seed() == derive_seed(0, 0)
+        s, t = make_instance(rng, 1 << 18, 64, 0.5)
+        session.intersect(s, t)
+        assert session.operation_seed() == derive_seed(0, 1)
 
 
 class TestSessionModes:
