@@ -410,6 +410,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated k values, assigned round-robin to sessions",
     )
     serve_load.add_argument("--overlap", type=float, default=0.3)
+    serve_load.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        help="session round budget r: 1 is the one-round coalescible "
+        "shape (default), >= 2 the multi-round verification tree, "
+        "0 means the optimal log* k",
+    )
+    serve_load.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="fault-spec string (name@rate+...:seed=N) applied to every "
+        "session: operations run the verification-driven retry loop and "
+        "the report prices retries and degraded replies",
+    )
     serve_load.add_argument("--connections", type=int, default=8)
     serve_load.add_argument(
         "--pipeline", type=int, default=32, help="in-flight ops per connection"
@@ -447,6 +463,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit nonzero unless at least one operation was shed AND "
         "every shed got a typed overloaded reply (the backpressure gate)",
+    )
+    serve_load.add_argument(
+        "--expect-degraded",
+        action="store_true",
+        help="exit nonzero unless at least one operation degraded AND "
+        "every degradation was a typed ok/degraded reply with zero "
+        "untyped errors (the fault-mix gate)",
     )
     serve_load.add_argument(
         "--hist-out",
@@ -1127,7 +1150,9 @@ def _load_mix_from_args(args, out):
             ops_per_session=args.ops,
             universe_size=1 << args.log_universe,
             set_sizes=set_sizes,
+            rounds=args.rounds if args.rounds > 0 else None,
             overlap=args.overlap,
+            faults=args.faults,
         )
     except ValueError as exc:
         print(f"bad mix: {exc}", file=out)
@@ -1159,8 +1184,12 @@ def _cmd_serve_load(args, out) -> int:
         f"{mix.ops_per_session} ops, {mode}",
         file=out,
     )
+    degraded_note = (
+        f", {report.degraded} degraded" if report.degraded else ""
+    )
     print(
-        f"  {report.ops_ok}/{report.ops_total} ok, {report.shed} shed, "
+        f"  {report.ops_ok}/{report.ops_total} ok{degraded_note}, "
+        f"{report.shed} shed, "
         f"{len(report.errors)} errors in {report.wall_s:.3f}s",
         file=out,
     )
@@ -1221,6 +1250,28 @@ def _cmd_serve_load(args, out) -> int:
         print(
             f"backpressure OK: every one of the {report.shed} shed op(s) "
             f"got a typed overloaded reply",
+            file=out,
+        )
+    if args.expect_degraded:
+        # The fault-mix gate: damage must surface as typed degradation
+        # (ok replies carrying degraded=true), never as untyped errors or
+        # silent drops.
+        if report.degraded == 0:
+            print("FAIL: expected degraded operations, none happened", file=out)
+            return 1
+        if report.errors:
+            print(
+                f"FAIL: {len(report.errors)} untyped error repl(ies) "
+                f"under faults",
+                file=out,
+            )
+            return 1
+        if report.ops_ok + report.shed != report.ops_total:
+            print("FAIL: some operations were never answered", file=out)
+            return 1
+        print(
+            f"fault degradation OK: {report.degraded} op(s) degraded to "
+            f"the typed certified-superset contract, zero untyped errors",
             file=out,
         )
     return 0

@@ -52,7 +52,7 @@ from repro.comm.engine import PartyContext, Recv, Send
 from repro.core.verification_tree import VerificationTree
 from repro.obs.state import STATE as _OBS
 from repro.hashing.pairwise import PairwiseHash, sample_pairwise_hash
-from repro.kernels import sort_ints
+from repro.kernels import affine_image_segments, sort_ints
 from repro.protocols.base import SetIntersectionProtocol
 from repro.protocols.basic_intersection import range_for_inverse_failure
 from repro.protocols.equality import bulk_verdicts, equality_error_exponent
@@ -62,7 +62,14 @@ from repro.util.bits import BitReader, BitWriter
 from repro.util.iterlog import ceil_log2, iterated_log, log_star
 from repro.util.rng import RandomStream
 
-__all__ = ["TreeProtocol", "StageStats", "expected_bits_bound"]
+__all__ = [
+    "TreeProtocol",
+    "StageStats",
+    "expected_bits_bound",
+    "AffineSweepRequest",
+    "FingerprintSweepRequest",
+    "resolve_sweeps",
+]
 
 
 def _leaf_plans_impl(
@@ -153,6 +160,71 @@ class StageStats:
     failed_nodes: int
     failed_leaves: int
     rerun_bits: int
+
+
+@dataclass(frozen=True)
+class AffineSweepRequest:
+    """Pending-sweep effect: evaluate many Carter-Wegman sweeps at once.
+
+    Yielded by :meth:`TreeProtocol.party_with_pending_sweeps` wherever the
+    inline party would call a hash kernel -- the leaf-bucket assignment and
+    the per-failed-leaf re-run sweeps.  The resumer answers with
+    ``affine_image_segments(segments)``: one image list per segment, in
+    segment order.  The engine never sees this effect; the inline wrapper
+    (:func:`resolve_sweeps`) resolves it on the spot, and the serve layer's
+    round-barrier scheduler pools requests from many lockstepped sessions
+    into a single segmented dispatch instead.
+
+    :param segments: ``(elements, mult, shift, prime, range_size)`` per
+        sweep, exactly the :func:`repro.kernels.affine_image_segments`
+        contract.
+    """
+
+    segments: tuple
+
+
+@dataclass(frozen=True)
+class FingerprintSweepRequest:
+    """Pending-sweep effect: one equality-sweep's bulk fingerprints.
+
+    The resumer answers with ``printer.values_of(values)`` -- or anything
+    value-identical, e.g. the pooled
+    :func:`repro.kernels.fingerprint_sweep_segments` path keyed by
+    ``printer.salt`` / ``printer.width``, which is how the round-barrier
+    scheduler evaluates every lockstepped session's level sweep in one
+    dispatch.
+
+    :param printer: the stage's :class:`~repro.protocols.fingerprint.
+        Fingerprinter` (already constructed, so the salt coins are drawn
+        identically on every execution path).
+    :param values: the level's node values (hashable, in node order).
+    """
+
+    printer: Fingerprinter
+    values: tuple
+
+
+def resolve_sweeps(gen: Generator) -> Generator:
+    """The scalar oracle for a pending-sweep party generator.
+
+    Forwards ``Send`` / ``Recv`` effects to the caller unchanged and
+    answers sweep requests inline with the very kernels the inline protocol
+    used before the seam existed -- so wrapping a party in
+    ``resolve_sweeps`` is bit-identical (coins, wire bytes, outputs) to the
+    pre-seam party, and the engine only ever sees engine effects.
+    """
+    try:
+        effect = next(gen)
+        while True:
+            if type(effect) is AffineSweepRequest:
+                effect = gen.send(affine_image_segments(effect.segments))
+            elif type(effect) is FingerprintSweepRequest:
+                effect = gen.send(effect.printer.values_of(effect.values))
+            else:
+                value = yield effect
+                effect = gen.send(value)
+    except StopIteration as stop:
+        return stop.value
 
 
 def expected_bits_bound(max_set_size: int, rounds: int) -> int:
@@ -279,6 +351,32 @@ class TreeProtocol(SetIntersectionProtocol):
         return level_value**self.confidence_exponent
 
     def _party_tree(self, ctx: PartyContext) -> Generator:
+        # The inline path: the pending-sweep generator with every sweep
+        # request resolved on the spot (the scalar oracle the batch
+        # executors are pinned against).
+        return (yield from resolve_sweeps(self.party_with_pending_sweeps(ctx)))
+
+    def party_with_pending_sweeps(self, ctx: PartyContext) -> Generator:
+        """One party of Algorithm 1 with its kernel sweeps left *pending*.
+
+        Identical to the engine-facing party except that every hash /
+        fingerprint sweep is yielded as an :class:`AffineSweepRequest` or
+        :class:`FingerprintSweepRequest` instead of computed inline; the
+        resumer sends the sweep results back into the generator.  All coins
+        are drawn inside the generator in the usual order, so any
+        value-faithful resumer -- :func:`resolve_sweeps` inline, or the
+        serve layer's round-barrier scheduler pooling many sessions per
+        dispatch -- produces bit-identical transcripts and outputs.
+
+        Only the ``r > 1`` tree shape is exposed this way (the ``r = 1``
+        base case already has a closed-form batch executor in
+        :mod:`repro.serve.coalescer`).
+        """
+        if self.rounds == 1:
+            raise ValueError(
+                "party_with_pending_sweeps requires rounds > 1; the r=1 "
+                "base case has its own closed-form batch executor"
+            )
         is_alice = ctx.role == "alice"
         own = frozenset(ctx.input)
         num_leaves = self.num_leaves
@@ -292,9 +390,20 @@ class TreeProtocol(SetIntersectionProtocol):
         grouped: Dict[int, set] = {}
         own_list = list(own)
         # Leaf assignment is the Theorem 3.1-style bucket-hashing step: one
-        # batch kernel call for every element's bucket, then pure-Python
+        # pooled kernel sweep for every element's bucket, then pure-Python
         # grouping.
-        for element, leaf in zip(own_list, bucket_hash.images(own_list)):
+        (bucket_images,) = yield AffineSweepRequest(
+            (
+                (
+                    own_list,
+                    bucket_hash.mult,
+                    bucket_hash.shift,
+                    bucket_hash.prime,
+                    bucket_hash.range_size,
+                ),
+            )
+        )
+        for element, leaf in zip(own_list, bucket_images):
             grouped.setdefault(leaf, set()).add(element)
         for leaf, elements in grouped.items():
             assignment[leaf] = frozenset(elements)
@@ -320,13 +429,14 @@ class TreeProtocol(SetIntersectionProtocol):
             # themselves go through one bulk sweep (node values are
             # frozensets, always hashable).
             union = _node_union_cached if hotcache.enabled() else _node_union_impl
-            prints = printer.values_of(
-                [
+            prints = yield FingerprintSweepRequest(
+                printer,
+                tuple(
                     assignment[start]
                     if end - start == 1
                     else union(tuple(assignment[start:end]))
                     for start, end in spans
-                ]
+                ),
             )
             if is_alice:
                 # All of this level's fingerprints assemble into one shared
@@ -445,19 +555,35 @@ class TreeProtocol(SetIntersectionProtocol):
 
             # 5-6: exchange the sorted hash lists -- every failed leaf's
             # run appended to the same shared writer in bulk.  Each element
-            # is hashed exactly once; the (image, element) pairs feed both
-            # the outgoing sorted list and the post-exchange filter.
+            # is hashed exactly once, all leaves in one pooled sweep; the
+            # (image, element) pairs feed both the outgoing sorted list and
+            # the post-exchange filter.
+            leaf_elements = [list(assignment[leaf]) for leaf in failed_leaves]
+            image_runs = yield AffineSweepRequest(
+                tuple(
+                    (
+                        xs,
+                        hash_fn.mult,
+                        hash_fn.shift,
+                        hash_fn.prime,
+                        hash_fn.range_size,
+                    )
+                    for xs, (hash_fn, _) in zip(leaf_elements, plans)
+                )
+            )
             leaf_images: List[list] = []
             writer = BitWriter()
-            for leaf, (hash_fn, width) in zip(failed_leaves, plans):
-                images = hash_fn.image_pairs(assignment[leaf])
+            for xs, run_images, (_, width) in zip(
+                leaf_elements, image_runs, plans
+            ):
+                images = list(zip(run_images, xs))
                 leaf_images.append(images)
                 if len(images) > 1:
-                    run = sorted(image for image, _ in images)
+                    run = sorted(run_images)
                 else:
                     # Most failed leaves carry 0 or 1 candidates by the
                     # later stages; skip the generator + sort machinery.
-                    run = [images[0][0]] if images else []
+                    run = [run_images[0]] if images else []
                 writer.write_run(run, width)
             hash_payload = writer.finish()
             if is_alice:

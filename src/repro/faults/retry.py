@@ -147,6 +147,9 @@ class RobustOutcome:
     protocol_name: str
     attempts: int
     total_bits: int
+    #: Messages across all attempts (the shared transcript's count) -- the
+    #: across-attempt round cost, same accounting basis as ``total_bits``.
+    total_messages: int
     degraded: bool
     degraded_mode: Optional[str] = None
     simulated_delay: float = 0.0
@@ -273,6 +276,7 @@ def run_with_retry(
                         protocol_name=protocol.name,
                         attempts=attempt + 1,
                         total_bits=record.total_bits,
+                        total_messages=record.num_messages,
                         degraded=False,
                         simulated_delay=delay,
                         failure_reasons=reasons,
@@ -311,6 +315,7 @@ def run_with_retry(
         protocol_name=protocol.name,
         attempts=policy.max_attempts,
         total_bits=record.total_bits,
+        total_messages=record.num_messages,
         degraded=True,
         degraded_mode="superset",
         simulated_delay=delay,

@@ -30,6 +30,7 @@ from repro.kernels.backend import (
 from repro.kernels.batch import (
     M61,
     MIN_LANES,
+    SEGMENT_MIN_LANES,
     affine_image_batch,
     affine_image_batch_scalar,
     affine_image_segments,
@@ -39,6 +40,8 @@ from repro.kernels.batch import (
     equal_mask,
     equal_mask_scalar,
     fingerprint_sweep,
+    fingerprint_sweep_segments,
+    fingerprint_sweep_segments_scalar,
     mod_batch,
     mod_batch_scalar,
     sort_ints,
@@ -53,6 +56,7 @@ __all__ = [
     "scalar_only",
     "M61",
     "MIN_LANES",
+    "SEGMENT_MIN_LANES",
     "affine_image_batch",
     "affine_image_batch_scalar",
     "affine_image_segments",
@@ -62,6 +66,8 @@ __all__ = [
     "equal_mask",
     "equal_mask_scalar",
     "fingerprint_sweep",
+    "fingerprint_sweep_segments",
+    "fingerprint_sweep_segments_scalar",
     "mod_batch",
     "mod_batch_scalar",
     "sort_ints",

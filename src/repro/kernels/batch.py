@@ -49,6 +49,7 @@ from repro.obs.state import STATE as _OBS
 __all__ = [
     "M61",
     "MIN_LANES",
+    "SEGMENT_MIN_LANES",
     "affine_image_batch",
     "affine_image_batch_scalar",
     "affine_image_segments",
@@ -62,6 +63,8 @@ __all__ = [
     "sort_ints",
     "sort_ints_scalar",
     "fingerprint_sweep",
+    "fingerprint_sweep_segments",
+    "fingerprint_sweep_segments_scalar",
 ]
 
 #: The Mersenne prime ``2**61 - 1`` -- the largest modulus with a fully
@@ -73,6 +76,15 @@ M61 = (1 << 61) - 1
 #: cost, so the scalar twin runs even when numpy is available.  Dispatch
 #: only -- values are identical either way.
 MIN_LANES = 128
+
+#: Per-segment floor for the pooled :func:`affine_image_segments` routes.
+#: A pooled segment costs fixed per-segment work on the lane path (the
+#: range proof, a params slot fed to ``np.repeat``, the result re-slice)
+#: that only pays for itself once the segment carries this many keys; the
+#: tree protocol's late-stage leaf re-runs are typically 0-2 keys each, and
+#: routing thousands of those through the lane plan is slower than the
+#: inline scalar loop.  Dispatch only -- values are identical either way.
+SEGMENT_MIN_LANES = 16
 
 _LANE_LIMIT = 1 << 64
 
@@ -348,7 +360,11 @@ def affine_image_segments(segments) -> List[List[int]]:
     plans: Dict[str, List[int]] = {"direct": [], "split16": [], "m61": []}
     if np is not None:
         for position, (xs, mult, shift, prime, range_size) in enumerate(segs):
-            if not xs or prime >= _LANE_LIMIT or range_size >= _LANE_LIMIT:
+            if (
+                len(xs) < SEGMENT_MIN_LANES
+                or prime >= _LANE_LIMIT
+                or range_size >= _LANE_LIMIT
+            ):
                 continue
             try:
                 min_x = min(xs)
@@ -496,4 +512,63 @@ def fingerprint_sweep(salt: bytes, width: int, payloads) -> List[int]:
             digest += sha256(digest_input + counter.to_bytes(4, "big")).digest()
             counter += 1
         out.append(from_bytes(digest[:needed_bytes], "big") >> drop)
+    return out
+
+
+def fingerprint_sweep_segments_scalar(segments) -> List[List[int]]:
+    """Exact per-segment evaluation: one fingerprint sweep per segment."""
+    return [
+        fingerprint_sweep(salt, width, payloads)
+        for salt, width, payloads in segments
+    ]
+
+
+def fingerprint_sweep_segments(segments) -> List[List[int]]:
+    """Many independent fingerprint sweeps, each under its own salt and
+    width, in one dispatch: ``out[i] = fingerprint_sweep(*segments[i])``.
+
+    ``segments`` is a sequence of ``(salt, width, payloads)`` tuples.  This
+    is the round-barrier coalescing form of :func:`fingerprint_sweep`: a
+    server driving many tree sessions in lockstep pools every session's
+    per-level equality sweep -- each with its own shared-randomness salt --
+    into one call per barrier.  SHA-256 lives in hashlib's C core, so as
+    with :func:`fingerprint_sweep` the win is one locals-hoisted loop over
+    the pooled payloads instead of a Python-level dispatch per segment per
+    value; there are no lanes to overflow, hence no route planning beyond
+    the per-segment width split below.
+
+    Route selection mirrors the single-segment kernel exactly and is
+    decided per segment in exact integer arithmetic: widths up to 256 bits
+    take the single-digest route (one SHA-256 call per value), wider
+    segments the counter-extended route -- so a pooled dispatch is value
+    identical to per-segment :func:`fingerprint_sweep` calls, which the
+    differential suite pins.
+    """
+    sha256 = hashlib.sha256
+    from_bytes = int.from_bytes
+    zero = (0).to_bytes(4, "big")
+    out: List[List[int]] = []
+    for salt, width, payloads in segments:
+        needed_bytes = (width + 7) // 8
+        drop = 8 * needed_bytes - width
+        seg_out: List[int] = []
+        if needed_bytes <= 32:
+            prefix = salt  # constant across the segment's values
+            for data in payloads:
+                digest = sha256(prefix + data + zero).digest()
+                seg_out.append(from_bytes(digest[:needed_bytes], "big") >> drop)
+        else:
+            for data in payloads:
+                digest_input = salt + data
+                digest = b""
+                counter = 0
+                while len(digest) < needed_bytes:
+                    digest += sha256(
+                        digest_input + counter.to_bytes(4, "big")
+                    ).digest()
+                    counter += 1
+                seg_out.append(from_bytes(digest[:needed_bytes], "big") >> drop)
+        out.append(seg_out)
+    if _OBS.active and out:
+        note_route("fingerprint_sweep_segments", "scalar")
     return out

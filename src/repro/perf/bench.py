@@ -394,6 +394,77 @@ def _serve_throughput_micro(quick: bool) -> Dict[str, Any]:
     }
 
 
+def _serve_throughput_multiround_micro(quick: bool) -> Dict[str, Any]:
+    """The round-barrier driver's payoff on multi-round tree sessions.
+
+    Same methodology as :func:`_serve_throughput_micro` -- one seeded mix
+    replayed with coalescing off and on, best-of-N walls per mode,
+    three-way fingerprint comparison -- but the sessions run the
+    verification-tree protocol at ``rounds=2``, so the coalesced path is
+    the lockstep barrier scheduler pooling per-level hash sweeps across
+    lanes rather than the one-round closed-form batch.
+
+    Unlike the one-round micro, the honest expectation here is parity to
+    a modest gain, not a multiple: the barrier path pools the kernel
+    dispatches but pays a cache-locality tax for interleaving many
+    generator frames through each tree level, and on warm hot-caches the
+    per-level sweeps are already cheap.  The micro exists to keep that
+    number honest and pinned, and to extend the ``batch_identical``
+    contract (serial == scalar == coalesced) to the multi-round ops.
+    """
+    from repro.serve import LoadMix, run_load, run_mix_serial
+
+    mix = LoadMix(
+        name="bench-multiround",
+        seed=13,
+        sessions=24 if quick else 64,
+        ops_per_session=4 if quick else 8,
+        set_sizes=(64,),
+        rounds=2,
+    )
+    trials = 2 if quick else 3
+    run = functools.partial(run_load, mix, tick_s=0.001, pipeline=64)
+
+    scalar_walls, coalesced_walls = [], []
+    scalar_best = coalesced_best = None
+    for _ in range(trials):
+        scalar = run(coalesce=False)
+        scalar_walls.append(scalar.wall_s)
+        if scalar_best is None or scalar.wall_s < scalar_best.wall_s:
+            scalar_best = scalar
+        coalesced = run(coalesce=True)
+        coalesced_walls.append(coalesced.wall_s)
+        if coalesced_best is None or coalesced.wall_s < coalesced_best.wall_s:
+            coalesced_best = coalesced
+
+    serial_fingerprint = run_mix_serial(mix)["fingerprint"]
+    batch_identical = (
+        scalar_best.shed == coalesced_best.shed == 0
+        and not scalar_best.errors
+        and not coalesced_best.errors
+        and serial_fingerprint
+        == scalar_best.fingerprint
+        == coalesced_best.fingerprint
+    )
+    coalesced_wall = max(coalesced_best.wall_s, 1e-9)
+    lanes = coalesced_best.lanes_per_batch
+    return {
+        "ops_per_s": coalesced_best.ops_total / coalesced_wall,
+        "wall_s": sum(scalar_walls) + sum(coalesced_walls),
+        "iterations": 2 * trials,
+        "rounds": 2,
+        "sessions_per_s": mix.sessions / coalesced_wall,
+        "p50_ms": coalesced_best.p50_ms,
+        "p99_ms": coalesced_best.p99_ms,
+        "scalar_wall_s": scalar_best.wall_s,
+        "coalesced_wall_s": coalesced_best.wall_s,
+        "coalesce_speedup": scalar_best.wall_s / coalesced_wall,
+        "lanes_per_batch": lanes if lanes is not None else 0.0,
+        "batch_identical": batch_identical,
+        "shed": scalar_best.shed + coalesced_best.shed,
+    }
+
+
 def _tree_trial(protocol: TreeProtocol, alice_set, bob_set, seed: int):
     """One E1-style trial: exact counters + correctness for one seed."""
     outcome = protocol.run(alice_set, bob_set, seed=seed)
@@ -570,6 +641,9 @@ def run_core_benchmarks(
         ),
         "plan_resume": _plan_resume_micro(quick),
         "serve_throughput": _serve_throughput_micro(quick),
+        "serve_throughput_multiround": _serve_throughput_multiround_micro(
+            quick
+        ),
     }
 
     report: Dict[str, Any] = {

@@ -62,6 +62,14 @@ Schema history:
   ``sessions_per_s`` / ``p99_ms`` / ``coalesce_speedup`` /
   ``batch_identical`` / ``shed``, measured by replaying one seeded
   traffic mix against an in-process server with coalescing on and off).
+  The round-barrier scheduler adds a third optional micro,
+  ``serve_throughput_multiround`` (same fields plus ``rounds``): the
+  identical measurement over multi-round verification-tree sessions,
+  where the coalesced leg is the lockstep barrier driver.  Its speedup
+  warning threshold is a 0.8x parity floor rather than 2x -- the barrier pools
+  kernel dispatches but the per-level sweeps are cheap on warm caches,
+  so the micro's job is pinning honesty and the three-way
+  ``batch_identical`` contract, not advertising a multiple.
 * **v2** -- honest host parallelism: ``host.cpu_count_affinity`` (the CPUs
   the process is actually allowed to schedule on, which on pinned CI
   runners is smaller than ``os.cpu_count()``) joins ``host.cpu_count``;
@@ -107,6 +115,26 @@ _PLAN_RESUME_FIELDS = {
 #: wall on the same seeded mix (best-of-N each); ``batch_identical`` is
 #: the coalesced-vs-scalar-vs-serial aggregate-fingerprint comparison.
 _SERVE_THROUGHPUT_FIELDS = {
+    "sessions_per_s": float,
+    "ops_per_s": float,
+    "p50_ms": float,
+    "p99_ms": float,
+    "scalar_wall_s": float,
+    "coalesced_wall_s": float,
+    "coalesce_speedup": float,
+    "lanes_per_batch": float,
+    "batch_identical": bool,
+    "shed": int,
+}
+#: Extra fields the (optional) serve_throughput_multiround micro must
+#: carry when present.  Same measurement as ``serve_throughput`` but the
+#: sessions run the verification-tree protocol at the recorded ``rounds``,
+#: so the coalesced leg is the round-barrier lockstep driver.  The honest
+#: target for ``coalesce_speedup`` here is parity (the barrier pools
+#: kernel dispatches but pays a locality tax interleaving generator
+#: frames), so the warning floor is 0.8x (parity minus host noise), not the one-round 2x.
+_SERVE_THROUGHPUT_MULTIROUND_FIELDS = {
+    "rounds": int,
     "sessions_per_s": float,
     "ops_per_s": float,
     "p50_ms": float,
@@ -223,6 +251,13 @@ def validate_bench_report(report: Any) -> List[str]:
                 _check_fields(
                     errors, f"micro.{name}", entry, _SERVE_THROUGHPUT_FIELDS
                 )
+            if name == "serve_throughput_multiround":
+                _check_fields(
+                    errors,
+                    f"micro.{name}",
+                    entry,
+                    _SERVE_THROUGHPUT_MULTIROUND_FIELDS,
+                )
             if isinstance(entry, dict) and "backend" in entry:
                 if not isinstance(entry["backend"], str):
                     errors.append(
@@ -237,7 +272,7 @@ def validate_bench_report(report: Any) -> List[str]:
 def bench_report_warnings(report: Any) -> List[str]:
     """Non-fatal honesty checks on a (structurally valid) report.
 
-    Three today:
+    Four today:
 
     * a parallel-speedup claim made with more workers than the host can
       actually schedule is noise, not parallelism -- the classic way to
@@ -248,7 +283,11 @@ def bench_report_warnings(report: Any) -> List[str]:
       cache's two load-bearing promises, surfaced on every bench run;
     * a ``serve_throughput`` micro whose coalescing speedup fell below the
       2x target, or whose coalesced fingerprint diverged from the scalar
-      and serial paths -- the serving layer's two load-bearing promises.
+      and serial paths -- the serving layer's two load-bearing promises;
+    * a ``serve_throughput_multiround`` micro whose barrier-coalesced leg
+      fell below the 0.8x parity floor (the honest multi-round target:
+      pooled dispatches minus the locality tax should at worst break
+      even) or whose three-way fingerprint diverged.
 
     :returns: human-readable warnings; empty means nothing suspicious.
     """
@@ -310,5 +349,29 @@ def bench_report_warnings(report: Any) -> List[str]:
                 "micro.serve_throughput.batch_identical is false: the "
                 "coalesced run's aggregate fingerprint diverged from the "
                 "scalar/serial reference paths"
+            )
+    multiround = (
+        micro.get("serve_throughput_multiround")
+        if isinstance(micro, dict)
+        else None
+    )
+    if isinstance(multiround, dict):
+        speedup = multiround.get("coalesce_speedup")
+        if (
+            isinstance(speedup, (int, float))
+            and not isinstance(speedup, bool)
+            and speedup < 0.8
+        ):
+            warnings.append(
+                f"micro.serve_throughput_multiround.coalesce_speedup = "
+                f"{speedup:.2f} is below the 0.8x parity floor; the "
+                f"round-barrier driver is slowing multi-round traffic down "
+                f"on this host"
+            )
+        if multiround.get("batch_identical") is False:
+            warnings.append(
+                "micro.serve_throughput_multiround.batch_identical is "
+                "false: the barrier-coalesced run's aggregate fingerprint "
+                "diverged from the scalar/serial reference paths"
             )
     return warnings

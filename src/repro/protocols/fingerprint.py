@@ -190,6 +190,17 @@ class Fingerprinter:
         else:
             self._salt = stream.bits(256).value.to_bytes(32, "big")
 
+    @property
+    def salt(self) -> bytes:
+        """The 32-byte salt defining this shared random function.
+
+        Exposed so batch executors (the serve layer's round-barrier
+        coalescer) can pool many fingerprinters' sweeps into one
+        :func:`repro.kernels.fingerprint_sweep_segments` dispatch; the
+        pooled evaluation is value-identical to :meth:`values_of`.
+        """
+        return self._salt
+
     def value_of(self, value: Any) -> int:
         """The fingerprint of ``value`` as an integer in ``[2^width)``."""
         if hotcache.enabled():

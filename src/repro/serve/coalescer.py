@@ -23,10 +23,15 @@ count + fixed-width run per message, 2 messages).  The equivalence suite
 scalar path; a coalesced answer that differs by one bit is a test
 failure, not a rounding note.
 
-Only the one-round shape (effective ``rounds == 1``, shared coins, not
-amplified) coalesces today; everything else takes the per-session scalar
-path inside the same drain loop, so enabling coalescing never changes
-*what* is computed, only how many Python dispatches it costs.
+Two shapes coalesce: the one-round closed form (effective ``rounds == 1``,
+shared coins, not amplified) through :func:`one_round_batch_results`, and
+the multi-round verification tree (clamped ``rounds >= 2``, shared coins,
+not amplified, no fault plan) through the round-barrier lockstep driver
+(:mod:`repro.serve.barrier`), grouped by ``(n, k, clamped rounds)`` so
+only same-shape sessions share a dispatch.  Everything else takes the
+per-session scalar path inside the same drain loop, so enabling
+coalescing never changes *what* is computed, only how many Python
+dispatches it costs.
 """
 
 from __future__ import annotations
@@ -43,7 +48,13 @@ from repro.hashing.pairwise import sample_pairwise_hash
 from repro.kernels import affine_image_segments
 from repro.obs import metrics as _metrics
 from repro.obs.state import STATE as _OBS
+from repro.core.tree_protocol import TreeProtocol
 from repro.protocols.base import validate_set_pair
+from repro.serve.barrier import (
+    TreeBatchStats,
+    tree_batch_results,
+    tree_protocol_rounds,
+)
 from repro.serve.registry import ServedSession, SessionRegistry
 from repro.serve.wire import ServeError
 from repro.session import IntersectionSession
@@ -54,6 +65,7 @@ __all__ = [
     "PendingOp",
     "BatchCoalescer",
     "coalescible",
+    "tree_coalescible",
     "one_round_batch_results",
     "run_scalar_operation",
 ]
@@ -66,6 +78,21 @@ OP_KINDS = ("intersect", "size", "jaccard", "contains-any")
 #: match it coin for coin).
 _ONE_ROUND_CONFIDENCE = 3
 
+#: Maximum lanes per round-barrier lockstep run.  Pooling more sessions
+#: widens the kernel dispatches, but every in-flight lane holds its
+#: per-leaf assignments, writers, and generator frames live across the
+#: whole run -- past a handful of lanes the working set falls out of
+#: cache and the per-resumption cost of the (Python-heavy) party
+#: coroutines roughly doubles, costing far more than the wider dispatch
+#: saves.  Measured on the stock ``k = 64`` multi-round mix the sweet
+#: spot sits at small chunks (4-8 lanes track the lone-lane time; 16
+#: costs ~+35%, 64 ~+2x), so the chunk size leans toward locality and
+#: lets the pooled dispatch width come from the per-op sweep lanes
+#: rather than from lane count.  Groups larger than this are split into
+#: consecutive chunks; chunk boundaries never change any lane's coins or
+#: transcript, only which dispatch its sweeps pool into.
+TREE_CHUNK_OPS = 8
+
 
 def coalescible(session: IntersectionSession) -> bool:
     """True iff the session's fixed parameters select the one-round shape.
@@ -73,9 +100,12 @@ def coalescible(session: IntersectionSession) -> bool:
     Mirrors :func:`repro.core.tradeoff.select_protocol`: shared coins, no
     amplification, and an effective round budget of 1 mean every operation
     runs ``OneRoundHashingProtocol`` -- the shape the batch executor
-    reproduces bit for bit.
+    reproduces bit for bit.  A session with a fault plan must run its
+    operations through the retry loop, so it stays scalar.
     """
     if session.model != "shared" or session.amplified:
+        return False
+    if getattr(session, "faults", None) is not None:
         return False
     rounds = (
         session.rounds
@@ -83,6 +113,24 @@ def coalescible(session: IntersectionSession) -> bool:
         else optimal_rounds(session.max_set_size)
     )
     return rounds == 1
+
+
+def tree_coalescible(session: IntersectionSession) -> bool:
+    """True iff the session's fixed parameters select the multi-round tree.
+
+    Mirrors :func:`repro.core.tradeoff.select_protocol` again: shared
+    coins, no amplification, and a *clamped* round budget ``>= 2`` mean
+    every operation runs :class:`~repro.core.tree_protocol.TreeProtocol`'s
+    Algorithm 1 path -- the shape the round-barrier driver locksteps.  A
+    budget that clamps to 1 degenerates to the one-round exchange (handled
+    by :func:`coalescible`); a session with a fault plan must run through
+    the retry loop and stays scalar.
+    """
+    if session.model != "shared" or session.amplified:
+        return False
+    if getattr(session, "faults", None) is not None:
+        return False
+    return tree_protocol_rounds(session.max_set_size, session.rounds) >= 2
 
 
 def _gamma_bits(value: int) -> int:
@@ -241,6 +289,7 @@ class CoalescerStats:
     coalesced_ops: int = 0
     scalar_ops: int = 0
     lanes_total: int = 0
+    barriers: int = 0
     group_sizes: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -257,6 +306,7 @@ class CoalescerStats:
             "coalesced_ops": self.coalesced_ops,
             "scalar_ops": self.scalar_ops,
             "lanes_total": self.lanes_total,
+            "barriers": self.barriers,
             "lanes_per_batch": lanes if lanes == lanes else None,
         }
 
@@ -287,6 +337,24 @@ class BatchCoalescer:
         self._queue: "asyncio.Queue[PendingOp]" = asyncio.Queue()
         self._pending = 0
         self._task: Optional["asyncio.Task"] = None
+        self._tree_protocols: Dict[Tuple[int, int, int], TreeProtocol] = {}
+
+    def _tree_protocol(
+        self, universe_size: int, max_set_size: int, rounds: int
+    ) -> TreeProtocol:
+        """The shared read-only :class:`TreeProtocol` for one group shape.
+
+        Protocol objects hold only shape-derived structure (the tree, the
+        per-level failure budgets), never per-operation state, so one
+        instance serves every lane of every tick -- the scalar path pays
+        the ``select_protocol``-sized construction per operation.
+        """
+        key = (universe_size, max_set_size, rounds)
+        protocol = self._tree_protocols.get(key)
+        if protocol is None:
+            protocol = TreeProtocol(universe_size, max_set_size, rounds=rounds)
+            self._tree_protocols[key] = protocol
+        return protocol
 
     @property
     def pending(self) -> int:
@@ -361,18 +429,22 @@ class BatchCoalescer:
             return
 
         eligible: List[PendingOp] = []
+        tree_eligible: List[PendingOp] = []
         for op in batch:
             if op.kind in OP_KINDS and coalescible(op.entry.session):
                 eligible.append(op)
+            elif op.kind in OP_KINDS and tree_coalescible(op.entry.session):
+                tree_eligible.append(op)
             else:
                 self._execute_scalar(op)
-        if not eligible:
-            return
-        if len(eligible) == 1:
-            # A lone operation gains nothing from the batch plumbing.
-            self._execute_scalar(eligible[0])
-            return
-        self._execute_coalesced(eligible)
+        if eligible:
+            if len(eligible) == 1:
+                # A lone operation gains nothing from the batch plumbing.
+                self._execute_scalar(eligible[0])
+            else:
+                self._execute_coalesced(eligible)
+        if tree_eligible:
+            self._execute_tree(tree_eligible)
 
     def _execute_scalar(self, op: PendingOp) -> None:
         self.stats.scalar_ops += 1
@@ -456,6 +528,121 @@ class BatchCoalescer:
             record = op.entry.session.stats().history[-1]
             value = _operation_value(op.kind, s, t, result)
             self._finish(op, value=(value, record))
+
+    def _execute_tree(self, ops: List[PendingOp]) -> None:
+        """Multi-round operations: group by shape, lockstep each group.
+
+        Group key is ``(n, k, clamped rounds)`` -- the parameters that fix
+        the :class:`~repro.core.tree_protocol.TreeProtocol` instance -- so
+        no cross-shape pooling ever happens: each group runs its own
+        :func:`~repro.serve.barrier.tree_batch_results` call and only
+        same-shape lanes share a segmented kernel dispatch.  A session's
+        parameters are fixed for its lifetime, so all of one session's
+        operations land in one group, in submission order.
+        """
+        groups: Dict[Tuple[int, int, int], List[PendingOp]] = {}
+        for op in ops:
+            session = op.entry.session
+            key = (
+                session.universe_size,
+                session.max_set_size,
+                tree_protocol_rounds(session.max_set_size, session.rounds),
+            )
+            groups.setdefault(key, []).append(op)
+
+        total_ops = 0
+        batch_stats = TreeBatchStats()
+        pooled_groups = 0
+        for (universe_size, max_set_size, protocol_rounds), group in groups.items():
+            if len(group) == 1:
+                # A lone lane pools with nobody; the scalar path is the
+                # same computation without the lockstep plumbing.
+                self._execute_scalar(group[0])
+                continue
+            # Pass 1: validate and assign per-operation seeds in submission
+            # order, exactly as _execute_coalesced does for one-round ops.
+            next_index: Dict[str, int] = {}
+            requests = []
+            runnable: List[Tuple[PendingOp, Any, Any]] = []
+            for op in group:
+                session = op.entry.session
+                key = op.entry.key
+                index = next_index.get(key, session.stats().operations)
+                try:
+                    s, t = validate_set_pair(
+                        op.alice_set,
+                        op.bob_set,
+                        session.universe_size,
+                        session.max_set_size,
+                    )
+                except (TypeError, ValueError) as exc:
+                    self._finish(op, error=ServeError("invalid-input", str(exc)))
+                    continue
+                next_index[key] = index + 1
+                effective_rounds = (
+                    session.rounds
+                    if session.rounds is not None
+                    else optimal_rounds(session.max_set_size)
+                )
+                requests.append(
+                    (s, t, session.operation_seed(index), effective_rounds)
+                )
+                runnable.append((op, s, t))
+            if not runnable:
+                continue
+
+            protocol = self._tree_protocol(
+                universe_size, max_set_size, protocol_rounds
+            )
+            results = []
+            for start in range(0, len(requests), TREE_CHUNK_OPS):
+                results.extend(
+                    tree_batch_results(
+                        universe_size,
+                        max_set_size,
+                        protocol_rounds,
+                        requests[start : start + TREE_CHUNK_OPS],
+                        prevalidated=True,
+                        stats=batch_stats,
+                        protocol=protocol,
+                    )
+                )
+            pooled_groups += 1
+            total_ops += len(runnable)
+            self.stats.batches += 1
+            self.stats.coalesced_ops += len(runnable)
+            label = (
+                f"tree/n={universe_size}/k={max_set_size}/r={protocol_rounds}"
+            )
+            self.stats.group_sizes[label] = (
+                self.stats.group_sizes.get(label, 0) + len(runnable)
+            )
+            _metrics.counter("serve.ops.coalesced").inc(len(runnable))
+            _metrics.counter("serve.batch.dispatches").inc()
+            _metrics.histogram("serve.batch.ops").observe(len(runnable))
+
+            # Pass 2: bill in the submission order the seeds were assigned
+            # in, so per-session histories match the scalar path.
+            for (op, s, t), result in zip(runnable, results):
+                op.entry.session.record_operation(op.kind, result)
+                self.registry.bill(op.entry, result)
+                record = op.entry.session.stats().history[-1]
+                value = _operation_value(op.kind, s, t, result)
+                self._finish(op, value=(value, record))
+
+        if total_ops:
+            self.stats.lanes_total += batch_stats.affine_lanes
+            self.stats.barriers += batch_stats.barriers
+            _metrics.histogram("serve.batch.lanes").observe(
+                batch_stats.affine_lanes
+            )
+            if _OBS.active:
+                _OBS.tracer.emit(
+                    "serve.batch",
+                    ops=total_ops,
+                    lanes=batch_stats.affine_lanes,
+                    groups=pooled_groups,
+                )
 
 
 def _record_as_result(record) -> IntersectionResult:

@@ -73,6 +73,13 @@ class LoadMix:
     op_weights: Tuple[Tuple[str, float], ...] = DEFAULT_OP_WEIGHTS
     #: Target fraction of the smaller set shared between the two sides.
     overlap: float = 0.3
+    #: Optional fault-spec string (the ``name@rate+...:seed=N`` grammar of
+    #: :func:`repro.faults.models.parse_fault_spec`) threaded into every
+    #: session open, so a load run can price the retry/degradation cost of
+    #: a damaged channel.  Faulted sessions run the verification-driven
+    #: retry loop on the scalar path; the fault stream is part of the
+    #: seed lineage, so the mix stays bit-replayable.
+    faults: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.sessions <= 0 or self.ops_per_session <= 0:
@@ -92,6 +99,12 @@ class LoadMix:
         )
         if not 0 <= self.overlap <= 1:
             raise ValueError("overlap must be in [0, 1]")
+        if self.faults is not None:
+            from repro.faults.models import parse_fault_spec
+
+            # Parse-check at mix construction so a typo'd spec fails here,
+            # not as 32 per-session open errors mid-load.
+            parse_fault_spec(self.faults)
 
     def session_key(self, index: int) -> str:
         return f"s{index:04d}"
@@ -123,6 +136,7 @@ def mix_to_dict(mix: LoadMix) -> Dict[str, Any]:
         "rounds": mix.rounds,
         "op_weights": {kind: weight for kind, weight in mix.op_weights},
         "overlap": mix.overlap,
+        "faults": mix.faults,
     }
 
 
@@ -138,6 +152,7 @@ def mix_from_dict(doc: Mapping[str, Any]) -> LoadMix:
         "rounds",
         "op_weights",
         "overlap",
+        "faults",
     }
     unknown = set(doc) - known
     if unknown:
@@ -217,6 +232,7 @@ def _open_registry_sessions(mix: LoadMix, registry: SessionRegistry) -> None:
             max_set_size=mix.session_set_size(i),
             rounds=mix.rounds,
             seed=mix.session_seed(i),
+            faults=mix.faults,
         )
 
 
@@ -229,16 +245,20 @@ def run_mix_serial(mix: LoadMix) -> Dict[str, Any]:
     registry = SessionRegistry(mix.seed)
     _open_registry_sessions(mix, registry)
     total_bits = 0
+    degraded = 0
     for op in generate_schedule(mix):
         entry = registry.get(mix.session_key(op.session_index))
         _, record = run_scalar_operation(
             entry, op.kind, list(op.alice), list(op.bob)
         )
         total_bits += record.bits
+        if record.degraded:
+            degraded += 1
     return {
         "fingerprint": registry.fingerprint(),
         "ops": mix.sessions * mix.ops_per_session,
         "total_bits": total_bits,
+        "degraded": degraded,
     }
 
 
@@ -252,6 +272,10 @@ class LoadReport:
     ops_total: int
     ops_ok: int
     shed: int
+    #: ok replies that carried the degradation contract (certified
+    #: superset after retry exhaustion) rather than a verified-exact
+    #: answer; always a subset of ``ops_ok``.
+    degraded: int = 0
     errors: List[Dict[str, Any]] = field(default_factory=list)
     wall_s: float = 0.0
     sessions_per_sec: float = 0.0
@@ -275,6 +299,7 @@ class LoadReport:
             "ops_total": self.ops_total,
             "ops_ok": self.ops_ok,
             "shed": self.shed,
+            "degraded": self.degraded,
             "errors": len(self.errors),
             "wall_s": self.wall_s,
             "sessions_per_sec": self.sessions_per_sec,
@@ -364,6 +389,8 @@ async def _client_run(
             received += 1
             if reply.get("ok"):
                 counters["ok"] += 1
+                if reply.get("degraded"):
+                    counters["degraded"] += 1
             else:
                 error = reply.get("error", {})
                 if error.get("type") == "overloaded":
@@ -442,6 +469,7 @@ async def _run_load_async(
                             "k": mix.session_set_size(i),
                             "rounds": mix.rounds,
                             "seed": mix.session_seed(i),
+                            "faults": mix.faults,
                         }
                     )
                 )
@@ -474,7 +502,9 @@ async def _run_load_async(
 
         # Phase 2 (measured): replay the schedule.
         latencies_s: List[float] = []
-        counters: Dict[str, Any] = {"ok": 0, "shed": 0, "errors": []}
+        counters: Dict[str, Any] = {
+            "ok": 0, "shed": 0, "degraded": 0, "errors": []
+        }
         started = time.perf_counter()
         await asyncio.gather(
             *(
@@ -505,6 +535,7 @@ async def _run_load_async(
         ops_total=ops_total,
         ops_ok=counters["ok"],
         shed=counters["shed"],
+        degraded=counters["degraded"],
         errors=counters["errors"],
         wall_s=wall_s,
         sessions_per_sec=mix.sessions / wall_s if wall_s > 0 else 0.0,

@@ -53,6 +53,7 @@ class ServedSession:
                 "messages": record.messages,
                 "protocol": record.protocol,
                 "result_size": record.result_size,
+                "degraded": record.degraded,
             }
             for record in self.session.stats().history
         ]
@@ -66,6 +67,10 @@ class ServedSession:
             "operations": stats.operations,
             "total_bits": stats.total_bits,
             "total_messages": stats.total_messages,
+            # Exact vs certified-superset answers, separately: a degraded
+            # reply is a different contract, not a cheaper exact one.
+            "exact_ops": stats.exact_ops,
+            "degraded_ops": stats.degraded_ops,
             # JSON has no nan; an idle session's mean is honestly absent.
             "mean_bits": mean if mean == mean else None,
             "pending": self.pending,
@@ -76,7 +81,13 @@ class ServedSession:
     def counters_fingerprint(self) -> str:
         """SHA-256 over the exact per-operation counters, in order."""
         counters = [
-            (record.index, record.kind, record.bits, record.messages)
+            (
+                record.index,
+                record.kind,
+                record.bits,
+                record.messages,
+                record.degraded,
+            )
             for record in self.session.stats().history
         ]
         return hashlib.sha256(repr(counters).encode("utf-8")).hexdigest()
@@ -106,9 +117,17 @@ class SessionRegistry:
         model: str = "shared",
         amplified: bool = False,
         seed: Optional[int] = None,
+        faults: Optional[str] = None,
     ) -> ServedSession:
         """Open a session; the seed defaults to the registry lineage
-        ``derive_seed(master_seed, open_index)``."""
+        ``derive_seed(master_seed, open_index)``.
+
+        ``faults`` is the optional fault-spec string threaded through to
+        :class:`~repro.session.IntersectionSession`; a faulted session's
+        operations run the verification-driven retry loop (and may record
+        ``degraded`` answers), and the coalescer keeps it on the scalar
+        path.  A malformed spec is a typed ``bad-request``.
+        """
         if key in self._sessions:
             raise ServeError("session-exists", f"session {key!r} already open")
         if seed is None:
@@ -121,6 +140,7 @@ class SessionRegistry:
                 model=model,
                 amplified=amplified,
                 seed=seed,
+                faults=faults,
             )
         except ValueError as exc:
             raise ServeError("bad-request", str(exc)) from None

@@ -306,6 +306,10 @@ class IntersectionServer:
                 "messages": record.messages,
                 "protocol": record.protocol,
                 "index": record.index,
+                # A certified-superset answer (retry budget exhausted under
+                # faults) is still ok=True -- the degradation contract is a
+                # valid reply -- but the client must be able to tell.
+                "degraded": record.degraded,
             }
             if request_id is not None:
                 reply["id"] = request_id
@@ -360,6 +364,11 @@ class IntersectionServer:
             not isinstance(seed, int) or isinstance(seed, bool)
         ):
             raise ServeError("bad-request", "'seed' must be an integer")
+        faults = request.get("faults")
+        if faults is not None and not isinstance(faults, str):
+            raise ServeError(
+                "bad-request", "'faults' must be a fault-spec string"
+            )
         model = request.get("model", "shared")
         amplified = bool(request.get("amplified", False))
         entry = self.registry.open(
@@ -370,6 +379,7 @@ class IntersectionServer:
             model=model,
             amplified=amplified,
             seed=seed,
+            faults=faults,
         )
         return {
             "ok": True,

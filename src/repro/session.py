@@ -35,7 +35,13 @@ __all__ = ["IntersectionSession", "OperationRecord", "SessionStats"]
 
 @dataclass(frozen=True)
 class OperationRecord:
-    """One operation's accounting entry."""
+    """One operation's accounting entry.
+
+    ``degraded`` marks a retry-exhausted operation that returned the
+    degradation contract (each party's own input, a certified superset of
+    ``S n T``) instead of the verified intersection -- a different *kind*
+    of answer, so accounting keeps it distinguishable from exact results.
+    """
 
     index: int
     kind: str
@@ -43,6 +49,7 @@ class OperationRecord:
     messages: int
     protocol: str
     result_size: int
+    degraded: bool = False
 
 
 @dataclass
@@ -52,9 +59,16 @@ class SessionStats:
     operations: int = 0
     total_bits: int = 0
     total_messages: int = 0
+    #: Verified-exact operations vs certified-superset degradations; the
+    #: split a capacity planner prices retries and fault budgets against
+    #: (``operations == exact_ops + degraded_ops`` always).
+    exact_ops: int = 0
+    degraded_ops: int = 0
     history: List[OperationRecord] = field(default_factory=list)
 
-    def record(self, kind: str, result: IntersectionResult) -> None:
+    def record(
+        self, kind: str, result: IntersectionResult, *, degraded: bool = False
+    ) -> None:
         """Append one operation."""
         self.history.append(
             OperationRecord(
@@ -64,11 +78,16 @@ class SessionStats:
                 messages=result.messages,
                 protocol=result.protocol,
                 result_size=len(result.intersection),
+                degraded=degraded,
             )
         )
         self.operations += 1
         self.total_bits += result.bits
         self.total_messages += result.messages
+        if degraded:
+            self.degraded_ops += 1
+        else:
+            self.exact_ops += 1
 
     @property
     def mean_bits(self) -> float:
@@ -97,6 +116,18 @@ class IntersectionSession:
         ``derive_seed(seed, i)`` (the shared SHA-256 lineage of
         :mod:`repro.perf`) so repeated identical queries still draw fresh
         coins and the whole session replays from one master seed.
+    :param faults: optional fault-spec string (the ``REPRO_FAULTS``
+        grammar of :func:`repro.faults.models.parse_fault_spec`, e.g.
+        ``"bitflip@0.02:seed=7"``).  When set, every operation runs
+        through :func:`repro.faults.retry.run_with_retry` under a
+        per-operation :class:`~repro.faults.plan.FaultPlan` derived from
+        the spec seed, the session seed, and the operation index -- so a
+        faulted session's whole traffic (including which attempts fail
+        and which operations degrade) replays bit-identically from its
+        master seed.  A retry-exhausted operation records ``degraded``
+        accounting and returns the certified-superset contract instead
+        of raising.  Only the shared-coin, unamplified shape supports
+        faults (the retry loop drives the protocol directly).
     """
 
     def __init__(
@@ -108,6 +139,7 @@ class IntersectionSession:
         model: str = "shared",
         amplified: bool = False,
         seed: int = 0,
+        faults: Optional[str] = None,
     ) -> None:
         self.universe_size = universe_size
         self.max_set_size = max_set_size
@@ -115,7 +147,26 @@ class IntersectionSession:
         self.model = model
         self.amplified = amplified
         self.seed = seed
+        self.faults = faults
         self._stats = SessionStats()
+        self._fault_model = None
+        self._fault_seed = 0
+        self._fault_protocol = None
+        if faults is not None:
+            if model != "shared" or amplified:
+                raise ValueError(
+                    "faults require the shared-coin, unamplified shape "
+                    f"(got model={model!r}, amplified={amplified})"
+                )
+            from repro.faults.models import parse_fault_spec
+
+            model_obj, spec_seed = parse_fault_spec(faults)
+            self._fault_model = model_obj
+            # Two-level derivation: the spec's seed anchors the lineage,
+            # the session seed forks it, and each operation forks again --
+            # so two sessions sharing one spec still see independent,
+            # individually replayable fault streams.
+            self._fault_seed = derive_seed(spec_seed, seed)
 
     def operation_seed(self, index: Optional[int] = None) -> int:
         """The seed operation ``index`` draws its coins from (default: the
@@ -137,6 +188,8 @@ class IntersectionSession:
         return self.operation_seed()
 
     def _run(self, kind: str, alice_set, bob_set) -> IntersectionResult:
+        if self._fault_model is not None:
+            return self._run_faulted(kind, alice_set, bob_set)
         result = compute_intersection(
             alice_set,
             bob_set,
@@ -148,6 +201,47 @@ class IntersectionSession:
             seed=self._operation_seed(),
         )
         self._stats.record(kind, result)
+        return result
+
+    def _run_faulted(self, kind: str, alice_set, bob_set) -> IntersectionResult:
+        """One operation over the (possibly damaged) channel.
+
+        The retry loop owns correctness: agreement-verified results are
+        exact (Corollary 3.4 plus the independent-confirmation rule), an
+        exhausted budget returns Alice's input -- a certified superset of
+        ``S n T`` -- and the record carries ``degraded`` so accounting,
+        the serve layer, and load reports can price the difference.
+        """
+        from repro.core.tradeoff import optimal_rounds, select_protocol
+        from repro.faults.plan import FaultPlan
+        from repro.faults.retry import run_with_retry
+
+        effective_rounds = (
+            self.rounds
+            if self.rounds is not None
+            else optimal_rounds(self.max_set_size)
+        )
+        if self._fault_protocol is None:
+            self._fault_protocol = select_protocol(
+                self.universe_size, self.max_set_size, rounds=effective_rounds
+            )
+        index = self._stats.operations
+        outcome = run_with_retry(
+            self._fault_protocol,
+            alice_set,
+            bob_set,
+            seed=self.operation_seed(index),
+            plan=FaultPlan(self._fault_model, derive_seed(self._fault_seed, index)),
+        )
+        result = IntersectionResult(
+            intersection=outcome.alice_output,
+            bits=outcome.total_bits,
+            messages=outcome.total_messages,
+            protocol=outcome.protocol_name,
+            rounds_parameter=effective_rounds,
+            parties_agree=outcome.agreed,
+        )
+        self._stats.record(kind, result, degraded=outcome.degraded)
         return result
 
     # -- operations ---------------------------------------------------------

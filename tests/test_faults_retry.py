@@ -188,6 +188,7 @@ class TestRunWithRetry:
             protocol_name="x",
             attempts=1,
             total_bits=0,
+            total_messages=0,
             degraded=True,
         )
         assert not outcome.agreed

@@ -6,6 +6,8 @@ plumbing -- the numpy gate, the environment kill-switch, the dispatch
 thresholds, and the per-kernel edge cases that the protocols rely on.
 """
 
+import random
+
 import pytest
 
 from repro.kernels import (
@@ -22,6 +24,8 @@ from repro.kernels import (
     equal_mask,
     equal_mask_scalar,
     fingerprint_sweep,
+    fingerprint_sweep_segments,
+    fingerprint_sweep_segments_scalar,
     mod_batch,
     mod_batch_scalar,
     numpy_available,
@@ -284,3 +288,62 @@ class TestFingerprintSweep:
 
     def test_empty_sweep(self):
         assert fingerprint_sweep(b"\x00" * 32, 16, []) == []
+
+
+class TestFingerprintSweepSegments:
+    """The pooled variant the round-barrier driver dispatches per tick."""
+
+    @staticmethod
+    def _mixed_segments(seed: int):
+        rng = random.Random(seed)
+        segments = []
+        # One segment per route regime: single-digest widths, the 256-bit
+        # boundary, and counter-extended widths beyond one SHA block.
+        for width in (1, 8, 64, 256, 257, 300, 1000):
+            salt = bytes(rng.randrange(256) for _ in range(32))
+            payloads = [
+                bytes(rng.randrange(256) for _ in range(rng.randrange(0, 24)))
+                for _ in range(rng.randrange(1, 12))
+            ]
+            segments.append((salt, width, payloads))
+        return segments
+
+    def test_matches_scalar_twin_and_impl(self):
+        segments = self._mixed_segments(3)
+        pooled = fingerprint_sweep_segments(segments)
+        assert pooled == fingerprint_sweep_segments_scalar(segments)
+        assert pooled == [
+            [_fingerprint_impl(salt, width, data) for data in payloads]
+            for salt, width, payloads in segments
+        ]
+
+    def test_empty_segment_list(self):
+        assert fingerprint_sweep_segments([]) == []
+        assert fingerprint_sweep_segments_scalar([]) == []
+
+    def test_empty_payload_segments_keep_positions(self):
+        salt = bytes(range(32))
+        segments = [
+            (salt, 16, []),
+            (salt, 16, [b"x"]),
+            (salt, 300, []),
+        ]
+        pooled = fingerprint_sweep_segments(segments)
+        assert pooled == fingerprint_sweep_segments_scalar(segments)
+        assert pooled[0] == [] and pooled[2] == []
+        assert pooled[1] == [_fingerprint_impl(salt, 16, b"x")]
+
+    def test_segment_order_preserved_under_shared_salt(self):
+        # Same salt and width across segments: pooling must still return
+        # each segment's values in its own slot, in payload order.
+        salt = b"\x21" * 32
+        segments = [
+            (salt, 64, [b"a", b"b"]),
+            (salt, 64, [b"b", b"a"]),
+        ]
+        first, second = fingerprint_sweep_segments(segments)
+        assert first == list(reversed(second))
+        assert first == [
+            _fingerprint_impl(salt, 64, b"a"),
+            _fingerprint_impl(salt, 64, b"b"),
+        ]

@@ -32,6 +32,8 @@ from repro.kernels import (
     equal_mask,
     equal_mask_scalar,
     fingerprint_sweep,
+    fingerprint_sweep_segments,
+    fingerprint_sweep_segments_scalar,
     mod_batch,
     mod_batch_scalar,
     sort_ints,
@@ -172,6 +174,31 @@ def test_fingerprint_sweep_differential():
         want = [_fingerprint_impl(salt, width, data) for data in payloads]
         assert got == want, f"sweep mismatch at width={width}"
         checked += len(payloads)
+
+
+def test_fingerprint_sweep_segments_differential():
+    # The pooled per-tick dispatch: random segment counts, salts, widths
+    # (both digest routes), and payload shapes including empty segments.
+    rng = random.Random(0x5E67)
+    checked = 0
+    while checked < 1000:
+        segments = []
+        for _ in range(rng.randrange(0, 8)):
+            salt = bytes(rng.randrange(256) for _ in range(32))
+            width = rng.choice([1, 7, 8, 16, 64, 255, 256, 257, 300, 1000])
+            payloads = [
+                bytes(rng.randrange(256) for _ in range(rng.randrange(0, 40)))
+                for _ in range(rng.randrange(0, 10))
+            ]
+            segments.append((salt, width, payloads))
+        got = fingerprint_sweep_segments(segments)
+        want = fingerprint_sweep_segments_scalar(segments)
+        oracle = [
+            [_fingerprint_impl(salt, width, data) for data in payloads]
+            for salt, width, payloads in segments
+        ]
+        assert got == want == oracle
+        checked += sum(len(p) for _, _, p in segments) or 1
 
 
 def test_dispatched_equals_forced_scalar_end_to_end():

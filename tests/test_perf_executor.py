@@ -465,3 +465,50 @@ class TestBenchSchema:
         warnings = serve_warnings(report)
         assert any("2x" in w for w in warnings)
         assert any("batch_identical" in w for w in warnings)
+
+    def _multiround_entry(self):
+        entry = dict(self._serve_throughput_entry(), rounds=2)
+        # Honest expectation on this micro is parity, not a multiple.
+        entry["coalesce_speedup"] = 1.1
+        return entry
+
+    def test_serve_throughput_multiround_optional(self):
+        report = self._minimal_report()
+        assert validate_bench_report(report) == []
+        report["micro"]["serve_throughput_multiround"] = (
+            self._multiround_entry()
+        )
+        assert validate_bench_report(report) == []
+
+    def test_serve_throughput_multiround_fields_required_when_present(self):
+        report = self._minimal_report()
+        entry = self._multiround_entry()
+        del entry["rounds"]
+        report["micro"]["serve_throughput_multiround"] = entry
+        assert any(
+            "serve_throughput_multiround.rounds" in p
+            for p in validate_bench_report(report)
+        )
+
+    def test_serve_throughput_multiround_warnings(self):
+        from repro.perf.schema import bench_report_warnings
+
+        def multiround_warnings(report):
+            return [
+                w
+                for w in bench_report_warnings(report)
+                if "serve_throughput_multiround" in w
+            ]
+
+        report = self._minimal_report()
+        report["micro"]["serve_throughput_multiround"] = (
+            self._multiround_entry()
+        )
+        # Parity-ish speedups are fine for the barrier micro: the warning
+        # floor is 0.8x, not the one-round 2x target.
+        assert multiround_warnings(report) == []
+        report["micro"]["serve_throughput_multiround"]["coalesce_speedup"] = 0.7
+        report["micro"]["serve_throughput_multiround"]["batch_identical"] = False
+        warnings = multiround_warnings(report)
+        assert any("0.8x" in w for w in warnings)
+        assert any("batch_identical" in w for w in warnings)

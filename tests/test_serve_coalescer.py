@@ -185,18 +185,63 @@ class TestCoalescerDrain:
         assert error.type == "invalid-input"
 
     def test_non_coalescible_session_takes_scalar_path(self, rng):
+        # Multi-round sessions now coalesce through the round-barrier
+        # driver, so the genuinely non-coalescible shapes are the private
+        # model and a session with a fault plan (which must run the retry
+        # loop per operation).
         registry = SessionRegistry(0)
-        registry.open("multi", universe_size=1 << 20, max_set_size=64, rounds=2)
+        registry.open(
+            "private",
+            universe_size=1 << 20,
+            max_set_size=64,
+            rounds=2,
+            model="private",
+        )
+        registry.open(
+            "faulted",
+            universe_size=1 << 20,
+            max_set_size=64,
+            rounds=2,
+            faults="bitflip@0.0:seed=1",
+        )
         registry.open("one", universe_size=1 << 20, max_set_size=64, rounds=1)
         ops = []
         for _ in range(3):
             s, t = make_instance(rng, 1 << 20, 64, 0.5)
-            ops.append(("multi", "size", s, t))
+            ops.append(("private", "size", s, t))
+            ops.append(("faulted", "size", s, t))
             ops.append(("one", "size", s, t))
         _, stats = _drive(registry, ops, coalesce=True)
-        assert stats.scalar_ops >= 3
-        history = registry.get("multi").session.stats().history
-        assert all(record.protocol == "verification-tree" for record in history)
+        assert stats.scalar_ops >= 6
+        private_history = registry.get("private").session.stats().history
+        assert all(
+            record.protocol == "private-coin-intersection"
+            for record in private_history
+        )
+        faulted_history = registry.get("faulted").session.stats().history
+        assert all(
+            record.protocol == "verification-tree"
+            for record in faulted_history
+        )
+
+    def test_multi_round_sessions_coalesce_through_barrier(self, rng):
+        registry = SessionRegistry(0)
+        registry.open("a", universe_size=1 << 20, max_set_size=64, rounds=2)
+        registry.open("b", universe_size=1 << 20, max_set_size=64, rounds=2)
+        ops = []
+        for _ in range(3):
+            s, t = make_instance(rng, 1 << 20, 64, 0.5)
+            ops.append(("a", "size", s, t))
+            ops.append(("b", "size", s, t))
+        _, stats = _drive(registry, ops, coalesce=True)
+        assert stats.scalar_ops == 0
+        assert stats.coalesced_ops == 6
+        assert stats.barriers > 0
+        for key in ("a", "b"):
+            history = registry.get(key).session.stats().history
+            assert all(
+                record.protocol == "verification-tree" for record in history
+            )
 
     def test_stop_fails_queued_ops_typed(self, rng):
         s, t = make_instance(rng, 1 << 20, 64, 0.5)

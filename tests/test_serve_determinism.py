@@ -22,6 +22,31 @@ MIX = LoadMix(
     set_sizes=(16, 64),
 )
 
+#: The multi-round shape: the same gate over the round-barrier driver.
+MULTIROUND_MIX = LoadMix(
+    name="determinism-multiround",
+    seed=7,
+    sessions=12,
+    ops_per_session=4,
+    universe_size=1 << 24,
+    set_sizes=(16, 64),
+    rounds=2,
+)
+
+#: A damaged channel: operations run the retry loop and some degrade; the
+#: degraded flag is part of the counters fingerprint, so the three-way
+#: comparison also pins *which* operations degraded.
+FAULT_MIX = LoadMix(
+    name="determinism-faults",
+    seed=7,
+    sessions=6,
+    ops_per_session=4,
+    universe_size=1 << 20,
+    set_sizes=(32,),
+    rounds=2,
+    faults="drop@0.7:seed=3",
+)
+
 
 @pytest.fixture(scope="module")
 def serial_reference():
@@ -78,3 +103,51 @@ class TestDeterminism:
         # equality above pins the whole construction.
         assert registry.fingerprint() == report.fingerprint
         assert len(serial_prints) == MIX.sessions
+
+
+class TestMultiRoundDeterminism:
+    """The three-way gate extended to the round-barrier multi-round ops."""
+
+    @pytest.fixture(scope="class")
+    def serial_reference(self):
+        return run_mix_serial(MULTIROUND_MIX)
+
+    def test_async_scalar_matches_serial(self, serial_reference):
+        report = run_load(
+            MULTIROUND_MIX, coalesce=False, tick_s=0.001, check_serial=True
+        )
+        assert report.shed == 0 and not report.errors
+        assert report.fingerprint == serial_reference["fingerprint"]
+        assert report.serial_match is True
+
+    def test_async_coalesced_matches_serial(self, serial_reference):
+        report = run_load(
+            MULTIROUND_MIX, coalesce=True, tick_s=0.001, check_serial=True
+        )
+        assert report.shed == 0 and not report.errors
+        assert report.fingerprint == serial_reference["fingerprint"]
+        assert report.serial_match is True
+        # The barrier path must actually have run for this to mean
+        # anything: multi-round ops coalesce whenever >= 2 same-shape
+        # lanes land in one tick.
+        assert report.coalesced_ops > 0
+
+
+class TestFaultMixDeterminism:
+    """A faulted mix replays bit-identically, degradations included."""
+
+    def test_serial_runner_is_self_deterministic(self):
+        first = run_mix_serial(FAULT_MIX)
+        assert run_mix_serial(FAULT_MIX) == first
+        # drop@0.7 with a 5-attempt budget must actually degrade some
+        # operations or the fixture is not exercising the contract.
+        assert first["degraded"] > 0
+
+    def test_async_matches_serial_with_degradations(self):
+        reference = run_mix_serial(FAULT_MIX)
+        report = run_load(FAULT_MIX, tick_s=0.001, check_serial=True)
+        assert report.shed == 0 and not report.errors
+        assert report.serial_match is True
+        assert report.degraded == reference["degraded"] > 0
+        # Faulted sessions stay on the scalar path by contract.
+        assert report.coalesced_ops == 0
