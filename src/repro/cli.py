@@ -380,6 +380,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=0, help="0 picks a free port"
     )
     serve_run.add_argument(
+        "--transport",
+        choices=("tcp", "uds"),
+        default="tcp",
+        help="listener socket family; both carry the identical wire "
+        "protocol and typed-error taxonomy",
+    )
+    serve_run.add_argument(
+        "--uds",
+        metavar="PATH",
+        default=None,
+        help="Unix-domain socket path (required with --transport uds)",
+    )
+    serve_run.add_argument(
         "--master-seed",
         type=int,
         default=0,
@@ -425,6 +438,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-spec string (name@rate+...:seed=N) applied to every "
         "session: operations run the verification-driven retry loop and "
         "the report prices retries and degraded replies",
+    )
+    serve_load.add_argument(
+        "--transport",
+        choices=("inproc", "tcp", "uds"),
+        default="inproc",
+        help="how clients reach the server: inproc (clients share the "
+        "server's event loop; the default, and the old behavior) or "
+        "tcp/uds (a multi-process client fleet over a real socket)",
+    )
+    serve_load.add_argument(
+        "--fleet",
+        type=int,
+        default=2,
+        help="worker processes for the tcp/uds transports (ignored for "
+        "inproc)",
+    )
+    serve_load.add_argument(
+        "--profile",
+        choices=("warm", "cold"),
+        default="warm",
+        help="serving cache profile: warm (hot caches on) or cold (hot "
+        "caches disabled in the server for the whole run; wall time "
+        "changes, the fingerprint never does)",
+    )
+    serve_load.add_argument(
+        "--uds-path",
+        metavar="PATH",
+        default=None,
+        help="socket path for --transport uds (default: a fresh tempdir)",
     )
     serve_load.add_argument("--connections", type=int, default=8)
     serve_load.add_argument(
@@ -1167,21 +1209,38 @@ def _cmd_serve_load(args, out) -> int:
     mix = _load_mix_from_args(args, out)
     if mix is None:
         return 2
-    report = run_load(
-        mix,
-        coalesce=not args.no_coalesce,
-        tick_s=args.tick,
-        connections=args.connections,
-        pipeline=args.pipeline,
-        max_pending_global=args.max_pending_global,
-        max_pending_per_session=args.max_pending_per_session,
-        check_serial=args.check_serial,
-    )
+    try:
+        report = run_load(
+            mix,
+            coalesce=not args.no_coalesce,
+            tick_s=args.tick,
+            connections=args.connections,
+            pipeline=args.pipeline,
+            max_pending_global=args.max_pending_global,
+            max_pending_per_session=args.max_pending_per_session,
+            check_serial=args.check_serial,
+            transport=args.transport,
+            fleet=args.fleet,
+            profile=args.profile,
+            uds_path=args.uds_path,
+        )
+    except ValueError as exc:
+        print(f"bad load options: {exc}", file=out)
+        return 2
+    except RuntimeError as exc:
+        # FleetError: a worker process crashed or timed out.
+        print(f"FAIL: {exc}", file=out)
+        return 1
 
     mode = "coalesced" if report.coalesce else "scalar"
+    if report.transport == "inproc":
+        via = "inproc clients"
+    else:
+        via = f"{report.fleet}-worker fleet over {report.transport}"
     print(
         f"mix {mix.name!r}: {report.sessions} sessions x "
-        f"{mix.ops_per_session} ops, {mode}",
+        f"{mix.ops_per_session} ops, {mode}, {via}, "
+        f"{report.profile} caches",
         file=out,
     )
     degraded_note = (
@@ -1200,9 +1259,22 @@ def _cmd_serve_load(args, out) -> int:
     )
     print(
         f"  latency ms: p50={report.p50_ms:.2f} p99={report.p99_ms:.2f} "
-        f"p999={report.p999_ms:.2f}",
+        f"p999={report.p999_ms:.2f} (answered ops only)",
         file=out,
     )
+    if report.shed:
+        print(
+            f"  shed latency ms: p50={report.shed_p50_ms:.2f} "
+            f"p99={report.shed_p99_ms:.2f} ({report.shed} rejections)",
+            file=out,
+        )
+    for worker in report.workers:
+        print(
+            f"  worker {worker['worker']}: {worker['ok']}/{worker['ops']} ok, "
+            f"{worker['shed']} shed, {worker['connections']} conns, "
+            f"p50={worker['p50_ms']:.2f}ms p99={worker['p99_ms']:.2f}ms",
+            file=out,
+        )
     if report.batches:
         print(
             f"  coalescer: {report.batches} batches, "
@@ -1296,17 +1368,27 @@ def _cmd_serve(args, out) -> int:
 
     from repro.serve import IntersectionServer, ServeConfig
 
+    if args.transport == "uds" and not args.uds:
+        print("--transport uds requires --uds PATH", file=out)
+        return 2
+
     async def _run_server() -> None:
         server = IntersectionServer(
             ServeConfig(
                 host=args.host,
                 port=args.port,
+                transport=args.transport,
+                uds_path=args.uds,
                 master_seed=args.master_seed,
             )
         )
         await server.start()
-        host, port = server.address
-        print(f"serving on {host}:{port} (ctrl-c to stop)", file=out)
+        kind, where = server.endpoint
+        if kind == "uds":
+            print(f"serving on unix:{where} (ctrl-c to stop)", file=out)
+        else:
+            host, port = where
+            print(f"serving on {host}:{port} (ctrl-c to stop)", file=out)
         try:
             await server.serve_forever()
         finally:

@@ -69,7 +69,19 @@ Schema history:
   warning threshold is a 0.8x parity floor rather than 2x -- the barrier pools
   kernel dispatches but the per-level sweeps are cheap on warm caches,
   so the micro's job is pinning honesty and the three-way
-  ``batch_identical`` contract, not advertising a multiple.
+  ``batch_identical`` contract, not advertising a multiple.  The
+  transport layer adds two more optional micros on the same terms:
+  ``serve_socket_throughput`` (the same mix through in-process clients
+  vs a 2-worker multi-process fleet over a Unix-domain socket;
+  ``socket_vs_inproc`` is the wall ratio with **no** target claimed --
+  the syscall layer's price is watched, not advertised -- and
+  ``batch_identical`` extends the fingerprint contract across the
+  process boundary) and ``serve_cold_cache`` (warm vs cold hot-caches on
+  a rounds=2 mix; ``cold_coalesce_speedup`` is the pooled-dispatch
+  payoff in the one regime it exists for -- measured at parity to a few
+  percent on the reference host, so its floor is the same 0.8x parity
+  bar as the multi-round micro, not an invented multiple -- and
+  ``profile_identical`` pins cache value-transparency).
 * **v2** -- honest host parallelism: ``host.cpu_count_affinity`` (the CPUs
   the process is actually allowed to schedule on, which on pinned CI
   runners is smaller than ``os.cpu_count()``) joins ``host.cpu_count``;
@@ -144,6 +156,44 @@ _SERVE_THROUGHPUT_MULTIROUND_FIELDS = {
     "coalesce_speedup": float,
     "lanes_per_batch": float,
     "batch_identical": bool,
+    "shed": int,
+}
+#: Extra fields the (optional) serve_socket_throughput micro must carry
+#: when present.  ``socket_vs_inproc`` is the socket-fleet wall over the
+#: in-process wall on the same seeded mix (best-of-N each) -- the honest
+#: price of real process boundaries, with no target claimed either way.
+#: ``batch_identical`` extends the fingerprint contract across the
+#: process boundary (serial == in-process == socket fleet).
+_SERVE_SOCKET_THROUGHPUT_FIELDS = {
+    "transport": str,
+    "fleet": int,
+    "sessions_per_s": float,
+    "p50_ms": float,
+    "p99_ms": float,
+    "inproc_wall_s": float,
+    "socket_wall_s": float,
+    "socket_vs_inproc": float,
+    "batch_identical": bool,
+    "shed": int,
+}
+#: Extra fields the (optional) serve_cold_cache micro must carry when
+#: present.  ``cold_coalesce_speedup`` is cold-scalar wall over
+#: cold-coalesced wall at the recorded ``rounds`` -- the pooled-dispatch
+#: payoff in the regime it was built for (hot caches disabled);
+#: ``cold_penalty`` is cold over warm coalesced wall (the honest cost of
+#: losing the caches); ``profile_identical`` pins the kill switch's
+#: value-transparency (warm == cold == serial fingerprints).
+_SERVE_COLD_CACHE_FIELDS = {
+    "rounds": int,
+    "sessions_per_s": float,
+    "p50_ms": float,
+    "p99_ms": float,
+    "warm_wall_s": float,
+    "cold_wall_s": float,
+    "cold_scalar_wall_s": float,
+    "cold_penalty": float,
+    "cold_coalesce_speedup": float,
+    "profile_identical": bool,
     "shed": int,
 }
 _E1_FIELDS = {
@@ -258,6 +308,17 @@ def validate_bench_report(report: Any) -> List[str]:
                     entry,
                     _SERVE_THROUGHPUT_MULTIROUND_FIELDS,
                 )
+            if name == "serve_socket_throughput":
+                _check_fields(
+                    errors,
+                    f"micro.{name}",
+                    entry,
+                    _SERVE_SOCKET_THROUGHPUT_FIELDS,
+                )
+            if name == "serve_cold_cache":
+                _check_fields(
+                    errors, f"micro.{name}", entry, _SERVE_COLD_CACHE_FIELDS
+                )
             if isinstance(entry, dict) and "backend" in entry:
                 if not isinstance(entry["backend"], str):
                     errors.append(
@@ -272,7 +333,7 @@ def validate_bench_report(report: Any) -> List[str]:
 def bench_report_warnings(report: Any) -> List[str]:
     """Non-fatal honesty checks on a (structurally valid) report.
 
-    Four today:
+    Six today:
 
     * a parallel-speedup claim made with more workers than the host can
       actually schedule is noise, not parallelism -- the classic way to
@@ -287,7 +348,15 @@ def bench_report_warnings(report: Any) -> List[str]:
     * a ``serve_throughput_multiround`` micro whose barrier-coalesced leg
       fell below the 0.8x parity floor (the honest multi-round target:
       pooled dispatches minus the locality tax should at worst break
-      even) or whose three-way fingerprint diverged.
+      even) or whose three-way fingerprint diverged;
+    * a ``serve_socket_throughput`` micro whose fingerprint diverged
+      across the process boundary or that shed under the bench bounds
+      (no floor on the wall ratio itself: syscall overhead is a price,
+      not a speedup);
+    * a ``serve_cold_cache`` micro whose cold-cache pooled dispatch lost
+      outright to cold-cache scalar (below the 0.8x parity floor in the
+      one regime the pooling exists for), or whose fingerprint changed
+      when the caches were disabled.
 
     :returns: human-readable warnings; empty means nothing suspicious.
     """
@@ -373,5 +442,45 @@ def bench_report_warnings(report: Any) -> List[str]:
                 "micro.serve_throughput_multiround.batch_identical is "
                 "false: the barrier-coalesced run's aggregate fingerprint "
                 "diverged from the scalar/serial reference paths"
+            )
+    socket = (
+        micro.get("serve_socket_throughput") if isinstance(micro, dict) else None
+    )
+    if isinstance(socket, dict):
+        # No floor on socket_vs_inproc: the syscall overhead is a price to
+        # watch, not a speedup to advertise.  The load-bearing claims are
+        # determinism across the process boundary and zero untyped loss.
+        if socket.get("batch_identical") is False:
+            warnings.append(
+                "micro.serve_socket_throughput.batch_identical is false: "
+                "the socket-fleet run's aggregate fingerprint diverged "
+                "from the in-process/serial reference paths"
+            )
+        shed = socket.get("shed")
+        if isinstance(shed, int) and not isinstance(shed, bool) and shed > 0:
+            warnings.append(
+                f"micro.serve_socket_throughput.shed = {shed}: the bench "
+                f"mix should run entirely under the admission bounds; "
+                f"shedding here means the walls compare different work"
+            )
+    cold = micro.get("serve_cold_cache") if isinstance(micro, dict) else None
+    if isinstance(cold, dict):
+        speedup = cold.get("cold_coalesce_speedup")
+        if (
+            isinstance(speedup, (int, float))
+            and not isinstance(speedup, bool)
+            and speedup < 0.8
+        ):
+            warnings.append(
+                f"micro.serve_cold_cache.cold_coalesce_speedup = "
+                f"{speedup:.2f} is below the 0.8x parity floor; pooled "
+                f"dispatch is losing outright to the scalar path even "
+                f"with cold caches -- the one regime it exists for"
+            )
+        if cold.get("profile_identical") is False:
+            warnings.append(
+                "micro.serve_cold_cache.profile_identical is false: "
+                "disabling the hot caches changed the aggregate "
+                "fingerprint -- a cache is leaking values into results"
             )
     return warnings

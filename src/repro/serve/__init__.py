@@ -23,7 +23,11 @@ package is that service shape:
 * :mod:`repro.serve.loadgen` -- the deterministic load harness
   (``repro serve load``): seeded traffic mixes (JSON mix documents),
   p50/p99/p999 latency, sessions/sec, coalesced-lane occupancy, and a
-  serial reference runner for the determinism gate.
+  serial reference runner for the determinism gate;
+* :mod:`repro.serve.fleet` -- the out-of-process load mode: worker
+  processes replaying the same seeded schedule over real TCP or
+  Unix-domain sockets (``repro serve load --transport {tcp,uds}``), with
+  the determinism fingerprint and shed contract extending unchanged.
 """
 
 from repro.serve.coalescer import (
@@ -31,8 +35,11 @@ from repro.serve.coalescer import (
     coalescible,
     one_round_batch_results,
 )
+from repro.serve.fleet import FleetError, run_fleet
 from repro.serve.loadgen import (
     DEFAULT_MIX,
+    PROFILES,
+    TRANSPORTS,
     LoadMix,
     LoadReport,
     latency_histogram,
@@ -42,7 +49,7 @@ from repro.serve.loadgen import (
     run_mix_serial,
 )
 from repro.serve.registry import SessionRegistry
-from repro.serve.server import IntersectionServer, ServeConfig
+from repro.serve.server import SERVER_TRANSPORTS, IntersectionServer, ServeConfig
 from repro.serve.wire import (
     MAX_FRAME_BYTES,
     FrameError,
@@ -57,6 +64,8 @@ __all__ = [
     "coalescible",
     "one_round_batch_results",
     "DEFAULT_MIX",
+    "TRANSPORTS",
+    "PROFILES",
     "LoadMix",
     "LoadReport",
     "latency_histogram",
@@ -64,9 +73,12 @@ __all__ = [
     "mix_to_dict",
     "run_load",
     "run_mix_serial",
+    "FleetError",
+    "run_fleet",
     "SessionRegistry",
     "IntersectionServer",
     "ServeConfig",
+    "SERVER_TRANSPORTS",
     "MAX_FRAME_BYTES",
     "FrameError",
     "ServeError",

@@ -22,12 +22,14 @@ so the numbers measure the server, not the client's JSON encoder.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import random
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.perf.executor import derive_seed
+from repro.util import hotcache
 from repro.serve.coalescer import OP_KINDS, run_scalar_operation
 from repro.serve.registry import SessionRegistry
 from repro.serve.server import IntersectionServer, ServeConfig
@@ -37,6 +39,8 @@ __all__ = [
     "LoadMix",
     "LoadReport",
     "DEFAULT_MIX",
+    "TRANSPORTS",
+    "PROFILES",
     "mix_from_dict",
     "mix_to_dict",
     "generate_schedule",
@@ -264,7 +268,15 @@ def run_mix_serial(mix: LoadMix) -> Dict[str, Any]:
 
 @dataclass
 class LoadReport:
-    """One load run's capacity numbers."""
+    """One load run's capacity numbers.
+
+    The latency percentiles (``p50_ms``/``p99_ms``/``p999_ms``) cover
+    **answered** work only: shed (``overloaded``) replies are immediate
+    admission rejections whose near-zero turnarounds live separately in
+    ``shed_latencies_ms`` (with ``shed_p50_ms``/``shed_p99_ms``), so an
+    overloaded run's percentile report stays honest about the work the
+    server actually performed.
+    """
 
     mix_name: str
     coalesce: bool
@@ -283,13 +295,28 @@ class LoadReport:
     p50_ms: float = 0.0
     p99_ms: float = 0.0
     p999_ms: float = 0.0
+    shed_p50_ms: float = 0.0
+    shed_p99_ms: float = 0.0
     coalesced_ops: int = 0
     scalar_ops: int = 0
     lanes_per_batch: Optional[float] = None
     batches: int = 0
     fingerprint: str = ""
     serial_match: Optional[bool] = None
+    #: How the clients reached the server: ``inproc`` (same-process
+    #: asyncio clients over loopback TCP), ``tcp``, or ``uds`` (the
+    #: multi-process fleet over a real socket).
+    transport: str = "inproc"
+    #: Worker processes that generated the load (0 = in-process clients).
+    fleet: int = 0
+    #: Serving cache profile: ``warm`` (hot caches on, the default) or
+    #: ``cold`` (hot caches disabled in the server for the whole run).
+    profile: str = "warm"
+    #: Per-worker summaries (fleet mode only): ops/ok/shed/percentiles
+    #: per worker process, so a straggler or a crashed worker is visible.
+    workers: List[Dict[str, Any]] = field(default_factory=list)
     latencies_ms: List[float] = field(default_factory=list)
+    shed_latencies_ms: List[float] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -307,12 +334,18 @@ class LoadReport:
             "p50_ms": self.p50_ms,
             "p99_ms": self.p99_ms,
             "p999_ms": self.p999_ms,
+            "shed_p50_ms": self.shed_p50_ms,
+            "shed_p99_ms": self.shed_p99_ms,
             "coalesced_ops": self.coalesced_ops,
             "scalar_ops": self.scalar_ops,
             "lanes_per_batch": self.lanes_per_batch,
             "batches": self.batches,
             "fingerprint": self.fingerprint,
             "serial_match": self.serial_match,
+            "transport": self.transport,
+            "fleet": self.fleet,
+            "profile": self.profile,
+            "workers": self.workers,
         }
 
 
@@ -371,51 +404,94 @@ async def _client_run(
     pipeline: int,
     latencies_s: List[float],
     counters: Dict[str, Any],
+    shed_latencies_s: Optional[List[float]] = None,
 ) -> None:
     pending: Dict[int, float] = {}
     expected = len(op_frames)
     window = asyncio.Semaphore(pipeline)
+    # Shared failure channel: the send loop only ever unblocks through
+    # window.release(), which normally only read_loop performs -- so a
+    # read_loop that dies with ops still in flight must both record its
+    # failure here and release the window once, or the send loop parks on
+    # acquire() forever (the pre-fix deadlock).
+    read_failure: List[BaseException] = []
 
     async def read_loop() -> None:
         received = 0
-        while received < expected:
-            reply = await frames.next()
-            now = time.perf_counter()
-            if reply is None:
-                raise RuntimeError("server closed connection mid-load")
-            request_id = reply.get("id")
-            started = pending.pop(request_id)
-            latencies_s.append(now - started)
-            received += 1
-            if reply.get("ok"):
-                counters["ok"] += 1
-                if reply.get("degraded"):
-                    counters["degraded"] += 1
-            else:
-                error = reply.get("error", {})
-                if error.get("type") == "overloaded":
-                    counters["shed"] += 1
+        try:
+            while received < expected:
+                reply = await frames.next()
+                now = time.perf_counter()
+                if reply is None:
+                    raise RuntimeError("server closed connection mid-load")
+                request_id = reply.get("id")
+                started = pending.pop(request_id, None)
+                if started is None:
+                    # A reply with no id (bad-frame errors are emitted
+                    # before the server knows one) or an id we never sent:
+                    # surface it as a typed counter entry, never a crash.
+                    error = reply.get("error") or {
+                        "type": "internal",
+                        "message": f"unmatched reply {reply!r}",
+                    }
+                    counters["errors"].append(
+                        dict(error, unmatched=True)
+                    )
+                    continue
+                received += 1
+                latency = now - started
+                if reply.get("ok"):
+                    counters["ok"] += 1
+                    latencies_s.append(latency)
+                    if reply.get("degraded"):
+                        counters["degraded"] += 1
                 else:
-                    counters["errors"].append(error)
+                    error = reply.get("error", {})
+                    if error.get("type") == "overloaded":
+                        # Shed replies are immediate admission rejections;
+                        # mixing their near-zero latencies into the answered
+                        # percentiles would drag p50/p99 down exactly when
+                        # the server is struggling most.
+                        counters["shed"] += 1
+                        if shed_latencies_s is not None:
+                            shed_latencies_s.append(latency)
+                    else:
+                        latencies_s.append(latency)
+                        counters["errors"].append(error)
+                window.release()
+        except BaseException as exc:
+            read_failure.append(exc)
             window.release()
+            raise
 
     read_task = asyncio.get_running_loop().create_task(read_loop())
-    unflushed = 0
-    for request_id, frame in op_frames:
-        await window.acquire()
-        pending[request_id] = time.perf_counter()
-        writer.write(frame)
-        unflushed += 1
-        if unflushed >= 16:
-            await writer.drain()
-            unflushed = 0
-    await writer.drain()
-    await read_task
-    writer.close()
     try:
-        await writer.wait_closed()
-    except (ConnectionError, OSError):
-        pass
+        unflushed = 0
+        for request_id, frame in op_frames:
+            await window.acquire()
+            if read_failure:
+                break
+            pending[request_id] = time.perf_counter()
+            writer.write(frame)
+            unflushed += 1
+            if unflushed >= 16:
+                await writer.drain()
+                unflushed = 0
+        if not read_failure:
+            await writer.drain()
+        await read_task
+    finally:
+        if not read_task.done():
+            read_task.cancel()
+            try:
+                await read_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
 
 
 def _partition_sessions(mix: LoadMix, connections: int) -> List[List[int]]:
@@ -502,6 +578,7 @@ async def _run_load_async(
 
         # Phase 2 (measured): replay the schedule.
         latencies_s: List[float] = []
+        shed_latencies_s: List[float] = []
         counters: Dict[str, Any] = {
             "ok": 0, "shed": 0, "degraded": 0, "errors": []
         }
@@ -515,6 +592,7 @@ async def _run_load_async(
                     pipeline,
                     latencies_s,
                     counters,
+                    shed_latencies_s,
                 )
                 for g, (frames, writer) in enumerate(streams)
             )
@@ -526,6 +604,7 @@ async def _run_load_async(
         await server.stop()
 
     latencies_ms = sorted(value * 1e3 for value in latencies_s)
+    shed_latencies_ms = sorted(value * 1e3 for value in shed_latencies_s)
     ops_total = len(schedule)
     coalescer = info["coalescer"]
     report = LoadReport(
@@ -543,12 +622,15 @@ async def _run_load_async(
         p50_ms=_percentile(latencies_ms, 0.50),
         p99_ms=_percentile(latencies_ms, 0.99),
         p999_ms=_percentile(latencies_ms, 0.999),
+        shed_p50_ms=_percentile(shed_latencies_ms, 0.50),
+        shed_p99_ms=_percentile(shed_latencies_ms, 0.99),
         coalesced_ops=coalescer["coalesced_ops"],
         scalar_ops=coalescer["scalar_ops"],
         lanes_per_batch=coalescer["lanes_per_batch"],
         batches=coalescer["batches"],
         fingerprint=info["fingerprint"],
         latencies_ms=latencies_ms,
+        shed_latencies_ms=shed_latencies_ms,
     )
     if check_serial:
         reference = run_mix_serial(mix)
@@ -558,6 +640,23 @@ async def _run_load_async(
             and reference["fingerprint"] == report.fingerprint
         )
     return report
+
+
+#: Client transports ``run_load`` understands.  ``inproc`` is the
+#: same-process asyncio harness (clients and server share one event loop
+#: over loopback TCP); ``tcp`` and ``uds`` hand off to the multi-process
+#: fleet driver in :mod:`repro.serve.fleet`, where worker processes pay
+#: the real syscall/serialization/RTT costs.
+TRANSPORTS = ("inproc", "tcp", "uds")
+
+#: Serving cache profiles.  ``warm`` leaves the hot-path caches on (the
+#: steady-state posture); ``cold`` disables them in the server process for
+#: the whole run via the :mod:`repro.util.hotcache` kill switch -- the
+#: regime where per-operation recomputation dominates and the coalescer's
+#: pooled ``fingerprint_sweep_segments`` dispatch actually pays off.
+#: Caches are semantically invisible, so the determinism fingerprint is
+#: identical across profiles -- cold changes wall time, never bits.
+PROFILES = ("warm", "cold")
 
 
 def run_load(
@@ -570,17 +669,40 @@ def run_load(
     max_pending_global: int = 4096,
     max_pending_per_session: int = 512,
     check_serial: bool = False,
+    transport: str = "inproc",
+    fleet: int = 2,
+    profile: str = "warm",
+    uds_path: Optional[str] = None,
 ) -> LoadReport:
     """Boot an in-process server and replay ``mix`` against it.
+
+    With the default ``transport="inproc"`` the clients share the server's
+    event loop (loopback TCP, zero process boundaries); ``"tcp"`` and
+    ``"uds"`` dispatch to :func:`repro.serve.fleet.run_fleet`, which
+    spawns ``fleet`` worker processes that replay the same schedule over
+    real sockets.  ``profile="cold"`` disables the server's hot-path
+    caches for the whole run (wall time changes, bits never do).
 
     With ``check_serial`` the same mix is replayed through
     :func:`run_mix_serial` and the aggregate fingerprints compared; a
     mismatch (or any shed under the generous default bounds) sets
     ``serial_match`` False.
     """
-    return asyncio.run(
-        _run_load_async(
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r} (know: {', '.join(TRANSPORTS)})"
+        )
+    if profile not in PROFILES:
+        raise ValueError(
+            f"unknown profile {profile!r} (know: {', '.join(PROFILES)})"
+        )
+    if transport != "inproc":
+        from repro.serve.fleet import run_fleet
+
+        return run_fleet(
             mix,
+            transport=transport,
+            fleet=fleet,
             coalesce=coalesce,
             tick_s=tick_s,
             connections=connections,
@@ -588,5 +710,34 @@ def run_load(
             max_pending_global=max_pending_global,
             max_pending_per_session=max_pending_per_session,
             check_serial=check_serial,
+            profile=profile,
+            uds_path=uds_path,
         )
-    )
+
+    with contextlib.ExitStack() as stack:
+        if profile == "cold":
+            stack.enter_context(hotcache.disabled())
+        report = asyncio.run(
+            _run_load_async(
+                mix,
+                coalesce=coalesce,
+                tick_s=tick_s,
+                connections=connections,
+                pipeline=pipeline,
+                max_pending_global=max_pending_global,
+                max_pending_per_session=max_pending_per_session,
+                check_serial=False,
+            )
+        )
+    report.profile = profile
+    if check_serial:
+        # The serial oracle runs outside the cold block on purpose: the
+        # caches are value-transparent, so warm-oracle == cold-server is
+        # exactly the claim the gate certifies.
+        reference = run_mix_serial(mix)
+        report.serial_match = (
+            report.shed == 0
+            and not report.errors
+            and reference["fingerprint"] == report.fingerprint
+        )
+    return report

@@ -24,6 +24,8 @@ shed -- once queued, they are answered.
 from __future__ import annotations
 
 import asyncio
+import os
+from contextlib import suppress
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any, Dict, Optional, Set, Tuple
@@ -40,7 +42,13 @@ from repro.serve.wire import (
     error_reply,
 )
 
-__all__ = ["ServeConfig", "IntersectionServer"]
+__all__ = ["ServeConfig", "IntersectionServer", "SERVER_TRANSPORTS"]
+
+
+#: Listener transports the server speaks.  Both carry the identical wire
+#: protocol (length-prefixed JSON frames) and typed-error taxonomy; the
+#: only difference is the socket family underneath.
+SERVER_TRANSPORTS = ("tcp", "uds")
 
 
 @dataclass(frozen=True)
@@ -50,6 +58,13 @@ class ServeConfig:
     host: str = "127.0.0.1"
     #: 0 means "pick a free port" (the chosen one is in ``server.address``).
     port: int = 0
+    #: Listener transport: ``tcp`` (host/port) or ``uds`` (a Unix-domain
+    #: socket at ``uds_path``).  The wire protocol and error taxonomy are
+    #: identical on both; connections never know which family carried them.
+    transport: str = "tcp"
+    #: Filesystem path for the ``uds`` listener (required for that
+    #: transport; a stale socket file at the path is replaced).
+    uds_path: Optional[str] = None
     #: Seed lineage root for sessions opened without an explicit seed.
     master_seed: int = 0
     #: Cross-session batch coalescing (the perf core); disabling it keeps
@@ -63,6 +78,15 @@ class ServeConfig:
     #: Per-session bound (keeps one hot session from starving the rest).
     max_pending_per_session: int = 64
     max_frame_bytes: int = MAX_FRAME_BYTES
+
+    def __post_init__(self) -> None:
+        if self.transport not in SERVER_TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r} "
+                f"(know: {', '.join(SERVER_TRANSPORTS)})"
+            )
+        if self.transport == "uds" and not self.uds_path:
+            raise ValueError("the 'uds' transport requires uds_path")
 
 
 def _require_list(value: Any, name: str) -> list:
@@ -104,18 +128,44 @@ class IntersectionServer:
 
     async def start(self) -> None:
         await self.coalescer.start()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
-        )
+        if self.config.transport == "uds":
+            path = self.config.uds_path
+            assert path is not None  # __post_init__ enforced
+            # A stale socket file from a crashed predecessor would make
+            # the bind fail; replacing it is the standard UDS posture.
+            with suppress(FileNotFoundError):
+                os.unlink(path)
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port
+            )
 
     @property
     def address(self) -> Tuple[str, int]:
-        """The bound ``(host, port)`` (resolves ``port=0``)."""
+        """The bound ``(host, port)`` (resolves ``port=0``; TCP only)."""
         if self._server is None:
             raise RuntimeError("server is not started")
+        if self.config.transport != "tcp":
+            raise RuntimeError(
+                f"transport {self.config.transport!r} has no TCP address; "
+                f"use endpoint"
+            )
         sock = self._server.sockets[0]
         host, port = sock.getsockname()[:2]
         return host, port
+
+    @property
+    def endpoint(self) -> Tuple[str, Any]:
+        """Transport-tagged bound endpoint: ``("tcp", (host, port))`` or
+        ``("uds", path)`` -- the value a client needs to connect."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        if self.config.transport == "uds":
+            return "uds", self.config.uds_path
+        return "tcp", self.address
 
     async def stop(self) -> None:
         self._closing = True
@@ -124,6 +174,9 @@ class IntersectionServer:
             await self._server.wait_closed()
             self._server = None
         await self.coalescer.stop()
+        if self.config.transport == "uds" and self.config.uds_path:
+            with suppress(FileNotFoundError):
+                os.unlink(self.config.uds_path)
 
     async def serve_forever(self) -> None:
         if self._server is None:

@@ -512,3 +512,117 @@ class TestBenchSchema:
         warnings = multiround_warnings(report)
         assert any("0.8x" in w for w in warnings)
         assert any("batch_identical" in w for w in warnings)
+
+    def _socket_throughput_entry(self):
+        return {
+            "ops_per_s": 9000.0,
+            "wall_s": 0.1,
+            "iterations": 6,
+            "transport": "uds",
+            "fleet": 2,
+            "sessions_per_s": 700.0,
+            "p50_ms": 10.0,
+            "p99_ms": 14.0,
+            "inproc_wall_s": 0.013,
+            "socket_wall_s": 0.02,
+            "socket_vs_inproc": 1.6,
+            "batch_identical": True,
+            "shed": 0,
+        }
+
+    def test_serve_socket_throughput_optional(self):
+        report = self._minimal_report()
+        assert validate_bench_report(report) == []
+        report["micro"]["serve_socket_throughput"] = (
+            self._socket_throughput_entry()
+        )
+        assert validate_bench_report(report) == []
+
+    def test_serve_socket_throughput_fields_required_when_present(self):
+        report = self._minimal_report()
+        entry = self._socket_throughput_entry()
+        del entry["socket_vs_inproc"]
+        report["micro"]["serve_socket_throughput"] = entry
+        assert any(
+            "serve_socket_throughput.socket_vs_inproc" in p
+            for p in validate_bench_report(report)
+        )
+
+    def test_serve_socket_throughput_warnings(self):
+        from repro.perf.schema import bench_report_warnings
+
+        def socket_warnings(report):
+            return [
+                w
+                for w in bench_report_warnings(report)
+                if "serve_socket_throughput" in w
+            ]
+
+        report = self._minimal_report()
+        report["micro"]["serve_socket_throughput"] = (
+            self._socket_throughput_entry()
+        )
+        assert socket_warnings(report) == []
+        # No floor on the wall ratio itself -- syscall overhead is a price,
+        # not a speedup -- so even a large ratio warns about nothing.
+        report["micro"]["serve_socket_throughput"]["socket_vs_inproc"] = 40.0
+        assert socket_warnings(report) == []
+        report["micro"]["serve_socket_throughput"]["batch_identical"] = False
+        report["micro"]["serve_socket_throughput"]["shed"] = 3
+        warnings = socket_warnings(report)
+        assert any("batch_identical" in w for w in warnings)
+        assert any("shed" in w for w in warnings)
+
+    def _cold_cache_entry(self):
+        return {
+            "ops_per_s": 150.0,
+            "wall_s": 2.0,
+            "iterations": 6,
+            "rounds": 2,
+            "sessions_per_s": 39.0,
+            "p50_ms": 400.0,
+            "p99_ms": 410.0,
+            "warm_wall_s": 0.1,
+            "cold_wall_s": 0.41,
+            "cold_scalar_wall_s": 0.42,
+            "cold_penalty": 4.1,
+            "cold_coalesce_speedup": 1.02,
+            "profile_identical": True,
+            "shed": 0,
+        }
+
+    def test_serve_cold_cache_optional(self):
+        report = self._minimal_report()
+        assert validate_bench_report(report) == []
+        report["micro"]["serve_cold_cache"] = self._cold_cache_entry()
+        assert validate_bench_report(report) == []
+
+    def test_serve_cold_cache_fields_required_when_present(self):
+        report = self._minimal_report()
+        entry = self._cold_cache_entry()
+        del entry["profile_identical"]
+        report["micro"]["serve_cold_cache"] = entry
+        assert any(
+            "serve_cold_cache.profile_identical" in p
+            for p in validate_bench_report(report)
+        )
+
+    def test_serve_cold_cache_warnings(self):
+        from repro.perf.schema import bench_report_warnings
+
+        def cold_warnings(report):
+            return [
+                w
+                for w in bench_report_warnings(report)
+                if "serve_cold_cache" in w
+            ]
+
+        report = self._minimal_report()
+        report["micro"]["serve_cold_cache"] = self._cold_cache_entry()
+        # Parity is the honest measured result; no warning.
+        assert cold_warnings(report) == []
+        report["micro"]["serve_cold_cache"]["cold_coalesce_speedup"] = 0.7
+        report["micro"]["serve_cold_cache"]["profile_identical"] = False
+        warnings = cold_warnings(report)
+        assert any("0.8x" in w for w in warnings)
+        assert any("profile_identical" in w for w in warnings)

@@ -1,0 +1,118 @@
+"""Tests for the multi-process client fleet (the out-of-process load mode).
+
+The load-bearing claim under test: moving the clients out of process --
+real sockets, real scheduling, worker interleaving the parent never sees
+-- must not change a single bit of the result.  Serial oracle, in-process
+clients, TCP fleet, and UDS fleet all replay the same mix document and
+must agree on the aggregate fingerprint, with every operation accounted
+(``ok + shed == total``) on every path.
+
+Fleet runs spawn real worker processes, so the mixes here are small; the
+schedule-partitioning unit tests below cover the combinatorics cheaply.
+"""
+
+import pytest
+
+from repro.serve import LoadMix, run_load, run_mix_serial
+from repro.serve.fleet import _encode_worker_frames, run_fleet
+from repro.serve.loadgen import _partition_sessions, generate_schedule
+
+MIX = LoadMix(
+    name="fleet-test",
+    seed=23,
+    sessions=6,
+    ops_per_session=4,
+    universe_size=1 << 20,
+    set_sizes=(16, 32),
+)
+
+
+class TestFleetDeterminism:
+    def test_socket_fleet_matches_serial_and_inproc(self):
+        serial = run_mix_serial(MIX)
+        inproc = run_load(MIX, tick_s=0.001)
+        uds = run_fleet(MIX, transport="uds", fleet=2, tick_s=0.001)
+        tcp = run_fleet(MIX, transport="tcp", fleet=2, tick_s=0.001)
+
+        for report in (uds, tcp):
+            assert report.fleet == 2 and len(report.workers) == 2
+            assert report.ops_ok + report.shed == report.ops_total == 24
+            assert not report.errors
+            assert report.fingerprint == serial["fingerprint"]
+        assert inproc.fingerprint == serial["fingerprint"]
+        assert uds.transport == "uds" and tcp.transport == "tcp"
+
+    def test_worker_summaries_account_for_every_op(self):
+        report = run_fleet(MIX, transport="uds", fleet=3, tick_s=0.001)
+        assert sum(w["ops"] for w in report.workers) == report.ops_total
+        assert sum(w["ok"] for w in report.workers) == report.ops_ok
+        assert sum(w["shed"] for w in report.workers) == report.shed
+        assert len(report.latencies_ms) == report.ops_ok
+
+    def test_check_serial_gate_over_the_socket(self):
+        report = run_fleet(
+            MIX, transport="uds", fleet=2, tick_s=0.001, check_serial=True
+        )
+        assert report.serial_match is True
+
+    def test_cold_profile_is_bit_identical(self):
+        warm = run_fleet(MIX, transport="uds", fleet=2, tick_s=0.001)
+        cold = run_fleet(
+            MIX, transport="uds", fleet=2, tick_s=0.001, profile="cold"
+        )
+        assert cold.profile == "cold" and warm.profile == "warm"
+        assert cold.fingerprint == warm.fingerprint
+
+    def test_run_load_dispatches_to_fleet(self):
+        report = run_load(MIX, transport="uds", fleet=2, tick_s=0.001)
+        assert report.transport == "uds" and report.fleet == 2
+
+
+class TestFleetValidation:
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            run_fleet(MIX, transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="transport"):
+            run_load(MIX, transport="carrier-pigeon")
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="profile"):
+            run_load(MIX, profile="lukewarm")
+
+    def test_fleet_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="fleet"):
+            run_fleet(MIX, fleet=0)
+
+
+class TestSchedulePartitioning:
+    """The determinism argument's combinatorial half, tested without
+    processes: every op appears in exactly one worker's frame list, and
+    each session's ops stay in op-index order inside its worker."""
+
+    def test_workers_cover_schedule_exactly_once(self):
+        schedule = generate_schedule(MIX)
+        groups = _partition_sessions(MIX, 3)
+        seen = []
+        for group in groups:
+            _, op_frames = _encode_worker_frames(MIX, group, connections=2)
+            for frames in op_frames:
+                seen.extend(request_id for request_id, _ in frames)
+        assert sorted(seen) == list(range(len(schedule)))
+
+    def test_per_session_order_preserved_within_worker(self):
+        schedule = generate_schedule(MIX)
+        for group in _partition_sessions(MIX, 2):
+            _, op_frames = _encode_worker_frames(MIX, group, connections=1)
+            (frames,) = op_frames
+            last_by_session = {}
+            for request_id, _ in frames:
+                op = schedule[request_id]
+                previous = last_by_session.get(op.session_index, -1)
+                assert op.op_index > previous
+                last_by_session[op.session_index] = op.op_index
+
+    def test_connections_bounded_by_sessions(self):
+        open_frames, op_frames = _encode_worker_frames(
+            MIX, [0, 1], connections=8
+        )
+        assert len(open_frames) == len(op_frames) == 2

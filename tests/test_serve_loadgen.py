@@ -1,6 +1,8 @@
 """Tests for the deterministic load generator (mix documents, schedules,
-the capacity report, and the latency histogram artifact)."""
+the capacity report, the latency histogram artifact, and the client
+pipeline's failure behavior)."""
 
+import asyncio
 import json
 
 import pytest
@@ -9,9 +11,11 @@ from repro.perf.executor import derive_seed
 from repro.serve import DEFAULT_MIX, LoadMix, mix_from_dict, mix_to_dict, run_load
 from repro.serve.loadgen import (
     HISTOGRAM_BUCKETS_MS,
+    _client_run,
     generate_schedule,
     latency_histogram,
 )
+from repro.serve.wire import FrameReader, encode_frame, error_reply
 
 
 class TestMixDocuments:
@@ -89,6 +93,142 @@ class TestRunLoad:
         document = report.as_dict()
         assert json.dumps(document)  # JSON-ready (no nan, no sets)
         assert document["ops_ok"] == 24
+
+
+async def _drive_client(handler, op_count, pipeline=4):
+    """Run ``_client_run`` against a scripted fake server.
+
+    ``handler(request, writer)`` is called once per received frame and
+    decides what (if anything) to reply; returning False closes the
+    connection immediately, simulating a server death mid-load.
+    """
+    async def serve(reader, writer):
+        frames = FrameReader(reader)
+        try:
+            while True:
+                request = await frames.next()
+                if request is None:
+                    break
+                if await handler(request, writer) is False:
+                    break
+                await writer.drain()
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(serve, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    reader, writer = await asyncio.open_connection(host, port)
+    op_frames = [
+        (i, encode_frame({"op": "noop", "id": i})) for i in range(op_count)
+    ]
+    latencies, shed_latencies = [], []
+    counters = {"ok": 0, "shed": 0, "degraded": 0, "errors": []}
+    try:
+        # The 15s lid turns a regression back into the pre-fix deadlock
+        # (send loop parked forever on the pipeline semaphore) into a
+        # TimeoutError test failure instead of a hung suite.
+        await asyncio.wait_for(
+            _client_run(
+                FrameReader(reader), writer, op_frames, pipeline,
+                latencies, counters, shed_latencies,
+            ),
+            timeout=15,
+        )
+    finally:
+        server.close()
+        await server.wait_closed()
+    return latencies, shed_latencies, counters
+
+
+class TestClientRunFailures:
+    """Regression tests for the client pipeline's crash/deadlock bugs.
+
+    Both failure modes reproduce on the pre-fix ``_client_run``: the
+    deadlock test hangs forever (the send loop parks on the pipeline
+    semaphore that only the dead read loop could release) and the
+    unmatched-id test dies with ``KeyError`` inside the read loop.
+    """
+
+    def test_server_death_mid_load_fails_fast_instead_of_deadlocking(self):
+        # The server answers one op, then drops the connection with the
+        # client still holding a full pipeline window.  Pre-fix, the send
+        # loop blocks forever on window.acquire() -- wait_for would hit
+        # its timeout; post-fix the read loop's failure propagates.
+        async def die_after_one(request, writer):
+            if request["id"] == 0:
+                writer.write(encode_frame({"ok": True, "id": 0}))
+                return True
+            return False
+
+        async def scenario():
+            await asyncio.wait_for(
+                _drive_client(die_after_one, op_count=64, pipeline=4),
+                timeout=5,
+            )
+
+        with pytest.raises(RuntimeError, match="closed connection mid-load"):
+            asyncio.run(scenario())
+
+    def test_reply_without_id_surfaces_as_typed_error_not_keyerror(self):
+        # bad-frame error replies are emitted before the server knows a
+        # request id; pre-fix, pending.pop(None) raised KeyError and
+        # killed the read loop.
+        sent_junk = []
+
+        async def junk_then_answer(request, writer):
+            if not sent_junk:
+                sent_junk.append(True)
+                writer.write(
+                    encode_frame(error_reply("bad-frame", "not yours"))
+                )
+            writer.write(encode_frame({"ok": True, "id": request["id"]}))
+            return True
+
+        latencies, shed, counters = asyncio.run(
+            _drive_client(junk_then_answer, op_count=8)
+        )
+        assert counters["ok"] == 8 and len(latencies) == 8
+        assert len(counters["errors"]) == 1
+        assert counters["errors"][0]["type"] == "bad-frame"
+        assert counters["errors"][0]["unmatched"] is True
+
+    def test_unknown_reply_id_surfaces_as_typed_error(self):
+        async def answer_with_alien_id(request, writer):
+            if request["id"] == 0:
+                writer.write(encode_frame({"ok": True, "id": 9999}))
+            writer.write(encode_frame({"ok": True, "id": request["id"]}))
+            return True
+
+        latencies, shed, counters = asyncio.run(
+            _drive_client(answer_with_alien_id, op_count=4)
+        )
+        assert counters["ok"] == 4
+        assert len(counters["errors"]) == 1
+        assert counters["errors"][0]["unmatched"] is True
+
+    def test_shed_latencies_kept_out_of_answered_percentiles(self):
+        # Odd ids get typed overloaded rejections: their (near-zero)
+        # turnarounds must land in the shed list, not skew the answered
+        # percentiles downward.
+        async def shed_odd(request, writer):
+            request_id = request["id"]
+            if request_id % 2:
+                writer.write(
+                    encode_frame(
+                        error_reply("overloaded", "full", request_id,
+                                    scope="server")
+                    )
+                )
+            else:
+                writer.write(encode_frame({"ok": True, "id": request_id}))
+            return True
+
+        latencies, shed, counters = asyncio.run(
+            _drive_client(shed_odd, op_count=10)
+        )
+        assert counters["ok"] == 5 and counters["shed"] == 5
+        assert len(latencies) == 5 and len(shed) == 5
+        assert not counters["errors"]
 
 
 class TestHistogram:

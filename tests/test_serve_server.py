@@ -7,6 +7,8 @@ clients take, including the backpressure and typed-shedding contract.
 
 import asyncio
 
+import pytest
+
 from conftest import make_instance
 from repro.serve import IntersectionServer, ServeConfig
 from repro.serve.wire import FrameReader, encode_frame
@@ -229,3 +231,68 @@ class TestBackpressure:
 
         reply = _with_server(ServeConfig(tick_s=0.001), scenario)
         assert reply["ok"] and reply["result"] == len(s & t)
+
+
+class TestUnixTransport:
+    """The UDS listener: same wire protocol and typed-error taxonomy as
+    TCP, different socket family underneath."""
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="transport"):
+            ServeConfig(transport="smoke-signals")
+        with pytest.raises(ValueError, match="uds_path"):
+            ServeConfig(transport="uds")
+
+    def test_serves_identical_protocol_over_uds(self, rng, tmp_path):
+        s, t = make_instance(rng, 1 << 20, 64, 0.5)
+        path = str(tmp_path / "serve.sock")
+        config = ServeConfig(transport="uds", uds_path=path, tick_s=0.001)
+
+        async def scenario(server):
+            assert server.endpoint == ("uds", path)
+            with pytest.raises(RuntimeError, match="no TCP address"):
+                server.address
+            reader, writer = await asyncio.open_unix_connection(path)
+            frames = FrameReader(reader)
+            assert (await _ask(frames, writer, {"op": "ping"}))["pong"]
+            await _ask(
+                frames, writer,
+                {"op": "open", "session": "a", "universe": 1 << 20,
+                 "k": 64, "rounds": 1},
+            )
+            reply = await _ask(
+                frames, writer,
+                {"op": "size", "id": 1, "session": "a",
+                 "alice": sorted(s), "bob": sorted(t)},
+            )
+            # Typed errors ride UDS unchanged.
+            missing = await _ask(
+                frames, writer,
+                {"op": "size", "id": 2, "session": "ghost",
+                 "alice": [1], "bob": [2]},
+            )
+            writer.close()
+            return reply, missing
+
+        reply, missing = _with_server(config, scenario)
+        assert reply["ok"] and reply["result"] == len(s & t)
+        assert missing["error"]["type"] == "unknown-session"
+
+    def test_socket_file_replaced_on_start_and_removed_on_stop(self, tmp_path):
+        path = tmp_path / "serve.sock"
+        path.write_bytes(b"")  # stale file from a dead server
+        config = ServeConfig(transport="uds", uds_path=str(path))
+
+        async def scenario(server):
+            assert path.is_socket()
+            return True
+
+        assert _with_server(config, scenario)
+        assert not path.exists()
+
+    def test_tcp_endpoint_shape_unchanged(self):
+        async def scenario(server):
+            kind, (host, port) = server.endpoint
+            assert kind == "tcp" and (host, port) == server.address
+
+        _with_server(ServeConfig(), scenario)

@@ -1,6 +1,8 @@
-"""Tests for the serve wire protocol (frames, typed errors, FrameReader)."""
+"""Tests for the serve wire protocol (frames, typed errors, FrameReader,
+and the FrameReader-vs-read_frame differential over a real socketpair)."""
 
 import asyncio
+import socket
 
 import pytest
 
@@ -109,6 +111,97 @@ class TestFrameReader:
                 await FrameReader(_stream_with(frame), max_bytes=4).next()
 
         _run(oversize())
+
+
+async def _consume_with_read_frame(reader, max_bytes):
+    frames = []
+    while True:
+        frame = await read_frame(reader, max_bytes=max_bytes)
+        if frame is None:
+            return frames
+        frames.append(frame)
+
+
+async def _consume_with_frame_reader(reader, max_bytes):
+    frames = []
+    buffered = FrameReader(reader, max_bytes=max_bytes)
+    while True:
+        frame = await buffered.next()
+        if frame is None:
+            return frames
+        frames.append(frame)
+
+
+def _both_outcomes(data: bytes, max_bytes: int = MAX_FRAME_BYTES):
+    """Feed ``data`` through a real socketpair into both reader paths.
+
+    Returns the two outcomes as ``("ok", frames)`` or ``("error", None)``
+    pairs, so a differential test can assert the buffered reader and the
+    readexactly reader agree on both the parsed frames and whether the
+    stream ends in a FrameError.
+    """
+    outcomes = []
+    for consume in (_consume_with_read_frame, _consume_with_frame_reader):
+
+        async def scenario():
+            local, remote = socket.socketpair()
+            try:
+                remote.sendall(data)
+                remote.close()
+                reader, writer = await asyncio.open_connection(sock=local)
+                try:
+                    return "ok", await consume(reader, max_bytes)
+                except FrameError:
+                    return "error", None
+                finally:
+                    writer.close()
+            finally:
+                local.close()
+
+        outcomes.append(asyncio.run(scenario()))
+    return outcomes
+
+
+class TestFrameReaderSocketpairDifferential:
+    """FrameReader must behave identically to read_frame on real socket
+    bytes: same frames out, same FrameError points, same clean-EOF -- the
+    contract that lets the server and the load clients pick either."""
+
+    def test_torn_at_every_split_point(self):
+        # Close the peer after every possible prefix of a two-frame
+        # stream: a cut at a frame boundary is a clean EOF, anywhere else
+        # is a FrameError -- identically for both readers.
+        stream = encode_frame({"op": "a", "n": 1}) + encode_frame({"op": "b"})
+        boundaries = {0, len(stream) - len(encode_frame({"op": "b"})),
+                      len(stream)}
+        for cut in range(len(stream) + 1):
+            legacy, buffered = _both_outcomes(stream[:cut])
+            assert legacy == buffered, f"divergence at cut={cut}"
+            if cut in boundaries:
+                assert legacy[0] == "ok", f"boundary cut={cut} not clean EOF"
+            else:
+                assert legacy[0] == "error", f"mid-frame cut={cut} no error"
+
+    def test_oversize_declaration_mid_pipeline(self):
+        # Two good frames, then a header declaring a payload over the
+        # limit: both readers must yield the good frames' worth of
+        # progress and then refuse, without reading the oversize payload.
+        good = encode_frame({"id": 1}) + encode_frame({"id": 2})
+        oversize = (4096).to_bytes(4, "big") + b"x" * 16
+        legacy, buffered = _both_outcomes(good + oversize, max_bytes=1024)
+        assert legacy == buffered == ("error", None)
+
+    def test_burst_of_pipelined_frames_in_one_segment(self):
+        # N frames in one sendall (one TCP segment's worth): both readers
+        # must produce the identical frame sequence.
+        stream = b"".join(encode_frame({"id": index}) for index in range(64))
+        legacy, buffered = _both_outcomes(stream)
+        assert legacy == buffered
+        assert legacy == ("ok", [{"id": index} for index in range(64)])
+
+    def test_single_frame_then_clean_eof(self):
+        legacy, buffered = _both_outcomes(encode_frame({"op": "ping"}))
+        assert legacy == buffered == ("ok", [{"op": "ping"}])
 
 
 class TestTypedErrors:
