@@ -280,6 +280,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shard parallelism (default: $REPRO_WORKERS or serial)",
     )
+    faults.add_argument(
+        "--multiparty",
+        action="store_true",
+        help="sweep the m-player protocols under crash churn instead: "
+        "rates become per-player whole-run crash probabilities, "
+        "--protocols defaults to coordinator,binary-tree, --models to "
+        "churn, and --max-attempts (default 8 here) bounds the recovery "
+        "layer's BSP attempts",
+    )
+    faults.add_argument(
+        "--players",
+        default="17",
+        help="comma-separated player counts m (multiparty mode only)",
+    )
+    faults.add_argument(
+        "--common",
+        type=int,
+        default=None,
+        help="planted common-core size per multiparty instance "
+        "(default max(1, k//8))",
+    )
+    faults.add_argument(
+        "--table-out",
+        metavar="PATH",
+        default=None,
+        help="also write the survival table (cells + cache stats) as JSON",
+    )
 
     plan = sub.add_parser(
         "plan",
@@ -874,11 +901,186 @@ def _cmd_trace(args, out) -> int:
     return 0 if report.passed else 1
 
 
+def _write_table(path: str, result, out) -> None:
+    """Write a sweep's cells + cache stats as a JSON artifact."""
+    import json
+
+    document = {
+        "plan": result.plan.name,
+        "analysis": result.plan.analysis,
+        "counters_sha256": result.counters_sha256,
+        "cells": result.cells,
+        "stats": result.stats(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nsurvival table written to {path}", file=out)
+
+
+def _cmd_faults_multiparty(args, out) -> int:
+    from repro.faults.models import MODEL_FACTORIES, FaultConfigError
+    from repro.plans import Plan, ProtocolSpec, RetrySpec, run_plan
+    from repro.plans.registry import MULTIPARTY_PROTOCOLS
+    from repro.workloads import MultipartySpec
+
+    universe = 1 << args.log_universe
+    multiparty_models = (
+        "churn",
+        "crash",
+        "bitflip",
+        "truncate",
+        "drop",
+        "duplicate",
+    )
+    # Mode-sensitive defaults: argparse can't vary them per flag, so the
+    # two-party defaults are re-read as "unset" here.
+    model_names = [m.strip() for m in args.models.split(",") if m.strip()]
+    if args.models == "bitflip":
+        model_names = ["churn"]
+    protocol_names = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    if args.protocols == "bucket,amplified":
+        protocol_names = ["coordinator", "binary-tree"]
+    max_attempts = 8 if args.max_attempts == 5 else args.max_attempts
+
+    try:
+        rates = [float(rate) for rate in args.rates.split(",") if rate.strip()]
+    except ValueError:
+        print(f"bad --rates value {args.rates!r}", file=out)
+        return 2
+    try:
+        players = [
+            int(count) for count in args.players.split(",") if count.strip()
+        ]
+    except ValueError:
+        print(f"bad --players value {args.players!r}", file=out)
+        return 2
+    if not players or any(count < 2 for count in players):
+        print(f"--players needs counts >= 2, got {args.players!r}", file=out)
+        return 2
+    for model_name in model_names:
+        if model_name not in multiparty_models:
+            print(
+                f"unknown multiparty fault model {model_name!r} "
+                f"(know: {', '.join(multiparty_models)})",
+                file=out,
+            )
+            return 2
+    for protocol_name in protocol_names:
+        if protocol_name not in MULTIPARTY_PROTOCOLS:
+            print(
+                f"unknown multiparty protocol {protocol_name!r} "
+                f"(know: {', '.join(sorted(MULTIPARTY_PROTOCOLS))})",
+                file=out,
+            )
+            return 2
+    for model_name in model_names:
+        for rate in rates:
+            try:
+                MODEL_FACTORIES[model_name](rate)
+            except FaultConfigError as exc:
+                print(f"bad rate {rate} for {model_name}: {exc}", file=out)
+                return 2
+    common = args.common if args.common is not None else max(1, args.k // 8)
+    try:
+        instances = tuple(
+            MultipartySpec(
+                universe_size=universe,
+                set_size=args.k,
+                num_players=count,
+                common_size=common,
+            )
+            for count in players
+        )
+    except ValueError as exc:
+        print(f"bad multiparty instance: {exc}", file=out)
+        return 2
+
+    fault_specs = tuple(
+        f"{model_name}@{rate!r}"
+        for model_name in model_names
+        for rate in rates
+    )
+    plan = Plan(
+        name="multiparty-churn-sweep",
+        analysis="multiparty-survival",
+        protocols=tuple(ProtocolSpec(name) for name in protocol_names),
+        instances=instances,
+        fault_specs=fault_specs,
+        trials=args.trials,
+        seed=args.seed,
+        shard_size=max(1, min(args.trials, 8)),
+        retry=RetrySpec(max_attempts=max_attempts),
+    )
+    result = run_plan(plan, workers=args.workers)
+
+    print(
+        f"multiparty churn sweep: universe 2^{args.log_universe}, "
+        f"k={args.k}, core={common}, {args.trials} trials/cell, recovery "
+        f"budget {max_attempts} attempts (rate = per-player whole-run "
+        f"crash probability)",
+        file=out,
+    )
+    header = (
+        f"{'protocol':<13}{'model':<9}{'rate':>6}{'m':>5}  "
+        f"{'survived%':>9}  {'exact%':>7}  {'recovered%':>10}  "
+        f"{'degraded%':>9}  {'crashed':>7}  {'attempts':>8}  "
+        f"{'bits/trial':>11}  {'recovery%':>9}"
+    )
+    print(header, file=out)
+    cell_rows = iter(result.cells)
+    for protocol_name in protocol_names:
+        for count in players:
+            for model_name in model_names:
+                for rate in rates:
+                    aggregate = next(cell_rows)["aggregate"]
+                    trials = aggregate["trials"]
+                    bits = aggregate["bits"]
+                    recovery_share = (
+                        100.0 * aggregate["recovery_bits"] / bits
+                        if bits
+                        else 0.0
+                    )
+                    print(
+                        f"{protocol_name:<13}{model_name:<9}{rate:>6.3f}"
+                        f"{count:>5}  "
+                        f"{100.0 * aggregate['survived'] / trials:>9.1f}  "
+                        f"{100.0 * aggregate['exact'] / trials:>7.1f}  "
+                        f"{100.0 * aggregate['recovered'] / trials:>10.1f}  "
+                        f"{100.0 * aggregate['degraded'] / trials:>9.1f}  "
+                        f"{aggregate['crashed'] / trials:>7.2f}  "
+                        f"{aggregate['attempts'] / trials:>8.2f}  "
+                        f"{bits / trials:>11.0f}  "
+                        f"{recovery_share:>9.1f}",
+                        file=out,
+                    )
+    if result.shards_cached:
+        print(
+            f"\nshard cache: {result.shards_cached}/{result.shards_total} "
+            f"shards reused",
+            file=out,
+        )
+    print(
+        "\nsurvived: the session still produced the survivors' exact "
+        "intersection (exact = nobody crashed,\nrecovered = re-run over "
+        "survivors); degraded: recovery budget exhausted, a certified "
+        "superset\n(one player's own input) returned instead.  recovery% "
+        "is the share of bits spent on re-runs.",
+        file=out,
+    )
+    if args.table_out:
+        _write_table(args.table_out, result, out)
+    return 0
+
+
 def _cmd_faults(args, out) -> int:
     from repro.faults.models import MODEL_FACTORIES, FaultConfigError
     from repro.plans import Plan, ProtocolSpec, RetrySpec, run_plan
     from repro.plans.registry import PROTOCOLS, protocol_display_name
     from repro.workloads import Distribution, WorkloadSpec
+
+    if args.multiparty:
+        return _cmd_faults_multiparty(args, out)
 
     universe = 1 << args.log_universe
     # Reorder and crash are round/player faults of the multiparty network;
@@ -997,6 +1199,8 @@ def _cmd_faults(args, out) -> int:
         "exhausted, certified supersets (own inputs) returned instead.",
         file=out,
     )
+    if args.table_out:
+        _write_table(args.table_out, result, out)
     return 0
 
 

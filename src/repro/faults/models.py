@@ -49,6 +49,7 @@ __all__ = [
     "Duplicate",
     "ReorderWithinRound",
     "PlayerCrash",
+    "Churn",
     "Compose",
     "FlipEveryMessage",
     "FlipOnce",
@@ -230,6 +231,60 @@ class PlayerCrash(_RateModel):
         return True
 
 
+#: Sentinel distinguishing "fate not yet drawn" from "spared" in Churn.
+_FATE_UNSET = object()
+
+
+class Churn(FaultModel):
+    """Whole-run churn: each player independently crashes with probability
+    ``rate`` (multiparty only).
+
+    Where :class:`PlayerCrash` models the classical single fail-stop fault
+    (a per-superstep hazard with a hard crash cap), churn is the *survival
+    sweep's* model: the rate is a **per-player, per-run** crash
+    probability, so sweeping it at large ``m`` directly measures how many
+    simultaneous departures the recovery layer can absorb.  The first time
+    a player is seen by the crash sweep its fate is drawn -- spared, or
+    doomed to crash at a seeded superstep within the next ``horizon``
+    supersteps -- and the fate persists for the rest of the plan's life:
+    a player spared once stays up across every recovery attempt, which is
+    what lets ``repro.multiparty.recovery`` converge instead of facing a
+    fresh extinction coin each re-run.
+
+    :param rate: per-player whole-run crash probability.
+    :param horizon: doomed players crash within this many supersteps of
+        first being observed (uniform, seeded).
+    """
+
+    name = "churn"
+
+    def __init__(self, rate: float, *, horizon: int = 12) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise FaultConfigError(
+                f"Churn rate must be in [0, 1], got {rate}"
+            )
+        if horizon < 1:
+            raise FaultConfigError(f"horizon must be >= 1, got {horizon}")
+        self.rate = rate
+        self.horizon = horizon
+        #: player name -> crash superstep (int) or None (spared).
+        self._fate: Dict[str, Optional[int]] = {}
+
+    def maybe_crash(self, player, round_index, rng):
+        fate = self._fate.get(player, _FATE_UNSET)
+        if fate is _FATE_UNSET:
+            # Rate 0 draws no coins, matching the _RateModel contract.
+            if self.rate > 0.0 and rng.random() < self.rate:
+                fate = round_index + rng.randrange(self.horizon)
+            else:
+                fate = None
+            self._fate[player] = fate
+        return fate is not None and round_index >= fate
+
+    def __repr__(self) -> str:
+        return f"Churn(rate={self.rate}, horizon={self.horizon})"
+
+
 class Compose(FaultModel):
     """Apply several models in sequence (each sees the previous one's
     deliveries, so e.g. a duplicate's second copy can itself be corrupted).
@@ -347,6 +402,7 @@ MODEL_FACTORIES: Dict[str, object] = {
     "duplicate": Duplicate,
     "reorder": ReorderWithinRound,
     "crash": PlayerCrash,
+    "churn": Churn,
 }
 
 

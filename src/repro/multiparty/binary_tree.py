@@ -29,13 +29,12 @@ from __future__ import annotations
 from typing import FrozenSet, Generator, Iterable, List, Optional, Sequence
 
 from repro.core.amplify import AmplifiedIntersection
-from repro.multiparty.coordinator import MultipartyResult, partition_groups
-from repro.multiparty.network import (
-    MultipartyOutcome,
-    PlayerContext,
-    TwoPartyAdapter,
-    run_message_passing,
+from repro.multiparty.coordinator import (
+    MultipartyResult,
+    _run_with_contract,
+    partition_groups,
 )
+from repro.multiparty.network import PlayerContext, TwoPartyAdapter
 from repro.multiparty.pairing import drive_adapters, pair_context
 
 __all__ = ["BinaryTreeIntersection"]
@@ -160,40 +159,19 @@ class BinaryTreeIntersection:
         return current
 
     def run(
-        self, sets: Sequence[Iterable[int]], *, seed: int = 0
+        self,
+        sets: Sequence[Iterable[int]],
+        *,
+        seed: int = 0,
+        recover: Optional[bool] = None,
     ) -> MultipartyResult:
         """Compute the intersection of ``m`` players' sets.
 
         :param sets: one iterable of elements per player.
         :param seed: replay seed for all randomness.
+        :param recover: ``None`` (default) engages the crash-recovery
+            layer exactly when a fault plan is active; ``True``/``False``
+            force it on/off.  Even with ``False``, a crash degrades to a
+            typed certified-superset result instead of raising.
         """
-        if not sets:
-            raise ValueError("need at least one player")
-        names = [f"p{index:05d}" for index in range(len(sets))]
-        inputs = {
-            name: frozenset(player_set) for name, player_set in zip(names, sets)
-        }
-        for name, player_set in inputs.items():
-            if len(player_set) > self.max_set_size:
-                raise ValueError(
-                    f"{name} holds {len(player_set)} elements; k="
-                    f"{self.max_set_size}"
-                )
-        if len(sets) == 1:
-            only = inputs[names[0]]
-            return MultipartyResult(
-                intersection=only,
-                outcome=MultipartyOutcome(
-                    outputs={names[0]: only},
-                    bits_sent={names[0]: 0},
-                    bits_received={names[0]: 0},
-                    rounds=0,
-                ),
-            )
-        outcome = run_message_passing(
-            {name: self._player for name in names},
-            inputs,
-            shared_seed=seed,
-        )
-        final = outcome.outputs[names[0]]
-        return MultipartyResult(intersection=frozenset(final), outcome=outcome)
+        return _run_with_contract(self, sets, seed, recover)

@@ -29,10 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Generator, Iterable, List, Optional, Sequence
 
+from repro.comm.errors import MessageToFinishedPlayer, ProtocolDeadlock
 from repro.core.amplify import AmplifiedIntersection
 from repro.multiparty.network import (
     MultipartyOutcome,
     PlayerContext,
+    RunningTotals,
     TwoPartyAdapter,
     run_message_passing,
 )
@@ -43,20 +45,42 @@ __all__ = ["CoordinatorIntersection", "MultipartyResult"]
 
 @dataclass
 class MultipartyResult:
-    """Convenience wrapper: the computed intersection plus the accounting."""
+    """Convenience wrapper: the computed intersection plus the accounting.
+
+    ``robust`` is populated when the run went through the crash-recovery
+    layer (or had to degrade): it carries the per-attempt ledger, the
+    survivor/casualty lists and the degradation mode.  ``total_bits`` /
+    ``rounds`` then report the *session* totals -- failed attempts
+    included -- because that is what the network actually carried.
+    """
 
     intersection: FrozenSet[int]
     outcome: MultipartyOutcome
+    robust: Optional["MultipartyRobustOutcome"] = None
 
     @property
     def total_bits(self) -> int:
-        """Total communication across all links."""
+        """Total communication across all links (all attempts)."""
+        if self.robust is not None:
+            return self.robust.total_bits
         return self.outcome.total_bits
 
     @property
     def rounds(self) -> int:
-        """Number of message-bearing supersteps."""
+        """Number of message-bearing supersteps (all attempts)."""
+        if self.robust is not None:
+            return self.robust.total_rounds
         return self.outcome.rounds
+
+    @property
+    def status(self) -> str:
+        """``"exact"``, ``"recovered"``, or ``"degraded"``."""
+        return self.robust.status if self.robust is not None else "exact"
+
+    @property
+    def degraded(self) -> bool:
+        """True when the result is a certified superset, not the answer."""
+        return self.robust is not None and self.robust.degraded
 
 
 def partition_groups(players: Sequence[str], group_size: int) -> List[List[str]]:
@@ -65,6 +89,134 @@ def partition_groups(players: Sequence[str], group_size: int) -> List[List[str]]
         list(players[start : start + group_size])
         for start in range(0, len(players), group_size)
     ]
+
+
+def _run_with_contract(
+    protocol, sets: Sequence[Iterable[int]], seed: int, recover: Optional[bool]
+) -> MultipartyResult:
+    """The shared ``run()`` body of both multiparty protocols.
+
+    Validates inputs, then picks the execution path:
+
+    * ``recover=None`` (the default) auto-enables the recovery layer
+      exactly when a fault plan is installed (``REPRO_FAULTS`` or an
+      ``inject()`` block) -- a reliable network never pays the wrapper
+      and stays bit-identical to the pre-recovery code path;
+    * ``recover=True`` forces the recovery layer;
+    * ``recover=False`` runs the raw BSP scheduler, but still honours the
+      degradation contract: a crash surfacing as
+      :class:`~repro.comm.errors.MessageToFinishedPlayer` (or as a
+      crashed root with no output) becomes a typed certified-superset
+      :class:`MultipartyResult` instead of an escaping error.
+    """
+    if not sets:
+        raise ValueError("need at least one player")
+    names = [f"p{index:05d}" for index in range(len(sets))]
+    inputs = {
+        name: frozenset(player_set) for name, player_set in zip(names, sets)
+    }
+    for name, player_set in inputs.items():
+        if len(player_set) > protocol.max_set_size:
+            raise ValueError(
+                f"{name} holds {len(player_set)} elements; k="
+                f"{protocol.max_set_size}"
+            )
+    if len(sets) == 1:
+        only = inputs[names[0]]
+        return MultipartyResult(
+            intersection=only,
+            outcome=MultipartyOutcome(
+                outputs={names[0]: only},
+                bits_sent={names[0]: 0},
+                bits_received={names[0]: 0},
+                rounds=0,
+            ),
+        )
+    if recover is None:
+        from repro.faults.state import STATE as _FAULTS
+
+        recover = _FAULTS.active
+    if recover:
+        from repro.multiparty.recovery import run_with_recovery
+
+        robust = run_with_recovery(protocol, sets, seed=seed)
+        outcome = robust.final_outcome
+        if outcome is None:
+            holder = robust.survivors[0] if robust.survivors else names[0]
+            outcome = MultipartyOutcome(
+                outputs={holder: robust.intersection},
+                bits_sent={},
+                bits_received={},
+                rounds=robust.total_rounds,
+                crashed=robust.crashed,
+            )
+        return MultipartyResult(
+            intersection=robust.intersection, outcome=outcome, robust=robust
+        )
+
+    totals = RunningTotals()
+    outcome = None
+    final = None
+    reason = "root-crashed"
+    try:
+        outcome = run_message_passing(
+            {name: protocol._player for name in names},
+            inputs,
+            shared_seed=seed,
+            totals=totals,
+        )
+        final = outcome.outputs[names[0]]
+    except (MessageToFinishedPlayer, ProtocolDeadlock) as exc:
+        if not totals.crashed:
+            # No casualties means this is a genuine protocol bug, not
+            # channel damage; masking it as degradation would hide it.
+            raise
+        reason = (
+            "mail-to-dead"
+            if isinstance(exc, MessageToFinishedPlayer)
+            else "deadlock"
+        )
+    if final is None:
+        # A fail-stop crash either mailed a finished player or took the
+        # output-holding root with it.  Both used to escape as bare errors
+        # (losing the accounting with them); the contract is a *typed*
+        # certified-superset degradation over what the canonical root
+        # knew: its own input.
+        from repro.multiparty.recovery import MultipartyRobustOutcome
+        from repro.obs.state import STATE as _OBS
+
+        crashed = tuple(totals.crashed)
+        dead = set(crashed)
+        fallback = inputs[names[0]]
+        robust = MultipartyRobustOutcome(
+            intersection=fallback,
+            status="degraded",
+            protocol_name=protocol.name,
+            survivors=tuple(n for n in names if n not in dead),
+            crashed=crashed,
+            attempts=1,
+            total_bits=totals.total_bits,
+            total_rounds=totals.rounds,
+            recovery_bits=0,
+            recovery_rounds=0,
+            degraded_mode="superset",
+            failure_reasons=[reason],
+        )
+        if _OBS.active:
+            _OBS.tracer.emit(
+                "degraded.output", protocol=protocol.name, mode="superset"
+            )
+        synthesized = MultipartyOutcome(
+            outputs={names[0]: fallback},
+            bits_sent=dict(totals.bits_sent),
+            bits_received=dict(totals.bits_received),
+            rounds=totals.rounds,
+            crashed=crashed,
+        )
+        return MultipartyResult(
+            intersection=fallback, outcome=synthesized, robust=robust
+        )
+    return MultipartyResult(intersection=frozenset(final), outcome=outcome)
 
 
 class CoordinatorIntersection:
@@ -194,40 +346,19 @@ class CoordinatorIntersection:
         return current
 
     def run(
-        self, sets: Sequence[Iterable[int]], *, seed: int = 0
+        self,
+        sets: Sequence[Iterable[int]],
+        *,
+        seed: int = 0,
+        recover: Optional[bool] = None,
     ) -> MultipartyResult:
         """Compute the intersection of ``m`` players' sets.
 
         :param sets: one iterable of elements per player.
         :param seed: replay seed for all randomness.
+        :param recover: ``None`` (default) engages the crash-recovery
+            layer exactly when a fault plan is active; ``True``/``False``
+            force it on/off.  Even with ``False``, a crash degrades to a
+            typed certified-superset result instead of raising.
         """
-        if not sets:
-            raise ValueError("need at least one player")
-        names = [f"p{index:05d}" for index in range(len(sets))]
-        inputs = {
-            name: frozenset(player_set) for name, player_set in zip(names, sets)
-        }
-        for name, player_set in inputs.items():
-            if len(player_set) > self.max_set_size:
-                raise ValueError(
-                    f"{name} holds {len(player_set)} elements; k="
-                    f"{self.max_set_size}"
-                )
-        if len(sets) == 1:
-            only = inputs[names[0]]
-            return MultipartyResult(
-                intersection=only,
-                outcome=MultipartyOutcome(
-                    outputs={names[0]: only},
-                    bits_sent={names[0]: 0},
-                    bits_received={names[0]: 0},
-                    rounds=0,
-                ),
-            )
-        outcome = run_message_passing(
-            {name: self._player for name in names},
-            inputs,
-            shared_seed=seed,
-        )
-        final = outcome.outputs[names[0]]
-        return MultipartyResult(intersection=frozenset(final), outcome=outcome)
+        return _run_with_contract(self, sets, seed, recover)

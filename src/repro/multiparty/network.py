@@ -42,6 +42,7 @@ from repro.util.rng import PrivateRandomness, SharedRandomness
 __all__ = [
     "PlayerContext",
     "MultipartyOutcome",
+    "RunningTotals",
     "TwoPartyAdapter",
     "run_message_passing",
 ]
@@ -69,6 +70,29 @@ class PlayerContext:
 
 
 @dataclass
+class RunningTotals:
+    """Live accounting for one BSP run that survives a mid-run exception.
+
+    The scheduler updates these *as it executes*, so a caller that passed
+    its own instance into :func:`run_message_passing` still holds the
+    exact bits/rounds spent (and the players crashed by the fault plan)
+    when the run dies on a typed error -- the accounting basis the
+    recovery layer charges failed attempts on.
+    """
+
+    bits_sent: Dict[str, int] = field(default_factory=dict)
+    bits_received: Dict[str, int] = field(default_factory=dict)
+    rounds: int = 0
+    #: Players crashed by the fault plan, in crash order.
+    crashed: List[str] = field(default_factory=list)
+
+    @property
+    def total_bits(self) -> int:
+        """Total communication across all links so far."""
+        return sum(self.bits_sent.values())
+
+
+@dataclass
 class MultipartyOutcome:
     """Result of one multiparty execution."""
 
@@ -76,6 +100,9 @@ class MultipartyOutcome:
     bits_sent: Dict[str, int]
     bits_received: Dict[str, int]
     rounds: int
+    #: Players the fault plan crashed during the run (fail-stop); their
+    #: ``outputs`` entries are ``None``.
+    crashed: Tuple[str, ...] = ()
 
     @property
     def total_bits(self) -> int:
@@ -176,6 +203,7 @@ def run_message_passing(
     shared_seed: int = 0,
     max_supersteps: int = 100_000,
     fault_plan: Optional[object] = None,
+    totals: Optional[RunningTotals] = None,
 ) -> MultipartyOutcome:
     """Execute a multiparty protocol to completion.
 
@@ -200,6 +228,10 @@ def run_message_passing(
         crash fail-stop at superstep boundaries.  Bit accounting always
         charges the *original* payload to both endpoints -- the sender
         paid for it, and the accounting tracks reliable-channel cost.
+    :param totals: caller-owned :class:`RunningTotals` updated live while
+        the run executes, so bits/rounds spent before a typed error (and
+        the identities of crashed players) are still readable from it
+        after the exception propagates.  ``None`` allocates a private one.
     :raises ProtocolDeadlock: players still live but no traffic flows
         (including: every copy of an awaited message was dropped), or the
         superstep bound is exceeded.
@@ -222,9 +254,13 @@ def run_message_passing(
         )
         states[name] = _PlayerState(name=name, generator=player_fns[name](ctx))
 
-    bits_sent = {name: 0 for name in names}
-    bits_received = {name: 0 for name in names}
-    rounds = 0
+    if totals is None:
+        totals = RunningTotals()
+    bits_sent = totals.bits_sent
+    bits_received = totals.bits_received
+    for name in names:
+        bits_sent[name] = 0
+        bits_received[name] = 0
     plan = fault_plan
     if plan is None and _FAULTS.active:
         plan = _FAULTS.plan
@@ -256,13 +292,14 @@ def run_message_passing(
             # player's pending mail is lost with it, its output stays None,
             # and anyone who messages it afterwards gets the deferred
             # MessageToFinishedPlayer above.
-            crashed = plan.crash_sweep(live, rounds)
+            crashed = plan.crash_sweep(live, totals.rounds)
             if crashed:
                 for name in crashed:
                     state = states[name]
                     state.generator.close()
                     state.done = True
                     state.inbox = []
+                totals.crashed.extend(crashed)
                 live = [n for n in live if not states[n].done]
                 if not live:
                     break
@@ -325,14 +362,14 @@ def run_message_passing(
         if finished_this_round:
             live = [n for n in live if not states[n].done]
         if traffic:
-            rounds += 1
+            totals.rounds += 1
             quiet_live = None
             if _OBS.active:
                 # One event per superstep that carried traffic -- the
                 # multiparty analogue of the two-party round boundary.
                 _OBS.tracer.emit(
                     "round.boundary",
-                    round=rounds,
+                    round=totals.rounds,
                     bits=superstep_bits,
                     live=len(live),
                 )
@@ -357,15 +394,18 @@ def run_message_passing(
 
     if _OBS.active:
         total = sum(bits_sent.values())
-        _OBS.tracer.emit("multiparty.finish", rounds=rounds, total_bits=total)
+        _OBS.tracer.emit(
+            "multiparty.finish", rounds=totals.rounds, total_bits=total
+        )
         from repro.obs import metrics as _metrics
 
-        _metrics.histogram("multiparty.rounds_per_run").observe(rounds)
+        _metrics.histogram("multiparty.rounds_per_run").observe(totals.rounds)
         _metrics.histogram("multiparty.bits_per_run").observe(total)
 
     return MultipartyOutcome(
         outputs={name: states[name].output for name in names},
         bits_sent=bits_sent,
         bits_received=bits_received,
-        rounds=rounds,
+        rounds=totals.rounds,
+        crashed=tuple(totals.crashed),
     )

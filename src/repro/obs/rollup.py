@@ -42,6 +42,10 @@ class ProtocolRun:
     :param retry_attempts: failed ``retry.attempt`` events attributed to
         this run (the retry wrapper emits them right after the attempt's
         trace segment, so they attach to the most recent run).
+    :param recovery_attempts: failed multiparty ``recovery.attempt``
+        events attributed to this run, same attachment rule -- nonzero
+        means the bit/round figures include recovery re-runs charged to
+        the session.
     :param degraded: a ``degraded.output`` event followed this run.
     """
 
@@ -53,6 +57,7 @@ class ProtocolRun:
     reported_num_messages: Optional[int] = None
     fault_events: int = 0
     retry_attempts: int = 0
+    recovery_attempts: int = 0
     degraded: bool = False
 
     @property
@@ -119,6 +124,11 @@ def rollup_runs(events: List[Dict[str, Any]]) -> List[ProtocolRun]:
             # segment (closed or aborted), so it belongs to the latest run.
             if current is not None:
                 current.retry_attempts += 1
+        elif event_type == "recovery.attempt":
+            # Same attachment rule as retry.attempt, for the multiparty
+            # recovery layer's failed BSP attempts.
+            if current is not None:
+                current.recovery_attempts += 1
         elif event_type == "degraded.output":
             if current is not None:
                 current.degraded = True

@@ -36,6 +36,14 @@ Event types
 ``retry.attempt``    one failed attempt of the verification-driven retry
                      loop (``protocol``, ``attempt``, ``reason``)
 ``retry.exhausted``  the retry budget ran out (``protocol``, ``attempts``)
+``recovery.attempt`` one multiparty recovery attempt ended without an
+                     accepted result (``protocol``, ``attempt``,
+                     ``reason``; emitters add ``crashed`` / ``survivors``
+                     counts)
+``recovery.outcome`` the recovery wrapper settled a multiparty session
+                     (``protocol``, ``status``, ``attempts``; emitters
+                     add the ``recovery_bits`` / ``recovery_rounds``
+                     charged to the recovery phase)
 ``degraded.output``  the retry wrapper returned the degradation contract
                      (``protocol``, ``mode``)
 ``plan.compile``     a declarative plan compiled to shards
@@ -74,8 +82,9 @@ __all__ = [
 #: Bump when the envelope or a type's required fields change.
 #: History: 1 = initial taxonomy; 2 = plan.compile / shard.start /
 #: shard.finish (the declarative-plans scheduler); 3 = serve.batch (the
-#: serving layer's cross-session coalescer).
-TRACE_SCHEMA_VERSION = 3
+#: serving layer's cross-session coalescer); 4 = recovery.attempt /
+#: recovery.outcome (the multiparty crash-recovery layer).
+TRACE_SCHEMA_VERSION = 4
 
 #: type -> required payload fields (envelope fields are implicit).
 EVENT_TYPES: Dict[str, tuple] = {
@@ -94,6 +103,8 @@ EVENT_TYPES: Dict[str, tuple] = {
     "fault.injected": ("kind", "sender"),
     "retry.attempt": ("protocol", "attempt", "reason"),
     "retry.exhausted": ("protocol", "attempts"),
+    "recovery.attempt": ("protocol", "attempt", "reason"),
+    "recovery.outcome": ("protocol", "status", "attempts"),
     "degraded.output": ("protocol", "mode"),
     "plan.compile": ("plan", "shards"),
     "serve.batch": ("ops", "lanes", "groups"),

@@ -41,7 +41,7 @@ from repro.plans.model import (
     canonical_json,
     instance_to_dict,
 )
-from repro.workloads import WorkloadSpec
+from repro.workloads import MultipartySpec
 
 __all__ = [
     "PLAN_SCHEMA_VERSION",
@@ -63,11 +63,16 @@ CACHE_EPOCH = 1
 
 @dataclass(frozen=True)
 class Cell:
-    """One grid cell: protocol x instance family x fault spec."""
+    """One grid cell: protocol x instance family x fault spec.
+
+    ``instance`` is a :class:`~repro.workloads.WorkloadSpec` for the
+    two-party analyses and a :class:`~repro.workloads.MultipartySpec`
+    for ``multiparty-survival`` cells.
+    """
 
     index: int
     protocol: ProtocolSpec
-    instance: WorkloadSpec
+    instance: Any
     fault_spec: Optional[str]
 
     def canonical(self, plan: Plan) -> Dict[str, Any]:
@@ -79,12 +84,19 @@ class Cell:
             "fault_spec": self.fault_spec,
             "analysis": plan.analysis,
         }
-        if plan.analysis == "survival":
+        if plan.analysis in ("survival", "multiparty-survival"):
             doc["retry"] = plan.retry.as_dict()
         return doc
 
     def label(self) -> str:
         fault = self.fault_spec if self.fault_spec is not None else "reliable"
+        if isinstance(self.instance, MultipartySpec):
+            return (
+                f"{self.protocol.name}/n={self.instance.universe_size}"
+                f",k={self.instance.set_size}"
+                f",m={self.instance.num_players}"
+                f",common={self.instance.common_size}/{fault}"
+            )
         return (
             f"{self.protocol.name}/n={self.instance.universe_size}"
             f",k={self.instance.set_size}"
@@ -177,13 +189,18 @@ def compile_plan(plan: Plan) -> CompiledPlan:
         does not parse -- compile-time errors, before anything executes.
     """
     from repro.faults.models import parse_fault_spec
-    from repro.plans.registry import PROTOCOLS
+    from repro.plans.registry import MULTIPARTY_PROTOCOLS, PROTOCOLS
 
+    registry = (
+        MULTIPARTY_PROTOCOLS
+        if plan.analysis == "multiparty-survival"
+        else PROTOCOLS
+    )
     for spec in plan.protocols:
-        if spec.name not in PROTOCOLS:
+        if spec.name not in registry:
             raise ValueError(
                 f"unknown protocol {spec.name!r} "
-                f"(know: {', '.join(sorted(PROTOCOLS))})"
+                f"(know: {', '.join(sorted(registry))})"
             )
     for fault_spec in plan.fault_specs:
         if fault_spec is not None:

@@ -29,7 +29,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from repro.workloads import Distribution, WorkloadSpec
+from repro.workloads import Distribution, MultipartySpec, WorkloadSpec
 
 __all__ = [
     "ProtocolSpec",
@@ -44,7 +44,7 @@ __all__ = [
 ]
 
 #: The analysis kinds the trial runner knows how to execute.
-ANALYSES = ("cost", "survival")
+ANALYSES = ("cost", "survival", "multiparty-survival")
 
 
 def canonical_json(value: Any) -> str:
@@ -129,8 +129,23 @@ class RetrySpec:
         )
 
 
-def instance_to_dict(spec: WorkloadSpec) -> Dict[str, Any]:
-    """Canonical dict form of a :class:`~repro.workloads.WorkloadSpec`."""
+def instance_to_dict(spec) -> Dict[str, Any]:
+    """Canonical dict form of an instance-family spec.
+
+    Two-party :class:`~repro.workloads.WorkloadSpec` dicts keep their
+    original four-key shape with **no** discriminator -- those bytes feed
+    every existing shard content hash, so adding a key would cold-miss
+    every cache in the field.  Multiparty families carry an explicit
+    ``"kind": "multiparty"`` marker instead.
+    """
+    if isinstance(spec, MultipartySpec):
+        return {
+            "kind": "multiparty",
+            "universe_size": spec.universe_size,
+            "set_size": spec.set_size,
+            "num_players": spec.num_players,
+            "common_size": spec.common_size,
+        }
     return {
         "universe_size": spec.universe_size,
         "set_size": spec.set_size,
@@ -139,7 +154,14 @@ def instance_to_dict(spec: WorkloadSpec) -> Dict[str, Any]:
     }
 
 
-def instance_from_dict(data: Mapping[str, Any]) -> WorkloadSpec:
+def instance_from_dict(data: Mapping[str, Any]):
+    if data.get("kind") == "multiparty":
+        return MultipartySpec(
+            universe_size=int(data["universe_size"]),
+            set_size=int(data["set_size"]),
+            num_players=int(data["num_players"]),
+            common_size=int(data["common_size"]),
+        )
     return WorkloadSpec(
         universe_size=int(data["universe_size"]),
         set_size=int(data["set_size"]),
@@ -165,15 +187,20 @@ class Plan:
     :param shard_size: trials per shard -- the unit of caching, dispatch,
         and resume.  Changing it re-partitions the grid (different shard
         hashes) but never changes any trial's seed or result.
-    :param analysis: ``"cost"`` (bits/messages/correctness per trial) or
-        ``"survival"`` (verification-driven retry under the cell's fault
-        spec).
-    :param retry: retry policy for survival cells.
+    :param analysis: ``"cost"`` (bits/messages/correctness per trial),
+        ``"survival"`` (verification-driven two-party retry under the
+        cell's fault spec), or ``"multiparty-survival"`` (m-player
+        crash-recovery: instances are
+        :class:`~repro.workloads.MultipartySpec` families, protocols come
+        from :data:`repro.plans.registry.MULTIPARTY_PROTOCOLS`, and
+        ``retry.max_attempts`` bounds the recovery layer's BSP attempts).
+    :param retry: retry policy for survival cells (recovery budget for
+        multiparty-survival cells).
     """
 
     name: str
     protocols: Tuple[ProtocolSpec, ...]
-    instances: Tuple[WorkloadSpec, ...]
+    instances: Tuple[Any, ...]
     fault_specs: Tuple[Optional[str], ...] = (None,)
     trials: int = 16
     seed: int = 0
@@ -208,6 +235,20 @@ class Plan:
                 "cost analysis measures the reliable channel; use "
                 "analysis='survival' for fault specs"
             )
+        if self.analysis == "multiparty-survival":
+            for instance in self.instances:
+                if not isinstance(instance, MultipartySpec):
+                    raise ValueError(
+                        "multiparty-survival instances must be "
+                        f"MultipartySpec, got {type(instance).__name__}"
+                    )
+        else:
+            for instance in self.instances:
+                if not isinstance(instance, WorkloadSpec):
+                    raise ValueError(
+                        f"{self.analysis} instances must be WorkloadSpec, "
+                        f"got {type(instance).__name__}"
+                    )
 
     @property
     def num_cells(self) -> int:

@@ -15,7 +15,13 @@ from typing import Any, Callable, Dict, Mapping
 
 from repro.plans.model import ProtocolSpec
 
-__all__ = ["PROTOCOLS", "build_protocol", "protocol_display_name"]
+__all__ = [
+    "PROTOCOLS",
+    "MULTIPARTY_PROTOCOLS",
+    "build_protocol",
+    "build_multiparty_protocol",
+    "protocol_display_name",
+]
 
 
 def _tree(n: int, k: int, params: Mapping[str, Any]):
@@ -73,6 +79,41 @@ PROTOCOLS: Dict[str, Callable] = {
 }
 
 
+def _coordinator(n: int, k: int, params: Mapping[str, Any]):
+    from repro.multiparty.coordinator import CoordinatorIntersection
+
+    return CoordinatorIntersection(
+        n,
+        k,
+        rounds=params.get("rounds"),
+        group_size=params.get("group_size"),
+        broadcast=bool(params.get("broadcast", False)),
+    )
+
+
+def _binary_tree(n: int, k: int, params: Mapping[str, Any]):
+    from repro.multiparty.binary_tree import BinaryTreeIntersection
+
+    return BinaryTreeIntersection(
+        n,
+        k,
+        rounds=params.get("rounds"),
+        group_size=params.get("group_size"),
+        broadcast=bool(params.get("broadcast", False)),
+    )
+
+
+#: The m-player registry (the ``multiparty-survival`` analysis axis).
+#: Kept separate from :data:`PROTOCOLS` because the builders produce
+#: objects with a different ``run`` signature (``sets`` not
+#: ``alice, bob``) -- mixing the namespaces would let a plan compile into
+#: shards that can only fail at execution time.
+MULTIPARTY_PROTOCOLS: Dict[str, Callable] = {
+    "coordinator": _coordinator,
+    "binary-tree": _binary_tree,
+}
+
+
 def build_protocol(spec: ProtocolSpec, universe_size: int, max_set_size: int):
     """Construct the protocol a spec names for one instance family.
 
@@ -84,6 +125,22 @@ def build_protocol(spec: ProtocolSpec, universe_size: int, max_set_size: int):
         raise ValueError(
             f"unknown protocol {spec.name!r} "
             f"(know: {', '.join(sorted(PROTOCOLS))})"
+        )
+    return builder(universe_size, max_set_size, dict(spec.params))
+
+
+def build_multiparty_protocol(
+    spec: ProtocolSpec, universe_size: int, max_set_size: int
+):
+    """Construct the m-player protocol a spec names.
+
+    :raises ValueError: unknown registry name.
+    """
+    builder = MULTIPARTY_PROTOCOLS.get(spec.name)
+    if builder is None:
+        raise ValueError(
+            f"unknown multiparty protocol {spec.name!r} "
+            f"(know: {', '.join(sorted(MULTIPARTY_PROTOCOLS))})"
         )
     return builder(universe_size, max_set_size, dict(spec.params))
 

@@ -19,6 +19,11 @@ Record shapes (versioned by ``repro.plans.compile.PLAN_SCHEMA_VERSION``):
 * ``cost``     -- ``[total_bits, num_messages, correct]``
 * ``survival`` -- ``[status, attempts, faults_injected, total_bits]`` with
   ``status`` one of ``"exact"`` / ``"inexact"`` / ``"degraded"``.
+* ``multiparty-survival`` -- ``[status, attempts, crashed, faults_injected,
+  total_bits, recovery_bits]`` with ``status`` one of ``"exact"`` /
+  ``"recovered"`` / ``"degraded"`` / ``"inexact"`` (``inexact`` = the
+  output was not even a superset of the true intersection -- the
+  one-sided invariant broke, which the property suite treats as a bug).
 """
 
 from __future__ import annotations
@@ -27,12 +32,18 @@ from typing import Any, List, Sequence
 
 from repro.perf.executor import derive_seed
 from repro.plans.compile import Shard
-from repro.plans.registry import build_protocol
+from repro.plans.registry import build_multiparty_protocol, build_protocol
 from repro.workloads import generate_pair
 
-__all__ = ["execute_shard", "SURVIVAL_STATUSES"]
+__all__ = [
+    "execute_shard",
+    "SURVIVAL_STATUSES",
+    "MULTIPARTY_SURVIVAL_STATUSES",
+]
 
 SURVIVAL_STATUSES = ("exact", "inexact", "degraded")
+
+MULTIPARTY_SURVIVAL_STATUSES = ("exact", "recovered", "degraded", "inexact")
 
 
 def _cost_records(shard: Shard, protocol) -> List[List[Any]]:
@@ -100,6 +111,52 @@ def _survival_records(shard: Shard, protocol, retry) -> List[List[Any]]:
     return records
 
 
+def _multiparty_survival_records(shard: Shard, protocol, retry) -> List[List[Any]]:
+    from repro.faults.models import parse_fault_spec
+    from repro.faults.plan import FaultPlan
+    from repro.multiparty.recovery import RecoveryPolicy, run_with_recovery
+    from repro.workloads.multiparty import generate_multiparty
+
+    model_spec = shard.cell.fault_spec
+    policy = RecoveryPolicy(max_attempts=retry.max_attempts)
+    spec_seed = 0
+    if model_spec is not None:
+        _, spec_seed = parse_fault_spec(model_spec)
+    records: List[List[Any]] = []
+    for seed in shard.seeds:
+        sets = generate_multiparty(shard.cell.instance, seed)
+        truth = frozenset.intersection(*sets)
+        if model_spec is not None:
+            # Fresh model per trial (Churn carries per-player fate state;
+            # reusing it would couple trials through crash schedules).
+            model, _ = parse_fault_spec(model_spec)
+            fault_plan = FaultPlan(model, seed=derive_seed(seed, spec_seed))
+        else:
+            fault_plan = None
+        outcome = run_with_recovery(
+            protocol, sets, seed=seed, policy=policy, plan=fault_plan
+        )
+        if not truth <= outcome.intersection:
+            status = "inexact"  # the one-sided invariant broke: a bug
+        elif outcome.degraded:
+            status = "degraded"
+        elif outcome.status == "exact" and outcome.intersection != truth:
+            status = "inexact"  # claimed exact but off: fingerprint slip
+        else:
+            status = outcome.status
+        records.append(
+            [
+                status,
+                int(outcome.attempts),
+                len(outcome.crashed),
+                int(fault_plan.injected) if fault_plan is not None else 0,
+                int(outcome.total_bits),
+                int(outcome.recovery_bits),
+            ]
+        )
+    return records
+
+
 def execute_shard(shards: Sequence[Shard], index: int) -> List[List[Any]]:
     """Execute shard ``shards[index]`` and return its per-trial records.
 
@@ -109,6 +166,11 @@ def execute_shard(shards: Sequence[Shard], index: int) -> List[List[Any]]:
     """
     shard = shards[index]
     cell = shard.cell
+    if shard.analysis == "multiparty-survival":
+        protocol = build_multiparty_protocol(
+            cell.protocol, cell.instance.universe_size, cell.instance.set_size
+        )
+        return _multiparty_survival_records(shard, protocol, shard.retry)
     protocol = build_protocol(
         cell.protocol, cell.instance.universe_size, cell.instance.set_size
     )

@@ -38,7 +38,7 @@ from repro.obs.state import STATE as _OBS
 from repro.perf.executor import resolve_workers, run_trials
 from repro.plans.cache import ShardCache, cache_from_env
 from repro.plans.compile import CompiledPlan, Shard, compile_plan
-from repro.plans.model import Plan, canonical_json
+from repro.plans.model import Plan, canonical_json, instance_to_dict
 from repro.plans.runner import execute_shard
 
 __all__ = ["PlanResult", "run_plan", "cached_trials", "aggregate_cell"]
@@ -106,6 +106,27 @@ def aggregate_cell(
 ) -> Dict[str, Any]:
     """Fold one cell's ordered trial records into its aggregate row."""
     trials = len(records)
+    if analysis == "multiparty-survival":
+        exact = sum(1 for r in records if r[0] == "exact")
+        recovered = sum(1 for r in records if r[0] == "recovered")
+        degraded = sum(1 for r in records if r[0] == "degraded")
+        inexact = sum(1 for r in records if r[0] == "inexact")
+        return {
+            "trials": trials,
+            "exact": exact,
+            "recovered": recovered,
+            "degraded": degraded,
+            "inexact": inexact,
+            # "Survived" = the run still produced the survivors' exact
+            # intersection (possibly after recovery re-runs); degradation
+            # (certified superset) is the non-survival outcome.
+            "survived": exact + recovered,
+            "attempts": sum(r[1] for r in records),
+            "crashed": sum(r[2] for r in records),
+            "faults": sum(r[3] for r in records),
+            "bits": sum(r[4] for r in records),
+            "recovery_bits": sum(r[5] for r in records),
+        }
     if analysis == "survival":
         exact = sum(1 for r in records if r[0] == "exact")
         inexact = sum(1 for r in records if r[0] == "inexact")
@@ -269,12 +290,7 @@ def run_plan(
         cells.append(
             {
                 "protocol": cell.protocol.as_dict(),
-                "instance": {
-                    "universe_size": cell.instance.universe_size,
-                    "set_size": cell.instance.set_size,
-                    "overlap_fraction": cell.instance.overlap_fraction,
-                    "distribution": cell.instance.distribution.value,
-                },
+                "instance": instance_to_dict(cell.instance),
                 "fault_spec": cell.fault_spec,
                 "aggregate": aggregate_cell(plan.analysis, records),
             }

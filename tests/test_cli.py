@@ -242,6 +242,58 @@ class TestFaults:
         assert code == 2
         assert "bad rate" in output
 
+
+class TestFaultsMultiparty:
+    def test_churn_sweep_prints_survival_table(self, tmp_path):
+        import json
+
+        table = tmp_path / "table.json"
+        code, output = run_cli(
+            ["faults", "--multiparty", "--players", "3", "--k", "8",
+             "--trials", "2", "--log-universe", "12",
+             "--rates", "0.0,0.5", "--table-out", str(table)]
+        )
+        assert code == 0
+        assert "survived%" in output and "recovered%" in output
+        rows = [line for line in output.splitlines()
+                if line.startswith(("coordinator", "binary-tree"))]
+        assert len(rows) == 4  # 2 protocols x 2 rates
+        # rate 0: every trial exact, nobody crashed
+        assert "  100.0" in rows[0]
+        document = json.loads(table.read_text(encoding="utf-8"))
+        assert document["analysis"] == "multiparty-survival"
+        assert len(document["cells"]) == 4
+        for cell in document["cells"]:
+            aggregate = cell["aggregate"]
+            assert aggregate["inexact"] == 0
+            assert aggregate["trials"] == 2
+
+    def test_multiparty_m_axis(self):
+        code, output = run_cli(
+            ["faults", "--multiparty", "--players", "3,8", "--k", "8",
+             "--trials", "1", "--log-universe", "12", "--rates", "0.3",
+             "--protocols", "coordinator", "--models", "churn"]
+        )
+        assert code == 0
+        rows = [line for line in output.splitlines()
+                if line.startswith("coordinator")]
+        assert len(rows) == 2  # one per m
+
+    def test_two_party_protocol_rejected_in_multiparty_mode(self):
+        code, output = run_cli(
+            ["faults", "--multiparty", "--trials", "1",
+             "--protocols", "bucket"]
+        )
+        assert code == 2
+        assert "unknown multiparty protocol" in output
+
+    def test_bad_players_rejected(self):
+        code, output = run_cli(
+            ["faults", "--multiparty", "--trials", "1", "--players", "two"]
+        )
+        assert code == 2
+        assert "bad --players" in output
+
     def test_trace_validate_passes_on_a_traced_faulty_run(self, tmp_path):
         # Acceptance: a run under fault injection produces a trace the
         # schema validator accepts -- fault events are first-class citizens

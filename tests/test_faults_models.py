@@ -212,3 +212,55 @@ class TestSpecParser:
     def test_malformed_specs_rejected(self, bad):
         with pytest.raises(FaultConfigError):
             parse_fault_spec(bad)
+
+
+class TestChurn:
+    """Per-player whole-run crash fates with a bounded horizon."""
+
+    def test_rate_validated(self):
+        from repro.faults.models import Churn, FaultConfigError
+
+        with pytest.raises(FaultConfigError):
+            Churn(1.5)
+        with pytest.raises(FaultConfigError):
+            Churn(0.5, horizon=0)
+
+    def test_fate_drawn_once_and_persists(self):
+        import random
+
+        from repro.faults.models import Churn
+
+        model = Churn(1.0, horizon=4)
+        rng = random.Random(7)
+        # Rate 1.0: the fate is some round in [0, horizon); once that
+        # round arrives the player crashes at every later query too
+        # (recovery attempts must not resurrect the fated).
+        first_crash = None
+        for round_index in range(8):
+            if model.maybe_crash("p00000", round_index, rng):
+                first_crash = round_index
+                break
+        assert first_crash is not None and first_crash < 4
+        assert model.maybe_crash("p00000", first_crash + 1, rng)
+        assert not model.maybe_crash("p00000", 0, rng) or first_crash == 0
+
+    def test_rate_zero_never_crashes(self):
+        import random
+
+        from repro.faults.models import Churn
+
+        model = Churn(0.0)
+        rng = random.Random(7)
+        assert not any(
+            model.maybe_crash(f"p{i:05d}", r, rng)
+            for i in range(8)
+            for r in range(20)
+        )
+
+    def test_registered_in_spec_grammar(self):
+        from repro.faults.models import Churn, parse_fault_spec
+
+        model, seed = parse_fault_spec("churn@0.3:seed=9")
+        assert isinstance(model, Churn)
+        assert model.rate == 0.3
+        assert seed == 9

@@ -232,3 +232,60 @@ class TestJsonl:
     def test_torn_line_raises_with_line_number(self):
         with pytest.raises(ValueError, match="line 2"):
             parse_jsonl('{"ts": 1}\n{"torn...')
+
+
+class TestRecoveryEvents:
+    """Taxonomy v4: the multiparty recovery layer's events."""
+
+    def test_schema_version_is_four(self):
+        from repro.obs.schema import TRACE_SCHEMA_VERSION
+
+        assert TRACE_SCHEMA_VERSION == 4
+
+    def test_recovery_attempt_validates(self):
+        event = {
+            "ts": 1.0,
+            "seq": 1,
+            "type": "recovery.attempt",
+            "protocol": "coordinator-multiparty",
+            "attempt": 0,
+            "reason": "crashed",
+            "crashed": 2,
+            "survivors": 6,
+        }
+        assert validate_trace_events([event]) == []
+
+    def test_recovery_outcome_validates(self):
+        event = {
+            "ts": 1.0,
+            "seq": 1,
+            "type": "recovery.outcome",
+            "protocol": "binary-tree-multiparty",
+            "status": "recovered",
+            "attempts": 2,
+            "recovery_bits": 512,
+            "recovery_rounds": 9,
+        }
+        assert validate_trace_events([event]) == []
+
+    def test_recovery_attempt_requires_reason(self):
+        event = {
+            "ts": 1.0,
+            "seq": 1,
+            "type": "recovery.attempt",
+            "protocol": "coordinator-multiparty",
+            "attempt": 0,
+        }
+        problems = validate_trace_events([event])
+        assert any("missing field 'reason'" in p for p in problems)
+
+    def test_recovery_outcome_requires_status(self):
+        event = {
+            "ts": 1.0,
+            "seq": 1,
+            "type": "recovery.outcome",
+            "protocol": "coordinator-multiparty",
+            "attempts": 1,
+        }
+        problems = validate_trace_events([event])
+        assert any("missing field 'status'" in p for p in problems)

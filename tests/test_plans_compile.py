@@ -174,3 +174,101 @@ class TestCompile:
             compile_plan(
                 make_plan(analysis="survival", fault_specs=("bitflip@2.0",))
             )
+
+
+class TestMultipartyPlans:
+    """The multiparty-survival analysis axis: separate protocol registry,
+    discriminated instance dicts, and untouched two-party shard bytes."""
+
+    def make_multiparty_plan(self, **overrides):
+        from repro.workloads import MultipartySpec
+
+        base = dict(
+            name="mp-unit",
+            analysis="multiparty-survival",
+            protocols=(ProtocolSpec("coordinator"),),
+            instances=(
+                MultipartySpec(
+                    universe_size=1 << 12,
+                    set_size=8,
+                    num_players=8,
+                    common_size=3,
+                ),
+            ),
+            fault_specs=("churn@0.3",),
+            trials=4,
+            seed=3,
+            shard_size=2,
+        )
+        base.update(overrides)
+        return Plan(**base)
+
+    def test_compiles_and_round_trips(self):
+        plan = self.make_multiparty_plan()
+        compiled = compile_plan(plan)
+        assert compiled.shards and compiled.cells
+        assert plan_from_dict(plan_to_dict(plan)) == plan
+
+    def test_instance_dict_is_discriminated(self):
+        from repro.plans import instance_to_dict
+        from repro.workloads import MultipartySpec
+
+        doc = instance_to_dict(
+            MultipartySpec(
+                universe_size=64, set_size=4, num_players=3, common_size=2
+            )
+        )
+        assert doc["kind"] == "multiparty"
+        assert doc["num_players"] == 3
+
+    def test_two_party_instance_dict_shape_unchanged(self):
+        # These exact four keys (and no "kind" marker) feed every
+        # existing shard content hash; drift here cold-misses every cache.
+        from repro.plans import instance_to_dict
+
+        doc = instance_to_dict(
+            WorkloadSpec(
+                universe_size=64,
+                set_size=4,
+                overlap_fraction=0.5,
+                distribution=Distribution.UNIFORM,
+            )
+        )
+        assert sorted(doc) == [
+            "distribution",
+            "overlap_fraction",
+            "set_size",
+            "universe_size",
+        ]
+
+    def test_two_party_protocol_rejected(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            compile_plan(
+                self.make_multiparty_plan(protocols=(ProtocolSpec("bucket"),))
+            )
+
+    def test_multiparty_protocol_rejected_in_two_party_plan(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            compile_plan(make_plan(protocols=(ProtocolSpec("coordinator"),)))
+
+    def test_workload_spec_instances_rejected(self):
+        with pytest.raises(ValueError, match="MultipartySpec"):
+            self.make_multiparty_plan(
+                instances=(
+                    WorkloadSpec(
+                        universe_size=1 << 12,
+                        set_size=8,
+                        overlap_fraction=0.5,
+                        distribution=Distribution.UNIFORM,
+                    ),
+                )
+            )
+
+    def test_retry_budget_in_shard_key(self):
+        a = compile_plan(
+            self.make_multiparty_plan(retry=RetrySpec(max_attempts=4))
+        )
+        b = compile_plan(
+            self.make_multiparty_plan(retry=RetrySpec(max_attempts=8))
+        )
+        assert a.shards[0].key != b.shards[0].key
